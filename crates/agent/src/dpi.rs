@@ -1,0 +1,222 @@
+//! The RA's deep-packet-inspection module (paper §VI).
+//!
+//! Two stages, matching the Table III cost breakdown: a cheap per-packet
+//! *TLS detection* test, and — only for handshake packets of supported
+//! connections — *certificate parsing*.
+
+use ritm_dictionary::{CaId, SerialNumber};
+use ritm_tls::handshake::HandshakeMessage;
+use ritm_tls::record::{looks_like_tls, ContentType, TlsRecord};
+
+/// What DPI concluded about one TCP payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// Not TLS at all — forward untouched (the 340k pkt/s fast path).
+    NotTls,
+    /// TLS, but nothing the RA acts on (e.g. application data records).
+    TlsOther,
+    /// Contains a ClientHello; flag says whether the RITM extension is set.
+    ClientHello {
+        /// RITM extension present?
+        ritm: bool,
+        /// Session id non-empty (resumption attempt)?
+        resumption: bool,
+    },
+    /// Contains a ServerHello (and possibly the certificate chain in the
+    /// same flight).
+    ServerFlight(ServerFlight),
+    /// Contains a Finished message (handshake completion marker).
+    Finished,
+}
+
+/// The server's first flight as seen by the RA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerFlight {
+    /// Session id echoed by the server.
+    pub session_id: Vec<u8>,
+    /// Issuer and serial of the leaf certificate, when a chain was present.
+    pub leaf: Option<(CaId, SerialNumber)>,
+    /// Issuer and serial of every certificate in the chain (§VIII
+    /// "Certificate chains": RAs may prove the whole chain).
+    pub chain: Vec<(CaId, SerialNumber)>,
+}
+
+/// Classifies one TCP payload. This is the RA's per-packet entry point; the
+/// `looks_like_tls` prefilter runs first so non-TLS traffic pays only a few
+/// comparisons.
+pub fn classify(payload: &[u8]) -> Classification {
+    if !looks_like_tls(payload) {
+        return Classification::NotTls;
+    }
+    let Ok(records) = TlsRecord::parse_stream(payload) else {
+        // Prefilter matched but full parse failed — treat as opaque TLS-ish
+        // traffic and stay out of the way (non-invasiveness, §VII-F).
+        return Classification::TlsOther;
+    };
+    let mut server_flight: Option<ServerFlight> = None;
+    let mut finished = false;
+    for rec in &records {
+        if rec.content_type != ContentType::Handshake {
+            continue;
+        }
+        let Ok(messages) = HandshakeMessage::parse_all(&rec.payload) else {
+            return Classification::TlsOther;
+        };
+        for msg in messages {
+            match msg {
+                HandshakeMessage::ClientHello(ch) => {
+                    return Classification::ClientHello {
+                        ritm: ch.has_ritm_extension(),
+                        resumption: !ch.session_id.is_empty(),
+                    };
+                }
+                HandshakeMessage::ServerHello(sh) => {
+                    server_flight = Some(ServerFlight {
+                        session_id: sh.session_id.clone(),
+                        leaf: None,
+                        chain: Vec::new(),
+                    });
+                }
+                HandshakeMessage::Certificate(chain) => {
+                    let parsed: Vec<(CaId, SerialNumber)> =
+                        chain.0.iter().map(|c| (c.issuer, c.serial)).collect();
+                    let leaf = parsed.first().copied();
+                    match &mut server_flight {
+                        Some(f) => {
+                            f.leaf = leaf;
+                            f.chain = parsed;
+                        }
+                        None => {
+                            // Certificate without a preceding ServerHello in
+                            // this payload (split across segments).
+                            server_flight = Some(ServerFlight {
+                                session_id: Vec::new(),
+                                leaf,
+                                chain: parsed,
+                            });
+                        }
+                    }
+                }
+                HandshakeMessage::Finished(_) => finished = true,
+                _ => {}
+            }
+        }
+    }
+    if let Some(f) = server_flight {
+        return Classification::ServerFlight(f);
+    }
+    if finished {
+        return Classification::Finished;
+    }
+    Classification::TlsOther
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_tls::certificate::{Certificate, CertificateChain};
+    use ritm_tls::extensions::Extension;
+    use ritm_tls::handshake::{ClientHello, ServerHello};
+
+    fn client_hello(ritm: bool, session: &[u8]) -> Vec<u8> {
+        let mut extensions = vec![Extension::sni("example.com")];
+        if ritm {
+            extensions.push(Extension::ritm_request());
+        }
+        let msg = HandshakeMessage::ClientHello(ClientHello {
+            version: 0x0303,
+            random: [1u8; 32],
+            session_id: session.to_vec(),
+            cipher_suites: vec![0xc02f],
+            extensions,
+        });
+        TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&[msg])).to_bytes()
+    }
+
+    fn server_flight() -> Vec<u8> {
+        let ca_key = SigningKey::from_seed([1u8; 32]);
+        let cert = Certificate::issue(
+            &ca_key,
+            CaId::from_name("CA1"),
+            SerialNumber::from_u24(0x073e10),
+            "example.com",
+            0,
+            10,
+            SigningKey::from_seed([2u8; 32]).verifying_key(),
+            false,
+        );
+        let msgs = [
+            HandshakeMessage::ServerHello(ServerHello {
+                version: 0x0303,
+                random: [2u8; 32],
+                session_id: vec![9; 32],
+                cipher_suite: 0xc02f,
+                extensions: vec![],
+            }),
+            HandshakeMessage::Certificate(CertificateChain(vec![cert])),
+            HandshakeMessage::ServerHelloDone,
+        ];
+        TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&msgs)).to_bytes()
+    }
+
+    #[test]
+    fn non_tls_fast_path() {
+        assert_eq!(classify(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"), Classification::NotTls);
+        assert_eq!(classify(&[]), Classification::NotTls);
+        assert_eq!(classify(&[0x16, 0x01]), Classification::NotTls);
+    }
+
+    #[test]
+    fn client_hello_with_and_without_ritm() {
+        assert_eq!(
+            classify(&client_hello(true, &[])),
+            Classification::ClientHello { ritm: true, resumption: false }
+        );
+        assert_eq!(
+            classify(&client_hello(false, &[])),
+            Classification::ClientHello { ritm: false, resumption: false }
+        );
+        assert_eq!(
+            classify(&client_hello(true, &[1, 2, 3])),
+            Classification::ClientHello { ritm: true, resumption: true }
+        );
+    }
+
+    #[test]
+    fn server_flight_extracts_issuer_and_serial() {
+        match classify(&server_flight()) {
+            Classification::ServerFlight(f) => {
+                let (ca, sn) = f.leaf.expect("leaf cert parsed");
+                assert_eq!(ca, CaId::from_name("CA1"));
+                assert_eq!(sn, SerialNumber::from_u24(0x073e10));
+                assert_eq!(f.session_id, vec![9; 32]);
+                assert_eq!(f.chain.len(), 1);
+            }
+            other => panic!("expected server flight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_data_is_tls_other() {
+        let rec = TlsRecord::new(ContentType::ApplicationData, vec![0; 64]).to_bytes();
+        assert_eq!(classify(&rec), Classification::TlsOther);
+    }
+
+    #[test]
+    fn finished_detected() {
+        let rec = TlsRecord::new(
+            ContentType::Handshake,
+            HandshakeMessage::encode_all(&[HandshakeMessage::Finished([0u8; 12])]),
+        )
+        .to_bytes();
+        assert_eq!(classify(&rec), Classification::Finished);
+    }
+
+    #[test]
+    fn garbage_that_resembles_tls_is_nonintrusive() {
+        // Valid record header, garbage handshake body.
+        let rec = TlsRecord::new(ContentType::Handshake, vec![0xFF; 10]).to_bytes();
+        assert_eq!(classify(&rec), Classification::TlsOther);
+    }
+}

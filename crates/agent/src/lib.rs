@@ -1,0 +1,23 @@
+//! # ritm-agent — the Revocation Agent middlebox (paper §III, §VI)
+//!
+//! The RA is RITM's central component: an in-path middlebox that
+//!
+//! * mirrors CA dictionaries by pulling from the CDN every Δ ([`sync`]),
+//! * inspects TLS traffic with a two-stage DPI ([`dpi`]),
+//! * tracks supported connections in the Eq. (4) state table ([`state`]),
+//! * piggybacks revocation statuses onto server→client traffic — once at
+//!   ServerHello time and then at least every Δ — adjusting TCP sequence
+//!   numbers for the injected bytes ([`ra`]),
+//! * and monitors CAs for equivocation ([`monitor`]).
+
+pub mod dpi;
+pub mod monitor;
+pub mod ra;
+pub mod state;
+pub mod sync;
+
+pub use dpi::{classify, Classification, ServerFlight};
+pub use monitor::{ConsistencyMonitor, MisbehaviorReport};
+pub use ra::{RaConfig, RaStats, RevocationAgent, StatusPayload};
+pub use state::{ConnState, Stage, StateTable};
+pub use sync::SyncReport;

@@ -1,0 +1,791 @@
+//! The Revocation Agent — RITM's middlebox (paper §III "Validation", §VI).
+//!
+//! The RA watches TCP segments on its path. For RITM-supported TLS
+//! connections it tracks Eq. (4) state, extracts the server certificate
+//! from the handshake, and piggybacks a [`RevocationStatus`] onto
+//! server-to-client traffic: once on the ServerHello flight (step 4) and
+//! then at least every Δ for the connection's lifetime (step 6). All other
+//! traffic is forwarded untouched.
+
+use crate::dpi::{classify, Classification};
+use crate::state::{Stage, StateTable};
+use ritm_dictionary::{CaId, MirrorDictionary, RevocationStatus, SerialNumber};
+use ritm_net::middlebox::Middlebox;
+use ritm_net::tcp::{Direction, TcpSegment};
+use ritm_net::time::{SimDuration, SimTime};
+use ritm_cdn::regions::Region;
+use ritm_crypto::wire::{Reader, Writer};
+use ritm_tls::record::{ContentType, TlsRecord};
+use std::collections::HashMap;
+
+/// RA configuration.
+#[derive(Debug, Clone)]
+pub struct RaConfig {
+    /// Dissemination period Δ in seconds.
+    pub delta: u64,
+    /// Region (decides which edge server the RA pulls from and how its
+    /// traffic is billed).
+    pub region: Region,
+    /// Prove the whole chain instead of just the leaf (§VIII "Certificate
+    /// chains").
+    pub prove_full_chain: bool,
+}
+
+impl Default for RaConfig {
+    fn default() -> Self {
+        RaConfig { delta: 10, region: Region::Europe, prove_full_chain: false }
+    }
+}
+
+/// Counters the RA keeps (feeds the §VII-D throughput discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaStats {
+    /// Non-TLS packets forwarded on the fast path.
+    pub non_tls_packets: u64,
+    /// TLS packets inspected.
+    pub tls_packets: u64,
+    /// RITM-supported connections tracked.
+    pub supported_connections: u64,
+    /// Revocation statuses injected.
+    pub statuses_sent: u64,
+    /// Statuses from upstream RAs left in place (multi-RA rule, §VIII).
+    pub statuses_left_in_place: u64,
+    /// Stale upstream statuses replaced with fresher ones (multi-RA rule).
+    pub statuses_replaced: u64,
+}
+
+/// The payload of one `RitmStatus` record: statuses for each certificate of
+/// the chain, leaf first (one entry unless `prove_full_chain`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusPayload {
+    /// Revocation statuses, aligned with the certificate chain.
+    pub statuses: Vec<RevocationStatus>,
+}
+
+impl StatusPayload {
+    /// Encodes the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(self.statuses.len() as u8);
+        for s in &self.statuses {
+            w.vec24(&s.to_bytes());
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire [`ritm_crypto::wire::DecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ritm_crypto::wire::DecodeError> {
+        let mut r = Reader::new(bytes);
+        let n = r.u8("status count")? as usize;
+        let mut statuses = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = r.vec24("status entry")?;
+            statuses.push(RevocationStatus::from_bytes(raw)?);
+        }
+        r.finish("status payload trailing")?;
+        Ok(StatusPayload { statuses })
+    }
+}
+
+/// The Revocation Agent.
+pub struct RevocationAgent {
+    /// Configuration.
+    pub config: RaConfig,
+    mirrors: HashMap<CaId, MirrorDictionary>,
+    /// Eq. (4) connection table.
+    pub table: StateTable,
+    /// Session-id → certificate identity, learned from full handshakes, so
+    /// *resumed* connections (which never carry a Certificate message) can
+    /// still be served statuses (§III, "RITM supports two mechanisms of TLS
+    /// resumption").
+    session_cache: HashMap<Vec<u8>, (CaId, SerialNumber)>,
+    /// Operational counters.
+    pub stats: RaStats,
+}
+
+impl core::fmt::Debug for RevocationAgent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RevocationAgent")
+            .field("mirrors", &self.mirrors.len())
+            .field("connections", &self.table.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RevocationAgent {
+    /// Creates an RA with no mirrored dictionaries yet.
+    pub fn new(config: RaConfig) -> Self {
+        RevocationAgent {
+            config,
+            mirrors: HashMap::new(),
+            table: StateTable::new(),
+            session_cache: HashMap::new(),
+            stats: RaStats::default(),
+        }
+    }
+
+    /// Starts mirroring a CA's dictionary (bootstrap via manifest, §VIII).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ritm_dictionary::UpdateError`] if the genesis root does
+    /// not verify.
+    pub fn follow_ca(
+        &mut self,
+        ca: CaId,
+        key: ritm_crypto::ed25519::VerifyingKey,
+        genesis: ritm_dictionary::SignedRoot,
+    ) -> Result<(), ritm_dictionary::UpdateError> {
+        let mut mirror = MirrorDictionary::new(ca, key, genesis)?;
+        mirror.set_delta(self.config.delta);
+        self.mirrors.insert(ca, mirror);
+        Ok(())
+    }
+
+    /// Read access to a mirror.
+    pub fn mirror(&self, ca: &CaId) -> Option<&MirrorDictionary> {
+        self.mirrors.get(ca)
+    }
+
+    /// Mutable access to a mirror — used by the sync module and by
+    /// harnesses that deliver updates out of band (tests, experiments).
+    pub fn mirror_mut(&mut self, ca: &CaId) -> Option<&mut MirrorDictionary> {
+        self.mirrors.get_mut(ca)
+    }
+
+    /// CAs currently mirrored.
+    pub fn followed_cas(&self) -> impl Iterator<Item = &CaId> {
+        self.mirrors.keys()
+    }
+
+    /// Builds the status payload for a chain of `(issuer, serial)` pairs.
+    /// Returns `None` when the leaf's CA is not mirrored (the RA then stays
+    /// silent rather than injecting garbage).
+    pub fn build_status(&self, chain: &[(CaId, SerialNumber)]) -> Option<StatusPayload> {
+        if chain.is_empty() {
+            return None;
+        }
+        let certs: &[(CaId, SerialNumber)] = if self.config.prove_full_chain {
+            chain
+        } else {
+            &chain[..1]
+        };
+        let mut statuses = Vec::with_capacity(certs.len());
+        for (ca, serial) in certs {
+            let mirror = self.mirrors.get(ca)?;
+            statuses.push(mirror.prove(serial));
+        }
+        Some(StatusPayload { statuses })
+    }
+
+    /// Handles the multi-RA rule (§VIII): given the TLS records of a
+    /// server→client payload, decide whether to add our status, replace an
+    /// upstream RA's, or leave it alone. Returns the rebuilt payload and
+    /// the number of bytes the payload grew by.
+    fn inject_status(
+        &mut self,
+        records: Vec<TlsRecord>,
+        payload: StatusPayload,
+    ) -> (Vec<u8>, i64) {
+        let our_root = payload.statuses[0].signed_root;
+        let mut records = records;
+        let mut existing: Option<(usize, StatusPayload)> = None;
+        for (i, rec) in records.iter().enumerate() {
+            if rec.content_type == ContentType::RitmStatus {
+                if let Ok(p) = StatusPayload::from_bytes(&rec.payload) {
+                    existing = Some((i, p));
+                    break;
+                }
+            }
+        }
+        let before: usize = records.iter().map(TlsRecord::encoded_len).sum();
+        match existing {
+            Some((i, theirs)) => {
+                let their_root = theirs.statuses[0].signed_root;
+                // "replaces a revocation status only if its own version of
+                // the dictionary is more recent".
+                let ours_newer = our_root.size > their_root.size
+                    || (our_root.size == their_root.size
+                        && our_root.timestamp > their_root.timestamp);
+                if ours_newer {
+                    records[i] = TlsRecord::new(ContentType::RitmStatus, payload.to_bytes());
+                    self.stats.statuses_replaced += 1;
+                } else {
+                    self.stats.statuses_left_in_place += 1;
+                }
+            }
+            None => {
+                // Prepend rather than append: in an abbreviated handshake
+                // the same flight carries the server Finished, and the
+                // client must see the status before it deems the handshake
+                // complete (it buffers statuses that precede the
+                // Certificate, so prepending is safe for full handshakes
+                // too).
+                records.insert(0, TlsRecord::new(ContentType::RitmStatus, payload.to_bytes()));
+                self.stats.statuses_sent += 1;
+            }
+        }
+        let rebuilt = TlsRecord::encode_stream(&records);
+        let delta = rebuilt.len() as i64 - before as i64;
+        (rebuilt, delta)
+    }
+
+    fn handle_segment(&mut self, mut seg: TcpSegment, now: SimTime) -> Vec<TcpSegment> {
+        let now_secs = now.as_secs();
+        let tuple = seg.tuple;
+        let tracked = self.table.contains(&tuple);
+
+        // Teardown first: forward the FIN/RST (translated) and drop state.
+        let closing = seg.flags.fin || seg.flags.rst;
+
+        let class = classify(&seg.payload);
+        match (&class, seg.direction) {
+            (Classification::NotTls, _) => {
+                self.stats.non_tls_packets += 1;
+            }
+            _ => {
+                self.stats.tls_packets += 1;
+            }
+        }
+
+        match (class, seg.direction) {
+            (Classification::ClientHello { ritm: true, .. }, Direction::ToServer)
+                // §III step 2: create Eq. (4) state; pass the ClientHello on
+                // unchanged.
+                if !tracked => {
+                    self.table.insert(tuple);
+                    self.stats.supported_connections += 1;
+                }
+            (Classification::ServerFlight(flight), Direction::ToClient) if tracked => {
+                // §III step 4: extract CA + serial, build and append status.
+                // For an abbreviated (resumed) handshake no certificate is
+                // on the wire, so fall back to the session cache.
+                let identity = match flight.leaf {
+                    Some((ca, serial)) => {
+                        if !flight.session_id.is_empty() {
+                            self.session_cache
+                                .insert(flight.session_id.clone(), (ca, serial));
+                        }
+                        Some((ca, serial))
+                    }
+                    None => self.session_cache.get(&flight.session_id).copied(),
+                };
+                if let Some((ca, serial)) = identity {
+                    self.table.update(&tuple, |s| {
+                        s.ca = Some(ca);
+                        s.serial = Some(serial);
+                        s.stage = Stage::ServerHello;
+                    });
+                    let chain = if flight.chain.is_empty() {
+                        vec![(ca, serial)]
+                    } else {
+                        flight.chain.clone()
+                    };
+                    if let Some(payload) = self.build_status(&chain) {
+                        if let Ok(records) = TlsRecord::parse_stream(&seg.payload) {
+                            // Translate with the *pre-injection* offset, then
+                            // grow the payload and account for the growth.
+                            self.table.update(&tuple, |s| s.translator.translate(&mut seg));
+                            let (rebuilt, grew) = self.inject_status(records, payload);
+                            seg.payload = rebuilt;
+                            if grew > 0 {
+                                self.table.update(&tuple, |s| {
+                                    s.translator.record_injection(grew as usize);
+                                    s.last_status = now_secs;
+                                });
+                            }
+                            if closing {
+                                self.table.remove(&tuple);
+                            }
+                            return vec![seg];
+                        }
+                    }
+                } else if !flight.session_id.is_empty() {
+                    self.table.update(&tuple, |s| s.stage = Stage::ServerHello);
+                }
+            }
+            (Classification::Finished, Direction::ToClient) if tracked => {
+                // §III step 6: server Finished → connection established.
+                self.table.update(&tuple, |s| s.stage = Stage::Established);
+            }
+            (_, Direction::ToClient) if tracked => {
+                // §III step 6: piggyback a fresh status every Δ on the first
+                // server→client packet past the deadline.
+                let due = self.table.get(&tuple).is_some_and(|s| {
+                    s.stage == Stage::Established
+                        && s.last_status > 0
+                        && now_secs.saturating_sub(s.last_status) >= self.config.delta
+                });
+                if due {
+                    let chain = self.table.get(&tuple).and_then(|s| {
+                        s.ca.zip(s.serial).map(|(ca, sn)| vec![(ca, sn)])
+                    });
+                    if let Some(chain) = chain {
+                        if let Some(payload) = self.build_status(&chain) {
+                            if let Ok(records) = TlsRecord::parse_stream(&seg.payload) {
+                                self.table.update(&tuple, |s| s.translator.translate(&mut seg));
+                                let (rebuilt, grew) = self.inject_status(records, payload);
+                                seg.payload = rebuilt;
+                                if grew > 0 {
+                                    self.table.update(&tuple, |s| {
+                                        s.translator.record_injection(grew as usize);
+                                        s.last_status = now_secs;
+                                    });
+                                }
+                                if closing {
+                                    self.table.remove(&tuple);
+                                }
+                                return vec![seg];
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Default path: translate sequence numbers if we ever injected, and
+        // forward.
+        if tracked {
+            self.table.update(&tuple, |s| s.translator.translate(&mut seg));
+        }
+        if closing {
+            self.table.remove(&tuple);
+        }
+        vec![seg]
+    }
+}
+
+impl Middlebox for RevocationAgent {
+    fn process(&mut self, segment: TcpSegment, now: SimTime) -> Vec<TcpSegment> {
+        self.handle_segment(segment, now)
+    }
+
+    fn processing_delay(&self, segment: &TcpSegment) -> SimDuration {
+        // Charged per Table III: TLS detection ~3 µs on every packet;
+        // handshake packets of supported connections additionally pay
+        // certificate parsing (~20 µs) and proof construction (~67 µs).
+        if !ritm_tls::record::looks_like_tls(&segment.payload) {
+            SimDuration::from_micros(3)
+        } else if self.table.contains(&segment.tuple) {
+            SimDuration::from_micros(3 + 20 + 67)
+        } else {
+            SimDuration::from_micros(5)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_dictionary::CaDictionary;
+    use ritm_net::tcp::{FourTuple, SocketAddr, TcpFlags};
+    use ritm_tls::extensions::Extension;
+    use ritm_tls::handshake::{ClientHello, HandshakeMessage, ServerHello};
+
+    const T0: u64 = 1_000_000;
+
+    fn tuple() -> FourTuple {
+        FourTuple {
+            client: SocketAddr::new(1, 9012),
+            server: SocketAddr::new(2, 443),
+        }
+    }
+
+    struct Fixture {
+        ca: CaDictionary,
+        ra: RevocationAgent,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("CA1"),
+            SigningKey::from_seed([1u8; 32]),
+            10,
+            1 << 16,
+            &mut rng,
+            T0,
+        );
+        let mut ra = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        // Revoke a couple of serials and mirror them.
+        let serials: Vec<SerialNumber> = (100..110u32).map(SerialNumber::from_u24).collect();
+        let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+        ra.mirror_mut(&ca.ca())
+            .unwrap()
+            .apply_issuance(&iss, T0 + 1)
+            .unwrap();
+        Fixture { ca, ra, rng }
+    }
+
+    fn client_hello_segment(ritm: bool) -> TcpSegment {
+        let mut extensions = vec![];
+        if ritm {
+            extensions.push(Extension::ritm_request());
+        }
+        let msg = HandshakeMessage::ClientHello(ClientHello {
+            version: 0x0303,
+            random: [1u8; 32],
+            session_id: vec![],
+            cipher_suites: vec![0xc02f],
+            extensions,
+        });
+        let rec = TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&[msg]));
+        TcpSegment::data(tuple(), Direction::ToServer, 0, 0, rec.to_bytes())
+    }
+
+    fn server_flight_segment(ca: &CaDictionary, serial: u32) -> TcpSegment {
+        let cert = ritm_tls::certificate::Certificate::issue(
+            &SigningKey::from_seed([1u8; 32]),
+            ca.ca(),
+            SerialNumber::from_u24(serial),
+            "example.com",
+            0,
+            u64::MAX,
+            SigningKey::from_seed([2u8; 32]).verifying_key(),
+            false,
+        );
+        let msgs = [
+            HandshakeMessage::ServerHello(ServerHello {
+                version: 0x0303,
+                random: [2u8; 32],
+                session_id: vec![5; 32],
+                cipher_suite: 0xc02f,
+                extensions: vec![],
+            }),
+            HandshakeMessage::Certificate(ritm_tls::certificate::CertificateChain(vec![cert])),
+            HandshakeMessage::ServerHelloDone,
+        ];
+        let rec = TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&msgs));
+        TcpSegment::data(tuple(), Direction::ToClient, 0, 0, rec.to_bytes())
+    }
+
+    fn extract_status(seg: &TcpSegment) -> Option<StatusPayload> {
+        let records = TlsRecord::parse_stream(&seg.payload).ok()?;
+        records
+            .iter()
+            .find(|r| r.content_type == ContentType::RitmStatus)
+            .and_then(|r| StatusPayload::from_bytes(&r.payload).ok())
+    }
+
+    #[test]
+    fn client_hello_creates_state() {
+        let mut f = fixture();
+        let out = f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        assert_eq!(out.len(), 1);
+        assert!(f.ra.table.contains(&tuple()));
+        assert_eq!(f.ra.stats.supported_connections, 1);
+        let s = f.ra.table.get(&tuple()).unwrap();
+        assert_eq!(s.stage, Stage::ClientHello);
+        assert_eq!(s.last_status, 0);
+        assert!(s.ca.is_none() && s.serial.is_none());
+    }
+
+    #[test]
+    fn non_ritm_client_hello_ignored() {
+        let mut f = fixture();
+        let out = f.ra.process(client_hello_segment(false), SimTime::from_secs(T0 + 2));
+        assert_eq!(out.len(), 1);
+        assert!(!f.ra.table.contains(&tuple()));
+    }
+
+    #[test]
+    fn server_flight_gets_status_injected() {
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        let flight = server_flight_segment(&f.ca, 500); // 500 not revoked
+        let before_len = flight.payload.len();
+        let out = f.ra.process(flight, SimTime::from_secs(T0 + 2));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].payload.len() > before_len, "status appended");
+        let payload = extract_status(&out[0]).expect("status record present");
+        assert_eq!(payload.statuses.len(), 1);
+        // The status validates for the presented serial.
+        let outcome = payload.statuses[0]
+            .validate(
+                &SerialNumber::from_u24(500),
+                &f.ca.verifying_key(),
+                10,
+                T0 + 2,
+            )
+            .unwrap();
+        assert!(!outcome.is_revoked());
+
+        // State advanced per Eq. (4).
+        let s = f.ra.table.get(&tuple()).unwrap();
+        assert_eq!(s.stage, Stage::ServerHello);
+        assert_eq!(s.ca, Some(f.ca.ca()));
+        assert_eq!(s.serial, Some(SerialNumber::from_u24(500)));
+        assert_eq!(s.last_status, T0 + 2);
+        assert!(s.translator.injected() > 0);
+    }
+
+    #[test]
+    fn revoked_serial_gets_presence_proof() {
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        let out = f.ra.process(
+            server_flight_segment(&f.ca, 105), // 105 IS revoked
+            SimTime::from_secs(T0 + 2),
+        );
+        let payload = extract_status(&out[0]).unwrap();
+        let outcome = payload.statuses[0]
+            .validate(
+                &SerialNumber::from_u24(105),
+                &f.ca.verifying_key(),
+                10,
+                T0 + 2,
+            )
+            .unwrap();
+        assert!(outcome.is_revoked(), "client learns the cert is revoked");
+    }
+
+    #[test]
+    fn untracked_flight_untouched() {
+        let mut f = fixture();
+        // No ClientHello seen: the RA must not touch the flight.
+        let flight = server_flight_segment(&f.ca, 500);
+        let out = f.ra.process(flight.clone(), SimTime::from_secs(T0 + 2));
+        assert_eq!(out, vec![flight]);
+    }
+
+    #[test]
+    fn unknown_ca_stays_silent() {
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        // Flight signed by a CA the RA does not mirror.
+        let mut rng = StdRng::seed_from_u64(99);
+        let other_ca = CaDictionary::new(
+            CaId::from_name("UnknownCA"),
+            SigningKey::from_seed([9u8; 32]),
+            10,
+            64,
+            &mut rng,
+            T0,
+        );
+        let cert = ritm_tls::certificate::Certificate::issue(
+            &SigningKey::from_seed([9u8; 32]),
+            other_ca.ca(),
+            SerialNumber::from_u24(1),
+            "x.com",
+            0,
+            u64::MAX,
+            SigningKey::from_seed([2u8; 32]).verifying_key(),
+            false,
+        );
+        let msgs = [
+            HandshakeMessage::ServerHello(ServerHello {
+                version: 0x0303,
+                random: [2u8; 32],
+                session_id: vec![],
+                cipher_suite: 0xc02f,
+                extensions: vec![],
+            }),
+            HandshakeMessage::Certificate(ritm_tls::certificate::CertificateChain(vec![cert])),
+        ];
+        let rec = TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&msgs));
+        let seg = TcpSegment::data(tuple(), Direction::ToClient, 0, 0, rec.to_bytes());
+        let out = f.ra.process(seg.clone(), SimTime::from_secs(T0 + 2));
+        assert!(extract_status(&out[0]).is_none(), "no status injected");
+    }
+
+    #[test]
+    fn periodic_refresh_after_delta() {
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        f.ra.process(server_flight_segment(&f.ca, 500), SimTime::from_secs(T0 + 2));
+        // Server Finished establishes the connection.
+        let fin = TlsRecord::new(
+            ContentType::Handshake,
+            HandshakeMessage::encode_all(&[HandshakeMessage::Finished([0u8; 12])]),
+        );
+        f.ra.process(
+            TcpSegment::data(tuple(), Direction::ToClient, 900, 0, fin.to_bytes()),
+            SimTime::from_secs(T0 + 3),
+        );
+        assert_eq!(f.ra.table.get(&tuple()).unwrap().stage, Stage::Established);
+
+        // Mirror must stay fresh for the refresh to carry a valid statement.
+        let msg = f.ca.refresh(&mut f.rng, T0 + 13);
+        f.ra.mirror_mut(&f.ca.ca())
+            .unwrap()
+            .apply_refresh(&msg, T0 + 13)
+            .unwrap();
+
+        // Data packet before Δ elapses: untouched.
+        let data = TlsRecord::new(ContentType::ApplicationData, vec![7; 100]);
+        let out = f.ra.process(
+            TcpSegment::data(tuple(), Direction::ToClient, 1000, 0, data.to_bytes()),
+            SimTime::from_secs(T0 + 5),
+        );
+        assert!(extract_status(&out[0]).is_none());
+
+        // Data packet after Δ: fresh status piggybacked.
+        let out = f.ra.process(
+            TcpSegment::data(tuple(), Direction::ToClient, 1200, 0, data.to_bytes()),
+            SimTime::from_secs(T0 + 13),
+        );
+        let payload = extract_status(&out[0]).expect("refresh status");
+        let outcome = payload.statuses[0]
+            .validate(
+                &SerialNumber::from_u24(500),
+                &f.ca.verifying_key(),
+                10,
+                T0 + 13,
+            )
+            .unwrap();
+        assert!(!outcome.is_revoked());
+        assert_eq!(f.ra.table.get(&tuple()).unwrap().last_status, T0 + 13);
+    }
+
+    #[test]
+    fn sequence_numbers_translated_after_injection() {
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        let out = f.ra.process(server_flight_segment(&f.ca, 500), SimTime::from_secs(T0 + 2));
+        let injected = f.ra.table.get(&tuple()).unwrap().translator.injected();
+        assert!(injected > 0);
+        assert_eq!(out[0].seq, 0, "first flight keeps its seq");
+
+        // Subsequent server→client segment: seq shifted up.
+        let data = TlsRecord::new(ContentType::ApplicationData, vec![1; 10]);
+        let seg = TcpSegment::data(tuple(), Direction::ToClient, 5000, 42, data.to_bytes());
+        let out = f.ra.process(seg, SimTime::from_secs(T0 + 3));
+        assert_eq!(out[0].seq, 5000 + injected);
+
+        // Client→server ack: shifted down.
+        let ack = TcpSegment::data(tuple(), Direction::ToServer, 42, 6000 + injected, vec![]);
+        let out = f.ra.process(ack, SimTime::from_secs(T0 + 3));
+        assert_eq!(out[0].ack, 6000);
+    }
+
+    #[test]
+    fn fin_removes_state() {
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        assert!(f.ra.table.contains(&tuple()));
+        let mut fin = TcpSegment::data(tuple(), Direction::ToServer, 1, 1, vec![]);
+        fin.flags = TcpFlags { fin: true, ..Default::default() };
+        f.ra.process(fin, SimTime::from_secs(T0 + 4));
+        assert!(!f.ra.table.contains(&tuple()));
+    }
+
+    #[test]
+    fn non_tls_fast_path_counts() {
+        let mut f = fixture();
+        let seg = TcpSegment::data(tuple(), Direction::ToServer, 0, 0, b"plain http".to_vec());
+        let out = f.ra.process(seg.clone(), SimTime::from_secs(T0));
+        assert_eq!(out, vec![seg]);
+        assert_eq!(f.ra.stats.non_tls_packets, 1);
+        assert_eq!(f.ra.stats.tls_packets, 0);
+    }
+
+    #[test]
+    fn second_ra_leaves_fresher_status_alone() {
+        // Two RAs on the path: the downstream one must not duplicate or
+        // clobber an equally-fresh status (§VIII "Multiple RAs").
+        let mut f = fixture();
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        let out = f.ra.process(server_flight_segment(&f.ca, 500), SimTime::from_secs(T0 + 2));
+
+        // Build a second RA mirroring the same CA at the same version.
+        let mut ra2 = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        // Bootstrap ra2 from scratch: genesis + replay.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut ca2 = CaDictionary::new(
+            CaId::from_name("CA1x"),
+            SigningKey::from_seed([1u8; 32]),
+            10,
+            64,
+            &mut rng,
+            T0,
+        );
+        let _ = &mut ca2;
+        ra2.follow_ca(f.ca.ca(), f.ca.verifying_key(), f.ca.issuance_since(0).signed_root)
+            .err(); // genesis of non-empty dict fails; instead reuse f's mirror
+        let mirror = f.ra.mirror(&f.ca.ca()).unwrap().clone();
+        ra2.mirrors.insert(f.ca.ca(), mirror);
+        ra2.table.insert(tuple());
+        ra2.table.update(&tuple(), |s| {
+            s.ca = Some(f.ca.ca());
+            s.serial = Some(SerialNumber::from_u24(500));
+            s.stage = Stage::ServerHello;
+        });
+
+        let before = out[0].payload.len();
+        let out2 = ra2.process(out[0].clone(), SimTime::from_secs(T0 + 2));
+        assert_eq!(out2[0].payload.len(), before, "no double injection");
+        assert_eq!(ra2.stats.statuses_left_in_place, 1);
+        assert_eq!(ra2.stats.statuses_sent, 0);
+    }
+
+    #[test]
+    fn stale_status_replaced_by_fresher_ra() {
+        // Upstream RA has an outdated dictionary; downstream RA replaces the
+        // status with its fresher one.
+        let mut f = fixture();
+        // Stale mirror snapshot (version 10 revocations).
+        let stale_mirror = f.ra.mirror(&f.ca.ca()).unwrap().clone();
+
+        // CA revokes one more; f.ra catches up, becoming "fresher".
+        let iss = f
+            .ca
+            .insert(&[SerialNumber::from_u24(999)], &mut f.rng, T0 + 3)
+            .unwrap();
+        f.ra.mirror_mut(&f.ca.ca())
+            .unwrap()
+            .apply_issuance(&iss, T0 + 3)
+            .unwrap();
+
+        // Upstream (stale) RA injects first.
+        let mut stale_ra = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        stale_ra.mirrors.insert(f.ca.ca(), stale_mirror);
+        stale_ra.table.insert(tuple());
+        let flight = server_flight_segment(&f.ca, 999);
+        let out = stale_ra.process(flight, SimTime::from_secs(T0 + 4));
+        let stale_payload = extract_status(&out[0]).unwrap();
+        assert_eq!(stale_payload.statuses[0].signed_root.size, 10);
+
+        // Downstream (fresh) RA replaces it.
+        f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 4));
+        f.ra.table.update(&tuple(), |s| {
+            s.ca = Some(f.ca.ca());
+            s.serial = Some(SerialNumber::from_u24(999));
+        });
+        let out2 = f.ra.process(out[0].clone(), SimTime::from_secs(T0 + 4));
+        let fresh_payload = extract_status(&out2[0]).unwrap();
+        assert_eq!(fresh_payload.statuses[0].signed_root.size, 11);
+        assert_eq!(f.ra.stats.statuses_replaced, 1);
+        // And the fresh status proves 999 revoked.
+        let outcome = fresh_payload.statuses[0]
+            .validate(
+                &SerialNumber::from_u24(999),
+                &f.ca.verifying_key(),
+                10,
+                T0 + 4,
+            )
+            .unwrap();
+        assert!(outcome.is_revoked());
+    }
+
+    #[test]
+    fn status_payload_round_trip() {
+        let f = fixture();
+        let payload = f
+            .ra
+            .build_status(&[(f.ca.ca(), SerialNumber::from_u24(105))])
+            .unwrap();
+        let back = StatusPayload::from_bytes(&payload.to_bytes()).unwrap();
+        assert_eq!(back, payload);
+    }
+}

@@ -1,0 +1,198 @@
+//! The RA's per-connection state table — Eq. (4) of the paper:
+//!
+//! ```text
+//! sIP, dIP, sPort, dPort, lastStatus, stage, CA, SN
+//! ```
+//!
+//! plus the sequence-number translator required once the RA starts injecting
+//! bytes (§VIII). The table is concurrent ([`parking_lot::RwLock`]) because
+//! a production RA processes packets on multiple cores; throughput of the
+//! lookup path is part of the Table III / §VII-D numbers.
+
+use parking_lot::RwLock;
+use ritm_dictionary::{CaId, SerialNumber};
+use ritm_net::tcp::{FourTuple, SeqTranslator};
+use std::collections::HashMap;
+
+/// The `stage` field of Eq. (4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// ClientHello seen, awaiting ServerHello.
+    ClientHello,
+    /// ServerHello (and certificate) seen, awaiting Finished.
+    ServerHello,
+    /// Connection established; periodic refresh applies.
+    Established,
+}
+
+/// Per-connection RA state.
+#[derive(Debug, Clone)]
+pub struct ConnState {
+    /// The connection 4-tuple.
+    pub tuple: FourTuple,
+    /// `lastStatus`: time (Unix seconds) the last revocation status was sent
+    /// to the client; 0 before the first one.
+    pub last_status: u64,
+    /// Handshake progress.
+    pub stage: Stage,
+    /// Issuing CA of the server certificate, once seen.
+    pub ca: Option<CaId>,
+    /// Serial number of the server certificate, once seen.
+    pub serial: Option<SerialNumber>,
+    /// Sequence translation for injected bytes.
+    pub translator: SeqTranslator,
+}
+
+impl ConnState {
+    /// Fresh state at ClientHello time (Eq. 4 with `lastStatus = 0`,
+    /// `CA = ∅`, `SN = ∅`).
+    pub fn new(tuple: FourTuple) -> Self {
+        ConnState {
+            tuple,
+            last_status: 0,
+            stage: Stage::ClientHello,
+            ca: None,
+            serial: None,
+            translator: SeqTranslator::new(),
+        }
+    }
+}
+
+/// The concurrent connection table.
+#[derive(Debug, Default)]
+pub struct StateTable {
+    map: RwLock<HashMap<FourTuple, ConnState>>,
+}
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StateTable::default()
+    }
+
+    /// Inserts fresh state for a new RITM-supported connection.
+    pub fn insert(&self, tuple: FourTuple) {
+        self.map.write().insert(tuple, ConnState::new(tuple));
+    }
+
+    /// Snapshot of one connection's state.
+    pub fn get(&self, tuple: &FourTuple) -> Option<ConnState> {
+        self.map.read().get(tuple).cloned()
+    }
+
+    /// `true` if the connection is tracked — the per-packet fast path.
+    pub fn contains(&self, tuple: &FourTuple) -> bool {
+        self.map.read().contains_key(tuple)
+    }
+
+    /// Applies `f` to the state of `tuple`, if tracked.
+    pub fn update<T>(&self, tuple: &FourTuple, f: impl FnOnce(&mut ConnState) -> T) -> Option<T> {
+        self.map.write().get_mut(tuple).map(f)
+    }
+
+    /// Drops state when a connection finishes or times out (§III step 7:
+    /// "Whenever a supported connection is finished or timed out, the RA
+    /// removes the corresponding state").
+    pub fn remove(&self, tuple: &FourTuple) -> Option<ConnState> {
+        self.map.write().remove(tuple)
+    }
+
+    /// Number of tracked connections.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// `true` when no connection is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Removes every connection whose `last_status` is older than
+    /// `cutoff_secs` (idle timeout), returning how many were evicted.
+    pub fn evict_idle(&self, cutoff_secs: u64) -> usize {
+        let mut map = self.map.write();
+        let before = map.len();
+        map.retain(|_, s| s.last_status >= cutoff_secs || s.last_status == 0);
+        before - map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ritm_net::tcp::SocketAddr;
+
+    fn tuple(n: u16) -> FourTuple {
+        FourTuple {
+            client: SocketAddr::new(1, n),
+            server: SocketAddr::new(2, 443),
+        }
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let t = StateTable::new();
+        t.insert(tuple(1));
+        assert!(t.contains(&tuple(1)));
+        assert_eq!(t.get(&tuple(1)).unwrap().stage, Stage::ClientHello);
+
+        t.update(&tuple(1), |s| {
+            s.stage = Stage::ServerHello;
+            s.ca = Some(CaId::from_name("CA1"));
+            s.serial = Some(SerialNumber::from_u24(0x073e10));
+            s.last_status = 141_012;
+        });
+        let s = t.get(&tuple(1)).unwrap();
+        assert_eq!(s.stage, Stage::ServerHello);
+        assert_eq!(s.last_status, 141_012);
+
+        assert!(t.remove(&tuple(1)).is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unknown_tuple_is_none() {
+        let t = StateTable::new();
+        assert!(t.get(&tuple(9)).is_none());
+        assert!(t.update(&tuple(9), |_| ()).is_none());
+        assert!(t.remove(&tuple(9)).is_none());
+    }
+
+    #[test]
+    fn eviction_keeps_fresh_and_new() {
+        let t = StateTable::new();
+        for i in 0..4 {
+            t.insert(tuple(i));
+        }
+        t.update(&tuple(0), |s| s.last_status = 100); // stale
+        t.update(&tuple(1), |s| s.last_status = 900); // fresh
+        // tuple(2), tuple(3) still at 0 (handshake in progress) — keep.
+        let evicted = t.evict_idle(500);
+        assert_eq!(evicted, 1);
+        assert!(!t.contains(&tuple(0)));
+        assert!(t.contains(&tuple(1)));
+        assert!(t.contains(&tuple(2)));
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let table = Arc::new(StateTable::new());
+        let mut handles = Vec::new();
+        for thread in 0..4u16 {
+            let t = Arc::clone(&table);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u16 {
+                    let tup = tuple(thread * 100 + i);
+                    t.insert(tup);
+                    t.update(&tup, |s| s.last_status = 1);
+                    assert!(t.contains(&tup));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(table.len(), 400);
+    }
+}

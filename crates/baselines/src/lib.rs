@@ -1,0 +1,15 @@
+//! # ritm-baselines — the revocation schemes RITM is compared against
+//!
+//! * [`model`] — the Table IV analytic comparison (storage/connection
+//!   formulas and the violated-property matrix, assuming full deployment);
+//! * [`simulate`] — behavioural parameters: attack windows, per-handshake
+//!   costs, coverage, privacy leakage, and dissemination capacity (e.g.
+//!   RevCast's 421.8 bit/s broadcast).
+
+pub mod model;
+pub mod simulate;
+
+pub use model::{Deployment, Overhead, Properties, Scheme, ALL_SCHEMES};
+pub use simulate::{
+    default_params, revcast_dissemination_secs, ritm_dissemination_secs, SchemeParams,
+};

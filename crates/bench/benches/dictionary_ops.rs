@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the authenticated dictionary itself: insert and
+//! update scaling (§VII-D) plus an ablation over dictionary size showing the
+//! logarithmic proof cost that Table III relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm_crypto::SigningKey;
+use ritm_dictionary::{CaDictionary, CaId, MirrorDictionary, SerialNumber};
+use std::hint::black_box;
+
+const T0: u64 = 1_397_000_000;
+
+fn built_pair(n: u32) -> (CaDictionary, MirrorDictionary) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ca = CaDictionary::new(
+        CaId::from_name("DictBench"),
+        SigningKey::from_seed([1u8; 32]),
+        10,
+        1 << 8,
+        &mut rng,
+        T0,
+    );
+    let genesis = *ca.signed_root();
+    let serials: Vec<SerialNumber> = (0..n).map(|i| SerialNumber::from_u24(i * 2)).collect();
+    let iss = ca.insert(&serials, &mut rng, T0 + 1).expect("insert");
+    let mut mirror = MirrorDictionary::new(ca.ca(), ca.verifying_key(), genesis).unwrap();
+    mirror.set_delta(10);
+    mirror.apply_issuance(&iss, T0 + 1).unwrap();
+    (ca, mirror)
+}
+
+fn bench_insert_1000(c: &mut Criterion) {
+    // §VII-D: "to insert 1,000 new revocations ... 2.93 ms on average" —
+    // against the average-size (5,440-entry) dictionary.
+    c.bench_function("ca_insert_1000_into_avg_dict", |b| {
+        b.iter_batched(
+            || {
+                let (ca, _) = built_pair(5_440);
+                let batch: Vec<SerialNumber> =
+                    (0..1_000u32).map(|i| SerialNumber::from_u24(0x800000 + i)).collect();
+                (ca, batch, StdRng::seed_from_u64(9))
+            },
+            |(mut ca, batch, mut rng)| {
+                black_box(ca.insert(&batch, &mut rng, T0 + 2));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("ra_update_1000_into_avg_dict", |b| {
+        b.iter_batched(
+            || {
+                let (mut ca, mirror) = built_pair(5_440);
+                let batch: Vec<SerialNumber> =
+                    (0..1_000u32).map(|i| SerialNumber::from_u24(0x800000 + i)).collect();
+                let mut rng = StdRng::seed_from_u64(9);
+                let iss = ca.insert(&batch, &mut rng, T0 + 2).expect("insert");
+                (mirror, iss)
+            },
+            |(mut mirror, iss)| {
+                mirror.apply_issuance(&iss, T0 + 2).expect("update");
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_prove_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prove_vs_dict_size");
+    for n in [1_000u32, 10_000, 100_000, 339_557] {
+        let (_, mirror) = built_pair(n);
+        let query = SerialNumber::from_u24(0x700001); // absent (odd serial)
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(mirror.prove(black_box(&query))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_status_validation(c: &mut Criterion) {
+    let (ca, mirror) = built_pair(100_000);
+    let query = SerialNumber::from_u24(0x700001);
+    let status = mirror.prove(&query);
+    let key = ca.verifying_key();
+    c.bench_function("client_full_status_validation_100k", |b| {
+        b.iter(|| status.validate(&query, &key, 10, T0 + 2).expect("valid"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_insert_1000, bench_prove_scaling, bench_status_validation
+}
+criterion_main!(benches);

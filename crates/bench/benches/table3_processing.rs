@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks for the Table III operations: DPI
+//! classification, certificate parsing, proof construction, and client-side
+//! validation. The `table3_processing` binary prints the paper-style
+//! max/min/avg table; this harness gives statistically robust timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm_crypto::SigningKey;
+use ritm_dictionary::{CaDictionary, CaId, MirrorDictionary, SerialNumber};
+use ritm_tls::certificate::{Certificate, CertificateChain};
+use ritm_tls::extensions::Extension;
+use ritm_tls::handshake::{ClientHello, HandshakeMessage, ServerHello};
+use ritm_tls::record::{ContentType, TlsRecord};
+use std::hint::black_box;
+
+const T0: u64 = 1_397_000_000;
+const DELTA: u64 = 10;
+
+struct Fixture {
+    mirror: MirrorDictionary,
+    ca_key: ritm_crypto::ed25519::VerifyingKey,
+    app_record: Vec<u8>,
+    http: Vec<u8>,
+    client_hello: Vec<u8>,
+    flight: Vec<u8>,
+    query: SerialNumber,
+}
+
+fn fixture(dict_size: u32) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ca_key = SigningKey::from_seed([1u8; 32]);
+    let mut ca = CaDictionary::new(
+        CaId::from_name("BenchCA"),
+        ca_key.clone(),
+        DELTA,
+        1 << 8,
+        &mut rng,
+        T0,
+    );
+    let genesis = *ca.signed_root();
+    let serials: Vec<SerialNumber> = (0..dict_size).map(SerialNumber::from_u24).collect();
+    let iss = ca.insert(&serials, &mut rng, T0 + 1).expect("insert");
+    let mut mirror = MirrorDictionary::new(ca.ca(), ca.verifying_key(), genesis).unwrap();
+    mirror.set_delta(DELTA);
+    mirror.apply_issuance(&iss, T0 + 1).unwrap();
+
+    let server_key = SigningKey::from_seed([2u8; 32]);
+    let cert = Certificate::issue(
+        &ca_key,
+        ca.ca(),
+        SerialNumber::from_u24(0x900000),
+        "example.com",
+        T0 - 100,
+        T0 + 1_000_000,
+        server_key.verifying_key(),
+        false,
+    );
+    Fixture {
+        ca_key: ca.verifying_key(),
+        mirror,
+        app_record: TlsRecord::new(ContentType::ApplicationData, vec![0x17; 1_200]).to_bytes(),
+        http: b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n".to_vec(),
+        client_hello: TlsRecord::new(
+            ContentType::Handshake,
+            HandshakeMessage::encode_all(&[HandshakeMessage::ClientHello(ClientHello {
+                version: 0x0303,
+                random: [1u8; 32],
+                session_id: vec![],
+                cipher_suites: vec![0xc02f],
+                extensions: vec![Extension::ritm_request()],
+            })]),
+        )
+        .to_bytes(),
+        flight: TlsRecord::new(
+            ContentType::Handshake,
+            HandshakeMessage::encode_all(&[
+                HandshakeMessage::ServerHello(ServerHello {
+                    version: 0x0303,
+                    random: [2u8; 32],
+                    session_id: vec![3; 32],
+                    cipher_suite: 0xc02f,
+                    extensions: vec![],
+                }),
+                HandshakeMessage::Certificate(CertificateChain(vec![cert])),
+                HandshakeMessage::ServerHelloDone,
+            ]),
+        )
+        .to_bytes(),
+        query: SerialNumber::from_u24(0xabcdef),
+    }
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let f = fixture(339_557);
+    let mut g = c.benchmark_group("table3");
+
+    g.bench_function("ra_tls_detection_app_data", |b| {
+        b.iter(|| black_box(ritm_agent::dpi::classify(black_box(&f.app_record))))
+    });
+    g.bench_function("ra_tls_detection_non_tls", |b| {
+        b.iter(|| black_box(ritm_agent::dpi::classify(black_box(&f.http))))
+    });
+    g.bench_function("ra_client_hello_parse", |b| {
+        b.iter(|| black_box(ritm_agent::dpi::classify(black_box(&f.client_hello))))
+    });
+    g.bench_function("ra_certificate_parse", |b| {
+        b.iter(|| black_box(ritm_agent::dpi::classify(black_box(&f.flight))))
+    });
+    g.bench_function("ra_proof_construction_339k", |b| {
+        b.iter(|| black_box(f.mirror.prove(black_box(&f.query))))
+    });
+
+    let status = f.mirror.prove(&f.query);
+    g.bench_function("client_proof_validation", |b| {
+        b.iter(|| {
+            status
+                .proof
+                .verify(&f.query, &status.signed_root.root, status.signed_root.size)
+                .expect("valid")
+        })
+    });
+    g.bench_function("client_sig_freshness_validation", |b| {
+        b.iter(|| {
+            status.signed_root.verify(&f.ca_key).expect("valid");
+            status
+                .freshness
+                .verify(&status.signed_root, DELTA, T0 + 2)
+                .expect("fresh")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! §V extension experiment ("More powerful adversaries"): how quickly does
+//! random gossip of signed roots expose an equivocating CA?
+//!
+//! N parties each hold one of the two forked views (a fraction `p` sees the
+//! hiding view). Every round, each party cross-checks its latest root with
+//! one uniformly random peer. The fork is detected as soon as any pair of
+//! parties with different views compare roots. We report the measured
+//! detection probability after k rounds, which the paper's gossip
+//! discussion (reference 13, Chuat et al.) predicts to approach 1
+//! exponentially.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ritm_bench::print_table;
+use ritm_ca::{EquivocatingCa, View};
+use ritm_crypto::SigningKey;
+use ritm_dictionary::consistency::{Observation, RootObservatory};
+use ritm_dictionary::SerialNumber;
+
+const PARTIES: usize = 100;
+const TRIALS: usize = 200;
+const MAX_ROUNDS: usize = 8;
+
+/// Fraction of parties that gossip in any given round (gossip is periodic
+/// and unsynchronized, so only some parties exchange roots each round).
+const GOSSIP_RATE: f64 = 0.05;
+
+#[allow(clippy::needless_range_loop)] // index used against two arrays at once
+fn trial(rng: &mut StdRng, ca: &EquivocatingCa, hiding_fraction: f64) -> Option<usize> {
+    // Assign views; the CA targets at least one victim (otherwise there is
+    // no fork to detect).
+    let mut views: Vec<View> = (0..PARTIES)
+        .map(|_| {
+            if rng.gen::<f64>() < hiding_fraction {
+                View::Hiding
+            } else {
+                View::Honest
+            }
+        })
+        .collect();
+    views[0] = View::Hiding;
+    // One shared observatory per party would be realistic; detection only
+    // needs any single party to observe both roots, so give each party its
+    // own observatory seeded with its local view.
+    let mut observatories: Vec<RootObservatory> = views
+        .iter()
+        .map(|v| {
+            let mut o = RootObservatory::new();
+            o.register_ca(ca.ca(), ca.verifying_key());
+            o.observe(ca.signed_root(*v));
+            o
+        })
+        .collect();
+    for round in 1..=MAX_ROUNDS {
+        for i in 0..PARTIES {
+            if rng.gen::<f64>() > GOSSIP_RATE {
+                continue;
+            }
+            let peer = rng.gen_range(0..PARTIES);
+            if peer == i {
+                continue;
+            }
+            let peer_root = ca.signed_root(views[peer]);
+            if let Observation::Equivocation(_) = observatories[i].observe(peer_root) {
+                return Some(round);
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::needless_range_loop)]
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2016);
+    let cover: Vec<SerialNumber> = (1..8u32).map(SerialNumber::from_u24).collect();
+    let ca = EquivocatingCa::new(
+        "GossipCA",
+        SigningKey::from_seed([8u8; 32]),
+        10,
+        1 << 8,
+        SerialNumber::from_u24(0xdead),
+        &cover,
+        SerialNumber::from_u24(0xbeef),
+        &mut rng,
+        1_397_000_000,
+    );
+
+    println!(
+        "Gossip fork detection: {PARTIES} parties, {TRIALS} trials, each party \
+         gossips with one random peer with probability {GOSSIP_RATE} per round"
+    );
+    println!();
+    let mut rows = Vec::new();
+    for hiding_fraction in [0.01, 0.05, 0.2, 0.5] {
+        let mut detected_by_round = [0usize; MAX_ROUNDS + 1];
+        for _ in 0..TRIALS {
+            if let Some(round) = trial(&mut rng, &ca, hiding_fraction) {
+                for r in round..=MAX_ROUNDS {
+                    detected_by_round[r] += 1;
+                }
+            }
+        }
+        let mut row = vec![format!("{:.0}%", hiding_fraction * 100.0)];
+        for r in 1..=MAX_ROUNDS {
+            row.push(format!("{:.2}", detected_by_round[r] as f64 / TRIALS as f64));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["victims", "round 1", "round 2", "round 3", "round 4", "round 5", "round 6", "round 7", "round 8"],
+        &rows,
+    );
+    println!();
+    println!("even sparse gossip exposes a CA that forges the view of 1% of parties");
+    println!("within a handful of rounds; at any sizeable victim population, one or two");
+    println!("rounds suffice — maintaining a fork is untenable (§V).");
+}

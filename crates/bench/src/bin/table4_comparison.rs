@@ -1,0 +1,55 @@
+//! Table IV: comparison of revocation mechanisms in terms of storage,
+//! connections, and achieved properties, at full deployment and paper
+//! scale (`ns, nca, nra, ncl, nrev` from §VII).
+
+use ritm_baselines::{Deployment, ALL_SCHEMES};
+use ritm_bench::print_table;
+
+fn fmt_u128(v: u128) -> String {
+    if v >= 1_000_000_000_000 {
+        format!("{:.1}e12", v as f64 / 1e12)
+    } else if v >= 1_000_000 {
+        format!("{:.1}e6", v as f64 / 1e6)
+    } else {
+        v.to_string()
+    }
+}
+
+fn main() {
+    let d = Deployment::paper_scale();
+    println!(
+        "Table IV: revocation-mechanism comparison at paper scale\n\
+         (servers={}, CAs={}, RAs={}, clients={}, revocations={})",
+        d.servers, d.cas, d.ras, d.clients, d.revocations
+    );
+    println!();
+    let rows: Vec<Vec<String>> = ALL_SCHEMES
+        .iter()
+        .map(|s| {
+            let o = s.overhead(&d);
+            vec![
+                s.name().to_string(),
+                fmt_u128(o.storage_global),
+                o.storage_client.to_string(),
+                fmt_u128(o.connections_global),
+                o.connections_client.to_string(),
+                s.properties().violated(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "method",
+            "storage (global)",
+            "storage (client)",
+            "conn (global)",
+            "conn (client)",
+            "violated",
+        ],
+        &rows,
+    );
+    println!();
+    println!("units: revocation entries (storage) / connections; formulas as in the paper");
+    println!("I: near-instant  P: privacy  E: efficiency/scalability");
+    println!("S: server changes not required  T: transparency/accountability");
+}

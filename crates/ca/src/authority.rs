@@ -1,0 +1,328 @@
+//! The certification authority: issues certificates, revokes them into its
+//! authenticated dictionary, and keeps the dictionary fresh through the CDN.
+
+use crate::manifest::Manifest;
+use ritm_cdn::network::Cdn;
+use ritm_cdn::origin::PublishError;
+use ritm_crypto::ed25519::{SigningKey, VerifyingKey};
+use ritm_dictionary::{CaDictionary, CaId, RefreshMessage, RevocationIssuance, SerialNumber};
+use ritm_tls::certificate::Certificate;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Errors from CA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaError {
+    /// A certificate with this serial was already issued.
+    DuplicateSerial(SerialNumber),
+    /// The serial is unknown to this CA.
+    UnknownSerial(SerialNumber),
+    /// The CDN refused the publish.
+    Publish(PublishError),
+}
+
+impl core::fmt::Display for CaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CaError::DuplicateSerial(s) => write!(f, "serial {s} already issued"),
+            CaError::UnknownSerial(s) => write!(f, "serial {s} was not issued by this CA"),
+            CaError::Publish(e) => write!(f, "distribution point rejected publish: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaError {}
+
+impl From<PublishError> for CaError {
+    fn from(e: PublishError) -> Self {
+        CaError::Publish(e)
+    }
+}
+
+/// A certification authority participating in RITM.
+///
+/// Owns the signing key, the issued-certificate registry, and the
+/// authenticated dictionary; pushes every dictionary change to the CDN
+/// origin.
+pub struct CertificationAuthority {
+    name: String,
+    id: CaId,
+    key: SigningKey,
+    dictionary: CaDictionary,
+    issued: HashMap<SerialNumber, Certificate>,
+    next_serial: u32,
+    delta: u64,
+}
+
+impl core::fmt::Debug for CertificationAuthority {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CertificationAuthority")
+            .field("name", &self.name)
+            .field("id", &self.id)
+            .field("issued", &self.issued.len())
+            .field("revoked", &self.dictionary.len())
+            .finish()
+    }
+}
+
+impl CertificationAuthority {
+    /// Creates a CA with a fresh dictionary and registers it with the CDN
+    /// origin (publishing its bootstrap manifest, §VIII).
+    pub fn new<R: RngCore + ?Sized>(
+        name: &str,
+        key: SigningKey,
+        delta: u64,
+        chain_len: u64,
+        cdn: &mut Cdn,
+        rng: &mut R,
+        now: u64,
+    ) -> Self {
+        let id = CaId::from_name(name);
+        let dictionary = CaDictionary::new(id, key.clone(), delta, chain_len, rng, now);
+        cdn.origin.register_ca(id, key.verifying_key());
+        let manifest = Manifest {
+            ca_name: name.to_owned(),
+            ca: id,
+            delta,
+            cdn_address: format!("cdn.example/{id}"),
+        };
+        cdn.origin
+            .publish_manifest(id, manifest.to_json_signed(&key).into_bytes());
+        CertificationAuthority {
+            name: name.to_owned(),
+            id,
+            key,
+            dictionary,
+            issued: HashMap::new(),
+            next_serial: 1,
+            delta,
+        }
+    }
+
+    /// The CA's identifier.
+    pub fn id(&self) -> CaId {
+        self.id
+    }
+
+    /// The CA's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The CA's public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// The dissemination period Δ (possibly CA-local, §VIII).
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Read access to the dictionary (e.g. for bootstrap signed roots).
+    pub fn dictionary(&self) -> &CaDictionary {
+        &self.dictionary
+    }
+
+    /// Issues a server certificate with the next 3-byte serial (the
+    /// dominant size in the paper's dataset, §VII-A).
+    pub fn issue_certificate(
+        &mut self,
+        subject: &str,
+        subject_key: VerifyingKey,
+        not_before: u64,
+        not_after: u64,
+    ) -> Certificate {
+        let serial = SerialNumber::from_u24(self.next_serial);
+        self.next_serial += 1;
+        let cert = Certificate::issue(
+            &self.key,
+            self.id,
+            serial,
+            subject,
+            not_before,
+            not_after,
+            subject_key,
+            false,
+        );
+        self.issued.insert(serial, cert.clone());
+        cert
+    }
+
+    /// Revokes certificates by serial and publishes the issuance to the CDN
+    /// (Fig. 2 `insert` + dissemination step 1 of Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::UnknownSerial`] for serials this CA never issued;
+    /// [`CaError::Publish`] if the origin rejects the message.
+    pub fn revoke<R: RngCore + ?Sized>(
+        &mut self,
+        serials: &[SerialNumber],
+        cdn: &mut Cdn,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Option<RevocationIssuance>, CaError> {
+        for s in serials {
+            if !self.issued.contains_key(s) {
+                return Err(CaError::UnknownSerial(*s));
+            }
+        }
+        let Some(issuance) = self.dictionary.insert(serials, rng, now) else {
+            return Ok(None);
+        };
+        cdn.origin.publish_issuance(self.id, &issuance)?;
+        // Keep the freshness object in sync with the new chain.
+        if let Some(f) = self.dictionary.current_freshness(now) {
+            cdn.origin
+                .publish_refresh(self.id, &RefreshMessage::Freshness(f))?;
+        }
+        Ok(Some(issuance))
+    }
+
+    /// Periodic refresh (Fig. 2 `refresh`): publishes either the next
+    /// freshness statement or a rotated signed root.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Publish`] if the origin rejects the message.
+    pub fn refresh<R: RngCore + ?Sized>(
+        &mut self,
+        cdn: &mut Cdn,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<RefreshMessage, CaError> {
+        let msg = self.dictionary.refresh(rng, now);
+        cdn.origin.publish_refresh(self.id, &msg)?;
+        Ok(msg)
+    }
+
+    /// Whether a serial is currently revoked.
+    pub fn is_revoked(&self, serial: &SerialNumber) -> bool {
+        self.dictionary.contains(serial)
+    }
+
+    /// Number of revocations issued.
+    pub fn revocation_count(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Replays issuances for a desynchronized RA (sync protocol, §III).
+    pub fn issuance_since(&self, have: u64) -> RevocationIssuance {
+        self.dictionary.issuance_since(have)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_net::time::SimDuration;
+
+    fn setup() -> (CertificationAuthority, Cdn, StdRng) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cdn = Cdn::new(SimDuration::from_secs(10));
+        let ca = CertificationAuthority::new(
+            "AuthorityCA",
+            SigningKey::from_seed([4u8; 32]),
+            10,
+            1024,
+            &mut cdn,
+            &mut rng,
+            1_000,
+        );
+        (ca, cdn, rng)
+    }
+
+    #[test]
+    fn issue_then_revoke_round_trip() {
+        let (mut ca, mut cdn, mut rng) = setup();
+        let subject_key = SigningKey::from_seed([7u8; 32]).verifying_key();
+        let cert = ca.issue_certificate("example.com", subject_key, 500, 2_000_000);
+        assert!(!ca.is_revoked(&cert.serial));
+
+        let iss = ca
+            .revoke(&[cert.serial], &mut cdn, &mut rng, 1_001)
+            .unwrap()
+            .unwrap();
+        assert!(ca.is_revoked(&cert.serial));
+        assert_eq!(iss.serials, vec![cert.serial]);
+
+        // The issuance is fetchable from the CDN.
+        use ritm_cdn::origin::ContentKey;
+        assert!(cdn
+            .origin
+            .fetch(&ContentKey::Latest { ca: ca.id() })
+            .is_some());
+    }
+
+    #[test]
+    fn revoking_unknown_serial_fails() {
+        let (mut ca, mut cdn, mut rng) = setup();
+        let err = ca
+            .revoke(&[SerialNumber::from_u24(999)], &mut cdn, &mut rng, 1_001)
+            .unwrap_err();
+        assert!(matches!(err, CaError::UnknownSerial(_)));
+    }
+
+    #[test]
+    fn double_revocation_is_noop() {
+        let (mut ca, mut cdn, mut rng) = setup();
+        let k = SigningKey::from_seed([7u8; 32]).verifying_key();
+        let cert = ca.issue_certificate("a.com", k, 500, 2_000_000);
+        ca.revoke(&[cert.serial], &mut cdn, &mut rng, 1_001).unwrap();
+        let second = ca.revoke(&[cert.serial], &mut cdn, &mut rng, 1_002).unwrap();
+        assert!(second.is_none());
+        assert_eq!(ca.revocation_count(), 1);
+    }
+
+    #[test]
+    fn serials_are_unique_and_sequential() {
+        let (mut ca, _, _) = setup();
+        let k = SigningKey::from_seed([7u8; 32]).verifying_key();
+        let c1 = ca.issue_certificate("a.com", k, 0, 10);
+        let c2 = ca.issue_certificate("b.com", k, 0, 10);
+        assert_ne!(c1.serial, c2.serial);
+        assert_eq!(c1.serial, SerialNumber::from_u24(1));
+        assert_eq!(c2.serial, SerialNumber::from_u24(2));
+    }
+
+    #[test]
+    fn refresh_publishes_to_cdn() {
+        let (mut ca, mut cdn, mut rng) = setup();
+        let msg = ca.refresh(&mut cdn, &mut rng, 1_050).unwrap();
+        assert!(matches!(msg, RefreshMessage::Freshness(_)));
+        use ritm_cdn::origin::ContentKey;
+        assert!(cdn
+            .origin
+            .fetch(&ContentKey::Freshness { ca: ca.id() })
+            .is_some());
+    }
+
+    #[test]
+    fn manifest_is_published_at_creation() {
+        let (ca, cdn, _) = setup();
+        use ritm_cdn::origin::ContentKey;
+        let raw = cdn
+            .origin
+            .fetch(&ContentKey::Manifest { ca: ca.id() })
+            .expect("manifest published");
+        let manifest = Manifest::from_json_signed(
+            std::str::from_utf8(raw).unwrap(),
+            &ca.verifying_key(),
+        )
+        .expect("manifest verifies");
+        assert_eq!(manifest.delta, 10);
+        assert_eq!(manifest.ca, ca.id());
+    }
+
+    #[test]
+    fn certificates_validate_against_ca_key() {
+        let (mut ca, _, _) = setup();
+        let k = SigningKey::from_seed([7u8; 32]).verifying_key();
+        let cert = ca.issue_certificate("site.org", k, 100, 10_000);
+        assert!(cert.verify(&ca.verifying_key(), 5_000).is_ok());
+        assert!(cert.verify(&ca.verifying_key(), 20_000).is_err());
+    }
+}

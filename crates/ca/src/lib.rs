@@ -1,0 +1,16 @@
+//! # ritm-ca — certification authorities for RITM
+//!
+//! * [`authority`] — an end-to-end CA: issues certificates (`ritm-tls`),
+//!   revokes into its authenticated dictionary (`ritm-dictionary`), and
+//!   publishes every change to the CDN origin (`ritm-cdn`);
+//! * [`manifest`] — the signed `/RITM.json` bootstrap manifest (§VIII);
+//! * [`misbehavior`] — an equivocating CA used by the §V attack
+//!   experiments.
+
+pub mod authority;
+pub mod manifest;
+pub mod misbehavior;
+
+pub use authority::{CaError, CertificationAuthority};
+pub use manifest::{Manifest, ManifestError};
+pub use misbehavior::{EquivocatingCa, View};

@@ -1,0 +1,13 @@
+//! # ritm-client — the RITM-supported TLS client (paper §III, §IV)
+//!
+//! * [`validator`] — the step-5 acceptance policy: standard validation +
+//!   absence proof + freshness ≤ 2Δ;
+//! * [`client`] — a TLS client that requests RITM protection, validates
+//!   every piggybacked status, interrupts on revocation or staleness (even
+//!   mid-connection), and implements the §IV downgrade-protection modes.
+
+pub mod client;
+pub mod validator;
+
+pub use client::{AbortReason, DowngradePolicy, RitmClient, RitmClientConfig, RitmEvent};
+pub use validator::{validate_payload, ValidationError, Verdict};

@@ -1,0 +1,218 @@
+//! Client-side revocation-status validation — §III step 5 of the paper.
+//!
+//! The server's certificate is accepted only when (a) it passes standard
+//! chain validation (done by `ritm-tls`), (b) the revocation status carries
+//! a valid *absence* proof against a validly-signed root, and (c) the
+//! freshness statement is no older than 2Δ.
+
+use ritm_agent::StatusPayload;
+use ritm_crypto::ed25519::VerifyingKey;
+use ritm_dictionary::{CaId, SerialNumber, StatusError};
+use std::collections::HashMap;
+
+/// The verdict from validating a status payload against a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every certificate of the chain has a fresh absence proof.
+    AllValid,
+    /// Some certificate is revoked — the connection must be aborted.
+    Revoked {
+        /// The revoked certificate's serial.
+        serial: SerialNumber,
+        /// Its revocation number at the CA.
+        number: u64,
+    },
+}
+
+/// Why a status payload was rejected (distinct from a *revoked* verdict:
+/// rejection means the payload proves nothing either way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Payload covers a different number of certificates than expected.
+    ChainLengthMismatch {
+        /// Statuses in the payload.
+        got: usize,
+        /// Certificates expected.
+        expected: usize,
+    },
+    /// No pinned key for the CA named in a status.
+    UnknownCa(CaId),
+    /// A status referenced the wrong CA for its chain position.
+    CaMismatch,
+    /// The underlying status failed (bad signature / proof / freshness).
+    Status(StatusError),
+}
+
+impl core::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidationError::ChainLengthMismatch { got, expected } => {
+                write!(f, "payload has {got} statuses for {expected} certificates")
+            }
+            ValidationError::UnknownCa(ca) => write!(f, "no pinned key for CA {ca}"),
+            ValidationError::CaMismatch => f.write_str("status CA does not match certificate issuer"),
+            ValidationError::Status(e) => write!(f, "status invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a status payload for a certificate chain (leaf first).
+///
+/// A payload may cover only the leaf (the default RA behaviour) or the whole
+/// chain (§VIII); it must be a prefix of the chain either way.
+///
+/// # Errors
+///
+/// Returns [`ValidationError`] when the payload proves nothing; a
+/// *successful* return may still carry the [`Verdict::Revoked`] verdict.
+pub fn validate_payload(
+    payload: &StatusPayload,
+    chain: &[(CaId, SerialNumber)],
+    ca_keys: &HashMap<CaId, VerifyingKey>,
+    delta: u64,
+    now: u64,
+) -> Result<Verdict, ValidationError> {
+    if payload.statuses.is_empty() || payload.statuses.len() > chain.len() {
+        return Err(ValidationError::ChainLengthMismatch {
+            got: payload.statuses.len(),
+            expected: chain.len(),
+        });
+    }
+    for (status, (ca, serial)) in payload.statuses.iter().zip(chain) {
+        if status.signed_root.ca != *ca {
+            return Err(ValidationError::CaMismatch);
+        }
+        let key = ca_keys.get(ca).ok_or(ValidationError::UnknownCa(*ca))?;
+        let outcome = status
+            .validate(serial, key, delta, now)
+            .map_err(ValidationError::Status)?;
+        if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
+            return Ok(Verdict::Revoked { serial: *serial, number });
+        }
+    }
+    Ok(Verdict::AllValid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_dictionary::{CaDictionary, MirrorDictionary};
+
+    const T0: u64 = 1_000_000;
+    const DELTA: u64 = 10;
+
+    struct Fixture {
+        ca: CaDictionary,
+        mirror: MirrorDictionary,
+        keys: HashMap<CaId, VerifyingKey>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("VCA"),
+            SigningKey::from_seed([1u8; 32]),
+            DELTA,
+            1 << 12,
+            &mut rng,
+            T0,
+        );
+        let mut mirror =
+            MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        mirror.set_delta(DELTA);
+        let serials: Vec<SerialNumber> = (50..60u32).map(SerialNumber::from_u24).collect();
+        let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+        mirror.apply_issuance(&iss, T0 + 1).unwrap();
+        let mut keys = HashMap::new();
+        keys.insert(ca.ca(), ca.verifying_key());
+        Fixture { ca, mirror, keys }
+    }
+
+    fn payload_for(f: &Fixture, serial: u32) -> StatusPayload {
+        StatusPayload {
+            statuses: vec![f.mirror.prove(&SerialNumber::from_u24(serial))],
+        }
+    }
+
+    #[test]
+    fn valid_absence_accepted() {
+        let f = fixture();
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
+        let v = validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2).unwrap();
+        assert_eq!(v, Verdict::AllValid);
+    }
+
+    #[test]
+    fn revoked_detected() {
+        let f = fixture();
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(55))];
+        let v = validate_payload(&payload_for(&f, 55), &chain, &f.keys, DELTA, T0 + 2).unwrap();
+        assert!(matches!(v, Verdict::Revoked { number: 6, .. }));
+    }
+
+    #[test]
+    fn stale_freshness_rejected() {
+        let f = fixture();
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
+        let err = validate_payload(
+            &payload_for(&f, 200),
+            &chain,
+            &f.keys,
+            DELTA,
+            T0 + 1 + 3 * DELTA,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::Status(StatusError::NotFresh(_))));
+    }
+
+    #[test]
+    fn unknown_ca_rejected() {
+        let f = fixture();
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
+        let err =
+            validate_payload(&payload_for(&f, 200), &chain, &HashMap::new(), DELTA, T0 + 2)
+                .unwrap_err();
+        assert!(matches!(err, ValidationError::UnknownCa(_)));
+    }
+
+    #[test]
+    fn mismatched_chain_rejected() {
+        let f = fixture();
+        // Status is for VCA's dictionary but the chain claims another CA.
+        let chain = [(CaId::from_name("OtherCA"), SerialNumber::from_u24(200))];
+        let err = validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2)
+            .unwrap_err();
+        assert_eq!(err, ValidationError::CaMismatch);
+    }
+
+    #[test]
+    fn proof_for_wrong_serial_rejected() {
+        let f = fixture();
+        // RA (maliciously) sends the absence proof for 200 while the chain's
+        // leaf is actually revoked serial 55.
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(55))];
+        let err = validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2)
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::Status(StatusError::BadProof(_))));
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        let f = fixture();
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
+        let err = validate_payload(
+            &StatusPayload { statuses: vec![] },
+            &chain,
+            &f.keys,
+            DELTA,
+            T0 + 2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::ChainLengthMismatch { .. }));
+    }
+}

@@ -1,0 +1,74 @@
+//! RITM deployment models (paper §IV).
+
+use ritm_net::time::SimDuration;
+
+/// Where the RA sits relative to the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentModel {
+    /// §IV "Close to the servers": the RA is an augmented TLS terminator at
+    /// the data-center ingress. Downgrade protection comes from the
+    /// ServerHello confirmation extension, which TLS integrity-protects.
+    CloseToServers,
+    /// §IV "Close to the clients": the RA sits at (or is) the access-network
+    /// gateway. Downgrade protection comes from the network provisioning
+    /// clients with authentic "this network runs RITM" information
+    /// (e.g. authenticated DHCP), modelled by the client's `AlwaysRequire`
+    /// policy.
+    CloseToClients,
+}
+
+impl DeploymentModel {
+    /// Per-hop latencies `[client→RA, RA→server]` for a WAN path where one
+    /// side is near the RA.
+    pub fn hop_latencies(&self, wan_latency: SimDuration) -> [SimDuration; 2] {
+        let lan = SimDuration::from_millis(1);
+        match self {
+            DeploymentModel::CloseToServers => [wan_latency, lan],
+            DeploymentModel::CloseToClients => [lan, wan_latency],
+        }
+    }
+
+    /// Whether the server's TLS terminator adds the RITM confirmation
+    /// extension.
+    pub fn server_confirms(&self) -> bool {
+        matches!(self, DeploymentModel::CloseToServers)
+    }
+
+    /// The downgrade policy the client should run under this model.
+    pub fn client_policy(&self) -> ritm_client::DowngradePolicy {
+        match self {
+            DeploymentModel::CloseToServers => ritm_client::DowngradePolicy::RequireIfServerConfirms,
+            DeploymentModel::CloseToClients => ritm_client::DowngradePolicy::AlwaysRequire,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_split_matches_model() {
+        let wan = SimDuration::from_millis(40);
+        let [c, s] = DeploymentModel::CloseToServers.hop_latencies(wan);
+        assert_eq!(c, wan);
+        assert!(s < c);
+        let [c, s] = DeploymentModel::CloseToClients.hop_latencies(wan);
+        assert_eq!(s, wan);
+        assert!(c < s);
+    }
+
+    #[test]
+    fn policies_match_section_iv() {
+        assert_eq!(
+            DeploymentModel::CloseToServers.client_policy(),
+            ritm_client::DowngradePolicy::RequireIfServerConfirms
+        );
+        assert_eq!(
+            DeploymentModel::CloseToClients.client_policy(),
+            ritm_client::DowngradePolicy::AlwaysRequire
+        );
+        assert!(DeploymentModel::CloseToServers.server_confirms());
+        assert!(!DeploymentModel::CloseToClients.server_confirms());
+    }
+}

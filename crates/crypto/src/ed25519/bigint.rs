@@ -1,0 +1,150 @@
+//! Small fixed-width big-integer helpers shared by the curve25519 field and
+//! scalar arithmetic. Values are little-endian arrays of `u64` limbs.
+
+/// Adds `a + b + carry`, returning `(sum, carry_out)` with `carry_out ∈ {0,1}`.
+#[inline]
+pub fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtracts `a - b - borrow`, returning `(diff, borrow_out)` with
+/// `borrow_out ∈ {0,1}`.
+#[inline]
+pub fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Adds two 256-bit values, returning the 256-bit sum and the carry bit.
+pub fn add4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut carry = 0;
+    for i in 0..4 {
+        let (s, c) = adc(a[i], b[i], carry);
+        out[i] = s;
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// Subtracts two 256-bit values, returning the difference and the borrow bit.
+pub fn sub4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut borrow = 0;
+    for i in 0..4 {
+        let (d, bo) = sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = bo;
+    }
+    (out, borrow)
+}
+
+/// `true` if `a >= b` as 256-bit unsigned integers.
+pub fn geq4(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// Schoolbook 256×256 → 512-bit multiplication.
+pub fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let t = out[i + j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + 4;
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Interprets 32 little-endian bytes as 4 limbs.
+pub fn limbs_from_le_bytes(bytes: &[u8; 32]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        out[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    out
+}
+
+/// Serializes 4 limbs as 32 little-endian bytes.
+pub fn limbs_to_le_bytes(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, l) in limbs.iter().enumerate() {
+        out[i * 8..i * 8 + 8].copy_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = [u64::MAX, 1, 2, 3];
+        let b = [5, u64::MAX, 0, 1];
+        let (s, c) = add4(&a, &b);
+        assert_eq!(c, 0);
+        let (d, bo) = sub4(&s, &b);
+        assert_eq!(bo, 0);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn add_carries_out() {
+        let a = [u64::MAX; 4];
+        let (s, c) = add4(&a, &[1, 0, 0, 0]);
+        assert_eq!(s, [0, 0, 0, 0]);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn sub_borrows() {
+        let (_, bo) = sub4(&[0, 0, 0, 0], &[1, 0, 0, 0]);
+        assert_eq!(bo, 1);
+    }
+
+    #[test]
+    fn geq_works() {
+        assert!(geq4(&[0, 0, 0, 1], &[u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(geq4(&[7, 0, 0, 0], &[7, 0, 0, 0]));
+        assert!(!geq4(&[6, 0, 0, 0], &[7, 0, 0, 0]));
+    }
+
+    #[test]
+    fn mul_small_values() {
+        let a = [3, 0, 0, 0];
+        let b = [5, 0, 0, 0];
+        assert_eq!(mul_wide(&a, &b), [15, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_max_values() {
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        let a = [u64::MAX; 4];
+        let got = mul_wide(&a, &a);
+        assert_eq!(got, [1, 0, 0, 0, u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let limbs = [1, u64::MAX, 0xdead_beef, 42];
+        assert_eq!(limbs_from_le_bytes(&limbs_to_le_bytes(&limbs)), limbs);
+    }
+}

@@ -1,0 +1,279 @@
+//! Arithmetic in GF(2^255 - 19), the base field of curve25519.
+//!
+//! Elements are kept fully reduced (canonical, `< p`) in four 64-bit limbs.
+//! This implementation favours auditability over speed; it is still far
+//! faster than the paper's Python prototype.
+
+use super::bigint::{add4, geq4, limbs_from_le_bytes, limbs_to_le_bytes, mul_wide, sub4};
+
+/// The field prime `p = 2^255 - 19`, little-endian limbs.
+pub const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// An element of GF(2^255 - 19), always canonically reduced.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Fe(pub(crate) [u64; 4]);
+
+impl core::fmt::Debug for Fe {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fe(0x")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// Lifts a small integer into the field.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe([v, 0, 0, 0])
+    }
+
+    /// Parses 32 little-endian bytes as a field element, ignoring bit 255
+    /// (the Edwards sign bit) per RFC 8032.
+    ///
+    /// Returns `None` if the 255-bit value is not canonical (`>= p`), which
+    /// rejects malleable encodings.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<Fe> {
+        let mut b = *bytes;
+        b[31] &= 0x7f;
+        let limbs = limbs_from_le_bytes(&b);
+        if geq4(&limbs, &P) {
+            return None;
+        }
+        Some(Fe(limbs))
+    }
+
+    /// Serializes to 32 little-endian bytes (bit 255 clear).
+    pub fn to_bytes(self) -> [u8; 32] {
+        limbs_to_le_bytes(&self.0)
+    }
+
+    /// `true` if the canonical encoding has its least-significant bit set —
+    /// the "negative" convention of RFC 8032 point compression.
+    pub fn is_negative(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// `true` if this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fe) -> Fe {
+        let (mut sum, carry) = add4(&self.0, &other.0);
+        // a + b < 2p < 2^256, so a single conditional subtraction suffices;
+        // carry can only be set together with sum >= p being impossible
+        // (2p - 2 < 2^256), hence carry is always 0 here.
+        debug_assert_eq!(carry, 0);
+        if geq4(&sum, &P) {
+            sum = sub4(&sum, &P).0;
+        }
+        Fe(sum)
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fe) -> Fe {
+        let (diff, borrow) = sub4(&self.0, &other.0);
+        if borrow == 1 {
+            Fe(add4(&diff, &P).0)
+        } else {
+            Fe(diff)
+        }
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        Fe(reduce_wide(mul_wide(&self.0, &other.0)))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Raises to an arbitrary 256-bit exponent (square-and-multiply).
+    pub fn pow(&self, exp: &[u64; 4]) -> Fe {
+        let mut result = Fe::ONE;
+        for i in (0..256).rev() {
+            result = result.square();
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: `self^(p-2)`.
+    ///
+    /// Returns `Fe::ZERO` for the zero input (which has no inverse); callers
+    /// that care must check [`Fe::is_zero`] first.
+    pub fn invert(&self) -> Fe {
+        // p - 2 = 2^255 - 21
+        const P_MINUS_2: [u64; 4] = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        self.pow(&P_MINUS_2)
+    }
+}
+
+/// Reduces a 512-bit product modulo `p = 2^255 - 19`.
+///
+/// Uses `2^256 ≡ 38 (mod p)` to fold the high half, twice, followed by
+/// conditional subtractions.
+fn reduce_wide(wide: [u64; 8]) -> [u64; 4] {
+    // Fold 1: r = lo + 38 * hi  (fits in 5 limbs).
+    let mut r = [0u64; 5];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let t = wide[i] as u128 + 38u128 * wide[i + 4] as u128 + carry;
+        r[i] = t as u64;
+        carry = t >> 64;
+    }
+    r[4] = carry as u64;
+
+    // Fold 2: add 38 * r[4] into the low 4 limbs.
+    let mut out = [r[0], r[1], r[2], r[3]];
+    let mut add = 38u128 * r[4] as u128;
+    let mut i = 0;
+    while add != 0 && i < 4 {
+        let t = out[i] as u128 + (add & 0xffff_ffff_ffff_ffff);
+        out[i] = t as u64;
+        add = (add >> 64) + (t >> 64);
+        i += 1;
+    }
+    // A final carry out of limb 3 means the value wrapped 2^256 → add 38.
+    if add != 0 {
+        let t = out[0] as u128 + 38 * add;
+        out[0] = t as u64;
+        let mut c = (t >> 64) as u64;
+        let mut j = 1;
+        while c != 0 && j < 4 {
+            let (s, c2) = super::bigint::adc(out[j], 0, c);
+            out[j] = s;
+            c = c2;
+            j += 1;
+        }
+    }
+
+    while geq4(&out, &P) {
+        out = sub4(&out, &P).0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn add_wraps_mod_p() {
+        let pm1 = Fe(P).sub(&Fe::ONE); // p-1, i.e. -1
+        assert_eq!(pm1.add(&Fe::ONE), Fe::ZERO);
+        assert_eq!(pm1.add(&fe(2)), Fe::ONE);
+    }
+
+    #[test]
+    fn sub_wraps_mod_p() {
+        let a = Fe::ZERO.sub(&Fe::ONE); // -1 = p-1
+        let (expected, _) = sub4(&P, &[1, 0, 0, 0]);
+        assert_eq!(a.0, expected);
+    }
+
+    #[test]
+    fn mul_matches_repeated_add() {
+        let a = fe(0xdead_beef);
+        let mut sum = Fe::ZERO;
+        for _ in 0..7 {
+            sum = sum.add(&a);
+        }
+        assert_eq!(a.mul(&fe(7)), sum);
+    }
+
+    #[test]
+    fn two_to_255_is_19_plus_zero() {
+        // 2^255 mod p = 19, so (2^128)*(2^127) should reduce to 19.
+        let a = Fe([0, 0, 1, 0]); // 2^128
+        let b = Fe([0, 0x8000_0000_0000_0000, 0, 0]); // 2^127
+        assert_eq!(a.mul(&b), fe(19));
+    }
+
+    #[test]
+    fn inverse_of_small_values() {
+        for v in 1..50u64 {
+            let a = fe(v);
+            assert_eq!(a.mul(&a.invert()), Fe::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert_eq!(Fe::ZERO.invert(), Fe::ZERO);
+    }
+
+    #[test]
+    fn pow_small_exponent() {
+        assert_eq!(fe(3).pow(&[5, 0, 0, 0]), fe(243));
+    }
+
+    #[test]
+    fn from_bytes_rejects_noncanonical() {
+        // p itself is non-canonical.
+        let p_bytes = limbs_to_le_bytes(&P);
+        assert!(Fe::from_bytes(&p_bytes).is_none());
+        // p - 1 is canonical.
+        let (pm1, _) = sub4(&P, &[1, 0, 0, 0]);
+        assert!(Fe::from_bytes(&limbs_to_le_bytes(&pm1)).is_some());
+    }
+
+    #[test]
+    fn from_bytes_ignores_sign_bit() {
+        let mut one = Fe::ONE.to_bytes();
+        one[31] |= 0x80;
+        assert_eq!(Fe::from_bytes(&one), Some(Fe::ONE));
+    }
+
+    #[test]
+    fn negativity_convention() {
+        assert!(Fe::ONE.is_negative());
+        assert!(!fe(2).is_negative());
+        assert!(!Fe::ZERO.is_negative());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = fe(123456789).pow(&[3, 1, 0, 0]);
+        assert_eq!(Fe::from_bytes(&a.to_bytes()), Some(a));
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = fe(0x1234_5678_9abc_def0).pow(&[7, 0, 0, 0]);
+        let b = fe(0x0fed_cba9_8765_4321).pow(&[11, 0, 0, 0]);
+        let c = fe(0xaaaa_bbbb_cccc_dddd);
+        assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+}

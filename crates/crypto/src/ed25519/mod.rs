@@ -1,0 +1,292 @@
+//! Ed25519 signatures per RFC 8032, implemented from scratch.
+//!
+//! The paper (§VI) signs dictionary roots with Ed25519 to keep signatures at
+//! 64 bytes. This module provides deterministic signing, strict verification
+//! (canonical `S`, canonical point encodings), and key generation.
+
+pub mod bigint;
+pub mod field;
+pub mod point;
+pub mod scalar;
+
+use crate::sha512::Sha512;
+use point::Point;
+use rand::RngCore;
+use scalar::Scalar;
+
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+/// Length of a secret seed in bytes.
+pub const SEED_LEN: usize = 32;
+
+/// A 64-byte Ed25519 signature.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl Signature {
+    /// Parses a signature from raw bytes (no validation happens until
+    /// verification).
+    pub const fn from_bytes(bytes: [u8; SIGNATURE_LEN]) -> Self {
+        Signature(bytes)
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; SIGNATURE_LEN] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Signature({}…)", crate::hex::encode(&self.0[..8]))
+    }
+}
+
+/// Error returned when signature verification fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSignature;
+
+impl core::fmt::Display for InvalidSignature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("invalid ed25519 signature")
+    }
+}
+
+impl std::error::Error for InvalidSignature {}
+
+/// An Ed25519 verifying (public) key.
+///
+/// # Examples
+///
+/// ```
+/// use ritm_crypto::ed25519::SigningKey;
+/// let sk = SigningKey::from_seed([1u8; 32]);
+/// let vk = sk.verifying_key();
+/// let sig = sk.sign(b"revocation root");
+/// assert!(vk.verify(b"revocation root", &sig).is_ok());
+/// assert!(vk.verify(b"tampered", &sig).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(pub [u8; PUBLIC_KEY_LEN]);
+
+impl core::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "VerifyingKey({}…)", crate::hex::encode(&self.0[..8]))
+    }
+}
+
+impl VerifyingKey {
+    /// Parses a verifying key from its 32-byte encoding.
+    pub const fn from_bytes(bytes: [u8; PUBLIC_KEY_LEN]) -> Self {
+        VerifyingKey(bytes)
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSignature`] if the key or signature fail to decode
+    /// canonically, or if the verification equation `[S]B = R + [k]A` does
+    /// not hold.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), InvalidSignature> {
+        let a = Point::decompress(&self.0).ok_or(InvalidSignature)?;
+        let r_bytes: [u8; 32] = signature.0[..32].try_into().expect("32-byte R");
+        let s_bytes: [u8; 32] = signature.0[32..].try_into().expect("32-byte S");
+        let r = Point::decompress(&r_bytes).ok_or(InvalidSignature)?;
+        // Strict: S must be canonical (< ℓ) to rule out malleability.
+        let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(InvalidSignature)?;
+
+        let mut h = Sha512::new();
+        h.update(r_bytes);
+        h.update(self.0);
+        h.update(message);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+
+        let lhs = Point::mul_base(&s);
+        let rhs = r.add(&a.mul(&k));
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(InvalidSignature)
+        }
+    }
+}
+
+/// An Ed25519 signing (secret) key, derived from a 32-byte seed.
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; SEED_LEN],
+    scalar: Scalar,
+    prefix: [u8; 32],
+    public: VerifyingKey,
+}
+
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the seed.
+        write!(f, "SigningKey(public = {:?})", self.public)
+    }
+}
+
+impl SigningKey {
+    /// Derives a signing key from a 32-byte seed per RFC 8032 §5.1.5.
+    pub fn from_seed(seed: [u8; SEED_LEN]) -> Self {
+        let h = crate::sha512::digest(seed);
+        let mut scalar_bytes: [u8; 32] = h[..32].try_into().expect("32-byte half");
+        // Clamp.
+        scalar_bytes[0] &= 248;
+        scalar_bytes[31] &= 127;
+        scalar_bytes[31] |= 64;
+        let scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let prefix: [u8; 32] = h[32..].try_into().expect("32-byte half");
+        let public = VerifyingKey(Point::mul_base(&scalar).compress());
+        SigningKey { seed, scalar, prefix, public }
+    }
+
+    /// Generates a signing key from `rng`.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = [0u8; SEED_LEN];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(seed)
+    }
+
+    /// The seed this key was derived from.
+    pub fn seed(&self) -> &[u8; SEED_LEN] {
+        &self.seed
+    }
+
+    /// The corresponding verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Produces a deterministic RFC 8032 signature over `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(self.prefix);
+        h.update(message);
+        let r = Scalar::from_bytes_wide(&h.finalize());
+        let r_point = Point::mul_base(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(r_point);
+        h.update(self.public.0);
+        h.update(message);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+
+        let s = r.add(&k.mul(&self.scalar));
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig[..32].copy_from_slice(&r_point);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn key(byte: u8) -> SigningKey {
+        SigningKey::from_seed([byte; 32])
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let sk = key(1);
+        let vk = sk.verifying_key();
+        for msg in [&b""[..], b"a", b"hello revocation", &[0u8; 300]] {
+            let sig = sk.sign(msg);
+            assert!(vk.verify(msg, &sig).is_ok());
+        }
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let sk = key(2);
+        assert_eq!(sk.sign(b"m").0, sk.sign(b"m").0);
+    }
+
+    #[test]
+    fn different_messages_different_signatures() {
+        let sk = key(3);
+        assert_ne!(sk.sign(b"m1").0, sk.sign(b"m2").0);
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = key(4);
+        let sig = sk.sign(b"original");
+        assert_eq!(
+            sk.verifying_key().verify(b"0riginal", &sig),
+            Err(InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = key(5);
+        let mut sig = sk.sign(b"msg");
+        sig.0[0] ^= 1;
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+        let mut sig2 = sk.sign(b"msg");
+        sig2.0[63] ^= 0x10;
+        assert!(sk.verifying_key().verify(b"msg", &sig2).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sig = key(6).sign(b"msg");
+        assert!(key(7).verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn high_s_rejected() {
+        // Add ℓ to S: classic malleability; strict verification must reject.
+        use super::bigint::{add4, limbs_from_le_bytes, limbs_to_le_bytes};
+        use super::scalar::L;
+        let sk = key(8);
+        let mut sig = sk.sign(b"msg");
+        let s_bytes: [u8; 32] = sig.0[32..].try_into().unwrap();
+        let (s_plus_l, carry) = add4(&limbs_from_le_bytes(&s_bytes), &L);
+        if carry == 0 {
+            sig.0[32..].copy_from_slice(&limbs_to_le_bytes(&s_plus_l));
+            assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn keys_from_rng_differ() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let a = SigningKey::generate(&mut rng);
+        let b = SigningKey::generate(&mut rng);
+        assert_ne!(a.verifying_key().0, b.verifying_key().0);
+        let sig = a.sign(b"x");
+        assert!(a.verifying_key().verify(b"x", &sig).is_ok());
+        assert!(b.verifying_key().verify(b"x", &sig).is_err());
+    }
+
+    #[test]
+    fn garbage_public_key_rejected() {
+        // y = 2 is not on the curve.
+        let mut pk = [0u8; 32];
+        pk[0] = 2;
+        let vk = VerifyingKey::from_bytes(pk);
+        let sig = key(9).sign(b"m");
+        assert!(vk.verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn debug_never_prints_seed() {
+        let sk = key(0xAB);
+        let dbg = format!("{sk:?}");
+        assert!(!dbg.contains(&crate::hex::encode([0xABu8; 32])));
+    }
+}

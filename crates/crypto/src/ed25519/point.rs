@@ -1,0 +1,327 @@
+//! Twisted Edwards points on edwards25519 (`-x² + y² = 1 + d·x²y²`),
+//! in extended homogeneous coordinates `(X : Y : Z : T)` with `T = XY/Z`.
+
+use super::field::Fe;
+use super::scalar::Scalar;
+use std::sync::OnceLock;
+
+/// Curve constant `d = -121665/121666`.
+fn d() -> &'static Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    D.get_or_init(|| {
+        Fe::from_u64(121_665)
+            .neg()
+            .mul(&Fe::from_u64(121_666).invert())
+    })
+}
+
+/// `2d`, used in the addition formula.
+fn d2() -> &'static Fe {
+    static D2: OnceLock<Fe> = OnceLock::new();
+    D2.get_or_init(|| d().add(d()))
+}
+
+/// `sqrt(-1) = 2^((p-1)/4)`.
+fn sqrt_m1() -> &'static Fe {
+    static S: OnceLock<Fe> = OnceLock::new();
+    S.get_or_init(|| {
+        // (p - 1) / 4 = 2^253 - 5
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_fffb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x1fff_ffff_ffff_ffff,
+        ];
+        Fe::from_u64(2).pow(&EXP)
+    })
+}
+
+/// An edwards25519 point in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1 == X2/Z2) and (Y1/Z1 == Y2/Z2), cross-multiplied.
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+impl Eq for Point {}
+
+impl Point {
+    /// The neutral element `(0, 1)`.
+    pub fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The RFC 8032 base point `B` with `y = 4/5` and even `x`.
+    pub fn basepoint() -> &'static Point {
+        static B: OnceLock<Point> = OnceLock::new();
+        B.get_or_init(|| {
+            let y = Fe::from_u64(4).mul(&Fe::from_u64(5).invert());
+            let x = recover_x(&y, false).expect("basepoint x exists");
+            Point::from_affine(x, y)
+        })
+    }
+
+    /// Builds a point from affine coordinates. The caller must ensure the
+    /// coordinates satisfy the curve equation (checked in debug builds).
+    pub fn from_affine(x: Fe, y: Fe) -> Point {
+        debug_assert!(on_curve(&x, &y), "affine point not on curve");
+        Point { x, y, z: Fe::ONE, t: x.mul(&y) }
+    }
+
+    /// Point addition (add-2008-hwcd-3 for `a = -1`, unified).
+    pub fn add(&self, other: &Point) -> Point {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(d2()).mul(&other.t);
+        let dd = self.z.mul(&other.z);
+        let dd = dd.add(&dd);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point doubling (dbl-2008-hwcd for `a = -1`).
+    pub fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(&self.z.square());
+        let d_ = a.neg();
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = d_.add(&b);
+        let f = g.sub(&c);
+        let h = d_.sub(&b);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Point {
+        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Scalar multiplication `[k]P` (double-and-add, not constant time —
+    /// acceptable for a simulation substrate).
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let mut acc = Point::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// `[k]B` for the base point.
+    pub fn mul_base(k: &Scalar) -> Point {
+        Point::basepoint().mul(k)
+    }
+
+    /// Compresses to the 32-byte RFC 8032 encoding: `y` with the sign of `x`
+    /// in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding; `None` if it is not a valid,
+    /// canonical curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = bytes[31] >> 7 == 1;
+        let y = Fe::from_bytes(bytes)?;
+        let x = recover_x(&y, sign)?;
+        Some(Point::from_affine(x, y))
+    }
+
+    /// Affine coordinates `(x, y)`.
+    pub fn to_affine(&self) -> (Fe, Fe) {
+        let zinv = self.z.invert();
+        (self.x.mul(&zinv), self.y.mul(&zinv))
+    }
+
+    /// `true` for the neutral element.
+    pub fn is_identity(&self) -> bool {
+        *self == Point::identity()
+    }
+}
+
+/// Checks the curve equation `-x² + y² = 1 + d·x²y²`.
+fn on_curve(x: &Fe, y: &Fe) -> bool {
+    let xx = x.square();
+    let yy = y.square();
+    let lhs = yy.sub(&xx);
+    let rhs = Fe::ONE.add(&d().mul(&xx).mul(&yy));
+    lhs == rhs
+}
+
+/// Recovers `x` from `y` and the sign bit, per RFC 8032 §5.1.3.
+fn recover_x(y: &Fe, sign: bool) -> Option<Fe> {
+    // x² = (y² - 1) / (d·y² + 1)
+    let yy = y.square();
+    let u = yy.sub(&Fe::ONE);
+    let v = d().mul(&yy).add(&Fe::ONE);
+
+    // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8)
+    const EXP: [u64; 4] = [
+        // (p - 5) / 8 = 2^252 - 3
+        0xffff_ffff_ffff_fffd,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0x0fff_ffff_ffff_ffff,
+    ];
+    let v3 = v.square().mul(&v);
+    let v7 = v3.square().mul(&v);
+    let mut x = u.mul(&v3).mul(&u.mul(&v7).pow(&EXP));
+
+    let vxx = v.mul(&x.square());
+    if vxx != u {
+        if vxx == u.neg() {
+            x = x.mul(sqrt_m1());
+        } else {
+            return None;
+        }
+    }
+    if x.is_zero() && sign {
+        // x = 0 admits no "negative" representation.
+        return None;
+    }
+    if x.is_negative() != sign {
+        x = x.neg();
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn basepoint_known_encoding() {
+        // RFC 8032: B encodes to 0x58 followed by 31 bytes of 0x66
+        // (little-endian y = 4/5, even x).
+        assert_eq!(
+            hex::encode(Point::basepoint().compress()),
+            "5866666666666666666666666666666666666666666666666666666666666666"
+        );
+    }
+
+    #[test]
+    fn basepoint_on_curve() {
+        let (x, y) = Point::basepoint().to_affine();
+        assert!(on_curve(&x, &y));
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let id = Point::identity();
+        let enc = id.compress();
+        assert_eq!(Point::decompress(&enc).unwrap(), id);
+        // Encoding of the identity is y=1 with positive x.
+        assert_eq!(enc[0], 1);
+        assert!(enc[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let b = Point::basepoint();
+        assert_eq!(b.double(), b.add(b));
+        let b4 = b.double().double();
+        assert_eq!(b4, b.add(b).add(b).add(b));
+    }
+
+    #[test]
+    fn add_identity_is_noop() {
+        let b = Point::basepoint();
+        assert_eq!(b.add(&Point::identity()), *b);
+        assert_eq!(Point::identity().add(b), *b);
+    }
+
+    #[test]
+    fn add_negation_is_identity() {
+        let p = Point::mul_base(&Scalar::from_u64(7));
+        assert!(p.add(&p.neg()).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let b = Point::basepoint();
+        let mut acc = Point::identity();
+        for k in 1..=8u64 {
+            acc = acc.add(b);
+            assert_eq!(Point::mul_base(&Scalar::from_u64(k)), acc, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn order_of_basepoint() {
+        // [ℓ]B = identity and [ℓ+1]B = B.
+        use super::super::scalar::L;
+        use super::super::bigint::limbs_to_le_bytes;
+        // ℓ reduces to 0 mod ℓ, so emulate [ℓ]B by adding B to [ℓ-1]B.
+        let (lm1, _) = super::super::bigint::sub4(&L, &[1, 0, 0, 0]);
+        let s = Scalar::from_canonical_bytes(&limbs_to_le_bytes(&lm1)).unwrap();
+        let p = Point::mul_base(&s); // [ℓ-1]B = -B
+        assert_eq!(p, Point::basepoint().neg());
+        assert!(p.add(Point::basepoint()).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let a = Scalar::from_u64(1234567);
+        let b = Scalar::from_u64(7654321);
+        let lhs = Point::mul_base(&a.add(&b));
+        let rhs = Point::mul_base(&a).add(&Point::mul_base(&b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        for k in [1u64, 2, 3, 99, 1 << 40, u64::MAX] {
+            let p = Point::mul_base(&Scalar::from_u64(k));
+            let enc = p.compress();
+            assert_eq!(Point::decompress(&enc).unwrap(), p, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_invalid() {
+        // y = 2 gives x² = 3 / (4d + 1), which is not a square for this d.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 2;
+        assert!(Point::decompress(&bytes).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_noncanonical_y() {
+        // y = p is a non-canonical encoding of 0.
+        let p_bytes = Fe(super::super::field::P).to_bytes();
+        assert!(Point::decompress(&p_bytes).is_none());
+    }
+
+    #[test]
+    fn sign_bit_selects_negation() {
+        let p = Point::mul_base(&Scalar::from_u64(5));
+        let mut enc = p.compress();
+        enc[31] ^= 0x80;
+        let q = Point::decompress(&enc).unwrap();
+        assert_eq!(q, p.neg());
+    }
+}

@@ -1,0 +1,241 @@
+//! Arithmetic modulo the Ed25519 group order
+//! `ℓ = 2^252 + 27742317777372353535851937790883648493`.
+
+use super::bigint::{add4, geq4, limbs_from_le_bytes, limbs_to_le_bytes, mul_wide, sub4};
+
+/// The group order `ℓ`, little-endian limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+];
+
+/// An integer modulo `ℓ`, always canonically reduced.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+impl core::fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Scalar(0x")?;
+        for limb in self.0.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Lifts a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Interprets 32 little-endian bytes, reducing modulo `ℓ`.
+    ///
+    /// Used for clamped secret scalars, which may exceed `ℓ`; since the base
+    /// point has order `ℓ`, reducing does not change the derived public key.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let mut limbs = limbs_from_le_bytes(bytes);
+        while geq4(&limbs, &L) {
+            limbs = sub4(&limbs, &L).0;
+        }
+        Scalar(limbs)
+    }
+
+    /// Interprets 32 little-endian bytes, rejecting non-canonical values.
+    ///
+    /// This is the strict RFC 8032 check applied to the `S` half of a
+    /// signature, which defeats signature malleability.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let limbs = limbs_from_le_bytes(bytes);
+        if geq4(&limbs, &L) {
+            return None;
+        }
+        Some(Scalar(limbs))
+    }
+
+    /// Reduces a 64-byte little-endian integer (e.g. a SHA-512 digest)
+    /// modulo `ℓ`, per RFC 8032.
+    pub fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut v = [0u64; 8];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            v[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Scalar(reduce_512(v))
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        limbs_to_le_bytes(&self.0)
+    }
+
+    /// Addition modulo `ℓ`.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        // Both inputs < ℓ < 2^253, so the sum fits in 256 bits without carry.
+        let (mut sum, carry) = add4(&self.0, &other.0);
+        debug_assert_eq!(carry, 0);
+        if geq4(&sum, &L) {
+            sum = sub4(&sum, &L).0;
+        }
+        Scalar(sum)
+    }
+
+    /// Multiplication modulo `ℓ`.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        Scalar(reduce_512(mul_wide(&self.0, &other.0)))
+    }
+
+    /// `true` if this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Bit `i` (little-endian) of the scalar; `i < 256`.
+    pub(crate) fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+/// Reduces a 512-bit little-endian value modulo `ℓ` by shift-and-subtract.
+///
+/// `ℓ` is 253 bits, so at most `512 - 253 + 1 = 260` shifted subtractions are
+/// attempted. This is not constant time; the simulation does not require
+/// side-channel resistance.
+fn reduce_512(mut v: [u64; 8]) -> [u64; 4] {
+    for shift in (0..=259).rev() {
+        if geq_shifted(&v, shift) {
+            sub_shifted(&mut v, shift);
+        }
+    }
+    debug_assert_eq!(&v[4..], &[0, 0, 0, 0]);
+    let out = [v[0], v[1], v[2], v[3]];
+    debug_assert!(!geq4(&out, &L));
+    out
+}
+
+/// Computes the limbs of `ℓ << shift` as a 9-limb value.
+fn shifted_l(shift: usize) -> [u64; 9] {
+    let word = shift / 64;
+    let bit = shift % 64;
+    let mut out = [0u64; 9];
+    for i in 0..4 {
+        out[word + i] |= L[i] << bit;
+        if bit != 0 && word + i + 1 < 9 {
+            out[word + i + 1] |= L[i] >> (64 - bit);
+        }
+    }
+    out
+}
+
+fn geq_shifted(v: &[u64; 8], shift: usize) -> bool {
+    let s = shifted_l(shift);
+    if s[8] != 0 {
+        return false;
+    }
+    for i in (0..8).rev() {
+        if v[i] != s[i] {
+            return v[i] > s[i];
+        }
+    }
+    true
+}
+
+fn sub_shifted(v: &mut [u64; 8], shift: usize) {
+    let s = shifted_l(shift);
+    let mut borrow = 0u64;
+    for i in 0..8 {
+        let (d, b) = super::bigint::sbb(v[i], s[i], borrow);
+        v[i] = d;
+        borrow = b;
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_round_trips_to_zero() {
+        let l_bytes = limbs_to_le_bytes(&L);
+        assert_eq!(Scalar::from_bytes_mod_order(&l_bytes), Scalar::ZERO);
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_none());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let (lm1, _) = sub4(&L, &[1, 0, 0, 0]);
+        let s = Scalar::from_canonical_bytes(&limbs_to_le_bytes(&lm1)).unwrap();
+        assert_eq!(s.add(&Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wide_reduction_of_l_squared() {
+        // ℓ * ℓ mod ℓ = 0.
+        let wide = mul_wide(&L, &L);
+        let mut bytes = [0u8; 64];
+        for (i, limb) in wide.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(Scalar::from_bytes_wide(&bytes), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wide_reduction_small_value() {
+        let mut bytes = [0u8; 64];
+        bytes[0] = 42;
+        assert_eq!(Scalar::from_bytes_wide(&bytes), Scalar::from_u64(42));
+    }
+
+    #[test]
+    fn wide_reduction_all_ones() {
+        // (2^512 - 1) mod ℓ computed two ways: directly, and as
+        // ((2^256 - 1) * (2^256 + 1)) mod ℓ.
+        let all = [0xffu8; 64];
+        let direct = Scalar::from_bytes_wide(&all);
+
+        let mut lo = [0u8; 64];
+        lo[..32].copy_from_slice(&[0xff; 32]);
+        let a = Scalar::from_bytes_wide(&lo); // 2^256 - 1 mod ℓ
+        let mut hi = [0u8; 64];
+        hi[0] = 1;
+        hi[32] = 1;
+        let b = Scalar::from_bytes_wide(&hi); // 2^256 + 1 mod ℓ
+        assert_eq!(direct, a.mul(&b));
+    }
+
+    #[test]
+    fn mul_matches_repeated_add() {
+        let a = Scalar::from_u64(0x1234_5678);
+        let mut sum = Scalar::ZERO;
+        for _ in 0..9 {
+            sum = sum.add(&a);
+        }
+        assert_eq!(a.mul(&Scalar::from_u64(9)), sum);
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        let a = Scalar::from_bytes_mod_order(&[0xa5; 32]);
+        let b = Scalar::from_bytes_mod_order(&[0x3c; 32]);
+        let c = Scalar::from_bytes_mod_order(&[0x77; 32]);
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+
+    #[test]
+    fn bit_access() {
+        let s = Scalar::from_u64(0b1010);
+        assert!(!s.bit(0));
+        assert!(s.bit(1));
+        assert!(!s.bit(2));
+        assert!(s.bit(3));
+        assert!(!s.bit(255));
+    }
+}

@@ -1,0 +1,228 @@
+//! Hash chains backing RITM freshness statements (paper §II, Fig. 2).
+//!
+//! A CA draws a random value `v`, picks a chain length `m`, and commits to
+//! the anchor `H^m(v)` inside a signed dictionary root. At period `p` (with
+//! `p < m`) it releases the preimage `H^(m-p)(v)` as the period-`p` freshness
+//! statement; verifiers hash the statement forward `p` (or `p+1`, to absorb
+//! publish/poll skew — §III validation step 5c) times and compare against the
+//! anchor. Only the CA can walk the chain backwards.
+
+use crate::digest::{h_iter, Digest20};
+use rand::RngCore;
+
+/// Error returned when a [`HashChain`] is asked for a statement past its end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainExhausted {
+    /// The period that was requested.
+    pub period: u64,
+    /// The chain length `m`; valid periods are `0..m`.
+    pub length: u64,
+}
+
+impl core::fmt::Display for ChainExhausted {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "hash chain exhausted: period {} >= chain length {}",
+            self.period, self.length
+        )
+    }
+}
+
+impl std::error::Error for ChainExhausted {}
+
+/// The CA-side secret hash chain.
+///
+/// # Examples
+///
+/// ```
+/// use ritm_crypto::hashchain::{HashChain, verify_statement};
+/// let chain = HashChain::from_seed([7u8; 20], 100);
+/// let anchor = chain.anchor();
+/// let stmt = chain.statement(3).unwrap();
+/// assert_eq!(verify_statement(anchor, stmt, 3, 0), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashChain {
+    /// `H^0(v) = v` as a digest-sized secret.
+    seed: Digest20,
+    /// Chain length `m`.
+    length: u64,
+    /// Cached anchor `H^m(v)`.
+    anchor: Digest20,
+}
+
+impl HashChain {
+    /// Builds a chain of length `m` from an explicit 20-byte seed `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`; a zero-length chain has no usable statements.
+    pub fn from_seed(seed: [u8; 20], m: u64) -> Self {
+        assert!(m > 0, "hash chain length must be positive");
+        let seed = Digest20::from_bytes(seed);
+        let anchor = h_iter(seed, m);
+        HashChain { seed, length: m, anchor }
+    }
+
+    /// Builds a chain of length `m` with a seed drawn from `rng`.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, m: u64) -> Self {
+        let mut seed = [0u8; 20];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(seed, m)
+    }
+
+    /// The public anchor `H^m(v)` committed to in the signed root (Eq. 1).
+    pub fn anchor(&self) -> Digest20 {
+        self.anchor
+    }
+
+    /// The chain length `m`.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// The freshness statement for period `p`: `H^(m-p)(v)` (Eq. 2).
+    ///
+    /// Period 0 is the anchor itself; the last usable period is `m - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainExhausted`] when `p >= m`; the CA must then rotate to a
+    /// new chain via a fresh signed root (Fig. 2, `refresh` step 3).
+    pub fn statement(&self, p: u64) -> Result<Digest20, ChainExhausted> {
+        if p >= self.length {
+            return Err(ChainExhausted { period: p, length: self.length });
+        }
+        Ok(h_iter(self.seed, self.length - p))
+    }
+
+    /// Whether period `p` still lies on this chain.
+    pub fn covers(&self, p: u64) -> bool {
+        p < self.length
+    }
+}
+
+/// Verifies a freshness statement against an anchor.
+///
+/// Hashing the period-`p` statement `k` times reproduces the anchor exactly
+/// when `k = p`, so this checks every period in
+/// `expected_period ± tolerance` and returns the one that matched. The
+/// paper's validation step 5c is `tolerance = 1`: a statement one period
+/// *old* is still accepted (the RA may have pulled just before the CA
+/// published — the CDN pull skew that makes the attack window 2Δ, §V), and
+/// one period *new* absorbs forward clock skew.
+pub fn verify_statement(
+    anchor: Digest20,
+    statement: Digest20,
+    expected_period: u64,
+    tolerance: u64,
+) -> Option<u64> {
+    let lo = expected_period.saturating_sub(tolerance);
+    let hi = expected_period + tolerance;
+    let mut cur = h_iter(statement, lo);
+    for k in lo..=hi {
+        if cur == anchor {
+            return Some(k);
+        }
+        cur = h_iter(cur, 1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> HashChain {
+        HashChain::from_seed([42u8; 20], 16)
+    }
+
+    #[test]
+    fn period_zero_is_anchor() {
+        let c = chain();
+        assert_eq!(c.statement(0).unwrap(), c.anchor());
+    }
+
+    #[test]
+    fn each_statement_hashes_to_previous() {
+        let c = chain();
+        for p in 1..c.length() {
+            let cur = c.statement(p).unwrap();
+            let prev = c.statement(p - 1).unwrap();
+            assert_eq!(h_iter(cur, 1), prev, "period {p}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_exact_period() {
+        let c = chain();
+        for p in 0..c.length() {
+            assert_eq!(
+                verify_statement(c.anchor(), c.statement(p).unwrap(), p, 0),
+                Some(p)
+            );
+        }
+    }
+
+    #[test]
+    fn verify_accepts_skew_within_tolerance() {
+        let c = chain();
+        // Verifier thinks we are at period 4, CA already released period 5.
+        let stmt = c.statement(5).unwrap();
+        assert_eq!(verify_statement(c.anchor(), stmt, 4, 1), Some(5));
+        assert_eq!(verify_statement(c.anchor(), stmt, 4, 0), None);
+    }
+
+    #[test]
+    fn verify_accepts_one_period_old_statement() {
+        // The RA pulled just before the CA published the next statement —
+        // the common 2Δ case of §V.
+        let c = chain();
+        let stmt = c.statement(3).unwrap();
+        assert_eq!(verify_statement(c.anchor(), stmt, 4, 1), Some(3));
+        assert_eq!(verify_statement(c.anchor(), stmt, 4, 0), None);
+        // Two periods old is past the window.
+        assert_eq!(verify_statement(c.anchor(), stmt, 5, 1), None);
+    }
+
+    #[test]
+    fn verify_rejects_wrong_statement() {
+        let c = chain();
+        let bogus = Digest20::hash(b"not on the chain");
+        assert_eq!(verify_statement(c.anchor(), bogus, 3, 2), None);
+    }
+
+    #[test]
+    fn verify_rejects_replayed_old_statement() {
+        let c = chain();
+        // An attacker replays the period-2 statement claiming period 6.
+        let old = c.statement(2).unwrap();
+        assert_eq!(verify_statement(c.anchor(), old, 6, 1), None);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let c = chain();
+        let err = c.statement(16).unwrap_err();
+        assert_eq!(err, ChainExhausted { period: 16, length: 16 });
+        assert!(!c.covers(16));
+        assert!(c.covers(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        let _ = HashChain::from_seed([0u8; 20], 0);
+    }
+
+    #[test]
+    fn generate_uses_rng() {
+        use rand::SeedableRng;
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(2);
+        let ca = HashChain::generate(&mut a, 8);
+        let cb = HashChain::generate(&mut b, 8);
+        assert_ne!(ca.anchor(), cb.anchor());
+    }
+}

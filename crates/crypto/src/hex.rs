@@ -1,0 +1,134 @@
+//! Minimal hexadecimal encoding/decoding used throughout the workspace for
+//! display of digests, serial numbers, and signatures.
+
+/// Error returned when [`decode`] is given a malformed hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// use ritm_crypto::hex;
+/// assert!(hex::decode("0g").is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseHexError {
+    /// Byte offset of the first offending character, or the input length when
+    /// the input had an odd number of digits.
+    pub position: usize,
+}
+
+impl core::fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid hexadecimal input at position {}", self.position)
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// use ritm_crypto::hex;
+/// assert_eq!(hex::encode([0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+/// ```
+pub fn encode(bytes: impl AsRef<[u8]>) -> String {
+    let bytes = bytes.as_ref();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] if the input has an odd length or contains a
+/// non-hexadecimal character.
+///
+/// # Examples
+///
+/// ```
+/// use ritm_crypto::hex;
+/// # fn main() -> Result<(), hex::ParseHexError> {
+/// assert_eq!(hex::decode("00ff")?, vec![0x00, 0xff]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err(ParseHexError { position: s.len() });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for (i, pair) in s.chunks_exact(2).enumerate() {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(ParseHexError { position: i * 2 })?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(ParseHexError { position: i * 2 + 1 })?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Decodes a hexadecimal string into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] for malformed input; the `position` is the input
+/// length when the decoded size does not match `N`.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], ParseHexError> {
+    let v = decode(s)?;
+    let arr: [u8; N] = v.try_into().map_err(|_| ParseHexError { position: s.len() })?;
+    Ok(arr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 2, 0x7f, 0x80, 0xff];
+        assert_eq!(decode(&encode(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode([]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(ParseHexError { position: 3 }));
+    }
+
+    #[test]
+    fn bad_char_position() {
+        assert_eq!(decode("0g"), Err(ParseHexError { position: 1 }));
+        assert_eq!(decode("zz"), Err(ParseHexError { position: 0 }));
+    }
+
+    #[test]
+    fn decode_array_size_mismatch() {
+        assert!(decode_array::<4>("deadbeef").is_ok());
+        assert!(decode_array::<3>("deadbeef").is_err());
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = ParseHexError { position: 7 };
+        assert!(format!("{e}").contains('7'));
+    }
+}

@@ -1,0 +1,37 @@
+//! # ritm-crypto — cryptographic substrate for the RITM reproduction
+//!
+//! Implements, from scratch, every primitive the paper relies on (§II, §VI):
+//!
+//! * [`sha256`] / [`sha512`] — FIPS 180-4 hash functions;
+//! * [`digest`] — the 20-byte truncated SHA-256 digest `H(.)` used by the
+//!   authenticated dictionaries;
+//! * [`hashchain`] — hash chains backing CA freshness statements;
+//! * [`ed25519`] — RFC 8032 signatures (64-byte, as in the paper) over
+//!   curve25519, including the full field/scalar/point arithmetic;
+//! * [`hex`] — encoding helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use ritm_crypto::{digest::Digest20, ed25519::SigningKey, hashchain::HashChain};
+//!
+//! // The three primitives a CA combines to authenticate its dictionary:
+//! let root = Digest20::hash(b"dictionary root");
+//! let chain = HashChain::from_seed([9u8; 20], 1_000);
+//! let sk = SigningKey::from_seed([1u8; 32]);
+//! let sig = sk.sign(root.as_bytes());
+//! assert!(sk.verifying_key().verify(root.as_bytes(), &sig).is_ok());
+//! assert_eq!(chain.statement(0).unwrap(), chain.anchor());
+//! ```
+
+pub mod digest;
+pub mod ed25519;
+pub mod hashchain;
+pub mod hex;
+pub mod sha256;
+pub mod sha512;
+pub mod wire;
+
+pub use digest::Digest20;
+pub use ed25519::{InvalidSignature, Signature, SigningKey, VerifyingKey};
+pub use hashchain::HashChain;

@@ -1,0 +1,132 @@
+//! Property-based tests for the cryptographic substrate: algebraic laws of
+//! the field/scalar/point arithmetic, signature soundness, hash-chain
+//! consistency, and codec round-trips.
+
+use proptest::prelude::*;
+use ritm_crypto::digest::{h_iter, Digest20};
+use ritm_crypto::ed25519::point::Point;
+use ritm_crypto::ed25519::scalar::Scalar;
+use ritm_crypto::ed25519::SigningKey;
+use ritm_crypto::hashchain::{verify_statement, HashChain};
+use ritm_crypto::{hex, wire};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hex_round_trips(bytes in prop::collection::vec(any::<u8>(), 0..100)) {
+        let s = hex::encode(&bytes);
+        prop_assert_eq!(hex::decode(&s).unwrap(), bytes);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(Digest20::hash(&a), Digest20::hash(&a));
+        if a != b {
+            prop_assert_ne!(Digest20::hash(&a), Digest20::hash(&b));
+        }
+    }
+
+    #[test]
+    fn sign_verify_round_trip(seed in any::<[u8; 32]>(), msg in prop::collection::vec(any::<u8>(), 0..200)) {
+        let sk = SigningKey::from_seed(seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn signature_does_not_transfer(
+        seed in any::<[u8; 32]>(),
+        msg in prop::collection::vec(any::<u8>(), 1..100),
+        flip in any::<(u8, u8)>(),
+    ) {
+        let sk = SigningKey::from_seed(seed);
+        let sig = sk.sign(&msg);
+        let mut other = msg.clone();
+        let pos = flip.0 as usize % other.len();
+        if other[pos] == flip.1 {
+            return Ok(());
+        }
+        other[pos] = flip.1;
+        prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()) {
+        let a = Scalar::from_bytes_mod_order(&a);
+        let b = Scalar::from_bytes_mod_order(&b);
+        let c = Scalar::from_bytes_mod_order(&c);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.add(&Scalar::ZERO), a);
+        prop_assert_eq!(a.mul(&Scalar::ONE), a);
+    }
+
+    #[test]
+    fn point_group_laws(a in any::<u64>(), b in any::<u64>()) {
+        let pa = Point::mul_base(&Scalar::from_u64(a));
+        let pb = Point::mul_base(&Scalar::from_u64(b));
+        // Commutativity and the homomorphism [a]B + [b]B = [a+b]B.
+        prop_assert_eq!(pa.add(&pb), pb.add(&pa));
+        let sum = Scalar::from_u64(a).add(&Scalar::from_u64(b));
+        prop_assert_eq!(pa.add(&pb), Point::mul_base(&sum));
+        // Compression round-trips.
+        prop_assert_eq!(Point::decompress(&pa.compress()).unwrap(), pa);
+    }
+
+    #[test]
+    fn hash_chain_statements_verify_exactly_in_window(
+        seed in any::<[u8; 20]>(),
+        len in 2u64..40,
+        period_seed in any::<u64>(),
+        expected_seed in any::<u64>(),
+    ) {
+        let chain = HashChain::from_seed(seed, len);
+        let period = period_seed % len;
+        let expected = expected_seed % len;
+        let stmt = chain.statement(period).unwrap();
+        let verdict = verify_statement(chain.anchor(), stmt, expected, 1);
+        let in_window = period + 1 >= expected && period <= expected + 1;
+        prop_assert_eq!(verdict.is_some(), in_window,
+            "period {} vs expected {}", period, expected);
+    }
+
+    #[test]
+    fn h_iter_additivity(x in any::<[u8; 20]>(), a in 0u64..50, b in 0u64..50) {
+        let d = Digest20::from_bytes(x);
+        prop_assert_eq!(h_iter(h_iter(d, a), b), h_iter(d, a + b));
+    }
+
+    #[test]
+    fn wire_codec_round_trips(
+        v8 in prop::collection::vec(any::<u8>(), 0..255),
+        v16 in prop::collection::vec(any::<u8>(), 0..1000),
+        nums in any::<(u8, u16, u32, u64)>(),
+    ) {
+        let mut w = wire::Writer::new();
+        w.u8(nums.0).u16(nums.1).u32(nums.2).u64(nums.3).vec8(&v8).vec16(&v16);
+        let bytes = w.into_bytes();
+        let mut r = wire::Reader::new(&bytes);
+        prop_assert_eq!(r.u8("a").unwrap(), nums.0);
+        prop_assert_eq!(r.u16("b").unwrap(), nums.1);
+        prop_assert_eq!(r.u32("c").unwrap(), nums.2);
+        prop_assert_eq!(r.u64("d").unwrap(), nums.3);
+        prop_assert_eq!(r.vec8("e").unwrap().to_vec(), v8);
+        prop_assert_eq!(r.vec16("f").unwrap().to_vec(), v16);
+        prop_assert!(r.finish("end").is_ok());
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = wire::Reader::new(&bytes);
+        // Whatever sequence of reads, malformed input yields Err, not panic.
+        let _ = r.vec16("a");
+        let _ = r.u64("b");
+        let _ = r.vec8("c");
+        let _ = r.finish("d");
+    }
+}

@@ -1,0 +1,878 @@
+//! The authenticated dictionary — Fig. 2 of the paper.
+//!
+//! [`CaDictionary`] is the trusted, CA-side structure implementing `insert`
+//! and `refresh`; [`MirrorDictionary`] is the untrusted copy every RA keeps,
+//! implementing `update` and `prove`. Both wrap the same sorted-leaf
+//! [`crate::tree::MerkleTree`] structure.
+
+use crate::freshness::{FreshnessError, FreshnessStatement};
+use crate::proof::{ProofError, ProvenStatus, RevocationProof};
+use crate::root::{CaId, SignedRoot};
+use crate::serial::SerialNumber;
+use crate::tree::{Leaf, MerkleTree};
+use ritm_crypto::ed25519::{SigningKey, VerifyingKey};
+use ritm_crypto::hashchain::HashChain;
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+use rand::RngCore;
+
+/// A revocation issuance message: the revoked serials plus the new signed
+/// root (first row of Tab. I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationIssuance {
+    /// Revocation number of the first serial in `serials`; the batch covers
+    /// numbers `first_number .. first_number + serials.len()`.
+    pub first_number: u64,
+    /// Newly revoked serials, in issuance order.
+    pub serials: Vec<SerialNumber>,
+    /// The root signed over the dictionary including this batch.
+    pub signed_root: SignedRoot,
+}
+
+impl RevocationIssuance {
+    /// Serializes the issuance for dissemination.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.first_number);
+        w.u32(self.serials.len() as u32);
+        for s in &self.serials {
+            w.vec8(s.as_bytes());
+        }
+        w.bytes(&self.signed_root.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Parses an issuance message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let first_number = r.u64("issuance first number")?;
+        let count = r.u32("issuance count")? as usize;
+        let mut serials = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let raw = r.vec8("issuance serial")?;
+            serials.push(
+                SerialNumber::new(raw)
+                    .map_err(|_| DecodeError::new("invalid serial", r.position()))?,
+            );
+        }
+        let signed_root = SignedRoot::decode(&mut r)?;
+        r.finish("issuance trailing bytes")?;
+        Ok(RevocationIssuance { first_number, serials, signed_root })
+    }
+}
+
+/// What a CA disseminates at each period boundary (rows of Tab. I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshMessage {
+    /// Nothing new was revoked: only a freshness statement.
+    Freshness(FreshnessStatement),
+    /// The hash chain was exhausted: a brand-new signed root.
+    NewRoot(SignedRoot),
+}
+
+/// The full revocation status an RA sends to a client — Eq. (3):
+/// `proof, {root, n, H^m(v), t}_{K⁻_CA}, H^(m-p)(v)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationStatus {
+    /// Presence/absence proof for the queried serial.
+    pub proof: RevocationProof,
+    /// The signed root the proof commits to.
+    pub signed_root: SignedRoot,
+    /// The latest freshness statement for that root.
+    pub freshness: FreshnessStatement,
+}
+
+/// Why a [`RevocationStatus`] failed client-side validation (§III step 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusError {
+    /// The signed root's signature is invalid (step 5b precondition).
+    BadSignature,
+    /// The proof does not verify against the signed root (step 5b).
+    BadProof(ProofError),
+    /// The freshness statement is older than 2Δ or forged (step 5c).
+    NotFresh(FreshnessError),
+}
+
+impl core::fmt::Display for StatusError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StatusError::BadSignature => f.write_str("signed root signature invalid"),
+            StatusError::BadProof(e) => write!(f, "revocation proof invalid: {e}"),
+            StatusError::NotFresh(e) => write!(f, "freshness check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatusError {}
+
+impl RevocationStatus {
+    /// Client-side validation (§III step 5): signature, proof, freshness.
+    ///
+    /// Returns the proven status on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check as a [`StatusError`].
+    pub fn validate(
+        &self,
+        serial: &SerialNumber,
+        ca_key: &VerifyingKey,
+        delta: u64,
+        now: u64,
+    ) -> Result<ProvenStatus, StatusError> {
+        self.signed_root
+            .verify(ca_key)
+            .map_err(|_| StatusError::BadSignature)?;
+        let status = self
+            .proof
+            .verify(serial, &self.signed_root.root, self.signed_root.size)
+            .map_err(StatusError::BadProof)?;
+        self.freshness
+            .verify(&self.signed_root, delta, now)
+            .map_err(StatusError::NotFresh)?;
+        Ok(status)
+    }
+
+    /// Serializes the status (this is the payload piggybacked onto TLS; its
+    /// size is the paper's 500–900 byte figure, §VII-D).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.vec16(&self.proof.to_bytes());
+        w.bytes(&self.signed_root.to_bytes());
+        w.bytes(&self.freshness.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Parses a status message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let proof_bytes = r.vec16("status proof")?;
+        let proof = RevocationProof::from_bytes(proof_bytes)?;
+        let signed_root = SignedRoot::decode(&mut r)?;
+        let freshness = FreshnessStatement::decode(&mut r)?;
+        r.finish("status trailing bytes")?;
+        Ok(RevocationStatus { proof, signed_root, freshness })
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        2 + self.proof.encoded_len() + crate::root::SIGNED_ROOT_LEN + 20
+    }
+}
+
+/// The CA-side authenticated dictionary (trusted; Fig. 2 `insert` and
+/// `refresh`).
+#[derive(Debug)]
+pub struct CaDictionary {
+    ca: CaId,
+    key: SigningKey,
+    tree: MerkleTree,
+    /// Full issuance log by number (1-based), for RA catch-up sync.
+    log: Vec<SerialNumber>,
+    chain: HashChain,
+    chain_len: u64,
+    delta: u64,
+    signed_root: SignedRoot,
+}
+
+impl CaDictionary {
+    /// Creates an empty dictionary and signs its genesis root.
+    ///
+    /// `chain_len` is the paper's `m` parameter — how many Δ-periods one
+    /// hash chain covers before a new signed root is required.
+    pub fn new<R: RngCore + ?Sized>(
+        ca: CaId,
+        key: SigningKey,
+        delta: u64,
+        chain_len: u64,
+        rng: &mut R,
+        now: u64,
+    ) -> Self {
+        let tree = MerkleTree::new();
+        let chain = HashChain::generate(rng, chain_len);
+        let signed_root = SignedRoot::create(&key, ca, tree.root(), 0, chain.anchor(), now);
+        CaDictionary { ca, key, tree, log: Vec::new(), chain, chain_len, delta, signed_root }
+    }
+
+    /// The CA identifier.
+    pub fn ca(&self) -> CaId {
+        self.ca
+    }
+
+    /// The CA's verifying key (what clients and RAs pin).
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// The dissemination period Δ.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Number of revocations issued so far.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` if nothing has been revoked.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The latest signed root.
+    pub fn signed_root(&self) -> &SignedRoot {
+        &self.signed_root
+    }
+
+    /// Whether `serial` is already revoked.
+    pub fn contains(&self, serial: &SerialNumber) -> bool {
+        self.tree.find(serial).is_some()
+    }
+
+    /// Fig. 2 `insert`, batched: revokes `serials` (duplicates and
+    /// already-revoked serials are skipped), rebuilds the tree, rotates the
+    /// hash chain, and returns the issuance message to disseminate.
+    ///
+    /// Returns `None` when every serial was already revoked (nothing to
+    /// disseminate).
+    pub fn insert<R: RngCore + ?Sized>(
+        &mut self,
+        serials: &[SerialNumber],
+        rng: &mut R,
+        now: u64,
+    ) -> Option<RevocationIssuance> {
+        let first_number = self.log.len() as u64 + 1;
+        let mut added = Vec::new();
+        let mut in_batch = std::collections::HashSet::new();
+        for s in serials {
+            if self.tree.find(s).is_some() || !in_batch.insert(*s) {
+                continue;
+            }
+            added.push(*s);
+        }
+        if added.is_empty() {
+            return None;
+        }
+        self.tree.extend_leaves(
+            added
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Leaf::new(*s, first_number + i as u64)),
+        );
+        self.tree.rebuild();
+        self.log.extend_from_slice(&added);
+        self.chain = HashChain::generate(rng, self.chain_len);
+        self.signed_root = SignedRoot::create(
+            &self.key,
+            self.ca,
+            self.tree.root(),
+            self.tree.len() as u64,
+            self.chain.anchor(),
+            now,
+        );
+        Some(RevocationIssuance {
+            first_number,
+            serials: added,
+            signed_root: self.signed_root,
+        })
+    }
+
+    /// Fig. 2 `refresh`: called at least every Δ when there is no new
+    /// revocation. Returns either the next freshness statement or, when the
+    /// chain is exhausted (`p ≥ m`), a brand-new signed root.
+    pub fn refresh<R: RngCore + ?Sized>(&mut self, rng: &mut R, now: u64) -> RefreshMessage {
+        let p = now.saturating_sub(self.signed_root.timestamp) / self.delta.max(1);
+        match self.chain.statement(p) {
+            Ok(value) => RefreshMessage::Freshness(FreshnessStatement::new(value)),
+            Err(_) => {
+                self.chain = HashChain::generate(rng, self.chain_len);
+                self.signed_root = SignedRoot::create(
+                    &self.key,
+                    self.ca,
+                    self.tree.root(),
+                    self.tree.len() as u64,
+                    self.chain.anchor(),
+                    now,
+                );
+                RefreshMessage::NewRoot(self.signed_root)
+            }
+        }
+    }
+
+    /// Current freshness statement for time `now` (what an edge server would
+    /// hand out between refreshes).
+    pub fn current_freshness(&self, now: u64) -> Option<FreshnessStatement> {
+        let p = now.saturating_sub(self.signed_root.timestamp) / self.delta.max(1);
+        self.chain.statement(p).ok().map(FreshnessStatement::new)
+    }
+
+    /// Replays the issuance of every revocation after `have` (the RA's count
+    /// of consecutive valid revocations) — the catch-up half of the paper's
+    /// synchronization protocol.
+    pub fn issuance_since(&self, have: u64) -> RevocationIssuance {
+        let idx = (have as usize).min(self.log.len());
+        RevocationIssuance {
+            first_number: have + 1,
+            serials: self.log[idx..].to_vec(),
+            signed_root: self.signed_root,
+        }
+    }
+
+    /// Builds a full revocation status (Eq. 3) directly from the CA's own
+    /// tree — used in tests and by the origin server.
+    pub fn prove(&self, serial: &SerialNumber, now: u64) -> Option<RevocationStatus> {
+        Some(RevocationStatus {
+            proof: RevocationProof::generate(&self.tree, serial),
+            signed_root: self.signed_root,
+            freshness: self.current_freshness(now)?,
+        })
+    }
+
+    /// Paper §VII-D storage metric: bytes to persist the revocation data.
+    pub fn storage_bytes(&self) -> usize {
+        self.tree.storage_bytes()
+    }
+
+    /// Paper §VII-D memory metric: bytes to hold the built dictionary.
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.memory_bytes()
+    }
+}
+
+/// Why an RA rejected an update (Fig. 2 `update`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Signature on the new root is invalid.
+    BadSignature,
+    /// The root's timestamp regressed or is too far in the future.
+    BadTimestamp,
+    /// The issuance numbering does not continue the local copy — the RA is
+    /// desynchronized and must request a catch-up (sync protocol, §III).
+    Desynchronized {
+        /// Consecutive revocations the RA has.
+        have: u64,
+        /// First number in the received batch.
+        got: u64,
+    },
+    /// Rebuilt root or size does not match the signed root — the message is
+    /// corrupt or the CA equivocated.
+    RootMismatch,
+    /// A serial in the batch is already present — violates append-only
+    /// uniqueness.
+    DuplicateSerial,
+    /// Issuance was for a different CA's dictionary.
+    WrongCa,
+}
+
+impl core::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UpdateError::BadSignature => f.write_str("issuance signature invalid"),
+            UpdateError::BadTimestamp => f.write_str("issuance timestamp not acceptable"),
+            UpdateError::Desynchronized { have, got } => write!(
+                f,
+                "desynchronized: have {have} consecutive revocations, batch starts at {got}"
+            ),
+            UpdateError::RootMismatch => f.write_str("rebuilt root does not match signed root"),
+            UpdateError::DuplicateSerial => f.write_str("duplicate serial in issuance"),
+            UpdateError::WrongCa => f.write_str("issuance for a different CA"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Maximum tolerated clock skew (seconds) when judging root timestamps.
+pub const MAX_TIMESTAMP_SKEW: u64 = 300;
+
+/// An RA's untrusted mirror of one CA dictionary (Fig. 2 `update` and
+/// `prove`).
+#[derive(Debug, Clone)]
+pub struct MirrorDictionary {
+    ca: CaId,
+    ca_key: VerifyingKey,
+    tree: MerkleTree,
+    delta: u64,
+    signed_root: SignedRoot,
+    freshness: FreshnessStatement,
+}
+
+impl MirrorDictionary {
+    /// Bootstraps a mirror from the CA's genesis signed root (size 0).
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::BadSignature`] if the root is not validly signed;
+    /// [`UpdateError::RootMismatch`] if it does not commit to an empty tree.
+    pub fn new(
+        ca: CaId,
+        ca_key: VerifyingKey,
+        genesis: SignedRoot,
+    ) -> Result<Self, UpdateError> {
+        genesis.verify(&ca_key).map_err(|_| UpdateError::BadSignature)?;
+        if genesis.ca != ca {
+            return Err(UpdateError::WrongCa);
+        }
+        let tree = MerkleTree::new();
+        if genesis.size != 0 || genesis.root != tree.root() {
+            return Err(UpdateError::RootMismatch);
+        }
+        Ok(MirrorDictionary {
+            ca,
+            ca_key,
+            tree,
+            delta: 0, // set by set_delta or inherited from config
+            signed_root: genesis,
+            freshness: FreshnessStatement::new(genesis.anchor),
+        })
+    }
+
+    /// Sets the dissemination period Δ (from the CA manifest, §VIII).
+    pub fn set_delta(&mut self, delta: u64) {
+        self.delta = delta;
+    }
+
+    /// The CA this mirror tracks.
+    pub fn ca(&self) -> CaId {
+        self.ca
+    }
+
+    /// Number of revocations mirrored.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when no revocation has been mirrored yet.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Latest accepted signed root.
+    pub fn signed_root(&self) -> &SignedRoot {
+        &self.signed_root
+    }
+
+    /// Latest accepted freshness statement.
+    pub fn freshness(&self) -> &FreshnessStatement {
+        &self.freshness
+    }
+
+    /// Fig. 2 `update`: verifies and applies an issuance batch.
+    ///
+    /// The tree is rebuilt with the new serials and the changes are kept
+    /// only if the rebuilt root and size match the signed root exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`UpdateError`]; on any error the mirror is left unchanged.
+    pub fn apply_issuance(
+        &mut self,
+        issuance: &RevocationIssuance,
+        now: u64,
+    ) -> Result<(), UpdateError> {
+        let sr = &issuance.signed_root;
+        if sr.ca != self.ca {
+            return Err(UpdateError::WrongCa);
+        }
+        sr.verify(&self.ca_key).map_err(|_| UpdateError::BadSignature)?;
+        if sr.timestamp < self.signed_root.timestamp
+            || sr.timestamp > now + MAX_TIMESTAMP_SKEW
+        {
+            return Err(UpdateError::BadTimestamp);
+        }
+        let have = self.tree.len() as u64;
+        if issuance.first_number != have + 1 {
+            return Err(UpdateError::Desynchronized { have, got: issuance.first_number });
+        }
+        // Verify-then-commit: work on a scratch copy so failure leaves the
+        // mirror untouched.
+        let mut in_batch = std::collections::HashSet::new();
+        for s in &issuance.serials {
+            if self.tree.find(s).is_some() || !in_batch.insert(*s) {
+                return Err(UpdateError::DuplicateSerial);
+            }
+        }
+        let mut scratch = self.tree.clone();
+        scratch.extend_leaves(
+            issuance
+                .serials
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Leaf::new(*s, issuance.first_number + i as u64)),
+        );
+        scratch.rebuild();
+        if scratch.root() != sr.root || scratch.len() as u64 != sr.size {
+            return Err(UpdateError::RootMismatch);
+        }
+        self.tree = scratch;
+        self.signed_root = *sr;
+        self.freshness = FreshnessStatement::new(sr.anchor);
+        Ok(())
+    }
+
+    /// Applies a periodic refresh message (freshness statement or root
+    /// rotation).
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::BadSignature`] / [`UpdateError::RootMismatch`] for a
+    /// bad rotated root; a stale or off-chain freshness statement is
+    /// reported as `RootMismatch` since it does not commit to our anchor.
+    pub fn apply_refresh(&mut self, msg: &RefreshMessage, now: u64) -> Result<(), UpdateError> {
+        match msg {
+            RefreshMessage::Freshness(stmt) => {
+                stmt.verify(&self.signed_root, self.delta.max(1), now)
+                    .map_err(|_| UpdateError::RootMismatch)?;
+                self.freshness = *stmt;
+                Ok(())
+            }
+            RefreshMessage::NewRoot(sr) => {
+                if sr.ca != self.ca {
+                    return Err(UpdateError::WrongCa);
+                }
+                sr.verify(&self.ca_key).map_err(|_| UpdateError::BadSignature)?;
+                // A rotation must not change the content.
+                if sr.root != self.tree.root() || sr.size != self.tree.len() as u64 {
+                    return Err(UpdateError::RootMismatch);
+                }
+                if sr.timestamp < self.signed_root.timestamp || sr.timestamp > now + MAX_TIMESTAMP_SKEW {
+                    return Err(UpdateError::BadTimestamp);
+                }
+                self.signed_root = *sr;
+                self.freshness = FreshnessStatement::new(sr.anchor);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fig. 2 `prove`: builds the revocation status (Eq. 3) for `serial`.
+    pub fn prove(&self, serial: &SerialNumber) -> RevocationStatus {
+        RevocationStatus {
+            proof: RevocationProof::generate(&self.tree, serial),
+            signed_root: self.signed_root,
+            freshness: self.freshness,
+        }
+    }
+
+    /// Count of consecutive revocations held — what the RA reports to an
+    /// edge server when requesting catch-up.
+    pub fn consecutive_count(&self) -> u64 {
+        self.tree.len() as u64
+    }
+
+    /// Paper §VII-D storage metric.
+    pub fn storage_bytes(&self) -> usize {
+        self.tree.storage_bytes()
+    }
+
+    /// Paper §VII-D memory metric.
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const DELTA: u64 = 10;
+    const T0: u64 = 1_000_000;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn ca_dict(rng: &mut StdRng) -> CaDictionary {
+        CaDictionary::new(
+            CaId::from_name("TestCA"),
+            SigningKey::from_seed([1u8; 32]),
+            DELTA,
+            64,
+            rng,
+            T0,
+        )
+    }
+
+    fn mirror_of(ca: &CaDictionary) -> MirrorDictionary {
+        let mut m = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .expect("genesis bootstrap");
+        m.set_delta(DELTA);
+        m
+    }
+
+    fn serials(range: core::ops::Range<u32>) -> Vec<SerialNumber> {
+        range.map(SerialNumber::from_u24).collect()
+    }
+
+    #[test]
+    fn insert_update_prove_round_trip() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+
+        let iss = ca.insert(&serials(1..6), &mut rng, T0 + 1).unwrap();
+        ra.apply_issuance(&iss, T0 + 1).unwrap();
+        assert_eq!(ra.len(), 5);
+        assert_eq!(ra.signed_root(), ca.signed_root());
+
+        // Revoked serial → presence proof validates as revoked.
+        let status = ra.prove(&SerialNumber::from_u24(3));
+        let res = status
+            .validate(&SerialNumber::from_u24(3), &ca.verifying_key(), DELTA, T0 + 2)
+            .unwrap();
+        assert!(res.is_revoked());
+
+        // Unrevoked serial → absence proof validates as not revoked.
+        let status = ra.prove(&SerialNumber::from_u24(100));
+        let res = status
+            .validate(&SerialNumber::from_u24(100), &ca.verifying_key(), DELTA, T0 + 2)
+            .unwrap();
+        assert_eq!(res, ProvenStatus::NotRevoked);
+    }
+
+    #[test]
+    fn duplicate_insert_skipped() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        ca.insert(&serials(1..4), &mut rng, T0 + 1).unwrap();
+        assert!(ca.insert(&serials(1..4), &mut rng, T0 + 2).is_none());
+        assert_eq!(ca.len(), 3);
+        // Partial overlap only adds the new ones.
+        let iss = ca.insert(&serials(3..6), &mut rng, T0 + 3).unwrap();
+        assert_eq!(iss.serials.len(), 2);
+        assert_eq!(iss.first_number, 4);
+    }
+
+    #[test]
+    fn refresh_yields_freshness_then_rotates() {
+        let mut rng = rng();
+        // Chain of length 3 rotates quickly.
+        let mut ca = CaDictionary::new(
+            CaId::from_name("ShortChain"),
+            SigningKey::from_seed([2u8; 32]),
+            DELTA,
+            3,
+            &mut rng,
+            T0,
+        );
+        match ca.refresh(&mut rng, T0 + DELTA) {
+            RefreshMessage::Freshness(_) => {}
+            other => panic!("expected freshness, got {other:?}"),
+        }
+        match ca.refresh(&mut rng, T0 + 3 * DELTA) {
+            RefreshMessage::NewRoot(sr) => assert_eq!(sr.timestamp, T0 + 3 * DELTA),
+            other => panic!("expected rotation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_applies_refresh_messages() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+
+        let msg = ca.refresh(&mut rng, T0 + DELTA);
+        ra.apply_refresh(&msg, T0 + DELTA).unwrap();
+
+        // After rotation the mirror follows along too.
+        let mut ca2 = CaDictionary::new(
+            CaId::from_name("R"),
+            SigningKey::from_seed([5u8; 32]),
+            DELTA,
+            2,
+            &mut rng,
+            T0,
+        );
+        let mut ra2 = {
+            let mut m =
+                MirrorDictionary::new(ca2.ca(), ca2.verifying_key(), *ca2.signed_root()).unwrap();
+            m.set_delta(DELTA);
+            m
+        };
+        let msg = ca2.refresh(&mut rng, T0 + 5 * DELTA);
+        assert!(matches!(msg, RefreshMessage::NewRoot(_)));
+        ra2.apply_refresh(&msg, T0 + 5 * DELTA).unwrap();
+        assert_eq!(ra2.signed_root(), ca2.signed_root());
+    }
+
+    #[test]
+    fn desynchronized_mirror_detects_gap_and_catches_up() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+
+        let iss1 = ca.insert(&serials(1..4), &mut rng, T0 + 1).unwrap();
+        let iss2 = ca.insert(&serials(10..14), &mut rng, T0 + 2).unwrap();
+
+        // RA missed iss1; applying iss2 reports desync with have = 0.
+        let err = ra.apply_issuance(&iss2, T0 + 2).unwrap_err();
+        assert_eq!(err, UpdateError::Desynchronized { have: 0, got: 4 });
+
+        // Catch-up: CA replays everything after `have`.
+        let catchup = ca.issuance_since(ra.consecutive_count());
+        ra.apply_issuance(&catchup, T0 + 3).unwrap();
+        assert_eq!(ra.len(), 7);
+        assert_eq!(ra.signed_root(), ca.signed_root());
+        drop(iss1);
+    }
+
+    #[test]
+    fn tampered_issuance_rejected_and_mirror_unchanged() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+
+        let mut iss = ca.insert(&serials(1..5), &mut rng, T0 + 1).unwrap();
+        // Attacker swaps a serial: rebuilt root will differ.
+        iss.serials[0] = SerialNumber::from_u24(999);
+        let err = ra.apply_issuance(&iss, T0 + 1).unwrap_err();
+        assert_eq!(err, UpdateError::RootMismatch);
+        assert_eq!(ra.len(), 0, "failed update must not change the mirror");
+    }
+
+    #[test]
+    fn reordered_issuance_rejected() {
+        // Revocation reordering attack (§V "Misbehaving CA"): same serials,
+        // different order → different numbering → different leaf hashes.
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let mut iss = ca.insert(&serials(1..5), &mut rng, T0 + 1).unwrap();
+        iss.serials.swap(0, 3);
+        assert_eq!(
+            ra.apply_issuance(&iss, T0 + 1),
+            Err(UpdateError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let mut iss = ca.insert(&serials(1..3), &mut rng, T0 + 1).unwrap();
+        // Attacker signs with their own key.
+        let evil = SigningKey::from_seed([9u8; 32]);
+        iss.signed_root = SignedRoot::create(
+            &evil,
+            ca.ca(),
+            iss.signed_root.root,
+            iss.signed_root.size,
+            iss.signed_root.anchor,
+            iss.signed_root.timestamp,
+        );
+        assert_eq!(
+            ra.apply_issuance(&iss, T0 + 1),
+            Err(UpdateError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn timestamp_regression_rejected() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let iss = ca.insert(&serials(1..3), &mut rng, T0 - 10);
+        // Genesis was at T0; an older root must not be accepted.
+        assert_eq!(
+            ra.apply_issuance(&iss.unwrap(), T0),
+            Err(UpdateError::BadTimestamp)
+        );
+    }
+
+    #[test]
+    fn future_timestamp_rejected() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let iss = ca
+            .insert(&serials(1..3), &mut rng, T0 + MAX_TIMESTAMP_SKEW + 100)
+            .unwrap();
+        assert_eq!(ra.apply_issuance(&iss, T0), Err(UpdateError::BadTimestamp));
+    }
+
+    #[test]
+    fn status_encoding_round_trips_and_size_matches_paper() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        // Dictionary comparable to the paper's largest CRL (339,557 entries
+        // would be slow here; use 4096 and check the log-scaling claim).
+        let batch: Vec<SerialNumber> = (0..4096u32).map(SerialNumber::from_u24).collect();
+        let iss = ca.insert(&batch, &mut rng, T0 + 1).unwrap();
+        ra.apply_issuance(&iss, T0 + 1).unwrap();
+
+        let status = ra.prove(&SerialNumber::from_u24(5000));
+        let bytes = status.to_bytes();
+        assert_eq!(bytes.len(), status.encoded_len());
+        let back = RevocationStatus::from_bytes(&bytes).unwrap();
+        assert_eq!(back, status);
+        // Paper §VII-D: status for the largest CRL is 500–900 bytes; a
+        // 4096-entry dictionary (12 path levels) must come in below that.
+        assert!(bytes.len() < 900, "status was {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn issuance_encoding_round_trips() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let iss = ca.insert(&serials(1..10), &mut rng, T0 + 1).unwrap();
+        let back = RevocationIssuance::from_bytes(&iss.to_bytes()).unwrap();
+        assert_eq!(back, iss);
+    }
+
+    #[test]
+    fn stale_freshness_fails_validation() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let iss = ca.insert(&serials(1..4), &mut rng, T0 + 1).unwrap();
+        ra.apply_issuance(&iss, T0 + 1).unwrap();
+
+        // RA never refreshes; 3Δ later its stored statement is too old.
+        let status = ra.prove(&SerialNumber::from_u24(1));
+        let res = status.validate(
+            &SerialNumber::from_u24(1),
+            &ca.verifying_key(),
+            DELTA,
+            T0 + 1 + 3 * DELTA,
+        );
+        assert!(matches!(res, Err(StatusError::NotFresh(_))));
+
+        // After applying the current refresh, validation succeeds again.
+        let msg = ca.refresh(&mut rng, T0 + 1 + 3 * DELTA);
+        ra.apply_refresh(&msg, T0 + 1 + 3 * DELTA).unwrap();
+        let status = ra.prove(&SerialNumber::from_u24(1));
+        assert!(status
+            .validate(
+                &SerialNumber::from_u24(1),
+                &ca.verifying_key(),
+                DELTA,
+                T0 + 1 + 3 * DELTA
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn ca_prove_matches_mirror_prove() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let iss = ca.insert(&serials(1..20), &mut rng, T0 + 1).unwrap();
+        ra.apply_issuance(&iss, T0 + 1).unwrap();
+        let s = SerialNumber::from_u24(7);
+        let from_ca = ca.prove(&s, T0 + 2).unwrap();
+        let from_ra = ra.prove(&s);
+        assert_eq!(from_ca.proof, from_ra.proof);
+        assert_eq!(from_ca.signed_root, from_ra.signed_root);
+    }
+}

@@ -1,0 +1,190 @@
+//! Freshness statements — Eq. (2) of the paper.
+//!
+//! When no new revocation occurs within a period Δ, the CA disseminates only
+//! the next hash-chain preimage `H^(m-p)(v)`, which is unforgeable yet much
+//! smaller than a new signed root. Clients accept a statement no older than
+//! 2Δ (validation step 5c): for a root timestamped `t` and current time
+//! `now`, the expected period is `p' = ⌊(now - t)/Δ⌋` and the statement must
+//! hash to the anchor in `p'` or `p' + 1` steps.
+
+use crate::root::SignedRoot;
+use ritm_crypto::digest::Digest20;
+use ritm_crypto::hashchain::verify_statement;
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+
+/// Tolerance (in periods) the paper's validation policy allows, yielding the
+/// effective 2Δ attack window (§V, "Short Attack Window").
+pub const PERIOD_TOLERANCE: u64 = 1;
+
+/// A freshness statement: the hash-chain preimage for the current period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreshnessStatement {
+    /// `H^(m-p)(v)` for the current period `p`.
+    pub value: Digest20,
+}
+
+/// Why a freshness statement was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreshnessError {
+    /// The statement does not hash to the anchor within tolerance — it is
+    /// stale, forged, or from a different chain.
+    Stale,
+    /// The signed root's timestamp lies in the future relative to `now`.
+    FutureRoot,
+}
+
+impl core::fmt::Display for FreshnessError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FreshnessError::Stale => f.write_str("freshness statement stale or not on chain"),
+            FreshnessError::FutureRoot => f.write_str("signed root timestamp is in the future"),
+        }
+    }
+}
+
+impl std::error::Error for FreshnessError {}
+
+impl FreshnessStatement {
+    /// Wraps a raw chain value.
+    pub fn new(value: Digest20) -> Self {
+        FreshnessStatement { value }
+    }
+
+    /// Client-side check (validation step 5c): verifies this statement
+    /// against the anchor in `root`, for period `⌊(now - t)/Δ⌋` with the
+    /// paper's +1 tolerance.
+    ///
+    /// Returns the period the statement actually proves.
+    ///
+    /// # Errors
+    ///
+    /// [`FreshnessError::FutureRoot`] when `now < root.timestamp`;
+    /// [`FreshnessError::Stale`] when no period within tolerance matches.
+    pub fn verify(
+        &self,
+        root: &SignedRoot,
+        delta: u64,
+        now: u64,
+    ) -> Result<u64, FreshnessError> {
+        if now < root.timestamp {
+            return Err(FreshnessError::FutureRoot);
+        }
+        let expected = (now - root.timestamp) / delta.max(1);
+        verify_statement(root.anchor, self.value, expected, PERIOD_TOLERANCE)
+            .ok_or(FreshnessError::Stale)
+    }
+
+    /// Serializes the statement (20 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(20);
+        w.bytes(self.value.as_bytes());
+        w.into_bytes()
+    }
+
+    /// Parses a statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let out = Self::decode(&mut r)?;
+        r.finish("freshness trailing bytes")?;
+        Ok(out)
+    }
+
+    /// Parses from a reader (for embedding).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FreshnessStatement { value: Digest20::from_bytes(r.array("freshness value")?) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::root::CaId;
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_crypto::hashchain::HashChain;
+
+    const DELTA: u64 = 10;
+    const T0: u64 = 1_000_000;
+
+    fn setup() -> (HashChain, SignedRoot) {
+        let chain = HashChain::from_seed([1u8; 20], 100);
+        let key = SigningKey::from_seed([2u8; 32]);
+        let root = SignedRoot::create(
+            &key,
+            CaId::from_name("CA"),
+            Digest20::hash(b"tree"),
+            0,
+            chain.anchor(),
+            T0,
+        );
+        (chain, root)
+    }
+
+    #[test]
+    fn current_statement_accepted() {
+        let (chain, root) = setup();
+        for p in 0..5 {
+            let stmt = FreshnessStatement::new(chain.statement(p).unwrap());
+            let now = T0 + p * DELTA + 3;
+            assert_eq!(stmt.verify(&root, DELTA, now), Ok(p), "period {p}");
+        }
+    }
+
+    #[test]
+    fn one_period_ahead_accepted() {
+        // CA published period p+1 but the client's clock still says p.
+        let (chain, root) = setup();
+        let stmt = FreshnessStatement::new(chain.statement(4).unwrap());
+        let now = T0 + 3 * DELTA + 9; // client computes p' = 3
+        assert_eq!(stmt.verify(&root, DELTA, now), Ok(4));
+    }
+
+    #[test]
+    fn stale_statement_rejected() {
+        // A blocked/replayed statement from 2 periods ago must fail — this
+        // is what bounds the attack window to 2Δ.
+        let (chain, root) = setup();
+        let stmt = FreshnessStatement::new(chain.statement(2).unwrap());
+        let now = T0 + 4 * DELTA; // p' = 4; statement proves period 2
+        assert_eq!(stmt.verify(&root, DELTA, now), Err(FreshnessError::Stale));
+    }
+
+    #[test]
+    fn forged_statement_rejected() {
+        let (_, root) = setup();
+        let stmt = FreshnessStatement::new(Digest20::hash(b"forged"));
+        assert_eq!(
+            stmt.verify(&root, DELTA, T0 + 5),
+            Err(FreshnessError::Stale)
+        );
+    }
+
+    #[test]
+    fn future_root_rejected() {
+        let (chain, root) = setup();
+        let stmt = FreshnessStatement::new(chain.statement(0).unwrap());
+        assert_eq!(
+            stmt.verify(&root, DELTA, T0 - 1),
+            Err(FreshnessError::FutureRoot)
+        );
+    }
+
+    #[test]
+    fn zero_delta_does_not_divide_by_zero() {
+        let (chain, root) = setup();
+        let stmt = FreshnessStatement::new(chain.statement(0).unwrap());
+        // Δ = 0 is treated as 1-second periods.
+        assert!(stmt.verify(&root, 0, T0).is_ok());
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let (chain, _) = setup();
+        let stmt = FreshnessStatement::new(chain.statement(7).unwrap());
+        let back = FreshnessStatement::from_bytes(&stmt.to_bytes()).unwrap();
+        assert_eq!(back, stmt);
+    }
+}

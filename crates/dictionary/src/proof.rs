@@ -1,0 +1,436 @@
+//! Presence and absence proofs over the authenticated dictionary.
+//!
+//! The prover (an RA) is untrusted: a client verifies every proof against a
+//! CA-signed root (paper §III, "Revocation Lists"). Because leaves are sorted
+//! by serial, absence is proven either by an adjacent pair of leaves
+//! enclosing the queried serial, or by a boundary leaf, or — for an empty
+//! dictionary — by the well-known empty root.
+
+use crate::serial::SerialNumber;
+use crate::tree::{empty_root, root_from_path, Leaf, MerkleTree};
+use ritm_crypto::digest::Digest20;
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+
+/// An audit path proving one leaf's membership at a given index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresenceProof {
+    /// The leaf being proven.
+    pub leaf: Leaf,
+    /// Index of the leaf in the sorted leaf sequence.
+    pub index: u64,
+    /// Bottom-up sibling hashes.
+    pub path: Vec<Digest20>,
+}
+
+impl PresenceProof {
+    /// Builds the proof for leaf `index` of `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or the tree needs a rebuild.
+    pub fn generate(tree: &MerkleTree, index: usize) -> Self {
+        PresenceProof {
+            leaf: tree.leaves()[index],
+            index: index as u64,
+            path: tree.audit_path(index),
+        }
+    }
+
+    /// Recomputes the root this proof commits to, given the tree size.
+    pub fn implied_root(&self, size: u64) -> Option<Digest20> {
+        root_from_path(self.index as usize, size as usize, self.leaf.hash(), &self.path)
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.index);
+        w.vec8(self.leaf.serial.as_bytes());
+        w.u64(self.leaf.number);
+        w.u16(self.path.len() as u16);
+        for d in &self.path {
+            w.bytes(d.as_bytes());
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let index = r.u64("presence index")?;
+        let serial_bytes = r.vec8("presence serial")?;
+        let serial = SerialNumber::new(serial_bytes)
+            .map_err(|_| DecodeError::new("invalid serial", r.position()))?;
+        let number = r.u64("presence number")?;
+        let path_len = r.u16("presence path len")? as usize;
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(Digest20::from_bytes(r.array("presence path digest")?));
+        }
+        Ok(PresenceProof { leaf: Leaf { serial, number }, index, path })
+    }
+}
+
+/// A proof that a serial is or is not in the dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RevocationProof {
+    /// The serial is revoked: membership proof of its leaf.
+    Present(PresenceProof),
+    /// The dictionary holds no revocations at all.
+    AbsentEmpty,
+    /// The serial sorts before every revoked serial; proof of leaf 0.
+    AbsentBelow(PresenceProof),
+    /// The serial sorts after every revoked serial; proof of the last leaf.
+    AbsentAbove(PresenceProof),
+    /// The serial falls strictly between two adjacent leaves.
+    AbsentBetween(PresenceProof, PresenceProof),
+}
+
+/// Outcome of a successful proof verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenStatus {
+    /// The certificate is revoked (presence proven).
+    Revoked {
+        /// The revocation number assigned by the CA.
+        number: u64,
+    },
+    /// The certificate is not revoked (absence proven).
+    NotRevoked,
+}
+
+impl ProvenStatus {
+    /// Convenience predicate.
+    pub fn is_revoked(&self) -> bool {
+        matches!(self, ProvenStatus::Revoked { .. })
+    }
+}
+
+/// Why a proof failed to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofError {
+    /// The recomputed root differs from the trusted root.
+    RootMismatch,
+    /// The audit path shape does not match the claimed index/size.
+    MalformedPath,
+    /// The proven leaf does not relate to the queried serial as claimed
+    /// (e.g. an "absent" proof whose bounds do not enclose the serial).
+    SerialOutOfRange,
+    /// A boundary proof used an interior index, or adjacency does not hold.
+    WrongIndex,
+    /// An `AbsentEmpty` proof was offered for a non-empty dictionary.
+    NotEmpty,
+}
+
+impl core::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ProofError::RootMismatch => "recomputed root does not match trusted root",
+            ProofError::MalformedPath => "audit path inconsistent with index and tree size",
+            ProofError::SerialOutOfRange => "proven leaves do not bound the queried serial",
+            ProofError::WrongIndex => "proof indices violate boundary/adjacency requirements",
+            ProofError::NotEmpty => "empty-dictionary proof for a non-empty dictionary",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+impl RevocationProof {
+    /// Builds the proof for `serial` against `tree` (RA-side `prove`,
+    /// Fig. 2).
+    pub fn generate(tree: &MerkleTree, serial: &SerialNumber) -> Self {
+        if tree.is_empty() {
+            return RevocationProof::AbsentEmpty;
+        }
+        if let Some(idx) = tree.find(serial) {
+            return RevocationProof::Present(PresenceProof::generate(tree, idx));
+        }
+        let lb = tree.lower_bound(serial);
+        if lb == 0 {
+            RevocationProof::AbsentBelow(PresenceProof::generate(tree, 0))
+        } else if lb == tree.len() {
+            RevocationProof::AbsentAbove(PresenceProof::generate(tree, tree.len() - 1))
+        } else {
+            RevocationProof::AbsentBetween(
+                PresenceProof::generate(tree, lb - 1),
+                PresenceProof::generate(tree, lb),
+            )
+        }
+    }
+
+    /// Verifies this proof for `serial` against a trusted `(root, size)`
+    /// pair taken from a validated signed root.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProofError`] describing the first check that failed.
+    pub fn verify(
+        &self,
+        serial: &SerialNumber,
+        root: &Digest20,
+        size: u64,
+    ) -> Result<ProvenStatus, ProofError> {
+        let check_path = |p: &PresenceProof| -> Result<(), ProofError> {
+            let implied = p.implied_root(size).ok_or(ProofError::MalformedPath)?;
+            if implied == *root {
+                Ok(())
+            } else {
+                Err(ProofError::RootMismatch)
+            }
+        };
+        match self {
+            RevocationProof::Present(p) => {
+                if p.leaf.serial != *serial {
+                    return Err(ProofError::SerialOutOfRange);
+                }
+                check_path(p)?;
+                Ok(ProvenStatus::Revoked { number: p.leaf.number })
+            }
+            RevocationProof::AbsentEmpty => {
+                if size != 0 {
+                    return Err(ProofError::NotEmpty);
+                }
+                if *root != empty_root() {
+                    return Err(ProofError::RootMismatch);
+                }
+                Ok(ProvenStatus::NotRevoked)
+            }
+            RevocationProof::AbsentBelow(p) => {
+                if p.index != 0 {
+                    return Err(ProofError::WrongIndex);
+                }
+                if *serial >= p.leaf.serial {
+                    return Err(ProofError::SerialOutOfRange);
+                }
+                check_path(p)?;
+                Ok(ProvenStatus::NotRevoked)
+            }
+            RevocationProof::AbsentAbove(p) => {
+                if size == 0 || p.index != size - 1 {
+                    return Err(ProofError::WrongIndex);
+                }
+                if *serial <= p.leaf.serial {
+                    return Err(ProofError::SerialOutOfRange);
+                }
+                check_path(p)?;
+                Ok(ProvenStatus::NotRevoked)
+            }
+            RevocationProof::AbsentBetween(lo, hi) => {
+                if lo.index + 1 != hi.index {
+                    return Err(ProofError::WrongIndex);
+                }
+                if !(lo.leaf.serial < *serial && *serial < hi.leaf.serial) {
+                    return Err(ProofError::SerialOutOfRange);
+                }
+                check_path(lo)?;
+                check_path(hi)?;
+                Ok(ProvenStatus::NotRevoked)
+            }
+        }
+    }
+
+    /// Serializes the proof (part of the revocation status piggybacked onto
+    /// TLS traffic; its size drives the §VII-D communication overhead).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            RevocationProof::Present(p) => {
+                w.u8(0);
+                p.encode(&mut w);
+            }
+            RevocationProof::AbsentEmpty => {
+                w.u8(1);
+            }
+            RevocationProof::AbsentBelow(p) => {
+                w.u8(2);
+                p.encode(&mut w);
+            }
+            RevocationProof::AbsentAbove(p) => {
+                w.u8(3);
+                p.encode(&mut w);
+            }
+            RevocationProof::AbsentBetween(lo, hi) => {
+                w.u8(4);
+                lo.encode(&mut w);
+                hi.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a proof from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8("proof tag")?;
+        let proof = match tag {
+            0 => RevocationProof::Present(PresenceProof::decode(&mut r)?),
+            1 => RevocationProof::AbsentEmpty,
+            2 => RevocationProof::AbsentBelow(PresenceProof::decode(&mut r)?),
+            3 => RevocationProof::AbsentAbove(PresenceProof::decode(&mut r)?),
+            4 => RevocationProof::AbsentBetween(
+                PresenceProof::decode(&mut r)?,
+                PresenceProof::decode(&mut r)?,
+            ),
+            _ => return Err(DecodeError::new("unknown proof tag", 0)),
+        };
+        r.finish("proof trailing bytes")?;
+        Ok(proof)
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(serials: &[u32]) -> MerkleTree {
+        let mut t = MerkleTree::new();
+        for (i, s) in serials.iter().enumerate() {
+            t.insert_sorted(Leaf::new(SerialNumber::from_u24(*s), i as u64 + 1));
+        }
+        t.rebuild();
+        t
+    }
+
+    fn sn(v: u32) -> SerialNumber {
+        SerialNumber::from_u24(v)
+    }
+
+    #[test]
+    fn presence_proof_verifies() {
+        let t = tree_with(&[10, 20, 30, 40, 50]);
+        let p = RevocationProof::generate(&t, &sn(30));
+        let status = p.verify(&sn(30), &t.root(), t.len() as u64).unwrap();
+        assert!(status.is_revoked());
+    }
+
+    #[test]
+    fn absence_between_verifies() {
+        let t = tree_with(&[10, 20, 30]);
+        let p = RevocationProof::generate(&t, &sn(25));
+        assert!(matches!(p, RevocationProof::AbsentBetween(_, _)));
+        let status = p.verify(&sn(25), &t.root(), 3).unwrap();
+        assert_eq!(status, ProvenStatus::NotRevoked);
+    }
+
+    #[test]
+    fn absence_below_and_above() {
+        let t = tree_with(&[10, 20, 30]);
+        let below = RevocationProof::generate(&t, &sn(5));
+        assert!(matches!(below, RevocationProof::AbsentBelow(_)));
+        assert!(below.verify(&sn(5), &t.root(), 3).is_ok());
+
+        let above = RevocationProof::generate(&t, &sn(99));
+        assert!(matches!(above, RevocationProof::AbsentAbove(_)));
+        assert!(above.verify(&sn(99), &t.root(), 3).is_ok());
+    }
+
+    #[test]
+    fn empty_dictionary_absence() {
+        let t = MerkleTree::new();
+        let p = RevocationProof::generate(&t, &sn(1));
+        assert_eq!(p, RevocationProof::AbsentEmpty);
+        assert!(p.verify(&sn(1), &t.root(), 0).is_ok());
+        // But the same proof must not pass for a non-empty dictionary.
+        let t2 = tree_with(&[1]);
+        assert_eq!(p.verify(&sn(1), &t2.root(), 1), Err(ProofError::NotEmpty));
+    }
+
+    #[test]
+    fn absence_proof_rejected_for_revoked_serial() {
+        // A malicious RA tries to hide a revocation by presenting a
+        // *neighbouring* pair as if the serial were absent.
+        let t = tree_with(&[10, 20, 30, 40]);
+        let fake = RevocationProof::AbsentBetween(
+            PresenceProof::generate(&t, 0),
+            PresenceProof::generate(&t, 1),
+        );
+        // 20 IS revoked; the pair (10, 20) cannot enclose it strictly.
+        assert_eq!(
+            fake.verify(&sn(20), &t.root(), 4),
+            Err(ProofError::SerialOutOfRange)
+        );
+    }
+
+    #[test]
+    fn nonadjacent_pair_rejected() {
+        // Leaves 10 and 30 exist, 20 exists between them but the RA skips it.
+        let t = tree_with(&[10, 20, 30]);
+        let fake = RevocationProof::AbsentBetween(
+            PresenceProof::generate(&t, 0),
+            PresenceProof::generate(&t, 2),
+        );
+        assert_eq!(fake.verify(&sn(15), &t.root(), 3), Err(ProofError::WrongIndex));
+    }
+
+    #[test]
+    fn proof_from_stale_tree_rejected() {
+        // Proof generated before an insert must fail against the new root.
+        let old = tree_with(&[10, 20, 30]);
+        let proof = RevocationProof::generate(&old, &sn(25));
+        let new = tree_with(&[10, 20, 25, 30]);
+        assert_eq!(
+            proof.verify(&sn(25), &new.root(), 4),
+            Err(ProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_serial_for_presence_rejected() {
+        let t = tree_with(&[10, 20]);
+        let p = RevocationProof::generate(&t, &sn(10));
+        assert_eq!(
+            p.verify(&sn(20), &t.root(), 2),
+            Err(ProofError::SerialOutOfRange)
+        );
+    }
+
+    #[test]
+    fn below_proof_with_interior_index_rejected() {
+        let t = tree_with(&[10, 20, 30]);
+        let fake = RevocationProof::AbsentBelow(PresenceProof::generate(&t, 1));
+        assert_eq!(fake.verify(&sn(5), &t.root(), 3), Err(ProofError::WrongIndex));
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let t = tree_with(&[10, 20, 30, 40, 50, 60, 70]);
+        for q in [10u32, 15, 5, 99, 40] {
+            let p = RevocationProof::generate(&t, &sn(q));
+            let bytes = p.to_bytes();
+            let back = RevocationProof::from_bytes(&bytes).unwrap();
+            assert_eq!(back, p, "query {q}");
+        }
+        let empty = RevocationProof::AbsentEmpty;
+        assert_eq!(
+            RevocationProof::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(RevocationProof::from_bytes(&[]).is_err());
+        assert!(RevocationProof::from_bytes(&[9]).is_err());
+        let t = tree_with(&[10]);
+        let mut good = RevocationProof::generate(&t, &sn(10)).to_bytes();
+        good.push(0); // trailing byte
+        assert!(RevocationProof::from_bytes(&good).is_err());
+    }
+
+    #[test]
+    fn proof_size_is_logarithmic() {
+        // Paper §VII-D: proof size is logarithmic in dictionary size.
+        let small = tree_with(&(0..16u32).collect::<Vec<_>>());
+        let big = tree_with(&(0..1024u32).collect::<Vec<_>>());
+        let ps = RevocationProof::generate(&small, &sn(3)).encoded_len();
+        let pb = RevocationProof::generate(&big, &sn(3)).encoded_len();
+        // 1024/16 = 64x more leaves but only +6 path entries (120 bytes).
+        assert!(pb > ps);
+        assert!(pb - ps <= 6 * 20 + 8, "growth should be ~6 digests");
+    }
+}

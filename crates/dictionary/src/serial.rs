@@ -1,0 +1,180 @@
+//! Certificate serial numbers.
+//!
+//! A serial number is a positive integer assigned uniquely to every
+//! CA-issued certificate, represented by at most 20 bytes (RFC 5280; paper
+//! footnote 1). The paper's dataset analysis (§VII-A) found 3-byte serials
+//! most common (32 %), so workloads default to 3 bytes.
+
+use ritm_crypto::hex;
+
+/// Maximum encoded length of a serial number in bytes.
+pub const MAX_SERIAL_LEN: usize = 20;
+
+/// Error returned when constructing a [`SerialNumber`] from invalid bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialError {
+    /// Serial numbers must contain at least one byte.
+    Empty,
+    /// Serial numbers are limited to [`MAX_SERIAL_LEN`] bytes.
+    TooLong(usize),
+}
+
+impl core::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SerialError::Empty => f.write_str("serial number must not be empty"),
+            SerialError::TooLong(n) => {
+                write!(f, "serial number of {n} bytes exceeds the 20-byte maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// A certificate serial number: 1–20 bytes, compared lexicographically —
+/// the sort order of dictionary leaves (paper §III).
+///
+/// # Examples
+///
+/// ```
+/// use ritm_dictionary::SerialNumber;
+/// # fn main() -> Result<(), ritm_dictionary::SerialError> {
+/// let a = SerialNumber::new(&[0x07, 0x3e, 0x10])?;
+/// let b = SerialNumber::new(&[0x07, 0x3e, 0x11])?;
+/// assert!(a < b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SerialNumber {
+    bytes: [u8; MAX_SERIAL_LEN],
+    len: u8,
+}
+
+impl SerialNumber {
+    /// Creates a serial number from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] when `bytes` is empty or longer than 20 bytes.
+    pub fn new(bytes: &[u8]) -> Result<Self, SerialError> {
+        if bytes.is_empty() {
+            return Err(SerialError::Empty);
+        }
+        if bytes.len() > MAX_SERIAL_LEN {
+            return Err(SerialError::TooLong(bytes.len()));
+        }
+        let mut buf = [0u8; MAX_SERIAL_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Ok(SerialNumber { bytes: buf, len: bytes.len() as u8 })
+    }
+
+    /// Creates a 3-byte serial from an integer (the common case in the
+    /// paper's dataset). Only the low 24 bits are used.
+    pub fn from_u24(v: u32) -> Self {
+        let b = v.to_be_bytes();
+        SerialNumber::new(&b[1..]).expect("3 bytes is always valid")
+    }
+
+    /// Creates an 8-byte serial from an integer.
+    pub fn from_u64(v: u64) -> Self {
+        SerialNumber::new(&v.to_be_bytes()).expect("8 bytes is always valid")
+    }
+
+    /// The serial's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always `false`: serials have at least one byte.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl PartialOrd for SerialNumber {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SerialNumber {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Lexicographic over the meaningful bytes, as the paper sorts leaves.
+        self.as_bytes().cmp(other.as_bytes())
+    }
+}
+
+impl core::fmt::Debug for SerialNumber {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SerialNumber({})", hex::encode(self.as_bytes()))
+    }
+}
+
+impl core::fmt::Display for SerialNumber {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&hex::encode(self.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = SerialNumber::new(&[1]).unwrap();
+        let b = SerialNumber::new(&[1, 0]).unwrap();
+        let c = SerialNumber::new(&[2]).unwrap();
+        assert!(a < b, "prefix sorts first");
+        assert!(b < c);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(SerialNumber::new(&[]), Err(SerialError::Empty));
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        assert_eq!(
+            SerialNumber::new(&[0u8; 21]),
+            Err(SerialError::TooLong(21))
+        );
+        assert!(SerialNumber::new(&[0u8; 20]).is_ok());
+    }
+
+    #[test]
+    fn from_u24_is_three_bytes() {
+        let s = SerialNumber::from_u24(0x073e10);
+        assert_eq!(s.as_bytes(), &[0x07, 0x3e, 0x10]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn from_u24_truncates_high_bits() {
+        assert_eq!(
+            SerialNumber::from_u24(0xff_aabbcc),
+            SerialNumber::from_u24(0xaabbcc)
+        );
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let s = SerialNumber::new(&[0xde, 0xad]).unwrap();
+        assert_eq!(s.to_string(), "dead");
+    }
+
+    #[test]
+    fn distinct_lengths_are_distinct() {
+        let a = SerialNumber::new(&[0, 0]).unwrap();
+        let b = SerialNumber::new(&[0, 0, 0]).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,389 @@
+//! The sorted-leaf hash tree underlying RITM's authenticated dictionary.
+//!
+//! Every leaf is a revoked serial number concatenated with its revocation
+//! number (paper §III). Leaves are kept sorted lexicographically by serial so
+//! that both presence and absence can be proven with logarithmic-size audit
+//! paths. Interior nodes hash their children; an odd node at the end of a
+//! level is promoted unchanged (RFC 6962 style), so the tree handles any leaf
+//! count.
+
+use crate::serial::SerialNumber;
+use ritm_crypto::digest::Digest20;
+
+/// Domain-separation prefix for leaf hashes.
+const LEAF_PREFIX: u8 = 0x00;
+/// Domain-separation prefix for interior-node hashes.
+const NODE_PREFIX: u8 = 0x01;
+
+/// A dictionary leaf: a revoked serial plus its consecutive revocation
+/// number (1-based insertion order, paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Leaf {
+    /// Serial number of the revoked certificate.
+    pub serial: SerialNumber,
+    /// Position of this revocation in the CA's issuance order, starting at 1.
+    pub number: u64,
+}
+
+impl Leaf {
+    /// Creates a leaf.
+    pub fn new(serial: SerialNumber, number: u64) -> Self {
+        Leaf { serial, number }
+    }
+
+    /// The domain-separated leaf hash
+    /// `H(0x00 ‖ len(serial) ‖ serial ‖ number)`.
+    pub fn hash(&self) -> Digest20 {
+        let mut buf = Vec::with_capacity(2 + self.serial.len() + 8);
+        buf.push(LEAF_PREFIX);
+        buf.push(self.serial.len() as u8);
+        buf.extend_from_slice(self.serial.as_bytes());
+        buf.extend_from_slice(&self.number.to_be_bytes());
+        Digest20::hash(buf)
+    }
+}
+
+/// Hashes an interior node from its two children.
+pub fn node_hash(left: &Digest20, right: &Digest20) -> Digest20 {
+    let mut buf = [0u8; 41];
+    buf[0] = NODE_PREFIX;
+    buf[1..21].copy_from_slice(left.as_bytes());
+    buf[21..41].copy_from_slice(right.as_bytes());
+    Digest20::hash(buf)
+}
+
+/// The root reported for an empty dictionary (no revocations yet).
+pub fn empty_root() -> Digest20 {
+    Digest20::hash([LEAF_PREFIX, 0xff])
+}
+
+/// A Merkle tree over sorted dictionary leaves.
+///
+/// The tree owns its leaves and caches every interior level so audit paths
+/// are O(log n) lookups. Rebuilds after a batch insert are O(n) hashing.
+///
+/// # Examples
+///
+/// ```
+/// use ritm_dictionary::{tree::{Leaf, MerkleTree}, SerialNumber};
+/// let mut t = MerkleTree::new();
+/// t.insert_sorted(Leaf::new(SerialNumber::from_u24(5), 1));
+/// t.insert_sorted(Leaf::new(SerialNumber::from_u24(2), 2));
+/// t.rebuild();
+/// assert_eq!(t.len(), 2);
+/// assert!(t.find(&SerialNumber::from_u24(5)).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MerkleTree {
+    /// Leaves sorted lexicographically by serial.
+    leaves: Vec<Leaf>,
+    /// `levels[0]` = leaf hashes, `levels.last()` = `[root]`. Empty for an
+    /// empty tree. Invalidated (empty) between `insert_sorted` and `rebuild`.
+    levels: Vec<Vec<Digest20>>,
+}
+
+impl MerkleTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        MerkleTree::default()
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// `true` if the tree holds no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The sorted leaves.
+    pub fn leaves(&self) -> &[Leaf] {
+        &self.leaves
+    }
+
+    /// Inserts a leaf preserving the sort order; the interior levels are
+    /// invalidated until [`MerkleTree::rebuild`] runs. Duplicate serials are
+    /// allowed by the structure (callers reject them at the dictionary
+    /// layer).
+    pub fn insert_sorted(&mut self, leaf: Leaf) {
+        let pos = self
+            .leaves
+            .partition_point(|l| l.serial < leaf.serial);
+        self.leaves.insert(pos, leaf);
+        self.levels.clear();
+    }
+
+    /// Bulk-inserts a batch of leaves with one re-sort — O((n+k)·log(n+k))
+    /// instead of the O(n·k) of repeated [`MerkleTree::insert_sorted`];
+    /// essential for Heartbleed-scale issuance batches. Levels are
+    /// invalidated until [`MerkleTree::rebuild`] runs.
+    pub fn extend_leaves(&mut self, leaves: impl IntoIterator<Item = Leaf>) {
+        self.leaves.extend(leaves);
+        self.leaves.sort_by_key(|a| a.serial);
+        self.levels.clear();
+    }
+
+    /// Recomputes all interior levels. Idempotent.
+    pub fn rebuild(&mut self) {
+        self.levels.clear();
+        if self.leaves.is_empty() {
+            return;
+        }
+        let mut level: Vec<Digest20> = self.leaves.iter().map(Leaf::hash).collect();
+        self.levels.push(level.clone());
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                match pair {
+                    [l, r] => next.push(node_hash(l, r)),
+                    [l] => next.push(*l), // odd node promoted
+                    _ => unreachable!("chunks(2) yields 1 or 2 items"),
+                }
+            }
+            self.levels.push(next.clone());
+            level = next;
+        }
+    }
+
+    /// The current root. For an empty tree this is [`empty_root`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if leaves were inserted without a subsequent
+    /// [`MerkleTree::rebuild`].
+    pub fn root(&self) -> Digest20 {
+        if self.leaves.is_empty() {
+            return empty_root();
+        }
+        assert!(
+            !self.levels.is_empty(),
+            "tree was modified; call rebuild() before root()"
+        );
+        self.levels.last().expect("non-empty levels")[0]
+    }
+
+    /// Binary-searches for `serial`, returning the leaf index if revoked.
+    pub fn find(&self, serial: &SerialNumber) -> Option<usize> {
+        self.leaves
+            .binary_search_by(|l| l.serial.cmp(serial))
+            .ok()
+    }
+
+    /// Index of the first leaf with serial `>= serial` (== `len()` when all
+    /// are smaller). Used for absence proofs.
+    pub fn lower_bound(&self, serial: &SerialNumber) -> usize {
+        self.leaves.partition_point(|l| l.serial < *serial)
+    }
+
+    /// The audit path (bottom-up sibling hashes) for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or the tree needs a rebuild.
+    pub fn audit_path(&self, index: usize) -> Vec<Digest20> {
+        assert!(index < self.leaves.len(), "leaf index out of bounds");
+        assert!(!self.levels.is_empty(), "call rebuild() before audit_path()");
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = idx ^ 1;
+            if sibling < level.len() {
+                path.push(level[sibling]);
+            }
+            idx /= 2;
+        }
+        path
+    }
+
+    /// Approximate heap usage of the interior levels plus leaf storage, for
+    /// the §VII-D storage/memory experiment.
+    pub fn memory_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .levels
+            .iter()
+            .map(|l| l.len() * core::mem::size_of::<Digest20>())
+            .sum();
+        node_bytes + self.leaves.len() * core::mem::size_of::<Leaf>()
+    }
+
+    /// Bytes needed to persist just the revocation data (serial bytes plus
+    /// an 8-byte revocation number per entry) — the paper's "storage"
+    /// metric.
+    pub fn storage_bytes(&self) -> usize {
+        self.leaves.iter().map(|l| l.serial.len() + 8).sum()
+    }
+}
+
+/// Recomputes a root from a leaf hash and its audit path.
+///
+/// Returns `None` when the path length is inconsistent with `(index, size)`.
+pub fn root_from_path(
+    index: usize,
+    size: usize,
+    leaf_hash: Digest20,
+    path: &[Digest20],
+) -> Option<Digest20> {
+    if index >= size || size == 0 {
+        return None;
+    }
+    let mut idx = index;
+    let mut level_len = size;
+    let mut hash = leaf_hash;
+    let mut elems = path.iter();
+    while level_len > 1 {
+        let sibling = idx ^ 1;
+        if sibling < level_len {
+            let sib = elems.next()?;
+            hash = if idx.is_multiple_of(2) {
+                node_hash(&hash, sib)
+            } else {
+                node_hash(sib, &hash)
+            };
+        }
+        idx /= 2;
+        level_len = level_len.div_ceil(2);
+    }
+    if elems.next().is_some() {
+        return None;
+    }
+    Some(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(serials: &[u32]) -> MerkleTree {
+        let mut t = MerkleTree::new();
+        for (i, s) in serials.iter().enumerate() {
+            t.insert_sorted(Leaf::new(SerialNumber::from_u24(*s), i as u64 + 1));
+        }
+        t.rebuild();
+        t
+    }
+
+    #[test]
+    fn empty_tree_has_defined_root() {
+        let t = MerkleTree::new();
+        assert_eq!(t.root(), empty_root());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let t = tree_with(&[42]);
+        assert_eq!(t.root(), t.leaves()[0].hash());
+    }
+
+    #[test]
+    fn leaves_stay_sorted() {
+        let t = tree_with(&[9, 1, 5, 3, 7]);
+        let serials: Vec<_> = t.leaves().iter().map(|l| l.serial).collect();
+        let mut sorted = serials.clone();
+        sorted.sort();
+        assert_eq!(serials, sorted);
+    }
+
+    #[test]
+    fn insertion_order_preserved_in_numbers() {
+        let t = tree_with(&[9, 1, 5]);
+        // serial 1 was inserted second -> number 2.
+        let idx = t.find(&SerialNumber::from_u24(1)).unwrap();
+        assert_eq!(t.leaves()[idx].number, 2);
+    }
+
+    #[test]
+    fn root_changes_on_insert() {
+        let a = tree_with(&[1, 2, 3]);
+        let b = tree_with(&[1, 2, 3, 4]);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn audit_paths_verify_for_all_sizes() {
+        for n in 1..=33u32 {
+            let serials: Vec<u32> = (0..n).map(|i| i * 3 + 1).collect();
+            let t = tree_with(&serials);
+            for i in 0..t.len() {
+                let path = t.audit_path(i);
+                let got = root_from_path(i, t.len(), t.leaves()[i].hash(), &path);
+                assert_eq!(got, Some(t.root()), "n = {n}, i = {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn audit_path_rejects_wrong_index() {
+        let t = tree_with(&[1, 2, 3, 4, 5]);
+        let path = t.audit_path(2);
+        let h = t.leaves()[2].hash();
+        // Right leaf hash, wrong claimed index.
+        let got = root_from_path(3, t.len(), h, &path);
+        assert_ne!(got, Some(t.root()));
+    }
+
+    #[test]
+    fn audit_path_rejects_truncated_path() {
+        let t = tree_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut path = t.audit_path(0);
+        path.pop();
+        assert_eq!(root_from_path(0, t.len(), t.leaves()[0].hash(), &path), None);
+    }
+
+    #[test]
+    fn audit_path_rejects_extended_path() {
+        let t = tree_with(&[1, 2, 3, 4]);
+        let mut path = t.audit_path(0);
+        path.push(Digest20::hash(b"extra"));
+        assert_eq!(root_from_path(0, t.len(), t.leaves()[0].hash(), &path), None);
+    }
+
+    #[test]
+    fn root_from_path_bounds() {
+        assert_eq!(root_from_path(0, 0, Digest20::ZERO, &[]), None);
+        assert_eq!(root_from_path(5, 5, Digest20::ZERO, &[]), None);
+    }
+
+    #[test]
+    fn leaf_hash_depends_on_number() {
+        let s = SerialNumber::from_u24(7);
+        assert_ne!(Leaf::new(s, 1).hash(), Leaf::new(s, 2).hash());
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A leaf hash must never equal an interior hash of the same bytes.
+        let a = Digest20::hash(b"a");
+        let b = Digest20::hash(b"b");
+        let node = node_hash(&a, &b);
+        let mut concat = Vec::new();
+        concat.extend_from_slice(a.as_bytes());
+        concat.extend_from_slice(b.as_bytes());
+        assert_ne!(node, Digest20::hash(&concat));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = tree_with(&[1, 2, 3, 4]);
+        // 4 leaves × (3-byte serial + 8-byte number)
+        assert_eq!(t.storage_bytes(), 4 * 11);
+        assert!(t.memory_bytes() > t.storage_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild")]
+    fn stale_root_panics() {
+        let mut t = tree_with(&[1]);
+        t.insert_sorted(Leaf::new(SerialNumber::from_u24(2), 2));
+        let _ = t.root();
+    }
+
+    #[test]
+    fn rebuild_is_idempotent() {
+        let mut t = tree_with(&[5, 6, 7]);
+        let r = t.root();
+        t.rebuild();
+        assert_eq!(t.root(), r);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the authenticated dictionary: the dictionary
+//! must agree with a trivial set-model for *every* query, and no byte-level
+//! tampering of a revocation status may survive client validation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm_crypto::SigningKey;
+use ritm_dictionary::{
+    CaDictionary, CaId, MirrorDictionary, ProvenStatus, RevocationStatus, SerialNumber,
+};
+use std::collections::BTreeSet;
+
+const DELTA: u64 = 10;
+const T0: u64 = 1_000_000;
+
+fn setup(batches: &[Vec<u32>]) -> (CaDictionary, MirrorDictionary, BTreeSet<u32>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut ca = CaDictionary::new(
+        CaId::from_name("PropCA"),
+        SigningKey::from_seed([1u8; 32]),
+        DELTA,
+        256,
+        &mut rng,
+        T0,
+    );
+    let mut ra = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+    ra.set_delta(DELTA);
+    let mut model = BTreeSet::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let serials: Vec<SerialNumber> = batch.iter().map(|&v| SerialNumber::from_u24(v)).collect();
+        let now = T0 + i as u64 + 1;
+        if let Some(iss) = ca.insert(&serials, &mut rng, now) {
+            ra.apply_issuance(&iss, now).unwrap();
+        }
+        model.extend(batch.iter().copied().map(|v| v & 0x00ff_ffff));
+    }
+    // Bring the mirror's freshness up to the validation time used by the
+    // properties (T0 + 100); otherwise statuses are *correctly* rejected as
+    // stale (>2Δ old).
+    let msg = ca.refresh(&mut rng, T0 + 100);
+    ra.apply_refresh(&msg, T0 + 100).unwrap();
+    (ca, ra, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any insertion history and any query, the RA's proof verifies and
+    /// its verdict matches a plain set model.
+    #[test]
+    fn dictionary_agrees_with_set_model(
+        batches in prop::collection::vec(prop::collection::vec(0u32..5_000, 0..40), 0..6),
+        queries in prop::collection::vec(0u32..6_000, 1..30),
+    ) {
+        let (ca, ra, model) = setup(&batches);
+        let now = T0 + 100;
+        for q in queries {
+            let serial = SerialNumber::from_u24(q);
+            let status = ra.prove(&serial);
+            let outcome = status
+                .validate(&serial, &ca.verifying_key(), DELTA, now)
+                .expect("honest proof must validate");
+            prop_assert_eq!(
+                outcome.is_revoked(),
+                model.contains(&q),
+                "query {} disagreed with model", q
+            );
+            if let ProvenStatus::Revoked { number } = outcome {
+                prop_assert!(number >= 1 && number <= model.len() as u64);
+            }
+        }
+    }
+
+    /// Status messages survive an encode/decode round trip bit-exactly.
+    #[test]
+    fn status_encoding_round_trips(
+        batch in prop::collection::vec(0u32..10_000, 1..200),
+        query in 0u32..12_000,
+    ) {
+        let (_ca, ra, _model) = setup(&[batch]);
+        let serial = SerialNumber::from_u24(query);
+        let status = ra.prove(&serial);
+        let bytes = status.to_bytes();
+        let back = RevocationStatus::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, status);
+    }
+
+    /// Flipping any single byte of an encoded status must never yield a
+    /// *different verdict that still validates*: tampering is either caught
+    /// by decode/validation, or decodes back to an equivalent valid status.
+    #[test]
+    fn tampered_status_never_flips_verdict(
+        batch in prop::collection::vec(0u32..2_000, 1..50),
+        query in 0u32..2_500,
+        flip_byte in any::<u8>(),
+        flip_pos_seed in any::<u16>(),
+    ) {
+        let (ca, ra, model) = setup(&[batch]);
+        let serial = SerialNumber::from_u24(query);
+        let status = ra.prove(&serial);
+        let honest_revoked = model.contains(&query);
+        let mut bytes = status.to_bytes();
+        let pos = flip_pos_seed as usize % bytes.len();
+        if flip_byte == bytes[pos] {
+            return Ok(()); // no-op flip
+        }
+        bytes[pos] = flip_byte;
+        if let Ok(tampered) = RevocationStatus::from_bytes(&bytes) {
+            if let Ok(outcome) =
+                tampered.validate(&serial, &ca.verifying_key(), DELTA, T0 + 100)
+            {
+                prop_assert_eq!(
+                    outcome.is_revoked(),
+                    honest_revoked,
+                    "tampering at byte {} flipped the verdict", pos
+                );
+            }
+        }
+    }
+
+    /// A replayed (stale) signed root from before the latest insert must not
+    /// validate a serial revoked afterwards as "not revoked" *with current
+    /// freshness* — the freshness statement is bound to the new root.
+    #[test]
+    fn stale_root_cannot_masquerade_as_fresh(
+        first in prop::collection::vec(0u32..1_000, 1..20),
+        victim in 1_000u32..1_100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("ReplayCA"),
+            SigningKey::from_seed([2u8; 32]),
+            DELTA,
+            256,
+            &mut rng,
+            T0,
+        );
+        let mut ra = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        ra.set_delta(DELTA);
+        let serials: Vec<SerialNumber> = first.iter().map(|&v| SerialNumber::from_u24(v)).collect();
+        if let Some(iss) = ca.insert(&serials, &mut rng, T0 + 1) {
+            ra.apply_issuance(&iss, T0 + 1).unwrap();
+        }
+        // Snapshot the old status for the victim before it is revoked.
+        let victim_serial = SerialNumber::from_u24(victim);
+        let old_status = ra.prove(&victim_serial);
+
+        // CA revokes the victim; much later, the old status must be stale.
+        ca.insert(&[victim_serial], &mut rng, T0 + 2);
+        let much_later = T0 + 2 + 3 * DELTA;
+        let res = old_status.validate(&victim_serial, &ca.verifying_key(), DELTA, much_later);
+        prop_assert!(res.is_err(), "stale absence status accepted at +3Δ");
+    }
+}

@@ -1,0 +1,42 @@
+//! # ritm-net — deterministic discrete-event network simulator
+//!
+//! The substrate under RITM's end-to-end experiments: TCP-like segments
+//! ([`tcp`]) travel along multi-hop paths ([`sim::Path`]) where middleboxes
+//! ([`middlebox`]) may inspect and rewrite them — the vantage point a
+//! Revocation Agent occupies (paper Fig. 1). Latency models ([`latency`])
+//! drive the CDN download-time experiments (Fig. 5). Time ([`time`]) is
+//! integer microseconds for full determinism.
+//!
+//! # Examples
+//!
+//! ```
+//! use ritm_net::sim::{Context, NetNode, Path, Simulator};
+//! use ritm_net::tcp::{Addr, Direction, FourTuple, SocketAddr, TcpSegment};
+//! use ritm_net::time::SimDuration;
+//!
+//! struct Sink;
+//! impl NetNode for Sink {
+//!     fn on_segment(&mut self, _s: TcpSegment, _ctx: &mut Context) {}
+//! }
+//!
+//! let mut sim = Simulator::new();
+//! let client = sim.add_node(Box::new(Sink));
+//! let server = sim.add_node(Box::new(Sink));
+//! sim.add_path(Addr(1), Addr(2), Path::new(vec![client, server], vec![SimDuration::from_millis(20)]));
+//! let tuple = FourTuple { client: SocketAddr::new(1, 5000), server: SocketAddr::new(2, 443) };
+//! sim.inject(client, TcpSegment::data(tuple, Direction::ToServer, 0, 0, vec![1, 2, 3]));
+//! sim.run_to_quiescence();
+//! assert_eq!(sim.now().as_micros(), 20_000);
+//! ```
+
+pub mod latency;
+pub mod middlebox;
+pub mod sim;
+pub mod tcp;
+pub mod time;
+
+pub use latency::LatencyModel;
+pub use middlebox::{Middlebox, MiddleboxNode, Passthrough};
+pub use sim::{Context, NetNode, NodeId, Path, Simulator};
+pub use tcp::{Addr, Direction, FourTuple, SeqTranslator, SocketAddr, TcpSegment};
+pub use time::{SimDuration, SimTime};

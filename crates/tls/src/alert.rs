@@ -1,0 +1,131 @@
+//! TLS alerts — how a RITM client interrupts a connection whose certificate
+//! turns out to be revoked or whose revocation status goes stale (paper §III
+//! step 7: "the connection is interrupted by the client").
+
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertLevel {
+    /// Warning (1).
+    Warning,
+    /// Fatal (2) — the connection must be torn down.
+    Fatal,
+}
+
+/// Alert description codes (subset used by this substrate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertDescription {
+    /// close_notify (0).
+    CloseNotify,
+    /// bad_certificate (42).
+    BadCertificate,
+    /// certificate_revoked (44) — what a RITM client sends on a presence
+    /// proof.
+    CertificateRevoked,
+    /// certificate_expired (45).
+    CertificateExpired,
+    /// certificate_unknown (46) — used when the revocation status is missing
+    /// or stale past 2Δ.
+    CertificateUnknown,
+    /// handshake_failure (40).
+    HandshakeFailure,
+}
+
+impl AlertDescription {
+    fn to_u8(self) -> u8 {
+        match self {
+            AlertDescription::CloseNotify => 0,
+            AlertDescription::HandshakeFailure => 40,
+            AlertDescription::BadCertificate => 42,
+            AlertDescription::CertificateRevoked => 44,
+            AlertDescription::CertificateExpired => 45,
+            AlertDescription::CertificateUnknown => 46,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => AlertDescription::CloseNotify,
+            40 => AlertDescription::HandshakeFailure,
+            42 => AlertDescription::BadCertificate,
+            44 => AlertDescription::CertificateRevoked,
+            45 => AlertDescription::CertificateExpired,
+            46 => AlertDescription::CertificateUnknown,
+            _ => return None,
+        })
+    }
+}
+
+/// A TLS alert message (2 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// Severity.
+    pub level: AlertLevel,
+    /// Reason.
+    pub description: AlertDescription,
+}
+
+impl Alert {
+    /// A fatal alert with the given description.
+    pub fn fatal(description: AlertDescription) -> Self {
+        Alert { level: AlertLevel::Fatal, description }
+    }
+
+    /// Encodes the 2-byte alert payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(2);
+        w.u8(match self.level {
+            AlertLevel::Warning => 1,
+            AlertLevel::Fatal => 2,
+        });
+        w.u8(self.description.to_u8());
+        w.into_bytes()
+    }
+
+    /// Parses an alert payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation or unknown codes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let level = match r.u8("alert level")? {
+            1 => AlertLevel::Warning,
+            2 => AlertLevel::Fatal,
+            _ => return Err(DecodeError::new("unknown alert level", 0)),
+        };
+        let description = AlertDescription::from_u8(r.u8("alert description")?)
+            .ok_or(DecodeError::new("unknown alert description", 1))?;
+        r.finish("alert trailing bytes")?;
+        Ok(Alert { level, description })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_descriptions() {
+        for d in [
+            AlertDescription::CloseNotify,
+            AlertDescription::HandshakeFailure,
+            AlertDescription::BadCertificate,
+            AlertDescription::CertificateRevoked,
+            AlertDescription::CertificateExpired,
+            AlertDescription::CertificateUnknown,
+        ] {
+            let a = Alert::fatal(d);
+            assert_eq!(Alert::from_bytes(&a.to_bytes()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn unknown_codes_rejected() {
+        assert!(Alert::from_bytes(&[3, 0]).is_err());
+        assert!(Alert::from_bytes(&[2, 99]).is_err());
+        assert!(Alert::from_bytes(&[2]).is_err());
+        assert!(Alert::from_bytes(&[2, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,921 @@
+//! TLS client/server connection state machines.
+//!
+//! These implement enough of TLS 1.2 for RITM's purposes: a plaintext
+//! negotiation phase carrying real certificate chains (what the RA's DPI
+//! inspects), Finished messages bound to the handshake transcript (so
+//! middlebox *tampering* with the handshake is detected, §V "MITM and
+//! Blocking Attack"), session-id and session-ticket resumption, alerts, and
+//! application-data records. Record payload encryption is modelled as
+//! plaintext (documented in DESIGN.md): RITM never reads post-handshake
+//! payloads, only record boundaries.
+
+use crate::alert::{Alert, AlertDescription};
+use crate::certificate::{CertError, CertificateChain, TrustAnchors};
+use crate::extensions::Extension;
+use crate::handshake::{ClientHello, HandshakeMessage, ServerHello, DEFAULT_CIPHER_SUITE};
+use crate::record::{ContentType, TlsRecord};
+use crate::session::{ServerSessionCache, SessionState};
+use parking_lot::Mutex;
+use ritm_crypto::digest::Digest20;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced by the connection state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// A message arrived that the current state cannot accept.
+    UnexpectedMessage(&'static str),
+    /// Wire-format decoding failed.
+    Decode(ritm_crypto::wire::DecodeError),
+    /// Certificate chain validation failed.
+    Certificate(CertError),
+    /// The peer's Finished did not match the transcript.
+    BadFinished,
+    /// No common cipher suite.
+    NoCipherOverlap,
+    /// The peer sent a fatal alert.
+    FatalAlert(Alert),
+    /// The connection was already closed or failed.
+    Closed,
+}
+
+impl core::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TlsError::UnexpectedMessage(s) => write!(f, "unexpected message in state {s}"),
+            TlsError::Decode(e) => write!(f, "tls decode error: {e}"),
+            TlsError::Certificate(e) => write!(f, "certificate validation failed: {e}"),
+            TlsError::BadFinished => f.write_str("finished verify-data mismatch"),
+            TlsError::NoCipherOverlap => f.write_str("no common cipher suite"),
+            TlsError::FatalAlert(a) => write!(f, "peer sent fatal alert {:?}", a.description),
+            TlsError::Closed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl From<ritm_crypto::wire::DecodeError> for TlsError {
+    fn from(e: ritm_crypto::wire::DecodeError) -> Self {
+        TlsError::Decode(e)
+    }
+}
+
+impl From<CertError> for TlsError {
+    fn from(e: CertError) -> Self {
+        TlsError::Certificate(e)
+    }
+}
+
+fn finished_verify_data(transcript: &[u8], label: &[u8]) -> [u8; 12] {
+    let mut buf = Vec::with_capacity(transcript.len() + label.len());
+    buf.extend_from_slice(label);
+    buf.extend_from_slice(transcript);
+    let d = Digest20::hash(buf);
+    let mut out = [0u8; 12];
+    out.copy_from_slice(&d.as_bytes()[..12]);
+    out
+}
+
+/// Long-lived server-side state shared across connections: the certificate
+/// chain, resumption caches, and deployment flags.
+#[derive(Debug)]
+pub struct ServerContext {
+    /// The chain presented in full handshakes.
+    pub chain: CertificateChain,
+    /// Whether this endpoint is a RITM-augmented TLS terminator (§IV,
+    /// close-to-servers model): adds the confirmation extension.
+    pub ritm_terminator: bool,
+    /// Whether session tickets are offered.
+    pub offer_tickets: bool,
+    ticket_secret: [u8; 20],
+    cache: Mutex<ServerSessionCache>,
+    session_counter: AtomicU64,
+}
+
+impl ServerContext {
+    /// Creates a server context with all options explicit.
+    pub fn configured(
+        chain: CertificateChain,
+        ticket_secret: [u8; 20],
+        ritm_terminator: bool,
+        offer_tickets: bool,
+    ) -> Arc<Self> {
+        Arc::new(ServerContext {
+            chain,
+            ritm_terminator,
+            offer_tickets,
+            ticket_secret,
+            cache: Mutex::new(ServerSessionCache::new(ticket_secret)),
+            session_counter: AtomicU64::new(1),
+        })
+    }
+
+    /// Creates a plain server context.
+    pub fn new(chain: CertificateChain, ticket_secret: [u8; 20]) -> Arc<Self> {
+        Self::configured(chain, ticket_secret, false, false)
+    }
+
+    /// Creates a RITM-terminator context (adds the ServerHello confirmation).
+    pub fn new_ritm_terminator(chain: CertificateChain, ticket_secret: [u8; 20]) -> Arc<Self> {
+        Self::configured(chain, ticket_secret, true, false)
+    }
+
+    /// Returns a context identical to `self` but offering session tickets.
+    pub fn with_tickets(self: Arc<Self>) -> Arc<Self> {
+        Self::configured(
+            self.chain.clone(),
+            self.ticket_secret,
+            self.ritm_terminator,
+            true,
+        )
+    }
+
+    fn next_session_id(&self) -> Vec<u8> {
+        let c = self.session_counter.fetch_add(1, Ordering::Relaxed);
+        let mut seed = Vec::with_capacity(28);
+        seed.extend_from_slice(b"session-id");
+        seed.extend_from_slice(&c.to_be_bytes());
+        let d = Digest20::hash(seed);
+        let mut id = d.as_bytes().to_vec();
+        id.extend_from_slice(&c.to_be_bytes());
+        id.truncate(32);
+        id
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerState {
+    AwaitClientHello,
+    AwaitClientKeyExchange,
+    AwaitClientFinished { resumed: bool },
+    Established,
+    Failed,
+}
+
+/// Events a server connection reports to its driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// Handshake finished (`resumed` = abbreviated handshake).
+    HandshakeComplete {
+        /// Whether this was a resumption.
+        resumed: bool,
+    },
+    /// Application data arrived.
+    ReceivedData(Vec<u8>),
+    /// The peer closed or failed the connection.
+    ConnectionClosed,
+}
+
+/// One server-side TLS connection.
+#[derive(Debug)]
+pub struct ServerConnection {
+    ctx: Arc<ServerContext>,
+    random: [u8; 32],
+    state: ServerState,
+    transcript: Vec<u8>,
+    session_id: Vec<u8>,
+    cert_chain_hash: Digest20,
+    now: u64,
+}
+
+impl ServerConnection {
+    /// Creates a connection bound to the shared context; `random` is the
+    /// server random for this connection.
+    pub fn new(ctx: Arc<ServerContext>, random: [u8; 32]) -> Self {
+        let cert_chain_hash = Digest20::hash(ctx.chain.to_bytes());
+        ServerConnection {
+            ctx,
+            random,
+            state: ServerState::AwaitClientHello,
+            transcript: Vec::new(),
+            session_id: Vec::new(),
+            cert_chain_hash,
+            now: 0,
+        }
+    }
+
+    /// `true` once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == ServerState::Established
+    }
+
+    /// Consumes one inbound record and produces response records + events.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TlsError`]; the connection then refuses further input.
+    pub fn process_record(
+        &mut self,
+        record: &TlsRecord,
+        now: u64,
+    ) -> Result<(Vec<TlsRecord>, Vec<ServerEvent>), TlsError> {
+        self.now = now;
+        if self.state == ServerState::Failed {
+            return Err(TlsError::Closed);
+        }
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        match record.content_type {
+            ContentType::Handshake => {
+                for msg in HandshakeMessage::parse_all(&record.payload)? {
+                    self.handle_handshake(msg, &mut out, &mut events)
+                        .inspect_err(|_| self.state = ServerState::Failed)?;
+                }
+            }
+            ContentType::ApplicationData => {
+                if self.state != ServerState::Established {
+                    self.state = ServerState::Failed;
+                    return Err(TlsError::UnexpectedMessage("data before established"));
+                }
+                events.push(ServerEvent::ReceivedData(record.payload.clone()));
+            }
+            ContentType::Alert => {
+                let alert = Alert::from_bytes(&record.payload)?;
+                self.state = ServerState::Failed;
+                events.push(ServerEvent::ConnectionClosed);
+                if alert.level == crate::alert::AlertLevel::Fatal
+                    && alert.description != AlertDescription::CloseNotify
+                {
+                    return Err(TlsError::FatalAlert(alert));
+                }
+            }
+            ContentType::ChangeCipherSpec => {}
+            ContentType::RitmStatus => {
+                // Servers ignore RITM records (they are for the client; a
+                // stray one indicates an RA bug but must not kill the
+                // connection — RAs are non-invasive, §VII-F).
+            }
+        }
+        Ok((out, events))
+    }
+
+    fn handle_handshake(
+        &mut self,
+        msg: HandshakeMessage,
+        out: &mut Vec<TlsRecord>,
+        events: &mut Vec<ServerEvent>,
+    ) -> Result<(), TlsError> {
+        match (&self.state, msg) {
+            (ServerState::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
+                // The server ignores the RITM extension (paper §III step 3).
+                if !ch.cipher_suites.contains(&DEFAULT_CIPHER_SUITE) {
+                    return Err(TlsError::NoCipherOverlap);
+                }
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::ClientHello(ch.clone()).to_bytes());
+
+                // Try session-id resumption.
+                let resumed = !ch.session_id.is_empty()
+                    && self.ctx.cache.lock().lookup(&ch.session_id).is_some();
+                let mut extensions = Vec::new();
+                if self.ctx.ritm_terminator {
+                    extensions.push(Extension::ritm_confirmation());
+                }
+                if resumed {
+                    self.session_id = ch.session_id.clone();
+                    let sh = HandshakeMessage::ServerHello(ServerHello {
+                        version: 0x0303,
+                        random: self.random,
+                        session_id: self.session_id.clone(),
+                        cipher_suite: DEFAULT_CIPHER_SUITE,
+                        extensions,
+                    });
+                    self.transcript.extend_from_slice(&sh.to_bytes());
+                    let vd = finished_verify_data(&self.transcript, b"server finished");
+                    let fin = HandshakeMessage::Finished(vd);
+                    self.transcript.extend_from_slice(&fin.to_bytes());
+                    out.push(TlsRecord::new(
+                        ContentType::Handshake,
+                        HandshakeMessage::encode_all(&[sh, fin]),
+                    ));
+                    self.state = ServerState::AwaitClientFinished { resumed: true };
+                } else {
+                    self.session_id = self.ctx.next_session_id();
+                    let sh = HandshakeMessage::ServerHello(ServerHello {
+                        version: 0x0303,
+                        random: self.random,
+                        session_id: self.session_id.clone(),
+                        cipher_suite: DEFAULT_CIPHER_SUITE,
+                        extensions,
+                    });
+                    let cert = HandshakeMessage::Certificate(self.ctx.chain.clone());
+                    let done = HandshakeMessage::ServerHelloDone;
+                    for m in [&sh, &cert, &done] {
+                        self.transcript.extend_from_slice(&m.to_bytes());
+                    }
+                    out.push(TlsRecord::new(
+                        ContentType::Handshake,
+                        HandshakeMessage::encode_all(&[sh, cert, done]),
+                    ));
+                    self.state = ServerState::AwaitClientKeyExchange;
+                }
+                Ok(())
+            }
+            (ServerState::AwaitClientKeyExchange, HandshakeMessage::ClientKeyExchange(data)) => {
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::ClientKeyExchange(data).to_bytes());
+                self.state = ServerState::AwaitClientFinished { resumed: false };
+                Ok(())
+            }
+            (ServerState::AwaitClientFinished { resumed }, HandshakeMessage::Finished(vd)) => {
+                let resumed = *resumed;
+                let expect = finished_verify_data(&self.transcript, b"client finished");
+                if vd != expect {
+                    return Err(TlsError::BadFinished);
+                }
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::Finished(vd).to_bytes());
+                if !resumed {
+                    // Full handshake: store the session, maybe a ticket,
+                    // then send server Finished.
+                    let state = SessionState {
+                        session_id: self.session_id.clone(),
+                        cipher_suite: DEFAULT_CIPHER_SUITE,
+                        cert_chain_hash: self.cert_chain_hash,
+                        established_at: self.now,
+                    };
+                    let mut msgs = Vec::new();
+                    if self.ctx.offer_tickets {
+                        let ticket = self.ctx.cache.lock().mint_ticket(&state, 3600);
+                        let t = HandshakeMessage::NewSessionTicket(ticket);
+                        self.transcript.extend_from_slice(&t.to_bytes());
+                        msgs.push(t);
+                    }
+                    self.ctx.cache.lock().store(state);
+                    let vd = finished_verify_data(&self.transcript, b"server finished");
+                    let fin = HandshakeMessage::Finished(vd);
+                    self.transcript.extend_from_slice(&fin.to_bytes());
+                    msgs.push(fin);
+                    out.push(TlsRecord::new(
+                        ContentType::Handshake,
+                        HandshakeMessage::encode_all(&msgs),
+                    ));
+                }
+                self.state = ServerState::Established;
+                events.push(ServerEvent::HandshakeComplete { resumed });
+                Ok(())
+            }
+            (state, msg) => {
+                let _ = (state, msg);
+                Err(TlsError::UnexpectedMessage("server state machine"))
+            }
+        }
+    }
+
+    /// Sends application data (only once established).
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Closed`] if the handshake has not completed.
+    pub fn send_data(&mut self, data: &[u8]) -> Result<TlsRecord, TlsError> {
+        if self.state != ServerState::Established {
+            return Err(TlsError::Closed);
+        }
+        Ok(TlsRecord::new(ContentType::ApplicationData, data.to_vec()))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    Start,
+    AwaitServerHello,
+    AwaitServerHelloDone,
+    AwaitServerFinished { resumed: bool },
+    Established,
+    Failed,
+}
+
+/// Client-side configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server name to connect to (used for SNI and the session cache).
+    pub server_name: String,
+    /// Pinned trust anchors for chain validation.
+    pub anchors: TrustAnchors,
+    /// Whether to request RITM protection (ClientHello extension, §III).
+    pub enable_ritm: bool,
+}
+
+/// Events a client connection reports to its driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// Handshake finished; for a full handshake the validated chain was
+    /// already surfaced via [`ClientEvent::CertificateReceived`].
+    HandshakeComplete {
+        /// Whether this was a resumption.
+        resumed: bool,
+        /// Whether the server confirmed RITM support (close-to-server
+        /// deployment, §IV) — used for downgrade protection.
+        server_confirms_ritm: bool,
+    },
+    /// The server's chain passed standard validation (client step 5a).
+    CertificateReceived(CertificateChain),
+    /// Application data arrived.
+    ReceivedData(Vec<u8>),
+    /// A RITM revocation-status record arrived (opaque payload; the
+    /// `ritm-client` crate decodes and enforces it).
+    RitmStatus(Vec<u8>),
+    /// The connection ended.
+    ConnectionClosed,
+}
+
+/// One client-side TLS connection.
+#[derive(Debug)]
+pub struct TlsClient {
+    config: ClientConfig,
+    random: [u8; 32],
+    state: ClientState,
+    transcript: Vec<u8>,
+    resumption: Option<SessionState>,
+    server_chain: Option<CertificateChain>,
+    pending_ticket: Option<crate::handshake::SessionTicket>,
+    session_id: Vec<u8>,
+    server_confirms_ritm: bool,
+}
+
+impl TlsClient {
+    /// Creates a client connection; `resume_from` enables an abbreviated
+    /// handshake using a cached session.
+    pub fn new(config: ClientConfig, random: [u8; 32], resume_from: Option<SessionState>) -> Self {
+        TlsClient {
+            config,
+            random,
+            state: ClientState::Start,
+            transcript: Vec::new(),
+            resumption: resume_from,
+            server_chain: None,
+            pending_ticket: None,
+            session_id: Vec::new(),
+            server_confirms_ritm: false,
+        }
+    }
+
+    /// `true` once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == ClientState::Established
+    }
+
+    /// The validated server chain (present after a full handshake).
+    pub fn server_chain(&self) -> Option<&CertificateChain> {
+        self.server_chain.as_ref()
+    }
+
+    /// Session ticket issued by the server, if any.
+    pub fn take_ticket(&mut self) -> Option<crate::handshake::SessionTicket> {
+        self.pending_ticket.take()
+    }
+
+    /// The established session's state (for caching in a
+    /// [`ClientSessionCache`](crate::session::ClientSessionCache)).
+    pub fn session_state(&self, now: u64) -> Option<SessionState> {
+        if self.state != ClientState::Established {
+            return None;
+        }
+        Some(SessionState {
+            session_id: self.session_id.clone(),
+            cipher_suite: DEFAULT_CIPHER_SUITE,
+            cert_chain_hash: self
+                .server_chain
+                .as_ref()
+                .map(|c| Digest20::hash(c.to_bytes()))
+                .or_else(|| self.resumption.as_ref().map(|r| r.cert_chain_hash))?,
+            established_at: now,
+        })
+    }
+
+    /// Starts the handshake, producing the ClientHello record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) -> TlsRecord {
+        assert_eq!(self.state, ClientState::Start, "start() called twice");
+        let mut extensions = vec![Extension::sni(&self.config.server_name)];
+        if self.config.enable_ritm {
+            extensions.push(Extension::ritm_request());
+        }
+        let session_id = self
+            .resumption
+            .as_ref()
+            .map(|s| s.session_id.clone())
+            .unwrap_or_default();
+        let ch = HandshakeMessage::ClientHello(ClientHello {
+            version: 0x0303,
+            random: self.random,
+            session_id,
+            cipher_suites: vec![DEFAULT_CIPHER_SUITE, 0x002f, 0x0035],
+            extensions,
+        });
+        self.transcript.extend_from_slice(&ch.to_bytes());
+        self.state = ClientState::AwaitServerHello;
+        TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&[ch]))
+    }
+
+    /// Consumes one inbound record and produces response records + events.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TlsError`]; the connection then refuses further input.
+    pub fn process_record(
+        &mut self,
+        record: &TlsRecord,
+        now: u64,
+    ) -> Result<(Vec<TlsRecord>, Vec<ClientEvent>), TlsError> {
+        if self.state == ClientState::Failed {
+            return Err(TlsError::Closed);
+        }
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        match record.content_type {
+            ContentType::Handshake => {
+                for msg in HandshakeMessage::parse_all(&record.payload)? {
+                    self.handle_handshake(msg, now, &mut out, &mut events)
+                        .inspect_err(|_| self.state = ClientState::Failed)?;
+                }
+            }
+            ContentType::ApplicationData => {
+                if self.state != ClientState::Established {
+                    self.state = ClientState::Failed;
+                    return Err(TlsError::UnexpectedMessage("data before established"));
+                }
+                events.push(ClientEvent::ReceivedData(record.payload.clone()));
+            }
+            ContentType::RitmStatus => {
+                events.push(ClientEvent::RitmStatus(record.payload.clone()));
+            }
+            ContentType::Alert => {
+                let alert = Alert::from_bytes(&record.payload)?;
+                self.state = ClientState::Failed;
+                events.push(ClientEvent::ConnectionClosed);
+                if alert.level == crate::alert::AlertLevel::Fatal
+                    && alert.description != AlertDescription::CloseNotify
+                {
+                    return Err(TlsError::FatalAlert(alert));
+                }
+            }
+            ContentType::ChangeCipherSpec => {}
+        }
+        Ok((out, events))
+    }
+
+    fn handle_handshake(
+        &mut self,
+        msg: HandshakeMessage,
+        now: u64,
+        out: &mut Vec<TlsRecord>,
+        events: &mut Vec<ClientEvent>,
+    ) -> Result<(), TlsError> {
+        match (&self.state, msg) {
+            (ClientState::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
+                self.server_confirms_ritm = sh.confirms_ritm();
+                let resumed = self
+                    .resumption
+                    .as_ref()
+                    .is_some_and(|r| r.session_id == sh.session_id);
+                self.session_id = sh.session_id.clone();
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::ServerHello(sh).to_bytes());
+                self.state = if resumed {
+                    ClientState::AwaitServerFinished { resumed: true }
+                } else {
+                    ClientState::AwaitServerHelloDone
+                };
+                Ok(())
+            }
+            (ClientState::AwaitServerHelloDone, HandshakeMessage::Certificate(chain)) => {
+                // Standard validation — the client's step 5a. The RITM
+                // revocation check happens in ritm-client on top.
+                chain.validate(&self.config.anchors, now)?;
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::Certificate(chain.clone()).to_bytes());
+                events.push(ClientEvent::CertificateReceived(chain.clone()));
+                self.server_chain = Some(chain);
+                Ok(())
+            }
+            (ClientState::AwaitServerHelloDone, HandshakeMessage::ServerHelloDone) => {
+                if self.server_chain.is_none() {
+                    return Err(TlsError::UnexpectedMessage("hello-done before certificate"));
+                }
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::ServerHelloDone.to_bytes());
+                let cke = HandshakeMessage::ClientKeyExchange(vec![0x42; 48]);
+                self.transcript.extend_from_slice(&cke.to_bytes());
+                let vd = finished_verify_data(&self.transcript, b"client finished");
+                let fin = HandshakeMessage::Finished(vd);
+                self.transcript.extend_from_slice(&fin.to_bytes());
+                out.push(TlsRecord::new(
+                    ContentType::Handshake,
+                    HandshakeMessage::encode_all(&[cke, fin]),
+                ));
+                self.state = ClientState::AwaitServerFinished { resumed: false };
+                Ok(())
+            }
+            (ClientState::AwaitServerFinished { .. }, HandshakeMessage::NewSessionTicket(t)) => {
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::NewSessionTicket(t.clone()).to_bytes());
+                self.pending_ticket = Some(t);
+                Ok(())
+            }
+            (ClientState::AwaitServerFinished { resumed }, HandshakeMessage::Finished(vd)) => {
+                let resumed = *resumed;
+                let expect = finished_verify_data(&self.transcript, b"server finished");
+                if vd != expect {
+                    return Err(TlsError::BadFinished);
+                }
+                self.transcript
+                    .extend_from_slice(&HandshakeMessage::Finished(vd).to_bytes());
+                if resumed {
+                    // Abbreviated handshake: client Finished goes last.
+                    let vd = finished_verify_data(&self.transcript, b"client finished");
+                    let fin = HandshakeMessage::Finished(vd);
+                    self.transcript.extend_from_slice(&fin.to_bytes());
+                    out.push(TlsRecord::new(
+                        ContentType::Handshake,
+                        HandshakeMessage::encode_all(&[fin]),
+                    ));
+                }
+                self.state = ClientState::Established;
+                events.push(ClientEvent::HandshakeComplete {
+                    resumed,
+                    server_confirms_ritm: self.server_confirms_ritm,
+                });
+                Ok(())
+            }
+            (state, msg) => {
+                let _ = (state, msg);
+                Err(TlsError::UnexpectedMessage("client state machine"))
+            }
+        }
+    }
+
+    /// Sends application data (only once established).
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Closed`] if the handshake has not completed.
+    pub fn send_data(&mut self, data: &[u8]) -> Result<TlsRecord, TlsError> {
+        if self.state != ClientState::Established {
+            return Err(TlsError::Closed);
+        }
+        Ok(TlsRecord::new(ContentType::ApplicationData, data.to_vec()))
+    }
+
+    /// Aborts the connection with a fatal alert (e.g. on a revoked
+    /// certificate — paper §III steps 5/7).
+    pub fn abort(&mut self, description: AlertDescription) -> TlsRecord {
+        self.state = ClientState::Failed;
+        TlsRecord::new(
+            ContentType::Alert,
+            Alert::fatal(description).to_bytes(),
+        )
+    }
+}
+
+/// Drives a full in-memory handshake between `client` and `server`,
+/// returning all events both sides emitted. Used heavily by tests and by
+/// higher-level crates that do not need packet-level simulation.
+pub fn drive_handshake(
+    client: &mut TlsClient,
+    server: &mut ServerConnection,
+    now: u64,
+) -> Result<(Vec<ClientEvent>, Vec<ServerEvent>), TlsError> {
+    let mut client_events = Vec::new();
+    let mut server_events = Vec::new();
+    let mut to_server = vec![client.start()];
+    let mut to_client: Vec<TlsRecord> = Vec::new();
+    for _ in 0..8 {
+        for rec in to_server.drain(..) {
+            let (outs, evs) = server.process_record(&rec, now)?;
+            to_client.extend(outs);
+            server_events.extend(evs);
+        }
+        for rec in to_client.drain(..) {
+            let (outs, evs) = client.process_record(&rec, now)?;
+            to_server.extend(outs);
+            client_events.extend(evs);
+        }
+        if client.is_established() && server.is_established() && to_server.is_empty() {
+            break;
+        }
+    }
+    Ok((client_events, server_events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::{Certificate, TrustAnchors};
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_dictionary::{CaId, SerialNumber};
+
+    const NOW: u64 = 1_400_000_000;
+
+    fn test_pki() -> (CertificateChain, TrustAnchors) {
+        let ca_key = SigningKey::from_seed([1u8; 32]);
+        let server_key = SigningKey::from_seed([2u8; 32]);
+        let ca = CaId::from_name("CA1");
+        let leaf = Certificate::issue(
+            &ca_key,
+            ca,
+            SerialNumber::from_u24(0x073e10),
+            "example.com",
+            NOW - 100,
+            NOW + 100_000,
+            server_key.verifying_key(),
+            false,
+        );
+        let mut anchors = TrustAnchors::new();
+        anchors.add(ca, ca_key.verifying_key());
+        (CertificateChain(vec![leaf]), anchors)
+    }
+
+    fn client_config(anchors: TrustAnchors) -> ClientConfig {
+        ClientConfig {
+            server_name: "example.com".into(),
+            anchors,
+            enable_ritm: true,
+        }
+    }
+
+    #[test]
+    fn full_handshake_completes() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain.clone(), [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+        let (cev, sev) = drive_handshake(&mut client, &mut server, NOW).unwrap();
+        assert!(client.is_established());
+        assert!(server.is_established());
+        assert!(cev.contains(&ClientEvent::HandshakeComplete {
+            resumed: false,
+            server_confirms_ritm: false
+        }));
+        assert!(sev.contains(&ServerEvent::HandshakeComplete { resumed: false }));
+        assert_eq!(client.server_chain(), Some(&chain));
+    }
+
+    #[test]
+    fn ritm_terminator_confirms_support() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new_ritm_terminator(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+        let (cev, _) = drive_handshake(&mut client, &mut server, NOW).unwrap();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            ClientEvent::HandshakeComplete { server_confirms_ritm: true, .. }
+        )));
+    }
+
+    #[test]
+    fn session_id_resumption_skips_certificate() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx.clone(), [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors.clone()), [2u8; 32], None);
+        drive_handshake(&mut client, &mut server, NOW).unwrap();
+        let session = client.session_state(NOW).unwrap();
+
+        let mut server2 = ServerConnection::new(ctx, [3u8; 32]);
+        let mut client2 = TlsClient::new(client_config(anchors), [4u8; 32], Some(session));
+        let (cev, sev) = drive_handshake(&mut client2, &mut server2, NOW + 10).unwrap();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            ClientEvent::HandshakeComplete { resumed: true, .. }
+        )));
+        assert!(sev.contains(&ServerEvent::HandshakeComplete { resumed: true }));
+        // No Certificate message was delivered on resumption.
+        assert!(!cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::CertificateReceived(_))));
+    }
+
+    #[test]
+    fn session_tickets_are_issued_and_usable() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]).with_tickets();
+        let mut server = ServerConnection::new(ctx.clone(), [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors.clone()), [2u8; 32], None);
+        drive_handshake(&mut client, &mut server, NOW).unwrap();
+        let ticket = client.take_ticket().expect("ticket issued");
+        // The server can recover session state from its own ticket.
+        let recovered = ctx.cache.lock().accept_ticket(&ticket).expect("valid ticket");
+        assert_eq!(recovered.cipher_suite, DEFAULT_CIPHER_SUITE);
+    }
+
+    #[test]
+    fn unknown_session_id_falls_back_to_full_handshake() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let bogus = SessionState {
+            session_id: vec![7; 32],
+            cipher_suite: DEFAULT_CIPHER_SUITE,
+            cert_chain_hash: Digest20::ZERO,
+            established_at: NOW,
+        };
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], Some(bogus));
+        let (cev, _) = drive_handshake(&mut client, &mut server, NOW).unwrap();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            ClientEvent::HandshakeComplete { resumed: false, .. }
+        )));
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::CertificateReceived(_))));
+    }
+
+    #[test]
+    fn untrusted_chain_fails_handshake() {
+        let (chain, _) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(TrustAnchors::new()), [2u8; 32], None);
+        let err = drive_handshake(&mut client, &mut server, NOW).unwrap_err();
+        assert!(matches!(err, TlsError::Certificate(_)));
+    }
+
+    #[test]
+    fn tampered_server_hello_breaks_finished() {
+        // A MITM rewriting handshake bytes is caught by the transcript
+        // binding (§V): here the client sees a modified ServerHello.
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+
+        let ch = client.start();
+        let (srv_out, _) = server.process_record(&ch, NOW).unwrap();
+        // Tamper: flip a byte of the server random inside the first record.
+        let mut tampered = srv_out[0].clone();
+        tampered.payload[10] ^= 0xff;
+        let (cli_out, _) = client.process_record(&tampered, NOW).unwrap();
+        // Client's Finished is now computed over a different transcript;
+        // the server must reject it.
+        let mut failed = false;
+        for rec in cli_out {
+            if server.process_record(&rec, NOW).is_err() {
+                failed = true;
+            }
+        }
+        assert!(failed, "server accepted a handshake with tampered bytes");
+    }
+
+    #[test]
+    fn data_flows_after_establishment() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+        drive_handshake(&mut client, &mut server, NOW).unwrap();
+
+        let rec = client.send_data(b"GET /").unwrap();
+        let (_, evs) = server.process_record(&rec, NOW).unwrap();
+        assert_eq!(evs, vec![ServerEvent::ReceivedData(b"GET /".to_vec())]);
+
+        let rec = server.send_data(b"200 OK").unwrap();
+        let (_, evs) = client.process_record(&rec, NOW).unwrap();
+        assert_eq!(evs, vec![ClientEvent::ReceivedData(b"200 OK".to_vec())]);
+    }
+
+    #[test]
+    fn data_before_establishment_rejected() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+        assert!(client.send_data(b"x").is_err());
+        assert!(server.send_data(b"x").is_err());
+        let rec = TlsRecord::new(ContentType::ApplicationData, vec![1]);
+        assert!(server.process_record(&rec, NOW).is_err());
+    }
+
+    #[test]
+    fn ritm_status_record_surfaces_to_client() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+        drive_handshake(&mut client, &mut server, NOW).unwrap();
+        let rec = TlsRecord::new(ContentType::RitmStatus, vec![0xAB; 64]);
+        let (_, evs) = client.process_record(&rec, NOW).unwrap();
+        assert_eq!(evs, vec![ClientEvent::RitmStatus(vec![0xAB; 64])]);
+        // And servers ignore stray status records.
+        let (outs, evs) = server.process_record(&rec, NOW).unwrap();
+        assert!(outs.is_empty() && evs.is_empty());
+    }
+
+    #[test]
+    fn client_abort_closes_server() {
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx, [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors), [2u8; 32], None);
+        drive_handshake(&mut client, &mut server, NOW).unwrap();
+        let alert = client.abort(AlertDescription::CertificateRevoked);
+        let err = server.process_record(&alert, NOW).unwrap_err();
+        assert!(matches!(err, TlsError::FatalAlert(_)));
+        assert!(client.send_data(b"x").is_err(), "client is closed");
+    }
+}

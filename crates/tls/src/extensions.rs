@@ -1,0 +1,128 @@
+//! TLS extensions, including the two RITM-specific ones.
+//!
+//! * [`RITM_EXTENSION_TYPE`] — sent by a client in its ClientHello to tell
+//!   on-path RAs "I'm deploying RITM" (paper §III step 1, Fig. 3);
+//! * [`RITM_CONFIRM_EXTENSION_TYPE`] — added to the ServerHello by a
+//!   RITM-supporting TLS terminator in the close-to-server deployment model
+//!   (§IV), which defeats downgrade attacks because the ServerHello is
+//!   integrity-protected by TLS.
+
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+
+/// Private-use extension number for the client's RITM request.
+pub const RITM_EXTENSION_TYPE: u16 = 0xff2d;
+/// Private-use extension number for the server's RITM deployment
+/// confirmation.
+pub const RITM_CONFIRM_EXTENSION_TYPE: u16 = 0xff2e;
+/// Server Name Indication, carried for realism in workloads.
+pub const SNI_EXTENSION_TYPE: u16 = 0x0000;
+
+/// A raw TLS extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extension {
+    /// IANA (or private-use) extension number.
+    pub ext_type: u16,
+    /// Opaque extension payload.
+    pub data: Vec<u8>,
+}
+
+impl Extension {
+    /// The client-side RITM request extension (empty payload).
+    pub fn ritm_request() -> Self {
+        Extension { ext_type: RITM_EXTENSION_TYPE, data: Vec::new() }
+    }
+
+    /// The server-side RITM deployment confirmation (empty payload).
+    pub fn ritm_confirmation() -> Self {
+        Extension { ext_type: RITM_CONFIRM_EXTENSION_TYPE, data: Vec::new() }
+    }
+
+    /// A Server Name Indication extension for `host`.
+    pub fn sni(host: &str) -> Self {
+        let mut w = Writer::new();
+        w.vec16(host.as_bytes());
+        Extension { ext_type: SNI_EXTENSION_TYPE, data: w.into_bytes() }
+    }
+
+    /// Encodes an extensions block (`u16` total length, then each
+    /// `type ‖ u16 len ‖ data`).
+    pub fn encode_block(extensions: &[Extension], w: &mut Writer) {
+        let mut inner = Writer::new();
+        for e in extensions {
+            inner.u16(e.ext_type);
+            inner.vec16(&e.data);
+        }
+        w.vec16(inner.as_bytes());
+    }
+
+    /// Decodes an extensions block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation.
+    pub fn decode_block(r: &mut Reader<'_>) -> Result<Vec<Extension>, DecodeError> {
+        let block = r.vec16("extensions block")?;
+        let mut br = Reader::new(block);
+        let mut out = Vec::new();
+        while !br.is_done() {
+            let ext_type = br.u16("extension type")?;
+            let data = br.vec16("extension data")?.to_vec();
+            out.push(Extension { ext_type, data });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let exts = vec![
+            Extension::ritm_request(),
+            Extension::sni("example.com"),
+            Extension { ext_type: 0x000a, data: vec![0, 2, 0, 23] },
+        ];
+        let mut w = Writer::new();
+        Extension::encode_block(&exts, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Extension::decode_block(&mut r).unwrap(), exts);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn empty_block_round_trip() {
+        let mut w = Writer::new();
+        Extension::encode_block(&[], &mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0, 0]);
+        let mut r = Reader::new(&bytes);
+        assert!(Extension::decode_block(&mut r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let mut w = Writer::new();
+        Extension::encode_block(&[Extension::ritm_request()], &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 1]);
+        assert!(Extension::decode_block(&mut r).is_err());
+    }
+
+    #[test]
+    fn ritm_types_are_distinct() {
+        assert_ne!(RITM_EXTENSION_TYPE, RITM_CONFIRM_EXTENSION_TYPE);
+        assert_ne!(Extension::ritm_request(), Extension::ritm_confirmation());
+    }
+
+    #[test]
+    fn sni_contains_hostname() {
+        let e = Extension::sni("host.example");
+        assert!(e
+            .data
+            .windows(12)
+            .any(|w| w == b"host.example".as_slice()));
+    }
+}

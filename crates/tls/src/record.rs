@@ -1,0 +1,219 @@
+//! The TLS record layer.
+//!
+//! Records carry handshake, alert, and application-data payloads. RITM adds
+//! one *dedicated content type* for revocation statuses (paper §VIII,
+//! "RA-to-client communication", option 1): an RA appends a
+//! [`ContentType::RitmStatus`] record to a server-to-client TCP segment, and
+//! a RITM-aware client strips it before handing the stream to its TLS stack,
+//! so the TLS protocol itself is never disturbed.
+
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+
+/// TLS protocol version constant for TLS 1.2 (`0x0303`).
+pub const VERSION_TLS12: u16 = 0x0303;
+
+/// Maximum record payload length (RFC 5246 §6.2.1).
+pub const MAX_RECORD_LEN: usize = 1 << 14;
+
+/// Content type of a TLS record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// ChangeCipherSpec (20).
+    ChangeCipherSpec,
+    /// Alert (21).
+    Alert,
+    /// Handshake (22).
+    Handshake,
+    /// ApplicationData (23).
+    ApplicationData,
+    /// RITM revocation status (24) — the dedicated content type from
+    /// §VIII used to piggyback statuses without breaking the handshake.
+    RitmStatus,
+}
+
+impl ContentType {
+    /// Wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+            ContentType::RitmStatus => 24,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            20 => ContentType::ChangeCipherSpec,
+            21 => ContentType::Alert,
+            22 => ContentType::Handshake,
+            23 => ContentType::ApplicationData,
+            24 => ContentType::RitmStatus,
+            _ => return None,
+        })
+    }
+}
+
+/// One TLS record: a typed, length-prefixed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsRecord {
+    /// What the payload contains.
+    pub content_type: ContentType,
+    /// Protocol version advertised in the record header.
+    pub version: u16,
+    /// The raw payload (plaintext in this substrate; the paper's protocol
+    /// only needs the *handshake* in plaintext, and record boundaries).
+    pub payload: Vec<u8>,
+}
+
+impl TlsRecord {
+    /// Creates a TLS 1.2 record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_RECORD_LEN`].
+    pub fn new(content_type: ContentType, payload: Vec<u8>) -> Self {
+        assert!(payload.len() <= MAX_RECORD_LEN, "record payload too large");
+        TlsRecord { content_type, version: VERSION_TLS12, payload }
+    }
+
+    /// Encodes header + payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(5 + self.payload.len());
+        w.u8(self.content_type.to_u8());
+        w.u16(self.version);
+        w.vec16(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        5 + self.payload.len()
+    }
+
+    /// Decodes a single record from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation or an unknown content type.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let pos = r.position();
+        let ct = ContentType::from_u8(r.u8("record content type")?)
+            .ok_or(DecodeError::new("unknown content type", pos))?;
+        let version = r.u16("record version")?;
+        let payload = r.vec16("record payload")?.to_vec();
+        Ok(TlsRecord { content_type: ct, version, payload })
+    }
+
+    /// Parses a byte stream into consecutive records (how middleboxes and
+    /// endpoints consume TCP payloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream does not consist of whole
+    /// records.
+    pub fn parse_stream(bytes: &[u8]) -> Result<Vec<TlsRecord>, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let mut out = Vec::new();
+        while !r.is_done() {
+            out.push(TlsRecord::decode(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Serializes a sequence of records back into a byte stream.
+    pub fn encode_stream(records: &[TlsRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for rec in records {
+            out.extend_from_slice(&rec.to_bytes());
+        }
+        out
+    }
+}
+
+/// Fast check whether a TCP payload *looks like* TLS — the first step of the
+/// RA's DPI (paper §VI: "verifies whether a packet belongs to the TLS
+/// handshake protocol"). Cheap and conservative: content type, version
+/// plausibility, and a sane length field.
+pub fn looks_like_tls(payload: &[u8]) -> bool {
+    if payload.len() < 5 {
+        return false;
+    }
+    let Some(_) = ContentType::from_u8(payload[0]) else {
+        return false;
+    };
+    // Major version 3 (SSL3/TLS1.x) is the plausibility test real DPI uses.
+    if payload[1] != 0x03 || payload[2] > 0x04 {
+        return false;
+    }
+    let len = u16::from_be_bytes([payload[3], payload[4]]) as usize;
+    len <= MAX_RECORD_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single() {
+        let rec = TlsRecord::new(ContentType::Handshake, vec![1, 2, 3]);
+        let bytes = rec.to_bytes();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(TlsRecord::decode(&mut r).unwrap(), rec);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let records = vec![
+            TlsRecord::new(ContentType::Handshake, vec![0; 100]),
+            TlsRecord::new(ContentType::RitmStatus, vec![9; 700]),
+            TlsRecord::new(ContentType::ApplicationData, vec![1; 50]),
+        ];
+        let stream = TlsRecord::encode_stream(&records);
+        assert_eq!(TlsRecord::parse_stream(&stream).unwrap(), records);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let rec = TlsRecord::new(ContentType::Alert, vec![2, 40]);
+        let bytes = rec.to_bytes();
+        assert!(TlsRecord::parse_stream(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn unknown_content_type_rejected() {
+        let mut bytes = TlsRecord::new(ContentType::Alert, vec![]).to_bytes();
+        bytes[0] = 99;
+        assert!(TlsRecord::parse_stream(&bytes).is_err());
+    }
+
+    #[test]
+    fn content_type_round_trips() {
+        for v in [20u8, 21, 22, 23, 24] {
+            let ct = ContentType::from_u8(v).unwrap();
+            assert_eq!(ct.to_u8(), v);
+        }
+        assert_eq!(ContentType::from_u8(25), None);
+    }
+
+    #[test]
+    fn dpi_heuristic() {
+        let tls = TlsRecord::new(ContentType::Handshake, vec![1, 2, 3]).to_bytes();
+        assert!(looks_like_tls(&tls));
+        assert!(!looks_like_tls(b"GET / HTTP/1.1\r\n"));
+        assert!(!looks_like_tls(&[22, 0x02, 0x00, 0, 3])); // SSLv2-ish
+        assert!(!looks_like_tls(&[22]));
+        // Huge length field.
+        assert!(!looks_like_tls(&[22, 3, 3, 0xff, 0xff]));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_payload_panics() {
+        TlsRecord::new(ContentType::ApplicationData, vec![0; MAX_RECORD_LEN + 1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the TLS substrate: wire-format round-trips over
+//! arbitrary field values, and robustness of every parser against garbage
+//! and truncation (parsers must reject, never panic, never misparse).
+
+use proptest::prelude::*;
+use ritm_crypto::ed25519::SigningKey;
+use ritm_dictionary::{CaId, SerialNumber};
+use ritm_tls::certificate::{Certificate, CertificateChain};
+use ritm_tls::extensions::Extension;
+use ritm_tls::handshake::{ClientHello, HandshakeMessage, ServerHello, SessionTicket};
+use ritm_tls::record::{ContentType, TlsRecord};
+
+fn arb_content_type() -> impl Strategy<Value = ContentType> {
+    prop_oneof![
+        Just(ContentType::ChangeCipherSpec),
+        Just(ContentType::Alert),
+        Just(ContentType::Handshake),
+        Just(ContentType::ApplicationData),
+        Just(ContentType::RitmStatus),
+    ]
+}
+
+fn arb_extension() -> impl Strategy<Value = Extension> {
+    (any::<u16>(), prop::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(ext_type, data)| Extension { ext_type, data })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn record_streams_round_trip(
+        records in prop::collection::vec(
+            (arb_content_type(), prop::collection::vec(any::<u8>(), 0..512)),
+            0..6,
+        )
+    ) {
+        let records: Vec<TlsRecord> = records
+            .into_iter()
+            .map(|(ct, payload)| TlsRecord::new(ct, payload))
+            .collect();
+        let stream = TlsRecord::encode_stream(&records);
+        prop_assert_eq!(TlsRecord::parse_stream(&stream).unwrap(), records);
+    }
+
+    #[test]
+    fn record_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TlsRecord::parse_stream(&bytes);
+    }
+
+    #[test]
+    fn client_hello_round_trips(
+        random in any::<[u8; 32]>(),
+        session_id in prop::collection::vec(any::<u8>(), 0..32),
+        suites in prop::collection::vec(any::<u16>(), 1..8),
+        extensions in prop::collection::vec(arb_extension(), 0..4),
+        ritm in any::<bool>(),
+    ) {
+        let mut extensions = extensions;
+        if ritm {
+            extensions.push(Extension::ritm_request());
+        }
+        let msg = HandshakeMessage::ClientHello(ClientHello {
+            version: 0x0303,
+            random,
+            session_id,
+            cipher_suites: suites,
+            extensions,
+        });
+        let parsed = HandshakeMessage::parse_all(&msg.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &msg);
+        if let HandshakeMessage::ClientHello(ch) = &parsed[0] {
+            prop_assert_eq!(ch.has_ritm_extension(), ritm);
+        }
+    }
+
+    #[test]
+    fn server_hello_and_ticket_round_trip(
+        random in any::<[u8; 32]>(),
+        session_id in prop::collection::vec(any::<u8>(), 0..32),
+        suite in any::<u16>(),
+        lifetime in any::<u32>(),
+        ticket in prop::collection::vec(any::<u8>(), 0..128),
+        confirm in any::<bool>(),
+    ) {
+        let mut extensions = Vec::new();
+        if confirm {
+            extensions.push(Extension::ritm_confirmation());
+        }
+        let msgs = vec![
+            HandshakeMessage::ServerHello(ServerHello {
+                version: 0x0303,
+                random,
+                session_id,
+                cipher_suite: suite,
+                extensions,
+            }),
+            HandshakeMessage::NewSessionTicket(SessionTicket { lifetime, ticket }),
+            HandshakeMessage::ServerHelloDone,
+        ];
+        let payload = HandshakeMessage::encode_all(&msgs);
+        let parsed = HandshakeMessage::parse_all(&payload).unwrap();
+        prop_assert_eq!(&parsed, &msgs);
+        if let HandshakeMessage::ServerHello(sh) = &parsed[0] {
+            prop_assert_eq!(sh.confirms_ritm(), confirm);
+        }
+    }
+
+    #[test]
+    fn handshake_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = HandshakeMessage::parse_all(&bytes);
+    }
+
+    #[test]
+    fn certificates_round_trip_and_stay_valid(
+        seed in any::<[u8; 32]>(),
+        serial in 1u32..0xffffff,
+        subject in "[a-z]{1,20}\\.(com|org|net)",
+        not_before in 0u64..1_000_000,
+        lifetime in 1u64..10_000_000,
+    ) {
+        let ca_key = SigningKey::from_seed(seed);
+        let subject_key = SigningKey::from_seed([9u8; 32]);
+        let cert = Certificate::issue(
+            &ca_key,
+            CaId::from_name("PropCA"),
+            SerialNumber::from_u24(serial),
+            &subject,
+            not_before,
+            not_before + lifetime,
+            subject_key.verifying_key(),
+            false,
+        );
+        let back = Certificate::from_bytes(&cert.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &cert);
+        prop_assert!(back.verify(&ca_key.verifying_key(), not_before + lifetime / 2).is_ok());
+        // Truncations never parse nor panic.
+        let bytes = cert.to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            prop_assert!(Certificate::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn chain_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = CertificateChain::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn dpi_classifier_never_panics_and_non_tls_is_stable(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // The RA's per-packet entry point must be total.
+        let c1 = ritm_agent::dpi::classify(&bytes);
+        let c2 = ritm_agent::dpi::classify(&bytes);
+        prop_assert_eq!(c1, c2, "classification must be deterministic");
+    }
+}

@@ -1,0 +1,219 @@
+//! The Fig. 4 revocation time series: January 2014 – June 2015, with the
+//! Heartbleed disclosure (7 April 2014) producing a mass-revocation spike
+//! peaking on 16–17 April 2014.
+//!
+//! Shape parameters are calibrated to the figure: a weekly baseline around
+//! 4–10 k revocations, a spike reaching ~80 k in the peak week, and an
+//! hourly profile for 16–17 April climbing to ~10 k per 6-hour bin.
+
+use rand::Rng;
+
+/// Unix time of 1 January 2014 00:00 UTC.
+pub const SERIES_START: u64 = 1_388_534_400;
+/// Unix time of the Heartbleed disclosure (7 April 2014).
+pub const HEARTBLEED_DISCLOSURE: u64 = 1_396_828_800;
+/// Seconds per week.
+pub const WEEK: u64 = 7 * 86_400;
+/// Number of weeks in the Fig. 4 top graph (Jan 2014 – Jun 2015).
+pub const SERIES_WEEKS: usize = 78;
+
+/// One bin of the revocation series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bin {
+    /// Bin start (Unix seconds).
+    pub start: u64,
+    /// Revocations issued in this bin.
+    pub count: u64,
+}
+
+/// The weekly series of Fig. 4 (top): baseline noise plus the Heartbleed
+/// spike with an exponential tail.
+pub fn weekly_series<R: Rng + ?Sized>(rng: &mut R) -> Vec<Bin> {
+    let mut out = Vec::with_capacity(SERIES_WEEKS);
+    for w in 0..SERIES_WEEKS {
+        let start = SERIES_START + w as u64 * WEEK;
+        let baseline = 4_000.0 + 6_000.0 * rng.gen::<f64>();
+        let spike = heartbleed_boost(start);
+        out.push(Bin { start, count: (baseline + spike) as u64 });
+    }
+    out
+}
+
+/// The extra weekly revocations attributable to Heartbleed at week `start`.
+fn heartbleed_boost(start: u64) -> f64 {
+    if start + WEEK <= HEARTBLEED_DISCLOSURE {
+        return 0.0;
+    }
+    let weeks_after = (start.saturating_sub(HEARTBLEED_DISCLOSURE)) as f64 / WEEK as f64;
+    // Peak ~72k extra in the disclosure week, decaying with a ~2-week
+    // half-life (Durumeric et al. observed most reissues within a month).
+    72_000.0 * (-weeks_after / 2.9).exp()
+}
+
+/// The 16–17 April hourly profile of Fig. 4 (bottom), in 6-hour bins:
+/// ramps up through 16 April, peaks around 10 k, falls off on the 17th.
+pub fn peak_days_six_hourly<R: Rng + ?Sized>(rng: &mut R) -> Vec<Bin> {
+    // 16 April 2014 00:00 UTC.
+    let start = 1_397_606_400u64;
+    let shape = [2_000.0, 5_500.0, 9_000.0, 10_000.0, 8_000.0, 5_000.0, 3_500.0, 2_500.0];
+    shape
+        .iter()
+        .enumerate()
+        .map(|(i, base)| {
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            Bin { start: start + i as u64 * 6 * 3_600, count: (base * noise) as u64 }
+        })
+        .collect()
+}
+
+/// Daily revocation counts for the two weeks around the disclosure (one
+/// week of standard rates, one week of the spike) — the Fig. 7 input.
+/// Climbs from a ~1.2 k/day baseline to a 55–60 k/day peak on 16 April,
+/// matching the event analyses of Durumeric and Zhang et al.
+pub fn disclosure_fortnight_daily<R: Rng + ?Sized>(rng: &mut R) -> Vec<Bin> {
+    let start = HEARTBLEED_DISCLOSURE - 7 * 86_400;
+    let shape = [
+        1_200.0, 1_100.0, 1_300.0, 1_250.0, 1_150.0, 1_200.0, 1_300.0, // quiet week
+        4_000.0, 9_000.0, 16_000.0, 25_000.0, 38_000.0, // ramp after 7 Apr
+        58_000.0, // 16 Apr peak
+        48_000.0, // 17 Apr
+    ];
+    shape
+        .iter()
+        .enumerate()
+        .map(|(i, base)| {
+            let noise = 0.95 + 0.1 * rng.gen::<f64>();
+            Bin { start: start + i as u64 * 86_400, count: (base * noise) as u64 }
+        })
+        .collect()
+}
+
+/// Rescales a series so its total equals `target_total` (used to replay the
+/// largest CRL's 339,557 entries over the Fig. 6 billing period while
+/// keeping the Fig. 4 shape).
+pub fn rescale_to_total(series: &[Bin], target_total: u64) -> Vec<Bin> {
+    let total: u64 = series.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return series.to_vec();
+    }
+    let mut out: Vec<Bin> = series
+        .iter()
+        .map(|b| Bin {
+            start: b.start,
+            count: ((b.count as u128 * target_total as u128) / total as u128) as u64,
+        })
+        .collect();
+    // Put the rounding remainder into the largest bin.
+    let new_total: u64 = out.iter().map(|b| b.count).sum();
+    let drift = target_total - new_total;
+    if let Some(max) = out.iter_mut().max_by_key(|b| b.count) {
+        max.count += drift;
+    }
+    out
+}
+
+/// Expands a bin series into per-Δ revocation counts across `[start, end)`:
+/// each bin's revocations spread uniformly over the Δ-periods it covers.
+/// This is the input to the Fig. 7 communication-overhead simulation.
+pub fn per_period_counts(series: &[Bin], bin_len: u64, delta: u64, start: u64, end: u64) -> Vec<u64> {
+    assert!(delta > 0 && end > start);
+    let periods = ((end - start) / delta) as usize;
+    let mut out = vec![0u64; periods];
+    for bin in series {
+        if bin.start + bin_len <= start || bin.start >= end {
+            continue;
+        }
+        let periods_in_bin = (bin_len / delta).max(1);
+        let per = bin.count / periods_in_bin;
+        let mut rem = bin.count % periods_in_bin;
+        for k in 0..periods_in_bin {
+            let t = bin.start + k * delta;
+            if t < start || t >= end {
+                continue;
+            }
+            let idx = ((t - start) / delta) as usize;
+            if idx < out.len() {
+                out[idx] += per + if rem > 0 { 1 } else { 0 };
+                rem = rem.saturating_sub(1);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weekly_series_has_heartbleed_spike() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let series = weekly_series(&mut rng);
+        assert_eq!(series.len(), SERIES_WEEKS);
+        let peak = series.iter().max_by_key(|b| b.count).unwrap();
+        // Peak falls in the weeks right after disclosure.
+        assert!(peak.start >= HEARTBLEED_DISCLOSURE - WEEK);
+        assert!(peak.start <= HEARTBLEED_DISCLOSURE + 3 * WEEK);
+        assert!(peak.count > 60_000, "peak was {}", peak.count);
+        // Baseline weeks stay below 12k.
+        let before: Vec<_> = series
+            .iter()
+            .filter(|b| b.start + WEEK <= HEARTBLEED_DISCLOSURE)
+            .collect();
+        assert!(before.iter().all(|b| b.count < 12_000));
+        assert!(!before.is_empty());
+    }
+
+    #[test]
+    fn spike_decays() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let series = weekly_series(&mut rng);
+        let late: Vec<_> = series
+            .iter()
+            .filter(|b| b.start > HEARTBLEED_DISCLOSURE + 20 * WEEK)
+            .collect();
+        assert!(late.iter().all(|b| b.count < 15_000), "tail must decay");
+    }
+
+    #[test]
+    fn peak_days_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let bins = peak_days_six_hourly(&mut rng);
+        assert_eq!(bins.len(), 8);
+        let max = bins.iter().map(|b| b.count).max().unwrap();
+        assert!((8_000..=12_000).contains(&max), "peak 6h bin was {max}");
+        // Rises then falls.
+        let peak_idx = bins.iter().position(|b| b.count == max).unwrap();
+        assert!((1..=5).contains(&peak_idx));
+    }
+
+    #[test]
+    fn rescale_is_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let series = weekly_series(&mut rng);
+        let scaled = rescale_to_total(&series, 339_557);
+        assert_eq!(scaled.iter().map(|b| b.count).sum::<u64>(), 339_557);
+        // Shape preserved: peak stays the peak.
+        let orig_peak = series.iter().max_by_key(|b| b.count).unwrap().start;
+        let new_peak = scaled.iter().max_by_key(|b| b.count).unwrap().start;
+        assert_eq!(orig_peak, new_peak);
+    }
+
+    #[test]
+    fn per_period_conserves_in_window_counts() {
+        let series = vec![Bin { start: 1_000, count: 100 }, Bin { start: 2_000, count: 50 }];
+        let per = per_period_counts(&series, 1_000, 100, 1_000, 3_000);
+        assert_eq!(per.len(), 20);
+        assert_eq!(per.iter().sum::<u64>(), 150);
+        // First bin spreads over its own 10 periods only.
+        assert_eq!(per[..10].iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta > 0")]
+    fn zero_delta_panics() {
+        per_period_counts(&[], 10, 0, 0, 10);
+    }
+}

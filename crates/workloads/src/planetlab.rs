@@ -1,0 +1,94 @@
+//! PlanetLab-style vantage points for the Fig. 5 download-time experiment:
+//! 80 nodes in diverse geographical areas, each repeating the measurement
+//! 10 times per message size.
+
+use ritm_cdn::regions::Region;
+
+/// Number of vantage points in the paper's measurement.
+pub const VANTAGE_COUNT: usize = 80;
+/// Repetitions per node and message size.
+pub const REPETITIONS: usize = 10;
+
+/// A measurement vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VantagePoint {
+    /// Stable id (0..80).
+    pub id: usize,
+    /// Hosting region.
+    pub region: Region,
+}
+
+/// The 80 vantage points. PlanetLab was dominated by North-American and
+/// European universities, with a meaningful Asian presence and a few nodes
+/// elsewhere; the split below reflects that (documented substitution).
+pub fn vantage_points() -> Vec<VantagePoint> {
+    let mut out = Vec::with_capacity(VANTAGE_COUNT);
+    let quota = [
+        (Region::NorthAmerica, 30),
+        (Region::Europe, 28),
+        (Region::AsiaPacific, 10),
+        (Region::Japan, 5),
+        (Region::SouthAmerica, 3),
+        (Region::Australia, 2),
+        (Region::India, 2),
+    ];
+    for (region, n) in quota {
+        for _ in 0..n {
+            let id = out.len();
+            out.push(VantagePoint { id, region });
+        }
+    }
+    debug_assert_eq!(out.len(), VANTAGE_COUNT);
+    out
+}
+
+/// The five revocation-message sizes measured in Fig. 5 (number of revoked
+/// certificates; 0 = freshness statement only).
+pub const FIG5_MESSAGE_SIZES: [u64; 5] = [0, 15_000, 30_000, 45_000, 60_000];
+
+/// Encoded bytes of a revocation message holding `revocations` 3-byte
+/// serials: the issuance framing, one length byte + serial each, plus the
+/// signed root; 0 revocations means a bare freshness statement.
+pub fn message_bytes(revocations: u64) -> u64 {
+    if revocations == 0 {
+        // Tagged freshness statement (1 + 20 bytes).
+        21
+    } else {
+        12 + revocations * 4 + ritm_dictionary::root::SIGNED_ROOT_LEN as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighty_nodes() {
+        let vps = vantage_points();
+        assert_eq!(vps.len(), VANTAGE_COUNT);
+        // Ids are stable and unique.
+        for (i, vp) in vps.iter().enumerate() {
+            assert_eq!(vp.id, i);
+        }
+    }
+
+    #[test]
+    fn mostly_na_and_eu() {
+        let vps = vantage_points();
+        let na_eu = vps
+            .iter()
+            .filter(|v| matches!(v.region, Region::NorthAmerica | Region::Europe))
+            .count();
+        assert!(na_eu > VANTAGE_COUNT / 2);
+    }
+
+    #[test]
+    fn message_sizes_scale() {
+        assert_eq!(message_bytes(0), 21);
+        let m15 = message_bytes(15_000);
+        let m60 = message_bytes(60_000);
+        assert!(m15 > 60_000 && m15 < 70_000, "15k msg = {m15} B");
+        // 60k revocations ≈ 4× the 15k message.
+        assert!((m60 as f64 / m15 as f64 - 4.0).abs() < 0.05);
+    }
+}

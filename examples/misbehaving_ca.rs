@@ -1,0 +1,69 @@
+//! Catching a misbehaving CA (§V): a compromised CA hides a revocation from
+//! part of the system by maintaining two equal-size dictionary versions.
+//! Because dictionaries are append-only with consecutive numbering, any two
+//! parties comparing their latest signed roots obtain a *transferable
+//! cryptographic proof* of the equivocation.
+//!
+//! Run with: `cargo run --example misbehaving_ca`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm::agent::ConsistencyMonitor;
+use ritm::ca::{EquivocatingCa, View};
+use ritm::crypto::SigningKey;
+use ritm::dictionary::SerialNumber;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let target = SerialNumber::from_u24(0x073e10); // the cert being hidden
+    let cover: Vec<SerialNumber> = (0x100..0x10a).map(SerialNumber::from_u24).collect();
+
+    let ca = EquivocatingCa::new(
+        "ShadyCA",
+        SigningKey::from_seed([6u8; 32]),
+        10,
+        1 << 10,
+        target,
+        &cover,
+        SerialNumber::from_u24(0x999999),
+        &mut rng,
+        1_397_000_000,
+    );
+    println!("ShadyCA forked its dictionary to hide revocation of serial {target}");
+
+    // A victim behind the hiding view gets a *valid* absence proof...
+    let hiding = ca.prove(View::Hiding, &target, 1_397_000_002).expect("freshness available");
+    let verdict = hiding
+        .validate(&target, &ca.verifying_key(), 10, 1_397_000_002)
+        .expect("the forged view is internally consistent");
+    println!("victim's RA serves the hiding view: revoked = {}", verdict.is_revoked());
+
+    // ...while everyone else sees the truth.
+    let honest = ca.prove(View::Honest, &target, 1_397_000_002).expect("freshness available");
+    let verdict = honest
+        .validate(&target, &ca.verifying_key(), 10, 1_397_000_002)
+        .expect("honest view is consistent too");
+    println!("the rest of the system sees:  revoked = {}", verdict.is_revoked());
+
+    // Consistency checking (§III): an RA compares its stored signed root
+    // with one downloaded from a random edge server.
+    let mut monitor = ConsistencyMonitor::new();
+    monitor.register_ca(ca.ca(), ca.verifying_key());
+    assert!(monitor.check(ca.signed_root(View::Hiding), "local-mirror").is_none());
+    let report = monitor
+        .check(ca.signed_root(View::Honest), "edge:eu-west-1")
+        .expect("equivocation detected on first cross-check");
+
+    println!();
+    println!("cross-check against {} caught the fork:", report.source);
+    println!("  two validly-signed roots, both n = {}", report.proof.first.size);
+    println!("  root A = {}", report.proof.first.root);
+    println!("  root B = {}", report.proof.second.root);
+    println!(
+        "  proof verifies under the CA's own key: {}",
+        report.proof.verify(&ca.verifying_key())
+    );
+    println!();
+    println!("the report is self-authenticating — forward it to software vendors");
+    println!("and ShadyCA is out of business.");
+}

@@ -1,0 +1,55 @@
+//! # RITM: Revocation in the Middle — a full reproduction
+//!
+//! This crate is the facade over a workspace that reproduces the ICDCS 2016
+//! paper *RITM: Revocation in the Middle* (Szalachowski, Chuat, Lee,
+//! Perrig): certificate-revocation checking moved into network middleboxes
+//! ("Revocation Agents") that mirror CA-maintained authenticated
+//! dictionaries disseminated over a CDN and piggyback revocation proofs
+//! onto TLS traffic.
+//!
+//! ## Subsystems
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`crypto`] | `ritm-crypto` | SHA-256/512, 20-byte digests, hash chains, Ed25519 — all from scratch |
+//! | [`dictionary`] | `ritm-dictionary` | the authenticated dictionary (Fig. 2): sorted-leaf hash trees, signed roots, freshness statements, proofs |
+//! | [`tls`] | `ritm-tls` | wire-format TLS substrate with the RITM extension and record type |
+//! | [`net`] | `ritm-net` | deterministic discrete-event network simulator with in-path middleboxes |
+//! | [`cdn`] | `ritm-cdn` | the dissemination network: origin, TTL edge caches, CloudFront-style billing |
+//! | [`ca`] | `ritm-ca` | certification authorities, bootstrap manifests, a misbehaving CA |
+//! | [`agent`] | `ritm-agent` | the Revocation Agent: DPI, Eq. 4 state, piggybacking, CDN sync, monitoring |
+//! | [`client`] | `ritm-client` | the RITM client: step-5 validation, 2Δ enforcement, downgrade protection |
+//! | [`baselines`] | `ritm-baselines` | CRL/OCSP/stapling/CRLSet/SLC/RevCast/log-based comparison models |
+//! | [`workloads`] | `ritm-workloads` | ISC CRL, Heartbleed, city-population, PlanetLab synthesizers |
+//! | [`core`] | `ritm-core` | end-to-end orchestration: [`core::RitmWorld`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ritm::core::{ConnectionOptions, DeploymentModel, RitmWorld};
+//!
+//! // A world with Δ = 10 s and an RA at the client's access network.
+//! let mut world = RitmWorld::new(42, 10, DeploymentModel::CloseToClients);
+//!
+//! // A healthy connection establishes and keeps receiving fresh statuses.
+//! let outcome = world.run_connection(&ConnectionOptions::default());
+//! assert!(outcome.alive_at_end);
+//!
+//! // Once the CA revokes the server's certificate, new connections die.
+//! let serial = world.server_serial();
+//! world.revoke(serial);
+//! let outcome = world.run_connection(&ConnectionOptions::default());
+//! assert!(!outcome.alive_at_end);
+//! ```
+
+pub use ritm_agent as agent;
+pub use ritm_baselines as baselines;
+pub use ritm_ca as ca;
+pub use ritm_cdn as cdn;
+pub use ritm_client as client;
+pub use ritm_core as core;
+pub use ritm_crypto as crypto;
+pub use ritm_dictionary as dictionary;
+pub use ritm_net as net;
+pub use ritm_tls as tls;
+pub use ritm_workloads as workloads;

@@ -1,0 +1,81 @@
+//! Integration test for §VIII "Ever-growing dictionaries": a CA shards its
+//! revocations by certificate-expiry bucket, RAs mirror each shard as an
+//! independent dictionary, and whole shards are reclaimed once every
+//! certificate they cover has expired.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm::crypto::SigningKey;
+use ritm::dictionary::{CaId, SerialNumber, ShardedCa};
+
+const QUARTER: u64 = 90 * 24 * 3600;
+const T0: u64 = 1_397_000_000;
+
+#[test]
+fn shard_lifecycle_bounds_ra_storage() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let mut ca = ShardedCa::new(
+        CaId::from_name("ShardCA"),
+        SigningKey::from_seed([1u8; 32]),
+        10,
+        1 << 8,
+        QUARTER,
+    );
+
+    // Revoke certificates expiring across six quarters (bucket-aligned so
+    // each batch lands in exactly one shard).
+    let base = (T0 / QUARTER + 1) * QUARTER;
+    let mut n = 0u32;
+    for quarter in 0..6u64 {
+        for _ in 0..50 {
+            n += 1;
+            let expiry = base + quarter * QUARTER + QUARTER / 2;
+            ca.revoke(SerialNumber::from_u24(n), expiry, &mut rng, T0)
+                .expect("fresh serial");
+        }
+    }
+    assert_eq!(ca.shard_count(), 6);
+    assert_eq!(ca.total_revocations(), 300);
+    let full_storage = ca.storage_bytes();
+
+    // Two quarters past the base boundary, the first two shards cover only
+    // expired certificates.
+    let later = base + 2 * QUARTER + QUARTER / 4;
+    let (dropped_shards, dropped_revs) = ca.prune_expired(later);
+    assert_eq!(dropped_shards, 2);
+    assert_eq!(dropped_revs, 100);
+    assert_eq!(ca.total_revocations(), 200);
+    assert!(ca.storage_bytes() < full_storage);
+
+    // Each surviving shard is an independently provable dictionary.
+    for (_, dict) in ca.shards() {
+        assert!(dict.len() > 0);
+        let some_serial = SerialNumber::from_u24(0xf0f0f0);
+        let status = dict.prove(&some_serial, T0 + 1).expect("freshness available");
+        let verdict = status
+            .validate(&some_serial, &dict.verifying_key(), 10, T0 + 1)
+            .expect("valid proof");
+        assert!(!verdict.is_revoked());
+    }
+}
+
+#[test]
+fn revocations_route_to_expiry_matched_shards() {
+    let mut rng = StdRng::seed_from_u64(92);
+    let mut ca = ShardedCa::new(
+        CaId::from_name("RouteCA"),
+        SigningKey::from_seed([2u8; 32]),
+        10,
+        1 << 8,
+        QUARTER,
+    );
+    let base = (T0 / QUARTER + 1) * QUARTER;
+    let (shard_a, _) = ca
+        .revoke(SerialNumber::from_u24(1), base + QUARTER / 2, &mut rng, T0)
+        .expect("new");
+    let (shard_b, _) = ca
+        .revoke(SerialNumber::from_u24(2), base + 3 * QUARTER, &mut rng, T0)
+        .expect("new");
+    assert_ne!(shard_a, shard_b, "different expiries, different dictionaries");
+    assert_eq!(ca.shard_id(base + QUARTER / 3), shard_a);
+}
