@@ -1,0 +1,216 @@
+//! Epoch-keyed proof caching for the RA's hot path.
+//!
+//! At CDN scale many concurrent TLS flows present the same server
+//! certificates, so an RA rebuilds identical audit paths thousands of times
+//! between dictionary updates. A [`ProofCache`] memoizes the bare
+//! [`RevocationProof`] per `(CA, serial)`, keyed by the mirror's
+//! [`DictionaryEngine::epoch`]: a cached proof is served only while the
+//! mirror's epoch is unchanged, because audit paths are valid exactly until
+//! the root advances. Freshness-only refreshes do not advance the epoch —
+//! the RA composes the cached proof with the *live* signed root and
+//! freshness statement, so cached statuses are never stale.
+//!
+//! [`DictionaryEngine::epoch`]: ritm_dictionary::DictionaryEngine::epoch
+
+use ritm_dictionary::{CaId, RevocationProof, SerialNumber};
+use std::collections::HashMap;
+
+/// Default bound on cached proofs (a proof is a few hundred bytes, so the
+/// default tops out around a few MB — connection-table scale).
+pub const DEFAULT_CACHE_CAPACITY: usize = 16_384;
+
+/// Hit/miss counters, surfaced through the RA health report
+/// (`ritm_agent::monitor`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Proofs served from cache.
+    pub hits: u64,
+    /// Proofs generated because no entry (or only a stale-epoch entry)
+    /// existed.
+    pub misses: u64,
+    /// Entries dropped because their epoch was superseded.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedProof {
+    epoch: u64,
+    proof: RevocationProof,
+}
+
+/// An epoch-keyed audit-path cache.
+#[derive(Debug)]
+pub struct ProofCache {
+    entries: HashMap<(CaId, SerialNumber), CachedProof>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl Default for ProofCache {
+    fn default() -> Self {
+        ProofCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl ProofCache {
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ProofCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the proof for `(ca, serial)` at `epoch`, generating it with
+    /// `make` on a miss. A stored proof from a different epoch counts as a
+    /// miss and is replaced.
+    pub fn get_or_insert(
+        &mut self,
+        ca: CaId,
+        serial: SerialNumber,
+        epoch: u64,
+        make: impl FnOnce() -> RevocationProof,
+    ) -> RevocationProof {
+        if let Some(hit) = self.entries.get(&(ca, serial)).filter(|c| c.epoch == epoch) {
+            self.stats.hits += 1;
+            return hit.proof.clone();
+        }
+        self.stats.misses += 1;
+        let proof = make();
+        if self.entries.len() >= self.capacity {
+            // Full: clear this CA's superseded-epoch entries first (epochs
+            // of different CAs are independent counters, so other CAs'
+            // entries are never judged against `epoch`). If everything is
+            // current, serve uncached rather than evict hot entries.
+            let before = self.entries.len();
+            self.entries
+                .retain(|(k_ca, _), c| *k_ca != ca || c.epoch == epoch);
+            self.stats.evictions += (before - self.entries.len()) as u64;
+            if self.entries.len() >= self.capacity {
+                return proof;
+            }
+        }
+        self.entries.insert(
+            (ca, serial),
+            CachedProof {
+                epoch,
+                proof: proof.clone(),
+            },
+        );
+        proof
+    }
+
+    /// Live entries (stale-epoch entries are dropped lazily, so this counts
+    /// stored, not necessarily valid, proofs).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ritm_dictionary::proof::PresenceProof;
+    use ritm_dictionary::tree::Leaf;
+
+    fn proof(tag: u32) -> RevocationProof {
+        RevocationProof::Present(PresenceProof {
+            leaf: Leaf::new(SerialNumber::from_u24(tag), tag as u64 + 1),
+            index: 0,
+            path: vec![],
+        })
+    }
+
+    fn key(v: u32) -> (CaId, SerialNumber) {
+        (CaId::from_name("C"), SerialNumber::from_u24(v))
+    }
+
+    #[test]
+    fn second_lookup_hits_within_epoch() {
+        let mut cache = ProofCache::new(8);
+        let (ca, s) = key(1);
+        let a = cache.get_or_insert(ca, s, 5, || proof(1));
+        let b = cache.get_or_insert(ca, s, 5, || panic!("must be cached"));
+        assert_eq!(a, b);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_change_invalidates() {
+        let mut cache = ProofCache::new(8);
+        let (ca, s) = key(1);
+        cache.get_or_insert(ca, s, 5, || proof(1));
+        let regenerated = cache.get_or_insert(ca, s, 6, || proof(2));
+        assert_eq!(
+            regenerated,
+            proof(2),
+            "stale-epoch entry must not be served"
+        );
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn full_cache_never_evicts_other_cas_live_entries() {
+        let mut cache = ProofCache::new(2);
+        let ca_a = CaId::from_name("A");
+        let ca_b = CaId::from_name("B");
+        let s = SerialNumber::from_u24(1);
+        cache.get_or_insert(ca_a, s, 7, || proof(1));
+        // CA B's mirror runs its own, lower epoch counter.
+        cache.get_or_insert(ca_b, s, 3, || proof(2));
+        // Cache full; a miss for CA A at a newer epoch evicts only A's
+        // stale entry, never B's live epoch-3 one.
+        cache.get_or_insert(ca_a, SerialNumber::from_u24(2), 8, || proof(3));
+        let hit = cache.get_or_insert(ca_b, s, 3, || panic!("B must stay cached"));
+        assert_eq!(hit, proof(2));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_stale_epochs_only() {
+        let mut cache = ProofCache::new(2);
+        cache.get_or_insert(key(1).0, key(1).1, 1, || proof(1));
+        cache.get_or_insert(key(2).0, key(2).1, 1, || proof(2));
+        // Full of epoch-1 entries; an epoch-2 insert purges them.
+        cache.get_or_insert(key(3).0, key(3).1, 2, || proof(3));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 2);
+        // Full of *current* entries: lookups still work, hot set kept.
+        cache.get_or_insert(key(4).0, key(4).1, 2, || proof(4));
+        cache.get_or_insert(key(5).0, key(5).1, 2, || proof(5));
+        assert!(cache.len() <= 2);
+        let hit = cache.get_or_insert(key(3).0, key(3).1, 2, || panic!("3 stays hot"));
+        assert_eq!(hit, proof(3));
+    }
+}

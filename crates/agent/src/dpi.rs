@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn non_tls_fast_path() {
-        assert_eq!(classify(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"), Classification::NotTls);
+        assert_eq!(
+            classify(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Classification::NotTls
+        );
         assert_eq!(classify(&[]), Classification::NotTls);
         assert_eq!(classify(&[0x16, 0x01]), Classification::NotTls);
     }
@@ -171,15 +174,24 @@ mod tests {
     fn client_hello_with_and_without_ritm() {
         assert_eq!(
             classify(&client_hello(true, &[])),
-            Classification::ClientHello { ritm: true, resumption: false }
+            Classification::ClientHello {
+                ritm: true,
+                resumption: false
+            }
         );
         assert_eq!(
             classify(&client_hello(false, &[])),
-            Classification::ClientHello { ritm: false, resumption: false }
+            Classification::ClientHello {
+                ritm: false,
+                resumption: false
+            }
         );
         assert_eq!(
             classify(&client_hello(true, &[1, 2, 3])),
-            Classification::ClientHello { ritm: true, resumption: true }
+            Classification::ClientHello {
+                ritm: true,
+                resumption: true
+            }
         );
     }
 

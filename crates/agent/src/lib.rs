@@ -8,16 +8,22 @@
 //! * piggybacks revocation statuses onto server→client traffic — once at
 //!   ServerHello time and then at least every Δ — adjusting TCP sequence
 //!   numbers for the injected bytes ([`ra`]),
-//! * and monitors CAs for equivocation ([`monitor`]).
+//! * reuses audit paths for hot serials across concurrent flows through an
+//!   epoch-keyed proof cache ([`cache`]), invalidated exactly when the
+//!   mirrored root advances,
+//! * and monitors CAs for equivocation and its own cache health
+//!   ([`monitor`]).
 
+pub mod cache;
 pub mod dpi;
 pub mod monitor;
 pub mod ra;
 pub mod state;
 pub mod sync;
 
+pub use cache::{CacheStats, ProofCache};
 pub use dpi::{classify, Classification, ServerFlight};
-pub use monitor::{ConsistencyMonitor, MisbehaviorReport};
+pub use monitor::{ConsistencyMonitor, MisbehaviorReport, RaHealthReport};
 pub use ra::{RaConfig, RaStats, RevocationAgent, StatusPayload};
 pub use state::{ConnState, Stage, StateTable};
 pub use sync::SyncReport;

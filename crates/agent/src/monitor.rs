@@ -8,9 +8,10 @@
 //! divergent versions, which this monitor turns into a transferable
 //! [`EquivocationProof`] reported to, e.g., software vendors.
 
-use crate::ra::RevocationAgent;
+use crate::cache::CacheStats;
+use crate::ra::{RaStats, RevocationAgent};
 use ritm_dictionary::consistency::{EquivocationProof, Observation, RootObservatory};
-use ritm_dictionary::{CaId, SignedRoot};
+use ritm_dictionary::{CaId, MirrorEngine, SignedRoot};
 
 /// A misbehavior report ready to hand to a vendor or auditor.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,16 +67,16 @@ impl ConsistencyMonitor {
     /// randomly contact … other RAs and compare their locally-stored
     /// statements" procedure. Seeds the observatory with the local view
     /// first so a conflicting peer view is caught.
-    pub fn cross_check_with_peer(
+    pub fn cross_check_with_peer<M: MirrorEngine>(
         &mut self,
-        local: &RevocationAgent,
+        local: &RevocationAgent<M>,
         peer_roots: &[SignedRoot],
         source: &str,
     ) -> Vec<MisbehaviorReport> {
         let cas: Vec<CaId> = local.followed_cas().copied().collect();
         for ca in cas {
             if let Some(mirror) = local.mirror(&ca) {
-                self.check(*mirror.signed_root(), "local-mirror");
+                self.check(*mirror.current_signed_root(), "local-mirror");
             }
         }
         peer_roots
@@ -87,6 +88,42 @@ impl ConsistencyMonitor {
     /// Every report collected so far.
     pub fn reports(&self) -> &[MisbehaviorReport] {
         &self.reports
+    }
+}
+
+/// A point-in-time operational snapshot of one RA: packet counters plus the
+/// proof-cache hit/miss statistics of the incremental dictionary engine.
+/// This is what an operator dashboard (or the bench harness) scrapes to see
+/// whether hot flows are actually reusing audit paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaHealthReport {
+    /// CAs currently mirrored.
+    pub mirrored_cas: usize,
+    /// Live entries in the Eq. (4) connection table.
+    pub tracked_connections: usize,
+    /// Packet/status counters.
+    pub stats: RaStats,
+    /// Proof-cache counters (hits, misses, evictions).
+    pub proof_cache: CacheStats,
+}
+
+impl RaHealthReport {
+    /// Proof-cache hit fraction in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.proof_cache.hit_rate()
+    }
+}
+
+impl<M: MirrorEngine> RevocationAgent<M> {
+    /// Snapshots the RA's operational counters, including the epoch-keyed
+    /// proof cache's hit/miss statistics.
+    pub fn health_report(&self) -> RaHealthReport {
+        RaHealthReport {
+            mirrored_cas: self.followed_cas().count(),
+            tracked_connections: self.table.len(),
+            stats: self.stats,
+            proof_cache: self.proof_cache_stats(),
+        }
     }
 }
 
@@ -123,7 +160,9 @@ mod tests {
         monitor.register_ca(ca.ca(), ca.verifying_key());
 
         // RA's own view is the hiding one; the random edge serves honest.
-        assert!(monitor.check(ca.signed_root(View::Hiding), "local").is_none());
+        assert!(monitor
+            .check(ca.signed_root(View::Hiding), "local")
+            .is_none());
         let report = monitor
             .check(ca.signed_root(View::Honest), "edge:us-east-1")
             .expect("fork detected");

@@ -7,14 +7,15 @@
 //! then at least every Δ for the connection's lifetime (step 6). All other
 //! traffic is forwarded untouched.
 
+use crate::cache::ProofCache;
 use crate::dpi::{classify, Classification};
 use crate::state::{Stage, StateTable};
-use ritm_dictionary::{CaId, MirrorDictionary, RevocationStatus, SerialNumber};
+use ritm_cdn::regions::Region;
+use ritm_crypto::wire::{Reader, Writer};
+use ritm_dictionary::{CaId, MirrorDictionary, MirrorEngine, RevocationStatus, SerialNumber};
 use ritm_net::middlebox::Middlebox;
 use ritm_net::tcp::{Direction, TcpSegment};
 use ritm_net::time::{SimDuration, SimTime};
-use ritm_cdn::regions::Region;
-use ritm_crypto::wire::{Reader, Writer};
 use ritm_tls::record::{ContentType, TlsRecord};
 use std::collections::HashMap;
 
@@ -33,7 +34,11 @@ pub struct RaConfig {
 
 impl Default for RaConfig {
     fn default() -> Self {
-        RaConfig { delta: 10, region: Region::Europe, prove_full_chain: false }
+        RaConfig {
+            delta: 10,
+            region: Region::Europe,
+            prove_full_chain: false,
+        }
     }
 }
 
@@ -81,6 +86,8 @@ impl StatusPayload {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ritm_crypto::wire::DecodeError> {
         let mut r = Reader::new(bytes);
         let n = r.u8("status count")? as usize;
+        // Each status needs at least its 3-byte length prefix.
+        r.check_count(n, 3, "status count exceeds buffer")?;
         let mut statuses = Vec::with_capacity(n);
         for _ in 0..n {
             let raw = r.vec24("status entry")?;
@@ -91,11 +98,14 @@ impl StatusPayload {
     }
 }
 
-/// The Revocation Agent.
-pub struct RevocationAgent {
+/// The Revocation Agent, generic over the mirror engine it runs
+/// ([`MirrorDictionary`] by default); the RA code depends only on the
+/// [`MirrorEngine`] trait, so alternative backends (sharded mirrors,
+/// disk-backed stores) slot in without touching the packet path.
+pub struct RevocationAgent<M: MirrorEngine = MirrorDictionary> {
     /// Configuration.
     pub config: RaConfig,
-    mirrors: HashMap<CaId, MirrorDictionary>,
+    pub(crate) mirrors: HashMap<CaId, M>,
     /// Eq. (4) connection table.
     pub table: StateTable,
     /// Session-id → certificate identity, learned from full handshakes, so
@@ -103,28 +113,43 @@ pub struct RevocationAgent {
     /// still be served statuses (§III, "RITM supports two mechanisms of TLS
     /// resumption").
     session_cache: HashMap<Vec<u8>, (CaId, SerialNumber)>,
+    /// Epoch-keyed audit-path cache: hot serials across concurrent flows
+    /// reuse proofs until the mirrored root advances.
+    pub(crate) proof_cache: ProofCache,
     /// Operational counters.
     pub stats: RaStats,
 }
 
-impl core::fmt::Debug for RevocationAgent {
+impl<M: MirrorEngine> core::fmt::Debug for RevocationAgent<M> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("RevocationAgent")
             .field("mirrors", &self.mirrors.len())
             .field("connections", &self.table.len())
+            .field("proof_cache", &self.proof_cache.stats())
             .field("stats", &self.stats)
             .finish()
     }
 }
 
-impl RevocationAgent {
-    /// Creates an RA with no mirrored dictionaries yet.
+impl RevocationAgent<MirrorDictionary> {
+    /// Creates an RA over in-memory [`MirrorDictionary`] mirrors — the
+    /// default engine. (Defined on the concrete default so plain
+    /// `RevocationAgent::new(..)` call sites infer the engine type.)
     pub fn new(config: RaConfig) -> Self {
+        Self::with_engine(config)
+    }
+}
+
+impl<M: MirrorEngine> RevocationAgent<M> {
+    /// Creates an RA with no mirrored dictionaries yet, over any
+    /// [`MirrorEngine`] backend.
+    pub fn with_engine(config: RaConfig) -> Self {
         RevocationAgent {
             config,
             mirrors: HashMap::new(),
             table: StateTable::new(),
             session_cache: HashMap::new(),
+            proof_cache: ProofCache::default(),
             stats: RaStats::default(),
         }
     }
@@ -141,20 +166,20 @@ impl RevocationAgent {
         key: ritm_crypto::ed25519::VerifyingKey,
         genesis: ritm_dictionary::SignedRoot,
     ) -> Result<(), ritm_dictionary::UpdateError> {
-        let mut mirror = MirrorDictionary::new(ca, key, genesis)?;
+        let mut mirror = M::bootstrap(ca, key, genesis)?;
         mirror.set_delta(self.config.delta);
         self.mirrors.insert(ca, mirror);
         Ok(())
     }
 
     /// Read access to a mirror.
-    pub fn mirror(&self, ca: &CaId) -> Option<&MirrorDictionary> {
+    pub fn mirror(&self, ca: &CaId) -> Option<&M> {
         self.mirrors.get(ca)
     }
 
     /// Mutable access to a mirror — used by the sync module and by
     /// harnesses that deliver updates out of band (tests, experiments).
-    pub fn mirror_mut(&mut self, ca: &CaId) -> Option<&mut MirrorDictionary> {
+    pub fn mirror_mut(&mut self, ca: &CaId) -> Option<&mut M> {
         self.mirrors.get_mut(ca)
     }
 
@@ -163,10 +188,21 @@ impl RevocationAgent {
         self.mirrors.keys()
     }
 
+    /// Proof-cache counter snapshot (also surfaced via
+    /// [`crate::monitor::RaHealthReport`]).
+    pub fn proof_cache_stats(&self) -> crate::cache::CacheStats {
+        self.proof_cache.stats()
+    }
+
     /// Builds the status payload for a chain of `(issuer, serial)` pairs.
     /// Returns `None` when the leaf's CA is not mirrored (the RA then stays
     /// silent rather than injecting garbage).
-    pub fn build_status(&self, chain: &[(CaId, SerialNumber)]) -> Option<StatusPayload> {
+    ///
+    /// Audit paths come from the epoch-keyed proof cache when the mirror's
+    /// root has not advanced since they were generated; the signed root and
+    /// freshness statement are always read live, so a cached proof composes
+    /// into a fully fresh status.
+    pub fn build_status(&mut self, chain: &[(CaId, SerialNumber)]) -> Option<StatusPayload> {
         if chain.is_empty() {
             return None;
         }
@@ -178,7 +214,16 @@ impl RevocationAgent {
         let mut statuses = Vec::with_capacity(certs.len());
         for (ca, serial) in certs {
             let mirror = self.mirrors.get(ca)?;
-            statuses.push(mirror.prove(serial));
+            let proof = self
+                .proof_cache
+                .get_or_insert(*ca, *serial, mirror.epoch(), || {
+                    mirror.generate_proof(serial)
+                });
+            statuses.push(RevocationStatus {
+                proof,
+                signed_root: *mirror.current_signed_root(),
+                freshness: *mirror.current_freshness(),
+            });
         }
         Some(StatusPayload { statuses })
     }
@@ -187,11 +232,7 @@ impl RevocationAgent {
     /// server→client payload, decide whether to add our status, replace an
     /// upstream RA's, or leave it alone. Returns the rebuilt payload and
     /// the number of bytes the payload grew by.
-    fn inject_status(
-        &mut self,
-        records: Vec<TlsRecord>,
-        payload: StatusPayload,
-    ) -> (Vec<u8>, i64) {
+    fn inject_status(&mut self, records: Vec<TlsRecord>, payload: StatusPayload) -> (Vec<u8>, i64) {
         let our_root = payload.statuses[0].signed_root;
         let mut records = records;
         let mut existing: Option<(usize, StatusPayload)> = None;
@@ -226,7 +267,10 @@ impl RevocationAgent {
                 // complete (it buffers statuses that precede the
                 // Certificate, so prepending is safe for full handshakes
                 // too).
-                records.insert(0, TlsRecord::new(ContentType::RitmStatus, payload.to_bytes()));
+                records.insert(
+                    0,
+                    TlsRecord::new(ContentType::RitmStatus, payload.to_bytes()),
+                );
                 self.stats.statuses_sent += 1;
             }
         }
@@ -352,7 +396,8 @@ impl RevocationAgent {
         // Default path: translate sequence numbers if we ever injected, and
         // forward.
         if tracked {
-            self.table.update(&tuple, |s| s.translator.translate(&mut seg));
+            self.table
+                .update(&tuple, |s| s.translator.translate(&mut seg));
         }
         if closing {
             self.table.remove(&tuple);
@@ -361,7 +406,7 @@ impl RevocationAgent {
     }
 }
 
-impl Middlebox for RevocationAgent {
+impl<M: MirrorEngine> Middlebox for RevocationAgent<M> {
     fn process(&mut self, segment: TcpSegment, now: SimTime) -> Vec<TcpSegment> {
         self.handle_segment(segment, now)
     }
@@ -416,8 +461,12 @@ mod tests {
             &mut rng,
             T0,
         );
-        let mut ra = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
-        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta: 10,
+            ..Default::default()
+        });
+        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .unwrap();
         // Revoke a couple of serials and mirror them.
         let serials: Vec<SerialNumber> = (100..110u32).map(SerialNumber::from_u24).collect();
         let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
@@ -481,7 +530,8 @@ mod tests {
     #[test]
     fn client_hello_creates_state() {
         let mut f = fixture();
-        let out = f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
+        let out =
+            f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
         assert_eq!(out.len(), 1);
         assert!(f.ra.table.contains(&tuple()));
         assert_eq!(f.ra.stats.supported_connections, 1);
@@ -494,7 +544,8 @@ mod tests {
     #[test]
     fn non_ritm_client_hello_ignored() {
         let mut f = fixture();
-        let out = f.ra.process(client_hello_segment(false), SimTime::from_secs(T0 + 2));
+        let out =
+            f.ra.process(client_hello_segment(false), SimTime::from_secs(T0 + 2));
         assert_eq!(out.len(), 1);
         assert!(!f.ra.table.contains(&tuple()));
     }
@@ -603,7 +654,10 @@ mod tests {
     fn periodic_refresh_after_delta() {
         let mut f = fixture();
         f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
-        f.ra.process(server_flight_segment(&f.ca, 500), SimTime::from_secs(T0 + 2));
+        f.ra.process(
+            server_flight_segment(&f.ca, 500),
+            SimTime::from_secs(T0 + 2),
+        );
         // Server Finished establishes the connection.
         let fin = TlsRecord::new(
             ContentType::Handshake,
@@ -652,7 +706,10 @@ mod tests {
     fn sequence_numbers_translated_after_injection() {
         let mut f = fixture();
         f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
-        let out = f.ra.process(server_flight_segment(&f.ca, 500), SimTime::from_secs(T0 + 2));
+        let out = f.ra.process(
+            server_flight_segment(&f.ca, 500),
+            SimTime::from_secs(T0 + 2),
+        );
         let injected = f.ra.table.get(&tuple()).unwrap().translator.injected();
         assert!(injected > 0);
         assert_eq!(out[0].seq, 0, "first flight keeps its seq");
@@ -675,7 +732,10 @@ mod tests {
         f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
         assert!(f.ra.table.contains(&tuple()));
         let mut fin = TcpSegment::data(tuple(), Direction::ToServer, 1, 1, vec![]);
-        fin.flags = TcpFlags { fin: true, ..Default::default() };
+        fin.flags = TcpFlags {
+            fin: true,
+            ..Default::default()
+        };
         f.ra.process(fin, SimTime::from_secs(T0 + 4));
         assert!(!f.ra.table.contains(&tuple()));
     }
@@ -696,10 +756,16 @@ mod tests {
         // clobber an equally-fresh status (§VIII "Multiple RAs").
         let mut f = fixture();
         f.ra.process(client_hello_segment(true), SimTime::from_secs(T0 + 2));
-        let out = f.ra.process(server_flight_segment(&f.ca, 500), SimTime::from_secs(T0 + 2));
+        let out = f.ra.process(
+            server_flight_segment(&f.ca, 500),
+            SimTime::from_secs(T0 + 2),
+        );
 
         // Build a second RA mirroring the same CA at the same version.
-        let mut ra2 = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        let mut ra2 = RevocationAgent::new(RaConfig {
+            delta: 10,
+            ..Default::default()
+        });
         // Bootstrap ra2 from scratch: genesis + replay.
         let mut rng = StdRng::seed_from_u64(22);
         let mut ca2 = CaDictionary::new(
@@ -711,8 +777,12 @@ mod tests {
             T0,
         );
         let _ = &mut ca2;
-        ra2.follow_ca(f.ca.ca(), f.ca.verifying_key(), f.ca.issuance_since(0).signed_root)
-            .err(); // genesis of non-empty dict fails; instead reuse f's mirror
+        ra2.follow_ca(
+            f.ca.ca(),
+            f.ca.verifying_key(),
+            f.ca.issuance_since(0).signed_root,
+        )
+        .err(); // genesis of non-empty dict fails; instead reuse f's mirror
         let mirror = f.ra.mirror(&f.ca.ca()).unwrap().clone();
         ra2.mirrors.insert(f.ca.ca(), mirror);
         ra2.table.insert(tuple());
@@ -738,17 +808,19 @@ mod tests {
         let stale_mirror = f.ra.mirror(&f.ca.ca()).unwrap().clone();
 
         // CA revokes one more; f.ra catches up, becoming "fresher".
-        let iss = f
-            .ca
-            .insert(&[SerialNumber::from_u24(999)], &mut f.rng, T0 + 3)
-            .unwrap();
+        let iss =
+            f.ca.insert(&[SerialNumber::from_u24(999)], &mut f.rng, T0 + 3)
+                .unwrap();
         f.ra.mirror_mut(&f.ca.ca())
             .unwrap()
             .apply_issuance(&iss, T0 + 3)
             .unwrap();
 
         // Upstream (stale) RA injects first.
-        let mut stale_ra = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        let mut stale_ra = RevocationAgent::new(RaConfig {
+            delta: 10,
+            ..Default::default()
+        });
         stale_ra.mirrors.insert(f.ca.ca(), stale_mirror);
         stale_ra.table.insert(tuple());
         let flight = server_flight_segment(&f.ca, 999);
@@ -779,12 +851,69 @@ mod tests {
     }
 
     #[test]
-    fn status_payload_round_trip() {
-        let f = fixture();
-        let payload = f
-            .ra
-            .build_status(&[(f.ca.ca(), SerialNumber::from_u24(105))])
+    fn proof_cache_serves_hot_serials_and_invalidates_on_epoch_change() {
+        let mut f = fixture();
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(105))];
+
+        // First build: miss; repeated builds for the same serial: hits.
+        let first = f.ra.build_status(&chain).unwrap();
+        for _ in 0..5 {
+            let again = f.ra.build_status(&chain).unwrap();
+            assert_eq!(again, first, "cached proof must compose the same status");
+        }
+        let stats = f.ra.proof_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (5, 1));
+
+        // A freshness-only refresh does NOT advance the epoch: the cached
+        // audit path is still served, composed with the *new* freshness.
+        let msg = f.ca.refresh(&mut f.rng, T0 + 11);
+        f.ra.mirror_mut(&f.ca.ca())
+            .unwrap()
+            .apply_refresh(&msg, T0 + 11)
             .unwrap();
+        let refreshed = f.ra.build_status(&chain).unwrap();
+        assert_eq!(f.ra.proof_cache_stats().hits, 6);
+        assert_eq!(refreshed.statuses[0].proof, first.statuses[0].proof);
+        assert_eq!(
+            &refreshed.statuses[0].freshness,
+            f.ra.mirror(&f.ca.ca()).unwrap().freshness(),
+            "cached proof must carry live freshness"
+        );
+
+        // A new issuance advances the epoch: the stale path must not be
+        // served, and the regenerated status verifies against the new root.
+        let iss =
+            f.ca.insert(&[SerialNumber::from_u24(999)], &mut f.rng, T0 + 12)
+                .unwrap();
+        f.ra.mirror_mut(&f.ca.ca())
+            .unwrap()
+            .apply_issuance(&iss, T0 + 12)
+            .unwrap();
+        let after = f.ra.build_status(&chain).unwrap();
+        let stats = f.ra.proof_cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (6, 2),
+            "epoch change forces a miss"
+        );
+        assert_ne!(after.statuses[0].proof, first.statuses[0].proof);
+        let outcome = after.statuses[0]
+            .validate(
+                &SerialNumber::from_u24(105),
+                &f.ca.verifying_key(),
+                10,
+                T0 + 12,
+            )
+            .expect("regenerated proof verifies against the advanced root");
+        assert!(outcome.is_revoked());
+    }
+
+    #[test]
+    fn status_payload_round_trip() {
+        let mut f = fixture();
+        let payload =
+            f.ra.build_status(&[(f.ca.ca(), SerialNumber::from_u24(105))])
+                .unwrap();
         let back = StatusPayload::from_bytes(&payload.to_bytes()).unwrap();
         assert_eq!(back, payload);
     }

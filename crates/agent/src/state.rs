@@ -166,7 +166,7 @@ mod tests {
         }
         t.update(&tuple(0), |s| s.last_status = 100); // stale
         t.update(&tuple(1), |s| s.last_status = 900); // fresh
-        // tuple(2), tuple(3) still at 0 (handshake in progress) — keep.
+                                                      // tuple(2), tuple(3) still at 0 (handshake in progress) — keep.
         let evicted = t.evict_idle(500);
         assert_eq!(evicted, 1);
         assert!(!t.contains(&tuple(0)));

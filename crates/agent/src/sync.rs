@@ -8,7 +8,10 @@
 use crate::ra::RevocationAgent;
 use ritm_cdn::network::Cdn;
 use ritm_cdn::origin::ContentKey;
-use ritm_dictionary::{CaId, RefreshMessage, RevocationIssuance, SignedRoot, UpdateError};
+use ritm_dictionary::{
+    CaId, EngineError, MirrorEngine, RefreshMessage, RevocationIssuance, SignedRoot, UpdateError,
+    UpdateMessage,
+};
 use ritm_net::time::{SimDuration, SimTime};
 
 /// Result of one periodic sync pass.
@@ -37,7 +40,7 @@ impl SyncReport {
     }
 }
 
-impl RevocationAgent {
+impl<M: MirrorEngine> RevocationAgent<M> {
     /// One periodic pull (every Δ): for each mirrored CA, fetch the latest
     /// issuance bundle and freshness statement from the regional edge, apply
     /// them, and repair any detected desynchronization with a catch-up
@@ -70,7 +73,7 @@ impl RevocationAgent {
                         let res = self
                             .mirror_mut(&ca)
                             .expect("followed ca has a mirror")
-                            .apply_refresh(&msg, now_secs);
+                            .apply_update(UpdateMessage::Refresh(&msg), now_secs);
                         match res {
                             Ok(()) => report.freshness_applied += 1,
                             Err(_) => report.rejected += 1,
@@ -114,18 +117,21 @@ impl RevocationAgent {
             issuance
         };
         let mirror = self.mirror_mut(&ca).expect("followed ca has a mirror");
-        match mirror.apply_issuance(&issuance, now_secs) {
+        match mirror.apply_update(UpdateMessage::Issuance(&issuance), now_secs) {
             Ok(()) => {
                 report.issuances_applied += 1;
                 report.revocations_applied += issuance.serials.len() as u64;
             }
-            Err(UpdateError::Desynchronized { have, .. }) => {
+            Err(EngineError::Update(UpdateError::Desynchronized { have, .. })) => {
                 // Paper's sync protocol: request everything after `have`.
                 if let Some((bytes, stats)) = cdn.pull_since(region, ca, have, rng) {
                     report.absorb_pull(&stats);
                     if let Ok(catchup) = RevocationIssuance::from_bytes(&bytes) {
                         let mirror = self.mirror_mut(&ca).expect("mirror");
-                        if mirror.apply_issuance(&catchup, now_secs).is_ok() {
+                        if mirror
+                            .apply_update(UpdateMessage::Issuance(&catchup), now_secs)
+                            .is_ok()
+                        {
                             report.catchups += 1;
                             report.issuances_applied += 1;
                             report.revocations_applied += catchup.serials.len() as u64;
@@ -149,7 +155,9 @@ fn decode_refresh(bytes: &[u8]) -> Option<RefreshMessage> {
         0 => ritm_dictionary::FreshnessStatement::from_bytes(body)
             .ok()
             .map(RefreshMessage::Freshness),
-        1 => SignedRoot::from_bytes(body).ok().map(RefreshMessage::NewRoot),
+        1 => SignedRoot::from_bytes(body)
+            .ok()
+            .map(RefreshMessage::NewRoot),
         _ => None,
     }
 }
@@ -185,7 +193,10 @@ mod tests {
             &mut rng,
             T0,
         );
-        let mut ra = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta: 10,
+            ..Default::default()
+        });
         ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
             .unwrap();
         World { ca, cdn, ra, rng }
@@ -208,7 +219,8 @@ mod tests {
         issue_and_revoke(&mut w, 0..5, T0 + 1);
         w.ca.refresh(&mut w.cdn, &mut w.rng, T0 + 2).unwrap();
 
-        let report = w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
+        let report =
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
         assert_eq!(report.issuances_applied, 1);
         assert_eq!(report.revocations_applied, 5);
         assert_eq!(report.freshness_applied, 1);
@@ -226,7 +238,8 @@ mod tests {
         let mut w = world();
         issue_and_revoke(&mut w, 0..3, T0 + 1);
         w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
-        let second = w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 3), &mut w.rng);
+        let second =
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 3), &mut w.rng);
         assert_eq!(second.issuances_applied, 0, "nothing new to apply");
         assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 3);
     }
@@ -238,7 +251,8 @@ mod tests {
         issue_and_revoke(&mut w, 0..4, T0 + 1);
         issue_and_revoke(&mut w, 4..9, T0 + 2);
 
-        let report = w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 3), &mut w.rng);
+        let report =
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 3), &mut w.rng);
         // The Latest bundle only carries the second batch, so the RA detects
         // the gap and issues a catch-up request.
         assert_eq!(report.catchups, 1);
@@ -260,7 +274,8 @@ mod tests {
             .origin
             .publish_raw(ContentKey::Latest { ca: w.ca.id() }, full.to_bytes());
         w.cdn.flush_edges();
-        let report = w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 4), &mut w.rng);
+        let report =
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 4), &mut w.rng);
         assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 6);
         assert_eq!(report.rejected, 0);
     }
@@ -275,10 +290,12 @@ mod tests {
         w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
 
         w.ca.refresh(&mut w.cdn, &mut w.rng, T0 + 12).unwrap();
-        let quiet = w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 12), &mut w.rng);
+        let quiet =
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 12), &mut w.rng);
 
         issue_and_revoke(&mut w, 1..1001, T0 + 21);
-        let burst = w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 22), &mut w.rng);
+        let burst =
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 22), &mut w.rng);
         assert!(
             burst.bytes_downloaded > 10 * quiet.bytes_downloaded,
             "burst {} vs quiet {}",
@@ -301,7 +318,10 @@ mod tests {
             &mut rng,
             T0,
         );
-        let mut ra = RevocationAgent::new(RaConfig { delta: 10, ..Default::default() });
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta: 10,
+            ..Default::default()
+        });
         ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
             .unwrap();
         // 5 periods later the chain (length 3) is exhausted → NewRoot.

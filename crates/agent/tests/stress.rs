@@ -2,7 +2,6 @@
 //! table is hit from many packet-processing threads in a production
 //! middlebox, so it must stay consistent under contention.
 
-use crossbeam::thread;
 use ritm_agent::state::{Stage, StateTable};
 use ritm_dictionary::{CaId, SerialNumber};
 use ritm_net::tcp::{FourTuple, SocketAddr};
@@ -20,10 +19,10 @@ fn state_table_survives_contention() {
     const THREADS: u16 = 8;
     const CONNS: u16 = 500;
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for th in 0..THREADS {
             let table = &table;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for conn in 0..CONNS {
                     let t = tuple(th, conn);
                     table.insert(t);
@@ -41,8 +40,7 @@ fn state_table_survives_contention() {
                 }
             });
         }
-    })
-    .expect("no thread panicked");
+    });
 
     // Exactly the odd connections remain, each with its final state.
     assert_eq!(table.len(), (THREADS as usize) * (CONNS as usize) / 2);
@@ -64,25 +62,27 @@ fn concurrent_eviction_is_linearizable() {
         table.insert(t);
         table.update(&t, |st| st.last_status = conn as u64 + 1);
     }
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         // Evictors and writers race.
         for _ in 0..4 {
             let table = &table;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 table.evict_idle(501);
             });
         }
         let table = &table;
-        s.spawn(move |_| {
+        s.spawn(move || {
             for conn in 0..1_000u16 {
                 table.update(&tuple(0, conn), |st| st.stage = Stage::Established);
             }
         });
-    })
-    .expect("no thread panicked");
+    });
     // Everything below the cutoff is gone (writers never resurrect entries).
     for conn in 0..500u16 {
-        assert!(!table.contains(&tuple(0, conn)), "conn {conn} must be evicted");
+        assert!(
+            !table.contains(&tuple(0, conn)),
+            "conn {conn} must be evicted"
+        );
     }
     for conn in 500..1_000u16 {
         assert!(table.contains(&tuple(0, conn)), "conn {conn} must survive");

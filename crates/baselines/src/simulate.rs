@@ -79,10 +79,16 @@ impl SchemeParams {
         match *self {
             // Client fetched the CRL just before the revocation: exposed
             // until the *next* publication plus the fetch.
-            SchemeParams::Crl { next_update_secs, .. } => next_update_secs,
-            SchemeParams::Ocsp { response_validity_secs } => response_validity_secs,
+            SchemeParams::Crl {
+                next_update_secs, ..
+            } => next_update_secs,
+            SchemeParams::Ocsp {
+                response_validity_secs,
+            } => response_validity_secs,
             SchemeParams::OcspStapling { staple_age_secs } => staple_age_secs,
-            SchemeParams::CrlSet { push_period_secs, .. } => push_period_secs,
+            SchemeParams::CrlSet {
+                push_period_secs, ..
+            } => push_period_secs,
             SchemeParams::ShortLived { lifetime_secs } => lifetime_secs,
             // Broadcast reception is near-immediate once on air.
             SchemeParams::RevCast { .. } => 60,
@@ -157,14 +163,33 @@ pub fn ritm_dissemination_secs(delta_secs: u64, download_secs: f64) -> f64 {
 /// matching the numbers quoted in §II.
 pub fn default_params(ritm_delta: u64) -> Vec<SchemeParams> {
     vec![
-        SchemeParams::Crl { next_update_secs: 7 * 86_400, entries: 339_557 },
-        SchemeParams::Ocsp { response_validity_secs: 4 * 86_400 },
-        SchemeParams::OcspStapling { staple_age_secs: 7 * 86_400 },
-        SchemeParams::CrlSet { push_period_secs: 42 * 86_400, coverage: 0.0035 },
-        SchemeParams::ShortLived { lifetime_secs: 4 * 86_400 },
-        SchemeParams::RevCast { bandwidth_bps: 421.8, entry_bits: 21 * 8 },
-        SchemeParams::LogBased { merge_delay_secs: 12 * 3_600 },
-        SchemeParams::Ritm { delta_secs: ritm_delta },
+        SchemeParams::Crl {
+            next_update_secs: 7 * 86_400,
+            entries: 339_557,
+        },
+        SchemeParams::Ocsp {
+            response_validity_secs: 4 * 86_400,
+        },
+        SchemeParams::OcspStapling {
+            staple_age_secs: 7 * 86_400,
+        },
+        SchemeParams::CrlSet {
+            push_period_secs: 42 * 86_400,
+            coverage: 0.0035,
+        },
+        SchemeParams::ShortLived {
+            lifetime_secs: 4 * 86_400,
+        },
+        SchemeParams::RevCast {
+            bandwidth_bps: 421.8,
+            entry_bits: 21 * 8,
+        },
+        SchemeParams::LogBased {
+            merge_delay_secs: 12 * 3_600,
+        },
+        SchemeParams::Ritm {
+            delta_secs: ritm_delta,
+        },
     ]
 }
 
@@ -174,8 +199,14 @@ mod tests {
 
     #[test]
     fn ritm_window_is_two_delta() {
-        assert_eq!(SchemeParams::Ritm { delta_secs: 10 }.attack_window_secs(), 20);
-        assert_eq!(SchemeParams::Ritm { delta_secs: 86_400 }.attack_window_secs(), 172_800);
+        assert_eq!(
+            SchemeParams::Ritm { delta_secs: 10 }.attack_window_secs(),
+            20
+        );
+        assert_eq!(
+            SchemeParams::Ritm { delta_secs: 86_400 }.attack_window_secs(),
+            172_800
+        );
     }
 
     #[test]
@@ -198,7 +229,11 @@ mod tests {
         // 421.8 bit/s with 21-byte entries takes hours — versus seconds for
         // RITM (one Δ plus a sub-second CDN pull).
         let secs = revcast_dissemination_secs(421.8, 21 * 8, 40_000);
-        assert!(secs / 3600.0 > 3.0 && secs / 3600.0 < 8.0, "{} h", secs / 3600.0);
+        assert!(
+            secs / 3600.0 > 3.0 && secs / 3600.0 < 8.0,
+            "{} h",
+            secs / 3600.0
+        );
         let ritm = ritm_dissemination_secs(10, 0.5);
         assert!(ritm < 15.0);
         assert!(secs / ritm > 1_000.0, "RITM is orders of magnitude faster");
@@ -206,32 +241,55 @@ mod tests {
 
     #[test]
     fn crl_download_is_megabytes() {
-        let crl = SchemeParams::Crl { next_update_secs: 86_400, entries: 339_557 };
+        let crl = SchemeParams::Crl {
+            next_update_secs: 86_400,
+            entries: 339_557,
+        };
         // ~22 bytes per DER CRL entry → ~7.5 MB, the paper's largest CRL.
         let bytes = crl.handshake_extra_bytes(22);
         assert!(bytes > 7_000_000, "got {bytes}");
-        assert_eq!(SchemeParams::Ritm { delta_secs: 10 }.handshake_extra_bytes(22), 0);
+        assert_eq!(
+            SchemeParams::Ritm { delta_secs: 10 }.handshake_extra_bytes(22),
+            0
+        );
     }
 
     #[test]
     fn privacy_leaks_match_section_ii() {
-        assert!(SchemeParams::Ocsp { response_validity_secs: 1 }.leaks_browsing_target());
-        assert!(SchemeParams::Crl { next_update_secs: 1, entries: 1 }.leaks_browsing_target());
+        assert!(SchemeParams::Ocsp {
+            response_validity_secs: 1
+        }
+        .leaks_browsing_target());
+        assert!(SchemeParams::Crl {
+            next_update_secs: 1,
+            entries: 1
+        }
+        .leaks_browsing_target());
         assert!(!SchemeParams::Ritm { delta_secs: 1 }.leaks_browsing_target());
         assert!(!SchemeParams::OcspStapling { staple_age_secs: 1 }.leaks_browsing_target());
     }
 
     #[test]
     fn crlset_coverage_is_partial() {
-        let p = SchemeParams::CrlSet { push_period_secs: 1, coverage: 0.0035 };
+        let p = SchemeParams::CrlSet {
+            push_period_secs: 1,
+            coverage: 0.0035,
+        };
         assert!(p.revocation_coverage() < 0.01);
-        assert_eq!(SchemeParams::Ritm { delta_secs: 1 }.revocation_coverage(), 1.0);
+        assert_eq!(
+            SchemeParams::Ritm { delta_secs: 1 }.revocation_coverage(),
+            1.0
+        );
     }
 
     #[test]
     fn server_controlled_staple_age_grows_window() {
-        let honest = SchemeParams::OcspStapling { staple_age_secs: 86_400 };
-        let compromised = SchemeParams::OcspStapling { staple_age_secs: 30 * 86_400 };
+        let honest = SchemeParams::OcspStapling {
+            staple_age_secs: 86_400,
+        };
+        let compromised = SchemeParams::OcspStapling {
+            staple_age_secs: 30 * 86_400,
+        };
         assert!(compromised.attack_window_secs() > honest.attack_window_secs() * 20);
     }
 }

@@ -1,15 +1,39 @@
 //! Criterion benchmarks for the authenticated dictionary itself: insert and
-//! update scaling (§VII-D) plus an ablation over dictionary size showing the
-//! logarithmic proof cost that Table III relies on.
+//! update scaling (§VII-D), an ablation over dictionary size showing the
+//! logarithmic proof cost that Table III relies on, the incremental engine
+//! against full rebuilds (10k/100k/1M leaves), and cold vs epoch-cached
+//! proof construction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ritm_agent::ProofCache;
 use ritm_crypto::SigningKey;
+use ritm_dictionary::tree::{Leaf, MerkleTree};
 use ritm_dictionary::{CaDictionary, CaId, MirrorDictionary, SerialNumber};
 use std::hint::black_box;
 
 const T0: u64 = 1_397_000_000;
+/// The acceptance scenario: one Δ's worth of revocations landing in a
+/// CDN-scale dictionary.
+const BATCH: u32 = 100;
+
+fn built_tree(n: u32) -> MerkleTree {
+    let mut tree = MerkleTree::new();
+    let leaves: Vec<Leaf> = (0..n)
+        .map(|i| Leaf::new(SerialNumber::from_u24(i * 2), i as u64 + 1))
+        .collect();
+    tree.apply_sorted_batch(&leaves);
+    tree
+}
+
+fn fresh_batch(n: u32) -> Vec<Leaf> {
+    // Fresh serials sort after every existing leaf (serials grow with
+    // issuance), the engine's common case.
+    (0..BATCH)
+        .map(|i| Leaf::new(SerialNumber::from_u24(n * 2 + 1 + i), (n + i) as u64 + 1))
+        .collect()
+}
 
 fn built_pair(n: u32) -> (CaDictionary, MirrorDictionary) {
     let mut rng = StdRng::seed_from_u64(7);
@@ -37,8 +61,9 @@ fn bench_insert_1000(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (ca, _) = built_pair(5_440);
-                let batch: Vec<SerialNumber> =
-                    (0..1_000u32).map(|i| SerialNumber::from_u24(0x800000 + i)).collect();
+                let batch: Vec<SerialNumber> = (0..1_000u32)
+                    .map(|i| SerialNumber::from_u24(0x800000 + i))
+                    .collect();
                 (ca, batch, StdRng::seed_from_u64(9))
             },
             |(mut ca, batch, mut rng)| {
@@ -52,8 +77,9 @@ fn bench_insert_1000(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (mut ca, mirror) = built_pair(5_440);
-                let batch: Vec<SerialNumber> =
-                    (0..1_000u32).map(|i| SerialNumber::from_u24(0x800000 + i)).collect();
+                let batch: Vec<SerialNumber> = (0..1_000u32)
+                    .map(|i| SerialNumber::from_u24(0x800000 + i))
+                    .collect();
                 let mut rng = StdRng::seed_from_u64(9);
                 let iss = ca.insert(&batch, &mut rng, T0 + 2).expect("insert");
                 (mirror, iss)
@@ -78,6 +104,60 @@ fn bench_prove_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply_100_batch");
+    for n in [10_000u32, 100_000, 1_000_000] {
+        // Slow at 1M (a full rebuild is ~2n hashes); fewer samples there.
+        g.sample_size(if n >= 1_000_000 { 10 } else { 20 });
+        let base = built_tree(n);
+        let batch = fresh_batch(n);
+        g.bench_with_input(BenchmarkId::new("full_rebuild", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut t = base.clone();
+                    t.extend_leaves(batch.iter().copied());
+                    t
+                },
+                |mut t| {
+                    t.rebuild();
+                    black_box(t.root())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut t| {
+                    t.apply_sorted_batch(&batch);
+                    black_box(t.root())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cold_vs_cached_proof(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prove_hot_serial");
+    for n in [10_000u32, 100_000, 1_000_000] {
+        g.sample_size(if n >= 1_000_000 { 10 } else { 20 });
+        let (_, mirror) = built_pair(n);
+        let query = SerialNumber::from_u24(0x700001); // absent (odd serial)
+        g.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| black_box(mirror.proof(black_box(&query))))
+        });
+        g.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            let mut cache = ProofCache::default();
+            let ca = mirror.ca();
+            let epoch = mirror.epoch();
+            b.iter(|| black_box(cache.get_or_insert(ca, query, epoch, || mirror.proof(&query))))
+        });
+    }
+    g.finish();
+}
+
 fn bench_status_validation(c: &mut Criterion) {
     let (ca, mirror) = built_pair(100_000);
     let query = SerialNumber::from_u24(0x700001);
@@ -91,6 +171,7 @@ fn bench_status_validation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_insert_1000, bench_prove_scaling, bench_status_validation
+    targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
+        bench_cold_vs_cached_proof, bench_status_validation
 }
 criterion_main!(benches);

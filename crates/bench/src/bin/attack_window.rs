@@ -29,12 +29,23 @@ fn main() {
                 fmt_secs(p.attack_window_secs()),
                 format!("{:.2}%", p.revocation_coverage() * 100.0),
                 p.extra_connections().to_string(),
-                if p.leaks_browsing_target() { "yes" } else { "no" }.to_string(),
+                if p.leaks_browsing_target() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]
         })
         .collect();
     print_table(
-        &["scheme", "attack window", "coverage", "extra conns", "leaks target"],
+        &[
+            "scheme",
+            "attack window",
+            "coverage",
+            "extra conns",
+            "leaks target",
+        ],
         &rows,
     );
 
@@ -42,7 +53,11 @@ fn main() {
     println!("RITM window scaling: 2Δ exactly");
     for delta in [10u64, 60, 300, 3_600, 86_400] {
         let p = SchemeParams::Ritm { delta_secs: delta };
-        println!("  Δ = {:>8} -> window {}", fmt_secs(delta), fmt_secs(p.attack_window_secs()));
+        println!(
+            "  Δ = {:>8} -> window {}",
+            fmt_secs(delta),
+            fmt_secs(p.attack_window_secs())
+        );
     }
 
     println!();

@@ -35,13 +35,21 @@ fn main() {
         );
     }
     let peak = series.iter().max_by_key(|b| b.count).unwrap();
-    println!("  total: {total} revocations; peak week: {} at {}", peak.count, peak.start);
+    println!(
+        "  total: {total} revocations; peak week: {} at {}",
+        peak.count, peak.start
+    );
 
     println!();
     println!("Fig. 4 (bottom): 16-17 April 2014 in 6-hour bins");
     let bins = peak_days_six_hourly(&mut rng);
     for bin in &bins {
-        println!("  t@{:>10}  {:>6}  {}", bin.start, bin.count, bar(bin.count, 200));
+        println!(
+            "  t@{:>10}  {:>6}  {}",
+            bin.start,
+            bin.count,
+            bar(bin.count, 200)
+        );
     }
     let peak = bins.iter().map(|b| b.count).max().unwrap();
     println!("  peak 6-hour bin: {peak} revocations (paper: ~10,000)");

@@ -60,12 +60,23 @@ fn main() {
         ]);
     }
     print_table(
-        &["revocations", "bytes", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"],
+        &[
+            "revocations",
+            "bytes",
+            "p50 (s)",
+            "p90 (s)",
+            "p99 (s)",
+            "max (s)",
+        ],
         &rows,
     );
     println!();
     println!(
         "paper's headline: 90% of nodes download even the 60k message in < 1 s -> {}",
-        if all_ok { "REPRODUCED" } else { "NOT reproduced" }
+        if all_ok {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

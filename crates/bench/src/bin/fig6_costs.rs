@@ -21,26 +21,17 @@ const CYCLES: usize = 18;
 const CYCLE_SECS: u64 = 30 * 86_400;
 
 /// The Fig. 6 Δ values.
-const DELTAS: [(u64, &str); 4] = [
-    (10, "10s"),
-    (60, "1m"),
-    (3_600, "1h"),
-    (86_400, "1d"),
-];
+const DELTAS: [(u64, &str); 4] = [(10, "10s"), (60, "1m"), (3_600, "1h"), (86_400, "1d")];
 
 /// Monthly bill for one Δ and one cycle's revocation count.
-fn monthly_bill(
-    delta: u64,
-    cycle_revocations: u64,
-    ras_per_region: &[(Region, u64)],
-) -> f64 {
+fn monthly_bill(delta: u64, cycle_revocations: u64, ras_per_region: &[(Region, u64)]) -> f64 {
     let periods = CYCLE_SECS / delta;
     // Revocations spread uniformly over the cycle's periods (batch size per
     // period); leftover revocations land in the first periods.
     let base = cycle_revocations / periods;
     let extra_periods = cycle_revocations % periods;
-    let bytes_per_ra = extra_periods * bytes_per_pull(base + 1)
-        + (periods - extra_periods) * bytes_per_pull(base);
+    let bytes_per_ra =
+        extra_periods * bytes_per_pull(base + 1) + (periods - extra_periods) * bytes_per_pull(base);
     let per_region: Vec<(Region, u64)> = ras_per_region
         .iter()
         .map(|(r, n)| (*r, n * bytes_per_ra))
@@ -81,7 +72,14 @@ fn main() {
         let _ = i;
     }
     print_table(
-        &["cycle", "revocations", "Δ=10s ($)", "Δ=1m ($)", "Δ=1h ($)", "Δ=1d ($)"],
+        &[
+            "cycle",
+            "revocations",
+            "Δ=10s ($)",
+            "Δ=1m ($)",
+            "Δ=1h ($)",
+            "Δ=1d ($)",
+        ],
         &rows,
     );
     println!();
@@ -95,7 +93,10 @@ fn main() {
          Heartbleed bump visible at Δ=1d: max/min = {:.1}x",
         per_delta_mean[0] / per_delta_mean[1],
         {
-            let bills: Vec<f64> = cycles.iter().map(|r| monthly_bill(86_400, *r, &ras)).collect();
+            let bills: Vec<f64> = cycles
+                .iter()
+                .map(|r| monthly_bill(86_400, *r, &ras))
+                .collect();
             let max = bills.iter().cloned().fold(f64::MIN, f64::max);
             let min = bills.iter().cloned().fold(f64::MAX, f64::min);
             max / min

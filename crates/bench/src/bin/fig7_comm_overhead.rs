@@ -9,7 +9,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ritm_bench::{bytes_per_pull, print_table, stats};
-use ritm_workloads::heartbleed::{disclosure_fortnight_daily, per_period_counts, HEARTBLEED_DISCLOSURE, WEEK};
+use ritm_workloads::heartbleed::{
+    disclosure_fortnight_daily, per_period_counts, HEARTBLEED_DISCLOSURE, WEEK,
+};
 use ritm_workloads::isc::aggregates::CRL_COUNT;
 
 const DELTAS: [(u64, &str); 5] = [

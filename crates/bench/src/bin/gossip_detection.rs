@@ -102,12 +102,18 @@ fn main() {
         }
         let mut row = vec![format!("{:.0}%", hiding_fraction * 100.0)];
         for r in 1..=MAX_ROUNDS {
-            row.push(format!("{:.2}", detected_by_round[r] as f64 / TRIALS as f64));
+            row.push(format!(
+                "{:.2}",
+                detected_by_round[r] as f64 / TRIALS as f64
+            ));
         }
         rows.push(row);
     }
     print_table(
-        &["victims", "round 1", "round 2", "round 3", "round 4", "round 5", "round 6", "round 7", "round 8"],
+        &[
+            "victims", "round 1", "round 2", "round 3", "round 4", "round 5", "round 6", "round 7",
+            "round 8",
+        ],
         &rows,
     );
     println!();

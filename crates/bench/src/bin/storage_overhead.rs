@@ -70,7 +70,12 @@ fn main() {
         "30 / 260".into(),
     ]);
     print_table(
-        &["revocations", "storage (MB)", "memory (MB)", "paper storage/mem (MB)"],
+        &[
+            "revocations",
+            "storage (MB)",
+            "memory (MB)",
+            "paper storage/mem (MB)",
+        ],
         &rows,
     );
     println!();
@@ -81,5 +86,7 @@ fn main() {
         memory10 as f64 / memory as f64,
     );
     println!("note: our storage includes an 8-byte revocation number per entry, and our");
-    println!("memory keeps every tree level; constants differ, scaling matches (see EXPERIMENTS.md)");
+    println!(
+        "memory keeps every tree level; constants differ, scaling matches (see EXPERIMENTS.md)"
+    );
 }

@@ -62,7 +62,9 @@ fn main() {
     }
 
     // t = t0 + 3Δ: revoke sd → new signed root with n+1.
-    let iss = ca.insert(&[sd], &mut rng, t0 + 3 * delta).expect("new serial");
+    let iss = ca
+        .insert(&[sd], &mut rng, t0 + 3 * delta)
+        .expect("new serial");
     rows.push(vec![
         "t0+3Δ".into(),
         "sd".into(),

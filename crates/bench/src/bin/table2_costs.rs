@@ -12,17 +12,20 @@ use ritm_workloads::isc::aggregates::LARGEST_CRL;
 
 const CYCLES: usize = 18;
 const CYCLE_SECS: u64 = 30 * 86_400;
-const DELTAS: [(u64, &str); 4] = [(10, "10 sec"), (60, "1 min"), (3_600, "1 h"), (86_400, "1 day")];
+const DELTAS: [(u64, &str); 4] = [
+    (10, "10 sec"),
+    (60, "1 min"),
+    (3_600, "1 h"),
+    (86_400, "1 day"),
+];
 const DENSITIES: [u64; 3] = [30, 250, 1_000];
 
 fn monthly_bill(delta: u64, revs: u64, ras: &[(Region, u64)]) -> f64 {
     let periods = CYCLE_SECS / delta;
     let base = revs / periods;
     let extra = revs % periods;
-    let bytes_per_ra =
-        extra * bytes_per_pull(base + 1) + (periods - extra) * bytes_per_pull(base);
-    let per_region: Vec<(Region, u64)> =
-        ras.iter().map(|(r, n)| (*r, n * bytes_per_ra)).collect();
+    let bytes_per_ra = extra * bytes_per_pull(base + 1) + (periods - extra) * bytes_per_pull(base);
+    let per_region: Vec<(Region, u64)> = ras.iter().map(|(r, n)| (*r, n * bytes_per_ra)).collect();
     aggregate_tiered_cost_usd(&per_region)
 }
 
@@ -39,7 +42,10 @@ fn main() {
         let ras = cities.ras_per_region(density);
         let mut row = vec![format!("{density}")];
         for (delta, _) in DELTAS {
-            let mean = cycles.iter().map(|r| monthly_bill(delta, *r, &ras)).sum::<f64>()
+            let mean = cycles
+                .iter()
+                .map(|r| monthly_bill(delta, *r, &ras))
+                .sum::<f64>()
                 / CYCLES as f64;
             row.push(format!("{:.3}", mean / 1_000.0));
         }

@@ -58,7 +58,9 @@ fn main() {
     let iss = ca.insert(&serials, &mut rng, T0 + 1).expect("insert");
     let mut mirror = MirrorDictionary::new(ca.ca(), ca.verifying_key(), genesis).expect("genesis");
     mirror.set_delta(DELTA);
-    mirror.apply_issuance(&iss, T0 + 1).expect("mirror catches up");
+    mirror
+        .apply_issuance(&iss, T0 + 1)
+        .expect("mirror catches up");
 
     // --- RA: TLS detection (per-packet classify on non-handshake traffic).
     let app_record = TlsRecord::new(ContentType::ApplicationData, vec![0x17; 1_200]).to_bytes();
@@ -73,16 +75,34 @@ fn main() {
     let inter_key = SigningKey::from_seed([2u8; 32]);
     let leaf_key = SigningKey::from_seed([3u8; 32]);
     let root_cert = Certificate::issue(
-        &ca_key, ca.ca(), SerialNumber::from_u24(0xfffff0), "T3CA",
-        T0 - 100, T0 + 1_000_000, ca_key.verifying_key(), true,
+        &ca_key,
+        ca.ca(),
+        SerialNumber::from_u24(0xfffff0),
+        "T3CA",
+        T0 - 100,
+        T0 + 1_000_000,
+        ca_key.verifying_key(),
+        true,
     );
     let inter = Certificate::issue(
-        &ca_key, ca.ca(), SerialNumber::from_u24(0xfffff1), "Inter",
-        T0 - 100, T0 + 1_000_000, inter_key.verifying_key(), true,
+        &ca_key,
+        ca.ca(),
+        SerialNumber::from_u24(0xfffff1),
+        "Inter",
+        T0 - 100,
+        T0 + 1_000_000,
+        inter_key.verifying_key(),
+        true,
     );
     let leaf = Certificate::issue(
-        &inter_key, CaId::from_name("Inter"), SerialNumber::from_u24(0x123456), "example.com",
-        T0 - 100, T0 + 1_000_000, leaf_key.verifying_key(), false,
+        &inter_key,
+        CaId::from_name("Inter"),
+        SerialNumber::from_u24(0x123456),
+        "example.com",
+        T0 - 100,
+        T0 + 1_000_000,
+        leaf_key.verifying_key(),
+        false,
     );
     let flight = TlsRecord::new(
         ContentType::Handshake,
@@ -130,7 +150,9 @@ fn main() {
             .expect("fresh");
     });
 
-    println!("Table III: detailed processing time in µs ({REPS} reps, {DICT_SIZE}-entry dictionary)");
+    println!(
+        "Table III: detailed processing time in µs ({REPS} reps, {DICT_SIZE}-entry dictionary)"
+    );
     println!();
     let rows: Vec<Vec<String>> = [
         ("RA", "TLS detection (DPI)", &detection, 2.93),
@@ -152,7 +174,10 @@ fn main() {
         ]
     })
     .collect();
-    print_table(&["entity", "operation", "max", "min", "avg", "paper avg"], &rows);
+    print_table(
+        &["entity", "operation", "max", "min", "avg", "paper avg"],
+        &rows,
+    );
 
     // --- §VII-D: dictionary update with 1,000 new revocations (CA insert /
     //     RA update+verify), on the average-size dictionary (5,440 entries).
@@ -170,15 +195,17 @@ fn main() {
             T0,
         );
         let genesis2 = *ca2.signed_root();
-        let base: Vec<SerialNumber> =
-            (0..5_440u32).map(|i| SerialNumber::from_u24(i * 7 + rep)).collect();
+        let base: Vec<SerialNumber> = (0..5_440u32)
+            .map(|i| SerialNumber::from_u24(i * 7 + rep))
+            .collect();
         let iss0 = ca2.insert(&base, &mut rng, T0 + 1).expect("base insert");
         let mut m2 = MirrorDictionary::new(ca2.ca(), ca2.verifying_key(), genesis2).unwrap();
         m2.set_delta(DELTA);
         m2.apply_issuance(&iss0, T0 + 1).unwrap();
 
-        let batch: Vec<SerialNumber> =
-            (0..1_000u32).map(|i| SerialNumber::from_u24(0x800000 + i * 3 + rep)).collect();
+        let batch: Vec<SerialNumber> = (0..1_000u32)
+            .map(|i| SerialNumber::from_u24(0x800000 + i * 3 + rep))
+            .collect();
         let t = Instant::now();
         let iss1 = ca2.insert(&batch, &mut rng, T0 + 2).expect("batch insert");
         ins_samples.push(t.elapsed().as_secs_f64() * 1e3);
@@ -198,6 +225,73 @@ fn main() {
         upd.max, upd.min, upd.mean
     );
 
+    // --- Incremental engine summary: batch apply vs full rebuild, and the
+    //     RA's epoch-keyed proof cache (cold vs hot path), on the same
+    //     largest-CRL dictionary.
+    println!();
+    println!("incremental dictionary engine ({DICT_SIZE}-entry dictionary):");
+    {
+        use ritm_dictionary::tree::{Leaf, MerkleTree};
+        let mut base = MerkleTree::new();
+        let leaves: Vec<Leaf> = (0..DICT_SIZE)
+            .map(|i| Leaf::new(SerialNumber::from_u24(i * 2), i as u64 + 1))
+            .collect();
+        base.apply_sorted_batch(&leaves);
+        let batch: Vec<Leaf> = (0..100u32)
+            .map(|i| {
+                Leaf::new(
+                    SerialNumber::from_u24(DICT_SIZE * 2 + 1 + i),
+                    (DICT_SIZE + i) as u64 + 1,
+                )
+            })
+            .collect();
+
+        let reps = 10;
+        let mut full = Vec::new();
+        let mut incr = Vec::new();
+        for _ in 0..reps {
+            let mut t = base.clone();
+            t.extend_leaves(batch.iter().copied());
+            let started = Instant::now();
+            t.rebuild();
+            full.push(started.elapsed().as_secs_f64() * 1e3);
+
+            let mut t = base.clone();
+            let started = Instant::now();
+            t.apply_sorted_batch(&batch);
+            incr.push(started.elapsed().as_secs_f64() * 1e3);
+        }
+        let full_ms = stats(&full).mean;
+        let incr_ms = stats(&incr).mean;
+        println!(
+            "  apply 100-serial batch: full rebuild {:.3} ms, incremental {:.4} ms  ({:.0}x speedup)",
+            full_ms,
+            incr_ms,
+            full_ms / incr_ms.max(1e-9)
+        );
+
+        let mut cache = ritm_agent::ProofCache::default();
+        let ca_id = mirror.ca();
+        let epoch = mirror.epoch();
+        let cold = time_op(|| {
+            black_box(mirror.proof(black_box(&query)));
+        });
+        let cached = time_op(|| {
+            black_box(cache.get_or_insert(ca_id, query, epoch, || mirror.proof(&query)));
+        });
+        let cold_us = stats(&cold).mean;
+        let cached_us = stats(&cached).mean;
+        let cs = cache.stats();
+        println!(
+            "  proof construction: cold {:.2} µs, epoch-cached {:.3} µs  ({:.0}x; {} hits / {} misses)",
+            cold_us,
+            cached_us,
+            cold_us / cached_us.max(1e-9),
+            cs.hits,
+            cs.misses
+        );
+    }
+
     // --- Derived throughput (§VII-D).
     println!();
     let det = stats(&detection).mean;
@@ -208,8 +302,14 @@ fn main() {
         "  RA non-TLS packets/s:          {:>12.0}   (paper: >340,000)",
         1e6 / det * 2.0 // time_op classified two packets per rep
     );
-    println!("  RA RITM handshakes/s:          {:>12.0}   (paper: >50,000)", 1e6 / hs);
-    println!("  client status validations/s:   {:>12.0}   (paper: ~4,000)", 1e6 / val);
+    println!(
+        "  RA RITM handshakes/s:          {:>12.0}   (paper: >50,000)",
+        1e6 / hs
+    );
+    println!(
+        "  client status validations/s:   {:>12.0}   (paper: ~4,000)",
+        1e6 / val
+    );
     println!();
     println!(
         "RITM adds ~{:.0} µs client-side per handshake — <1% of a ~30 ms TLS handshake",

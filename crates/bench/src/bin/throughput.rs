@@ -31,20 +31,39 @@ fn tuple(port: u16) -> FourTuple {
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let ca_key = SigningKey::from_seed([1u8; 32]);
-    let mut ca = CaDictionary::new(CaId::from_name("TpCA"), ca_key.clone(), DELTA, 1 << 10, &mut rng, T0);
+    let mut ca = CaDictionary::new(
+        CaId::from_name("TpCA"),
+        ca_key.clone(),
+        DELTA,
+        1 << 10,
+        &mut rng,
+        T0,
+    );
     let genesis = *ca.signed_root();
     let revoked: Vec<SerialNumber> = (0..50_000u32).map(SerialNumber::from_u24).collect();
     let iss = ca.insert(&revoked, &mut rng, T0 + 1).expect("insert");
 
-    let mut ra = RevocationAgent::new(RaConfig { delta: DELTA, ..Default::default() });
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta: DELTA,
+        ..Default::default()
+    });
     ra.follow_ca(ca.ca(), ca.verifying_key(), genesis).unwrap();
-    ra.mirror_mut(&ca.ca()).unwrap().apply_issuance(&iss, T0 + 1).unwrap();
+    ra.mirror_mut(&ca.ca())
+        .unwrap()
+        .apply_issuance(&iss, T0 + 1)
+        .unwrap();
 
     let now = SimTime::from_secs(T0 + 2);
 
     // --- Non-TLS packets through the full middlebox path.
     let n = 200_000usize;
-    let seg = TcpSegment::data(tuple(1), Direction::ToServer, 0, 0, b"GET / HTTP/1.1\r\n".to_vec());
+    let seg = TcpSegment::data(
+        tuple(1),
+        Direction::ToServer,
+        0,
+        0,
+        b"GET / HTTP/1.1\r\n".to_vec(),
+    );
     let t = Instant::now();
     for _ in 0..n {
         ra.process(seg.clone(), now);
@@ -54,8 +73,14 @@ fn main() {
     // --- Full RITM-supported handshakes: ClientHello + ServerHello flight.
     let server_key = SigningKey::from_seed([2u8; 32]);
     let cert = Certificate::issue(
-        &ca_key, ca.ca(), SerialNumber::from_u24(0x700000), "example.com",
-        T0 - 100, T0 + 1_000_000, server_key.verifying_key(), false,
+        &ca_key,
+        ca.ca(),
+        SerialNumber::from_u24(0x700000),
+        "example.com",
+        T0 - 100,
+        T0 + 1_000_000,
+        server_key.verifying_key(),
+        false,
     );
     let ch = TlsRecord::new(
         ContentType::Handshake,

@@ -47,7 +47,11 @@ pub struct Stats {
 /// Computes [`Stats`]; empty input yields zeros.
 pub fn stats(samples: &[f64]) -> Stats {
     if samples.is_empty() {
-        return Stats { min: 0.0, max: 0.0, mean: 0.0 };
+        return Stats {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+        };
     }
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
@@ -57,7 +61,11 @@ pub fn stats(samples: &[f64]) -> Stats {
         max = max.max(s);
         sum += s;
     }
-    Stats { min, max, mean: sum / samples.len() as f64 }
+    Stats {
+        min,
+        max,
+        mean: sum / samples.len() as f64,
+    }
 }
 
 /// The `p`-quantile (0.0–1.0) of a sorted sample (nearest-rank).
@@ -87,7 +95,10 @@ pub fn bytes_per_pull(revocations: u64) -> u64 {
 
 /// Per-RA download volume over a window, given per-period revocation counts.
 pub fn bytes_per_window(per_period_revocations: &[u64]) -> u64 {
-    per_period_revocations.iter().map(|&r| bytes_per_pull(r)).sum()
+    per_period_revocations
+        .iter()
+        .map(|&r| bytes_per_pull(r))
+        .sum()
 }
 
 /// Splits a bin series into consecutive 30-day billing cycles starting at
@@ -138,9 +149,18 @@ mod tests {
     #[test]
     fn billing_cycle_split() {
         let series = vec![
-            Bin { start: 0, count: 10 },
-            Bin { start: 29 * 86_400, count: 5 },
-            Bin { start: 31 * 86_400, count: 7 },
+            Bin {
+                start: 0,
+                count: 10,
+            },
+            Bin {
+                start: 29 * 86_400,
+                count: 5,
+            },
+            Bin {
+                start: 31 * 86_400,
+                count: 7,
+            },
         ];
         let cycles = billing_cycles(&series, 2);
         assert_eq!(cycles, vec![15, 7]);

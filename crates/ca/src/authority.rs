@@ -2,12 +2,15 @@
 //! authenticated dictionary, and keeps the dictionary fresh through the CDN.
 
 use crate::manifest::Manifest;
+use rand::RngCore;
 use ritm_cdn::network::Cdn;
 use ritm_cdn::origin::PublishError;
 use ritm_crypto::ed25519::{SigningKey, VerifyingKey};
-use ritm_dictionary::{CaDictionary, CaId, RefreshMessage, RevocationIssuance, SerialNumber};
+use ritm_dictionary::{
+    CaDictionary, CaId, DictionaryEngine, EngineError, RefreshMessage, RevocationIssuance,
+    SerialNumber,
+};
 use ritm_tls::certificate::Certificate;
-use rand::RngCore;
 use std::collections::HashMap;
 
 /// Errors from CA operations.
@@ -19,6 +22,9 @@ pub enum CaError {
     UnknownSerial(SerialNumber),
     /// The CDN refused the publish.
     Publish(PublishError),
+    /// The dictionary engine refused the operation (cannot happen for the
+    /// default [`CaDictionary`] engine, which is always authoritative).
+    Engine(EngineError),
 }
 
 impl core::fmt::Display for CaError {
@@ -27,6 +33,7 @@ impl core::fmt::Display for CaError {
             CaError::DuplicateSerial(s) => write!(f, "serial {s} already issued"),
             CaError::UnknownSerial(s) => write!(f, "serial {s} was not issued by this CA"),
             CaError::Publish(e) => write!(f, "distribution point rejected publish: {e}"),
+            CaError::Engine(e) => write!(f, "dictionary engine refused: {e}"),
         }
     }
 }
@@ -39,33 +46,43 @@ impl From<PublishError> for CaError {
     }
 }
 
-/// A certification authority participating in RITM.
+impl From<EngineError> for CaError {
+    fn from(e: EngineError) -> Self {
+        CaError::Engine(e)
+    }
+}
+
+/// A certification authority participating in RITM, generic over its
+/// authoritative [`DictionaryEngine`] (a single [`CaDictionary`] by
+/// default; a [`ritm_dictionary::ShardedCa`] slots in for expiry-sharded
+/// deployments, §VIII).
 ///
 /// Owns the signing key, the issued-certificate registry, and the
 /// authenticated dictionary; pushes every dictionary change to the CDN
 /// origin.
-pub struct CertificationAuthority {
+pub struct CertificationAuthority<E: DictionaryEngine = CaDictionary> {
     name: String,
     id: CaId,
     key: SigningKey,
-    dictionary: CaDictionary,
+    dictionary: E,
     issued: HashMap<SerialNumber, Certificate>,
     next_serial: u32,
     delta: u64,
 }
 
-impl core::fmt::Debug for CertificationAuthority {
+impl<E: DictionaryEngine> core::fmt::Debug for CertificationAuthority<E> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("CertificationAuthority")
             .field("name", &self.name)
             .field("id", &self.id)
             .field("issued", &self.issued.len())
-            .field("revoked", &self.dictionary.len())
+            .field("revoked", &self.dictionary.revocation_count())
+            .field("epoch", &self.dictionary.epoch())
             .finish()
     }
 }
 
-impl CertificationAuthority {
+impl CertificationAuthority<CaDictionary> {
     /// Creates a CA with a fresh dictionary and registers it with the CDN
     /// origin (publishing its bootstrap manifest, §VIII).
     pub fn new<R: RngCore + ?Sized>(
@@ -79,6 +96,29 @@ impl CertificationAuthority {
     ) -> Self {
         let id = CaId::from_name(name);
         let dictionary = CaDictionary::new(id, key.clone(), delta, chain_len, rng, now);
+        Self::with_engine(name, key, delta, dictionary, cdn)
+    }
+
+    /// Replays issuances for a desynchronized RA (sync protocol, §III).
+    /// Specific to the single-dictionary engine, which keeps the full
+    /// issuance log.
+    pub fn issuance_since(&self, have: u64) -> RevocationIssuance {
+        self.dictionary.issuance_since(have)
+    }
+}
+
+impl<E: DictionaryEngine> CertificationAuthority<E> {
+    /// Wraps an already-built engine into a CA and registers it with the
+    /// CDN origin (publishing its bootstrap manifest, §VIII). The engine's
+    /// CA id must be derived from `name`.
+    pub fn with_engine(
+        name: &str,
+        key: SigningKey,
+        delta: u64,
+        dictionary: E,
+        cdn: &mut Cdn,
+    ) -> Self {
+        let id = CaId::from_name(name);
         cdn.origin.register_ca(id, key.verifying_key());
         let manifest = Manifest {
             ca_name: name.to_owned(),
@@ -119,9 +159,15 @@ impl CertificationAuthority {
         self.delta
     }
 
-    /// Read access to the dictionary (e.g. for bootstrap signed roots).
-    pub fn dictionary(&self) -> &CaDictionary {
+    /// Read access to the dictionary engine (e.g. for bootstrap signed
+    /// roots).
+    pub fn dictionary(&self) -> &E {
         &self.dictionary
+    }
+
+    /// The engine's monotonic content epoch.
+    pub fn epoch(&self) -> u64 {
+        self.dictionary.epoch()
     }
 
     /// Issues a server certificate with the next 3-byte serial (the
@@ -168,12 +214,13 @@ impl CertificationAuthority {
                 return Err(CaError::UnknownSerial(*s));
             }
         }
-        let Some(issuance) = self.dictionary.insert(serials, rng, now) else {
+        let mut rng = rng; // reborrow as a Sized RngCore for dyn dispatch
+        let Some(issuance) = self.dictionary.insert_batch(serials, &mut rng, now)? else {
             return Ok(None);
         };
         cdn.origin.publish_issuance(self.id, &issuance)?;
         // Keep the freshness object in sync with the new chain.
-        if let Some(f) = self.dictionary.current_freshness(now) {
+        if let Some(f) = self.dictionary.freshness_for(now) {
             cdn.origin
                 .publish_refresh(self.id, &RefreshMessage::Freshness(f))?;
         }
@@ -192,24 +239,20 @@ impl CertificationAuthority {
         rng: &mut R,
         now: u64,
     ) -> Result<RefreshMessage, CaError> {
-        let msg = self.dictionary.refresh(rng, now);
+        let mut rng = rng;
+        let msg = self.dictionary.refresh_period(&mut rng, now)?;
         cdn.origin.publish_refresh(self.id, &msg)?;
         Ok(msg)
     }
 
     /// Whether a serial is currently revoked.
     pub fn is_revoked(&self, serial: &SerialNumber) -> bool {
-        self.dictionary.contains(serial)
+        self.dictionary.contains_serial(serial)
     }
 
     /// Number of revocations issued.
     pub fn revocation_count(&self) -> usize {
-        self.dictionary.len()
-    }
-
-    /// Replays issuances for a desynchronized RA (sync protocol, §III).
-    pub fn issuance_since(&self, have: u64) -> RevocationIssuance {
-        self.dictionary.issuance_since(have)
+        self.dictionary.revocation_count() as usize
     }
 }
 
@@ -271,8 +314,11 @@ mod tests {
         let (mut ca, mut cdn, mut rng) = setup();
         let k = SigningKey::from_seed([7u8; 32]).verifying_key();
         let cert = ca.issue_certificate("a.com", k, 500, 2_000_000);
-        ca.revoke(&[cert.serial], &mut cdn, &mut rng, 1_001).unwrap();
-        let second = ca.revoke(&[cert.serial], &mut cdn, &mut rng, 1_002).unwrap();
+        ca.revoke(&[cert.serial], &mut cdn, &mut rng, 1_001)
+            .unwrap();
+        let second = ca
+            .revoke(&[cert.serial], &mut cdn, &mut rng, 1_002)
+            .unwrap();
         assert!(second.is_none());
         assert_eq!(ca.revocation_count(), 1);
     }
@@ -308,11 +354,9 @@ mod tests {
             .origin
             .fetch(&ContentKey::Manifest { ca: ca.id() })
             .expect("manifest published");
-        let manifest = Manifest::from_json_signed(
-            std::str::from_utf8(raw).unwrap(),
-            &ca.verifying_key(),
-        )
-        .expect("manifest verifies");
+        let manifest =
+            Manifest::from_json_signed(std::str::from_utf8(raw).unwrap(), &ca.verifying_key())
+                .expect("manifest verifies");
         assert_eq!(manifest.delta, 10);
         assert_eq!(manifest.ca, ca.id());
     }

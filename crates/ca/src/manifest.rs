@@ -91,8 +91,7 @@ impl Manifest {
     pub fn from_json_signed(json: &str, key: &VerifyingKey) -> Result<Self, ManifestError> {
         let manifest_str = extract_object(json, "manifest")
             .ok_or(ManifestError::Malformed("missing manifest object"))?;
-        let sig_hex = extract_string(json, "sig")
-            .ok_or(ManifestError::Malformed("missing sig"))?;
+        let sig_hex = extract_string(json, "sig").ok_or(ManifestError::Malformed("missing sig"))?;
         let sig_bytes: [u8; 64] = hex::decode_array(&sig_hex)
             .map_err(|_| ManifestError::Malformed("sig not 64 hex bytes"))?;
         key.verify(manifest_str.as_bytes(), &Signature::from_bytes(sig_bytes))
@@ -100,20 +99,25 @@ impl Manifest {
 
         let ca_name = extract_string(&manifest_str, "ca_name")
             .ok_or(ManifestError::Malformed("missing ca_name"))?;
-        let ca_hex = extract_string(&manifest_str, "ca")
-            .ok_or(ManifestError::Malformed("missing ca"))?;
+        let ca_hex =
+            extract_string(&manifest_str, "ca").ok_or(ManifestError::Malformed("missing ca"))?;
         let ca_bytes: [u8; 8] = hex::decode_array(&ca_hex)
             .map_err(|_| ManifestError::Malformed("ca not 8 hex bytes"))?;
         let delta = extract_number(&manifest_str, "delta")
             .ok_or(ManifestError::Malformed("missing delta"))?;
-        let cdn_address = extract_string(&manifest_str, "cdn")
-            .ok_or(ManifestError::Malformed("missing cdn"))?;
+        let cdn_address =
+            extract_string(&manifest_str, "cdn").ok_or(ManifestError::Malformed("missing cdn"))?;
 
         let ca = CaId(ca_bytes);
         if CaId::from_name(&ca_name) != ca {
             return Err(ManifestError::IdMismatch);
         }
-        Ok(Manifest { ca_name, ca, delta, cdn_address })
+        Ok(Manifest {
+            ca_name,
+            ca,
+            delta,
+            cdn_address,
+        })
     }
 }
 

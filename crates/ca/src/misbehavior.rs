@@ -6,9 +6,9 @@
 //! signed roots) must catch it: two validly-signed roots with equal `n` and
 //! different root hashes are transferable proof of misbehavior.
 
+use rand::RngCore;
 use ritm_crypto::ed25519::{SigningKey, VerifyingKey};
 use ritm_dictionary::{CaDictionary, CaId, RevocationStatus, SerialNumber, SignedRoot};
-use rand::RngCore;
 
 /// Which view of the equivocating CA a victim is shown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,7 +76,11 @@ impl EquivocatingCa {
         hiding.insert(&hiding_batch, rng, now + 1);
 
         debug_assert_eq!(honest.len(), hiding.len(), "views must have equal n");
-        EquivocatingCa { honest, hiding, target }
+        EquivocatingCa {
+            honest,
+            hiding,
+            target,
+        }
     }
 
     /// The CA id.

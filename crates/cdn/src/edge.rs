@@ -84,7 +84,11 @@ impl EdgeServer {
             let latency = edge_rtt + SimDuration::from_secs_f64(bytes.len() as f64 / bw);
             return Some((
                 bytes.clone(),
-                PullStats { bytes: bytes.len() as u64, cache_hit: true, latency },
+                PullStats {
+                    bytes: bytes.len() as u64,
+                    cache_hit: true,
+                    latency,
+                },
             ));
         }
 
@@ -92,8 +96,13 @@ impl EdgeServer {
         let body = origin.fetch(key)?.to_vec();
         self.misses += 1;
         self.origin_bytes += body.len() as u64;
-        self.cache
-            .insert(key.clone(), CacheEntry { bytes: body.clone(), fetched_at: now });
+        self.cache.insert(
+            key.clone(),
+            CacheEntry {
+                bytes: body.clone(),
+                fetched_at: now,
+            },
+        );
         self.served_bytes += body.len() as u64;
         let origin_rtt = self.region.origin_latency().sample(rng);
         // Origin→edge transfer typically runs on fatter pipes; charge half
@@ -104,7 +113,11 @@ impl EdgeServer {
             + SimDuration::from_secs_f64(body.len() as f64 / (2.0 * bw));
         Some((
             body.clone(),
-            PullStats { bytes: body.len() as u64, cache_hit: false, latency },
+            PullStats {
+                bytes: body.len() as u64,
+                cache_hit: false,
+                latency,
+            },
         ))
     }
 
@@ -136,15 +149,24 @@ mod tests {
         let ca = CaId::from_name("EdgeCA");
         origin.publish_manifest(ca, vec![7u8; 1000]);
         let edge = EdgeServer::new(Region::Europe, SimDuration::from_secs(30));
-        (origin, edge, ContentKey::Manifest { ca }, StdRng::seed_from_u64(1))
+        (
+            origin,
+            edge,
+            ContentKey::Manifest { ca },
+            StdRng::seed_from_u64(1),
+        )
     }
 
     #[test]
     fn miss_then_hit() {
         let (origin, mut edge, key, mut rng) = setup();
-        let (_, s1) = edge.pull(&key, &origin, SimTime::from_secs(0), &mut rng).unwrap();
+        let (_, s1) = edge
+            .pull(&key, &origin, SimTime::from_secs(0), &mut rng)
+            .unwrap();
         assert!(!s1.cache_hit);
-        let (_, s2) = edge.pull(&key, &origin, SimTime::from_secs(10), &mut rng).unwrap();
+        let (_, s2) = edge
+            .pull(&key, &origin, SimTime::from_secs(10), &mut rng)
+            .unwrap();
         assert!(s2.cache_hit);
         assert_eq!(edge.hits, 1);
         assert_eq!(edge.misses, 1);
@@ -154,8 +176,11 @@ mod tests {
     #[test]
     fn ttl_expiry_causes_refetch() {
         let (origin, mut edge, key, mut rng) = setup();
-        edge.pull(&key, &origin, SimTime::from_secs(0), &mut rng).unwrap();
-        let (_, s) = edge.pull(&key, &origin, SimTime::from_secs(31), &mut rng).unwrap();
+        edge.pull(&key, &origin, SimTime::from_secs(0), &mut rng)
+            .unwrap();
+        let (_, s) = edge
+            .pull(&key, &origin, SimTime::from_secs(31), &mut rng)
+            .unwrap();
         assert!(!s.cache_hit, "entry older than TTL must be refetched");
         assert_eq!(edge.origin_bytes, 2000);
     }
@@ -165,7 +190,9 @@ mod tests {
         let (origin, _, key, mut rng) = setup();
         let mut edge = EdgeServer::new(Region::Europe, SimDuration::ZERO);
         for i in 0..5 {
-            let (_, s) = edge.pull(&key, &origin, SimTime::from_secs(i), &mut rng).unwrap();
+            let (_, s) = edge
+                .pull(&key, &origin, SimTime::from_secs(i), &mut rng)
+                .unwrap();
             assert!(!s.cache_hit, "TTL=0 is the Fig. 5 worst case");
         }
         assert_eq!(edge.misses, 5);
@@ -179,8 +206,12 @@ mod tests {
         let n = 200;
         for i in 0..n {
             edge.flush();
-            let (_, m) = edge.pull(&key, &origin, SimTime::from_secs(i), &mut rng).unwrap();
-            let (_, h) = edge.pull(&key, &origin, SimTime::from_secs(i), &mut rng).unwrap();
+            let (_, m) = edge
+                .pull(&key, &origin, SimTime::from_secs(i), &mut rng)
+                .unwrap();
+            let (_, h) = edge
+                .pull(&key, &origin, SimTime::from_secs(i), &mut rng)
+                .unwrap();
             miss_total += m.latency.as_secs_f64();
             hit_total += h.latency.as_secs_f64();
         }
@@ -190,8 +221,12 @@ mod tests {
     #[test]
     fn unknown_object_is_none() {
         let (origin, mut edge, _, mut rng) = setup();
-        let missing = ContentKey::Manifest { ca: CaId::from_name("nope") };
-        assert!(edge.pull(&missing, &origin, SimTime::ZERO, &mut rng).is_none());
+        let missing = ContentKey::Manifest {
+            ca: CaId::from_name("nope"),
+        };
+        assert!(edge
+            .pull(&missing, &origin, SimTime::ZERO, &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -207,13 +242,23 @@ mod tests {
         let mut small = 0.0;
         for _ in 0..50 {
             big += edge
-                .pull(&ContentKey::Manifest { ca }, &origin, SimTime::ZERO, &mut rng)
+                .pull(
+                    &ContentKey::Manifest { ca },
+                    &origin,
+                    SimTime::ZERO,
+                    &mut rng,
+                )
                 .unwrap()
                 .1
                 .latency
                 .as_secs_f64();
             small += edge
-                .pull(&ContentKey::Manifest { ca: small_ca }, &origin, SimTime::ZERO, &mut rng)
+                .pull(
+                    &ContentKey::Manifest { ca: small_ca },
+                    &origin,
+                    SimTime::ZERO,
+                    &mut rng,
+                )
                 .unwrap()
                 .1
                 .latency

@@ -25,7 +25,11 @@ impl Cdn {
             .iter()
             .map(|r| (*r, EdgeServer::new(*r, ttl)))
             .collect();
-        Cdn { origin: Origin::new(), edges, ledger: TrafficLedger::new() }
+        Cdn {
+            origin: Origin::new(),
+            edges,
+            ledger: TrafficLedger::new(),
+        }
     }
 
     /// One RA pull from its regional edge; traffic is billed to the ledger.
@@ -59,7 +63,11 @@ impl Cdn {
             + ritm_net::time::SimDuration::from_secs_f64(
                 bytes.len() as f64 / region.bandwidth_bytes_per_sec(),
             );
-        let stats = PullStats { bytes: bytes.len() as u64, cache_hit: false, latency };
+        let stats = PullStats {
+            bytes: bytes.len() as u64,
+            cache_hit: false,
+            latency,
+        };
         Some((bytes, stats))
     }
 
@@ -103,8 +111,10 @@ mod tests {
         cdn.origin.publish_manifest(ca, vec![1u8; 5000]);
         let key = ContentKey::Manifest { ca };
         let mut rng = StdRng::seed_from_u64(1);
-        cdn.pull(Region::Europe, &key, SimTime::ZERO, &mut rng).unwrap();
-        cdn.pull(Region::Japan, &key, SimTime::ZERO, &mut rng).unwrap();
+        cdn.pull(Region::Europe, &key, SimTime::ZERO, &mut rng)
+            .unwrap();
+        cdn.pull(Region::Japan, &key, SimTime::ZERO, &mut rng)
+            .unwrap();
         assert_eq!(cdn.ledger.total_bytes(), 10_000);
         assert_eq!(cdn.ledger.bytes_in(Region::Europe), 5000);
         assert_eq!(cdn.ledger.bytes_in(Region::Japan), 5000);
@@ -124,7 +134,9 @@ mod tests {
             assert!(!s.cache_hit, "{r:?}");
         }
         // Second pull in Europe hits; India's cache was warmed separately.
-        let (_, s) = cdn.pull(Region::Europe, &key, SimTime::from_secs(1), &mut rng).unwrap();
+        let (_, s) = cdn
+            .pull(Region::Europe, &key, SimTime::from_secs(1), &mut rng)
+            .unwrap();
         assert!(s.cache_hit);
         assert!(cdn.hit_ratio() > 0.0);
     }

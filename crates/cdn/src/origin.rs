@@ -114,7 +114,10 @@ impl Origin {
         let bytes = issuance.to_bytes();
         self.ingress_bytes += bytes.len() as u64;
         self.content.insert(
-            ContentKey::Issuance { ca, version: issuance.signed_root.size },
+            ContentKey::Issuance {
+                ca,
+                version: issuance.signed_root.size,
+            },
             bytes.clone(),
         );
         self.content.insert(ContentKey::Latest { ca }, bytes);
@@ -170,7 +173,8 @@ impl Origin {
     /// Publishes a CA's bootstrap manifest (opaque JSON, §VIII).
     pub fn publish_manifest(&mut self, ca: CaId, manifest_bytes: Vec<u8>) {
         self.ingress_bytes += manifest_bytes.len() as u64;
-        self.content.insert(ContentKey::Manifest { ca }, manifest_bytes);
+        self.content
+            .insert(ContentKey::Manifest { ca }, manifest_bytes);
     }
 
     /// Publishes arbitrary bytes under a key without CA verification — for
@@ -223,7 +227,10 @@ mod tests {
             .unwrap();
         origin.publish_issuance(ca.ca(), &iss).unwrap();
         let got = origin
-            .fetch(&ContentKey::Issuance { ca: ca.ca(), version: 1 })
+            .fetch(&ContentKey::Issuance {
+                ca: ca.ca(),
+                version: 1,
+            })
             .unwrap();
         assert_eq!(got, iss.to_bytes());
         assert_eq!(
@@ -286,7 +293,9 @@ mod tests {
     fn missing_content_is_none() {
         let origin = Origin::new();
         assert!(origin
-            .fetch(&ContentKey::Latest { ca: CaId::from_name("X") })
+            .fetch(&ContentKey::Latest {
+                ca: CaId::from_name("X")
+            })
             .is_none());
     }
 }

@@ -86,13 +86,41 @@ impl Region {
     /// paper's PlanetLab vantage points.
     pub fn edge_latency(&self) -> LatencyModel {
         match self {
-            Region::NorthAmerica => LatencyModel::LogNormal { mu: -3.9, sigma: 0.45, floor: 0.004 },
-            Region::Europe => LatencyModel::LogNormal { mu: -3.8, sigma: 0.45, floor: 0.005 },
-            Region::AsiaPacific => LatencyModel::LogNormal { mu: -3.3, sigma: 0.55, floor: 0.010 },
-            Region::Japan => LatencyModel::LogNormal { mu: -3.6, sigma: 0.45, floor: 0.008 },
-            Region::SouthAmerica => LatencyModel::LogNormal { mu: -3.0, sigma: 0.60, floor: 0.015 },
-            Region::Australia => LatencyModel::LogNormal { mu: -3.1, sigma: 0.50, floor: 0.012 },
-            Region::India => LatencyModel::LogNormal { mu: -3.0, sigma: 0.60, floor: 0.015 },
+            Region::NorthAmerica => LatencyModel::LogNormal {
+                mu: -3.9,
+                sigma: 0.45,
+                floor: 0.004,
+            },
+            Region::Europe => LatencyModel::LogNormal {
+                mu: -3.8,
+                sigma: 0.45,
+                floor: 0.005,
+            },
+            Region::AsiaPacific => LatencyModel::LogNormal {
+                mu: -3.3,
+                sigma: 0.55,
+                floor: 0.010,
+            },
+            Region::Japan => LatencyModel::LogNormal {
+                mu: -3.6,
+                sigma: 0.45,
+                floor: 0.008,
+            },
+            Region::SouthAmerica => LatencyModel::LogNormal {
+                mu: -3.0,
+                sigma: 0.60,
+                floor: 0.015,
+            },
+            Region::Australia => LatencyModel::LogNormal {
+                mu: -3.1,
+                sigma: 0.50,
+                floor: 0.012,
+            },
+            Region::India => LatencyModel::LogNormal {
+                mu: -3.0,
+                sigma: 0.60,
+                floor: 0.015,
+            },
         }
     }
 
@@ -100,13 +128,41 @@ impl Region {
     /// (cache miss, TTL = 0 worst case of Fig. 5).
     pub fn origin_latency(&self) -> LatencyModel {
         match self {
-            Region::NorthAmerica => LatencyModel::LogNormal { mu: -3.2, sigma: 0.40, floor: 0.010 },
-            Region::Europe => LatencyModel::LogNormal { mu: -2.9, sigma: 0.40, floor: 0.040 },
-            Region::AsiaPacific => LatencyModel::LogNormal { mu: -2.5, sigma: 0.50, floor: 0.080 },
-            Region::Japan => LatencyModel::LogNormal { mu: -2.6, sigma: 0.45, floor: 0.070 },
-            Region::SouthAmerica => LatencyModel::LogNormal { mu: -2.3, sigma: 0.55, floor: 0.090 },
-            Region::Australia => LatencyModel::LogNormal { mu: -2.3, sigma: 0.50, floor: 0.100 },
-            Region::India => LatencyModel::LogNormal { mu: -2.4, sigma: 0.55, floor: 0.090 },
+            Region::NorthAmerica => LatencyModel::LogNormal {
+                mu: -3.2,
+                sigma: 0.40,
+                floor: 0.010,
+            },
+            Region::Europe => LatencyModel::LogNormal {
+                mu: -2.9,
+                sigma: 0.40,
+                floor: 0.040,
+            },
+            Region::AsiaPacific => LatencyModel::LogNormal {
+                mu: -2.5,
+                sigma: 0.50,
+                floor: 0.080,
+            },
+            Region::Japan => LatencyModel::LogNormal {
+                mu: -2.6,
+                sigma: 0.45,
+                floor: 0.070,
+            },
+            Region::SouthAmerica => LatencyModel::LogNormal {
+                mu: -2.3,
+                sigma: 0.55,
+                floor: 0.090,
+            },
+            Region::Australia => LatencyModel::LogNormal {
+                mu: -2.3,
+                sigma: 0.50,
+                floor: 0.100,
+            },
+            Region::India => LatencyModel::LogNormal {
+                mu: -2.4,
+                sigma: 0.55,
+                floor: 0.090,
+            },
         }
     }
 

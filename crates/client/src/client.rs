@@ -7,7 +7,7 @@
 //! tears the connection down, which is what closes the race-condition
 //! window for long-lived connections (§V "Race Condition").
 
-use crate::validator::{validate_payload, ValidationError, Verdict};
+use crate::validator::{validate_payload_tracked, RootTracker, ValidationError, Verdict};
 use ritm_agent::StatusPayload;
 use ritm_crypto::ed25519::VerifyingKey;
 use ritm_dictionary::{CaId, SerialNumber};
@@ -87,6 +87,8 @@ pub struct RitmClient {
     config: RitmClientConfig,
     chain: Vec<(CaId, SerialNumber)>,
     pending_status: Vec<StatusPayload>,
+    /// Per-CA newest accepted dictionary epoch (replay protection).
+    root_tracker: RootTracker,
     /// Time of the last accepted status.
     last_valid: Option<u64>,
     established: bool,
@@ -110,10 +112,27 @@ impl RitmClient {
     /// Creates a client; `resume` carries a cached session *and* the
     /// certificate identities remembered from the original handshake
     /// (resumed handshakes carry no Certificate message).
+    ///
+    /// Starts with an empty [`RootTracker`], so replay protection spans
+    /// this connection only; applications wanting cross-connection
+    /// protection (the stale-upstream-RA case) should carry the tracker
+    /// from [`RitmClient::root_tracker`] into
+    /// [`RitmClient::with_root_tracker`] on the next connection.
     pub fn new(
         config: RitmClientConfig,
         random: [u8; 32],
         resume: Option<(SessionState, Vec<(CaId, SerialNumber)>)>,
+    ) -> Self {
+        Self::with_root_tracker(config, random, resume, RootTracker::new())
+    }
+
+    /// [`RitmClient::new`] with a [`RootTracker`] carried over from earlier
+    /// connections, extending epoch-replay protection across handshakes.
+    pub fn with_root_tracker(
+        config: RitmClientConfig,
+        random: [u8; 32],
+        resume: Option<(SessionState, Vec<(CaId, SerialNumber)>)>,
+        root_tracker: RootTracker,
     ) -> Self {
         let (session, chain) = match resume {
             Some((s, c)) => (Some(s), c),
@@ -134,6 +153,7 @@ impl RitmClient {
             resumed_chain: !chain.is_empty(),
             chain,
             pending_status: Vec::new(),
+            root_tracker,
             last_valid: None,
             established: false,
             server_confirmed: false,
@@ -161,6 +181,13 @@ impl RitmClient {
         &self.chain
     }
 
+    /// The per-CA newest-accepted-epoch record — carry it into the next
+    /// connection via [`RitmClient::with_root_tracker`] for
+    /// cross-connection replay protection.
+    pub fn root_tracker(&self) -> &RootTracker {
+        &self.root_tracker
+    }
+
     /// The session state + identities to cache for later resumption.
     pub fn resumption_data(&self, now: u64) -> Option<(SessionState, Vec<(CaId, SerialNumber)>)> {
         Some((self.tls.session_state(now)?, self.chain.clone()))
@@ -179,7 +206,12 @@ impl RitmClient {
         }
     }
 
-    fn abort(&mut self, reason: AbortReason, out: &mut Vec<TlsRecord>, events: &mut Vec<RitmEvent>) {
+    fn abort(
+        &mut self,
+        reason: AbortReason,
+        out: &mut Vec<TlsRecord>,
+        events: &mut Vec<RitmEvent>,
+    ) {
         let desc = match reason {
             AbortReason::Revoked { .. } => AlertDescription::CertificateRevoked,
             AbortReason::MissingStatus | AbortReason::StaleStatus => {
@@ -199,10 +231,12 @@ impl RitmClient {
         events: &mut Vec<RitmEvent>,
     ) {
         let Ok(payload) = StatusPayload::from_bytes(bytes) else {
-            events.push(RitmEvent::StatusRejected(ValidationError::ChainLengthMismatch {
-                got: 0,
-                expected: self.chain.len(),
-            }));
+            events.push(RitmEvent::StatusRejected(
+                ValidationError::ChainLengthMismatch {
+                    got: 0,
+                    expected: self.chain.len(),
+                },
+            ));
             return;
         };
         if self.chain.is_empty() {
@@ -211,8 +245,14 @@ impl RitmClient {
             self.pending_status.push(payload);
             return;
         }
-        match validate_payload(&payload, &self.chain, &self.config.ca_keys, self.config.delta, now)
-        {
+        match validate_payload_tracked(
+            &payload,
+            &self.chain,
+            &self.config.ca_keys,
+            self.config.delta,
+            now,
+            &mut self.root_tracker,
+        ) {
             Ok(Verdict::AllValid) => {
                 self.last_valid = Some(now);
                 events.push(RitmEvent::StatusAccepted);
@@ -254,7 +294,10 @@ impl RitmClient {
                 ClientEvent::RitmStatus(bytes) => {
                     self.handle_status_bytes(&bytes, now, &mut out, &mut events);
                 }
-                ClientEvent::HandshakeComplete { resumed, server_confirms_ritm } => {
+                ClientEvent::HandshakeComplete {
+                    resumed,
+                    server_confirms_ritm,
+                } => {
                     self.server_confirmed = server_confirms_ritm;
                     if resumed && !self.resumed_chain {
                         // Resumed without remembered identities: statuses
@@ -356,8 +399,12 @@ mod tests {
             &mut rng,
             T0,
         );
-        let mut ra = RevocationAgent::new(RaConfig { delta: DELTA, ..Default::default() });
-        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta: DELTA,
+            ..Default::default()
+        });
+        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .unwrap();
 
         let server_key = SigningKey::from_seed([2u8; 32]);
         let cert = Certificate::issue(
@@ -372,7 +419,10 @@ mod tests {
         );
         if revoke_server_cert {
             let iss = ca.insert(&[cert.serial], &mut rng, T0 + 1).unwrap();
-            ra.mirror_mut(&ca.ca()).unwrap().apply_issuance(&iss, T0 + 1).unwrap();
+            ra.mirror_mut(&ca.ca())
+                .unwrap()
+                .apply_issuance(&iss, T0 + 1)
+                .unwrap();
         }
 
         let ctx = ServerContext::new(CertificateChain(vec![cert]), [9u8; 20]);
@@ -393,7 +443,13 @@ mod tests {
             [4u8; 32],
             None,
         );
-        World { ca, ra, server, client, rng }
+        World {
+            ca,
+            ra,
+            server,
+            client,
+            rng,
+        }
     }
 
     /// Drives the handshake through the RA, record by record, collecting
@@ -407,13 +463,7 @@ mod tests {
             let mut to_client = Vec::new();
             for rec in to_server.drain(..) {
                 // client → RA → server
-                let seg = TcpSegment::data(
-                    tuple(),
-                    Direction::ToServer,
-                    seq_up,
-                    0,
-                    rec.to_bytes(),
-                );
+                let seg = TcpSegment::data(tuple(), Direction::ToServer, seq_up, 0, rec.to_bytes());
                 seq_up += rec.encoded_len() as u64;
                 for out_seg in w.ra.process(seg, SimTime::from_secs(now)) {
                     for r in TlsRecord::parse_stream(&out_seg.payload).unwrap() {
@@ -428,13 +478,8 @@ mod tests {
             }
             for rec in to_client.drain(..) {
                 // server → RA → client
-                let seg = TcpSegment::data(
-                    tuple(),
-                    Direction::ToClient,
-                    seq_down,
-                    0,
-                    rec.to_bytes(),
-                );
+                let seg =
+                    TcpSegment::data(tuple(), Direction::ToClient, seq_down, 0, rec.to_bytes());
                 seq_down += rec.encoded_len() as u64;
                 for out_seg in w.ra.process(seg, SimTime::from_secs(now)) {
                     for r in TlsRecord::parse_stream(&out_seg.payload).unwrap() {
@@ -470,10 +515,9 @@ mod tests {
         let mut w = world(true, DowngradePolicy::AlwaysRequire);
         let events = drive(&mut w, T0 + 2);
         assert!(
-            events.iter().any(|e| matches!(
-                e,
-                RitmEvent::Aborted(AbortReason::Revoked { .. })
-            )),
+            events
+                .iter()
+                .any(|e| matches!(e, RitmEvent::Aborted(AbortReason::Revoked { .. }))),
             "{events:?}"
         );
         assert!(!w.client.is_established());
@@ -525,7 +569,9 @@ mod tests {
             for rec in to_client.drain(..) {
                 let (outs, evs) = w.client.process_record(&rec, T0 + 2).unwrap();
                 to_server.extend(outs);
-                established |= evs.iter().any(|e| matches!(e, RitmEvent::Established { .. }));
+                established |= evs
+                    .iter()
+                    .any(|e| matches!(e, RitmEvent::Established { .. }));
             }
             if to_server.is_empty() {
                 break;
@@ -565,7 +611,10 @@ mod tests {
                 }
             }
         }
-        assert!(aborted, "client must interrupt on mid-connection revocation");
+        assert!(
+            aborted,
+            "client must interrupt on mid-connection revocation"
+        );
         assert!(!w.client.is_established());
     }
 

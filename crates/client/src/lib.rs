@@ -10,4 +10,6 @@ pub mod client;
 pub mod validator;
 
 pub use client::{AbortReason, DowngradePolicy, RitmClient, RitmClientConfig, RitmEvent};
-pub use validator::{validate_payload, ValidationError, Verdict};
+pub use validator::{
+    validate_payload, validate_payload_tracked, RootTracker, ValidationError, Verdict,
+};

@@ -7,7 +7,7 @@
 
 use ritm_agent::StatusPayload;
 use ritm_crypto::ed25519::VerifyingKey;
-use ritm_dictionary::{CaId, SerialNumber, StatusError};
+use ritm_dictionary::{CaId, SerialNumber, SignedRoot, StatusError};
 use std::collections::HashMap;
 
 /// The verdict from validating a status payload against a chain.
@@ -41,6 +41,13 @@ pub enum ValidationError {
     CaMismatch,
     /// The underlying status failed (bad signature / proof / freshness).
     Status(StatusError),
+    /// The status carries an older dictionary epoch (smaller size, or equal
+    /// size with an older timestamp) than one this client already accepted
+    /// for the CA — a replayed root.
+    RootRegression {
+        /// The CA whose root regressed.
+        ca: CaId,
+    },
 }
 
 impl core::fmt::Display for ValidationError {
@@ -50,8 +57,16 @@ impl core::fmt::Display for ValidationError {
                 write!(f, "payload has {got} statuses for {expected} certificates")
             }
             ValidationError::UnknownCa(ca) => write!(f, "no pinned key for CA {ca}"),
-            ValidationError::CaMismatch => f.write_str("status CA does not match certificate issuer"),
+            ValidationError::CaMismatch => {
+                f.write_str("status CA does not match certificate issuer")
+            }
             ValidationError::Status(e) => write!(f, "status invalid: {e}"),
+            ValidationError::RootRegression { ca } => {
+                write!(
+                    f,
+                    "signed root for CA {ca} regressed behind an already-seen epoch"
+                )
+            }
         }
     }
 }
@@ -74,12 +89,110 @@ pub fn validate_payload(
     delta: u64,
     now: u64,
 ) -> Result<Verdict, ValidationError> {
+    validate_payload_tracked(
+        payload,
+        chain,
+        ca_keys,
+        delta,
+        now,
+        &mut RootTracker::disabled(),
+    )
+}
+
+/// A client's record of the newest dictionary epoch it has accepted per CA.
+///
+/// The incremental dictionary engine tags every batch with a new epoch; on
+/// the wire that epoch is observable as the signed root's
+/// `(size, timestamp)` pair, which grows monotonically at an honest CA
+/// (dictionaries are append-only). Tracking the largest accepted pair lets a
+/// client reject *replayed* roots: an attacker (or a stale upstream RA)
+/// re-serving a still-fresh status from before the latest revocation batch.
+/// Within the paper's 2Δ freshness window such a replay would otherwise
+/// validate.
+#[derive(Debug, Clone, Default)]
+pub struct RootTracker {
+    /// CA → newest accepted `(size, timestamp)`.
+    seen: HashMap<CaId, (u64, u64)>,
+    disabled: bool,
+}
+
+impl RootTracker {
+    /// A tracker that starts with no observations.
+    pub fn new() -> Self {
+        RootTracker::default()
+    }
+
+    /// A tracker that accepts everything (used by the untracked
+    /// [`validate_payload`] entry point).
+    fn disabled() -> Self {
+        RootTracker {
+            seen: HashMap::new(),
+            disabled: true,
+        }
+    }
+
+    /// Whether `root` is older than an epoch already known for its CA
+    /// (`newer` overrides the stored state, letting callers dry-run a
+    /// multi-status payload).
+    fn regresses(&self, root: &SignedRoot, newer: Option<(u64, u64)>) -> bool {
+        if self.disabled {
+            return false;
+        }
+        match newer.or_else(|| self.newest(&root.ca)) {
+            Some((size, ts)) => root.size < size || (root.size == size && root.timestamp < ts),
+            None => false,
+        }
+    }
+
+    /// Records `root` as accepted; rejects epoch regressions.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::RootRegression`] when `root` is older than the
+    /// newest accepted root for the same CA.
+    pub fn observe(&mut self, root: &SignedRoot) -> Result<(), ValidationError> {
+        if self.disabled {
+            return Ok(());
+        }
+        if self.regresses(root, None) {
+            return Err(ValidationError::RootRegression { ca: root.ca });
+        }
+        self.seen.insert(root.ca, (root.size, root.timestamp));
+        Ok(())
+    }
+
+    /// The newest accepted `(size, timestamp)` for `ca`, if any.
+    pub fn newest(&self, ca: &CaId) -> Option<(u64, u64)> {
+        self.seen.get(ca).copied()
+    }
+}
+
+/// [`validate_payload`] plus replay protection: every status root must be at
+/// least as new as the newest this client already accepted (per CA), and
+/// accepted roots advance the tracker.
+///
+/// # Errors
+///
+/// As [`validate_payload`], plus [`ValidationError::RootRegression`].
+pub fn validate_payload_tracked(
+    payload: &StatusPayload,
+    chain: &[(CaId, SerialNumber)],
+    ca_keys: &HashMap<CaId, VerifyingKey>,
+    delta: u64,
+    now: u64,
+    tracker: &mut RootTracker,
+) -> Result<Verdict, ValidationError> {
     if payload.statuses.is_empty() || payload.statuses.len() > chain.len() {
         return Err(ValidationError::ChainLengthMismatch {
             got: payload.statuses.len(),
             expected: chain.len(),
         });
     }
+    // Two-phase check-then-commit: validate every status (regression checks
+    // run against the tracker state *plus* the earlier statuses of this
+    // payload), and only record once the whole payload is accepted — a
+    // payload rejected at any point leaves the tracker untouched.
+    let mut pending: HashMap<CaId, (u64, u64)> = HashMap::new();
     for (status, (ca, serial)) in payload.statuses.iter().zip(chain) {
         if status.signed_root.ca != *ca {
             return Err(ValidationError::CaMismatch);
@@ -88,9 +201,22 @@ pub fn validate_payload(
         let outcome = status
             .validate(serial, key, delta, now)
             .map_err(ValidationError::Status)?;
-        if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
-            return Ok(Verdict::Revoked { serial: *serial, number });
+        let sr = &status.signed_root;
+        if tracker.regresses(sr, pending.get(ca).copied()) {
+            return Err(ValidationError::RootRegression { ca: *ca });
         }
+        pending.insert(*ca, (sr.size, sr.timestamp));
+        if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
+            return Ok(Verdict::Revoked {
+                serial: *serial,
+                number,
+            });
+        }
+    }
+    for status in &payload.statuses {
+        tracker
+            .observe(&status.signed_root)
+            .expect("regression ruled out in the check phase");
     }
     Ok(Verdict::AllValid)
 }
@@ -167,16 +293,24 @@ mod tests {
             T0 + 1 + 3 * DELTA,
         )
         .unwrap_err();
-        assert!(matches!(err, ValidationError::Status(StatusError::NotFresh(_))));
+        assert!(matches!(
+            err,
+            ValidationError::Status(StatusError::NotFresh(_))
+        ));
     }
 
     #[test]
     fn unknown_ca_rejected() {
         let f = fixture();
         let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
-        let err =
-            validate_payload(&payload_for(&f, 200), &chain, &HashMap::new(), DELTA, T0 + 2)
-                .unwrap_err();
+        let err = validate_payload(
+            &payload_for(&f, 200),
+            &chain,
+            &HashMap::new(),
+            DELTA,
+            T0 + 2,
+        )
+        .unwrap_err();
         assert!(matches!(err, ValidationError::UnknownCa(_)));
     }
 
@@ -185,8 +319,8 @@ mod tests {
         let f = fixture();
         // Status is for VCA's dictionary but the chain claims another CA.
         let chain = [(CaId::from_name("OtherCA"), SerialNumber::from_u24(200))];
-        let err = validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2)
-            .unwrap_err();
+        let err =
+            validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2).unwrap_err();
         assert_eq!(err, ValidationError::CaMismatch);
     }
 
@@ -196,9 +330,99 @@ mod tests {
         // RA (maliciously) sends the absence proof for 200 while the chain's
         // leaf is actually revoked serial 55.
         let chain = [(f.ca.ca(), SerialNumber::from_u24(55))];
-        let err = validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2)
+        let err =
+            validate_payload(&payload_for(&f, 200), &chain, &f.keys, DELTA, T0 + 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::Status(StatusError::BadProof(_))
+        ));
+    }
+
+    #[test]
+    fn replayed_older_root_rejected_by_tracker() {
+        let mut f = fixture();
+        let mut rng = StdRng::seed_from_u64(52);
+        let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
+        let mut tracker = RootTracker::new();
+
+        // Snapshot a status from the current (size 10) dictionary.
+        let old_payload = payload_for(&f, 200);
+
+        // The CA revokes one more serial; the mirror catches up, and the
+        // client accepts a status at the new epoch (size 11).
+        let iss =
+            f.ca.insert(&[SerialNumber::from_u24(900)], &mut rng, T0 + 2)
+                .unwrap();
+        f.mirror.apply_issuance(&iss, T0 + 2).unwrap();
+        let v = validate_payload_tracked(
+            &payload_for(&f, 200),
+            &chain,
+            &f.keys,
+            DELTA,
+            T0 + 3,
+            &mut tracker,
+        )
+        .unwrap();
+        assert_eq!(v, Verdict::AllValid);
+        assert_eq!(tracker.newest(&f.ca.ca()), Some((11, T0 + 2)));
+
+        // Replaying the still-fresh pre-revocation status must now fail,
+        // even though untracked validation would accept it.
+        let err =
+            validate_payload_tracked(&old_payload, &chain, &f.keys, DELTA, T0 + 3, &mut tracker)
+                .unwrap_err();
+        assert_eq!(err, ValidationError::RootRegression { ca: f.ca.ca() });
+        assert!(validate_payload(&old_payload, &chain, &f.keys, DELTA, T0 + 3).is_ok());
+    }
+
+    #[test]
+    fn intra_payload_regression_rejected_without_advancing_tracker() {
+        // A payload whose second status (same CA) is older than its first:
+        // rejected as a regression, and the tracker records neither.
+        let mut f = fixture();
+        let mut rng = StdRng::seed_from_u64(53);
+        let old_status = f.mirror.prove(&SerialNumber::from_u24(200));
+        let iss =
+            f.ca.insert(&[SerialNumber::from_u24(900)], &mut rng, T0 + 2)
+                .unwrap();
+        f.mirror.apply_issuance(&iss, T0 + 2).unwrap();
+        let new_status = f.mirror.prove(&SerialNumber::from_u24(200));
+
+        let payload = StatusPayload {
+            statuses: vec![new_status, old_status],
+        };
+        let chain = [
+            (f.ca.ca(), SerialNumber::from_u24(200)),
+            (f.ca.ca(), SerialNumber::from_u24(200)),
+        ];
+        let mut tracker = RootTracker::new();
+        let err = validate_payload_tracked(&payload, &chain, &f.keys, DELTA, T0 + 3, &mut tracker)
             .unwrap_err();
-        assert!(matches!(err, ValidationError::Status(StatusError::BadProof(_))));
+        assert_eq!(err, ValidationError::RootRegression { ca: f.ca.ca() });
+        assert_eq!(
+            tracker.newest(&f.ca.ca()),
+            None,
+            "rejected payload must not poison the tracker"
+        );
+    }
+
+    #[test]
+    fn tracker_not_poisoned_by_rejected_payload() {
+        let f = fixture();
+        let mut tracker = RootTracker::new();
+        // A payload failing CA-mismatch must record nothing.
+        let chain = [(CaId::from_name("OtherCA"), SerialNumber::from_u24(200))];
+        let err = validate_payload_tracked(
+            &payload_for(&f, 200),
+            &chain,
+            &f.keys,
+            DELTA,
+            T0 + 2,
+            &mut tracker,
+        )
+        .unwrap_err();
+        assert_eq!(err, ValidationError::CaMismatch);
+        assert_eq!(tracker.newest(&f.ca.ca()), None);
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl DeploymentModel {
     /// The downgrade policy the client should run under this model.
     pub fn client_policy(&self) -> ritm_client::DowngradePolicy {
         match self {
-            DeploymentModel::CloseToServers => ritm_client::DowngradePolicy::RequireIfServerConfirms,
+            DeploymentModel::CloseToServers => {
+                ritm_client::DowngradePolicy::RequireIfServerConfirms
+            }
             DeploymentModel::CloseToClients => ritm_client::DowngradePolicy::AlwaysRequire,
         }
     }

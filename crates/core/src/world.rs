@@ -6,7 +6,7 @@ use crate::deployment::DeploymentModel;
 use crate::nodes::{ClientNode, ServerNode, CLIENT_TICK_TIMER, SERVER_SEND_BASE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ritm_agent::{RaConfig, RevocationAgent};
+use ritm_agent::{RaConfig, RaHealthReport, RevocationAgent};
 use ritm_ca::CertificationAuthority;
 use ritm_cdn::network::Cdn;
 use ritm_client::{AbortReason, RitmClient, RitmClientConfig, RitmEvent};
@@ -81,6 +81,10 @@ pub struct RitmWorld {
     pub server_chain: CertificateChain,
     /// Current world time (Unix seconds).
     pub now: u64,
+    /// The client population's shared newest-accepted-epoch record,
+    /// threaded through every connection for cross-connection replay
+    /// protection.
+    pub root_tracker: ritm_client::RootTracker,
     rng: StdRng,
     server_ctx: Arc<ServerContext>,
     connection_counter: u16,
@@ -113,7 +117,10 @@ impl RitmWorld {
         );
         let server_chain = CertificateChain(vec![leaf]);
 
-        let mut ra = RevocationAgent::new(RaConfig { delta, ..Default::default() });
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta,
+            ..Default::default()
+        });
         ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
             .expect("genesis bootstrap");
         let ra = Rc::new(RefCell::new(ra));
@@ -132,6 +139,7 @@ impl RitmWorld {
             ra,
             server_chain,
             now: EPOCH,
+            root_tracker: ritm_client::RootTracker::new(),
             rng,
             server_ctx,
             connection_counter: 0,
@@ -143,6 +151,18 @@ impl RitmWorld {
     /// The server certificate's serial.
     pub fn server_serial(&self) -> SerialNumber {
         self.server_chain.0[0].serial
+    }
+
+    /// The CA dictionary's current content epoch (every revocation batch
+    /// advances it; the RA's proof cache keys on the mirrored copy's).
+    pub fn dictionary_epoch(&self) -> u64 {
+        self.ca.dictionary().epoch()
+    }
+
+    /// Operational snapshot of the shared RA, including proof-cache
+    /// hit/miss counters.
+    pub fn ra_health(&self) -> RaHealthReport {
+        self.ra.borrow().health_report()
     }
 
     /// CA publishes its current refresh and the RA pulls (one Δ cycle).
@@ -219,7 +239,14 @@ impl RitmWorld {
         };
 
         let start = self.now;
-        let client = RitmClient::new(self.client_config(), [self.connection_counter as u8; 32], None);
+        // Carry the world's root tracker into the client so epoch-replay
+        // protection spans connections, and harvest it back afterwards.
+        let client = RitmClient::with_root_tracker(
+            self.client_config(),
+            [self.connection_counter as u8; 32],
+            None,
+            self.root_tracker.clone(),
+        );
         let client_node = Rc::new(RefCell::new(ClientNode::new(client, tuple)));
         let server_conn = ServerConnection::new(self.server_ctx.clone(), [42u8; 32]);
         let server_node = Rc::new(RefCell::new(ServerNode::new(server_conn, tuple)));
@@ -249,13 +276,17 @@ impl RitmWorld {
             server_node
                 .borrow_mut()
                 .schedule_payload(format!("payload-{k}").into_bytes());
-            sim.arm_timer(s_id, SimDuration::from_secs(*offset), SERVER_SEND_BASE + k as u64);
+            sim.arm_timer(
+                s_id,
+                SimDuration::from_secs(*offset),
+                SERVER_SEND_BASE + k as u64,
+            );
         }
         sim.arm_timer(c_id, SimDuration::from_secs(1), CLIENT_TICK_TIMER);
         client_node.borrow_mut().remaining_ticks = opts.duration_secs as u32 + 2;
 
-        let statuses_before = self.ra.borrow().stats.statuses_sent
-            + self.ra.borrow().stats.statuses_replaced;
+        let statuses_before =
+            self.ra.borrow().stats.statuses_sent + self.ra.borrow().stats.statuses_replaced;
 
         // Kick off the handshake.
         let first = client_node.borrow_mut().start_segment();
@@ -285,21 +316,20 @@ impl RitmWorld {
         sim.run_until(SimTime::from_secs(end));
         self.now = end;
 
-        let statuses_after = self.ra.borrow().stats.statuses_sent
-            + self.ra.borrow().stats.statuses_replaced;
+        let statuses_after =
+            self.ra.borrow().stats.statuses_sent + self.ra.borrow().stats.statuses_replaced;
 
         let node = client_node.borrow();
+        self.root_tracker = node.client.root_tracker().clone();
         let events: Vec<(u64, RitmEvent)> = node.events.clone();
         let established_at = events
             .iter()
             .find(|(_, e)| matches!(e, RitmEvent::Established { .. }))
             .map(|(t, _)| t - start);
-        let aborted = events
-            .iter()
-            .find_map(|(t, e)| match e {
-                RitmEvent::Aborted(r) => Some((t - start, r.clone())),
-                _ => None,
-            });
+        let aborted = events.iter().find_map(|(t, e)| match e {
+            RitmEvent::Aborted(r) => Some((t - start, r.clone())),
+            _ => None,
+        });
         ConnectionOutcome {
             alive_at_end: node.client.is_established(),
             established_at,
@@ -367,10 +397,7 @@ mod tests {
             duration_secs: 5,
             ..Default::default()
         });
-        assert!(matches!(
-            out.aborted,
-            Some((_, AbortReason::MissingStatus))
-        ));
+        assert!(matches!(out.aborted, Some((_, AbortReason::MissingStatus))));
     }
 
     #[test]
@@ -391,6 +418,55 @@ mod tests {
             ..Default::default()
         });
         assert!(out2.aborted.is_some() || out2.alive_at_end);
+    }
+
+    #[test]
+    fn hot_serial_reuses_cached_proofs_until_epoch_advances() {
+        let mut w = RitmWorld::new(8, 10, DeploymentModel::CloseToClients);
+        let epoch0 = w.dictionary_epoch();
+
+        // Several connections to the same server: after the first proof is
+        // built, the rest of the statuses reuse the cached audit path.
+        for _ in 0..3 {
+            let out = w.run_connection(&ConnectionOptions {
+                duration_secs: 12,
+                server_sends_at: vec![5, 11],
+                ..Default::default()
+            });
+            assert!(out.alive_at_end, "events: {:?}", out.events);
+        }
+        let health = w.ra_health();
+        assert!(
+            health.proof_cache.hits > 0,
+            "periodic statuses for a hot serial must hit the cache: {health:?}"
+        );
+        assert!(health.cache_hit_rate() > 0.5, "{health:?}");
+
+        // The accepted dictionary epoch persists across connections: the
+        // world-level tracker remembers the newest root every client saw.
+        let (size0, _) = w
+            .root_tracker
+            .newest(&w.ca.id())
+            .expect("tracker advanced by accepted statuses");
+        assert_eq!(size0, 0, "no revocations yet");
+
+        // A revocation batch advances the epoch and invalidates the cache:
+        // the next status is a fresh miss.
+        let misses_before = w.ra_health().proof_cache.misses;
+        let victim = w.issue_certificate("other.example").serial;
+        w.revoke(victim);
+        assert!(w.dictionary_epoch() > epoch0);
+        let out = w.run_connection(&ConnectionOptions {
+            duration_secs: 3,
+            ..Default::default()
+        });
+        assert!(out.alive_at_end, "events: {:?}", out.events);
+        assert!(
+            w.ra_health().proof_cache.misses > misses_before,
+            "epoch change must force proof regeneration"
+        );
+        let (size1, _) = w.root_tracker.newest(&w.ca.id()).expect("tracker kept");
+        assert!(size1 > size0, "tracker must follow the advanced epoch");
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
         // (2^256 - 1)^2 = 2^512 - 2^257 + 1
         let a = [u64::MAX; 4];
         let got = mul_wide(&a, &a);
-        assert_eq!(got, [1, 0, 0, 0, u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(
+            got,
+            [1, 0, 0, 0, u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX]
+        );
     }
 
     #[test]

@@ -147,7 +147,12 @@ impl SigningKey {
         let scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
         let prefix: [u8; 32] = h[32..].try_into().expect("32-byte half");
         let public = VerifyingKey(Point::mul_base(&scalar).compress());
-        SigningKey { seed, scalar, prefix, public }
+        SigningKey {
+            seed,
+            scalar,
+            prefix,
+            public,
+        }
     }
 
     /// Generates a signing key from `rng`.

@@ -48,8 +48,7 @@ pub struct Point {
 impl PartialEq for Point {
     fn eq(&self, other: &Self) -> bool {
         // (X1/Z1 == X2/Z2) and (Y1/Z1 == Y2/Z2), cross-multiplied.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 
@@ -58,7 +57,12 @@ impl Eq for Point {}
 impl Point {
     /// The neutral element `(0, 1)`.
     pub fn identity() -> Point {
-        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
     }
 
     /// The RFC 8032 base point `B` with `y = 4/5` and even `x`.
@@ -75,7 +79,12 @@ impl Point {
     /// coordinates satisfy the curve equation (checked in debug builds).
     pub fn from_affine(x: Fe, y: Fe) -> Point {
         debug_assert!(on_curve(&x, &y), "affine point not on curve");
-        Point { x, y, z: Fe::ONE, t: x.mul(&y) }
+        Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(&y),
+        }
     }
 
     /// Point addition (add-2008-hwcd-3 for `a = -1`, unified).
@@ -89,7 +98,12 @@ impl Point {
         let f = dd.sub(&c);
         let g = dd.add(&c);
         let h = b.add(&a);
-        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
     }
 
     /// Point doubling (dbl-2008-hwcd for `a = -1`).
@@ -102,12 +116,22 @@ impl Point {
         let g = d_.add(&b);
         let f = g.sub(&c);
         let h = d_.sub(&b);
-        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
     }
 
     /// Point negation.
     pub fn neg(&self) -> Point {
-        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+        Point {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
     }
 
     /// Scalar multiplication `[k]P` (double-and-add, not constant time —
@@ -273,8 +297,8 @@ mod tests {
     #[test]
     fn order_of_basepoint() {
         // [ℓ]B = identity and [ℓ+1]B = B.
-        use super::super::scalar::L;
         use super::super::bigint::limbs_to_le_bytes;
+        use super::super::scalar::L;
         // ℓ reduces to 0 mod ℓ, so emulate [ℓ]B by adding B to [ℓ-1]B.
         let (lm1, _) = super::super::bigint::sub4(&L, &[1, 0, 0, 0]);
         let s = Scalar::from_canonical_bytes(&limbs_to_le_bytes(&lm1)).unwrap();

@@ -62,7 +62,11 @@ impl HashChain {
         assert!(m > 0, "hash chain length must be positive");
         let seed = Digest20::from_bytes(seed);
         let anchor = h_iter(seed, m);
-        HashChain { seed, length: m, anchor }
+        HashChain {
+            seed,
+            length: m,
+            anchor,
+        }
     }
 
     /// Builds a chain of length `m` with a seed drawn from `rng`.
@@ -92,7 +96,10 @@ impl HashChain {
     /// new chain via a fresh signed root (Fig. 2, `refresh` step 3).
     pub fn statement(&self, p: u64) -> Result<Digest20, ChainExhausted> {
         if p >= self.length {
-            return Err(ChainExhausted { period: p, length: self.length });
+            return Err(ChainExhausted {
+                period: p,
+                length: self.length,
+            });
         }
         Ok(h_iter(self.seed, self.length - p))
     }
@@ -205,7 +212,13 @@ mod tests {
     fn exhaustion_reported() {
         let c = chain();
         let err = c.statement(16).unwrap_err();
-        assert_eq!(err, ChainExhausted { period: 16, length: 16 });
+        assert_eq!(
+            err,
+            ChainExhausted {
+                period: 16,
+                length: 16
+            }
+        );
         assert!(!c.covers(16));
         assert!(c.covers(15));
     }

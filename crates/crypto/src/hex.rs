@@ -68,9 +68,9 @@ pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
         let hi = (pair[0] as char)
             .to_digit(16)
             .ok_or(ParseHexError { position: i * 2 })?;
-        let lo = (pair[1] as char)
-            .to_digit(16)
-            .ok_or(ParseHexError { position: i * 2 + 1 })?;
+        let lo = (pair[1] as char).to_digit(16).ok_or(ParseHexError {
+            position: i * 2 + 1,
+        })?;
         out.push(((hi << 4) | lo) as u8);
     }
     Ok(out)
@@ -84,7 +84,9 @@ pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
 /// length when the decoded size does not match `N`.
 pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], ParseHexError> {
     let v = decode(s)?;
-    let arr: [u8; N] = v.try_into().map_err(|_| ParseHexError { position: s.len() })?;
+    let arr: [u8; N] = v
+        .try_into()
+        .map_err(|_| ParseHexError { position: s.len() })?;
     Ok(arr)
 }
 

@@ -23,7 +23,11 @@ impl DecodeError {
 
 impl core::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "decode error at offset {}: {}", self.offset, self.context)
+        write!(
+            f,
+            "decode error at offset {}: {}",
+            self.offset, self.context
+        )
     }
 }
 
@@ -53,7 +57,9 @@ impl Writer {
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends a single byte.
@@ -241,6 +247,22 @@ impl<'a> Reader<'a> {
         self.take(n, context)
     }
 
+    /// Validates a decoded element count against the bytes actually left:
+    /// each element needs at least `min_elem_bytes` to encode, so any count
+    /// exceeding `remaining / min_elem_bytes` is forged. Call this before
+    /// sizing an allocation or loop by an attacker-controlled count.
+    pub fn check_count(
+        &self,
+        count: usize,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<(), DecodeError> {
+        if count.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::new(context, self.pos));
+        }
+        Ok(())
+    }
+
     /// Fails unless the reader is fully consumed — catches trailing garbage.
     pub fn finish(&self, context: &'static str) -> Result<(), DecodeError> {
         if self.is_done() {
@@ -258,7 +280,14 @@ mod tests {
     #[test]
     fn round_trip_all_widths() {
         let mut w = Writer::new();
-        w.u8(1).u16(2).u24(3).u32(4).u64(5).vec8(b"abc").vec16(b"de").vec24(b"f");
+        w.u8(1)
+            .u16(2)
+            .u24(3)
+            .u32(4)
+            .u64(5)
+            .vec8(b"abc")
+            .vec16(b"de")
+            .vec24(b"f");
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8("a").unwrap(), 1);
@@ -307,5 +336,16 @@ mod tests {
         let e = DecodeError::new("bad thing", 12);
         let s = format!("{e}");
         assert!(s.contains("12") && s.contains("bad thing"));
+    }
+
+    #[test]
+    fn check_count_bounds_by_remaining() {
+        let r = Reader::new(&[0; 10]);
+        assert!(r.check_count(5, 2, "ok").is_ok());
+        assert!(r.check_count(6, 2, "too many").is_err());
+        assert!(r.check_count(10, 0, "min clamps to 1").is_ok());
+        assert!(r.check_count(11, 0, "min clamps to 1").is_err());
+        // Overflow-safe: a huge count must not wrap into acceptance.
+        assert!(r.check_count(usize::MAX, 20, "overflow").is_err());
     }
 }

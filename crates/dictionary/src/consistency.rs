@@ -34,7 +34,10 @@ impl EquivocationProof {
         }
         a.verify(key).ok()?;
         b.verify(key).ok()?;
-        Some(EquivocationProof { first: a, second: b })
+        Some(EquivocationProof {
+            first: a,
+            second: b,
+        })
     }
 
     /// Re-verifies the proof (e.g. by a software vendor receiving a report).

@@ -10,10 +10,10 @@ use crate::proof::{ProofError, ProvenStatus, RevocationProof};
 use crate::root::{CaId, SignedRoot};
 use crate::serial::SerialNumber;
 use crate::tree::{Leaf, MerkleTree};
+use rand::RngCore;
 use ritm_crypto::ed25519::{SigningKey, VerifyingKey};
 use ritm_crypto::hashchain::HashChain;
 use ritm_crypto::wire::{DecodeError, Reader, Writer};
-use rand::RngCore;
 
 /// A revocation issuance message: the revoked serials plus the new signed
 /// root (first row of Tab. I).
@@ -50,7 +50,11 @@ impl RevocationIssuance {
         let mut r = Reader::new(bytes);
         let first_number = r.u64("issuance first number")?;
         let count = r.u32("issuance count")? as usize;
-        let mut serials = Vec::with_capacity(count.min(1 << 20));
+        // Each serial costs at least 2 bytes (length prefix + 1 data byte),
+        // so a count not covered by the remaining buffer is forged; checking
+        // here keeps the allocation and the parse loop attacker-independent.
+        r.check_count(count, 2, "issuance count exceeds buffer")?;
+        let mut serials = Vec::with_capacity(count);
         for _ in 0..count {
             let raw = r.vec8("issuance serial")?;
             serials.push(
@@ -60,7 +64,11 @@ impl RevocationIssuance {
         }
         let signed_root = SignedRoot::decode(&mut r)?;
         r.finish("issuance trailing bytes")?;
-        Ok(RevocationIssuance { first_number, serials, signed_root })
+        Ok(RevocationIssuance {
+            first_number,
+            serials,
+            signed_root,
+        })
     }
 }
 
@@ -158,7 +166,11 @@ impl RevocationStatus {
         let signed_root = SignedRoot::decode(&mut r)?;
         let freshness = FreshnessStatement::decode(&mut r)?;
         r.finish("status trailing bytes")?;
-        Ok(RevocationStatus { proof, signed_root, freshness })
+        Ok(RevocationStatus {
+            proof,
+            signed_root,
+            freshness,
+        })
     }
 
     /// Encoded size in bytes.
@@ -198,7 +210,16 @@ impl CaDictionary {
         let tree = MerkleTree::new();
         let chain = HashChain::generate(rng, chain_len);
         let signed_root = SignedRoot::create(&key, ca, tree.root(), 0, chain.anchor(), now);
-        CaDictionary { ca, key, tree, log: Vec::new(), chain, chain_len, delta, signed_root }
+        CaDictionary {
+            ca,
+            key,
+            tree,
+            log: Vec::new(),
+            chain,
+            chain_len,
+            delta,
+            signed_root,
+        }
     }
 
     /// The CA identifier.
@@ -231,6 +252,12 @@ impl CaDictionary {
         &self.signed_root
     }
 
+    /// Monotonic content epoch of the underlying tree (see
+    /// [`crate::tree::MerkleTree::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.tree.epoch()
+    }
+
     /// Whether `serial` is already revoked.
     pub fn contains(&self, serial: &SerialNumber) -> bool {
         self.tree.find(serial).is_some()
@@ -260,13 +287,13 @@ impl CaDictionary {
         if added.is_empty() {
             return None;
         }
-        self.tree.extend_leaves(
-            added
-                .iter()
-                .enumerate()
-                .map(|(i, s)| Leaf::new(*s, first_number + i as u64)),
-        );
-        self.tree.rebuild();
+        let mut batch: Vec<Leaf> = added
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Leaf::new(*s, first_number + i as u64))
+            .collect();
+        batch.sort_by_key(|l| l.serial);
+        self.tree.apply_sorted_batch(&batch);
         self.log.extend_from_slice(&added);
         self.chain = HashChain::generate(rng, self.chain_len);
         self.signed_root = SignedRoot::create(
@@ -411,12 +438,10 @@ impl MirrorDictionary {
     ///
     /// [`UpdateError::BadSignature`] if the root is not validly signed;
     /// [`UpdateError::RootMismatch`] if it does not commit to an empty tree.
-    pub fn new(
-        ca: CaId,
-        ca_key: VerifyingKey,
-        genesis: SignedRoot,
-    ) -> Result<Self, UpdateError> {
-        genesis.verify(&ca_key).map_err(|_| UpdateError::BadSignature)?;
+    pub fn new(ca: CaId, ca_key: VerifyingKey, genesis: SignedRoot) -> Result<Self, UpdateError> {
+        genesis
+            .verify(&ca_key)
+            .map_err(|_| UpdateError::BadSignature)?;
         if genesis.ca != ca {
             return Err(UpdateError::WrongCa);
         }
@@ -459,6 +484,15 @@ impl MirrorDictionary {
         &self.signed_root
     }
 
+    /// Monotonic content epoch: advances whenever the mirrored tree is
+    /// mutated (every accepted issuance; a rejected one rolls content back
+    /// but still advances the epoch, harmlessly refilling caches), so RAs
+    /// can key proof caches on it. Freshness-only refreshes do not advance
+    /// it — audit paths stay valid across them.
+    pub fn epoch(&self) -> u64 {
+        self.tree.epoch()
+    }
+
     /// Latest accepted freshness statement.
     pub fn freshness(&self) -> &FreshnessStatement {
         &self.freshness
@@ -481,37 +515,39 @@ impl MirrorDictionary {
         if sr.ca != self.ca {
             return Err(UpdateError::WrongCa);
         }
-        sr.verify(&self.ca_key).map_err(|_| UpdateError::BadSignature)?;
-        if sr.timestamp < self.signed_root.timestamp
-            || sr.timestamp > now + MAX_TIMESTAMP_SKEW
-        {
+        sr.verify(&self.ca_key)
+            .map_err(|_| UpdateError::BadSignature)?;
+        if sr.timestamp < self.signed_root.timestamp || sr.timestamp > now + MAX_TIMESTAMP_SKEW {
             return Err(UpdateError::BadTimestamp);
         }
         let have = self.tree.len() as u64;
         if issuance.first_number != have + 1 {
-            return Err(UpdateError::Desynchronized { have, got: issuance.first_number });
+            return Err(UpdateError::Desynchronized {
+                have,
+                got: issuance.first_number,
+            });
         }
-        // Verify-then-commit: work on a scratch copy so failure leaves the
-        // mirror untouched.
         let mut in_batch = std::collections::HashSet::new();
         for s in &issuance.serials {
             if self.tree.find(s).is_some() || !in_batch.insert(*s) {
                 return Err(UpdateError::DuplicateSerial);
             }
         }
-        let mut scratch = self.tree.clone();
-        scratch.extend_leaves(
-            issuance
-                .serials
-                .iter()
-                .enumerate()
-                .map(|(i, s)| Leaf::new(*s, issuance.first_number + i as u64)),
-        );
-        scratch.rebuild();
-        if scratch.root() != sr.root || scratch.len() as u64 != sr.size {
+        // Verify-then-commit without an O(n) scratch clone: apply the batch
+        // incrementally, and roll it back (removing exactly the inserted
+        // leaves) if the resulting root does not match the signed root.
+        let mut batch: Vec<Leaf> = issuance
+            .serials
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Leaf::new(*s, issuance.first_number + i as u64))
+            .collect();
+        batch.sort_by_key(|l| l.serial);
+        self.tree.apply_sorted_batch(&batch);
+        if self.tree.root() != sr.root || self.tree.len() as u64 != sr.size {
+            self.tree.remove_sorted_batch(&issuance.serials);
             return Err(UpdateError::RootMismatch);
         }
-        self.tree = scratch;
         self.signed_root = *sr;
         self.freshness = FreshnessStatement::new(sr.anchor);
         Ok(())
@@ -537,12 +573,15 @@ impl MirrorDictionary {
                 if sr.ca != self.ca {
                     return Err(UpdateError::WrongCa);
                 }
-                sr.verify(&self.ca_key).map_err(|_| UpdateError::BadSignature)?;
+                sr.verify(&self.ca_key)
+                    .map_err(|_| UpdateError::BadSignature)?;
                 // A rotation must not change the content.
                 if sr.root != self.tree.root() || sr.size != self.tree.len() as u64 {
                     return Err(UpdateError::RootMismatch);
                 }
-                if sr.timestamp < self.signed_root.timestamp || sr.timestamp > now + MAX_TIMESTAMP_SKEW {
+                if sr.timestamp < self.signed_root.timestamp
+                    || sr.timestamp > now + MAX_TIMESTAMP_SKEW
+                {
                     return Err(UpdateError::BadTimestamp);
                 }
                 self.signed_root = *sr;
@@ -552,10 +591,22 @@ impl MirrorDictionary {
         }
     }
 
+    /// Whether `serial` is currently mirrored as revoked.
+    pub fn contains(&self, serial: &SerialNumber) -> bool {
+        self.tree.find(serial).is_some()
+    }
+
+    /// Generates the bare audit-path proof for `serial` — the cacheable
+    /// part of a status; it stays valid while [`MirrorDictionary::epoch`]
+    /// is unchanged.
+    pub fn proof(&self, serial: &SerialNumber) -> RevocationProof {
+        RevocationProof::generate(&self.tree, serial)
+    }
+
     /// Fig. 2 `prove`: builds the revocation status (Eq. 3) for `serial`.
     pub fn prove(&self, serial: &SerialNumber) -> RevocationStatus {
         RevocationStatus {
-            proof: RevocationProof::generate(&self.tree, serial),
+            proof: self.proof(serial),
             signed_root: self.signed_root,
             freshness: self.freshness,
         }
@@ -627,14 +678,24 @@ mod tests {
         // Revoked serial → presence proof validates as revoked.
         let status = ra.prove(&SerialNumber::from_u24(3));
         let res = status
-            .validate(&SerialNumber::from_u24(3), &ca.verifying_key(), DELTA, T0 + 2)
+            .validate(
+                &SerialNumber::from_u24(3),
+                &ca.verifying_key(),
+                DELTA,
+                T0 + 2,
+            )
             .unwrap();
         assert!(res.is_revoked());
 
         // Unrevoked serial → absence proof validates as not revoked.
         let status = ra.prove(&SerialNumber::from_u24(100));
         let res = status
-            .validate(&SerialNumber::from_u24(100), &ca.verifying_key(), DELTA, T0 + 2)
+            .validate(
+                &SerialNumber::from_u24(100),
+                &ca.verifying_key(),
+                DELTA,
+                T0 + 2,
+            )
             .unwrap();
         assert_eq!(res, ProvenStatus::NotRevoked);
     }
@@ -828,6 +889,21 @@ mod tests {
         let iss = ca.insert(&serials(1..10), &mut rng, T0 + 1).unwrap();
         let back = RevocationIssuance::from_bytes(&iss.to_bytes()).unwrap();
         assert_eq!(back, iss);
+    }
+
+    #[test]
+    fn forged_issuance_count_rejected_before_allocation() {
+        // 8-byte first_number + a count claiming u32::MAX serials with no
+        // bytes behind it: must fail the count check, not loop or allocate.
+        let mut w = ritm_crypto::wire::Writer::new();
+        w.u64(1).u32(u32::MAX);
+        let err = RevocationIssuance::from_bytes(w.as_bytes()).unwrap_err();
+        assert!(err.context.contains("count"), "{err}");
+
+        // A count still exceeding the (tiny) remaining buffer is also caught.
+        let mut w = ritm_crypto::wire::Writer::new();
+        w.u64(1).u32(50).vec8(&[7]);
+        assert!(RevocationIssuance::from_bytes(w.as_bytes()).is_err());
     }
 
     #[test]

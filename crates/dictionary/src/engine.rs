@@ -1,0 +1,481 @@
+//! The dictionary engine abstraction.
+//!
+//! Fig. 2 of the paper defines the authenticated dictionary by four
+//! operations — `insert`/`refresh` on the trusted (CA) side and
+//! `update`/`prove` on the untrusted (RA) side. The seed code exposed those
+//! operations only as inherent methods of concrete types, so every layer of
+//! the stack (CA, RA, client harnesses, benches) was welded to
+//! [`CaDictionary`], [`MirrorDictionary`], or [`ShardedCa`]. This module
+//! lifts the operations into traits:
+//!
+//! * [`DictionaryEngine`] — the Fig. 2 surface plus the two observability
+//!   hooks the incremental engine adds: a monotonic [`epoch`] (bumped per
+//!   applied batch; proof caches key on it) and the current [`root`].
+//! * [`MirrorEngine`] — the extra surface an *untrusted* mirror provides:
+//!   bootstrap from a genesis root, catch-up accounting, and direct proof
+//!   generation for epoch-keyed caches.
+//!
+//! [`epoch`]: DictionaryEngine::epoch
+//! [`root`]: DictionaryEngine::root
+
+use crate::dictionary::{
+    CaDictionary, MirrorDictionary, RefreshMessage, RevocationIssuance, RevocationStatus,
+    UpdateError,
+};
+use crate::freshness::FreshnessStatement;
+use crate::proof::RevocationProof;
+use crate::root::{CaId, SignedRoot};
+use crate::serial::SerialNumber;
+use crate::sharding::ShardedCa;
+use rand::RngCore;
+use ritm_crypto::digest::Digest20;
+use ritm_crypto::ed25519::VerifyingKey;
+
+/// Why an engine rejected an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// An authoritative operation (`insert`/`refresh`) was invoked on an
+    /// untrusted mirror.
+    NotAuthoritative,
+    /// A mirror operation (`update`) was invoked on an authoritative engine.
+    NotMirror,
+    /// The engine holds no dictionary yet (e.g. a sharded CA before its
+    /// first revocation).
+    Empty,
+    /// The underlying mirror rejected the update.
+    Update(UpdateError),
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::NotAuthoritative => {
+                f.write_str("operation requires an authoritative (CA-side) engine")
+            }
+            EngineError::NotMirror => f.write_str("operation requires a mirror (RA-side) engine"),
+            EngineError::Empty => f.write_str("engine holds no dictionary yet"),
+            EngineError::Update(e) => write!(f, "update rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<UpdateError> for EngineError {
+    fn from(e: UpdateError) -> Self {
+        EngineError::Update(e)
+    }
+}
+
+/// What an RA feeds into `update`: a revocation batch or a periodic
+/// freshness/rotation message.
+#[derive(Debug, Clone, Copy)]
+pub enum UpdateMessage<'a> {
+    /// New revocations plus the signed root covering them.
+    Issuance(&'a RevocationIssuance),
+    /// A freshness statement or rotated root (no content change).
+    Refresh(&'a RefreshMessage),
+}
+
+/// The Fig. 2 dictionary surface, epoch-aware.
+///
+/// Engines fall into two roles: *authoritative* (a CA holding the signing
+/// key; `insert`/`refresh` succeed, `update` is refused) and *mirror* (an
+/// RA's untrusted copy; the reverse). The role split is reported through
+/// [`EngineError`] rather than separate traits so heterogeneous engine
+/// collections can be driven uniformly.
+pub trait DictionaryEngine {
+    /// Identity of the CA whose dictionary this engine holds.
+    fn engine_ca(&self) -> CaId;
+
+    /// Monotonic content version: advances at least once per applied batch
+    /// and never regresses. Proofs and audit paths generated at epoch `e`
+    /// stay valid exactly while `epoch() == e`.
+    fn epoch(&self) -> u64;
+
+    /// The current Merkle root (for sharded engines, a digest binding every
+    /// shard root).
+    fn root(&self) -> Digest20;
+
+    /// Revocations held.
+    fn revocation_count(&self) -> u64;
+
+    /// Whether `serial` is currently revoked.
+    fn contains_serial(&self, serial: &SerialNumber) -> bool;
+
+    /// Fig. 2 `insert`: revoke a batch, advance the epoch, and return the
+    /// issuance to disseminate (`None` when every serial was already
+    /// revoked).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotAuthoritative`] on mirrors.
+    fn insert_batch(
+        &mut self,
+        serials: &[SerialNumber],
+        rng: &mut dyn RngCore,
+        now: u64,
+    ) -> Result<Option<RevocationIssuance>, EngineError>;
+
+    /// Fig. 2 `refresh`: produce the periodic freshness statement (or a
+    /// rotated root when the hash chain is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotAuthoritative`] on mirrors; [`EngineError::Empty`]
+    /// when there is no dictionary to refresh yet.
+    fn refresh_period(
+        &mut self,
+        rng: &mut dyn RngCore,
+        now: u64,
+    ) -> Result<RefreshMessage, EngineError>;
+
+    /// Fig. 2 `update`: verify and apply a disseminated message.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotMirror`] on authoritative engines;
+    /// [`EngineError::Update`] when verification fails (the engine is left
+    /// unchanged).
+    fn apply_update(&mut self, msg: UpdateMessage<'_>, now: u64) -> Result<(), EngineError>;
+
+    /// The freshness statement covering `now`, if the engine can produce
+    /// one (mirrors return their last accepted statement; CA-side engines
+    /// walk their hash chain).
+    fn freshness_for(&self, now: u64) -> Option<FreshnessStatement>;
+
+    /// Fig. 2 `prove`: build the full revocation status (Eq. 3) for
+    /// `serial`. Returns `None` when the engine cannot currently prove
+    /// (e.g. no freshness statement for `now`, or an empty sharded CA).
+    fn prove_status(&self, serial: &SerialNumber, now: u64) -> Option<RevocationStatus>;
+}
+
+impl DictionaryEngine for CaDictionary {
+    fn engine_ca(&self) -> CaId {
+        self.ca()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn root(&self) -> Digest20 {
+        self.signed_root().root
+    }
+
+    fn revocation_count(&self) -> u64 {
+        self.len() as u64
+    }
+
+    fn contains_serial(&self, serial: &SerialNumber) -> bool {
+        self.contains(serial)
+    }
+
+    fn insert_batch(
+        &mut self,
+        serials: &[SerialNumber],
+        rng: &mut dyn RngCore,
+        now: u64,
+    ) -> Result<Option<RevocationIssuance>, EngineError> {
+        Ok(self.insert(serials, rng, now))
+    }
+
+    fn refresh_period(
+        &mut self,
+        rng: &mut dyn RngCore,
+        now: u64,
+    ) -> Result<RefreshMessage, EngineError> {
+        Ok(self.refresh(rng, now))
+    }
+
+    fn apply_update(&mut self, _msg: UpdateMessage<'_>, _now: u64) -> Result<(), EngineError> {
+        Err(EngineError::NotMirror)
+    }
+
+    fn freshness_for(&self, now: u64) -> Option<FreshnessStatement> {
+        self.current_freshness(now)
+    }
+
+    fn prove_status(&self, serial: &SerialNumber, now: u64) -> Option<RevocationStatus> {
+        self.prove(serial, now)
+    }
+}
+
+impl DictionaryEngine for MirrorDictionary {
+    fn engine_ca(&self) -> CaId {
+        self.ca()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn root(&self) -> Digest20 {
+        self.signed_root().root
+    }
+
+    fn revocation_count(&self) -> u64 {
+        self.len() as u64
+    }
+
+    fn contains_serial(&self, serial: &SerialNumber) -> bool {
+        self.contains(serial)
+    }
+
+    fn insert_batch(
+        &mut self,
+        _serials: &[SerialNumber],
+        _rng: &mut dyn RngCore,
+        _now: u64,
+    ) -> Result<Option<RevocationIssuance>, EngineError> {
+        Err(EngineError::NotAuthoritative)
+    }
+
+    fn refresh_period(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        _now: u64,
+    ) -> Result<RefreshMessage, EngineError> {
+        Err(EngineError::NotAuthoritative)
+    }
+
+    fn apply_update(&mut self, msg: UpdateMessage<'_>, now: u64) -> Result<(), EngineError> {
+        match msg {
+            UpdateMessage::Issuance(iss) => self.apply_issuance(iss, now)?,
+            UpdateMessage::Refresh(r) => self.apply_refresh(r, now)?,
+        }
+        Ok(())
+    }
+
+    fn freshness_for(&self, _now: u64) -> Option<FreshnessStatement> {
+        Some(*self.freshness())
+    }
+
+    fn prove_status(&self, serial: &SerialNumber, _now: u64) -> Option<RevocationStatus> {
+        Some(self.prove(serial))
+    }
+}
+
+impl DictionaryEngine for ShardedCa {
+    fn engine_ca(&self) -> CaId {
+        self.ca()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn root(&self) -> Digest20 {
+        self.combined_root()
+    }
+
+    fn revocation_count(&self) -> u64 {
+        self.total_revocations() as u64
+    }
+
+    fn contains_serial(&self, serial: &SerialNumber) -> bool {
+        self.shards().any(|(_, d)| d.contains(serial))
+    }
+
+    fn insert_batch(
+        &mut self,
+        serials: &[SerialNumber],
+        rng: &mut dyn RngCore,
+        now: u64,
+    ) -> Result<Option<RevocationIssuance>, EngineError> {
+        Ok(self.revoke_batch_default_expiry(serials, rng, now))
+    }
+
+    fn refresh_period(
+        &mut self,
+        rng: &mut dyn RngCore,
+        now: u64,
+    ) -> Result<RefreshMessage, EngineError> {
+        self.refresh_newest(rng, now).ok_or(EngineError::Empty)
+    }
+
+    fn apply_update(&mut self, _msg: UpdateMessage<'_>, _now: u64) -> Result<(), EngineError> {
+        Err(EngineError::NotMirror)
+    }
+
+    fn freshness_for(&self, now: u64) -> Option<FreshnessStatement> {
+        self.newest_shard_freshness(now)
+    }
+
+    fn prove_status(&self, serial: &SerialNumber, now: u64) -> Option<RevocationStatus> {
+        self.prove(serial, now)
+    }
+}
+
+/// The extra surface an untrusted mirror engine provides: bootstrap,
+/// catch-up accounting, and the pieces an epoch-keyed proof cache composes
+/// statuses from.
+pub trait MirrorEngine: DictionaryEngine + Sized {
+    /// Bootstraps a mirror from a CA's genesis signed root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mirror's verification failure.
+    fn bootstrap(ca: CaId, ca_key: VerifyingKey, genesis: SignedRoot) -> Result<Self, UpdateError>;
+
+    /// Sets the dissemination period Δ (from the CA manifest).
+    fn set_delta(&mut self, delta: u64);
+
+    /// Count of consecutive revocations held (reported when requesting
+    /// catch-up).
+    fn consecutive_count(&self) -> u64;
+
+    /// The latest accepted signed root.
+    fn current_signed_root(&self) -> &SignedRoot;
+
+    /// The latest accepted freshness statement.
+    fn current_freshness(&self) -> &FreshnessStatement;
+
+    /// Generates the bare audit-path proof for `serial` — the cacheable part
+    /// of a status. Callers compose it with [`current_signed_root`] and
+    /// [`current_freshness`]; the proof stays reusable while
+    /// [`DictionaryEngine::epoch`] is unchanged.
+    ///
+    /// [`current_signed_root`]: MirrorEngine::current_signed_root
+    /// [`current_freshness`]: MirrorEngine::current_freshness
+    fn generate_proof(&self, serial: &SerialNumber) -> RevocationProof;
+}
+
+impl MirrorEngine for MirrorDictionary {
+    fn bootstrap(ca: CaId, ca_key: VerifyingKey, genesis: SignedRoot) -> Result<Self, UpdateError> {
+        MirrorDictionary::new(ca, ca_key, genesis)
+    }
+
+    fn set_delta(&mut self, delta: u64) {
+        MirrorDictionary::set_delta(self, delta)
+    }
+
+    fn consecutive_count(&self) -> u64 {
+        MirrorDictionary::consecutive_count(self)
+    }
+
+    fn current_signed_root(&self) -> &SignedRoot {
+        self.signed_root()
+    }
+
+    fn current_freshness(&self) -> &FreshnessStatement {
+        self.freshness()
+    }
+
+    fn generate_proof(&self, serial: &SerialNumber) -> RevocationProof {
+        self.proof(serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_crypto::ed25519::SigningKey;
+
+    const T0: u64 = 1_000_000;
+
+    fn serials(range: core::ops::Range<u32>) -> Vec<SerialNumber> {
+        range.map(SerialNumber::from_u24).collect()
+    }
+
+    #[test]
+    fn ca_and_mirror_drive_through_the_trait() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("EngineCA"),
+            SigningKey::from_seed([1u8; 32]),
+            10,
+            64,
+            &mut rng,
+            T0,
+        );
+        let mut ra = MirrorDictionary::bootstrap(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .expect("genesis");
+        ra.set_delta(10);
+
+        // Roles enforced.
+        let e0 = DictionaryEngine::epoch(&ra);
+        assert_eq!(
+            ra.insert_batch(&serials(1..3), &mut rng, T0 + 1),
+            Err(EngineError::NotAuthoritative)
+        );
+        let iss = ca
+            .insert_batch(&serials(1..6), &mut rng, T0 + 1)
+            .unwrap()
+            .expect("fresh serials");
+        assert_eq!(
+            ca.apply_update(UpdateMessage::Issuance(&iss), T0 + 1),
+            Err(EngineError::NotMirror)
+        );
+
+        // Update advances the mirror's epoch and root in lock-step with the CA.
+        ra.apply_update(UpdateMessage::Issuance(&iss), T0 + 1)
+            .unwrap();
+        assert!(DictionaryEngine::epoch(&ra) > e0);
+        assert_eq!(DictionaryEngine::root(&ra), DictionaryEngine::root(&ca));
+        assert_eq!(ra.revocation_count(), 5);
+        assert!(ra.contains_serial(&SerialNumber::from_u24(3)));
+
+        // Proofs compose identically through the trait and inherent paths.
+        let via_trait = ra.prove_status(&SerialNumber::from_u24(3), T0 + 2).unwrap();
+        let composed = RevocationStatus {
+            proof: ra.generate_proof(&SerialNumber::from_u24(3)),
+            signed_root: *ra.current_signed_root(),
+            freshness: *ra.current_freshness(),
+        };
+        assert_eq!(via_trait, composed);
+
+        // Refresh flows through the trait too.
+        let msg = ca.refresh_period(&mut rng, T0 + 10).unwrap();
+        ra.apply_update(UpdateMessage::Refresh(&msg), T0 + 10)
+            .unwrap();
+    }
+
+    #[test]
+    fn sharded_ca_is_an_engine() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sharded = ShardedCa::new(
+            CaId::from_name("ShardEngine"),
+            SigningKey::from_seed([2u8; 32]),
+            10,
+            64,
+            crate::sharding::DEFAULT_BUCKET_SECS,
+        );
+        assert_eq!(
+            sharded.refresh_period(&mut rng, T0),
+            Err(EngineError::Empty)
+        );
+        let e0 = sharded.epoch();
+        let root0 = DictionaryEngine::root(&sharded);
+        let iss = sharded
+            .insert_batch(&serials(1..4), &mut rng, T0)
+            .unwrap()
+            .expect("fresh serials");
+        assert_eq!(iss.serials.len(), 3);
+        assert!(sharded.epoch() > e0);
+        assert_ne!(DictionaryEngine::root(&sharded), root0);
+        assert_eq!(sharded.revocation_count(), 3);
+        assert!(sharded.contains_serial(&SerialNumber::from_u24(2)));
+        assert!(sharded.refresh_period(&mut rng, T0 + 10).is_ok());
+
+        // Presence provable through the engine surface.
+        let status = sharded
+            .prove_status(&SerialNumber::from_u24(2), T0 + 1)
+            .expect("shard can prove");
+        assert!(status
+            .validate(
+                &SerialNumber::from_u24(2),
+                &status_key(&sharded),
+                10,
+                T0 + 1
+            )
+            .unwrap()
+            .is_revoked());
+    }
+
+    fn status_key(sharded: &ShardedCa) -> VerifyingKey {
+        sharded.verifying_key()
+    }
+}

@@ -60,12 +60,7 @@ impl FreshnessStatement {
     ///
     /// [`FreshnessError::FutureRoot`] when `now < root.timestamp`;
     /// [`FreshnessError::Stale`] when no period within tolerance matches.
-    pub fn verify(
-        &self,
-        root: &SignedRoot,
-        delta: u64,
-        now: u64,
-    ) -> Result<u64, FreshnessError> {
+    pub fn verify(&self, root: &SignedRoot, delta: u64, now: u64) -> Result<u64, FreshnessError> {
         if now < root.timestamp {
             return Err(FreshnessError::FutureRoot);
         }
@@ -95,7 +90,9 @@ impl FreshnessStatement {
 
     /// Parses from a reader (for embedding).
     pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(FreshnessStatement { value: Digest20::from_bytes(r.array("freshness value")?) })
+        Ok(FreshnessStatement {
+            value: Digest20::from_bytes(r.array("freshness value")?),
+        })
     }
 }
 

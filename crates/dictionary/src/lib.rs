@@ -6,7 +6,12 @@
 //! fresh with hash-chain statements.
 //!
 //! * [`serial`] — certificate serial numbers (the leaf keys);
-//! * [`tree`] — the sorted-leaf Merkle tree with audit paths;
+//! * [`tree`] — the sorted-leaf Merkle tree: epoch-aware, with incremental
+//!   batch application ([`tree::MerkleTree::apply_sorted_batch`]) and audit
+//!   paths;
+//! * [`engine`] — the [`DictionaryEngine`] / [`MirrorEngine`] traits
+//!   (Fig. 2 `insert`/`refresh`/`update`/`prove` plus `root` and `epoch`)
+//!   that CA, RA, and client code program against;
 //! * [`proof`] — presence and absence proofs;
 //! * [`root`] — signed roots, Eq. (1);
 //! * [`freshness`] — hash-chain freshness statements, Eq. (2);
@@ -52,6 +57,7 @@
 
 pub mod consistency;
 pub mod dictionary;
+pub mod engine;
 pub mod freshness;
 pub mod proof;
 pub mod root;
@@ -63,6 +69,7 @@ pub use dictionary::{
     CaDictionary, MirrorDictionary, RefreshMessage, RevocationIssuance, RevocationStatus,
     StatusError, UpdateError,
 };
+pub use engine::{DictionaryEngine, EngineError, MirrorEngine, UpdateMessage};
 pub use freshness::{FreshnessError, FreshnessStatement};
 pub use proof::{PresenceProof, ProofError, ProvenStatus, RevocationProof};
 pub use root::{CaId, SignedRoot};

@@ -38,7 +38,12 @@ impl PresenceProof {
 
     /// Recomputes the root this proof commits to, given the tree size.
     pub fn implied_root(&self, size: u64) -> Option<Digest20> {
-        root_from_path(self.index as usize, size as usize, self.leaf.hash(), &self.path)
+        root_from_path(
+            self.index as usize,
+            size as usize,
+            self.leaf.hash(),
+            &self.path,
+        )
     }
 
     fn encode(&self, w: &mut Writer) {
@@ -58,11 +63,16 @@ impl PresenceProof {
             .map_err(|_| DecodeError::new("invalid serial", r.position()))?;
         let number = r.u64("presence number")?;
         let path_len = r.u16("presence path len")? as usize;
+        r.check_count(path_len, 20, "presence path exceeds buffer")?;
         let mut path = Vec::with_capacity(path_len);
         for _ in 0..path_len {
             path.push(Digest20::from_bytes(r.array("presence path digest")?));
         }
-        Ok(PresenceProof { leaf: Leaf { serial, number }, index, path })
+        Ok(PresenceProof {
+            leaf: Leaf { serial, number },
+            index,
+            path,
+        })
     }
 }
 
@@ -180,7 +190,9 @@ impl RevocationProof {
                     return Err(ProofError::SerialOutOfRange);
                 }
                 check_path(p)?;
-                Ok(ProvenStatus::Revoked { number: p.leaf.number })
+                Ok(ProvenStatus::Revoked {
+                    number: p.leaf.number,
+                })
             }
             RevocationProof::AbsentEmpty => {
                 if size != 0 {
@@ -364,7 +376,10 @@ mod tests {
             PresenceProof::generate(&t, 0),
             PresenceProof::generate(&t, 2),
         );
-        assert_eq!(fake.verify(&sn(15), &t.root(), 3), Err(ProofError::WrongIndex));
+        assert_eq!(
+            fake.verify(&sn(15), &t.root(), 3),
+            Err(ProofError::WrongIndex)
+        );
     }
 
     #[test]
@@ -393,7 +408,10 @@ mod tests {
     fn below_proof_with_interior_index_rejected() {
         let t = tree_with(&[10, 20, 30]);
         let fake = RevocationProof::AbsentBelow(PresenceProof::generate(&t, 1));
-        assert_eq!(fake.verify(&sn(5), &t.root(), 3), Err(ProofError::WrongIndex));
+        assert_eq!(
+            fake.verify(&sn(5), &t.root(), 3),
+            Err(ProofError::WrongIndex)
+        );
     }
 
     #[test]
@@ -420,6 +438,20 @@ mod tests {
         let mut good = RevocationProof::generate(&t, &sn(10)).to_bytes();
         good.push(0); // trailing byte
         assert!(RevocationProof::from_bytes(&good).is_err());
+    }
+
+    #[test]
+    fn forged_path_length_rejected_before_allocation() {
+        // A presence proof claiming a 0xffff-digest path (1.3 MB) with an
+        // empty tail must fail the count check up front.
+        let mut w = Writer::new();
+        w.u8(0); // Present tag
+        w.u64(0); // index
+        w.vec8(&[1]); // serial
+        w.u64(1); // number
+        w.u16(u16::MAX); // forged path length, no path bytes follow
+        let err = RevocationProof::from_bytes(w.as_bytes()).unwrap_err();
+        assert!(err.context.contains("path"), "{err}");
     }
 
     #[test]

@@ -62,7 +62,13 @@ pub const SIGNED_ROOT_LEN: usize = 8 + 20 + 8 + 20 + 8 + 64;
 
 impl SignedRoot {
     /// Canonical bytes covered by the signature.
-    pub fn signing_bytes(ca: CaId, root: &Digest20, size: u64, anchor: &Digest20, timestamp: u64) -> Vec<u8> {
+    pub fn signing_bytes(
+        ca: CaId,
+        root: &Digest20,
+        size: u64,
+        anchor: &Digest20,
+        timestamp: u64,
+    ) -> Vec<u8> {
         let mut w = Writer::with_capacity(70);
         w.bytes(b"RITM-ROOT-v1");
         w.bytes(&ca.0);
@@ -83,7 +89,14 @@ impl SignedRoot {
         timestamp: u64,
     ) -> Self {
         let msg = Self::signing_bytes(ca, &root, size, &anchor, timestamp);
-        SignedRoot { ca, root, size, anchor, timestamp, signature: key.sign(&msg) }
+        SignedRoot {
+            ca,
+            root,
+            size,
+            anchor,
+            timestamp,
+            signature: key.sign(&msg),
+        }
     }
 
     /// Verifies the signature against the CA's public key.

@@ -67,7 +67,10 @@ impl SerialNumber {
         }
         let mut buf = [0u8; MAX_SERIAL_LEN];
         buf[..bytes.len()].copy_from_slice(bytes);
-        Ok(SerialNumber { bytes: buf, len: bytes.len() as u8 })
+        Ok(SerialNumber {
+            bytes: buf,
+            len: bytes.len() as u8,
+        })
     }
 
     /// Creates a 3-byte serial from an integer (the common case in the
@@ -143,10 +146,7 @@ mod tests {
 
     #[test]
     fn too_long_rejected() {
-        assert_eq!(
-            SerialNumber::new(&[0u8; 21]),
-            Err(SerialError::TooLong(21))
-        );
+        assert_eq!(SerialNumber::new(&[0u8; 21]), Err(SerialError::TooLong(21)));
         assert!(SerialNumber::new(&[0u8; 20]).is_ok());
     }
 

@@ -60,7 +60,15 @@ pub fn empty_root() -> Digest20 {
 /// A Merkle tree over sorted dictionary leaves.
 ///
 /// The tree owns its leaves and caches every interior level so audit paths
-/// are O(log n) lookups. Rebuilds after a batch insert are O(n) hashing.
+/// are O(log n) lookups. Batches can be applied incrementally with
+/// [`MerkleTree::apply_sorted_batch`], which only rehashes the node paths at
+/// or after the first changed leaf position — for the common append-heavy
+/// revocation pattern (fresh serials sort after old ones) that is
+/// O(b·log n) per batch of b instead of the O(n) of a full
+/// [`MerkleTree::rebuild`].
+///
+/// Every content change bumps a monotonic [`MerkleTree::epoch`], which
+/// higher layers use to key proof caches.
 ///
 /// # Examples
 ///
@@ -80,6 +88,8 @@ pub struct MerkleTree {
     /// `levels[0]` = leaf hashes, `levels.last()` = `[root]`. Empty for an
     /// empty tree. Invalidated (empty) between `insert_sorted` and `rebuild`.
     levels: Vec<Vec<Digest20>>,
+    /// Monotonic content version, bumped by every mutating call.
+    epoch: u64,
 }
 
 impl MerkleTree {
@@ -103,16 +113,22 @@ impl MerkleTree {
         &self.leaves
     }
 
+    /// Monotonic content version: bumped by every mutating call, so audit
+    /// paths and proofs generated at one epoch remain valid exactly while
+    /// `epoch()` is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Inserts a leaf preserving the sort order; the interior levels are
     /// invalidated until [`MerkleTree::rebuild`] runs. Duplicate serials are
     /// allowed by the structure (callers reject them at the dictionary
     /// layer).
     pub fn insert_sorted(&mut self, leaf: Leaf) {
-        let pos = self
-            .leaves
-            .partition_point(|l| l.serial < leaf.serial);
+        let pos = self.leaves.partition_point(|l| l.serial < leaf.serial);
         self.leaves.insert(pos, leaf);
         self.levels.clear();
+        self.epoch += 1;
     }
 
     /// Bulk-inserts a batch of leaves with one re-sort — O((n+k)·log(n+k))
@@ -123,28 +139,151 @@ impl MerkleTree {
         self.leaves.extend(leaves);
         self.leaves.sort_by_key(|a| a.serial);
         self.levels.clear();
+        self.epoch += 1;
     }
 
-    /// Recomputes all interior levels. Idempotent.
+    /// Recomputes all interior levels. Idempotent (does not bump the epoch
+    /// unless leaves were invalidated since the last build).
     pub fn rebuild(&mut self) {
         self.levels.clear();
         if self.leaves.is_empty() {
             return;
         }
-        let mut level: Vec<Digest20> = self.leaves.iter().map(Leaf::hash).collect();
-        self.levels.push(level.clone());
-        while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len().div_ceil(2));
-            for pair in level.chunks(2) {
-                match pair {
-                    [l, r] => next.push(node_hash(l, r)),
-                    [l] => next.push(*l), // odd node promoted
-                    _ => unreachable!("chunks(2) yields 1 or 2 items"),
+        self.levels
+            .push(self.leaves.iter().map(Leaf::hash).collect());
+        self.rehash_levels_from(0);
+    }
+
+    /// Applies a batch of new leaves, rehashing only the node paths at or
+    /// after the first changed leaf position. Interior nodes strictly left
+    /// of the insertion front are reused, so appending b fresh (largest-yet)
+    /// serials into an n-leaf tree costs O(b·log n) hashes instead of the
+    /// O(n) of [`MerkleTree::rebuild`].
+    ///
+    /// The fast path requires the incremental invariants: the tree's levels
+    /// are valid, and `batch` is strictly sorted by serial with no serial
+    /// already present. When any invariant fails the call falls back to
+    /// [`MerkleTree::extend_leaves`] + [`MerkleTree::rebuild`], which is
+    /// always correct; the return value reports which path ran (`true` =
+    /// incremental).
+    pub fn apply_sorted_batch(&mut self, batch: &[Leaf]) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        let invariants_hold = (self.leaves.is_empty() || !self.levels.is_empty())
+            && batch.windows(2).all(|w| w[0].serial < w[1].serial)
+            && batch.iter().all(|l| self.find(&l.serial).is_none());
+        if !invariants_hold {
+            self.extend_leaves(batch.iter().copied());
+            self.rebuild();
+            return false;
+        }
+
+        let dirty_from = self.leaves.partition_point(|l| l.serial < batch[0].serial);
+        let old_len = self.leaves.len();
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        if dirty_from == old_len {
+            // Pure append (fresh serials sort after every existing leaf —
+            // the common issuance pattern): extend in place, no merge.
+            self.leaves.extend_from_slice(batch);
+            self.levels[0].extend(batch.iter().map(Leaf::hash));
+        } else {
+            // Merge the sorted batch into the sorted leaves (and their
+            // hashes into level 0) in one pass; no hashing of old leaves.
+            let new_len = old_len + batch.len();
+            let mut merged = Vec::with_capacity(new_len);
+            let mut merged_hashes = Vec::with_capacity(new_len);
+            let mut old = self.leaves[dirty_from..].iter().peekable();
+            let mut new = batch.iter().peekable();
+            merged.extend_from_slice(&self.leaves[..dirty_from]);
+            merged_hashes.extend_from_slice(&self.levels[0][..dirty_from]);
+            let mut old_idx = dirty_from;
+            loop {
+                let take_old = match (old.peek(), new.peek()) {
+                    (Some(o), Some(n)) => o.serial < n.serial,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_old {
+                    merged.push(*old.next().expect("peeked"));
+                    merged_hashes.push(self.levels[0][old_idx]);
+                    old_idx += 1;
+                } else {
+                    let leaf = *new.next().expect("peeked");
+                    merged.push(leaf);
+                    merged_hashes.push(leaf.hash());
                 }
             }
-            self.levels.push(next.clone());
-            level = next;
+            self.leaves = merged;
+            self.levels[0] = merged_hashes;
         }
+        self.rehash_levels_from(dirty_from);
+        self.epoch += 1;
+        true
+    }
+
+    /// Removes the leaves carrying `serials` (those present), rehashing only
+    /// from the first removed position — the rollback companion to
+    /// [`MerkleTree::apply_sorted_batch`] used by verify-then-commit
+    /// mirrors. Returns how many leaves were removed.
+    pub fn remove_sorted_batch(&mut self, serials: &[SerialNumber]) -> usize {
+        let Some(first) = serials.iter().filter_map(|s| self.find(s)).min() else {
+            return 0;
+        };
+        let before = self.leaves.len();
+        let doomed: std::collections::HashSet<&SerialNumber> = serials.iter().collect();
+        self.leaves.retain(|l| !doomed.contains(&l.serial));
+        let removed = before - self.leaves.len();
+        if self.levels.is_empty() {
+            // Levels were already invalid; leave the rebuild to the caller.
+            self.epoch += 1;
+            return removed;
+        }
+        if self.leaves.is_empty() {
+            self.levels.clear();
+        } else {
+            let mut hashes = core::mem::take(&mut self.levels[0]);
+            hashes.truncate(first);
+            hashes.extend(self.leaves[first..].iter().map(Leaf::hash));
+            self.levels[0] = hashes;
+            self.rehash_levels_from(first);
+        }
+        self.epoch += 1;
+        removed
+    }
+
+    /// Rebuilds the interior levels above valid level-0 hashes, recomputing
+    /// only nodes whose subtree includes a position `>= dirty_from` and
+    /// reusing everything to the left.
+    fn rehash_levels_from(&mut self, mut dirty_from: usize) {
+        let mut k = 0;
+        while self.levels[k].len() > 1 {
+            let child_len = self.levels[k].len();
+            let parent_len = child_len.div_ceil(2);
+            dirty_from /= 2;
+            if self.levels.len() == k + 1 {
+                self.levels.push(Vec::with_capacity(parent_len));
+            }
+            let (children, parents) = self.levels.split_at_mut(k + 1);
+            let child = &children[k];
+            let parent = &mut parents[0];
+            parent.truncate(dirty_from.min(parent_len));
+            for j in parent.len()..parent_len {
+                let node = if 2 * j + 1 < child_len {
+                    node_hash(&child[2 * j], &child[2 * j + 1])
+                } else {
+                    child[2 * j] // odd node promoted
+                };
+                parent.push(node);
+            }
+            k += 1;
+        }
+        self.levels.truncate(k + 1);
+        debug_assert_eq!(self.levels[0].len(), self.leaves.len());
+        debug_assert_eq!(self.levels.last().expect("non-empty").len(), 1);
     }
 
     /// The current root. For an empty tree this is [`empty_root`].
@@ -166,9 +305,7 @@ impl MerkleTree {
 
     /// Binary-searches for `serial`, returning the leaf index if revoked.
     pub fn find(&self, serial: &SerialNumber) -> Option<usize> {
-        self.leaves
-            .binary_search_by(|l| l.serial.cmp(serial))
-            .ok()
+        self.leaves.binary_search_by(|l| l.serial.cmp(serial)).ok()
     }
 
     /// Index of the first leaf with serial `>= serial` (== `len()` when all
@@ -184,7 +321,10 @@ impl MerkleTree {
     /// Panics if `index` is out of bounds or the tree needs a rebuild.
     pub fn audit_path(&self, index: usize) -> Vec<Digest20> {
         assert!(index < self.leaves.len(), "leaf index out of bounds");
-        assert!(!self.levels.is_empty(), "call rebuild() before audit_path()");
+        assert!(
+            !self.levels.is_empty(),
+            "call rebuild() before audit_path()"
+        );
         let mut path = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
@@ -328,7 +468,10 @@ mod tests {
         let t = tree_with(&[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut path = t.audit_path(0);
         path.pop();
-        assert_eq!(root_from_path(0, t.len(), t.leaves()[0].hash(), &path), None);
+        assert_eq!(
+            root_from_path(0, t.len(), t.leaves()[0].hash(), &path),
+            None
+        );
     }
 
     #[test]
@@ -336,7 +479,10 @@ mod tests {
         let t = tree_with(&[1, 2, 3, 4]);
         let mut path = t.audit_path(0);
         path.push(Digest20::hash(b"extra"));
-        assert_eq!(root_from_path(0, t.len(), t.leaves()[0].hash(), &path), None);
+        assert_eq!(
+            root_from_path(0, t.len(), t.leaves()[0].hash(), &path),
+            None
+        );
     }
 
     #[test]

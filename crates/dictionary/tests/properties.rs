@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ritm_crypto::SigningKey;
+use ritm_dictionary::tree::{Leaf, MerkleTree};
 use ritm_dictionary::{
     CaDictionary, CaId, MirrorDictionary, ProvenStatus, RevocationStatus, SerialNumber,
 };
@@ -116,6 +117,101 @@ proptest! {
                     "tampering at byte {} flipped the verdict", pos
                 );
             }
+        }
+    }
+
+    /// The incremental engine is bit-identical to full rebuilds: for any
+    /// sequence of batches, `apply_sorted_batch` produces the same root and
+    /// the same audit path for every leaf as a from-scratch `rebuild`, and
+    /// the epoch advances with every applied batch.
+    #[test]
+    fn incremental_batches_match_full_rebuild(
+        batches in prop::collection::vec(prop::collection::vec(0u32..10_000, 1..60), 1..8),
+    ) {
+        let mut incremental = MerkleTree::new();
+        let mut number = 0u64;
+        let mut epochs_seen = vec![incremental.epoch()];
+        for batch in &batches {
+            // Canonicalize like the dictionary layer: drop serials already
+            // present (and intra-batch duplicates), number in issuance
+            // order, sort by serial.
+            let mut fresh: Vec<Leaf> = Vec::new();
+            for &v in batch {
+                let serial = SerialNumber::from_u24(v);
+                if incremental.find(&serial).is_none()
+                    && fresh.iter().all(|l| l.serial != serial)
+                {
+                    number += 1;
+                    fresh.push(Leaf::new(serial, number));
+                }
+            }
+            fresh.sort_by_key(|l| l.serial);
+            let epoch_before = incremental.epoch();
+            let fast_path = incremental.apply_sorted_batch(&fresh);
+            prop_assert!(fast_path, "canonical batches must take the incremental path");
+            if fresh.is_empty() {
+                prop_assert_eq!(incremental.epoch(), epoch_before);
+            } else {
+                prop_assert!(incremental.epoch() > epoch_before, "epoch must advance per batch");
+            }
+            epochs_seen.push(incremental.epoch());
+
+            // Reference: identical leaves, rebuilt from scratch.
+            let mut reference = MerkleTree::new();
+            reference.extend_leaves(incremental.leaves().iter().copied());
+            reference.rebuild();
+            prop_assert_eq!(reference.root(), incremental.root());
+            prop_assert_eq!(reference.len(), incremental.len());
+            for i in 0..incremental.len() {
+                prop_assert_eq!(
+                    reference.audit_path(i),
+                    incremental.audit_path(i),
+                    "audit path {} diverged after batch", i
+                );
+            }
+        }
+        prop_assert!(
+            epochs_seen.windows(2).all(|w| w[0] <= w[1]),
+            "epoch must never regress: {:?}", epochs_seen
+        );
+    }
+
+    /// Rolling back a batch (`remove_sorted_batch`) restores the exact
+    /// pre-batch root and audit paths — the mirror's verify-then-commit
+    /// guarantee without an O(n) scratch clone.
+    #[test]
+    fn batch_rollback_restores_previous_tree(
+        initial in prop::collection::vec(0u32..5_000, 1..80),
+        batch in prop::collection::vec(5_000u32..6_000, 1..30),
+    ) {
+        let mut tree = MerkleTree::new();
+        let mut leaves: Vec<Leaf> = initial
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .enumerate()
+            .map(|(i, &v)| Leaf::new(SerialNumber::from_u24(v), i as u64 + 1))
+            .collect();
+        leaves.sort_by_key(|l| l.serial);
+        tree.apply_sorted_batch(&leaves);
+        let root_before = tree.root();
+        let paths_before: Vec<_> = (0..tree.len()).map(|i| tree.audit_path(i)).collect();
+
+        let fresh: Vec<Leaf> = batch
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .enumerate()
+            .map(|(i, &v)| Leaf::new(SerialNumber::from_u24(v), 1_000 + i as u64))
+            .collect();
+        tree.apply_sorted_batch(&fresh);
+        prop_assert_ne!(tree.root(), root_before);
+        let serials: Vec<SerialNumber> = fresh.iter().map(|l| l.serial).collect();
+        let removed = tree.remove_sorted_batch(&serials);
+        prop_assert_eq!(removed, fresh.len());
+        prop_assert_eq!(tree.root(), root_before);
+        for (i, path) in paths_before.iter().enumerate() {
+            prop_assert_eq!(&tree.audit_path(i), path);
         }
     }
 

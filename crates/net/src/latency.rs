@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn uniform_within_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = LatencyModel::Uniform { min: 0.01, max: 0.02 };
+        let m = LatencyModel::Uniform {
+            min: 0.01,
+            max: 0.02,
+        };
         for _ in 0..1000 {
             let s = m.sample(&mut rng).as_secs_f64();
             assert!((0.01..=0.02).contains(&s));
@@ -107,7 +110,11 @@ mod tests {
     #[test]
     fn lognormal_mean_close_to_analytic() {
         let mut rng = StdRng::seed_from_u64(4);
-        let m = LatencyModel::LogNormal { mu: -3.0, sigma: 0.5, floor: 0.01 };
+        let m = LatencyModel::LogNormal {
+            mu: -3.0,
+            sigma: 0.5,
+            floor: 0.01,
+        };
         let n = 50_000;
         let mean = (0..n)
             .map(|_| m.sample(&mut rng).as_secs_f64())
@@ -123,7 +130,11 @@ mod tests {
     #[test]
     fn samples_never_negative() {
         let mut rng = StdRng::seed_from_u64(5);
-        let m = LatencyModel::LogNormal { mu: -8.0, sigma: 3.0, floor: 0.0 };
+        let m = LatencyModel::LogNormal {
+            mu: -8.0,
+            sigma: 3.0,
+            floor: 0.0,
+        };
         for _ in 0..1000 {
             let _ = m.sample(&mut rng); // from_secs_f64 would panic if negative
         }

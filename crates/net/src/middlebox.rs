@@ -78,7 +78,10 @@ pub struct Dropper<F> {
 impl<F: FnMut(&TcpSegment) -> bool> Dropper<F> {
     /// Drops segments for which `predicate` returns `true`.
     pub fn new(predicate: F) -> Self {
-        Dropper { predicate, dropped: 0 }
+        Dropper {
+            predicate,
+            dropped: 0,
+        }
     }
 }
 
@@ -153,8 +156,14 @@ mod tests {
             Path::new(vec![c, mb, s], vec![SimDuration::from_millis(1); 2]),
         );
         sim.enable_trace();
-        sim.inject(c, TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![0xAA]));
-        sim.inject(c, TcpSegment::data(tuple(), Direction::ToServer, 1, 0, vec![0xBB]));
+        sim.inject(
+            c,
+            TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![0xAA]),
+        );
+        sim.inject(
+            c,
+            TcpSegment::data(tuple(), Direction::ToServer, 1, 0, vec![0xBB]),
+        );
         sim.run_to_quiescence();
         // 0xAA reaches the server (2 deliveries); 0xBB dies at the middlebox
         // (1 delivery).
@@ -183,7 +192,10 @@ mod tests {
             Path::new(vec![c, mb, s], vec![SimDuration::from_millis(1); 2]),
         );
         sim.enable_trace();
-        sim.inject(c, TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![1]));
+        sim.inject(
+            c,
+            TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![1]),
+        );
         sim.run_to_quiescence();
         // 1 ms to mb, +7 ms processing, +1 ms to server = 9 ms.
         assert_eq!(sim.trace().last().unwrap().at.as_micros(), 9_000);

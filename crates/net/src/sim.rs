@@ -48,7 +48,10 @@ pub struct Context {
 impl Context {
     /// Forwards `segment` along its path (next hop chosen by direction).
     pub fn send(&mut self, segment: TcpSegment) {
-        self.actions.push(Action::Send { segment, delay: SimDuration::ZERO });
+        self.actions.push(Action::Send {
+            segment,
+            delay: SimDuration::ZERO,
+        });
     }
 
     /// Forwards `segment` after a processing delay.
@@ -222,7 +225,10 @@ impl Simulator {
     ///
     /// Panics if events are pending or `t` is in the past.
     pub fn set_now(&mut self, t: SimTime) {
-        assert!(self.queue.is_empty(), "cannot jump time with pending events");
+        assert!(
+            self.queue.is_empty(),
+            "cannot jump time with pending events"
+        );
         assert!(t >= self.now, "time must not go backwards");
         self.now = t;
     }
@@ -279,7 +285,10 @@ impl Simulator {
             .unwrap_or_else(|| panic!("node {from} is not on the path for {}", segment.tuple));
         let (next, latency) = match segment.direction {
             Direction::ToServer => {
-                assert!(pos + 1 < path.nodes.len(), "server cannot send toward itself");
+                assert!(
+                    pos + 1 < path.nodes.len(),
+                    "server cannot send toward itself"
+                );
                 (path.nodes[pos + 1], path.hop_latency[pos])
             }
             Direction::ToClient => {
@@ -305,7 +314,11 @@ impl Simulator {
                 EventKind::Deliver { to, segment } => {
                     self.deliveries += 1;
                     if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEntry { at: ev.at, to, segment: segment.clone() });
+                        trace.push(TraceEntry {
+                            at: ev.at,
+                            to,
+                            segment: segment.clone(),
+                        });
                     }
                     self.dispatch(to, |node, ctx| node.on_segment(segment, ctx));
                 }
@@ -340,14 +353,24 @@ impl Simulator {
         let mut node = self.nodes[node_id]
             .take()
             .unwrap_or_else(|| panic!("node {node_id} re-entered"));
-        let mut ctx = Context { now: self.now, node: node_id, actions: Vec::new() };
+        let mut ctx = Context {
+            now: self.now,
+            node: node_id,
+            actions: Vec::new(),
+        };
         f(&mut node, &mut ctx);
         self.nodes[node_id] = Some(node);
         for action in ctx.actions {
             match action {
                 Action::Send { segment, delay } => self.route(node_id, segment, delay),
                 Action::Timer { delay, timer_id } => {
-                    self.push_event(self.now + delay, EventKind::Timer { node: node_id, timer_id });
+                    self.push_event(
+                        self.now + delay,
+                        EventKind::Timer {
+                            node: node_id,
+                            timer_id,
+                        },
+                    );
                 }
             }
         }
@@ -454,7 +477,10 @@ mod tests {
             Path::new(vec![c2, s2], vec![SimDuration::from_millis(30)]),
         );
         sim2.enable_trace();
-        sim2.inject(c2, TcpSegment::data(tuple(), Direction::ToServer, 0, 0, b"hi".to_vec()));
+        sim2.inject(
+            c2,
+            TcpSegment::data(tuple(), Direction::ToServer, 0, 0, b"hi".to_vec()),
+        );
         sim2.run_to_quiescence();
         let trace = sim2.trace();
         assert_eq!(trace.len(), 2);
@@ -478,7 +504,10 @@ mod tests {
             ),
         );
         sim.enable_trace();
-        sim.inject(client, TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![1]));
+        sim.inject(
+            client,
+            TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![1]),
+        );
         sim.run_to_quiescence();
         // client→mb→server, then server→mb→client: 4 deliveries total.
         assert_eq!(sim.deliveries, 4);
@@ -536,7 +565,10 @@ mod tests {
     fn missing_path_panics() {
         let mut sim = Simulator::new();
         let a = sim.add_node(Box::new(Sink { received: vec![] }));
-        sim.inject(a, TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![]));
+        sim.inject(
+            a,
+            TcpSegment::data(tuple(), Direction::ToServer, 0, 0, vec![]),
+        );
     }
 
     #[test]

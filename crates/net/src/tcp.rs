@@ -31,7 +31,10 @@ pub struct SocketAddr {
 impl SocketAddr {
     /// Creates an endpoint.
     pub fn new(addr: u32, port: u16) -> Self {
-        SocketAddr { addr: Addr(addr), port }
+        SocketAddr {
+            addr: Addr(addr),
+            port,
+        }
     }
 }
 
@@ -105,8 +108,21 @@ pub struct TcpSegment {
 
 impl TcpSegment {
     /// A data segment.
-    pub fn data(tuple: FourTuple, direction: Direction, seq: u64, ack: u64, payload: Vec<u8>) -> Self {
-        TcpSegment { tuple, direction, seq, ack, flags: TcpFlags::default(), payload }
+    pub fn data(
+        tuple: FourTuple,
+        direction: Direction,
+        seq: u64,
+        ack: u64,
+        payload: Vec<u8>,
+    ) -> Self {
+        TcpSegment {
+            tuple,
+            direction,
+            seq,
+            ack,
+            flags: TcpFlags::default(),
+            payload,
+        }
     }
 
     /// Sequence number of the byte *after* this payload.
@@ -133,7 +149,9 @@ impl TcpSegment {
         });
         w.u64(self.seq);
         w.u64(self.ack);
-        w.u8(u8::from(self.flags.syn) | u8::from(self.flags.fin) << 1 | u8::from(self.flags.rst) << 2);
+        w.u8(u8::from(self.flags.syn)
+            | u8::from(self.flags.fin) << 1
+            | u8::from(self.flags.rst) << 2);
         w.vec24(&self.payload);
         w.into_bytes()
     }
@@ -157,10 +175,21 @@ impl TcpSegment {
         let seq = r.u64("seq")?;
         let ack = r.u64("ack")?;
         let fl = r.u8("flags")?;
-        let flags = TcpFlags { syn: fl & 1 != 0, fin: fl & 2 != 0, rst: fl & 4 != 0 };
+        let flags = TcpFlags {
+            syn: fl & 1 != 0,
+            fin: fl & 2 != 0,
+            rst: fl & 4 != 0,
+        };
         let payload = r.vec24("payload")?.to_vec();
         r.finish("segment trailing")?;
-        Ok(TcpSegment { tuple, direction, seq, ack, flags, payload })
+        Ok(TcpSegment {
+            tuple,
+            direction,
+            seq,
+            ack,
+            flags,
+            payload,
+        })
     }
 }
 
@@ -235,7 +264,11 @@ mod tests {
             direction: Direction::ToClient,
             seq: 1000,
             ack: 555,
-            flags: TcpFlags { syn: false, fin: true, rst: false },
+            flags: TcpFlags {
+                syn: false,
+                fin: true,
+                rst: false,
+            },
             payload: vec![1, 2, 3],
         };
         assert_eq!(TcpSegment::from_bytes(&seg.to_bytes()).unwrap(), seg);

@@ -68,7 +68,10 @@ impl SimDuration {
     ///
     /// Panics on negative or non-finite input.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 

@@ -69,7 +69,10 @@ pub struct Alert {
 impl Alert {
     /// A fatal alert with the given description.
     pub fn fatal(description: AlertDescription) -> Self {
-        Alert { level: AlertLevel::Fatal, description }
+        Alert {
+            level: AlertLevel::Fatal,
+            description,
+        }
     }
 
     /// Encodes the 2-byte alert payload.

@@ -103,7 +103,15 @@ impl Certificate {
         public_key: VerifyingKey,
         is_ca: bool,
     ) -> Self {
-        let tbs = Self::tbs_bytes(&serial, &issuer, subject, not_before, not_after, &public_key, is_ca);
+        let tbs = Self::tbs_bytes(
+            &serial,
+            &issuer,
+            subject,
+            not_before,
+            not_after,
+            &public_key,
+            is_ca,
+        );
         Certificate {
             serial,
             issuer,
@@ -282,6 +290,8 @@ impl CertificateChain {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut r = Reader::new(bytes);
         let n = r.u8("chain length")? as usize;
+        // Each certificate needs at least its 2-byte length prefix.
+        r.check_count(n, 2, "chain length exceeds buffer")?;
         let mut certs = Vec::with_capacity(n);
         for _ in 0..n {
             let raw = r.vec16("chain cert")?;

@@ -665,10 +665,7 @@ impl TlsClient {
     /// certificate — paper §III steps 5/7).
     pub fn abort(&mut self, description: AlertDescription) -> TlsRecord {
         self.state = ClientState::Failed;
-        TlsRecord::new(
-            ContentType::Alert,
-            Alert::fatal(description).to_bytes(),
-        )
+        TlsRecord::new(ContentType::Alert, Alert::fatal(description).to_bytes())
     }
 }
 
@@ -764,7 +761,10 @@ mod tests {
         let (cev, _) = drive_handshake(&mut client, &mut server, NOW).unwrap();
         assert!(cev.iter().any(|e| matches!(
             e,
-            ClientEvent::HandshakeComplete { server_confirms_ritm: true, .. }
+            ClientEvent::HandshakeComplete {
+                server_confirms_ritm: true,
+                ..
+            }
         )));
     }
 
@@ -780,10 +780,9 @@ mod tests {
         let mut server2 = ServerConnection::new(ctx, [3u8; 32]);
         let mut client2 = TlsClient::new(client_config(anchors), [4u8; 32], Some(session));
         let (cev, sev) = drive_handshake(&mut client2, &mut server2, NOW + 10).unwrap();
-        assert!(cev.iter().any(|e| matches!(
-            e,
-            ClientEvent::HandshakeComplete { resumed: true, .. }
-        )));
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::HandshakeComplete { resumed: true, .. })));
         assert!(sev.contains(&ServerEvent::HandshakeComplete { resumed: true }));
         // No Certificate message was delivered on resumption.
         assert!(!cev
@@ -800,7 +799,11 @@ mod tests {
         drive_handshake(&mut client, &mut server, NOW).unwrap();
         let ticket = client.take_ticket().expect("ticket issued");
         // The server can recover session state from its own ticket.
-        let recovered = ctx.cache.lock().accept_ticket(&ticket).expect("valid ticket");
+        let recovered = ctx
+            .cache
+            .lock()
+            .accept_ticket(&ticket)
+            .expect("valid ticket");
         assert_eq!(recovered.cipher_suite, DEFAULT_CIPHER_SUITE);
     }
 
@@ -817,10 +820,9 @@ mod tests {
         };
         let mut client = TlsClient::new(client_config(anchors), [2u8; 32], Some(bogus));
         let (cev, _) = drive_handshake(&mut client, &mut server, NOW).unwrap();
-        assert!(cev.iter().any(|e| matches!(
-            e,
-            ClientEvent::HandshakeComplete { resumed: false, .. }
-        )));
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::HandshakeComplete { resumed: false, .. })));
         assert!(cev
             .iter()
             .any(|e| matches!(e, ClientEvent::CertificateReceived(_))));

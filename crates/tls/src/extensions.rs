@@ -29,19 +29,28 @@ pub struct Extension {
 impl Extension {
     /// The client-side RITM request extension (empty payload).
     pub fn ritm_request() -> Self {
-        Extension { ext_type: RITM_EXTENSION_TYPE, data: Vec::new() }
+        Extension {
+            ext_type: RITM_EXTENSION_TYPE,
+            data: Vec::new(),
+        }
     }
 
     /// The server-side RITM deployment confirmation (empty payload).
     pub fn ritm_confirmation() -> Self {
-        Extension { ext_type: RITM_CONFIRM_EXTENSION_TYPE, data: Vec::new() }
+        Extension {
+            ext_type: RITM_CONFIRM_EXTENSION_TYPE,
+            data: Vec::new(),
+        }
     }
 
     /// A Server Name Indication extension for `host`.
     pub fn sni(host: &str) -> Self {
         let mut w = Writer::new();
         w.vec16(host.as_bytes());
-        Extension { ext_type: SNI_EXTENSION_TYPE, data: w.into_bytes() }
+        Extension {
+            ext_type: SNI_EXTENSION_TYPE,
+            data: w.into_bytes(),
+        }
     }
 
     /// Encodes an extensions block (`u16` total length, then each
@@ -82,7 +91,10 @@ mod tests {
         let exts = vec![
             Extension::ritm_request(),
             Extension::sni("example.com"),
-            Extension { ext_type: 0x000a, data: vec![0, 2, 0, 23] },
+            Extension {
+                ext_type: 0x000a,
+                data: vec![0, 2, 0, 23],
+            },
         ];
         let mut w = Writer::new();
         Extension::encode_block(&exts, &mut w);
@@ -120,9 +132,6 @@ mod tests {
     #[test]
     fn sni_contains_hostname() {
         let e = Extension::sni("host.example");
-        assert!(e
-            .data
-            .windows(12)
-            .any(|w| w == b"host.example".as_slice()));
+        assert!(e.data.windows(12).any(|w| w == b"host.example".as_slice()));
     }
 }

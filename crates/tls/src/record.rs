@@ -76,7 +76,11 @@ impl TlsRecord {
     /// Panics if the payload exceeds [`MAX_RECORD_LEN`].
     pub fn new(content_type: ContentType, payload: Vec<u8>) -> Self {
         assert!(payload.len() <= MAX_RECORD_LEN, "record payload too large");
-        TlsRecord { content_type, version: VERSION_TLS12, payload }
+        TlsRecord {
+            content_type,
+            version: VERSION_TLS12,
+            payload,
+        }
     }
 
     /// Encodes header + payload.
@@ -104,7 +108,11 @@ impl TlsRecord {
             .ok_or(DecodeError::new("unknown content type", pos))?;
         let version = r.u16("record version")?;
         let payload = r.vec16("record payload")?.to_vec();
-        Ok(TlsRecord { content_type: ct, version, payload })
+        Ok(TlsRecord {
+            content_type: ct,
+            version,
+            payload,
+        })
     }
 
     /// Parses a byte stream into consecutive records (how middleboxes and

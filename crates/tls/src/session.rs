@@ -35,7 +35,10 @@ pub struct ServerSessionCache {
 impl ServerSessionCache {
     /// Creates a cache with the given ticket-protection secret.
     pub fn new(ticket_secret: [u8; 20]) -> Self {
-        ServerSessionCache { sessions: HashMap::new(), ticket_secret }
+        ServerSessionCache {
+            sessions: HashMap::new(),
+            ticket_secret,
+        }
     }
 
     /// Stores a session for id-based resumption.
@@ -98,7 +101,12 @@ impl ServerSessionCache {
         let cert_chain_hash = Digest20::from_bytes(r.array("ticket cert hash").ok()?);
         let established_at = r.u64("ticket time").ok()?;
         r.finish("ticket trailing").ok()?;
-        Some(SessionState { session_id, cipher_suite, cert_chain_hash, established_at })
+        Some(SessionState {
+            session_id,
+            cipher_suite,
+            cert_chain_hash,
+            established_at,
+        })
     }
 
     fn ticket_mac(&self, body: &[u8]) -> Digest20 {
@@ -187,7 +195,10 @@ mod tests {
     fn short_ticket_rejected() {
         let cache = ServerSessionCache::new([2u8; 20]);
         assert_eq!(
-            cache.accept_ticket(&SessionTicket { lifetime: 1, ticket: vec![0; 5] }),
+            cache.accept_ticket(&SessionTicket {
+                lifetime: 1,
+                ticket: vec![0; 5]
+            }),
             None
         );
     }

@@ -65,11 +65,16 @@ impl CityModel {
                     .iter()
                     .enumerate()
                     .max_by(|a, b| {
-                        (a.1 .1 + jitter).partial_cmp(&(b.1 .1 + jitter)).expect("finite")
+                        (a.1 .1 + jitter)
+                            .partial_cmp(&(b.1 .1 + jitter))
+                            .expect("finite")
                     })
                     .expect("regions non-empty");
                 deficit[idx].1 -= population as f64;
-                City { population, region: deficit[idx].0 }
+                City {
+                    population,
+                    region: deficit[idx].0,
+                }
             })
             .collect();
         CityModel { cities }
@@ -96,7 +101,10 @@ impl CityModel {
 
     /// Total RA count for a client density.
     pub fn total_ras(&self, clients_per_ra: u64) -> u64 {
-        self.ras_per_region(clients_per_ra).iter().map(|(_, n)| n).sum()
+        self.ras_per_region(clients_per_ra)
+            .iter()
+            .map(|(_, n)| n)
+            .sum()
     }
 }
 
@@ -124,10 +132,7 @@ mod tests {
         // million RAs in total)". Per-city floor division loses a little.
         let m = model();
         let total = m.total_ras(10);
-        assert!(
-            (225_000_000..=230_000_000).contains(&total),
-            "got {total}"
-        );
+        assert!((225_000_000..=230_000_000).contains(&total), "got {total}");
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn weekly_series<R: Rng + ?Sized>(rng: &mut R) -> Vec<Bin> {
         let start = SERIES_START + w as u64 * WEEK;
         let baseline = 4_000.0 + 6_000.0 * rng.gen::<f64>();
         let spike = heartbleed_boost(start);
-        out.push(Bin { start, count: (baseline + spike) as u64 });
+        out.push(Bin {
+            start,
+            count: (baseline + spike) as u64,
+        });
     }
     out
 }
@@ -55,13 +58,18 @@ fn heartbleed_boost(start: u64) -> f64 {
 pub fn peak_days_six_hourly<R: Rng + ?Sized>(rng: &mut R) -> Vec<Bin> {
     // 16 April 2014 00:00 UTC.
     let start = 1_397_606_400u64;
-    let shape = [2_000.0, 5_500.0, 9_000.0, 10_000.0, 8_000.0, 5_000.0, 3_500.0, 2_500.0];
+    let shape = [
+        2_000.0, 5_500.0, 9_000.0, 10_000.0, 8_000.0, 5_000.0, 3_500.0, 2_500.0,
+    ];
     shape
         .iter()
         .enumerate()
         .map(|(i, base)| {
             let noise = 0.9 + 0.2 * rng.gen::<f64>();
-            Bin { start: start + i as u64 * 6 * 3_600, count: (base * noise) as u64 }
+            Bin {
+                start: start + i as u64 * 6 * 3_600,
+                count: (base * noise) as u64,
+            }
         })
         .collect()
 }
@@ -83,7 +91,10 @@ pub fn disclosure_fortnight_daily<R: Rng + ?Sized>(rng: &mut R) -> Vec<Bin> {
         .enumerate()
         .map(|(i, base)| {
             let noise = 0.95 + 0.1 * rng.gen::<f64>();
-            Bin { start: start + i as u64 * 86_400, count: (base * noise) as u64 }
+            Bin {
+                start: start + i as u64 * 86_400,
+                count: (base * noise) as u64,
+            }
         })
         .collect()
 }
@@ -115,7 +126,13 @@ pub fn rescale_to_total(series: &[Bin], target_total: u64) -> Vec<Bin> {
 /// Expands a bin series into per-Δ revocation counts across `[start, end)`:
 /// each bin's revocations spread uniformly over the Δ-periods it covers.
 /// This is the input to the Fig. 7 communication-overhead simulation.
-pub fn per_period_counts(series: &[Bin], bin_len: u64, delta: u64, start: u64, end: u64) -> Vec<u64> {
+pub fn per_period_counts(
+    series: &[Bin],
+    bin_len: u64,
+    delta: u64,
+    start: u64,
+    end: u64,
+) -> Vec<u64> {
     assert!(delta > 0 && end > start);
     let periods = ((end - start) / delta) as usize;
     let mut out = vec![0u64; periods];
@@ -203,7 +220,16 @@ mod tests {
 
     #[test]
     fn per_period_conserves_in_window_counts() {
-        let series = vec![Bin { start: 1_000, count: 100 }, Bin { start: 2_000, count: 50 }];
+        let series = vec![
+            Bin {
+                start: 1_000,
+                count: 100,
+            },
+            Bin {
+                start: 2_000,
+                count: 50,
+            },
+        ];
         let per = per_period_counts(&series, 1_000, 100, 1_000, 3_000);
         assert_eq!(per.len(), 20);
         assert_eq!(per.iter().sum::<u64>(), 150);

@@ -31,7 +31,9 @@ fn run_model(model: DeploymentModel, seed: u64) {
     });
     match (&model, &outcome.aborted) {
         (DeploymentModel::CloseToClients, Some((t, AbortReason::MissingStatus))) => {
-            println!("  tunnelled past RA:  ABORTED at +{t}s (network promised an RA: AlwaysRequire)");
+            println!(
+                "  tunnelled past RA:  ABORTED at +{t}s (network promised an RA: AlwaysRequire)"
+            );
         }
         (DeploymentModel::CloseToServers, Some((t, AbortReason::MissingStatus))) => {
             println!(

@@ -30,7 +30,10 @@ fn main() {
         &mut rng,
         start - 60,
     );
-    let mut ra = RevocationAgent::new(RaConfig { delta, ..Default::default() });
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta,
+        ..Default::default()
+    });
     ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
         .expect("bootstrap");
 
@@ -42,8 +45,13 @@ fn main() {
     let mut serials = Vec::new();
     for i in 0..total {
         serials.push(
-            ca.issue_certificate(&format!("site{i}.example"), key, start - 100, start + 10_000_000)
-                .serial,
+            ca.issue_certificate(
+                &format!("site{i}.example"),
+                key,
+                start - 100,
+                start + 10_000_000,
+            )
+            .serial,
         );
     }
 
@@ -71,8 +79,8 @@ fn main() {
             let report = ra.sync(&mut cdn, SimTime::from_secs(t + 1), &mut rng);
             bin_bytes += report.bytes_downloaded;
             max_pull_bytes = max_pull_bytes.max(report.bytes_downloaded);
-            let lag = ca.revocation_count() as u64
-                - ra.mirror(&ca.id()).expect("mirrored").len() as u64;
+            let lag =
+                ca.revocation_count() as u64 - ra.mirror(&ca.id()).expect("mirrored").len() as u64;
             max_lag_periods = max_lag_periods.max(u64::from(lag > 0));
         }
         total_bytes += bin_bytes;
@@ -87,7 +95,10 @@ fn main() {
 
     println!();
     println!("storm total: {issued} revocations in 48 h");
-    println!("RA mirror final size: {}", ra.mirror(&ca.id()).expect("mirrored").len());
+    println!(
+        "RA mirror final size: {}",
+        ra.mirror(&ca.id()).expect("mirrored").len()
+    );
     println!("peak single-Δ download: {max_pull_bytes} B; total: {total_bytes} B");
     println!(
         "RA was at most one Δ behind the CA throughout: {}",

@@ -32,31 +32,46 @@ fn main() {
     println!("ShadyCA forked its dictionary to hide revocation of serial {target}");
 
     // A victim behind the hiding view gets a *valid* absence proof...
-    let hiding = ca.prove(View::Hiding, &target, 1_397_000_002).expect("freshness available");
+    let hiding = ca
+        .prove(View::Hiding, &target, 1_397_000_002)
+        .expect("freshness available");
     let verdict = hiding
         .validate(&target, &ca.verifying_key(), 10, 1_397_000_002)
         .expect("the forged view is internally consistent");
-    println!("victim's RA serves the hiding view: revoked = {}", verdict.is_revoked());
+    println!(
+        "victim's RA serves the hiding view: revoked = {}",
+        verdict.is_revoked()
+    );
 
     // ...while everyone else sees the truth.
-    let honest = ca.prove(View::Honest, &target, 1_397_000_002).expect("freshness available");
+    let honest = ca
+        .prove(View::Honest, &target, 1_397_000_002)
+        .expect("freshness available");
     let verdict = honest
         .validate(&target, &ca.verifying_key(), 10, 1_397_000_002)
         .expect("honest view is consistent too");
-    println!("the rest of the system sees:  revoked = {}", verdict.is_revoked());
+    println!(
+        "the rest of the system sees:  revoked = {}",
+        verdict.is_revoked()
+    );
 
     // Consistency checking (§III): an RA compares its stored signed root
     // with one downloaded from a random edge server.
     let mut monitor = ConsistencyMonitor::new();
     monitor.register_ca(ca.ca(), ca.verifying_key());
-    assert!(monitor.check(ca.signed_root(View::Hiding), "local-mirror").is_none());
+    assert!(monitor
+        .check(ca.signed_root(View::Hiding), "local-mirror")
+        .is_none());
     let report = monitor
         .check(ca.signed_root(View::Honest), "edge:eu-west-1")
         .expect("equivocation detected on first cross-check");
 
     println!();
     println!("cross-check against {} caught the fork:", report.source);
-    println!("  two validly-signed roots, both n = {}", report.proof.first.size);
+    println!(
+        "  two validly-signed roots, both n = {}",
+        report.proof.first.size
+    );
     println!("  root A = {}", report.proof.first.root);
     println!("  root B = {}", report.proof.second.root);
     println!(

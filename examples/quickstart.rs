@@ -31,18 +31,37 @@ fn main() {
         &mut rng,
         now,
     );
-    println!("CA '{}' online, dictionary genesis signed at t={now}", ca.name());
+    println!(
+        "CA '{}' online, dictionary genesis signed at t={now}",
+        ca.name()
+    );
 
     // 2. The CA issues certificates to two websites.
     let good_key = SigningKey::from_seed([2u8; 32]);
-    let good = ca.issue_certificate("good.example", good_key.verifying_key(), now, now + 86_400 * 90);
+    let good = ca.issue_certificate(
+        "good.example",
+        good_key.verifying_key(),
+        now,
+        now + 86_400 * 90,
+    );
     let bad_key = SigningKey::from_seed([3u8; 32]);
-    let bad = ca.issue_certificate("compromised.example", bad_key.verifying_key(), now, now + 86_400 * 90);
-    println!("issued: good.example (serial {}), compromised.example (serial {})", good.serial, bad.serial);
+    let bad = ca.issue_certificate(
+        "compromised.example",
+        bad_key.verifying_key(),
+        now,
+        now + 86_400 * 90,
+    );
+    println!(
+        "issued: good.example (serial {}), compromised.example (serial {})",
+        good.serial, bad.serial
+    );
 
     // 3. An RA starts mirroring the CA (it learned about it from the
     //    manifest) and pulls from its regional edge server every Δ.
-    let mut ra = RevocationAgent::new(RaConfig { delta, ..Default::default() });
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta,
+        ..Default::default()
+    });
     ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
         .expect("genesis verifies");
 
@@ -74,7 +93,10 @@ fn main() {
         match validate_payload(&payload, &chain, &ca_keys, delta, check_time) {
             Ok(Verdict::AllValid) => println!("  -> {}: fresh absence proof, ACCEPT", cert.subject),
             Ok(Verdict::Revoked { number, .. }) => {
-                println!("  -> {}: REVOKED (revocation #{number}), connection refused", cert.subject)
+                println!(
+                    "  -> {}: REVOKED (revocation #{number}), connection refused",
+                    cert.subject
+                )
             }
             Err(e) => println!("  -> {}: status rejected ({e})", cert.subject),
         }

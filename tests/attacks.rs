@@ -56,7 +56,9 @@ fn forged_status_is_rejected_and_real_one_still_counts() {
         T0,
     );
     let victim = SerialNumber::from_u24(0x073e10);
-    honest_ca.insert(&[victim], &mut rng, T0 + 1).expect("revoked");
+    honest_ca
+        .insert(&[victim], &mut rng, T0 + 1)
+        .expect("revoked");
 
     // The adversary runs a parallel dictionary with the same CaId but its
     // own key, proving "absence".
@@ -74,27 +76,21 @@ fn forged_status_is_rejected_and_real_one_still_counts() {
     // The client pins the honest CA key: the forged status must fail.
     let mut keys = std::collections::HashMap::new();
     keys.insert(honest_ca.ca(), honest_ca.verifying_key());
-    let payload = StatusPayload { statuses: vec![forged] };
-    let res = ritm::client::validate_payload(
-        &payload,
-        &[(honest_ca.ca(), victim)],
-        &keys,
-        DELTA,
-        T0 + 2,
-    );
+    let payload = StatusPayload {
+        statuses: vec![forged],
+    };
+    let res =
+        ritm::client::validate_payload(&payload, &[(honest_ca.ca(), victim)], &keys, DELTA, T0 + 2);
     assert!(res.is_err(), "forged signature must not validate");
 
     // The genuine status still proves the revocation.
     let genuine = honest_ca.prove(&victim, T0 + 2).expect("status");
-    let payload = StatusPayload { statuses: vec![genuine] };
-    let verdict = ritm::client::validate_payload(
-        &payload,
-        &[(honest_ca.ca(), victim)],
-        &keys,
-        DELTA,
-        T0 + 2,
-    )
-    .expect("genuine status validates");
+    let payload = StatusPayload {
+        statuses: vec![genuine],
+    };
+    let verdict =
+        ritm::client::validate_payload(&payload, &[(honest_ca.ca(), victim)], &keys, DELTA, T0 + 2)
+            .expect("genuine status validates");
     assert!(matches!(verdict, ritm::client::Verdict::Revoked { .. }));
 }
 
@@ -160,7 +156,10 @@ fn non_ritm_traffic_is_untouched_by_attacked_paths() {
     use ritm::net::tcp::{Direction, FourTuple, SocketAddr, TcpSegment};
     use ritm::net::time::SimTime;
 
-    let mut ra = RevocationAgent::new(RaConfig { delta: DELTA, ..Default::default() });
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta: DELTA,
+        ..Default::default()
+    });
     let tuple = FourTuple {
         client: SocketAddr::new(1, 80),
         server: SocketAddr::new(2, 80),

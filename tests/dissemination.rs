@@ -28,7 +28,11 @@ fn make_ca(name: &str, seed: u8, cdn: &mut Cdn, rng: &mut StdRng) -> Certificati
 }
 
 fn make_ra(region: Region, cas: &[&CertificationAuthority]) -> RevocationAgent {
-    let mut ra = RevocationAgent::new(RaConfig { delta: DELTA, region, ..Default::default() });
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta: DELTA,
+        region,
+        ..Default::default()
+    });
     for ca in cas {
         ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
             .expect("bootstrap");
@@ -45,9 +49,13 @@ fn revoke_fresh(
 ) -> Vec<SerialNumber> {
     let key = SigningKey::from_seed([99u8; 32]).verifying_key();
     let serials: Vec<SerialNumber> = (0..n)
-        .map(|i| ca.issue_certificate(&format!("s{i}.x"), key, 0, u64::MAX).serial)
+        .map(|i| {
+            ca.issue_certificate(&format!("s{i}.x"), key, 0, u64::MAX)
+                .serial
+        })
         .collect();
-    ca.revoke(&serials, cdn, rng, now).expect("revocation accepted");
+    ca.revoke(&serials, cdn, rng, now)
+        .expect("revocation accepted");
     serials
 }
 

@@ -45,7 +45,10 @@ fn mid_connection_revocation_bounded_by_two_delta() {
             ..Default::default()
         });
         let (t, reason) = out.aborted.expect("revocation must be detected");
-        assert!(matches!(reason, AbortReason::Revoked { .. }), "Δ={delta}: {reason:?}");
+        assert!(
+            matches!(reason, AbortReason::Revoked { .. }),
+            "Δ={delta}: {reason:?}"
+        );
         assert!(
             t <= delta + 2 * delta + 2,
             "Δ={delta}: revoked at +{delta}s, detected at +{t}s (> 2Δ bound)"
@@ -91,7 +94,11 @@ fn world_advance_keeps_dictionaries_fresh() {
     // An hour of Δ cycles without any connection.
     w.advance(3_600);
     let out = w.run_connection(&ConnectionOptions::default());
-    assert!(out.alive_at_end, "freshness must survive idling: {:?}", out.events);
+    assert!(
+        out.alive_at_end,
+        "freshness must survive idling: {:?}",
+        out.events
+    );
 }
 
 #[test]
@@ -101,7 +108,7 @@ fn statuses_are_small_on_the_wire() {
     let ra = w.ra.clone();
     let serial = w.server_serial();
     let payload = ra
-        .borrow()
+        .borrow_mut()
         .build_status(&[(w.ca.id(), serial)])
         .expect("mirrored");
     let len = payload.to_bytes().len();

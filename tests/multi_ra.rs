@@ -40,7 +40,10 @@ fn two_ras_on_path_inject_exactly_one_status() {
 
     // Two RAs bootstrap from the same genesis and stay in sync.
     let make_ra = || {
-        let mut ra = RevocationAgent::new(RaConfig { delta: DELTA, ..Default::default() });
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta: DELTA,
+            ..Default::default()
+        });
         ra.follow_ca(ca.id(), ca.verifying_key(), *ca.dictionary().signed_root())
             .unwrap();
         Rc::new(RefCell::new(ra))
@@ -117,7 +120,11 @@ fn two_ras_on_path_inject_exactly_one_status() {
         .iter()
         .filter(|(_, e)| matches!(e, RitmEvent::StatusAccepted))
         .count();
-    assert_eq!(accepted, 1, "exactly one status validated: {:?}", node.events);
+    assert_eq!(
+        accepted, 1,
+        "exactly one status validated: {:?}",
+        node.events
+    );
 
     // The server-side RA injected; the client-side RA left it in place.
     let near_server = ra_near_server.borrow().stats;

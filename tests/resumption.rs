@@ -34,9 +34,20 @@ struct World {
 fn world() -> World {
     let mut rng = StdRng::seed_from_u64(71);
     let ca_key = SigningKey::from_seed([1u8; 32]);
-    let ca = CaDictionary::new(CaId::from_name("ResCA"), ca_key.clone(), DELTA, 1 << 12, &mut rng, T0);
-    let mut ra = RevocationAgent::new(RaConfig { delta: DELTA, ..Default::default() });
-    ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+    let ca = CaDictionary::new(
+        CaId::from_name("ResCA"),
+        ca_key.clone(),
+        DELTA,
+        1 << 12,
+        &mut rng,
+        T0,
+    );
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta: DELTA,
+        ..Default::default()
+    });
+    ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+        .unwrap();
 
     let server_key = SigningKey::from_seed([2u8; 32]);
     let leaf = Certificate::issue(
@@ -62,7 +73,14 @@ fn world() -> World {
         delta: DELTA,
         policy: DowngradePolicy::AlwaysRequire,
     };
-    World { ca, ra, ctx, config, rng, next_port: 9000 }
+    World {
+        ca,
+        ra,
+        ctx,
+        config,
+        rng,
+        next_port: 9000,
+    }
 }
 
 /// Drives one client connection through the RA, returning the client and
@@ -129,7 +147,9 @@ fn resumed_session_still_gets_statuses() {
     let (client2, events2) = connect(&mut w, Some(resume), T0 + 3);
     assert!(client2.is_established(), "{events2:?}");
     assert!(
-        events2.iter().any(|e| matches!(e, RitmEvent::Established { resumed: true, .. })),
+        events2
+            .iter()
+            .any(|e| matches!(e, RitmEvent::Established { resumed: true, .. })),
         "{events2:?}"
     );
     assert!(
@@ -147,16 +167,18 @@ fn resumed_session_blocks_revoked_certificate() {
     // Certificate is revoked between the sessions.
     let serial = SerialNumber::from_u24(0x0042);
     let iss = w.ca.insert(&[serial], &mut w.rng, T0 + 2).unwrap();
-    w.ra.mirror_mut(&w.ca.ca()).unwrap().apply_issuance(&iss, T0 + 2).unwrap();
+    w.ra.mirror_mut(&w.ca.ca())
+        .unwrap()
+        .apply_issuance(&iss, T0 + 2)
+        .unwrap();
 
     // Resumption must fail: the RA's status now carries a presence proof.
     let (client2, events2) = connect(&mut w, Some(resume), T0 + 4);
     assert!(!client2.is_established());
     assert!(
-        events2.iter().any(|e| matches!(
-            e,
-            RitmEvent::Aborted(AbortReason::Revoked { .. })
-        )),
+        events2
+            .iter()
+            .any(|e| matches!(e, RitmEvent::Aborted(AbortReason::Revoked { .. }))),
         "resumption must not bypass revocation: {events2:?}"
     );
 }

@@ -49,9 +49,11 @@ fn shard_lifecycle_bounds_ra_storage() {
 
     // Each surviving shard is an independently provable dictionary.
     for (_, dict) in ca.shards() {
-        assert!(dict.len() > 0);
+        assert!(!dict.is_empty());
         let some_serial = SerialNumber::from_u24(0xf0f0f0);
-        let status = dict.prove(&some_serial, T0 + 1).expect("freshness available");
+        let status = dict
+            .prove(&some_serial, T0 + 1)
+            .expect("freshness available");
         let verdict = status
             .validate(&some_serial, &dict.verifying_key(), 10, T0 + 1)
             .expect("valid proof");
@@ -76,6 +78,9 @@ fn revocations_route_to_expiry_matched_shards() {
     let (shard_b, _) = ca
         .revoke(SerialNumber::from_u24(2), base + 3 * QUARTER, &mut rng, T0)
         .expect("new");
-    assert_ne!(shard_a, shard_b, "different expiries, different dictionaries");
+    assert_ne!(
+        shard_a, shard_b,
+        "different expiries, different dictionaries"
+    );
     assert_eq!(ca.shard_id(base + QUARTER / 3), shard_a);
 }

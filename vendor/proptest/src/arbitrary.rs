@@ -1,0 +1,68 @@
+//! [`Arbitrary`] — default strategies per type, reached through
+//! [`crate::any`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`crate::any`].
+pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($t:ident),+)),+) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    )+};
+}
+impl_arbitrary_tuple!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn arrays_and_tuples_fill() {
+        let mut rng = case_rng("arbitrary::tests");
+        let a: [u8; 32] = Arbitrary::arbitrary(&mut rng);
+        assert!(a.iter().any(|&b| b != 0));
+        let (_x, _y, _z): (u8, u16, u64) = Arbitrary::arbitrary(&mut rng);
+    }
+}

@@ -1,0 +1,74 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Anything usable as a length specification for [`vec`].
+pub trait IntoLenRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoLenRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoLenRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoLenRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `len`.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// Vectors of `element` values with lengths in `len`.
+pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn length_bounds_respected() {
+        let mut rng = case_rng("collection::tests");
+        let s = vec(any::<u8>(), 2..5usize);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_work() {
+        let mut rng = case_rng("collection::nested");
+        let s = vec(vec(0u32..10, 0..4usize), 1..3usize);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+    }
+}

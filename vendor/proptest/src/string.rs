@@ -1,0 +1,179 @@
+//! String strategies from a small regex subset.
+//!
+//! Upstream proptest treats a `&str` as a regex-derived strategy. This
+//! stand-in supports the subset the workspace's tests use: literal
+//! characters, `\`-escapes, `[a-z0-9_]`-style classes with ranges,
+//! `(alt|alt)` groups, and the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+//! Unsupported syntax panics at generation time, loudly, rather than
+//! silently producing wrong data.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+fn parse_sequence(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    in_group: bool,
+) -> Vec<Vec<Node>> {
+    let mut alternatives = vec![Vec::new()];
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' if in_group => break,
+            '|' => {
+                chars.next();
+                alternatives.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chars.next();
+        let atom = match c {
+            '\\' => Node::Literal(chars.next().expect("dangling escape in pattern")),
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().expect("unterminated class in pattern");
+                    if lo == ']' {
+                        break;
+                    }
+                    let lo = if lo == '\\' {
+                        chars.next().expect("dangling escape in class")
+                    } else {
+                        lo
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("unterminated range in class");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Node::Class(ranges)
+            }
+            '(' => {
+                let alts = parse_sequence(chars, true);
+                assert_eq!(chars.next(), Some(')'), "unterminated group in pattern");
+                Node::Group(alts)
+            }
+            '.' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9')]),
+            c => Node::Literal(c),
+        };
+        // Optional quantifier.
+        let atom = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad quantifier"),
+                        b.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            Some('*') => {
+                chars.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            _ => atom,
+        };
+        alternatives.last_mut().expect("non-empty").push(atom);
+    }
+    alternatives
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).expect("valid char"));
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.gen_range(0..alts.len())];
+            for n in alt {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut chars = self.chars().peekable();
+        let alts = parse_sequence(&mut chars, false);
+        assert!(
+            chars.next().is_none(),
+            "trailing characters in pattern {self:?}"
+        );
+        let mut out = String::new();
+        let alt = &alts[rng.gen_range(0..alts.len())];
+        for node in alt {
+            emit(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn domain_pattern_matches_shape() {
+        let mut rng = case_rng("string::tests");
+        let pat = "[a-z]{1,20}\\.(com|org|net)";
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            let (name, tld) = s.rsplit_once('.').expect("dot present");
+            assert!((1..=20).contains(&name.len()), "{s}");
+            assert!(name.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+            assert!(matches!(tld, "com" | "org" | "net"), "{s}");
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_classes() {
+        let mut rng = case_rng("string::quant");
+        let s = "[0-9]{3}-x+".generate(&mut rng);
+        let (digits, xs) = s.split_once('-').unwrap();
+        assert_eq!(digits.len(), 3);
+        assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        assert!(!xs.is_empty() && xs.chars().all(|c| c == 'x'));
+    }
+}

@@ -1,0 +1,62 @@
+//! Case execution support: configuration, the failure type, and the
+//! deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// How a property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// Alias kept for API compatibility with upstream's `Reject`.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG strategies draw from.
+pub type TestRng = StdRng;
+
+/// A deterministic RNG derived from the fully-qualified test name, so each
+/// test sees a stable stream across runs.
+pub fn case_rng(test_name: &str) -> TestRng {
+    let mut h = DefaultHasher::new();
+    test_name.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
