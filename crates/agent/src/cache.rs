@@ -2,18 +2,29 @@
 //!
 //! At CDN scale many concurrent TLS flows present the same server
 //! certificates, so an RA rebuilds identical audit paths thousands of times
-//! between dictionary updates. A [`ProofCache`] memoizes the bare
-//! [`RevocationProof`] per `(CA, serial)`, keyed by the mirror's
-//! [`DictionaryEngine::epoch`]: a cached proof is served only while the
-//! mirror's epoch is unchanged, because audit paths are valid exactly until
-//! the root advances. Freshness-only refreshes do not advance the epoch —
-//! the RA composes the cached proof with the *live* signed root and
-//! freshness statement, so cached statuses are never stale.
+//! between dictionary updates. An [`EpochKeyedCache`] memoizes a value per
+//! `(CA, key)`, keyed by the mirror's [`DictionaryEngine::epoch`]: a cached
+//! value is served only while the mirror's epoch is unchanged, because
+//! audit paths are valid exactly until the root advances. Freshness-only
+//! refreshes do not advance the epoch — the RA composes the cached proof
+//! with the *live* signed root and freshness statement, so cached statuses
+//! are never stale. [`ProofCache`] is the single-serial instantiation; the
+//! status server reuses the same policy for compressed chain multiproofs.
+//!
+//! The cache is **concurrent**: every method takes `&self` (reads go
+//! through a shared lock, counters are atomics), so any number of
+//! handshake-serving threads can share one cache — and read-only statistics
+//! never require a `&mut` borrow anywhere in the call chain. Misses compute
+//! the value *outside* the write lock, so a slow proof generation never
+//! blocks concurrent hits.
 //!
 //! [`DictionaryEngine::epoch`]: ritm_dictionary::DictionaryEngine::epoch
 
+use parking_lot::RwLock;
 use ritm_dictionary::{CaId, RevocationProof, SerialNumber};
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default bound on cached proofs (a proof is a few hundred bytes, so the
 /// default tops out around a few MB — connection-table scale).
@@ -23,12 +34,13 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 16_384;
 /// (`ritm_agent::monitor`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Proofs served from cache.
+    /// Values served from cache.
     pub hits: u64,
-    /// Proofs generated because no entry (or only a stale-epoch entry)
+    /// Values generated because no entry (or only a stale-epoch entry)
     /// existed.
     pub misses: u64,
-    /// Entries dropped because their epoch was superseded.
+    /// Entries dropped because their epoch was superseded (or their CA was
+    /// purged).
     pub evictions: u64,
 }
 
@@ -45,88 +57,127 @@ impl CacheStats {
 }
 
 #[derive(Debug, Clone)]
-struct CachedProof {
+struct Cached<V> {
     epoch: u64,
-    proof: RevocationProof,
+    value: V,
 }
 
-/// An epoch-keyed audit-path cache.
+/// A concurrent cache of per-`(CA, key)` values valid for exactly one
+/// dictionary epoch.
 #[derive(Debug)]
-pub struct ProofCache {
-    entries: HashMap<(CaId, SerialNumber), CachedProof>,
+pub struct EpochKeyedCache<K, V> {
+    entries: RwLock<HashMap<(CaId, K), Cached<V>>>,
     capacity: usize,
-    stats: CacheStats,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-impl Default for ProofCache {
+/// The RA's audit-path cache: one [`RevocationProof`] per `(CA, serial)`.
+pub type ProofCache = EpochKeyedCache<SerialNumber, RevocationProof>;
+
+impl<K: Eq + Hash, V: Clone> Default for EpochKeyedCache<K, V> {
     fn default() -> Self {
-        ProofCache::new(DEFAULT_CACHE_CAPACITY)
+        EpochKeyedCache::new(DEFAULT_CACHE_CAPACITY)
     }
 }
 
-impl ProofCache {
+impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
     /// Creates a cache bounded to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        ProofCache {
-            entries: HashMap::new(),
+        EpochKeyedCache {
+            entries: RwLock::new(HashMap::new()),
             capacity: capacity.max(1),
-            stats: CacheStats::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Returns the proof for `(ca, serial)` at `epoch`, generating it with
-    /// `make` on a miss. A stored proof from a different epoch counts as a
-    /// miss and is replaced.
-    pub fn get_or_insert(
-        &mut self,
-        ca: CaId,
-        serial: SerialNumber,
-        epoch: u64,
-        make: impl FnOnce() -> RevocationProof,
-    ) -> RevocationProof {
-        if let Some(hit) = self.entries.get(&(ca, serial)).filter(|c| c.epoch == epoch) {
-            self.stats.hits += 1;
-            return hit.proof.clone();
+    /// Returns the value for `(ca, key)` at `epoch`, generating it with
+    /// `make` on a miss. A stored value from an older epoch counts as a
+    /// miss and is replaced. `make` runs outside any lock; concurrent
+    /// lookups for other keys proceed in parallel.
+    ///
+    /// Epochs are monotone per CA, but *readers* are not: a thread still
+    /// holding an older snapshot may race threads on the current one, so
+    /// an older-epoch insert never displaces newer entries — one lagging
+    /// reader cannot nuke the hot working set.
+    pub fn get_or_insert(&self, ca: CaId, key: K, epoch: u64, make: impl FnOnce() -> V) -> V {
+        let full_key = (ca, key);
+        if let Some(hit) = self
+            .entries
+            .read()
+            .get(&full_key)
+            .filter(|c| c.epoch == epoch)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.value.clone();
         }
-        self.stats.misses += 1;
-        let proof = make();
-        if self.entries.len() >= self.capacity {
-            // Full: clear this CA's superseded-epoch entries first (epochs
-            // of different CAs are independent counters, so other CAs'
-            // entries are never judged against `epoch`). If everything is
-            // current, serve uncached rather than evict hot entries.
-            let before = self.entries.len();
-            self.entries
-                .retain(|(k_ca, _), c| *k_ca != ca || c.epoch == epoch);
-            self.stats.evictions += (before - self.entries.len()) as u64;
-            if self.entries.len() >= self.capacity {
-                return proof;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = make();
+        let mut entries = self.entries.write();
+        if entries
+            .get(&full_key)
+            .is_some_and(|existing| existing.epoch > epoch)
+        {
+            return value;
+        }
+        if entries.len() >= self.capacity && !entries.contains_key(&full_key) {
+            // Full: clear this CA's strictly-older-epoch entries first
+            // (epochs of different CAs are independent counters, so other
+            // CAs' entries are never judged against `epoch`). If everything
+            // is current, serve uncached rather than evict hot entries.
+            let before = entries.len();
+            entries.retain(|(k_ca, _), c| *k_ca != ca || c.epoch >= epoch);
+            self.evictions
+                .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
+            if entries.len() >= self.capacity {
+                return value;
             }
         }
-        self.entries.insert(
-            (ca, serial),
-            CachedProof {
+        entries.insert(
+            full_key,
+            Cached {
                 epoch,
-                proof: proof.clone(),
+                value: value.clone(),
             },
         );
-        proof
+        value
+    }
+
+    /// Drops every entry belonging to `ca`, returning how many were
+    /// removed. Called when an RA stops mirroring a CA — or re-installs a
+    /// fresh mirror whose epoch counter restarts (leftover higher-epoch
+    /// entries would otherwise block re-caching until the new counter
+    /// catches up).
+    pub fn purge_ca(&self, ca: &CaId) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|(k_ca, _), _| k_ca != ca);
+        let removed = before - entries.len();
+        self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Live entries (stale-epoch entries are dropped lazily, so this counts
-    /// stored, not necessarily valid, proofs).
+    /// stored, not necessarily valid, values).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().len()
     }
 
     /// `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.read().is_empty()
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -150,7 +201,7 @@ mod tests {
 
     #[test]
     fn second_lookup_hits_within_epoch() {
-        let mut cache = ProofCache::new(8);
+        let cache = ProofCache::new(8);
         let (ca, s) = key(1);
         let a = cache.get_or_insert(ca, s, 5, || proof(1));
         let b = cache.get_or_insert(ca, s, 5, || panic!("must be cached"));
@@ -167,7 +218,7 @@ mod tests {
 
     #[test]
     fn epoch_change_invalidates() {
-        let mut cache = ProofCache::new(8);
+        let cache = ProofCache::new(8);
         let (ca, s) = key(1);
         cache.get_or_insert(ca, s, 5, || proof(1));
         let regenerated = cache.get_or_insert(ca, s, 6, || proof(2));
@@ -182,7 +233,7 @@ mod tests {
 
     #[test]
     fn full_cache_never_evicts_other_cas_live_entries() {
-        let mut cache = ProofCache::new(2);
+        let cache = ProofCache::new(2);
         let ca_a = CaId::from_name("A");
         let ca_b = CaId::from_name("B");
         let s = SerialNumber::from_u24(1);
@@ -199,7 +250,7 @@ mod tests {
 
     #[test]
     fn capacity_evicts_stale_epochs_only() {
-        let mut cache = ProofCache::new(2);
+        let cache = ProofCache::new(2);
         cache.get_or_insert(key(1).0, key(1).1, 1, || proof(1));
         cache.get_or_insert(key(2).0, key(2).1, 1, || proof(2));
         // Full of epoch-1 entries; an epoch-2 insert purges them.
@@ -212,5 +263,63 @@ mod tests {
         assert!(cache.len() <= 2);
         let hit = cache.get_or_insert(key(3).0, key(3).1, 2, || panic!("3 stays hot"));
         assert_eq!(hit, proof(3));
+    }
+
+    #[test]
+    fn lagging_reader_cannot_displace_newer_entries() {
+        let cache = ProofCache::new(2);
+        let (ca, s) = key(1);
+        cache.get_or_insert(ca, s, 6, || proof(6));
+        // A reader still on the epoch-5 snapshot gets its own proof, but
+        // must not overwrite the stored epoch-6 entry...
+        let got = cache.get_or_insert(ca, s, 5, || proof(5));
+        assert_eq!(got, proof(5));
+        let hit = cache.get_or_insert(ca, s, 6, || panic!("epoch-6 entry must survive"));
+        assert_eq!(hit, proof(6));
+        // ...and with the cache full, an older-epoch miss must not evict
+        // the newer-epoch working set either.
+        cache.get_or_insert(ca, SerialNumber::from_u24(2), 6, || proof(2));
+        let got = cache.get_or_insert(ca, SerialNumber::from_u24(3), 5, || proof(3));
+        assert_eq!(got, proof(3));
+        let hit = cache.get_or_insert(ca, s, 6, || panic!("still cached after full insert"));
+        assert_eq!(hit, proof(6));
+    }
+
+    #[test]
+    fn purge_ca_clears_only_that_ca() {
+        let cache = ProofCache::new(8);
+        let ca_a = CaId::from_name("A");
+        let ca_b = CaId::from_name("B");
+        let s = SerialNumber::from_u24(1);
+        cache.get_or_insert(ca_a, s, 50, || proof(1));
+        cache.get_or_insert(ca_b, s, 3, || proof(2));
+        assert_eq!(cache.purge_ca(&ca_a), 1);
+        assert_eq!(cache.len(), 1);
+        // A re-installed mirror for A restarts its epoch counter near 0;
+        // with the purge, low-epoch entries cache normally again.
+        let got = cache.get_or_insert(ca_a, s, 1, || proof(3));
+        assert_eq!(got, proof(3));
+        let hit = cache.get_or_insert(ca_a, s, 1, || panic!("cached after purge"));
+        assert_eq!(hit, proof(3));
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_cache() {
+        let cache = ProofCache::new(64);
+        let (ca, s) = key(9);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let got = cache.get_or_insert(ca, s, 1, || proof(9));
+                        assert_eq!(got, proof(9));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        assert!(stats.hits >= 792, "at most one miss per thread: {stats:?}");
     }
 }

@@ -8,9 +8,12 @@
 //! * piggybacks revocation statuses onto server→client traffic — once at
 //!   ServerHello time and then at least every Δ — adjusting TCP sequence
 //!   numbers for the injected bytes ([`ra`]),
-//! * reuses audit paths for hot serials across concurrent flows through an
-//!   epoch-keyed proof cache ([`cache`]), invalidated exactly when the
-//!   mirrored root advances,
+//! * serves proofs lock-free from `Arc`-shared, epoch-stamped dictionary
+//!   snapshots ([`serve`]): writers publish a new snapshot per epoch,
+//!   readers never block on issuance or refresh,
+//! * reuses audit paths for hot serials across concurrent flows through a
+//!   concurrent epoch-keyed proof cache ([`cache`]), invalidated exactly
+//!   when the mirrored root advances,
 //! * and monitors CAs for equivocation and its own cache health
 //!   ([`monitor`]).
 
@@ -18,12 +21,14 @@ pub mod cache;
 pub mod dpi;
 pub mod monitor;
 pub mod ra;
+pub mod serve;
 pub mod state;
 pub mod sync;
 
-pub use cache::{CacheStats, ProofCache};
+pub use cache::{CacheStats, EpochKeyedCache, ProofCache};
 pub use dpi::{classify, Classification, ServerFlight};
 pub use monitor::{ConsistencyMonitor, MisbehaviorReport, RaHealthReport};
-pub use ra::{RaConfig, RaStats, RevocationAgent, StatusPayload};
+pub use ra::{MirrorWriteGuard, RaConfig, RaStats, RevocationAgent, StatusPayload};
+pub use serve::StatusServer;
 pub use state::{ConnState, Stage, StateTable};
 pub use sync::SyncReport;

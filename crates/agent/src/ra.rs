@@ -7,17 +7,21 @@
 //! then at least every Δ for the connection's lifetime (step 6). All other
 //! traffic is forwarded untouched.
 
-use crate::cache::ProofCache;
 use crate::dpi::{classify, Classification};
+use crate::serve::StatusServer;
 use crate::state::{Stage, StateTable};
 use ritm_cdn::regions::Region;
 use ritm_crypto::wire::{Reader, Writer};
-use ritm_dictionary::{CaId, MirrorDictionary, MirrorEngine, RevocationStatus, SerialNumber};
+use ritm_dictionary::{
+    CaId, FreshnessStatement, MirrorDictionary, MirrorEngine, MultiRevocationStatus,
+    RevocationStatus, SerialNumber, SignedRoot,
+};
 use ritm_net::middlebox::Middlebox;
 use ritm_net::tcp::{Direction, TcpSegment};
 use ritm_net::time::{SimDuration, SimTime};
 use ritm_tls::record::{ContentType, TlsRecord};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// RA configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +34,10 @@ pub struct RaConfig {
     /// Prove the whole chain instead of just the leaf (§VIII "Certificate
     /// chains").
     pub prove_full_chain: bool,
+    /// Compress same-CA chain runs into one [`MultiRevocationStatus`]
+    /// (shared multiproof + single root/freshness) instead of independent
+    /// statuses. Only affects chains of ≥2 certificates.
+    pub compress_chain_proofs: bool,
 }
 
 impl Default for RaConfig {
@@ -38,6 +46,7 @@ impl Default for RaConfig {
             delta: 10,
             region: Region::Europe,
             prove_full_chain: false,
+            compress_chain_proofs: true,
         }
     }
 }
@@ -59,21 +68,91 @@ pub struct RaStats {
     pub statuses_replaced: u64,
 }
 
+/// Marker byte separating individual statuses from the compressed section
+/// in an encoded [`StatusPayload`]. Individual-status counts are capped
+/// below it, so legacy single-status payloads decode unchanged.
+const MULTI_SECTION_MARKER: u8 = 0xFF;
+
 /// The payload of one `RitmStatus` record: statuses for each certificate of
-/// the chain, leaf first (one entry unless `prove_full_chain`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the chain, leaf first (one entry unless `prove_full_chain`). Same-CA
+/// chain runs may instead be carried as compressed
+/// [`MultiRevocationStatus`] entries in [`StatusPayload::multi`]; the
+/// individual statuses cover the chain positions not covered by a
+/// compressed entry, in chain order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatusPayload {
-    /// Revocation statuses, aligned with the certificate chain.
+    /// Individual revocation statuses, aligned with the (uncompressed)
+    /// certificate-chain positions.
     pub statuses: Vec<RevocationStatus>,
+    /// Compressed same-CA chain segments (empty unless the RA compresses
+    /// multi-certificate chains).
+    pub multi: Vec<MultiRevocationStatus>,
 }
 
 impl StatusPayload {
-    /// Encodes the payload.
+    /// A payload of individual statuses only (the classic form).
+    pub fn single(statuses: Vec<RevocationStatus>) -> Self {
+        StatusPayload {
+            statuses,
+            multi: Vec::new(),
+        }
+    }
+
+    /// Total certificates covered (individual + compressed).
+    pub fn covered(&self) -> usize {
+        self.statuses.len() + self.multi.iter().map(|m| m.serials.len()).sum::<usize>()
+    }
+
+    /// `true` when the payload proves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty() && self.multi.is_empty()
+    }
+
+    /// The signed root of the payload's first entry — what the multi-RA
+    /// freshness comparison (§VIII) keys on.
+    pub fn primary_root(&self) -> Option<&SignedRoot> {
+        self.statuses
+            .first()
+            .map(|s| &s.signed_root)
+            .or_else(|| self.multi.first().map(|m| &m.signed_root))
+    }
+
+    /// Encodes the payload (pre-sized; never reallocates). Payloads without
+    /// compressed entries encode byte-identically to the legacy format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let cap = 1
+            + self
+                .statuses
+                .iter()
+                .map(|s| 3 + s.encoded_len())
+                .sum::<usize>()
+            + if self.multi.is_empty() {
+                0
+            } else {
+                2 + self
+                    .multi
+                    .iter()
+                    .map(|m| 3 + m.encoded_len())
+                    .sum::<usize>()
+            };
+        let mut w = Writer::with_capacity(cap);
+        // Hard asserts (not debug): a silent `as u8` truncation would emit
+        // an undecodable payload; chains are single digits in practice.
+        assert!(
+            self.statuses.len() < MULTI_SECTION_MARKER as usize,
+            "status count overflow"
+        );
         w.u8(self.statuses.len() as u8);
         for s in &self.statuses {
             w.vec24(&s.to_bytes());
+        }
+        if !self.multi.is_empty() {
+            assert!(self.multi.len() <= u8::MAX as usize, "multi count overflow");
+            w.u8(MULTI_SECTION_MARKER);
+            w.u8(self.multi.len() as u8);
+            for m in &self.multi {
+                w.vec24(&m.to_bytes());
+            }
         }
         w.into_bytes()
     }
@@ -86,6 +165,12 @@ impl StatusPayload {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ritm_crypto::wire::DecodeError> {
         let mut r = Reader::new(bytes);
         let n = r.u8("status count")? as usize;
+        if n >= MULTI_SECTION_MARKER as usize {
+            return Err(ritm_crypto::wire::DecodeError::new(
+                "status count reserved",
+                0,
+            ));
+        }
         // Each status needs at least its 3-byte length prefix.
         r.check_count(n, 3, "status count exceeds buffer")?;
         let mut statuses = Vec::with_capacity(n);
@@ -93,8 +178,24 @@ impl StatusPayload {
             let raw = r.vec24("status entry")?;
             statuses.push(RevocationStatus::from_bytes(raw)?);
         }
+        let mut multi = Vec::new();
+        if !r.is_done() {
+            let marker = r.u8("multi section marker")?;
+            if marker != MULTI_SECTION_MARKER {
+                return Err(ritm_crypto::wire::DecodeError::new(
+                    "bad multi section marker",
+                    r.position(),
+                ));
+            }
+            let m = r.u8("multi status count")? as usize;
+            r.check_count(m, 3, "multi status count exceeds buffer")?;
+            for _ in 0..m {
+                let raw = r.vec24("multi status entry")?;
+                multi.push(MultiRevocationStatus::from_bytes(raw)?);
+            }
+        }
         r.finish("status payload trailing")?;
-        Ok(StatusPayload { statuses })
+        Ok(StatusPayload { statuses, multi })
     }
 }
 
@@ -102,10 +203,23 @@ impl StatusPayload {
 /// ([`MirrorDictionary`] by default); the RA code depends only on the
 /// [`MirrorEngine`] trait, so alternative backends (sharded mirrors,
 /// disk-backed stores) slot in without touching the packet path.
+///
+/// # Read/write split
+///
+/// The RA is the *writer*: it owns the mirrors and applies issuances and
+/// refreshes through [`RevocationAgent::mirror_mut`], whose guard
+/// republishes an immutable [`ritm_dictionary::DictionarySnapshot`] on
+/// drop. Proof serving is the *read* side, delegated to an `Arc`-shared
+/// [`StatusServer`] ([`RevocationAgent::status_server`]): `build_status`
+/// works from `&self`, and any number of threads holding the server handle
+/// can serve concurrent handshake flows without ever blocking on (or
+/// being blocked by) dictionary updates.
 pub struct RevocationAgent<M: MirrorEngine = MirrorDictionary> {
     /// Configuration.
     pub config: RaConfig,
     pub(crate) mirrors: HashMap<CaId, M>,
+    /// The lock-free read side: per-CA snapshot cells + shared proof cache.
+    server: Arc<StatusServer>,
     /// Eq. (4) connection table.
     pub table: StateTable,
     /// Session-id → certificate identity, learned from full handshakes, so
@@ -113,9 +227,6 @@ pub struct RevocationAgent<M: MirrorEngine = MirrorDictionary> {
     /// still be served statuses (§III, "RITM supports two mechanisms of TLS
     /// resumption").
     session_cache: HashMap<Vec<u8>, (CaId, SerialNumber)>,
-    /// Epoch-keyed audit-path cache: hot serials across concurrent flows
-    /// reuse proofs until the mirrored root advances.
-    pub(crate) proof_cache: ProofCache,
     /// Operational counters.
     pub stats: RaStats,
 }
@@ -125,9 +236,65 @@ impl<M: MirrorEngine> core::fmt::Debug for RevocationAgent<M> {
         f.debug_struct("RevocationAgent")
             .field("mirrors", &self.mirrors.len())
             .field("connections", &self.table.len())
-            .field("proof_cache", &self.proof_cache.stats())
+            .field("proof_cache", &self.server.cache_stats())
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+/// Write access to one mirror, handed out by
+/// [`RevocationAgent::mirror_mut`]. On drop, if the mirror's epoch, signed
+/// root, or freshness changed, the guard builds a fresh snapshot **off the
+/// read path** and publishes it RCU-style — readers keep serving the old
+/// snapshot until the swap and never observe a half-applied update.
+pub struct MirrorWriteGuard<'a, M: MirrorEngine> {
+    mirror: &'a mut M,
+    server: Arc<StatusServer>,
+    before: (u64, SignedRoot, FreshnessStatement),
+}
+
+impl<M: MirrorEngine> core::ops::Deref for MirrorWriteGuard<'_, M> {
+    type Target = M;
+
+    fn deref(&self) -> &M {
+        self.mirror
+    }
+}
+
+impl<M: MirrorEngine> core::ops::DerefMut for MirrorWriteGuard<'_, M> {
+    fn deref_mut(&mut self) -> &mut M {
+        self.mirror
+    }
+}
+
+impl<M: MirrorEngine> Drop for MirrorWriteGuard<'_, M> {
+    fn drop(&mut self) {
+        // Never publish while unwinding: the mirror may be mid-mutation,
+        // and snapshotting a half-applied state would hand every reader
+        // proofs that no longer match the published root (or double-panic).
+        if std::thread::panicking() {
+            return;
+        }
+        let after = (
+            self.mirror.epoch(),
+            *self.mirror.current_signed_root(),
+            *self.mirror.current_freshness(),
+        );
+        if after == self.before {
+            return;
+        }
+        if after.0 == self.before.0 {
+            // Same epoch ⇒ the tree (and every audit path) is unchanged:
+            // a freshness-only refresh or root rotation. Republish sharing
+            // the already-frozen tree instead of recloning O(n) state.
+            if self
+                .server
+                .publish_refresh(&self.mirror.engine_ca(), after.1, after.2)
+            {
+                return;
+            }
+        }
+        self.server.publish(self.mirror.snapshot());
     }
 }
 
@@ -147,14 +314,15 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         RevocationAgent {
             config,
             mirrors: HashMap::new(),
+            server: Arc::new(StatusServer::new()),
             table: StateTable::new(),
             session_cache: HashMap::new(),
-            proof_cache: ProofCache::default(),
             stats: RaStats::default(),
         }
     }
 
-    /// Starts mirroring a CA's dictionary (bootstrap via manifest, §VIII).
+    /// Starts mirroring a CA's dictionary (bootstrap via manifest, §VIII)
+    /// and publishes its genesis snapshot for readers.
     ///
     /// # Errors
     ///
@@ -168,8 +336,21 @@ impl<M: MirrorEngine> RevocationAgent<M> {
     ) -> Result<(), ritm_dictionary::UpdateError> {
         let mut mirror = M::bootstrap(ca, key, genesis)?;
         mirror.set_delta(self.config.delta);
-        self.mirrors.insert(ca, mirror);
+        self.install_mirror(ca, mirror);
         Ok(())
+    }
+
+    /// Installs an already-built mirror (harnesses delivering state out of
+    /// band — warm standbys, tests, experiments) and publishes its current
+    /// snapshot. Any previously-cached proofs for the CA are purged: a
+    /// fresh mirror restarts its epoch counter, and leftover higher-epoch
+    /// entries would otherwise shadow the new epochs.
+    pub fn install_mirror(&mut self, ca: CaId, mirror: M) {
+        if self.mirrors.contains_key(&ca) {
+            self.server.retire(&ca);
+        }
+        self.server.publish(mirror.snapshot());
+        self.mirrors.insert(ca, mirror);
     }
 
     /// Read access to a mirror.
@@ -177,10 +358,23 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         self.mirrors.get(ca)
     }
 
-    /// Mutable access to a mirror — used by the sync module and by
-    /// harnesses that deliver updates out of band (tests, experiments).
-    pub fn mirror_mut(&mut self, ca: &CaId) -> Option<&mut M> {
-        self.mirrors.get_mut(ca)
+    /// Write access to a mirror — used by the sync module and by harnesses
+    /// that deliver updates out of band (tests, experiments). The returned
+    /// guard republishes the CA's snapshot on drop if anything changed, so
+    /// concurrent readers pick up the new epoch at the next load.
+    pub fn mirror_mut(&mut self, ca: &CaId) -> Option<MirrorWriteGuard<'_, M>> {
+        let server = Arc::clone(&self.server);
+        let mirror = self.mirrors.get_mut(ca)?;
+        let before = (
+            mirror.epoch(),
+            *mirror.current_signed_root(),
+            *mirror.current_freshness(),
+        );
+        Some(MirrorWriteGuard {
+            mirror,
+            server,
+            before,
+        })
     }
 
     /// CAs currently mirrored.
@@ -188,21 +382,30 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         self.mirrors.keys()
     }
 
+    /// The `Arc`-shared lock-free read side. Clone the handle into as many
+    /// threads as needed; each serves statuses from the latest published
+    /// snapshots while this RA keeps applying updates.
+    pub fn status_server(&self) -> Arc<StatusServer> {
+        Arc::clone(&self.server)
+    }
+
     /// Proof-cache counter snapshot (also surfaced via
     /// [`crate::monitor::RaHealthReport`]).
     pub fn proof_cache_stats(&self) -> crate::cache::CacheStats {
-        self.proof_cache.stats()
+        self.server.cache_stats()
     }
 
     /// Builds the status payload for a chain of `(issuer, serial)` pairs.
     /// Returns `None` when the leaf's CA is not mirrored (the RA then stays
     /// silent rather than injecting garbage).
     ///
-    /// Audit paths come from the epoch-keyed proof cache when the mirror's
-    /// root has not advanced since they were generated; the signed root and
-    /// freshness statement are always read live, so a cached proof composes
-    /// into a fully fresh status.
-    pub fn build_status(&mut self, chain: &[(CaId, SerialNumber)]) -> Option<StatusPayload> {
+    /// Works from `&self`: proofs are served from the published snapshots
+    /// through the epoch-keyed proof cache, so read-only callers (and any
+    /// thread holding [`RevocationAgent::status_server`]) never contend
+    /// with mirror updates. The signed root and freshness compose from the
+    /// same snapshot as the proof, so the status always verifies against
+    /// its own root.
+    pub fn build_status(&self, chain: &[(CaId, SerialNumber)]) -> Option<StatusPayload> {
         if chain.is_empty() {
             return None;
         }
@@ -211,21 +414,8 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         } else {
             &chain[..1]
         };
-        let mut statuses = Vec::with_capacity(certs.len());
-        for (ca, serial) in certs {
-            let mirror = self.mirrors.get(ca)?;
-            let proof = self
-                .proof_cache
-                .get_or_insert(*ca, *serial, mirror.epoch(), || {
-                    mirror.generate_proof(serial)
-                });
-            statuses.push(RevocationStatus {
-                proof,
-                signed_root: *mirror.current_signed_root(),
-                freshness: *mirror.current_freshness(),
-            });
-        }
-        Some(StatusPayload { statuses })
+        self.server
+            .build_status(certs, self.config.compress_chain_proofs)
     }
 
     /// Handles the multi-RA rule (§VIII): given the TLS records of a
@@ -233,21 +423,23 @@ impl<M: MirrorEngine> RevocationAgent<M> {
     /// upstream RA's, or leave it alone. Returns the rebuilt payload and
     /// the number of bytes the payload grew by.
     fn inject_status(&mut self, records: Vec<TlsRecord>, payload: StatusPayload) -> (Vec<u8>, i64) {
-        let our_root = payload.statuses[0].signed_root;
+        let our_root = *payload.primary_root().expect("non-empty payload");
         let mut records = records;
         let mut existing: Option<(usize, StatusPayload)> = None;
         for (i, rec) in records.iter().enumerate() {
             if rec.content_type == ContentType::RitmStatus {
                 if let Ok(p) = StatusPayload::from_bytes(&rec.payload) {
-                    existing = Some((i, p));
-                    break;
+                    if p.primary_root().is_some() {
+                        existing = Some((i, p));
+                        break;
+                    }
                 }
             }
         }
         let before: usize = records.iter().map(TlsRecord::encoded_len).sum();
         match existing {
             Some((i, theirs)) => {
-                let their_root = theirs.statuses[0].signed_root;
+                let their_root = *theirs.primary_root().expect("checked non-empty");
                 // "replaces a revocation status only if its own version of
                 // the dictionary is more recent".
                 let ours_newer = our_root.size > their_root.size
@@ -784,7 +976,7 @@ mod tests {
         )
         .err(); // genesis of non-empty dict fails; instead reuse f's mirror
         let mirror = f.ra.mirror(&f.ca.ca()).unwrap().clone();
-        ra2.mirrors.insert(f.ca.ca(), mirror);
+        ra2.install_mirror(f.ca.ca(), mirror);
         ra2.table.insert(tuple());
         ra2.table.update(&tuple(), |s| {
             s.ca = Some(f.ca.ca());
@@ -821,7 +1013,7 @@ mod tests {
             delta: 10,
             ..Default::default()
         });
-        stale_ra.mirrors.insert(f.ca.ca(), stale_mirror);
+        stale_ra.install_mirror(f.ca.ca(), stale_mirror);
         stale_ra.table.insert(tuple());
         let flight = server_flight_segment(&f.ca, 999);
         let out = stale_ra.process(flight, SimTime::from_secs(T0 + 4));
@@ -910,7 +1102,7 @@ mod tests {
 
     #[test]
     fn status_payload_round_trip() {
-        let mut f = fixture();
+        let f = fixture();
         let payload =
             f.ra.build_status(&[(f.ca.ca(), SerialNumber::from_u24(105))])
                 .unwrap();

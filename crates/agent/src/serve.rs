@@ -1,0 +1,317 @@
+//! Lock-free status serving from published dictionary snapshots.
+//!
+//! A production RA splits into one writer (applying issuance batches and
+//! freshness refreshes to its mirrors) and many readers (handshake flows
+//! needing revocation statuses *now*). [`StatusServer`] is the read side:
+//! it holds one [`SnapshotCell`] per mirrored CA plus the shared
+//! epoch-keyed [`ProofCache`], and builds complete status payloads from
+//! `&self` — so an `Arc<StatusServer>` can be handed to any number of
+//! threads while the owning [`crate::ra::RevocationAgent`] keeps mutating
+//! its mirrors. Writers publish a fresh [`DictionarySnapshot`] after every
+//! mirror change (the RA's `mirror_mut` guard does this automatically);
+//! readers pick it up on their next load without ever blocking on the
+//! update itself.
+
+use crate::cache::{CacheStats, EpochKeyedCache, ProofCache};
+use crate::ra::StatusPayload;
+use parking_lot::RwLock;
+use ritm_dictionary::{
+    CaId, DictionarySnapshot, MultiProof, MultiRevocationStatus, RevocationStatus, SerialNumber,
+    SnapshotCell,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bound on memoized chain multiproofs (distinct hot chains are few —
+/// bounded by the server-certificate working set, not by flows).
+const MULTI_CACHE_CAPACITY: usize = 1_024;
+
+/// The shared, `&self`-only proof-serving surface of an RA.
+#[derive(Debug)]
+pub struct StatusServer {
+    cells: RwLock<HashMap<CaId, Arc<SnapshotCell>>>,
+    cache: ProofCache,
+    /// Memo for compressed chain runs, same epoch-keyed policy as the
+    /// single-serial cache; valid while the CA's epoch is unchanged.
+    multi_cache: EpochKeyedCache<Vec<SerialNumber>, MultiProof>,
+}
+
+impl Default for StatusServer {
+    fn default() -> Self {
+        StatusServer::new()
+    }
+}
+
+impl StatusServer {
+    /// Creates an empty server (no CAs published yet).
+    pub fn new() -> Self {
+        StatusServer {
+            cells: RwLock::new(HashMap::new()),
+            cache: ProofCache::default(),
+            multi_cache: EpochKeyedCache::new(MULTI_CACHE_CAPACITY),
+        }
+    }
+
+    /// Publishes `snapshot` as the current view of its CA (RCU swap; the
+    /// cell is created on first publish). Called by the writer side after
+    /// every mirror mutation.
+    pub fn publish(&self, snapshot: DictionarySnapshot) {
+        let ca = snapshot.ca();
+        if let Some(cell) = self.cells.read().get(&ca) {
+            cell.publish(snapshot);
+            return;
+        }
+        let mut cells = self.cells.write();
+        match cells.get(&ca) {
+            Some(cell) => cell.publish(snapshot),
+            None => {
+                cells.insert(ca, Arc::new(SnapshotCell::new(snapshot)));
+            }
+        }
+    }
+
+    /// Republishes `ca`'s snapshot with a new signed root and freshness
+    /// statement but the **same epoch and tree** (freshness-only refresh
+    /// or root rotation): an `Arc` clone of the frozen tree instead of an
+    /// O(n) copy. Returns `false` when the CA has no published snapshot
+    /// yet (the caller should fall back to a full [`StatusServer::publish`]).
+    pub fn publish_refresh(
+        &self,
+        ca: &CaId,
+        signed_root: ritm_dictionary::SignedRoot,
+        freshness: ritm_dictionary::FreshnessStatement,
+    ) -> bool {
+        let Some(cell) = self.cell(ca) else {
+            return false;
+        };
+        let current = cell.load();
+        cell.publish(current.with_root_and_freshness(signed_root, freshness));
+        true
+    }
+
+    /// Drops a CA's publication slot and purges its cached proofs. Called
+    /// when the RA stops mirroring the CA; also run before re-installing a
+    /// fresh mirror, whose restarted epoch counter would otherwise be
+    /// blocked from caching by leftover higher-epoch entries.
+    pub fn retire(&self, ca: &CaId) {
+        self.cells.write().remove(ca);
+        self.cache.purge_ca(ca);
+        self.multi_cache.purge_ca(ca);
+    }
+
+    /// The current snapshot for `ca`, if mirrored. Cheap (`Arc` clone);
+    /// hold the cell via [`StatusServer::cell`] instead when polling in a
+    /// tight loop.
+    pub fn snapshot(&self, ca: &CaId) -> Option<Arc<DictionarySnapshot>> {
+        self.cells.read().get(ca).map(|c| c.load())
+    }
+
+    /// The publication cell for `ca`, letting hot reader loops reload
+    /// without the map lookup.
+    pub fn cell(&self, ca: &CaId) -> Option<Arc<SnapshotCell>> {
+        self.cells.read().get(ca).cloned()
+    }
+
+    /// CAs currently published.
+    pub fn ca_count(&self) -> usize {
+        self.cells.read().len()
+    }
+
+    /// Proof-cache counter snapshot (single-serial audit paths).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Counter snapshot of the compressed chain-multiproof memo.
+    pub fn multi_cache_stats(&self) -> CacheStats {
+        self.multi_cache.stats()
+    }
+
+    /// Builds one full status for `serial`, going through the epoch-keyed
+    /// proof cache. The signed root and freshness come from the same
+    /// snapshot as the proof's epoch, so the composed status always
+    /// verifies against its own root.
+    pub fn status_for(&self, ca: &CaId, serial: &SerialNumber) -> Option<RevocationStatus> {
+        let snap = self.snapshot(ca)?;
+        Some(self.status_from(&snap, serial))
+    }
+
+    /// [`StatusServer::status_for`] against an already-loaded snapshot
+    /// (hot chains load one snapshot per CA run).
+    fn status_from(&self, snap: &DictionarySnapshot, serial: &SerialNumber) -> RevocationStatus {
+        let proof = self
+            .cache
+            .get_or_insert(snap.ca(), *serial, snap.epoch(), || snap.proof(serial));
+        RevocationStatus {
+            proof,
+            signed_root: *snap.signed_root(),
+            freshness: *snap.freshness(),
+        }
+    }
+
+    /// Builds one compressed status for a same-CA serial run, memoized per
+    /// `(CA, serials, epoch)` — hot chains across concurrent flows reuse
+    /// the multiproof exactly like single serials reuse audit paths. Only
+    /// the proof is cached; the signed root and freshness always come from
+    /// the given snapshot, so a freshness-only refresh (same epoch) is
+    /// picked up immediately.
+    fn multi_status_from(
+        &self,
+        snap: &DictionarySnapshot,
+        serials: Vec<SerialNumber>,
+    ) -> MultiRevocationStatus {
+        let proof =
+            self.multi_cache
+                .get_or_insert(snap.ca(), serials.clone(), snap.epoch(), || {
+                    snap.multi_proof(&serials)
+                });
+        MultiRevocationStatus {
+            serials,
+            proof,
+            signed_root: *snap.signed_root(),
+            freshness: *snap.freshness(),
+        }
+    }
+
+    /// Builds the status payload for a chain of `(issuer, serial)` pairs.
+    /// Returns `None` when any named CA is not mirrored (the RA then stays
+    /// silent rather than injecting garbage).
+    ///
+    /// The **leaf (position 0) is always an individual status**, so
+    /// `StatusPayload::primary_root` — what the §VIII multi-RA freshness
+    /// comparison keys on — is always the leaf CA's root regardless of
+    /// compression. With `compress` set, consecutive same-CA runs of two
+    /// or more certificates *after the leaf* are proven with one
+    /// compressed [`MultiRevocationStatus`] (one multiproof + one
+    /// root + one freshness statement) instead of independent statuses —
+    /// the Fig. 7 communication-overhead optimization. Single certificates
+    /// and CA-alternating chains fall back to individual statuses, keeping
+    /// the wire format identical to the uncompressed path for the common
+    /// leaf-only case.
+    pub fn build_status(
+        &self,
+        certs: &[(CaId, SerialNumber)],
+        compress: bool,
+    ) -> Option<StatusPayload> {
+        if certs.is_empty() {
+            return None;
+        }
+        let mut statuses = Vec::with_capacity(certs.len());
+        let mut multi: Vec<MultiRevocationStatus> = Vec::new();
+        // Leaf first, uncompressed: primary_root() must name the leaf CA.
+        statuses.push(self.status_for(&certs[0].0, &certs[0].1)?);
+        let mut i = 1;
+        while i < certs.len() {
+            let (ca, _) = certs[i];
+            let mut run = i + 1;
+            while run < certs.len() && certs[run].0 == ca {
+                run += 1;
+            }
+            // One snapshot load per CA run: every status of the run
+            // composes from the same epoch.
+            let snap = self.snapshot(&ca)?;
+            if compress && run - i >= 2 {
+                let serials: Vec<SerialNumber> = certs[i..run].iter().map(|(_, s)| *s).collect();
+                multi.push(self.multi_status_from(&snap, serials));
+            } else {
+                for (_, serial) in &certs[i..run] {
+                    statuses.push(self.status_from(&snap, serial));
+                }
+            }
+            i = run;
+        }
+        Some(StatusPayload { statuses, multi })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_dictionary::{CaDictionary, MirrorDictionary};
+
+    const T0: u64 = 1_000_000;
+
+    fn setup(n: u32) -> (CaDictionary, MirrorDictionary) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("ServeCA"),
+            SigningKey::from_seed([1u8; 32]),
+            10,
+            64,
+            &mut rng,
+            T0,
+        );
+        let mut m = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        m.set_delta(10);
+        let serials: Vec<SerialNumber> = (0..n).map(|i| SerialNumber::from_u24(i * 2)).collect();
+        let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+        m.apply_issuance(&iss, T0 + 1).unwrap();
+        (ca, m)
+    }
+
+    #[test]
+    fn serves_statuses_through_the_cache() {
+        let (ca, m) = setup(20);
+        let server = StatusServer::new();
+        server.publish(m.snapshot());
+        let serial = SerialNumber::from_u24(4);
+        let first = server.status_for(&ca.ca(), &serial).unwrap();
+        let second = server.status_for(&ca.ca(), &serial).unwrap();
+        assert_eq!(first, second);
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(first
+            .validate(&serial, &ca.verifying_key(), 10, T0 + 2)
+            .unwrap()
+            .is_revoked());
+    }
+
+    #[test]
+    fn compressed_chain_keeps_leaf_individual() {
+        let (ca, m) = setup(50);
+        let server = StatusServer::new();
+        server.publish(m.snapshot());
+        let chain: Vec<(CaId, SerialNumber)> = [1u32, 21, 41]
+            .iter()
+            .map(|&v| (ca.ca(), SerialNumber::from_u24(v)))
+            .collect();
+        let payload = server.build_status(&chain, true).unwrap();
+        // Leaf stays individual (primary_root = leaf CA's root); the rest
+        // of the same-CA run compresses into one entry.
+        assert_eq!(payload.statuses.len(), 1);
+        assert_eq!(payload.multi.len(), 1);
+        assert_eq!(payload.multi[0].serials.len(), 2);
+        assert_eq!(
+            payload.primary_root().unwrap(),
+            &payload.statuses[0].signed_root
+        );
+        let statuses = payload.multi[0]
+            .validate(&ca.verifying_key(), 10, T0 + 2)
+            .unwrap();
+        assert!(statuses.iter().all(|s| !s.is_revoked()));
+
+        // A second build reuses the memoized multiproof (same epoch) and
+        // must compose an identical payload.
+        let again = server.build_status(&chain, true).unwrap();
+        assert_eq!(again, payload);
+
+        // Uncompressed fallback keeps the classic shape.
+        let plain = server.build_status(&chain, false).unwrap();
+        assert_eq!(plain.statuses.len(), 3);
+        assert!(plain.multi.is_empty());
+    }
+
+    #[test]
+    fn unknown_ca_stays_silent() {
+        let (_, m) = setup(4);
+        let server = StatusServer::new();
+        server.publish(m.snapshot());
+        let other = CaId::from_name("NotMirrored");
+        assert!(server
+            .build_status(&[(other, SerialNumber::from_u24(1))], true)
+            .is_none());
+    }
+}

@@ -116,8 +116,13 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         } else {
             issuance
         };
-        let mirror = self.mirror_mut(&ca).expect("followed ca has a mirror");
-        match mirror.apply_update(UpdateMessage::Issuance(&issuance), now_secs) {
+        let outcome = {
+            let mut mirror = self.mirror_mut(&ca).expect("followed ca has a mirror");
+            mirror.apply_update(UpdateMessage::Issuance(&issuance), now_secs)
+            // Guard drops here, republishing the snapshot if the update
+            // landed — before any catch-up round-trip.
+        };
+        match outcome {
             Ok(()) => {
                 report.issuances_applied += 1;
                 report.revocations_applied += issuance.serials.len() as u64;
@@ -127,7 +132,7 @@ impl<M: MirrorEngine> RevocationAgent<M> {
                 if let Some((bytes, stats)) = cdn.pull_since(region, ca, have, rng) {
                     report.absorb_pull(&stats);
                     if let Ok(catchup) = RevocationIssuance::from_bytes(&bytes) {
-                        let mirror = self.mirror_mut(&ca).expect("mirror");
+                        let mut mirror = self.mirror_mut(&ca).expect("mirror");
                         if mirror
                             .apply_update(UpdateMessage::Issuance(&catchup), now_secs)
                             .is_ok()

@@ -1,17 +1,23 @@
 //! Criterion benchmarks for the authenticated dictionary itself: insert and
 //! update scaling (§VII-D), an ablation over dictionary size showing the
 //! logarithmic proof cost that Table III relies on, the incremental engine
-//! against full rebuilds (10k/100k/1M leaves), and cold vs epoch-cached
-//! proof construction.
+//! against full rebuilds (10k/100k/1M leaves), cold vs epoch-cached proof
+//! construction, parallel vs sequential full rebuilds on the [`HashPool`],
+//! compressed chain multiproofs vs independent audit paths, and concurrent
+//! snapshot-based proof serving vs a serialized `&mut`-style baseline.
+//!
+//! With `BENCH_JSON=BENCH_dictionary.json` every result lands in a JSON
+//! perf-trajectory file; `BENCH_SMOKE=1` shrinks sizes and samples for CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ritm_agent::ProofCache;
+use ritm_agent::{ProofCache, StatusServer};
 use ritm_crypto::SigningKey;
 use ritm_dictionary::tree::{Leaf, MerkleTree};
-use ritm_dictionary::{CaDictionary, CaId, MirrorDictionary, SerialNumber};
+use ritm_dictionary::{CaDictionary, CaId, HashPool, MirrorDictionary, SerialNumber};
 use std::hint::black_box;
+use std::time::Instant;
 
 const T0: u64 = 1_397_000_000;
 /// The acceptance scenario: one Δ's worth of revocations landing in a
@@ -94,7 +100,12 @@ fn bench_insert_1000(c: &mut Criterion) {
 
 fn bench_prove_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("prove_vs_dict_size");
-    for n in [1_000u32, 10_000, 100_000, 339_557] {
+    let sizes: &[u32] = if criterion::smoke_mode() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 339_557]
+    };
+    for &n in sizes {
         let (_, mirror) = built_pair(n);
         let query = SerialNumber::from_u24(0x700001); // absent (odd serial)
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -104,9 +115,19 @@ fn bench_prove_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tree sizes for the heavyweight benches: trimmed in smoke mode so the CI
+/// pass finishes in seconds.
+fn heavy_sizes() -> &'static [u32] {
+    if criterion::smoke_mode() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    }
+}
+
 fn bench_incremental_vs_rebuild(c: &mut Criterion) {
     let mut g = c.benchmark_group("apply_100_batch");
-    for n in [10_000u32, 100_000, 1_000_000] {
+    for &n in heavy_sizes() {
         // Slow at 1M (a full rebuild is ~2n hashes); fewer samples there.
         g.sample_size(if n >= 1_000_000 { 10 } else { 20 });
         let base = built_tree(n);
@@ -141,7 +162,7 @@ fn bench_incremental_vs_rebuild(c: &mut Criterion) {
 
 fn bench_cold_vs_cached_proof(c: &mut Criterion) {
     let mut g = c.benchmark_group("prove_hot_serial");
-    for n in [10_000u32, 100_000, 1_000_000] {
+    for &n in heavy_sizes() {
         g.sample_size(if n >= 1_000_000 { 10 } else { 20 });
         let (_, mirror) = built_pair(n);
         let query = SerialNumber::from_u24(0x700001); // absent (odd serial)
@@ -149,7 +170,7 @@ fn bench_cold_vs_cached_proof(c: &mut Criterion) {
             b.iter(|| black_box(mirror.proof(black_box(&query))))
         });
         g.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
-            let mut cache = ProofCache::default();
+            let cache = ProofCache::default();
             let ca = mirror.ca();
             let epoch = mirror.epoch();
             b.iter(|| black_box(cache.get_or_insert(ca, query, epoch, || mirror.proof(&query))))
@@ -168,10 +189,211 @@ fn bench_status_validation(c: &mut Criterion) {
     });
 }
 
+/// Full rebuilds on the scoped-thread pool vs single-threaded, per worker
+/// count. On a multi-core host the 1M-leaf rebuild should scale with
+/// workers; the per-worker numbers land in BENCH_dictionary.json either
+/// way so the trajectory is visible per machine. The host's available
+/// parallelism is recorded alongside.
+fn bench_parallel_rebuild(c: &mut Criterion) {
+    criterion::json_record(
+        "available_parallelism",
+        None,
+        None,
+        std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
+        "cores",
+    );
+    let mut g = c.benchmark_group("parallel_rebuild");
+    g.sample_size(10);
+    let sizes: &[u32] = if criterion::smoke_mode() {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    for &n in sizes {
+        let base = built_tree(n);
+        for workers in [1usize, 2, 4, 8] {
+            let pool = HashPool::new(workers);
+            g.bench_with_input(
+                BenchmarkId::new(format!("workers{workers}"), n),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut t| {
+                            t.rebuild_with(&pool);
+                            black_box(t.root())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Compressed 5-serial chain multiproof vs 5 independent audit paths: time
+/// to generate, and — the Fig. 7 claim — encoded bytes. The serials are
+/// absent (the common chain case: none of the chain's certificates is
+/// revoked), where each independent proof ships an adjacent *pair* of
+/// paths and compression pays off most.
+fn bench_multiproof_chain(c: &mut Criterion) {
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (_, mirror) = built_pair(n);
+    // Odd serials are absent; spread them across the tree.
+    let chain: Vec<SerialNumber> = (0..5u32)
+        .map(|i| SerialNumber::from_u24(i * (n / 4) * 2 + 1001))
+        .collect();
+
+    c.bench_function(&format!("multiproof_generate_5chain/{n}"), |b| {
+        b.iter(|| black_box(mirror.prove_multi(black_box(&chain))))
+    });
+    c.bench_function(&format!("individual_5proofs_generate/{n}"), |b| {
+        b.iter(|| {
+            for s in &chain {
+                black_box(mirror.prove(black_box(s)));
+            }
+        })
+    });
+
+    // Byte-size comparison (proof-only, per the acceptance criterion, and
+    // full wire statuses including root/freshness dedup).
+    let multi = mirror.prove_multi(&chain);
+    let proof_bytes = multi.proof.encoded_len();
+    let individual_proof_bytes: usize = chain
+        .iter()
+        .map(|s| mirror.prove(s).proof.encoded_len())
+        .sum();
+    let status_bytes = multi.encoded_len();
+    let individual_status_bytes: usize = chain.iter().map(|s| mirror.prove(s).encoded_len()).sum();
+    println!(
+        "multiproof_5chain/{n}: proof {proof_bytes} B vs individual {individual_proof_bytes} B \
+         ({:.1}%); status {status_bytes} B vs {individual_status_bytes} B ({:.1}%)",
+        100.0 * proof_bytes as f64 / individual_proof_bytes as f64,
+        100.0 * status_bytes as f64 / individual_status_bytes as f64,
+    );
+    criterion::json_record(
+        "multiproof_5chain_proof_bytes",
+        Some(n as u64),
+        Some(5),
+        proof_bytes as f64,
+        "bytes",
+    );
+    criterion::json_record(
+        "individual_5chain_proof_bytes",
+        Some(n as u64),
+        Some(5),
+        individual_proof_bytes as f64,
+        "bytes",
+    );
+    criterion::json_record(
+        "multiproof_5chain_status_bytes",
+        Some(n as u64),
+        Some(5),
+        status_bytes as f64,
+        "bytes",
+    );
+    criterion::json_record(
+        "individual_5chain_status_bytes",
+        Some(n as u64),
+        Some(5),
+        individual_status_bytes as f64,
+        "bytes",
+    );
+    assert!(
+        proof_bytes * 10 <= individual_proof_bytes * 6,
+        "acceptance: multiproof must be ≤60% of independent paths"
+    );
+}
+
+/// Concurrent proof serving: N reader threads against (a) the lock-free
+/// snapshot path (`StatusServer`, `&self`) and (b) a serialized baseline
+/// where every reader must take one big lock around the mirror — the shape
+/// the pre-snapshot RA forced via `&mut self`. The hot-set workload (256
+/// serials, mostly cache hits after warm-up) models many flows presenting
+/// the same server certificates.
+fn bench_concurrent_serving(_c: &mut Criterion) {
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let ops_per_thread: u32 = if criterion::smoke_mode() {
+        2_000
+    } else {
+        20_000
+    };
+    let (ca, mirror) = built_pair(n);
+    let ca_id = ca.ca();
+    let hot_set = 256u32;
+
+    let server = StatusServer::new();
+    server.publish(mirror.snapshot());
+    let baseline = std::sync::Mutex::new(mirror);
+
+    for threads in [1u32, 2, 4, 8] {
+        let snapshot_ns = {
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let server = &server;
+                    s.spawn(move || {
+                        for i in 0..ops_per_thread {
+                            let q = SerialNumber::from_u24(((t * 131 + i) % hot_set) * 2 + 1);
+                            black_box(server.status_for(&ca_id, &q).expect("mirrored"));
+                        }
+                    });
+                }
+            });
+            start.elapsed().as_nanos() as f64 / (threads as f64 * ops_per_thread as f64)
+        };
+        let serialized_ns = {
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let baseline = &baseline;
+                    s.spawn(move || {
+                        for i in 0..ops_per_thread {
+                            let q = SerialNumber::from_u24(((t * 131 + i) % hot_set) * 2 + 1);
+                            let guard = baseline.lock().expect("baseline lock");
+                            black_box(guard.prove(&q));
+                        }
+                    });
+                }
+            });
+            start.elapsed().as_nanos() as f64 / (threads as f64 * ops_per_thread as f64)
+        };
+        println!(
+            "concurrent_serve/{threads}threads/{n}: snapshot {snapshot_ns:.0} ns/op, \
+             serialized {serialized_ns:.0} ns/op ({:.2}x)",
+            serialized_ns / snapshot_ns
+        );
+        criterion::json_record(
+            &format!("concurrent_serve_snapshot/{threads}threads"),
+            Some(n as u64),
+            Some(threads as u64),
+            snapshot_ns,
+            "ns/op",
+        );
+        criterion::json_record(
+            &format!("concurrent_serve_serialized/{threads}threads"),
+            Some(n as u64),
+            Some(threads as u64),
+            serialized_ns,
+            "ns/op",
+        );
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
-        bench_cold_vs_cached_proof, bench_status_validation
+        bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
+        bench_multiproof_chain, bench_concurrent_serving
 }
 criterion_main!(benches);

@@ -270,7 +270,7 @@ fn main() {
             full_ms / incr_ms.max(1e-9)
         );
 
-        let mut cache = ritm_agent::ProofCache::default();
+        let cache = ritm_agent::ProofCache::default();
         let ca_id = mirror.ca();
         let epoch = mirror.epoch();
         let cold = time_op(|| {

@@ -182,40 +182,101 @@ pub fn validate_payload_tracked(
     now: u64,
     tracker: &mut RootTracker,
 ) -> Result<Verdict, ValidationError> {
-    if payload.statuses.is_empty() || payload.statuses.len() > chain.len() {
+    if payload.is_empty() || payload.covered() > chain.len() {
         return Err(ValidationError::ChainLengthMismatch {
-            got: payload.statuses.len(),
+            got: payload.covered(),
             expected: chain.len(),
         });
     }
-    // Two-phase check-then-commit: validate every status (regression checks
-    // run against the tracker state *plus* the earlier statuses of this
+    // Two-phase check-then-commit: validate every entry (regression checks
+    // run against the tracker state *plus* the earlier entries of this
     // payload), and only record once the whole payload is accepted — a
     // payload rejected at any point leaves the tracker untouched.
+    //
+    // Coverage walks the chain in order: a compressed multi-status whose
+    // first serial matches the current position consumes its whole run of
+    // chain entries (all must share its CA and match its serials exactly);
+    // otherwise the next individual status covers the position. Coverage
+    // may end early (a leaf-only payload is a valid prefix), but every
+    // payload entry must be consumed.
     let mut pending: HashMap<CaId, (u64, u64)> = HashMap::new();
-    for (status, (ca, serial)) in payload.statuses.iter().zip(chain) {
-        if status.signed_root.ca != *ca {
+    let mut singles = payload.statuses.iter();
+    let mut multis = payload.multi.iter().peekable();
+    let mut pos = 0;
+    while pos < chain.len() {
+        let (ca, serial) = chain[pos];
+        // A multi entry is consumed here only when its *whole* run matches
+        // the chain slice starting at this position; a first-serial match
+        // alone is ambiguous when the chain repeats a serial (the entry
+        // might belong to a later position), so mismatching runs fall
+        // through to individual-status coverage.
+        let next_multi_matches_here = multis.peek().is_some_and(|m| {
+            m.signed_root.ca == ca
+                && m.serials.first() == Some(&serial)
+                && pos + m.serials.len() <= chain.len()
+                && m.serials
+                    .iter()
+                    .zip(&chain[pos..pos + m.serials.len()])
+                    .all(|(ms, (cca, cserial))| *cca == ca && ms == cserial)
+        });
+        if next_multi_matches_here {
+            let m = multis.next().expect("peeked");
+            let end = pos + m.serials.len();
+            let key = ca_keys.get(&ca).ok_or(ValidationError::UnknownCa(ca))?;
+            let outcomes = m
+                .validate(key, delta, now)
+                .map_err(ValidationError::Status)?;
+            let sr = &m.signed_root;
+            if tracker.regresses(sr, pending.get(&ca).copied()) {
+                return Err(ValidationError::RootRegression { ca });
+            }
+            pending.insert(ca, (sr.size, sr.timestamp));
+            for (outcome, (_, cserial)) in outcomes.iter().zip(&chain[pos..end]) {
+                if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
+                    return Ok(Verdict::Revoked {
+                        serial: *cserial,
+                        number: *number,
+                    });
+                }
+            }
+            pos = end;
+            continue;
+        }
+        let Some(status) = singles.next() else {
+            break; // prefix coverage ends here
+        };
+        if status.signed_root.ca != ca {
             return Err(ValidationError::CaMismatch);
         }
-        let key = ca_keys.get(ca).ok_or(ValidationError::UnknownCa(*ca))?;
+        let key = ca_keys.get(&ca).ok_or(ValidationError::UnknownCa(ca))?;
         let outcome = status
-            .validate(serial, key, delta, now)
+            .validate(&serial, key, delta, now)
             .map_err(ValidationError::Status)?;
         let sr = &status.signed_root;
-        if tracker.regresses(sr, pending.get(ca).copied()) {
-            return Err(ValidationError::RootRegression { ca: *ca });
+        if tracker.regresses(sr, pending.get(&ca).copied()) {
+            return Err(ValidationError::RootRegression { ca });
         }
-        pending.insert(*ca, (sr.size, sr.timestamp));
+        pending.insert(ca, (sr.size, sr.timestamp));
         if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
-            return Ok(Verdict::Revoked {
-                serial: *serial,
-                number,
-            });
+            return Ok(Verdict::Revoked { serial, number });
         }
+        pos += 1;
     }
-    for status in &payload.statuses {
+    // Every entry must have matched a chain position.
+    if singles.next().is_some() || multis.next().is_some() {
+        return Err(ValidationError::ChainLengthMismatch {
+            got: payload.covered(),
+            expected: chain.len(),
+        });
+    }
+    for root in payload
+        .statuses
+        .iter()
+        .map(|s| &s.signed_root)
+        .chain(payload.multi.iter().map(|m| &m.signed_root))
+    {
         tracker
-            .observe(&status.signed_root)
+            .observe(root)
             .expect("regression ruled out in the check phase");
     }
     Ok(Verdict::AllValid)
@@ -260,9 +321,132 @@ mod tests {
     }
 
     fn payload_for(f: &Fixture, serial: u32) -> StatusPayload {
+        StatusPayload::single(vec![f.mirror.prove(&SerialNumber::from_u24(serial))])
+    }
+
+    fn multi_payload_for(f: &Fixture, serials: &[u32]) -> StatusPayload {
+        let serials: Vec<SerialNumber> =
+            serials.iter().map(|&v| SerialNumber::from_u24(v)).collect();
         StatusPayload {
-            statuses: vec![f.mirror.prove(&SerialNumber::from_u24(serial))],
+            statuses: vec![],
+            multi: vec![f.mirror.prove_multi(&serials)],
         }
+    }
+
+    fn chain_of(f: &Fixture, serials: &[u32]) -> Vec<(CaId, SerialNumber)> {
+        serials
+            .iter()
+            .map(|&v| (f.ca.ca(), SerialNumber::from_u24(v)))
+            .collect()
+    }
+
+    #[test]
+    fn compressed_chain_all_absent_accepted() {
+        let f = fixture();
+        let chain = chain_of(&f, &[200, 300, 400]);
+        let payload = multi_payload_for(&f, &[200, 300, 400]);
+        let v = validate_payload(&payload, &chain, &f.keys, DELTA, T0 + 2).unwrap();
+        assert_eq!(v, Verdict::AllValid);
+    }
+
+    #[test]
+    fn compressed_chain_detects_revoked() {
+        let f = fixture();
+        // 55 is revoked in the fixture.
+        let chain = chain_of(&f, &[200, 55, 400]);
+        let payload = multi_payload_for(&f, &[200, 55, 400]);
+        let v = validate_payload(&payload, &chain, &f.keys, DELTA, T0 + 2).unwrap();
+        assert!(
+            matches!(v, Verdict::Revoked { serial, .. } if serial == SerialNumber::from_u24(55))
+        );
+    }
+
+    #[test]
+    fn compressed_entry_must_match_chain_serials() {
+        let f = fixture();
+        // Proof covers (200, 300) but the chain presents (200, 301): the
+        // entry matches no chain run, is never consumed, and the payload
+        // is rejected for covering nothing that exists.
+        let chain = chain_of(&f, &[200, 301]);
+        let payload = multi_payload_for(&f, &[200, 300]);
+        let err = validate_payload(&payload, &chain, &f.keys, DELTA, T0 + 2).unwrap_err();
+        assert!(matches!(err, ValidationError::ChainLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn repeated_serial_chain_routes_multi_to_its_own_run() {
+        // Chain [(A,s),(A,s),(A,x)]: the RA proves the leaf individually
+        // and compresses positions 1-2 as [s, x]. The multi's first serial
+        // equals position 0's serial, but its full run only matches at
+        // position 1 — the validator must not misroute it.
+        let f = fixture();
+        let s = 200u32;
+        let x = 300u32;
+        let chain = chain_of(&f, &[s, s, x]);
+        let payload = StatusPayload {
+            statuses: vec![f.mirror.prove(&SerialNumber::from_u24(s))],
+            multi: vec![f
+                .mirror
+                .prove_multi(&[SerialNumber::from_u24(s), SerialNumber::from_u24(x)])],
+        };
+        let v = validate_payload(&payload, &chain, &f.keys, DELTA, T0 + 2).unwrap();
+        assert_eq!(v, Verdict::AllValid);
+    }
+
+    #[test]
+    fn compressed_entry_longer_than_chain_rejected() {
+        let f = fixture();
+        let chain = chain_of(&f, &[200]);
+        let payload = multi_payload_for(&f, &[200, 300]);
+        let err = validate_payload(&payload, &chain, &f.keys, DELTA, T0 + 2).unwrap_err();
+        assert!(matches!(err, ValidationError::ChainLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn mixed_single_and_compressed_coverage() {
+        let f = fixture();
+        // Leaf proven individually, the two intermediates compressed.
+        let chain = chain_of(&f, &[200, 300, 400]);
+        let payload = StatusPayload {
+            statuses: vec![f.mirror.prove(&SerialNumber::from_u24(200))],
+            multi: vec![f
+                .mirror
+                .prove_multi(&[SerialNumber::from_u24(300), SerialNumber::from_u24(400)])],
+        };
+        let round = StatusPayload::from_bytes(&payload.to_bytes()).unwrap();
+        assert_eq!(round, payload, "mixed payload must round-trip");
+        let v = validate_payload(&round, &chain, &f.keys, DELTA, T0 + 2).unwrap();
+        assert_eq!(v, Verdict::AllValid);
+    }
+
+    #[test]
+    fn replayed_compressed_root_rejected_by_tracker() {
+        let mut f = fixture();
+        let mut rng = StdRng::seed_from_u64(57);
+        let chain = chain_of(&f, &[200, 300]);
+        let mut tracker = RootTracker::new();
+        let old_payload = multi_payload_for(&f, &[200, 300]);
+
+        let iss =
+            f.ca.insert(&[SerialNumber::from_u24(900)], &mut rng, T0 + 2)
+                .unwrap();
+        f.mirror.apply_issuance(&iss, T0 + 2).unwrap();
+        let v = validate_payload_tracked(
+            &multi_payload_for(&f, &[200, 300]),
+            &chain,
+            &f.keys,
+            DELTA,
+            T0 + 3,
+            &mut tracker,
+        )
+        .unwrap();
+        assert_eq!(v, Verdict::AllValid);
+        assert_eq!(tracker.newest(&f.ca.ca()), Some((11, T0 + 2)));
+
+        let err =
+            validate_payload_tracked(&old_payload, &chain, &f.keys, DELTA, T0 + 3, &mut tracker)
+                .unwrap_err();
+        assert_eq!(err, ValidationError::RootRegression { ca: f.ca.ca() });
     }
 
     #[test]
@@ -388,9 +572,7 @@ mod tests {
         f.mirror.apply_issuance(&iss, T0 + 2).unwrap();
         let new_status = f.mirror.prove(&SerialNumber::from_u24(200));
 
-        let payload = StatusPayload {
-            statuses: vec![new_status, old_status],
-        };
+        let payload = StatusPayload::single(vec![new_status, old_status]);
         let chain = [
             (f.ca.ca(), SerialNumber::from_u24(200)),
             (f.ca.ca(), SerialNumber::from_u24(200)),
@@ -429,14 +611,8 @@ mod tests {
     fn empty_payload_rejected() {
         let f = fixture();
         let chain = [(f.ca.ca(), SerialNumber::from_u24(200))];
-        let err = validate_payload(
-            &StatusPayload { statuses: vec![] },
-            &chain,
-            &f.keys,
-            DELTA,
-            T0 + 2,
-        )
-        .unwrap_err();
+        let err = validate_payload(&StatusPayload::default(), &chain, &f.keys, DELTA, T0 + 2)
+            .unwrap_err();
         assert!(matches!(err, ValidationError::ChainLengthMismatch { .. }));
     }
 }

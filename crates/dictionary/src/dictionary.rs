@@ -29,9 +29,17 @@ pub struct RevocationIssuance {
 }
 
 impl RevocationIssuance {
-    /// Serializes the issuance for dissemination.
+    /// Exact encoded size in bytes, computed without serializing.
+    pub fn encoded_len(&self) -> usize {
+        8 + 4
+            + self.serials.iter().map(|s| 1 + s.len()).sum::<usize>()
+            + crate::root::SIGNED_ROOT_LEN
+    }
+
+    /// Serializes the issuance for dissemination (pre-sized to
+    /// [`RevocationIssuance::encoded_len`]; never reallocates).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(self.encoded_len());
         w.u64(self.first_number);
         w.u32(self.serials.len() as u32);
         for s in &self.serials {
@@ -145,9 +153,10 @@ impl RevocationStatus {
     }
 
     /// Serializes the status (this is the payload piggybacked onto TLS; its
-    /// size is the paper's 500–900 byte figure, §VII-D).
+    /// size is the paper's 500–900 byte figure, §VII-D). Pre-sized to
+    /// [`RevocationStatus::encoded_len`]; never reallocates.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(self.encoded_len());
         w.vec16(&self.proof.to_bytes());
         w.bytes(&self.signed_root.to_bytes());
         w.bytes(&self.freshness.to_bytes());
@@ -176,6 +185,118 @@ impl RevocationStatus {
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
         2 + self.proof.encoded_len() + crate::root::SIGNED_ROOT_LEN + 20
+    }
+}
+
+/// A compressed revocation status for several serials of **one** CA's
+/// chain: a single [`MultiProof`] plus one signed root and one freshness
+/// statement instead of `k` independent [`RevocationStatus`] objects.
+///
+/// This is the wire form of the §VIII certificate-chain optimization: the
+/// audit paths of a chain's serials share most of their sibling nodes, and
+/// the root/freshness pair is common to all of them, so the compressed
+/// status shrinks the per-handshake communication overhead (Fig. 7)
+/// substantially for multi-certificate chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiRevocationStatus {
+    /// The serials covered, in chain order.
+    pub serials: Vec<SerialNumber>,
+    /// One compressed proof answering every serial.
+    pub proof: crate::proof::MultiProof,
+    /// The signed root the proof commits to.
+    pub signed_root: SignedRoot,
+    /// The latest freshness statement for that root.
+    pub freshness: FreshnessStatement,
+}
+
+impl MultiRevocationStatus {
+    /// Client-side validation: signature, compressed proof, freshness —
+    /// each checked **once** for the whole serial set.
+    ///
+    /// Returns one proven status per covered serial, aligned with
+    /// [`MultiRevocationStatus::serials`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check as a [`StatusError`].
+    pub fn validate(
+        &self,
+        ca_key: &VerifyingKey,
+        delta: u64,
+        now: u64,
+    ) -> Result<Vec<ProvenStatus>, StatusError> {
+        self.signed_root
+            .verify(ca_key)
+            .map_err(|_| StatusError::BadSignature)?;
+        let statuses = self
+            .proof
+            .verify(&self.serials, &self.signed_root.root, self.signed_root.size)
+            .map_err(StatusError::BadProof)?;
+        self.freshness
+            .verify(&self.signed_root, delta, now)
+            .map_err(StatusError::NotFresh)?;
+        Ok(statuses)
+    }
+
+    /// Exact encoded size in bytes, computed without serializing.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.serials.iter().map(|s| 1 + s.len()).sum::<usize>()
+            + 3
+            + self.proof.encoded_len()
+            + crate::root::SIGNED_ROOT_LEN
+            + 20
+    }
+
+    /// Serializes the compressed status (pre-sized; never reallocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 255 serials are covered (a silent truncation
+    /// would emit an undecodable payload; real chains are single digits).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.encoded_len());
+        assert!(
+            self.serials.len() <= u8::MAX as usize,
+            "multi status serial count overflow"
+        );
+        w.u8(self.serials.len() as u8);
+        for s in &self.serials {
+            w.vec8(s.as_bytes());
+        }
+        w.vec24(&self.proof.to_bytes());
+        w.bytes(&self.signed_root.to_bytes());
+        w.bytes(&self.freshness.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Parses a compressed status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let n = r.u8("multi status serial count")? as usize;
+        r.check_count(n, 2, "multi status serial count exceeds buffer")?;
+        let mut serials = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = r.vec8("multi status serial")?;
+            serials.push(
+                SerialNumber::new(raw)
+                    .map_err(|_| DecodeError::new("invalid serial", r.position()))?,
+            );
+        }
+        let proof_bytes = r.vec24("multi status proof")?;
+        let proof = crate::proof::MultiProof::from_bytes(proof_bytes)?;
+        let signed_root = SignedRoot::decode(&mut r)?;
+        let freshness = FreshnessStatement::decode(&mut r)?;
+        r.finish("multi status trailing bytes")?;
+        Ok(MultiRevocationStatus {
+            serials,
+            proof,
+            signed_root,
+            freshness,
+        })
     }
 }
 
@@ -610,6 +731,31 @@ impl MirrorDictionary {
             signed_root: self.signed_root,
             freshness: self.freshness,
         }
+    }
+
+    /// Builds a compressed status covering all of `serials` with one proof,
+    /// one signed root, and one freshness statement (§VIII chains).
+    pub fn prove_multi(&self, serials: &[SerialNumber]) -> MultiRevocationStatus {
+        MultiRevocationStatus {
+            serials: serials.to_vec(),
+            proof: crate::proof::MultiProof::generate(&self.tree, serials),
+            signed_root: self.signed_root,
+            freshness: self.freshness,
+        }
+    }
+
+    /// Freezes the mirror's current state into an immutable
+    /// [`crate::snapshot::DictionarySnapshot`] for lock-free serving. The
+    /// copy is built off the read path (writers publish it afterwards with
+    /// [`crate::snapshot::SnapshotCell::publish`]).
+    pub fn snapshot(&self) -> crate::snapshot::DictionarySnapshot {
+        crate::snapshot::DictionarySnapshot::new(
+            self.ca,
+            self.epoch(),
+            self.tree.clone(),
+            self.signed_root,
+            self.freshness,
+        )
     }
 
     /// Count of consecutive revocations held — what the RA reports to an

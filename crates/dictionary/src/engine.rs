@@ -339,6 +339,14 @@ pub trait MirrorEngine: DictionaryEngine + Sized {
     /// [`current_signed_root`]: MirrorEngine::current_signed_root
     /// [`current_freshness`]: MirrorEngine::current_freshness
     fn generate_proof(&self, serial: &SerialNumber) -> RevocationProof;
+
+    /// Freezes the mirror's current tree, signed root, and freshness into
+    /// an immutable [`DictionarySnapshot`] for lock-free concurrent proof
+    /// serving. Writers build the snapshot off to the side and publish it
+    /// through a [`crate::snapshot::SnapshotCell`].
+    ///
+    /// [`DictionarySnapshot`]: crate::snapshot::DictionarySnapshot
+    fn snapshot(&self) -> crate::snapshot::DictionarySnapshot;
 }
 
 impl MirrorEngine for MirrorDictionary {
@@ -364,6 +372,10 @@ impl MirrorEngine for MirrorDictionary {
 
     fn generate_proof(&self, serial: &SerialNumber) -> RevocationProof {
         self.proof(serial)
+    }
+
+    fn snapshot(&self) -> crate::snapshot::DictionarySnapshot {
+        MirrorDictionary::snapshot(self)
     }
 }
 

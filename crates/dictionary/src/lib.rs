@@ -12,7 +12,13 @@
 //! * [`engine`] — the [`DictionaryEngine`] / [`MirrorEngine`] traits
 //!   (Fig. 2 `insert`/`refresh`/`update`/`prove` plus `root` and `epoch`)
 //!   that CA, RA, and client code program against;
-//! * [`proof`] — presence and absence proofs;
+//! * [`parallel`] — the scoped-thread [`HashPool`] that fans tree hashing
+//!   out across cores;
+//! * [`snapshot`] — immutable, epoch-stamped [`DictionarySnapshot`]s
+//!   published RCU-style through [`SnapshotCell`]s for lock-free proof
+//!   serving;
+//! * [`proof`] — presence and absence proofs, plus the compressed
+//!   [`MultiProof`] for certificate chains;
 //! * [`root`] — signed roots, Eq. (1);
 //! * [`freshness`] — hash-chain freshness statements, Eq. (2);
 //! * [`dictionary`] — [`CaDictionary`] (`insert`/`refresh`) and
@@ -59,19 +65,23 @@ pub mod consistency;
 pub mod dictionary;
 pub mod engine;
 pub mod freshness;
+pub mod parallel;
 pub mod proof;
 pub mod root;
 pub mod serial;
 pub mod sharding;
+pub mod snapshot;
 pub mod tree;
 
 pub use dictionary::{
-    CaDictionary, MirrorDictionary, RefreshMessage, RevocationIssuance, RevocationStatus,
-    StatusError, UpdateError,
+    CaDictionary, MirrorDictionary, MultiRevocationStatus, RefreshMessage, RevocationIssuance,
+    RevocationStatus, StatusError, UpdateError,
 };
 pub use engine::{DictionaryEngine, EngineError, MirrorEngine, UpdateMessage};
 pub use freshness::{FreshnessError, FreshnessStatement};
-pub use proof::{PresenceProof, ProofError, ProvenStatus, RevocationProof};
+pub use parallel::HashPool;
+pub use proof::{MultiProof, PresenceProof, ProofError, ProvenStatus, RevocationProof};
 pub use root::{CaId, SignedRoot};
 pub use serial::{SerialError, SerialNumber};
 pub use sharding::ShardedCa;
+pub use snapshot::{DictionarySnapshot, SnapshotCell};

@@ -10,7 +10,7 @@
 use crate::dictionary::{CaDictionary, RefreshMessage, RevocationIssuance, RevocationStatus};
 use crate::root::CaId;
 use crate::serial::SerialNumber;
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 use ritm_crypto::digest::Digest20;
 use ritm_crypto::ed25519::{SigningKey, VerifyingKey};
 use std::collections::BTreeMap;
@@ -152,6 +152,77 @@ impl ShardedCa {
             self.epoch += 1;
         }
         issued
+    }
+
+    /// Batch-revokes `(serial, expiry)` pairs, routing each to its expiry
+    /// bucket and applying the per-shard batches **concurrently** on
+    /// `pool`: shards are independent dictionaries (own tree, own hash
+    /// chain, own signed root), so a Heartbleed-scale revocation storm
+    /// spanning several buckets inserts, rebuilds, and re-signs every
+    /// shard in parallel.
+    ///
+    /// Missing shards are created first (sequentially — creation is cheap);
+    /// each shard's insert then runs on its own worker with an independent
+    /// RNG seeded from the caller's. Returns the issuances in bucket order
+    /// (deterministic; empty entries for shards where every serial was
+    /// already revoked are omitted).
+    pub fn revoke_batch_sharded<R: RngCore + ?Sized>(
+        &mut self,
+        entries: &[(SerialNumber, u64)],
+        pool: &crate::parallel::HashPool,
+        rng: &mut R,
+        now: u64,
+    ) -> Vec<(CaId, RevocationIssuance)> {
+        use std::collections::BTreeMap;
+        let mut by_bucket: BTreeMap<u64, Vec<SerialNumber>> = BTreeMap::new();
+        for (serial, expiry) in entries {
+            by_bucket
+                .entry(self.bucket_of(*expiry))
+                .or_default()
+                .push(*serial);
+        }
+        // Create missing shards up front so the parallel phase only needs
+        // disjoint &mut borrows of existing dictionaries.
+        for &bucket in by_bucket.keys() {
+            if !self.shards.contains_key(&bucket) {
+                let dict = CaDictionary::new(
+                    self.shard_id(bucket * self.bucket_secs),
+                    self.key.clone(),
+                    self.delta,
+                    self.chain_len,
+                    rng,
+                    now,
+                );
+                self.shards.insert(bucket, dict);
+            }
+        }
+        // Seed one RNG per shard from the caller's stream (deterministic
+        // given the caller's seed, independent across workers).
+        let seeds: BTreeMap<u64, u64> = by_bucket.keys().map(|&b| (b, rng.next_u64())).collect();
+        let tasks: Vec<(u64, &mut CaDictionary, Vec<SerialNumber>, u64)> = {
+            let mut batches = by_bucket;
+            self.shards
+                .iter_mut()
+                .filter_map(|(bucket, dict)| {
+                    let serials = batches.remove(bucket)?;
+                    Some((*bucket, dict, serials, seeds[bucket]))
+                })
+                .collect()
+        };
+        let issued: Vec<(CaId, Option<RevocationIssuance>)> =
+            pool.run_tasks(tasks, |(_bucket, dict, serials, seed)| {
+                let mut shard_rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let ca = dict.ca();
+                (ca, dict.insert(&serials, &mut shard_rng, now))
+            });
+        let out: Vec<(CaId, RevocationIssuance)> = issued
+            .into_iter()
+            .filter_map(|(ca, iss)| iss.map(|i| (ca, i)))
+            .collect();
+        if !out.is_empty() {
+            self.epoch += 1;
+        }
+        out
     }
 
     /// The newest shard's freshness statement for `now`, if any shard
@@ -323,6 +394,38 @@ mod tests {
         ca.prune_expired(500);
         assert!(ca.storage_bytes() < before);
         assert_eq!(ca.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn parallel_sharded_batch_matches_sequential_routing() {
+        // The same entries applied via revoke_batch_sharded (multi-worker)
+        // and via per-entry revoke (sequential) must land in the same
+        // shards with the same revocations.
+        let (mut par, _) = sharded();
+        let (mut seq, mut rng_seq) = sharded();
+        let entries: Vec<(SerialNumber, u64)> = (0..40u32)
+            .map(|i| (SerialNumber::from_u24(i), (i as u64 % 4) * BUCKET + 10))
+            .collect();
+
+        let mut rng_par = StdRng::seed_from_u64(11);
+        let pool = crate::parallel::HashPool::new(4);
+        let issued = par.revoke_batch_sharded(&entries, &pool, &mut rng_par, 0);
+        assert_eq!(issued.len(), 4, "one issuance per touched bucket");
+
+        for (serial, expiry) in &entries {
+            seq.revoke(*serial, *expiry, &mut rng_seq, 0);
+        }
+        assert_eq!(par.shard_count(), seq.shard_count());
+        assert_eq!(par.total_revocations(), seq.total_revocations());
+        for ((b1, d1), (b2, d2)) in par.shards().zip(seq.shards()) {
+            assert_eq!(b1, b2);
+            assert_eq!(d1.signed_root().root, d2.signed_root().root, "bucket {b1}");
+            assert_eq!(d1.ca(), d2.ca());
+        }
+
+        // Re-applying the same serials yields nothing new.
+        let again = par.revoke_batch_sharded(&entries, &pool, &mut rng_par, 1);
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Immutable, epoch-stamped dictionary snapshots for lock-free proof
+//! serving.
+//!
+//! A production RA serves revocation proofs to many concurrent handshake
+//! flows while a background thread applies issuance batches and freshness
+//! refreshes. Serving everything through `&mut` serializes readers behind
+//! writers; instead, the writer builds a [`DictionarySnapshot`] — a frozen
+//! copy of the mirror's tree, signed root, and freshness statement at one
+//! epoch — *off to the side* and publishes it into a [`SnapshotCell`] with
+//! an RCU-style pointer swap. Readers `load()` an `Arc` to the current
+//! snapshot and generate any number of proofs from plain `&self` without
+//! ever blocking the writer (or each other); a snapshot stays alive until
+//! its last reader drops it.
+//!
+//! The cell's hot path is an `Arc` clone under an uncontended read lock —
+//! a single atomic acquire — and writers hold the write lock only for the
+//! pointer swap itself, never while building the next snapshot.
+
+use crate::dictionary::RevocationStatus;
+use crate::freshness::FreshnessStatement;
+use crate::proof::{MultiProof, RevocationProof};
+use crate::root::{CaId, SignedRoot};
+use crate::serial::SerialNumber;
+use crate::tree::MerkleTree;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A frozen, self-consistent view of one mirrored dictionary.
+///
+/// Everything needed to serve a complete revocation status — tree, signed
+/// root, freshness statement — is captured together, so a status composed
+/// from one snapshot always verifies against its own root.
+#[derive(Debug, Clone)]
+pub struct DictionarySnapshot {
+    ca: CaId,
+    epoch: u64,
+    /// `Arc`-shared so same-epoch republications (freshness refreshes,
+    /// root rotations — no content change) reuse the frozen tree instead
+    /// of paying another O(n) copy.
+    tree: Arc<MerkleTree>,
+    signed_root: SignedRoot,
+    freshness: FreshnessStatement,
+}
+
+impl DictionarySnapshot {
+    /// Freezes the given state. The tree must be rebuilt (proof-ready).
+    pub fn new(
+        ca: CaId,
+        epoch: u64,
+        tree: MerkleTree,
+        signed_root: SignedRoot,
+        freshness: FreshnessStatement,
+    ) -> Self {
+        DictionarySnapshot {
+            ca,
+            epoch,
+            tree: Arc::new(tree),
+            signed_root,
+            freshness,
+        }
+    }
+
+    /// A snapshot at the **same epoch** with a new signed root and
+    /// freshness statement, sharing this snapshot's frozen tree (an `Arc`
+    /// clone, not a copy). This is the cheap republish for freshness-only
+    /// refreshes and root rotations, where the dictionary content — and
+    /// therefore every audit path — is unchanged.
+    pub fn with_root_and_freshness(
+        &self,
+        signed_root: SignedRoot,
+        freshness: FreshnessStatement,
+    ) -> Self {
+        DictionarySnapshot {
+            ca: self.ca,
+            epoch: self.epoch,
+            tree: Arc::clone(&self.tree),
+            signed_root,
+            freshness,
+        }
+    }
+
+    /// The CA whose dictionary this snapshot freezes.
+    pub fn ca(&self) -> CaId {
+        self.ca
+    }
+
+    /// The content epoch this snapshot was taken at. Proofs generated from
+    /// the snapshot are valid exactly for this epoch — proof caches key on
+    /// it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The signed root the snapshot's proofs commit to.
+    pub fn signed_root(&self) -> &SignedRoot {
+        &self.signed_root
+    }
+
+    /// The freshness statement captured with the root.
+    pub fn freshness(&self) -> &FreshnessStatement {
+        &self.freshness
+    }
+
+    /// Revocations in the snapshot.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when the snapshot holds no revocations.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Whether `serial` is revoked in this snapshot.
+    pub fn contains(&self, serial: &SerialNumber) -> bool {
+        self.tree.find(serial).is_some()
+    }
+
+    /// Generates the bare audit-path proof for `serial` (`&self`; any
+    /// number of threads may prove concurrently).
+    pub fn proof(&self, serial: &SerialNumber) -> RevocationProof {
+        RevocationProof::generate(&self.tree, serial)
+    }
+
+    /// Generates a compressed [`MultiProof`] for a set of serials.
+    pub fn multi_proof(&self, serials: &[SerialNumber]) -> MultiProof {
+        MultiProof::generate(&self.tree, serials)
+    }
+
+    /// Builds the full revocation status (Eq. 3) for `serial` from this
+    /// snapshot's root and freshness.
+    pub fn status(&self, serial: &SerialNumber) -> RevocationStatus {
+        RevocationStatus {
+            proof: self.proof(serial),
+            signed_root: self.signed_root,
+            freshness: self.freshness,
+        }
+    }
+}
+
+/// An RCU-style publication slot for the current snapshot of one mirror.
+///
+/// Writers [`publish`] a fully-built snapshot; readers [`load`] the current
+/// one. Neither ever waits on proof generation or tree application — the
+/// write lock guards only the pointer swap.
+///
+/// [`publish`]: SnapshotCell::publish
+/// [`load`]: SnapshotCell::load
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<DictionarySnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell holding `snapshot`.
+    pub fn new(snapshot: DictionarySnapshot) -> Self {
+        SnapshotCell {
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone); the returned snapshot
+    /// stays valid however many swaps happen afterwards.
+    pub fn load(&self) -> Arc<DictionarySnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Atomically replaces the current snapshot. The old snapshot is freed
+    /// when its last reader drops it (classic RCU grace period via `Arc`).
+    pub fn publish(&self, snapshot: DictionarySnapshot) {
+        let next = Arc::new(snapshot);
+        *self.current.write() = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::{CaDictionary, MirrorDictionary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_crypto::ed25519::SigningKey;
+
+    const T0: u64 = 1_000_000;
+
+    fn mirror_with(n: u32) -> (CaDictionary, MirrorDictionary) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("SnapCA"),
+            SigningKey::from_seed([1u8; 32]),
+            10,
+            64,
+            &mut rng,
+            T0,
+        );
+        let mut m = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+        m.set_delta(10);
+        let serials: Vec<SerialNumber> = (0..n).map(SerialNumber::from_u24).collect();
+        let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+        m.apply_issuance(&iss, T0 + 1).unwrap();
+        (ca, m)
+    }
+
+    #[test]
+    fn snapshot_serves_consistent_statuses() {
+        let (ca, m) = mirror_with(10);
+        let snap = m.snapshot();
+        assert_eq!(snap.epoch(), m.epoch());
+        assert_eq!(snap.len(), 10);
+        let status = snap.status(&SerialNumber::from_u24(3));
+        let outcome = status
+            .validate(&SerialNumber::from_u24(3), &ca.verifying_key(), 10, T0 + 2)
+            .unwrap();
+        assert!(outcome.is_revoked());
+    }
+
+    #[test]
+    fn old_snapshot_survives_publish() {
+        let (mut ca, mut m) = mirror_with(5);
+        let cell = SnapshotCell::new(m.snapshot());
+        let old = cell.load();
+
+        // Writer advances the mirror and publishes the new epoch.
+        let mut rng = StdRng::seed_from_u64(6);
+        let iss = ca
+            .insert(&[SerialNumber::from_u24(99)], &mut rng, T0 + 2)
+            .unwrap();
+        m.apply_issuance(&iss, T0 + 2).unwrap();
+        cell.publish(m.snapshot());
+
+        let new = cell.load();
+        assert!(new.epoch() > old.epoch());
+        assert_eq!(old.len(), 5, "retained snapshot still serves its epoch");
+        assert_eq!(new.len(), 6);
+        // The old snapshot's proofs still verify against the old root.
+        let s = SerialNumber::from_u24(2);
+        let implied = old.proof(&s);
+        assert!(implied
+            .verify(&s, &old.signed_root().root, old.signed_root().size)
+            .is_ok());
+    }
+}

@@ -7,6 +7,7 @@
 //! level is promoted unchanged (RFC 6962 style), so the tree handles any leaf
 //! count.
 
+use crate::parallel::HashPool;
 use crate::serial::SerialNumber;
 use ritm_crypto::digest::Digest20;
 
@@ -143,15 +144,25 @@ impl MerkleTree {
     }
 
     /// Recomputes all interior levels. Idempotent (does not bump the epoch
-    /// unless leaves were invalidated since the last build).
+    /// unless leaves were invalidated since the last build). Large trees are
+    /// hashed on the global [`HashPool`]; use [`MerkleTree::rebuild_with`]
+    /// to control the worker count explicitly.
     pub fn rebuild(&mut self) {
+        self.rebuild_with(HashPool::global());
+    }
+
+    /// [`MerkleTree::rebuild`] on an explicit pool: leaf hashing and each
+    /// interior level fan out across the pool's workers (contiguous chunks,
+    /// joined in order, so the result is bit-identical to sequential).
+    pub fn rebuild_with(&mut self, pool: &HashPool) {
         self.levels.clear();
         if self.leaves.is_empty() {
             return;
         }
+        let leaves = &self.leaves;
         self.levels
-            .push(self.leaves.iter().map(Leaf::hash).collect());
-        self.rehash_levels_from(0);
+            .push(pool.map_range(0, leaves.len(), |i| leaves[i].hash()));
+        self.rehash_levels_from(0, pool);
     }
 
     /// Applies a batch of new leaves, rehashing only the node paths at or
@@ -167,6 +178,13 @@ impl MerkleTree {
     /// always correct; the return value reports which path ran (`true` =
     /// incremental).
     pub fn apply_sorted_batch(&mut self, batch: &[Leaf]) -> bool {
+        self.apply_sorted_batch_with(batch, HashPool::global())
+    }
+
+    /// [`MerkleTree::apply_sorted_batch`] on an explicit pool: the batch's
+    /// leaf hashes (and the rehashed interior suffix) fan out across the
+    /// pool's workers when the batch is large.
+    pub fn apply_sorted_batch_with(&mut self, batch: &[Leaf], pool: &HashPool) -> bool {
         if batch.is_empty() {
             return true;
         }
@@ -175,10 +193,11 @@ impl MerkleTree {
             && batch.iter().all(|l| self.find(&l.serial).is_none());
         if !invariants_hold {
             self.extend_leaves(batch.iter().copied());
-            self.rebuild();
+            self.rebuild_with(pool);
             return false;
         }
 
+        let batch_hashes = pool.map_range(0, batch.len(), |i| batch[i].hash());
         let dirty_from = self.leaves.partition_point(|l| l.serial < batch[0].serial);
         let old_len = self.leaves.len();
         if self.levels.is_empty() {
@@ -188,7 +207,7 @@ impl MerkleTree {
             // Pure append (fresh serials sort after every existing leaf —
             // the common issuance pattern): extend in place, no merge.
             self.leaves.extend_from_slice(batch);
-            self.levels[0].extend(batch.iter().map(Leaf::hash));
+            self.levels[0].extend(batch_hashes);
         } else {
             // Merge the sorted batch into the sorted leaves (and their
             // hashes into level 0) in one pass; no hashing of old leaves.
@@ -200,6 +219,7 @@ impl MerkleTree {
             merged.extend_from_slice(&self.leaves[..dirty_from]);
             merged_hashes.extend_from_slice(&self.levels[0][..dirty_from]);
             let mut old_idx = dirty_from;
+            let mut new_idx = 0;
             loop {
                 let take_old = match (old.peek(), new.peek()) {
                     (Some(o), Some(n)) => o.serial < n.serial,
@@ -212,15 +232,15 @@ impl MerkleTree {
                     merged_hashes.push(self.levels[0][old_idx]);
                     old_idx += 1;
                 } else {
-                    let leaf = *new.next().expect("peeked");
-                    merged.push(leaf);
-                    merged_hashes.push(leaf.hash());
+                    merged.push(*new.next().expect("peeked"));
+                    merged_hashes.push(batch_hashes[new_idx]);
+                    new_idx += 1;
                 }
             }
             self.leaves = merged;
             self.levels[0] = merged_hashes;
         }
-        self.rehash_levels_from(dirty_from);
+        self.rehash_levels_from(dirty_from, pool);
         self.epoch += 1;
         true
     }
@@ -245,11 +265,13 @@ impl MerkleTree {
         if self.leaves.is_empty() {
             self.levels.clear();
         } else {
+            let pool = HashPool::global();
             let mut hashes = core::mem::take(&mut self.levels[0]);
             hashes.truncate(first);
-            hashes.extend(self.leaves[first..].iter().map(Leaf::hash));
+            let leaves = &self.leaves;
+            hashes.extend(pool.map_range(first, leaves.len(), |i| leaves[i].hash()));
             self.levels[0] = hashes;
-            self.rehash_levels_from(first);
+            self.rehash_levels_from(first, pool);
         }
         self.epoch += 1;
         removed
@@ -257,8 +279,10 @@ impl MerkleTree {
 
     /// Rebuilds the interior levels above valid level-0 hashes, recomputing
     /// only nodes whose subtree includes a position `>= dirty_from` and
-    /// reusing everything to the left.
-    fn rehash_levels_from(&mut self, mut dirty_from: usize) {
+    /// reusing everything to the left. Wide dirty spans within a level are
+    /// hashed in parallel on `pool` (each parent node depends only on its
+    /// two children, so a level is embarrassingly parallel).
+    fn rehash_levels_from(&mut self, mut dirty_from: usize, pool: &HashPool) {
         let mut k = 0;
         while self.levels[k].len() > 1 {
             let child_len = self.levels[k].len();
@@ -271,14 +295,14 @@ impl MerkleTree {
             let child = &children[k];
             let parent = &mut parents[0];
             parent.truncate(dirty_from.min(parent_len));
-            for j in parent.len()..parent_len {
-                let node = if 2 * j + 1 < child_len {
+            let fresh = pool.map_range(parent.len(), parent_len, |j| {
+                if 2 * j + 1 < child_len {
                     node_hash(&child[2 * j], &child[2 * j + 1])
                 } else {
                     child[2 * j] // odd node promoted
-                };
-                parent.push(node);
-            }
+                }
+            });
+            parent.extend(fresh);
             k += 1;
         }
         self.levels.truncate(k + 1);
@@ -335,6 +359,20 @@ impl MerkleTree {
             idx /= 2;
         }
         path
+    }
+
+    /// The cached hashes of `level` (0 = leaf hashes); used by the
+    /// multiproof generator to read sibling nodes directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree needs a rebuild or `level` is out of range.
+    pub(crate) fn level_hashes(&self, level: usize) -> &[Digest20] {
+        assert!(
+            !self.levels.is_empty(),
+            "call rebuild() before reading level hashes"
+        );
+        &self.levels[level]
     }
 
     /// Approximate heap usage of the interior levels plus leaf storage, for
@@ -523,6 +561,30 @@ mod tests {
         let mut t = tree_with(&[1]);
         t.insert_sorted(Leaf::new(SerialNumber::from_u24(2), 2));
         let _ = t.root();
+    }
+
+    #[test]
+    fn parallel_rebuild_matches_sequential() {
+        // Above PAR_THRESHOLD leaves so the pool actually fans out; the
+        // parallel chunking must be invisible in the resulting tree.
+        let n = crate::parallel::PAR_THRESHOLD as u32 + 513;
+        let mut seq = MerkleTree::new();
+        seq.extend_leaves((0..n).map(|i| Leaf::new(SerialNumber::from_u24(i * 2), i as u64 + 1)));
+        let mut par = seq.clone();
+        seq.rebuild_with(&HashPool::sequential());
+        par.rebuild_with(&HashPool::new(4));
+        assert_eq!(seq.root(), par.root());
+        for i in [0usize, 1, 4095, 4096, n as usize - 1] {
+            assert_eq!(seq.audit_path(i), par.audit_path(i), "path {i}");
+        }
+
+        // Incremental batches through a multi-worker pool stay identical too.
+        let batch: Vec<Leaf> = (0..crate::parallel::PAR_THRESHOLD as u32 + 11)
+            .map(|i| Leaf::new(SerialNumber::from_u24(n * 2 + 1 + i), (n + i) as u64 + 1))
+            .collect();
+        assert!(seq.apply_sorted_batch_with(&batch, &HashPool::sequential()));
+        assert!(par.apply_sorted_batch_with(&batch, &HashPool::new(4)));
+        assert_eq!(seq.root(), par.root());
     }
 
     #[test]

@@ -215,6 +215,83 @@ proptest! {
         }
     }
 
+    /// A `MultiProof` over any query set is bit-equivalent to verifying each
+    /// serial's individual audit path against the same root: same verdict
+    /// per serial (presence *and* absence), same acceptance — and after the
+    /// dictionary advances an epoch, both the multiproof and every
+    /// individual proof are rejected against the new root.
+    #[test]
+    fn multiproof_equivalent_to_individual_paths(
+        batch in prop::collection::vec(0u32..5_000, 0..100),
+        queries in prop::collection::vec(0u32..6_000, 1..12),
+        growth in prop::collection::vec(6_000u32..6_500, 1..4),
+    ) {
+        // Canonical tree construction (unique serials, issuance numbering).
+        let mut tree = MerkleTree::new();
+        let mut number = 0u64;
+        let mut fresh: Vec<Leaf> = Vec::new();
+        for &v in &batch {
+            let serial = SerialNumber::from_u24(v);
+            if fresh.iter().all(|l| l.serial != serial) {
+                number += 1;
+                fresh.push(Leaf::new(serial, number));
+            }
+        }
+        fresh.sort_by_key(|l| l.serial);
+        tree.apply_sorted_batch(&fresh);
+
+        let serials: Vec<SerialNumber> =
+            queries.iter().map(|&v| SerialNumber::from_u24(v)).collect();
+        let root = tree.root();
+        let size = tree.len() as u64;
+
+        let mp = ritm_dictionary::MultiProof::generate(&tree, &serials);
+        let multi_statuses = mp
+            .verify(&serials, &root, size)
+            .expect("honest multiproof must verify");
+        prop_assert_eq!(multi_statuses.len(), serials.len());
+        for (serial, multi_status) in serials.iter().zip(&multi_statuses) {
+            let single = ritm_dictionary::RevocationProof::generate(&tree, serial)
+                .verify(serial, &root, size)
+                .expect("honest single proof must verify");
+            prop_assert_eq!(*multi_status, single, "serial {:?} diverged", serial);
+        }
+
+        // Wire round trip is bit-exact and size-exact.
+        let bytes = mp.to_bytes();
+        prop_assert_eq!(bytes.len(), mp.encoded_len());
+        let back = ritm_dictionary::MultiProof::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &mp);
+
+        // Cross-epoch rejection: grow the dictionary, and the old proof
+        // must fail against the new root exactly like every old single
+        // proof does.
+        let singles: Vec<_> = serials
+            .iter()
+            .map(|s| ritm_dictionary::RevocationProof::generate(&tree, s))
+            .collect();
+        let grow: Vec<Leaf> = growth
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .enumerate()
+            .map(|(i, &v)| Leaf::new(SerialNumber::from_u24(v), number + i as u64 + 1))
+            .collect();
+        tree.apply_sorted_batch(&grow);
+        let new_root = tree.root();
+        let new_size = tree.len() as u64;
+        prop_assert!(
+            mp.verify(&serials, &new_root, new_size).is_err(),
+            "stale multiproof accepted across epochs"
+        );
+        for (serial, single) in serials.iter().zip(&singles) {
+            prop_assert!(
+                single.verify(serial, &new_root, new_size).is_err(),
+                "stale single proof accepted across epochs for {:?}", serial
+            );
+        }
+    }
+
     /// A replayed (stale) signed root from before the latest insert must not
     /// validate a serial revoked afterwards as "not revoked" *with current
     /// freshness* — the freshness statement is bound to the new root.

@@ -76,18 +76,14 @@ fn forged_status_is_rejected_and_real_one_still_counts() {
     // The client pins the honest CA key: the forged status must fail.
     let mut keys = std::collections::HashMap::new();
     keys.insert(honest_ca.ca(), honest_ca.verifying_key());
-    let payload = StatusPayload {
-        statuses: vec![forged],
-    };
+    let payload = StatusPayload::single(vec![forged]);
     let res =
         ritm::client::validate_payload(&payload, &[(honest_ca.ca(), victim)], &keys, DELTA, T0 + 2);
     assert!(res.is_err(), "forged signature must not validate");
 
     // The genuine status still proves the revocation.
     let genuine = honest_ca.prove(&victim, T0 + 2).expect("status");
-    let payload = StatusPayload {
-        statuses: vec![genuine],
-    };
+    let payload = StatusPayload::single(vec![genuine]);
     let verdict =
         ritm::client::validate_payload(&payload, &[(honest_ca.ca(), victim)], &keys, DELTA, T0 + 2)
             .expect("genuine status validates");

@@ -6,13 +6,124 @@
 //! a plain wall-clock measurement loop: a short warm-up, then `sample_size`
 //! timed samples whose median/min/mean are printed per benchmark. No
 //! statistical regression machinery, plots, or CLI.
+//!
+//! # JSON result emission (perf-trajectory tracking)
+//!
+//! When the `BENCH_JSON` environment variable names a file, every benchmark
+//! appends a record `{op, leaves, batch, ns_per_op, unit}` to an in-process
+//! registry, and `criterion_main!` writes them as a JSON array on exit.
+//! `leaves` and `batch` are parsed from trailing numeric `/`-separated
+//! segments of the benchmark id (e.g. `apply_100_batch/incremental/1000000`
+//! → leaves = 1000000); benches can also publish explicit records (byte
+//! sizes, thread-scaling numbers) with [`json_record`]. Setting
+//! `BENCH_SMOKE=1` caps every benchmark at 3 samples with a minimal warm-up
+//! so CI can exercise the whole bench suite in seconds.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Per-sample iteration budget: chosen so one sample takes roughly this long.
 const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// `true` when `BENCH_SMOKE` asks for a fast CI pass.
+pub fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::var("BENCH_SMOKE")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false)
+    })
+}
+
 /// Warm-up budget before sampling starts.
-const WARMUP: Duration = Duration::from_millis(30);
+fn warmup() -> Duration {
+    if smoke_mode() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(30)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JsonRecord {
+    op: String,
+    leaves: Option<u64>,
+    batch: Option<u64>,
+    value: f64,
+    unit: &'static str,
+}
+
+fn json_registry() -> &'static Mutex<Vec<JsonRecord>> {
+    static RECORDS: std::sync::OnceLock<Mutex<Vec<JsonRecord>>> = std::sync::OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Publishes an explicit benchmark record (e.g. an encoded-size comparison
+/// or a thread-scaling throughput) into the `BENCH_JSON` output alongside
+/// the automatically-captured timings.
+pub fn json_record(
+    op: &str,
+    leaves: Option<u64>,
+    batch: Option<u64>,
+    value: f64,
+    unit: &'static str,
+) {
+    json_registry().lock().expect("registry").push(JsonRecord {
+        op: op.to_owned(),
+        leaves,
+        batch,
+        value,
+        unit,
+    });
+}
+
+/// Parses trailing numeric path segments of a bench id: the last numeric
+/// segment is `leaves`, the second-to-last (if numeric) is `batch`.
+fn parse_id_params(name: &str) -> (Option<u64>, Option<u64>) {
+    let nums: Vec<u64> = name
+        .rsplit('/')
+        .map_while(|seg| seg.parse::<u64>().ok())
+        .collect();
+    match nums.as_slice() {
+        [] => (None, None),
+        [leaves] => (Some(*leaves), None),
+        [leaves, batch, ..] => (Some(*leaves), Some(*batch)),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes every collected record to the `BENCH_JSON` file (no-op when the
+/// variable is unset). Called by `criterion_main!` after all groups ran;
+/// safe to call directly from hand-rolled mains.
+pub fn flush_json() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let records = json_registry().lock().expect("registry");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let leaves = r
+            .leaves
+            .map_or_else(|| "null".to_owned(), |v| v.to_string());
+        let batch = r.batch.map_or_else(|| "null".to_owned(), |v| v.to_string());
+        out.push_str(&format!(
+            "  {{\"op\": \"{}\", \"leaves\": {}, \"batch\": {}, \"ns_per_op\": {:.1}, \"unit\": \"{}\"}}{}\n",
+            json_escape(&r.op),
+            leaves,
+            batch,
+            r.value,
+            r.unit,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 /// Batch sizing hint for [`Bencher::iter_batched`] (accepted, not acted on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +170,7 @@ impl Bencher {
         // Warm up and estimate iterations per sample.
         let warm_start = Instant::now();
         let mut iters_done: u64 = 0;
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < warmup() {
             std::hint::black_box(routine());
             iters_done += 1;
         }
@@ -125,7 +236,11 @@ fn format_duration(d: Duration) -> String {
 fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: if smoke_mode() {
+            sample_size.min(3)
+        } else {
+            sample_size
+        },
     };
     f(&mut b);
     if b.samples.is_empty() {
@@ -143,6 +258,8 @@ fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
         format_duration(min),
         format_duration(mean),
     );
+    let (leaves, batch) = parse_id_params(name);
+    json_record(name, leaves, batch, median.as_nanos() as f64, "ns/op");
 }
 
 /// A named cluster of related benchmarks.
@@ -242,12 +359,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` running the listed groups.
+/// Declares the bench `main` running the listed groups, then flushing the
+/// `BENCH_JSON` perf-trajectory file (if requested).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
