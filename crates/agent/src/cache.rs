@@ -62,11 +62,20 @@ struct Cached<V> {
     value: V,
 }
 
+/// The locked interior: the entry map plus the newest epoch seen per CA,
+/// which lets a full-cache eviction sweep judge *every* entry against its
+/// own CA's frontier (epochs of different CAs are independent counters).
+#[derive(Debug)]
+struct CacheInner<K, V> {
+    map: HashMap<(CaId, K), Cached<V>>,
+    newest: HashMap<CaId, u64>,
+}
+
 /// A concurrent cache of per-`(CA, key)` values valid for exactly one
 /// dictionary epoch.
 #[derive(Debug)]
 pub struct EpochKeyedCache<K, V> {
-    entries: RwLock<HashMap<(CaId, K), Cached<V>>>,
+    entries: RwLock<CacheInner<K, V>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -86,7 +95,10 @@ impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
     /// Creates a cache bounded to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         EpochKeyedCache {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(CacheInner {
+                map: HashMap::new(),
+                newest: HashMap::new(),
+            }),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -108,6 +120,7 @@ impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
         if let Some(hit) = self
             .entries
             .read()
+            .map
             .get(&full_key)
             .filter(|c| c.epoch == epoch)
         {
@@ -116,27 +129,37 @@ impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = make();
-        let mut entries = self.entries.write();
-        if entries
+        let mut inner = self.entries.write();
+        let frontier = inner.newest.entry(ca).or_insert(epoch);
+        if *frontier < epoch {
+            *frontier = epoch;
+        }
+        if inner
+            .map
             .get(&full_key)
             .is_some_and(|existing| existing.epoch > epoch)
         {
             return value;
         }
-        if entries.len() >= self.capacity && !entries.contains_key(&full_key) {
-            // Full: clear this CA's strictly-older-epoch entries first
-            // (epochs of different CAs are independent counters, so other
-            // CAs' entries are never judged against `epoch`). If everything
-            // is current, serve uncached rather than evict hot entries.
-            let before = entries.len();
-            entries.retain(|(k_ca, _), c| *k_ca != ca || c.epoch >= epoch);
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&full_key) {
+            // Full: drop every entry stale for *its own* CA — each CA's
+            // epochs form an independent counter, so an entry is judged
+            // against the newest epoch this cache has seen for that CA,
+            // not against `epoch`. (Without this, a multi-CA RA at
+            // capacity never reclaims dead entries of CAs other than the
+            // one missing, and one CA can permanently starve another's
+            // caching.) If everything is current, serve uncached rather
+            // than evict hot entries.
+            let before = inner.map.len();
+            let CacheInner { map, newest } = &mut *inner;
+            map.retain(|(k_ca, _), c| newest.get(k_ca).is_none_or(|&front| c.epoch >= front));
             self.evictions
-                .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
-            if entries.len() >= self.capacity {
+                .fetch_add((before - inner.map.len()) as u64, Ordering::Relaxed);
+            if inner.map.len() >= self.capacity {
                 return value;
             }
         }
-        entries.insert(
+        inner.map.insert(
             full_key,
             Cached {
                 epoch,
@@ -152,10 +175,14 @@ impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
     /// entries would otherwise block re-caching until the new counter
     /// catches up).
     pub fn purge_ca(&self, ca: &CaId) -> usize {
-        let mut entries = self.entries.write();
-        let before = entries.len();
-        entries.retain(|(k_ca, _), _| k_ca != ca);
-        let removed = before - entries.len();
+        let mut inner = self.entries.write();
+        let before = inner.map.len();
+        inner.map.retain(|(k_ca, _), _| k_ca != ca);
+        // Forget the CA's epoch frontier too: a re-installed mirror
+        // restarts its counter, and a stale high-water mark would make the
+        // sweep treat every re-cached low-epoch entry as dead.
+        inner.newest.remove(ca);
+        let removed = before - inner.map.len();
         self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
         removed
     }
@@ -163,12 +190,12 @@ impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
     /// Live entries (stale-epoch entries are dropped lazily, so this counts
     /// stored, not necessarily valid, values).
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().map.len()
     }
 
     /// `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries.read().map.is_empty()
     }
 
     /// Counter snapshot.
@@ -283,6 +310,43 @@ mod tests {
         assert_eq!(got, proof(3));
         let hit = cache.get_or_insert(ca, s, 6, || panic!("still cached after full insert"));
         assert_eq!(hit, proof(6));
+    }
+
+    #[test]
+    fn dead_entries_of_other_cas_are_reclaimed() {
+        // Regression: the full-cache sweep only reclaimed the *missing*
+        // CA's stale entries, so once a multi-CA RA hit capacity, another
+        // CA's dead entries sat forever and starved everyone else's
+        // caching.
+        let cache = ProofCache::new(2);
+        let ca_a = CaId::from_name("A");
+        let ca_b = CaId::from_name("B");
+        let s1 = SerialNumber::from_u24(1);
+        let s2 = SerialNumber::from_u24(2);
+
+        // B fills the cache at epoch 1...
+        cache.get_or_insert(ca_b, s1, 1, || proof(1));
+        cache.get_or_insert(ca_b, s2, 1, || proof(2));
+        // ...then B's mirror advances: its epoch-1 entries are now dead.
+        // (The replaced s1 entry records the new frontier; s2 stays dead.)
+        cache.get_or_insert(ca_b, s1, 2, || proof(3));
+        assert_eq!(cache.len(), 2, "cache full of B's entries");
+
+        // A misses with the cache full: the sweep must reclaim B's dead
+        // epoch-1 entry — stale for B's *own* frontier — and cache A.
+        cache.get_or_insert(ca_a, s1, 7, || proof(4));
+        let hit = cache.get_or_insert(ca_a, s1, 7, || panic!("A must be cached"));
+        assert_eq!(hit, proof(4));
+        // B's live epoch-2 entry survived the sweep.
+        let hit = cache.get_or_insert(ca_b, s1, 2, || panic!("B's live entry must survive"));
+        assert_eq!(hit, proof(3));
+        assert_eq!(cache.stats().evictions, 1);
+
+        // With only live entries left, a further miss still serves
+        // uncached instead of evicting anyone's hot set.
+        cache.get_or_insert(ca_b, s2, 2, || proof(6));
+        let again = cache.get_or_insert(ca_a, s1, 7, || panic!("A stays hot"));
+        assert_eq!(again, proof(4));
     }
 
     #[test]

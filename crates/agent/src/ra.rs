@@ -286,7 +286,10 @@ impl<M: MirrorEngine> Drop for MirrorWriteGuard<'_, M> {
         if after.0 == self.before.0 {
             // Same epoch ⇒ the tree (and every audit path) is unchanged:
             // a freshness-only refresh or root rotation. Republish sharing
-            // the already-frozen tree instead of recloning O(n) state.
+            // the already-frozen tree; if the cell rejects it as stale (or
+            // the CA was never published), fall through to a full publish,
+            // which with the structurally-shared tree is itself only
+            // O(chunks) Arc bumps.
             if self
                 .server
                 .publish_refresh(&self.mirror.engine_ca(), after.1, after.2)
@@ -294,7 +297,10 @@ impl<M: MirrorEngine> Drop for MirrorWriteGuard<'_, M> {
                 return;
             }
         }
-        self.server.publish(self.mirror.snapshot());
+        let installed = self.server.publish(self.mirror.snapshot());
+        // This RA is the only writer for its mirrors and mirror epochs are
+        // monotonic, so the writer's own publish is never stale.
+        debug_assert!(installed, "writer's own snapshot rejected as stale");
     }
 }
 
@@ -349,7 +355,10 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         if self.mirrors.contains_key(&ca) {
             self.server.retire(&ca);
         }
-        self.server.publish(mirror.snapshot());
+        // The cell was just retired (or never existed), so this publish
+        // creates it and cannot be rejected as stale.
+        let installed = self.server.publish(mirror.snapshot());
+        debug_assert!(installed, "fresh mirror's snapshot rejected as stale");
         self.mirrors.insert(ca, mirror);
     }
 

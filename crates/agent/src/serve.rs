@@ -54,18 +54,21 @@ impl StatusServer {
 
     /// Publishes `snapshot` as the current view of its CA (RCU swap; the
     /// cell is created on first publish). Called by the writer side after
-    /// every mirror mutation.
-    pub fn publish(&self, snapshot: DictionarySnapshot) {
+    /// every mirror mutation. Returns `false` when the cell rejected the
+    /// snapshot as older than the one it already serves (see
+    /// [`SnapshotCell::publish`]) — readers keep the newer view.
+    #[must_use = "a rejected (stale) publish leaves readers on the newer snapshot"]
+    pub fn publish(&self, snapshot: DictionarySnapshot) -> bool {
         let ca = snapshot.ca();
         if let Some(cell) = self.cells.read().get(&ca) {
-            cell.publish(snapshot);
-            return;
+            return cell.publish(snapshot);
         }
         let mut cells = self.cells.write();
         match cells.get(&ca) {
             Some(cell) => cell.publish(snapshot),
             None => {
                 cells.insert(ca, Arc::new(SnapshotCell::new(snapshot)));
+                true
             }
         }
     }
@@ -74,7 +77,9 @@ impl StatusServer {
     /// statement but the **same epoch and tree** (freshness-only refresh
     /// or root rotation): an `Arc` clone of the frozen tree instead of an
     /// O(n) copy. Returns `false` when the CA has no published snapshot
-    /// yet (the caller should fall back to a full [`StatusServer::publish`]).
+    /// yet, or when the cell rejected the republish as stale (a newer
+    /// content snapshot landed between load and publish); the caller
+    /// should fall back to a full [`StatusServer::publish`].
     pub fn publish_refresh(
         &self,
         ca: &CaId,
@@ -85,8 +90,7 @@ impl StatusServer {
             return false;
         };
         let current = cell.load();
-        cell.publish(current.with_root_and_freshness(signed_root, freshness));
-        true
+        cell.publish(current.with_root_and_freshness(signed_root, freshness))
     }
 
     /// Drops a CA's publication slot and purges its cached proofs. Called
@@ -256,7 +260,7 @@ mod tests {
     fn serves_statuses_through_the_cache() {
         let (ca, m) = setup(20);
         let server = StatusServer::new();
-        server.publish(m.snapshot());
+        assert!(server.publish(m.snapshot()));
         let serial = SerialNumber::from_u24(4);
         let first = server.status_for(&ca.ca(), &serial).unwrap();
         let second = server.status_for(&ca.ca(), &serial).unwrap();
@@ -273,7 +277,7 @@ mod tests {
     fn compressed_chain_keeps_leaf_individual() {
         let (ca, m) = setup(50);
         let server = StatusServer::new();
-        server.publish(m.snapshot());
+        assert!(server.publish(m.snapshot()));
         let chain: Vec<(CaId, SerialNumber)> = [1u32, 21, 41]
             .iter()
             .map(|&v| (ca.ca(), SerialNumber::from_u24(v)))
@@ -308,7 +312,7 @@ mod tests {
     fn unknown_ca_stays_silent() {
         let (_, m) = setup(4);
         let server = StatusServer::new();
-        server.publish(m.snapshot());
+        assert!(server.publish(m.snapshot()));
         let other = CaId::from_name("NotMirrored");
         assert!(server
             .build_status(&[(other, SerialNumber::from_u24(1))], true)

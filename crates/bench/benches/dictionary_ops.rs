@@ -3,8 +3,10 @@
 //! logarithmic proof cost that Table III relies on, the incremental engine
 //! against full rebuilds (10k/100k/1M leaves), cold vs epoch-cached proof
 //! construction, parallel vs sequential full rebuilds on the [`HashPool`],
-//! compressed chain multiproofs vs independent audit paths, and concurrent
-//! snapshot-based proof serving vs a serialized `&mut`-style baseline.
+//! compressed chain multiproofs vs independent audit paths, concurrent
+//! snapshot-based proof serving vs a serialized `&mut`-style baseline, and
+//! structurally-shared snapshot publication (`snapshot_publish/persistent`)
+//! vs the PR 2 dense deep-clone baseline (`snapshot_publish/dense`).
 //!
 //! With `BENCH_JSON=BENCH_dictionary.json` every result lands in a JSON
 //! perf-trajectory file; `BENCH_SMOKE=1` shrinks sizes and samples for CI.
@@ -310,6 +312,72 @@ fn bench_multiproof_chain(c: &mut Criterion) {
     );
 }
 
+/// Snapshot publication cost: the PR 2 baseline deep-cloned the mirror's
+/// dense tree per published epoch — O(n) memcpy (~40 MB of levels at 1M
+/// leaves) to change a few hundred leaves. The structurally-shared
+/// `PersistentTree` publishes with O(chunks) `Arc` bumps instead, so the
+/// cost tracks the batch/chunk count, not the dictionary. Both variants
+/// are measured after the same `BATCH`-leaf issuance batch; the acceptance
+/// criterion is persistent ≥10x faster than dense at 1M leaves.
+fn bench_snapshot_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_publish");
+    for &n in heavy_sizes() {
+        g.sample_size(if n >= 1_000_000 { 10 } else { 20 });
+
+        // Dense baseline: the deep clone a `MerkleTree`-backed snapshot
+        // paid (tree clone + Arc allocation, off the read path).
+        let mut dense = built_tree(n);
+        dense.apply_sorted_batch(&fresh_batch(n));
+        g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| black_box(std::sync::Arc::new(dense.clone())))
+        });
+
+        // Persistent path: what `MirrorDictionary::snapshot()` does now.
+        // Drive the mirror through a real issuance so the measured state
+        // is exactly "publish after a BATCH-leaf batch".
+        let (mut ca, mut mirror) = built_pair(n);
+        let batch: Vec<SerialNumber> = fresh_batch(n).iter().map(|l| l.serial).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let iss = ca.insert(&batch, &mut rng, T0 + 2).expect("batch");
+        mirror.apply_issuance(&iss, T0 + 2).expect("batch applies");
+        g.bench_with_input(BenchmarkId::new("persistent", n), &n, |b, _| {
+            b.iter(|| black_box(mirror.snapshot()))
+        });
+
+        if n >= 1_000_000 {
+            // Acceptance: publishing after a 100-leaf batch into a 1M-leaf
+            // dictionary must be ≥10x faster than the deep-clone baseline.
+            let start = Instant::now();
+            for _ in 0..5 {
+                black_box(std::sync::Arc::new(dense.clone()));
+            }
+            let dense_ns = start.elapsed().as_nanos() as f64 / 5.0;
+            let start = Instant::now();
+            for _ in 0..500 {
+                black_box(mirror.snapshot());
+            }
+            let persistent_ns = start.elapsed().as_nanos() as f64 / 500.0;
+            println!(
+                "snapshot_publish/1M: dense {dense_ns:.0} ns vs persistent {persistent_ns:.0} ns \
+                 ({:.0}x)",
+                dense_ns / persistent_ns
+            );
+            criterion::json_record(
+                "snapshot_publish_speedup",
+                Some(n as u64),
+                Some(BATCH as u64),
+                dense_ns / persistent_ns,
+                "x",
+            );
+            assert!(
+                dense_ns >= 10.0 * persistent_ns,
+                "acceptance: persistent publish must be ≥10x faster than deep clone"
+            );
+        }
+    }
+    g.finish();
+}
+
 /// Concurrent proof serving: N reader threads against (a) the lock-free
 /// snapshot path (`StatusServer`, `&self`) and (b) a serialized baseline
 /// where every reader must take one big lock around the mirror — the shape
@@ -332,7 +400,7 @@ fn bench_concurrent_serving(_c: &mut Criterion) {
     let hot_set = 256u32;
 
     let server = StatusServer::new();
-    server.publish(mirror.snapshot());
+    assert!(server.publish(mirror.snapshot()));
     let baseline = std::sync::Mutex::new(mirror);
 
     for threads in [1u32, 2, 4, 8] {
@@ -394,6 +462,6 @@ criterion_group! {
     config = Criterion::default().sample_size(30);
     targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
         bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
-        bench_multiproof_chain, bench_concurrent_serving
+        bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving
 }
 criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! [`crate::tree::MerkleTree`] structure.
 
 use crate::freshness::{FreshnessError, FreshnessStatement};
+use crate::persistent::PersistentTree;
 use crate::proof::{ProofError, ProvenStatus, RevocationProof};
 use crate::root::{CaId, SignedRoot};
 use crate::serial::SerialNumber;
@@ -542,11 +543,18 @@ pub const MAX_TIMESTAMP_SKEW: u64 = 300;
 
 /// An RA's untrusted mirror of one CA dictionary (Fig. 2 `update` and
 /// `prove`).
+///
+/// The mirror's tree is a structurally-shared [`PersistentTree`]: freezing
+/// a [`crate::snapshot::DictionarySnapshot`] for publication clones only
+/// the chunk spine (O(chunks) `Arc` bumps), and subsequent batches
+/// copy-on-write only the chunks they dirty — publish cost tracks the
+/// batch, not the dictionary. (The CA side keeps the dense
+/// [`MerkleTree`], which wins when nothing is ever cloned.)
 #[derive(Debug, Clone)]
 pub struct MirrorDictionary {
     ca: CaId,
     ca_key: VerifyingKey,
-    tree: MerkleTree,
+    tree: PersistentTree,
     delta: u64,
     signed_root: SignedRoot,
     freshness: FreshnessStatement,
@@ -566,7 +574,7 @@ impl MirrorDictionary {
         if genesis.ca != ca {
             return Err(UpdateError::WrongCa);
         }
-        let tree = MerkleTree::new();
+        let tree = PersistentTree::new();
         if genesis.size != 0 || genesis.root != tree.root() {
             return Err(UpdateError::RootMismatch);
         }
@@ -745,8 +753,10 @@ impl MirrorDictionary {
     }
 
     /// Freezes the mirror's current state into an immutable
-    /// [`crate::snapshot::DictionarySnapshot`] for lock-free serving. The
-    /// copy is built off the read path (writers publish it afterwards with
+    /// [`crate::snapshot::DictionarySnapshot`] for lock-free serving. With
+    /// the structurally-shared tree this is O(chunks) `Arc` bumps — no
+    /// leaf or level data is copied — so writers can republish after every
+    /// batch at any issuance frequency (publishers swap it in with
     /// [`crate::snapshot::SnapshotCell::publish`]).
     pub fn snapshot(&self) -> crate::snapshot::DictionarySnapshot {
         crate::snapshot::DictionarySnapshot::new(

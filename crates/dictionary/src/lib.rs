@@ -12,6 +12,9 @@
 //! * [`engine`] — the [`DictionaryEngine`] / [`MirrorEngine`] traits
 //!   (Fig. 2 `insert`/`refresh`/`update`/`prove` plus `root` and `epoch`)
 //!   that CA, RA, and client code program against;
+//! * [`chunk`] / [`persistent`] — the copy-on-write chunked storage and the
+//!   structurally-shared [`PersistentTree`] mirrors publish snapshots from
+//!   in O(chunks) instead of O(n);
 //! * [`parallel`] — the scoped-thread [`HashPool`] that fans tree hashing
 //!   out across cores;
 //! * [`snapshot`] — immutable, epoch-stamped [`DictionarySnapshot`]s
@@ -61,11 +64,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chunk;
 pub mod consistency;
 pub mod dictionary;
 pub mod engine;
 pub mod freshness;
 pub mod parallel;
+pub mod persistent;
 pub mod proof;
 pub mod root;
 pub mod serial;
@@ -80,6 +85,7 @@ pub use dictionary::{
 pub use engine::{DictionaryEngine, EngineError, MirrorEngine, UpdateMessage};
 pub use freshness::{FreshnessError, FreshnessStatement};
 pub use parallel::HashPool;
+pub use persistent::PersistentTree;
 pub use proof::{MultiProof, PresenceProof, ProofError, ProvenStatus, RevocationProof};
 pub use root::{CaId, SignedRoot};
 pub use serial::{SerialError, SerialNumber};

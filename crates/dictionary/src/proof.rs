@@ -7,7 +7,7 @@
 //! dictionary — by the well-known empty root.
 
 use crate::serial::SerialNumber;
-use crate::tree::{empty_root, node_hash, root_from_path, Leaf, MerkleTree};
+use crate::tree::{empty_root, node_hash, root_from_path, Leaf, TreeReader};
 use ritm_crypto::digest::Digest20;
 use ritm_crypto::wire::{DecodeError, Reader, Writer};
 
@@ -23,14 +23,15 @@ pub struct PresenceProof {
 }
 
 impl PresenceProof {
-    /// Builds the proof for leaf `index` of `tree`.
+    /// Builds the proof for leaf `index` of `tree` (dense or persistent —
+    /// any [`TreeReader`]).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds or the tree needs a rebuild.
-    pub fn generate(tree: &MerkleTree, index: usize) -> Self {
+    pub fn generate<T: TreeReader>(tree: &T, index: usize) -> Self {
         PresenceProof {
-            leaf: tree.leaves()[index],
+            leaf: tree.leaf(index),
             index: index as u64,
             path: tree.audit_path(index),
         }
@@ -149,8 +150,8 @@ impl std::error::Error for ProofError {}
 
 impl RevocationProof {
     /// Builds the proof for `serial` against `tree` (RA-side `prove`,
-    /// Fig. 2).
-    pub fn generate(tree: &MerkleTree, serial: &SerialNumber) -> Self {
+    /// Fig. 2). Works over any [`TreeReader`] backend.
+    pub fn generate<T: TreeReader>(tree: &T, serial: &SerialNumber) -> Self {
         if tree.is_empty() {
             return RevocationProof::AbsentEmpty;
         }
@@ -345,23 +346,23 @@ impl MultiProof {
     ///
     /// Panics if the tree needs a rebuild (same contract as
     /// [`RevocationProof::generate`]).
-    pub fn generate(tree: &MerkleTree, serials: &[SerialNumber]) -> Self {
+    pub fn generate<T: TreeReader>(tree: &T, serials: &[SerialNumber]) -> Self {
         let mut needed = std::collections::BTreeMap::new();
         if tree.is_empty() {
             return MultiProof::default();
         }
         for serial in serials {
             if let Some(idx) = tree.find(serial) {
-                needed.insert(idx, tree.leaves()[idx]);
+                needed.insert(idx, tree.leaf(idx));
             } else {
                 let lb = tree.lower_bound(serial);
                 if lb == 0 {
-                    needed.insert(0, tree.leaves()[0]);
+                    needed.insert(0, tree.leaf(0));
                 } else if lb == tree.len() {
-                    needed.insert(tree.len() - 1, tree.leaves()[tree.len() - 1]);
+                    needed.insert(tree.len() - 1, tree.leaf(tree.len() - 1));
                 } else {
-                    needed.insert(lb - 1, tree.leaves()[lb - 1]);
-                    needed.insert(lb, tree.leaves()[lb]);
+                    needed.insert(lb - 1, tree.leaf(lb - 1));
+                    needed.insert(lb, tree.leaf(lb));
                 }
             }
         }
@@ -370,7 +371,6 @@ impl MultiProof {
         let mut level_len = tree.len();
         let mut level = 0usize;
         while level_len > 1 {
-            let hashes = tree.level_hashes(level);
             let mut next = Vec::with_capacity(frontier.len());
             let mut i = 0;
             while i < frontier.len() {
@@ -380,7 +380,7 @@ impl MultiProof {
                     i += 2; // both children included: combined internally
                 } else {
                     if sib < level_len {
-                        siblings.push(hashes[sib]);
+                        siblings.push(tree.level_node(level, sib));
                     }
                     i += 1;
                 }
@@ -605,6 +605,7 @@ impl MultiProof {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::MerkleTree;
 
     fn tree_with(serials: &[u32]) -> MerkleTree {
         let mut t = MerkleTree::new();

@@ -18,10 +18,10 @@
 
 use crate::dictionary::RevocationStatus;
 use crate::freshness::FreshnessStatement;
+use crate::persistent::PersistentTree;
 use crate::proof::{MultiProof, RevocationProof};
 use crate::root::{CaId, SignedRoot};
 use crate::serial::SerialNumber;
-use crate::tree::MerkleTree;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -34,37 +34,38 @@ use std::sync::Arc;
 pub struct DictionarySnapshot {
     ca: CaId,
     epoch: u64,
-    /// `Arc`-shared so same-epoch republications (freshness refreshes,
-    /// root rotations — no content change) reuse the frozen tree instead
-    /// of paying another O(n) copy.
-    tree: Arc<MerkleTree>,
+    /// Structurally shared with the mirror it was frozen from: cloning a
+    /// [`PersistentTree`] bumps one `Arc` per chunk, so publication costs
+    /// O(chunks) regardless of dictionary size, and republications share
+    /// every chunk the writer has not dirtied since.
+    tree: PersistentTree,
     signed_root: SignedRoot,
     freshness: FreshnessStatement,
 }
 
 impl DictionarySnapshot {
-    /// Freezes the given state. The tree must be rebuilt (proof-ready).
+    /// Freezes the given state. The tree must be proof-ready.
     pub fn new(
         ca: CaId,
         epoch: u64,
-        tree: MerkleTree,
+        tree: PersistentTree,
         signed_root: SignedRoot,
         freshness: FreshnessStatement,
     ) -> Self {
         DictionarySnapshot {
             ca,
             epoch,
-            tree: Arc::new(tree),
+            tree,
             signed_root,
             freshness,
         }
     }
 
     /// A snapshot at the **same epoch** with a new signed root and
-    /// freshness statement, sharing this snapshot's frozen tree (an `Arc`
-    /// clone, not a copy). This is the cheap republish for freshness-only
-    /// refreshes and root rotations, where the dictionary content — and
-    /// therefore every audit path — is unchanged.
+    /// freshness statement, sharing this snapshot's frozen tree (chunk
+    /// `Arc` bumps, not a copy). This is the cheap republish for
+    /// freshness-only refreshes and root rotations, where the dictionary
+    /// content — and therefore every audit path — is unchanged.
     pub fn with_root_and_freshness(
         &self,
         signed_root: SignedRoot,
@@ -73,7 +74,7 @@ impl DictionarySnapshot {
         DictionarySnapshot {
             ca: self.ca,
             epoch: self.epoch,
-            tree: Arc::clone(&self.tree),
+            tree: self.tree.clone(),
             signed_root,
             freshness,
         }
@@ -165,11 +166,22 @@ impl SnapshotCell {
         self.current.read().clone()
     }
 
-    /// Atomically replaces the current snapshot. The old snapshot is freed
-    /// when its last reader drops it (classic RCU grace period via `Arc`).
-    pub fn publish(&self, snapshot: DictionarySnapshot) {
+    /// Atomically replaces the current snapshot, **epoch-guarded**: a
+    /// snapshot older than the current one is rejected (returns `false`),
+    /// so a delayed freshness-only republish built from a stale load can
+    /// never clobber a newer-epoch content snapshot and re-serve a
+    /// pre-batch root. Same-epoch publishes replace (that is how refreshes
+    /// and root rotations propagate). The old snapshot is freed when its
+    /// last reader drops it (classic RCU grace period via `Arc`).
+    #[must_use = "a rejected (stale) publish leaves readers on the newer snapshot"]
+    pub fn publish(&self, snapshot: DictionarySnapshot) -> bool {
         let next = Arc::new(snapshot);
-        *self.current.write() = next;
+        let mut current = self.current.write();
+        if next.epoch() < current.epoch() {
+            return false;
+        }
+        *current = next;
+        true
     }
 }
 
@@ -226,7 +238,7 @@ mod tests {
             .insert(&[SerialNumber::from_u24(99)], &mut rng, T0 + 2)
             .unwrap();
         m.apply_issuance(&iss, T0 + 2).unwrap();
-        cell.publish(m.snapshot());
+        assert!(cell.publish(m.snapshot()));
 
         let new = cell.load();
         assert!(new.epoch() > old.epoch());
@@ -238,5 +250,43 @@ mod tests {
         assert!(implied
             .verify(&s, &old.signed_root().root, old.signed_root().size)
             .is_ok());
+    }
+
+    #[test]
+    fn stale_refresh_republish_cannot_clobber_newer_content() {
+        // Regression: a freshness-only republish built from an *older*
+        // loaded snapshot used to blindly swap in, re-serving a pre-batch
+        // root inside the 2Δ window. The publish is now epoch-guarded.
+        let (mut ca, mut m) = mirror_with(5);
+        let cell = SnapshotCell::new(m.snapshot());
+
+        // A refresher thread loads the current snapshot... and stalls.
+        let stale_load = cell.load();
+
+        // Meanwhile a content batch lands and is published.
+        let mut rng = StdRng::seed_from_u64(8);
+        let iss = ca
+            .insert(&[SerialNumber::from_u24(77)], &mut rng, T0 + 2)
+            .unwrap();
+        m.apply_issuance(&iss, T0 + 2).unwrap();
+        assert!(cell.publish(m.snapshot()));
+        let content = cell.load();
+        assert!(content.contains(&SerialNumber::from_u24(77)));
+
+        // The stalled refresher wakes up and republishes from its stale
+        // load: the cell must reject it, and readers must never regress.
+        let stale_republish =
+            stale_load.with_root_and_freshness(*stale_load.signed_root(), *stale_load.freshness());
+        assert!(!cell.publish(stale_republish), "stale republish rejected");
+        let now = cell.load();
+        assert_eq!(now.epoch(), content.epoch(), "epoch must not regress");
+        assert_eq!(now.signed_root(), content.signed_root());
+        assert!(now.contains(&SerialNumber::from_u24(77)));
+
+        // A same-epoch republish (genuine refresh of the *current* view)
+        // still replaces.
+        let refreshed = now.with_root_and_freshness(*now.signed_root(), *m.freshness());
+        assert!(cell.publish(refreshed));
+        assert_eq!(cell.load().epoch(), content.epoch());
     }
 }

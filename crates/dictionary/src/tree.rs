@@ -16,6 +16,17 @@ const LEAF_PREFIX: u8 = 0x00;
 /// Domain-separation prefix for interior-node hashes.
 const NODE_PREFIX: u8 = 0x01;
 
+thread_local! {
+    static LEAF_HASHES: core::cell::Cell<u64> = const { core::cell::Cell::new(0) };
+}
+
+/// Leaf hashes computed by this thread so far (monotonic; measure work as a
+/// delta). Instrumentation for the O(b·log n) complexity regression tests:
+/// rollback and incremental batches must never rehash retained leaves.
+pub fn leaf_hash_calls() -> u64 {
+    LEAF_HASHES.with(core::cell::Cell::get)
+}
+
 /// A dictionary leaf: a revoked serial plus its consecutive revocation
 /// number (1-based insertion order, paper §III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +46,7 @@ impl Leaf {
     /// The domain-separated leaf hash
     /// `H(0x00 ‖ len(serial) ‖ serial ‖ number)`.
     pub fn hash(&self) -> Digest20 {
+        LEAF_HASHES.with(|c| c.set(c.get() + 1));
         let mut buf = Vec::with_capacity(2 + self.serial.len() + 8);
         buf.push(LEAF_PREFIX);
         buf.push(self.serial.len() as u8);
@@ -245,33 +257,51 @@ impl MerkleTree {
         true
     }
 
-    /// Removes the leaves carrying `serials` (those present), rehashing only
-    /// from the first removed position — the rollback companion to
-    /// [`MerkleTree::apply_sorted_batch`] used by verify-then-commit
-    /// mirrors. Returns how many leaves were removed.
+    /// Removes the leaves carrying `serials` (those present), splicing the
+    /// retained leaves' still-valid hashes out of level 0 and rehashing only
+    /// the interior nodes at or after the first *removed* position — the
+    /// rollback companion to [`MerkleTree::apply_sorted_batch`] used by
+    /// verify-then-commit mirrors. No retained leaf is ever rehashed, so
+    /// rolling back a batch costs O(moves + interior rehash), never O(n)
+    /// leaf hashes. Returns how many leaves were removed.
     pub fn remove_sorted_batch(&mut self, serials: &[SerialNumber]) -> usize {
-        let Some(first) = serials.iter().filter_map(|s| self.find(s)).min() else {
+        // The rehash front is the first removed *position*, not `find(s)`:
+        // with duplicate-serial leaves a later duplicate may be hit first,
+        // which would leave a stale hash to its left (see rollback_front).
+        let Some(first) = rollback_front(
+            serials,
+            |s| self.leaves.binary_search_by(|l| l.serial.cmp(s)).ok(),
+            |i| self.leaves[i].serial,
+        ) else {
             return 0;
         };
         let before = self.leaves.len();
         let doomed: std::collections::HashSet<&SerialNumber> = serials.iter().collect();
-        self.leaves.retain(|l| !doomed.contains(&l.serial));
-        let removed = before - self.leaves.len();
         if self.levels.is_empty() {
             // Levels were already invalid; leave the rebuild to the caller.
+            self.leaves.retain(|l| !doomed.contains(&l.serial));
             self.epoch += 1;
-            return removed;
+            return before - self.leaves.len();
         }
+        // Compact leaves and their level-0 hashes together in one pass from
+        // the first removed position.
+        let mut write = first;
+        for read in first..before {
+            let leaf = self.leaves[read];
+            if doomed.contains(&leaf.serial) {
+                continue;
+            }
+            self.leaves[write] = leaf;
+            self.levels[0][write] = self.levels[0][read];
+            write += 1;
+        }
+        self.leaves.truncate(write);
+        self.levels[0].truncate(write);
+        let removed = before - write;
         if self.leaves.is_empty() {
             self.levels.clear();
         } else {
-            let pool = HashPool::global();
-            let mut hashes = core::mem::take(&mut self.levels[0]);
-            hashes.truncate(first);
-            let leaves = &self.leaves;
-            hashes.extend(pool.map_range(first, leaves.len(), |i| leaves[i].hash()));
-            self.levels[0] = hashes;
-            self.rehash_levels_from(first, pool);
+            self.rehash_levels_from(first, HashPool::global());
         }
         self.epoch += 1;
         removed
@@ -391,6 +421,88 @@ impl MerkleTree {
     /// metric.
     pub fn storage_bytes(&self) -> usize {
         self.leaves.iter().map(|l| l.serial.len() + 8).sum()
+    }
+}
+
+/// Derives the rollback rehash front: the first *position* any of
+/// `serials` occupies, walking each binary-search hit back over
+/// duplicate-serial leaves (allowed by the structure) so no removed
+/// position can lie left of the front. Shared by the dense and persistent
+/// `remove_sorted_batch` implementations — the walk-back subtlety must
+/// never diverge between them. `search` is the tree's binary search;
+/// `serial_at` reads the leaf serial at an index.
+pub(crate) fn rollback_front(
+    serials: &[SerialNumber],
+    search: impl Fn(&SerialNumber) -> Option<usize>,
+    serial_at: impl Fn(usize) -> SerialNumber,
+) -> Option<usize> {
+    let mut first = usize::MAX;
+    for s in serials {
+        if let Some(mut i) = search(s) {
+            while i > 0 && serial_at(i - 1) == *s {
+                i -= 1;
+            }
+            first = first.min(i);
+        }
+    }
+    (first != usize::MAX).then_some(first)
+}
+
+/// Read access to a proof-ready sorted-leaf hash tree.
+///
+/// Proof generation ([`crate::proof::RevocationProof::generate`],
+/// [`crate::proof::MultiProof::generate`]) is written against this trait so
+/// it works identically over the dense [`MerkleTree`] (CA side) and the
+/// structurally-shared [`crate::persistent::PersistentTree`] (mirror /
+/// snapshot side).
+pub trait TreeReader {
+    /// Number of leaves.
+    fn len(&self) -> usize;
+
+    /// `true` when the tree holds no leaves.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The leaf at `index` (sorted order).
+    fn leaf(&self, index: usize) -> Leaf;
+
+    /// Index of `serial`'s leaf, if revoked.
+    fn find(&self, serial: &SerialNumber) -> Option<usize>;
+
+    /// Index of the first leaf with serial `>= serial`.
+    fn lower_bound(&self, serial: &SerialNumber) -> usize;
+
+    /// Bottom-up sibling hashes for leaf `index`.
+    fn audit_path(&self, index: usize) -> Vec<Digest20>;
+
+    /// The cached hash at `(level, index)` (level 0 = leaf hashes).
+    fn level_node(&self, level: usize, index: usize) -> Digest20;
+}
+
+impl TreeReader for MerkleTree {
+    fn len(&self) -> usize {
+        MerkleTree::len(self)
+    }
+
+    fn leaf(&self, index: usize) -> Leaf {
+        self.leaves[index]
+    }
+
+    fn find(&self, serial: &SerialNumber) -> Option<usize> {
+        MerkleTree::find(self, serial)
+    }
+
+    fn lower_bound(&self, serial: &SerialNumber) -> usize {
+        MerkleTree::lower_bound(self, serial)
+    }
+
+    fn audit_path(&self, index: usize) -> Vec<Digest20> {
+        MerkleTree::audit_path(self, index)
+    }
+
+    fn level_node(&self, level: usize, index: usize) -> Digest20 {
+        self.level_hashes(level)[index]
     }
 }
 
@@ -585,6 +697,56 @@ mod tests {
         assert!(seq.apply_sorted_batch_with(&batch, &HashPool::sequential()));
         assert!(par.apply_sorted_batch_with(&batch, &HashPool::new(4)));
         assert_eq!(seq.root(), par.root());
+    }
+
+    #[test]
+    fn rollback_rehashes_no_retained_leaves() {
+        // Regression: remove_sorted_batch used to rehash every retained
+        // leaf at/after the rehash front — rolling back a small batch near
+        // the front cost O(n) leaf hashes. The fixed path splices the
+        // still-valid hashes and must compute ZERO leaf hashes.
+        let n = 4096u32;
+        let mut t = tree_with(&(0..n).map(|i| i * 2 + 10).collect::<Vec<_>>());
+        // Batch lands near the front of the sort order.
+        let batch: Vec<Leaf> = (0..4u32)
+            .map(|i| Leaf::new(SerialNumber::from_u24(i * 2 + 11), (n + i) as u64 + 1))
+            .collect();
+        assert!(t.apply_sorted_batch(&batch));
+        let root_before_batch = tree_with(&(0..n).map(|i| i * 2 + 10).collect::<Vec<_>>()).root();
+
+        let serials: Vec<SerialNumber> = batch.iter().map(|l| l.serial).collect();
+        let hashes_before = leaf_hash_calls();
+        assert_eq!(t.remove_sorted_batch(&serials), 4);
+        assert_eq!(
+            leaf_hash_calls() - hashes_before,
+            0,
+            "rollback must splice retained leaf hashes, not recompute them"
+        );
+        assert_eq!(t.root(), root_before_batch);
+    }
+
+    #[test]
+    fn duplicate_serial_rollback_leaves_no_stale_hash() {
+        // Regression: `insert_sorted` allows duplicate serials, and a
+        // binary search may land on the *later* duplicate. Deriving the
+        // rehash front from it left a stale hash at the earlier duplicate's
+        // position. Layout [1, 2, 2, 3]: binary search for 2 lands on
+        // index 2 while index 1 is also removed.
+        let mut t = MerkleTree::new();
+        for (i, s) in [1u32, 2, 2, 3].iter().enumerate() {
+            t.insert_sorted(Leaf::new(SerialNumber::from_u24(*s), i as u64 + 1));
+        }
+        t.rebuild();
+        assert_eq!(t.remove_sorted_batch(&[SerialNumber::from_u24(2)]), 2);
+        assert_eq!(t.len(), 2);
+        // The surviving tree must be bit-identical to a fresh build of the
+        // remaining leaves (stale level-0 hashes would change the root).
+        let mut reference = MerkleTree::new();
+        reference.extend_leaves(t.leaves().iter().copied());
+        reference.rebuild();
+        assert_eq!(t.root(), reference.root());
+        assert_eq!(t.audit_path(0), reference.audit_path(0));
+        assert_eq!(t.audit_path(1), reference.audit_path(1));
     }
 
     #[test]

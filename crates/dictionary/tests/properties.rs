@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ritm_crypto::SigningKey;
+use ritm_dictionary::persistent::PersistentTree;
 use ritm_dictionary::tree::{Leaf, MerkleTree};
 use ritm_dictionary::{
     CaDictionary, CaId, MirrorDictionary, ProvenStatus, RevocationStatus, SerialNumber,
@@ -289,6 +290,103 @@ proptest! {
                 single.verify(serial, &new_root, new_size).is_err(),
                 "stale single proof accepted across epochs for {:?}", serial
             );
+        }
+    }
+
+    /// The structurally-shared tree is bit-equivalent to the dense one:
+    /// over a random interleaving of batches, rollbacks, and publishes
+    /// (clones), both trees produce identical roots, audit paths, and
+    /// multiproof bytes — and every published snapshot keeps serving its
+    /// frozen epoch's exact root and paths while the writer keeps mutating.
+    #[test]
+    fn persistent_tree_matches_dense_over_interleavings(
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(0u32..8_000, 0..60), // batch serials
+                any::<u8>(),                               // action selector
+            ),
+            1..10,
+        ),
+        queries in prop::collection::vec(0u32..9_000, 1..10),
+    ) {
+        let mut dense = MerkleTree::new();
+        let mut persistent = PersistentTree::new();
+        let mut number = 0u64;
+        // Published snapshots with the dense root frozen at publish time.
+        let mut published: Vec<(PersistentTree, ritm_crypto::digest::Digest20, usize)> = Vec::new();
+        let serials_of = |q: &[u32]| -> Vec<SerialNumber> {
+            q.iter().map(|&v| SerialNumber::from_u24(v)).collect()
+        };
+
+        for (batch, action) in &rounds {
+            // Canonicalize like the dictionary layer: unique fresh serials,
+            // numbered in issuance order, sorted by serial.
+            let mut fresh: Vec<Leaf> = Vec::new();
+            for &v in batch {
+                let serial = SerialNumber::from_u24(v);
+                if dense.find(&serial).is_none() && fresh.iter().all(|l| l.serial != serial) {
+                    number += 1;
+                    fresh.push(Leaf::new(serial, number));
+                }
+            }
+            fresh.sort_by_key(|l| l.serial);
+            prop_assert_eq!(dense.apply_sorted_batch(&fresh), persistent.apply_sorted_batch(&fresh));
+
+            match action % 3 {
+                0 => {
+                    // Publish: freeze the persistent tree (O(chunks) clone).
+                    published.push((persistent.clone(), dense.root(), dense.len()));
+                }
+                1 if !fresh.is_empty() => {
+                    // Roll the batch straight back out of both trees.
+                    let serials: Vec<SerialNumber> = fresh.iter().map(|l| l.serial).collect();
+                    prop_assert_eq!(
+                        dense.remove_sorted_batch(&serials),
+                        persistent.remove_sorted_batch(&serials)
+                    );
+                }
+                _ => {}
+            }
+
+            // Bit-equivalence after every round.
+            prop_assert_eq!(dense.root(), persistent.root());
+            prop_assert_eq!(dense.len(), persistent.len());
+            for i in 0..dense.len() {
+                prop_assert_eq!(dense.audit_path(i), persistent.audit_path(i), "path {}", i);
+            }
+            let qs = serials_of(&queries);
+            let mp_dense = ritm_dictionary::MultiProof::generate(&dense, &qs);
+            let mp_persistent = ritm_dictionary::MultiProof::generate(&persistent, &qs);
+            prop_assert_eq!(
+                mp_dense.to_bytes(),
+                mp_persistent.to_bytes(),
+                "multiproof bytes diverged"
+            );
+            for q in &qs {
+                prop_assert_eq!(
+                    ritm_dictionary::RevocationProof::generate(&dense, q).to_bytes(),
+                    ritm_dictionary::RevocationProof::generate(&persistent, q).to_bytes()
+                );
+            }
+        }
+
+        // Every snapshot published along the way still serves its frozen
+        // state — later copy-on-write mutations must never reach into a
+        // shared chunk.
+        for (snap, root, len) in &published {
+            prop_assert_eq!(snap.root(), *root);
+            prop_assert_eq!(snap.len(), *len);
+            if *len > 0 {
+                let i = len - 1;
+                let path = snap.audit_path(i);
+                let got = ritm_dictionary::tree::root_from_path(
+                    i,
+                    *len,
+                    snap.leaf(i).hash(),
+                    &path,
+                );
+                prop_assert_eq!(got, Some(*root), "published snapshot path broke");
+            }
         }
     }
 
