@@ -14,14 +14,22 @@
 //! * reuses audit paths for hot serials across concurrent flows through a
 //!   concurrent epoch-keyed proof cache ([`cache`]), invalidated exactly
 //!   when the mirrored root advances,
+//! * exposes that read path as a wire-protocol endpoint ([`service`])
+//!   servable over any `ritm-proto` transport,
 //! * and monitors CAs for equivocation and its own cache health
 //!   ([`monitor`]).
+//!
+//! The sync path speaks only the versioned `ritm-proto` envelopes: see
+//! [`RevocationAgent::sync_via`] and the `StatusPayload` re-export (the
+//! payload type itself now lives in `ritm-proto`, where every wire format
+//! belongs).
 
 pub mod cache;
 pub mod dpi;
 pub mod monitor;
 pub mod ra;
 pub mod serve;
+pub mod service;
 pub mod state;
 pub mod sync;
 
@@ -30,5 +38,6 @@ pub use dpi::{classify, Classification, ServerFlight};
 pub use monitor::{ConsistencyMonitor, MisbehaviorReport, RaHealthReport};
 pub use ra::{MirrorWriteGuard, RaConfig, RaStats, RevocationAgent, StatusPayload};
 pub use serve::StatusServer;
+pub use service::StatusService;
 pub use state::{ConnState, Stage, StateTable};
 pub use sync::SyncReport;

@@ -92,9 +92,10 @@ impl ConsistencyMonitor {
 }
 
 /// A point-in-time operational snapshot of one RA: packet counters plus the
-/// proof-cache hit/miss statistics of the incremental dictionary engine.
-/// This is what an operator dashboard (or the bench harness) scrapes to see
-/// whether hot flows are actually reusing audit paths.
+/// hit/miss statistics of both epoch-keyed caches (single-serial audit
+/// paths and compressed chain multiproofs). This is what an operator
+/// dashboard (or the bench harness) scrapes to see whether hot flows are
+/// actually reusing audit paths.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RaHealthReport {
     /// CAs currently mirrored.
@@ -103,26 +104,37 @@ pub struct RaHealthReport {
     pub tracked_connections: usize,
     /// Packet/status counters.
     pub stats: RaStats,
-    /// Proof-cache counters (hits, misses, evictions).
+    /// Proof-cache counters (hits, misses, evictions) for single-serial
+    /// audit paths.
     pub proof_cache: CacheStats,
+    /// Counters of the compressed chain-multiproof memo (same epoch-keyed
+    /// policy; hot chains across concurrent flows reuse one multiproof).
+    pub multi_cache: CacheStats,
 }
 
 impl RaHealthReport {
-    /// Proof-cache hit fraction in `[0, 1]`.
+    /// Proof-cache hit fraction in `[0, 1]` (single-serial audit paths).
     pub fn cache_hit_rate(&self) -> f64 {
         self.proof_cache.hit_rate()
+    }
+
+    /// Multiproof-memo hit fraction in `[0, 1]`.
+    pub fn multi_cache_hit_rate(&self) -> f64 {
+        self.multi_cache.hit_rate()
     }
 }
 
 impl<M: MirrorEngine> RevocationAgent<M> {
-    /// Snapshots the RA's operational counters, including the epoch-keyed
-    /// proof cache's hit/miss statistics.
+    /// Snapshots the RA's operational counters, including both epoch-keyed
+    /// caches' hit/miss statistics.
     pub fn health_report(&self) -> RaHealthReport {
+        let server = self.status_server();
         RaHealthReport {
             mirrored_cas: self.followed_cas().count(),
             tracked_connections: self.table.len(),
             stats: self.stats,
-            proof_cache: self.proof_cache_stats(),
+            proof_cache: server.cache_stats(),
+            multi_cache: server.multi_cache_stats(),
         }
     }
 }
@@ -191,6 +203,46 @@ mod tests {
         }
         assert!(monitor.reports().is_empty());
         assert_eq!(monitor.checks, 5);
+    }
+
+    #[test]
+    fn health_report_surfaces_multiproof_memo_counters() {
+        use ritm_crypto::ed25519::SigningKey as Sk;
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut ca = ritm_dictionary::CaDictionary::new(
+            CaId::from_name("HealthCA"),
+            Sk::from_seed([5u8; 32]),
+            10,
+            128,
+            &mut rng,
+            1_000,
+        );
+        let mut ra = RevocationAgent::new(RaConfig::default());
+        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .unwrap();
+        let serials: Vec<SerialNumber> =
+            (0..40u32).map(|i| SerialNumber::from_u24(i * 2)).collect();
+        let iss = ca.insert(&serials, &mut rng, 1_001).unwrap();
+        ra.mirror_mut(&ca.ca())
+            .unwrap()
+            .apply_issuance(&iss, 1_001)
+            .unwrap();
+
+        // A compressed 3-cert chain: the leaf goes through the single-serial
+        // cache, the 2-cert run through the multiproof memo. Built twice, so
+        // the second pass hits both caches.
+        let chain: Vec<(CaId, SerialNumber)> = [1u32, 11, 21]
+            .iter()
+            .map(|&v| (ca.ca(), SerialNumber::from_u24(v)))
+            .collect();
+        let server = ra.status_server();
+        for _ in 0..2 {
+            server.build_status(&chain, true).unwrap();
+        }
+        let health = ra.health_report();
+        assert_eq!((health.proof_cache.hits, health.proof_cache.misses), (1, 1));
+        assert_eq!((health.multi_cache.hits, health.multi_cache.misses), (1, 1));
+        assert!((health.multi_cache_hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

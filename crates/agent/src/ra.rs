@@ -2,7 +2,7 @@
 //!
 //! The RA watches TCP segments on its path. For RITM-supported TLS
 //! connections it tracks Eq. (4) state, extracts the server certificate
-//! from the handshake, and piggybacks a [`RevocationStatus`] onto
+//! from the handshake, and piggybacks a [`ritm_dictionary::RevocationStatus`] onto
 //! server-to-client traffic: once on the ServerHello flight (step 4) and
 //! then at least every Δ for the connection's lifetime (step 6). All other
 //! traffic is forwarded untouched.
@@ -11,14 +11,13 @@ use crate::dpi::{classify, Classification};
 use crate::serve::StatusServer;
 use crate::state::{Stage, StateTable};
 use ritm_cdn::regions::Region;
-use ritm_crypto::wire::{Reader, Writer};
 use ritm_dictionary::{
-    CaId, FreshnessStatement, MirrorDictionary, MirrorEngine, MultiRevocationStatus,
-    RevocationStatus, SerialNumber, SignedRoot,
+    CaId, FreshnessStatement, MirrorDictionary, MirrorEngine, SerialNumber, SignedRoot,
 };
 use ritm_net::middlebox::Middlebox;
 use ritm_net::tcp::{Direction, TcpSegment};
 use ritm_net::time::{SimDuration, SimTime};
+pub use ritm_proto::StatusPayload;
 use ritm_tls::record::{ContentType, TlsRecord};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -34,7 +33,8 @@ pub struct RaConfig {
     /// Prove the whole chain instead of just the leaf (§VIII "Certificate
     /// chains").
     pub prove_full_chain: bool,
-    /// Compress same-CA chain runs into one [`MultiRevocationStatus`]
+    /// Compress same-CA chain runs into one
+    /// [`ritm_dictionary::MultiRevocationStatus`]
     /// (shared multiproof + single root/freshness) instead of independent
     /// statuses. Only affects chains of ≥2 certificates.
     pub compress_chain_proofs: bool,
@@ -66,137 +66,6 @@ pub struct RaStats {
     pub statuses_left_in_place: u64,
     /// Stale upstream statuses replaced with fresher ones (multi-RA rule).
     pub statuses_replaced: u64,
-}
-
-/// Marker byte separating individual statuses from the compressed section
-/// in an encoded [`StatusPayload`]. Individual-status counts are capped
-/// below it, so legacy single-status payloads decode unchanged.
-const MULTI_SECTION_MARKER: u8 = 0xFF;
-
-/// The payload of one `RitmStatus` record: statuses for each certificate of
-/// the chain, leaf first (one entry unless `prove_full_chain`). Same-CA
-/// chain runs may instead be carried as compressed
-/// [`MultiRevocationStatus`] entries in [`StatusPayload::multi`]; the
-/// individual statuses cover the chain positions not covered by a
-/// compressed entry, in chain order.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct StatusPayload {
-    /// Individual revocation statuses, aligned with the (uncompressed)
-    /// certificate-chain positions.
-    pub statuses: Vec<RevocationStatus>,
-    /// Compressed same-CA chain segments (empty unless the RA compresses
-    /// multi-certificate chains).
-    pub multi: Vec<MultiRevocationStatus>,
-}
-
-impl StatusPayload {
-    /// A payload of individual statuses only (the classic form).
-    pub fn single(statuses: Vec<RevocationStatus>) -> Self {
-        StatusPayload {
-            statuses,
-            multi: Vec::new(),
-        }
-    }
-
-    /// Total certificates covered (individual + compressed).
-    pub fn covered(&self) -> usize {
-        self.statuses.len() + self.multi.iter().map(|m| m.serials.len()).sum::<usize>()
-    }
-
-    /// `true` when the payload proves nothing.
-    pub fn is_empty(&self) -> bool {
-        self.statuses.is_empty() && self.multi.is_empty()
-    }
-
-    /// The signed root of the payload's first entry — what the multi-RA
-    /// freshness comparison (§VIII) keys on.
-    pub fn primary_root(&self) -> Option<&SignedRoot> {
-        self.statuses
-            .first()
-            .map(|s| &s.signed_root)
-            .or_else(|| self.multi.first().map(|m| &m.signed_root))
-    }
-
-    /// Encodes the payload (pre-sized; never reallocates). Payloads without
-    /// compressed entries encode byte-identically to the legacy format.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let cap = 1
-            + self
-                .statuses
-                .iter()
-                .map(|s| 3 + s.encoded_len())
-                .sum::<usize>()
-            + if self.multi.is_empty() {
-                0
-            } else {
-                2 + self
-                    .multi
-                    .iter()
-                    .map(|m| 3 + m.encoded_len())
-                    .sum::<usize>()
-            };
-        let mut w = Writer::with_capacity(cap);
-        // Hard asserts (not debug): a silent `as u8` truncation would emit
-        // an undecodable payload; chains are single digits in practice.
-        assert!(
-            self.statuses.len() < MULTI_SECTION_MARKER as usize,
-            "status count overflow"
-        );
-        w.u8(self.statuses.len() as u8);
-        for s in &self.statuses {
-            w.vec24(&s.to_bytes());
-        }
-        if !self.multi.is_empty() {
-            assert!(self.multi.len() <= u8::MAX as usize, "multi count overflow");
-            w.u8(MULTI_SECTION_MARKER);
-            w.u8(self.multi.len() as u8);
-            for m in &self.multi {
-                w.vec24(&m.to_bytes());
-            }
-        }
-        w.into_bytes()
-    }
-
-    /// Decodes a payload.
-    ///
-    /// # Errors
-    ///
-    /// Returns a wire [`ritm_crypto::wire::DecodeError`] on malformed input.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ritm_crypto::wire::DecodeError> {
-        let mut r = Reader::new(bytes);
-        let n = r.u8("status count")? as usize;
-        if n >= MULTI_SECTION_MARKER as usize {
-            return Err(ritm_crypto::wire::DecodeError::new(
-                "status count reserved",
-                0,
-            ));
-        }
-        // Each status needs at least its 3-byte length prefix.
-        r.check_count(n, 3, "status count exceeds buffer")?;
-        let mut statuses = Vec::with_capacity(n);
-        for _ in 0..n {
-            let raw = r.vec24("status entry")?;
-            statuses.push(RevocationStatus::from_bytes(raw)?);
-        }
-        let mut multi = Vec::new();
-        if !r.is_done() {
-            let marker = r.u8("multi section marker")?;
-            if marker != MULTI_SECTION_MARKER {
-                return Err(ritm_crypto::wire::DecodeError::new(
-                    "bad multi section marker",
-                    r.position(),
-                ));
-            }
-            let m = r.u8("multi status count")? as usize;
-            r.check_count(m, 3, "multi status count exceeds buffer")?;
-            for _ in 0..m {
-                let raw = r.vec24("multi status entry")?;
-                multi.push(MultiRevocationStatus::from_bytes(raw)?);
-            }
-        }
-        r.finish("status payload trailing")?;
-        Ok(StatusPayload { statuses, multi })
-    }
 }
 
 /// The Revocation Agent, generic over the mirror engine it runs

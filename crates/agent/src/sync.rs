@@ -2,23 +2,32 @@
 //! each RA contacts an edge server via an HTTP GET request to pull new
 //! revocations and freshness statements").
 //!
-//! The per-Δ download volume measured here is exactly what Fig. 7 plots,
-//! and the billed traffic feeds Fig. 6 / Table II.
+//! Since the wire-protocol redesign the RA speaks *only*
+//! [`ritm_proto::RitmRequest`] envelopes through a [`Transport`]
+//! ([`RevocationAgent::sync_via`]): the same sync pass runs against an
+//! in-process [`Loopback`] over a CDN [`EdgeService`], a `ritm-net`
+//! simulated path, or a real TCP connection, moving byte-identical frames.
+//! The per-Δ download volume measured here is exactly what Fig. 7 plots —
+//! now as actual encoded envelope bytes — and the billed traffic feeds
+//! Fig. 6 / Table II.
 
 use crate::ra::RevocationAgent;
 use ritm_cdn::network::Cdn;
-use ritm_cdn::origin::ContentKey;
+use ritm_cdn::service::EdgeService;
 use ritm_dictionary::{
-    CaId, EngineError, MirrorEngine, RefreshMessage, RevocationIssuance, SignedRoot, UpdateError,
-    UpdateMessage,
+    CaId, EngineError, MirrorEngine, RevocationIssuance, UpdateError, UpdateMessage,
 };
 use ritm_net::time::{SimDuration, SimTime};
+use ritm_proto::{Loopback, ProtoError, RitmRequest, RitmResponse, Transport, TransportMeta};
 
 /// Result of one periodic sync pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SyncReport {
-    /// Total bytes downloaded this pass (the Fig. 7 y-axis).
+    /// Total response-envelope bytes downloaded this pass (the Fig. 7
+    /// y-axis: every byte the RA's access link actually received).
     pub bytes_downloaded: u64,
+    /// Total request-envelope bytes uploaded this pass.
+    pub bytes_uploaded: u64,
     /// Issuance batches applied.
     pub issuances_applied: u64,
     /// New revocations learned.
@@ -27,76 +36,102 @@ pub struct SyncReport {
     pub freshness_applied: u64,
     /// Desynchronizations repaired via catch-up requests.
     pub catchups: u64,
-    /// Messages that failed verification and were discarded.
+    /// Messages that failed verification (or arrived as the wrong response
+    /// kind) and were discarded.
     pub rejected: u64,
-    /// Accumulated download latency.
+    /// Round trips that produced no decodable response at all (socket
+    /// failure, dropped segments, protocol version the RA cannot parse).
+    pub transport_failures: u64,
+    /// Accumulated download latency as the transport observed it.
     pub latency: SimDuration,
 }
 
 impl SyncReport {
-    fn absorb_pull(&mut self, stats: &ritm_cdn::edge::PullStats) {
-        self.bytes_downloaded += stats.bytes;
-        self.latency = self.latency + stats.latency;
+    fn absorb(&mut self, meta: &TransportMeta) {
+        self.bytes_downloaded += meta.response_bytes;
+        self.bytes_uploaded += meta.request_bytes;
+        self.latency = self.latency + meta.latency;
     }
 }
 
 impl<M: MirrorEngine> RevocationAgent<M> {
-    /// One periodic pull (every Δ): for each mirrored CA, fetch the latest
-    /// issuance bundle and freshness statement from the regional edge, apply
-    /// them, and repair any detected desynchronization with a catch-up
-    /// request.
+    /// One periodic pull (every Δ) over the wire protocol: for each
+    /// mirrored CA, request the latest issuance bundle and freshness
+    /// statement through `transport`, apply them, and repair any detected
+    /// desynchronization with a `CatchUp` request.
+    ///
+    /// A missing object ([`ProtoError::NotFound`] — the CA has published
+    /// nothing yet) is benign; any other error response, undecodable
+    /// message, or failed verification is counted in the report.
+    pub fn sync_via<T: Transport>(&mut self, transport: &mut T, now: SimTime) -> SyncReport {
+        let mut report = SyncReport::default();
+        let now_secs = now.as_secs();
+        let cas: Vec<CaId> = self.followed_cas().copied().collect();
+        for ca in cas {
+            // 1. New revocations.
+            match transport.round_trip(&RitmRequest::FetchDelta { ca }) {
+                Ok(rt) => {
+                    report.absorb(&rt.meta);
+                    match rt.response {
+                        RitmResponse::Delta(iss) => {
+                            self.apply_with_catchup(ca, iss, transport, now_secs, &mut report);
+                        }
+                        RitmResponse::Error(ProtoError::NotFound) => {}
+                        _ => report.rejected += 1,
+                    }
+                }
+                Err(_) => report.transport_failures += 1,
+            }
+            // 2. Freshness statement (or rotated root).
+            match transport.round_trip(&RitmRequest::FetchFreshness { ca }) {
+                Ok(rt) => {
+                    report.absorb(&rt.meta);
+                    match rt.response {
+                        RitmResponse::Freshness(msg) => {
+                            let res = self
+                                .mirror_mut(&ca)
+                                .expect("followed ca has a mirror")
+                                .apply_update(UpdateMessage::Refresh(&msg), now_secs);
+                            match res {
+                                Ok(()) => report.freshness_applied += 1,
+                                Err(_) => report.rejected += 1,
+                            }
+                        }
+                        RitmResponse::Error(ProtoError::NotFound) => {}
+                        _ => report.rejected += 1,
+                    }
+                }
+                Err(_) => report.transport_failures += 1,
+            }
+        }
+        report
+    }
+
+    /// Compatibility shim for harnesses that own a [`Cdn`] directly: wraps
+    /// it in a borrowed [`EdgeService`] behind an in-process [`Loopback`]
+    /// and runs [`RevocationAgent::sync_via`] — the sync itself always
+    /// speaks the wire protocol. `rng` seeds the edge's latency sampling.
+    #[deprecated(note = "build an EdgeService + Transport and call sync_via")]
     pub fn sync<R: rand::Rng + ?Sized>(
         &mut self,
         cdn: &mut Cdn,
         now: SimTime,
         rng: &mut R,
     ) -> SyncReport {
-        let mut report = SyncReport::default();
-        let now_secs = now.as_secs();
-        let region = self.config.region;
-        let cas: Vec<CaId> = self.followed_cas().copied().collect();
-        for ca in cas {
-            // 1. New revocations.
-            if let Some((bytes, stats)) = cdn.pull(region, &ContentKey::Latest { ca }, now, rng) {
-                report.absorb_pull(&stats);
-                match RevocationIssuance::from_bytes(&bytes) {
-                    Ok(iss) => self.apply_with_catchup(ca, iss, cdn, now, rng, &mut report),
-                    Err(_) => report.rejected += 1,
-                }
-            }
-            // 2. Freshness statement (or rotated root).
-            if let Some((bytes, stats)) = cdn.pull(region, &ContentKey::Freshness { ca }, now, rng)
-            {
-                report.absorb_pull(&stats);
-                match decode_refresh(&bytes) {
-                    Some(msg) => {
-                        let res = self
-                            .mirror_mut(&ca)
-                            .expect("followed ca has a mirror")
-                            .apply_update(UpdateMessage::Refresh(&msg), now_secs);
-                        match res {
-                            Ok(()) => report.freshness_applied += 1,
-                            Err(_) => report.rejected += 1,
-                        }
-                    }
-                    None => report.rejected += 1,
-                }
-            }
-        }
-        report
+        let service = EdgeService::new(&mut *cdn, self.config.region, rng.next_u64());
+        service.set_now(now);
+        let mut transport = Loopback::new(service);
+        self.sync_via(&mut transport, now)
     }
 
-    fn apply_with_catchup<R: rand::Rng + ?Sized>(
+    fn apply_with_catchup<T: Transport>(
         &mut self,
         ca: CaId,
         issuance: RevocationIssuance,
-        cdn: &mut Cdn,
-        now: SimTime,
-        rng: &mut R,
+        transport: &mut T,
+        now_secs: u64,
         report: &mut SyncReport,
     ) {
-        let now_secs = now.as_secs();
-        let region = self.config.region;
         let have = self
             .mirror(&ca)
             .expect("followed ca has a mirror")
@@ -129,9 +164,13 @@ impl<M: MirrorEngine> RevocationAgent<M> {
             }
             Err(EngineError::Update(UpdateError::Desynchronized { have, .. })) => {
                 // Paper's sync protocol: request everything after `have`.
-                if let Some((bytes, stats)) = cdn.pull_since(region, ca, have, rng) {
-                    report.absorb_pull(&stats);
-                    if let Ok(catchup) = RevocationIssuance::from_bytes(&bytes) {
+                match transport.round_trip(&RitmRequest::CatchUp { ca, have }) {
+                    Ok(rt) => {
+                        report.absorb(&rt.meta);
+                        let RitmResponse::Delta(catchup) = rt.response else {
+                            report.rejected += 1;
+                            return;
+                        };
                         let mut mirror = self.mirror_mut(&ca).expect("mirror");
                         if mirror
                             .apply_update(UpdateMessage::Issuance(&catchup), now_secs)
@@ -143,27 +182,12 @@ impl<M: MirrorEngine> RevocationAgent<M> {
                         } else {
                             report.rejected += 1;
                         }
-                    } else {
-                        report.rejected += 1;
                     }
+                    Err(_) => report.transport_failures += 1,
                 }
             }
             Err(_) => report.rejected += 1,
         }
-    }
-}
-
-/// Decodes the origin's refresh object (tag byte + body).
-fn decode_refresh(bytes: &[u8]) -> Option<RefreshMessage> {
-    let (tag, body) = bytes.split_first()?;
-    match tag {
-        0 => ritm_dictionary::FreshnessStatement::from_bytes(body)
-            .ok()
-            .map(RefreshMessage::Freshness),
-        1 => SignedRoot::from_bytes(body)
-            .ok()
-            .map(RefreshMessage::NewRoot),
-        _ => None,
     }
 }
 
@@ -174,8 +198,9 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ritm_ca::CertificationAuthority;
+    use ritm_cdn::origin::ContentKey;
     use ritm_crypto::ed25519::SigningKey;
-    use ritm_dictionary::SerialNumber;
+    use ritm_dictionary::{RefreshMessage, SerialNumber};
 
     const T0: u64 = 1_000_000;
 
@@ -207,6 +232,16 @@ mod tests {
         World { ca, cdn, ra, rng }
     }
 
+    /// One sync pass over the real protocol: borrowed edge service behind
+    /// an in-process loopback transport.
+    fn sync(w: &mut World, now: u64) -> SyncReport {
+        let region = w.ra.config.region;
+        let service = EdgeService::new(&mut w.cdn, region, 17);
+        service.set_now(SimTime::from_secs(now));
+        let mut transport = Loopback::new(service);
+        w.ra.sync_via(&mut transport, SimTime::from_secs(now))
+    }
+
     fn issue_and_revoke(w: &mut World, subjects: core::ops::Range<u32>, now: u64) {
         let key = SigningKey::from_seed([7u8; 32]).verifying_key();
         let serials: Vec<SerialNumber> = subjects
@@ -224,13 +259,15 @@ mod tests {
         issue_and_revoke(&mut w, 0..5, T0 + 1);
         w.ca.refresh(&mut w.cdn, &mut w.rng, T0 + 2).unwrap();
 
-        let report =
-            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
+        let report = sync(&mut w, T0 + 2);
         assert_eq!(report.issuances_applied, 1);
         assert_eq!(report.revocations_applied, 5);
         assert_eq!(report.freshness_applied, 1);
         assert_eq!(report.rejected, 0);
+        assert_eq!(report.transport_failures, 0);
         assert!(report.bytes_downloaded > 0);
+        assert!(report.bytes_uploaded > 0);
+        assert!(report.latency > SimDuration::ZERO, "edge latency charged");
         assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 5);
         assert_eq!(
             w.ra.mirror(&w.ca.id()).unwrap().signed_root(),
@@ -242,9 +279,8 @@ mod tests {
     fn repeated_sync_is_idempotent() {
         let mut w = world();
         issue_and_revoke(&mut w, 0..3, T0 + 1);
-        w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
-        let second =
-            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 3), &mut w.rng);
+        sync(&mut w, T0 + 2);
+        let second = sync(&mut w, T0 + 3);
         assert_eq!(second.issuances_applied, 0, "nothing new to apply");
         assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 3);
     }
@@ -256,8 +292,7 @@ mod tests {
         issue_and_revoke(&mut w, 0..4, T0 + 1);
         issue_and_revoke(&mut w, 4..9, T0 + 2);
 
-        let report =
-            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 3), &mut w.rng);
+        let report = sync(&mut w, T0 + 3);
         // The Latest bundle only carries the second batch, so the RA detects
         // the gap and issues a catch-up request.
         assert_eq!(report.catchups, 1);
@@ -268,7 +303,7 @@ mod tests {
     fn overlapping_bundle_is_trimmed() {
         let mut w = world();
         issue_and_revoke(&mut w, 0..4, T0 + 1);
-        w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
+        sync(&mut w, T0 + 2);
         // New batch; the Latest bundle holds only it, no overlap problem —
         // but craft overlap explicitly via issuance_since(0).
         issue_and_revoke(&mut w, 4..6, T0 + 3);
@@ -279,8 +314,7 @@ mod tests {
             .origin
             .publish_raw(ContentKey::Latest { ca: w.ca.id() }, full.to_bytes());
         w.cdn.flush_edges();
-        let report =
-            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 4), &mut w.rng);
+        let report = sync(&mut w, T0 + 4);
         assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 6);
         assert_eq!(report.rejected, 0);
     }
@@ -289,18 +323,16 @@ mod tests {
     fn fig7_shape_freshness_dominates_quiet_periods() {
         // During a quiet Δ the pull is ~tens of bytes (freshness +
         // zero-issuance bundle); during a revocation burst it grows with the
-        // batch (the Fig. 7 contrast).
+        // batch (the Fig. 7 contrast). Volumes are now true envelope bytes.
         let mut w = world();
         issue_and_revoke(&mut w, 0..1, T0 + 1);
-        w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut w.rng);
+        sync(&mut w, T0 + 2);
 
         w.ca.refresh(&mut w.cdn, &mut w.rng, T0 + 12).unwrap();
-        let quiet =
-            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 12), &mut w.rng);
+        let quiet = sync(&mut w, T0 + 12);
 
         issue_and_revoke(&mut w, 1..1001, T0 + 21);
-        let burst =
-            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 22), &mut w.rng);
+        let burst = sync(&mut w, T0 + 22);
         assert!(
             burst.bytes_downloaded > 10 * quiet.bytes_downloaded,
             "burst {} vs quiet {}",
@@ -332,11 +364,67 @@ mod tests {
         // 5 periods later the chain (length 3) is exhausted → NewRoot.
         let msg = ca.refresh(&mut cdn, &mut rng, T0 + 50).unwrap();
         assert!(matches!(msg, RefreshMessage::NewRoot(_)));
-        let report = ra.sync(&mut cdn, SimTime::from_secs(T0 + 50), &mut rng);
+        let service = EdgeService::new(&mut cdn, ra.config.region, 5);
+        service.set_now(SimTime::from_secs(T0 + 50));
+        let mut transport = Loopback::new(service);
+        let report = ra.sync_via(&mut transport, SimTime::from_secs(T0 + 50));
         assert_eq!(report.freshness_applied, 1);
         assert_eq!(
             ra.mirror(&ca.id()).unwrap().signed_root(),
             ca.dictionary().signed_root()
         );
+    }
+
+    #[test]
+    fn legacy_sync_shim_still_speaks_the_protocol() {
+        // The deprecated harness entry point must remain byte-for-byte a
+        // protocol sync: same counters as the explicit transport path.
+        let mut w = world();
+        issue_and_revoke(&mut w, 0..5, T0 + 1);
+        w.ca.refresh(&mut w.cdn, &mut w.rng, T0 + 2).unwrap();
+        #[allow(deprecated)]
+        let report = {
+            let mut rng = StdRng::seed_from_u64(99);
+            w.ra.sync(&mut w.cdn, SimTime::from_secs(T0 + 2), &mut rng)
+        };
+        assert_eq!(report.issuances_applied, 1);
+        assert_eq!(report.revocations_applied, 5);
+        assert_eq!(report.freshness_applied, 1);
+        assert!(report.bytes_downloaded > 0 && report.bytes_uploaded > 0);
+    }
+
+    #[test]
+    fn sync_over_simulated_path_matches_loopback_bytes() {
+        // The same sync pass over the ritm-net simulator must move exactly
+        // the bytes the loopback moved — the envelopes are the protocol.
+        let mut a = world();
+        issue_and_revoke(&mut a, 0..7, T0 + 1);
+        a.ca.refresh(&mut a.cdn, &mut a.rng, T0 + 2).unwrap();
+        let loopback_report = sync(&mut a, T0 + 2);
+
+        let mut b = world();
+        issue_and_revoke(&mut b, 0..7, T0 + 1);
+        b.ca.refresh(&mut b.cdn, &mut b.rng, T0 + 2).unwrap();
+        let region = b.ra.config.region;
+        let service = EdgeService::new(b.cdn, region, 17);
+        service.set_now(SimTime::from_secs(T0 + 2));
+        let mut transport =
+            ritm_proto::sim::SimTransport::new(service, SimDuration::from_millis(8));
+        let sim_report = b.ra.sync_via(&mut transport, SimTime::from_secs(T0 + 2));
+
+        assert_eq!(
+            sim_report.bytes_downloaded,
+            loopback_report.bytes_downloaded
+        );
+        assert_eq!(sim_report.bytes_uploaded, loopback_report.bytes_uploaded);
+        assert_eq!(
+            sim_report.issuances_applied,
+            loopback_report.issuances_applied
+        );
+        assert_eq!(sim_report.revocations_applied, 7);
+        // Latency now includes the simulated propagation on top of the
+        // edge's sampled serving time: 8 ms each way for each of the two
+        // round trips (delta + freshness).
+        assert!(sim_report.latency > loopback_report.latency);
     }
 }

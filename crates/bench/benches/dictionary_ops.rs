@@ -14,11 +14,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ritm_agent::{ProofCache, StatusServer};
+use ritm_agent::{ProofCache, StatusServer, StatusService};
 use ritm_crypto::SigningKey;
 use ritm_dictionary::tree::{Leaf, MerkleTree};
 use ritm_dictionary::{CaDictionary, CaId, HashPool, MirrorDictionary, SerialNumber};
+use ritm_proto::{Loopback, RitmRequest, RitmResponse, Service, Transport};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 const T0: u64 = 1_397_000_000;
@@ -457,11 +459,74 @@ fn bench_concurrent_serving(_c: &mut Criterion) {
     }
 }
 
+/// The wire protocol's per-request overhead on the serving path: envelope
+/// encode/decode for the hot request kinds (`GetStatus`, `FetchDelta`) and
+/// a full loopback `Service::handle` round trip against the RA's status
+/// endpoint — tracked in BENCH_dictionary.json from the protocol PR onward.
+fn bench_protocol_roundtrip(c: &mut Criterion) {
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (ca, mirror) = built_pair(n);
+    let ca_id = ca.ca();
+
+    let mut g = c.benchmark_group("protocol_roundtrip");
+
+    // Envelope encode+decode: GetStatus (the smallest hot request).
+    let get_status = RitmRequest::GetStatus {
+        ca: ca_id,
+        serial: SerialNumber::from_u24(0x700001),
+    };
+    g.bench_function("encode_get_status", |b| {
+        b.iter(|| black_box(black_box(&get_status).to_frame()))
+    });
+    let status_frame = get_status.to_frame();
+    g.bench_function("decode_get_status", |b| {
+        b.iter(|| {
+            let (body, _) = ritm_proto::split_frame(black_box(&status_frame)).expect("framed");
+            black_box(RitmRequest::decode_body(body).expect("decodes"))
+        })
+    });
+
+    // Envelope encode+decode: a BATCH-serial FetchDelta response (what an
+    // RA downloads per Δ during a revocation burst).
+    let issuance = ca.issuance_since((n - BATCH) as u64);
+    let delta_resp = RitmResponse::Delta(issuance);
+    g.bench_function("encode_fetch_delta_response", |b| {
+        b.iter(|| black_box(black_box(&delta_resp).to_frame()))
+    });
+    let delta_frame = delta_resp.to_frame();
+    g.bench_function("decode_fetch_delta_response", |b| {
+        b.iter(|| {
+            let (body, _) = ritm_proto::split_frame(black_box(&delta_frame)).expect("framed");
+            black_box(RitmResponse::decode_body(body).expect("decodes"))
+        })
+    });
+
+    // Full loopback round trip through the RA's status endpoint: envelope
+    // decode + snapshot proof build (cache-hot) + envelope encode.
+    let server = StatusServer::new();
+    assert!(server.publish(mirror.snapshot()));
+    let mut transport = Loopback::new(StatusService::new(Arc::new(server)));
+    g.bench_function("loopback_get_status", |b| {
+        b.iter(|| black_box(transport.round_trip(&get_status).expect("served")))
+    });
+    // And the raw frame path (what a TCP worker executes per request).
+    let service = StatusService::new(transport.service().server().clone());
+    g.bench_function("handle_frame_get_status", |b| {
+        b.iter(|| black_box(service.handle_frame(black_box(&status_frame))))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
         bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
-        bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving
+        bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving,
+        bench_protocol_roundtrip
 }
 criterion_main!(benches);

@@ -120,15 +120,7 @@ impl<E: DictionaryEngine> CertificationAuthority<E> {
     ) -> Self {
         let id = CaId::from_name(name);
         cdn.origin.register_ca(id, key.verifying_key());
-        let manifest = Manifest {
-            ca_name: name.to_owned(),
-            ca: id,
-            delta,
-            cdn_address: format!("cdn.example/{id}"),
-        };
-        cdn.origin
-            .publish_manifest(id, manifest.to_json_signed(&key).into_bytes());
-        CertificationAuthority {
+        let ca = CertificationAuthority {
             name: name.to_owned(),
             id,
             key,
@@ -136,7 +128,9 @@ impl<E: DictionaryEngine> CertificationAuthority<E> {
             issued: HashMap::new(),
             next_serial: 1,
             delta,
-        }
+        };
+        cdn.origin.publish_manifest(id, ca.manifest_json());
+        ca
     }
 
     /// The CA's identifier.
@@ -157,6 +151,22 @@ impl<E: DictionaryEngine> CertificationAuthority<E> {
     /// The dissemination period Δ (possibly CA-local, §VIII).
     pub fn delta(&self) -> u64 {
         self.delta
+    }
+
+    /// The CA's bootstrap manifest (the object published to the CDN at
+    /// creation; re-derivable at any time for direct manifest endpoints).
+    pub fn manifest(&self) -> Manifest {
+        Manifest {
+            ca_name: self.name.clone(),
+            ca: self.id,
+            delta: self.delta,
+            cdn_address: format!("cdn.example/{}", self.id),
+        }
+    }
+
+    /// The signed `/RITM.json` manifest bytes (§VIII).
+    pub fn manifest_json(&self) -> Vec<u8> {
+        self.manifest().to_json_signed(&self.key).into_bytes()
     }
 
     /// Read access to the dictionary engine (e.g. for bootstrap signed

@@ -5,12 +5,16 @@
 //!   publishes every change to the CDN origin (`ritm-cdn`);
 //! * [`manifest`] — the signed `/RITM.json` bootstrap manifest (§VIII);
 //! * [`misbehavior`] — an equivocating CA used by the §V attack
-//!   experiments.
+//!   experiments;
+//! * [`service`] — the CA's direct manifest/catch-up endpoint over the
+//!   `ritm-proto` wire API.
 
 pub mod authority;
 pub mod manifest;
 pub mod misbehavior;
+pub mod service;
 
 pub use authority::{CaError, CertificationAuthority};
 pub use manifest::{Manifest, ManifestError};
 pub use misbehavior::{EquivocatingCa, View};
+pub use service::CaService;

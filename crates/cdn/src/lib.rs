@@ -12,7 +12,10 @@
 //!   the 2015 CloudFront price ladder;
 //! * [`pricing`] — tiered per-region billing, producing the Fig. 6 /
 //!   Table II cost numbers;
-//! * [`network`] — the assembled CDN.
+//! * [`network`] — the assembled CDN;
+//! * [`service`] — a regional edge exposed as a `ritm-proto`
+//!   [`Service`](ritm_proto::Service) endpoint, servable over any
+//!   transport (in-process, simulated, real TCP).
 //!
 //! # Examples
 //!
@@ -38,9 +41,11 @@ pub mod network;
 pub mod origin;
 pub mod pricing;
 pub mod regions;
+pub mod service;
 
 pub use edge::{EdgeServer, PullStats};
 pub use network::Cdn;
 pub use origin::{ContentKey, Origin, PublishError};
 pub use pricing::{aggregate_tiered_cost_usd, tiered_cost_usd, TrafficLedger};
 pub use regions::{Region, ALL_REGIONS};
+pub use service::EdgeService;

@@ -190,6 +190,13 @@ impl Origin {
         self.content.get(key).map(Vec::as_slice)
     }
 
+    /// The latest verified signed root for `ca`, if it ever published one
+    /// (serves the wire protocol's `GetSignedRoot` and consistency
+    /// monitors comparing roots across vantage points).
+    pub fn signed_root(&self, ca: &CaId) -> Option<&SignedRoot> {
+        self.latest_root.get(ca)
+    }
+
     /// Number of stored objects.
     pub fn object_count(&self) -> usize {
         self.content.len()

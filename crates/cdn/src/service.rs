@@ -1,0 +1,293 @@
+//! The CDN edge as a wire-protocol [`Service`] endpoint.
+//!
+//! [`EdgeService`] exposes one regional edge of a [`Cdn`] through the
+//! versioned RITM envelope vocabulary: `FetchDelta` and `FetchFreshness`
+//! map to the edge's cached pulls, `CatchUp` to the origin's parametrized
+//! catch-up synthesis, `GetManifest` to the bootstrap manifest, and
+//! `GetSignedRoot` to the origin's latest verified root. Status requests
+//! are refused with [`ProtoError::Unsupported`] — statuses are the RA's
+//! job, not the CDN's.
+//!
+//! `handle` works from `&self` (the service sits behind any transport, on
+//! any number of threads), so the mutable CDN state lives behind a mutex;
+//! simulated pull latency is accumulated per request and drained by
+//! latency-aware transports via [`Service::take_latency`].
+
+use crate::network::Cdn;
+use crate::origin::ContentKey;
+use crate::regions::Region;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm_dictionary::{FreshnessStatement, RefreshMessage, RevocationIssuance, SignedRoot};
+use ritm_net::time::{SimDuration, SimTime};
+use ritm_proto::{ProtoError, RitmRequest, RitmResponse, Service};
+use std::borrow::BorrowMut;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One regional edge endpoint over a [`Cdn`] (owned, or `&mut`-borrowed
+/// for the duration of a sync pass — anything that [`BorrowMut`]s a CDN).
+pub struct EdgeService<C = Cdn> {
+    cdn: Mutex<C>,
+    region: Region,
+    rng: Mutex<StdRng>,
+    /// Current time in seconds (edges judge cache TTLs against it).
+    now_secs: AtomicU64,
+    /// Sampled pull latency accumulated since the last `take_latency`.
+    pending_latency_us: AtomicU64,
+}
+
+impl<C: BorrowMut<Cdn>> EdgeService<C> {
+    /// Wraps `cdn` as the edge endpoint for `region`. `seed` initializes
+    /// the service's private latency-sampling RNG stream.
+    pub fn new(cdn: C, region: Region, seed: u64) -> Self {
+        EdgeService {
+            cdn: Mutex::new(cdn),
+            region,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            now_secs: AtomicU64::new(0),
+            pending_latency_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the service clock (cache-TTL decisions and latency
+    /// sampling are relative to it).
+    pub fn set_now(&self, now: SimTime) {
+        self.now_secs.store(now.as_secs(), Ordering::SeqCst);
+    }
+
+    /// The region this edge serves.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Runs `f` with exclusive access to the underlying CDN — how a
+    /// harness publishes CA content while the service keeps serving.
+    pub fn with_cdn<R>(&self, f: impl FnOnce(&mut Cdn) -> R) -> R {
+        let mut guard = self.cdn.lock().expect("cdn lock");
+        let cdn: &mut Cdn = (*guard).borrow_mut();
+        f(cdn)
+    }
+
+    fn charge(&self, latency: SimDuration) {
+        self.pending_latency_us
+            .fetch_add(latency.as_micros(), Ordering::Relaxed);
+    }
+
+    /// One billed edge pull, decoded with `parse`.
+    fn pull_decoded<T>(
+        &self,
+        key: &ContentKey,
+        parse: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Result<T, ProtoError> {
+        let now = SimTime::from_secs(self.now_secs.load(Ordering::SeqCst));
+        let mut guard = self.cdn.lock().expect("cdn lock");
+        let cdn: &mut Cdn = (*guard).borrow_mut();
+        let mut rng = self.rng.lock().expect("rng lock");
+        let Some((bytes, stats)) = cdn.pull(self.region, key, now, &mut *rng) else {
+            return Err(ProtoError::NotFound);
+        };
+        self.charge(stats.latency);
+        // The stored object was verified at publish time; if it no longer
+        // decodes, the origin store is corrupt — an internal fault, not a
+        // client error.
+        parse(&bytes).ok_or(ProtoError::Internal)
+    }
+}
+
+/// Decodes the origin's refresh object (tag byte + body).
+fn decode_refresh(bytes: &[u8]) -> Option<RefreshMessage> {
+    let (tag, body) = bytes.split_first()?;
+    match tag {
+        0 => FreshnessStatement::from_bytes(body)
+            .ok()
+            .map(RefreshMessage::Freshness),
+        1 => SignedRoot::from_bytes(body)
+            .ok()
+            .map(RefreshMessage::NewRoot),
+        _ => None,
+    }
+}
+
+impl<C: BorrowMut<Cdn> + Send> Service for EdgeService<C> {
+    fn handle(&self, req: RitmRequest) -> RitmResponse {
+        match req {
+            RitmRequest::FetchDelta { ca } => {
+                match self.pull_decoded(&ContentKey::Latest { ca }, |b| {
+                    RevocationIssuance::from_bytes(b).ok()
+                }) {
+                    Ok(iss) => RitmResponse::Delta(iss),
+                    Err(e) => RitmResponse::Error(e),
+                }
+            }
+            RitmRequest::FetchFreshness { ca } => {
+                match self.pull_decoded(&ContentKey::Freshness { ca }, decode_refresh) {
+                    Ok(msg) => RitmResponse::Freshness(msg),
+                    Err(e) => RitmResponse::Error(e),
+                }
+            }
+            RitmRequest::CatchUp { ca, have } => {
+                // Parametrized requests are not cacheable: straight to the
+                // origin, billed like any other download (§III).
+                let mut guard = self.cdn.lock().expect("cdn lock");
+                let cdn: &mut Cdn = (*guard).borrow_mut();
+                let mut rng = self.rng.lock().expect("rng lock");
+                match cdn.pull_since(self.region, ca, have, &mut *rng) {
+                    Some((bytes, stats)) => {
+                        self.charge(stats.latency);
+                        match RevocationIssuance::from_bytes(&bytes) {
+                            Ok(iss) => RitmResponse::Delta(iss),
+                            Err(_) => RitmResponse::Error(ProtoError::Internal),
+                        }
+                    }
+                    None => RitmResponse::Error(ProtoError::NotFound),
+                }
+            }
+            RitmRequest::GetManifest { ca } => {
+                match self.pull_decoded(&ContentKey::Manifest { ca }, |b| Some(b.to_vec())) {
+                    Ok(bytes) => RitmResponse::Manifest(bytes),
+                    Err(e) => RitmResponse::Error(e),
+                }
+            }
+            RitmRequest::GetSignedRoot { ca } => {
+                let mut guard = self.cdn.lock().expect("cdn lock");
+                let cdn: &mut Cdn = (*guard).borrow_mut();
+                match cdn.origin.signed_root(&ca) {
+                    Some(root) => RitmResponse::SignedRoot(*root),
+                    None => RitmResponse::Error(ProtoError::UnknownCa(ca)),
+                }
+            }
+            RitmRequest::GetStatus { .. } | RitmRequest::GetMultiStatus { .. } => {
+                RitmResponse::Error(ProtoError::Unsupported)
+            }
+        }
+    }
+
+    fn take_latency(&self) -> SimDuration {
+        SimDuration::from_micros(self.pending_latency_us.swap(0, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ritm_dictionary::{CaDictionary, CaId, SerialNumber};
+
+    const T0: u64 = 1_000_000;
+
+    fn world() -> (CaDictionary, Cdn, StdRng) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ca = CaDictionary::new(
+            CaId::from_name("EdgeSvcCA"),
+            ritm_crypto::ed25519::SigningKey::from_seed([2u8; 32]),
+            10,
+            256,
+            &mut rng,
+            T0,
+        );
+        let mut cdn = Cdn::new(SimDuration::from_secs(30));
+        cdn.origin.register_ca(ca.ca(), ca.verifying_key());
+        (ca, cdn, rng)
+    }
+
+    #[test]
+    fn serves_delta_freshness_root_and_manifest() {
+        let (mut ca, mut cdn, mut rng) = world();
+        let iss = ca
+            .insert(&[SerialNumber::from_u24(5)], &mut rng, T0 + 1)
+            .unwrap();
+        cdn.origin.publish_issuance(ca.ca(), &iss).unwrap();
+        let refresh = ca.refresh(&mut rng, T0 + 2);
+        cdn.origin.publish_refresh(ca.ca(), &refresh).unwrap();
+        cdn.origin.publish_manifest(ca.ca(), b"{}".to_vec());
+
+        let svc = EdgeService::new(cdn, Region::Europe, 7);
+        svc.set_now(SimTime::from_secs(T0 + 2));
+
+        assert_eq!(
+            svc.handle(RitmRequest::FetchDelta { ca: ca.ca() }),
+            RitmResponse::Delta(iss.clone())
+        );
+        assert_eq!(
+            svc.handle(RitmRequest::FetchFreshness { ca: ca.ca() }),
+            RitmResponse::Freshness(refresh)
+        );
+        assert_eq!(
+            svc.handle(RitmRequest::GetSignedRoot { ca: ca.ca() }),
+            RitmResponse::SignedRoot(iss.signed_root)
+        );
+        assert_eq!(
+            svc.handle(RitmRequest::GetManifest { ca: ca.ca() }),
+            RitmResponse::Manifest(b"{}".to_vec())
+        );
+        // Pulls sampled latency; a latency-aware transport drains it once.
+        assert!(svc.take_latency() > SimDuration::ZERO);
+        assert_eq!(svc.take_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn catch_up_returns_the_missing_suffix() {
+        let (mut ca, mut cdn, mut rng) = world();
+        for i in 0..3u32 {
+            let iss = ca
+                .insert(
+                    &[SerialNumber::from_u24(10 + i)],
+                    &mut rng,
+                    T0 + 1 + i as u64,
+                )
+                .unwrap();
+            cdn.origin.publish_issuance(ca.ca(), &iss).unwrap();
+        }
+        let svc = EdgeService::new(cdn, Region::Japan, 7);
+        match svc.handle(RitmRequest::CatchUp {
+            ca: ca.ca(),
+            have: 1,
+        }) {
+            RitmResponse::Delta(iss) => {
+                assert_eq!(iss.first_number, 2);
+                assert_eq!(iss.serials.len(), 2);
+            }
+            other => panic!("expected Delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_objects_and_status_requests_are_typed_errors() {
+        let (ca, cdn, _) = world();
+        let svc = EdgeService::new(cdn, Region::Europe, 7);
+        let nobody = CaId::from_name("nobody");
+        assert_eq!(
+            svc.handle(RitmRequest::FetchDelta { ca: nobody }),
+            RitmResponse::Error(ProtoError::NotFound)
+        );
+        assert_eq!(
+            svc.handle(RitmRequest::GetSignedRoot { ca: nobody }),
+            RitmResponse::Error(ProtoError::UnknownCa(nobody))
+        );
+        assert_eq!(
+            svc.handle(RitmRequest::GetStatus {
+                ca: ca.ca(),
+                serial: SerialNumber::from_u24(1),
+            }),
+            RitmResponse::Error(ProtoError::Unsupported)
+        );
+    }
+
+    #[test]
+    fn borrowed_cdn_service_bills_the_shared_ledger() {
+        let (mut ca, mut cdn, mut rng) = world();
+        let iss = ca
+            .insert(&[SerialNumber::from_u24(1)], &mut rng, T0 + 1)
+            .unwrap();
+        cdn.origin.publish_issuance(ca.ca(), &iss).unwrap();
+        {
+            let svc = EdgeService::new(&mut cdn, Region::India, 3);
+            svc.set_now(SimTime::from_secs(T0 + 1));
+            assert!(matches!(
+                svc.handle(RitmRequest::FetchDelta { ca: ca.ca() }),
+                RitmResponse::Delta(_)
+            ));
+        }
+        assert!(cdn.ledger.bytes_in(Region::India) > 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Client-side status fetching over the wire protocol.
+//!
+//! The in-path deployment piggybacks statuses on TLS records, but the same
+//! validation logic also backs a *pull* model: a client (or an auditor, or
+//! a test harness) asks an RA endpoint for a chain's statuses through any
+//! [`Transport`] and runs the full §III step-5 acceptance policy on the
+//! response. This replaces the hand-fed payload plumbing the integration
+//! tests used before the protocol existed — the bytes validated here are
+//! exactly the bytes a real endpoint served.
+
+use crate::validator::{validate_payload_tracked, RootTracker, ValidationError, Verdict};
+use ritm_crypto::ed25519::VerifyingKey;
+use ritm_dictionary::{CaId, SerialNumber};
+use ritm_proto::{
+    ProtoError, RitmRequest, RitmResponse, StatusPayload, Transport, TransportError, TransportMeta,
+};
+use std::collections::HashMap;
+
+/// Why a status fetch produced no verdict.
+#[derive(Debug)]
+pub enum FetchError {
+    /// The transport failed (no decodable response).
+    Transport(TransportError),
+    /// The endpoint answered with a typed protocol error.
+    Service(ProtoError),
+    /// The endpoint answered with a non-status response kind.
+    UnexpectedResponse(&'static str),
+    /// The payload arrived but failed the acceptance policy.
+    Validation(ValidationError),
+}
+
+impl core::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FetchError::Transport(e) => write!(f, "status fetch transport failure: {e}"),
+            FetchError::Service(e) => write!(f, "endpoint refused status fetch: {e}"),
+            FetchError::UnexpectedResponse(kind) => {
+                write!(f, "endpoint answered with unexpected kind {kind}")
+            }
+            FetchError::Validation(e) => write!(f, "fetched status rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A fetched-and-validated chain status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedStatus {
+    /// The served payload (individual and/or compressed statuses).
+    pub payload: StatusPayload,
+    /// The acceptance-policy verdict.
+    pub verdict: Verdict,
+    /// Byte/latency accounting for the round trip.
+    pub meta: TransportMeta,
+}
+
+/// Fetches the raw status payload for `chain` from an RA endpoint.
+///
+/// # Errors
+///
+/// [`FetchError::Transport`]/[`FetchError::Service`] when no payload came
+/// back; [`FetchError::UnexpectedResponse`] on a mismatched response kind.
+pub fn fetch_status<T: Transport>(
+    transport: &mut T,
+    chain: &[(CaId, SerialNumber)],
+    compress: bool,
+) -> Result<(StatusPayload, TransportMeta), FetchError> {
+    let req = RitmRequest::GetMultiStatus {
+        chain: chain.to_vec(),
+        compress,
+    };
+    let rt = transport.round_trip(&req).map_err(FetchError::Transport)?;
+    match rt.response {
+        RitmResponse::Status(payload) => Ok((payload, rt.meta)),
+        RitmResponse::Error(e) => Err(FetchError::Service(e)),
+        other => Err(FetchError::UnexpectedResponse(other.kind_name())),
+    }
+}
+
+/// Fetches `chain`'s statuses and runs the full acceptance policy
+/// (signatures, absence proofs, ≤2Δ freshness, root-replay protection via
+/// `tracker`).
+///
+/// # Errors
+///
+/// See [`FetchError`]. A successful return may still carry
+/// [`Verdict::Revoked`] — that is a *valid* (and urgent) answer.
+pub fn fetch_and_validate<T: Transport>(
+    transport: &mut T,
+    chain: &[(CaId, SerialNumber)],
+    ca_keys: &HashMap<CaId, VerifyingKey>,
+    delta: u64,
+    now: u64,
+    tracker: &mut RootTracker,
+) -> Result<FetchedStatus, FetchError> {
+    let (payload, meta) = fetch_status(transport, chain, true)?;
+    let verdict = validate_payload_tracked(&payload, chain, ca_keys, delta, now, tracker)
+        .map_err(FetchError::Validation)?;
+    Ok(FetchedStatus {
+        payload,
+        verdict,
+        meta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ritm_agent::{RaConfig, RevocationAgent, StatusService};
+    use ritm_crypto::ed25519::SigningKey;
+    use ritm_dictionary::CaDictionary;
+    use ritm_proto::Loopback;
+
+    const T0: u64 = 1_000_000;
+
+    fn world(revoked: &[u32]) -> (CaDictionary, RevocationAgent, HashMap<CaId, VerifyingKey>) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ca = CaDictionary::new(
+            CaId::from_name("FetchCA"),
+            SigningKey::from_seed([1u8; 32]),
+            10,
+            1 << 10,
+            &mut rng,
+            T0,
+        );
+        let mut ra = RevocationAgent::new(RaConfig::default());
+        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .unwrap();
+        if !revoked.is_empty() {
+            let serials: Vec<SerialNumber> =
+                revoked.iter().map(|&v| SerialNumber::from_u24(v)).collect();
+            let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+            ra.mirror_mut(&ca.ca())
+                .unwrap()
+                .apply_issuance(&iss, T0 + 1)
+                .unwrap();
+        }
+        let mut keys = HashMap::new();
+        keys.insert(ca.ca(), ca.verifying_key());
+        (ca, ra, keys)
+    }
+
+    #[test]
+    fn fetched_status_validates_end_to_end() {
+        let (ca, ra, keys) = world(&[100, 102, 104]);
+        let mut transport = Loopback::new(StatusService::new(ra.status_server()));
+        let chain = [(ca.ca(), SerialNumber::from_u24(555))];
+        let mut tracker = RootTracker::new();
+        let out = fetch_and_validate(&mut transport, &chain, &keys, 10, T0 + 2, &mut tracker)
+            .expect("serves and validates");
+        assert_eq!(out.verdict, Verdict::AllValid);
+        assert!(out.meta.response_bytes > 0);
+        assert!(tracker.newest(&ca.ca()).is_some(), "tracker advanced");
+    }
+
+    #[test]
+    fn revoked_serial_is_a_verdict_not_an_error() {
+        let (ca, ra, keys) = world(&[100]);
+        let mut transport = Loopback::new(StatusService::new(ra.status_server()));
+        let chain = [(ca.ca(), SerialNumber::from_u24(100))];
+        let out = fetch_and_validate(
+            &mut transport,
+            &chain,
+            &keys,
+            10,
+            T0 + 2,
+            &mut RootTracker::new(),
+        )
+        .unwrap();
+        assert!(matches!(out.verdict, Verdict::Revoked { serial, .. }
+            if serial == SerialNumber::from_u24(100)));
+    }
+
+    #[test]
+    fn unmirrored_ca_surfaces_the_service_error() {
+        let (_, ra, _) = world(&[]);
+        let mut transport = Loopback::new(StatusService::new(ra.status_server()));
+        let chain = [(CaId::from_name("stranger"), SerialNumber::from_u24(1))];
+        match fetch_status(&mut transport, &chain, true) {
+            // The RA stays silent about *which* CA it cannot prove.
+            Err(FetchError::Service(ProtoError::NotFound)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+}

@@ -4,12 +4,17 @@
 //!   absence proof + freshness ≤ 2Δ;
 //! * [`client`] — a TLS client that requests RITM protection, validates
 //!   every piggybacked status, interrupts on revocation or staleness (even
-//!   mid-connection), and implements the §IV downgrade-protection modes.
+//!   mid-connection), and implements the §IV downgrade-protection modes;
+//! * [`fetch`] — the pull model: fetch a chain's statuses from an RA
+//!   endpoint through any `ritm-proto` transport and run the same
+//!   acceptance policy on the response.
 
 pub mod client;
+pub mod fetch;
 pub mod validator;
 
 pub use client::{AbortReason, DowngradePolicy, RitmClient, RitmClientConfig, RitmEvent};
+pub use fetch::{fetch_and_validate, fetch_status, FetchError, FetchedStatus};
 pub use validator::{
     validate_payload, validate_payload_tracked, RootTracker, ValidationError, Verdict,
 };

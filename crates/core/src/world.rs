@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use ritm_agent::{RaConfig, RaHealthReport, RevocationAgent};
 use ritm_ca::CertificationAuthority;
 use ritm_cdn::network::Cdn;
+use ritm_cdn::service::EdgeService;
 use ritm_client::{AbortReason, RitmClient, RitmClientConfig, RitmEvent};
 use ritm_crypto::ed25519::SigningKey;
 use ritm_dictionary::{CaId, SerialNumber};
@@ -16,6 +17,7 @@ use ritm_net::middlebox::MiddleboxNode;
 use ritm_net::sim::{Path, Simulator};
 use ritm_net::tcp::{Addr, FourTuple, SocketAddr};
 use ritm_net::time::{SimDuration, SimTime};
+use ritm_proto::Loopback;
 use ritm_tls::certificate::{Certificate, CertificateChain, TrustAnchors};
 use ritm_tls::connection::{ServerConnection, ServerContext};
 use std::cell::RefCell;
@@ -170,9 +172,20 @@ impl RitmWorld {
         self.ca
             .refresh(&mut self.cdn, &mut self.rng, self.now)
             .expect("origin accepts refresh");
-        self.ra
-            .borrow_mut()
-            .sync(&mut self.cdn, SimTime::from_secs(self.now), &mut self.rng);
+        self.sync_ra();
+    }
+
+    /// One RA sync pass over the wire protocol: the world's CDN is exposed
+    /// as a borrowed [`EdgeService`] behind an in-process loopback
+    /// transport, so the RA moves exactly the envelope bytes a remote
+    /// deployment would.
+    fn sync_ra(&mut self) {
+        use rand::RngCore;
+        let mut ra = self.ra.borrow_mut();
+        let service = EdgeService::new(&mut self.cdn, ra.config.region, self.rng.next_u64());
+        service.set_now(SimTime::from_secs(self.now));
+        let mut transport = Loopback::new(service);
+        ra.sync_via(&mut transport, SimTime::from_secs(self.now));
     }
 
     /// Advances world time by `secs`, running the Δ dissemination cycle at
@@ -190,9 +203,7 @@ impl RitmWorld {
     /// a completed dissemination cycle).
     pub fn revoke(&mut self, serial: SerialNumber) {
         self.publish_revocation(serial);
-        self.ra
-            .borrow_mut()
-            .sync(&mut self.cdn, SimTime::from_secs(self.now), &mut self.rng);
+        self.sync_ra();
     }
 
     /// Revokes a certificate at the CA/CDN only; RAs learn of it at their

@@ -41,13 +41,19 @@ impl RevocationIssuance {
     /// [`RevocationIssuance::encoded_len`]; never reallocates).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(self.encoded_len());
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Appends the encoding to an existing writer (protocol envelopes
+    /// embed issuances without an intermediate buffer).
+    pub fn encode_into(&self, w: &mut Writer) {
         w.u64(self.first_number);
         w.u32(self.serials.len() as u32);
         for s in &self.serials {
             w.vec8(s.as_bytes());
         }
         w.bytes(&self.signed_root.to_bytes());
-        w.into_bytes()
     }
 
     /// Parses an issuance message.
@@ -190,7 +196,7 @@ impl RevocationStatus {
 }
 
 /// A compressed revocation status for several serials of **one** CA's
-/// chain: a single [`MultiProof`] plus one signed root and one freshness
+/// chain: a single [`crate::proof::MultiProof`] plus one signed root and one freshness
 /// statement instead of `k` independent [`RevocationStatus`] objects.
 ///
 /// This is the wire form of the §VIII certificate-chain optimization: the

@@ -1,0 +1,44 @@
+//! # ritm-proto — the versioned RITM wire protocol
+//!
+//! The paper's deployment story (§III Dissemination, §VI) is a distributed
+//! protocol: RAs pull dictionary deltas and freshness statements from CDN
+//! edges, clients receive revocation statuses, and every endpoint speaks a
+//! small request/response vocabulary. This crate is that vocabulary as a
+//! real wire API:
+//!
+//! * [`RitmRequest`] / [`RitmResponse`] — versioned, length-delimited
+//!   envelopes (`u32 length ‖ version ‖ kind ‖ fields`) with a typed
+//!   [`ProtoError`] taxonomy and explicit version negotiation. Decoding is
+//!   `check_count`-hardened: forged counts and truncated frames yield
+//!   errors, never panics or oversized allocations.
+//! * [`Service`] — the transport-agnostic endpoint trait
+//!   (`fn handle(&self, RitmRequest) -> RitmResponse` from `&self`),
+//!   implemented by the CDN edge (`ritm-cdn`), the RA read path
+//!   (`ritm-agent`, over its lock-free `StatusServer`), and the CA
+//!   manifest endpoint (`ritm-ca`).
+//! * [`Transport`] — the client half, with three interchangeable
+//!   implementations: in-process [`Loopback`], the [`sim::SimTransport`]
+//!   adapter carrying frames in `ritm-net` `TcpSegment` payloads, and the
+//!   blocking [`tcp::TcpTransport`] / [`tcp::TcpServer`] pair over real
+//!   `std::net` sockets with a bounded acceptor pool.
+//!
+//! Byte accounting is exact and transport-invariant: a round trip reports
+//! the encoded frame sizes ([`TransportMeta`]), so the Fig. 7 download
+//! volumes measure actual protocol bytes whichever transport carried them.
+
+pub mod error;
+pub mod message;
+pub mod payload;
+pub mod service;
+pub mod sim;
+pub mod tcp;
+pub mod transport;
+
+pub use error::{ProtoError, TransportError};
+pub use message::{
+    split_frame, RitmRequest, RitmResponse, MAX_CHAIN_LEN, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+};
+pub use payload::StatusPayload;
+pub use service::Service;
+pub use transport::{Loopback, RoundTrip, Transport, TransportMeta};

@@ -1,0 +1,540 @@
+//! Versioned, length-delimited request/response envelopes.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! frame := u32 BE body length ‖ body
+//! body  := version (u8) ‖ kind (u8) ‖ fields
+//! ```
+//!
+//! The version byte comes first so that a server can always answer a frame
+//! from the future with a typed
+//! [`ProtoError::UnsupportedVersion`] instead of
+//! misparsing it; kinds below `0x80` are requests, kinds at or above it are
+//! responses. All field counts are validated against the bytes actually
+//! present (`check_count`) before sizing any allocation, so a forged count
+//! can never balloon memory or panic the decoder.
+
+use crate::error::{ProtoError, TransportError};
+use crate::payload::StatusPayload;
+use ritm_crypto::wire::{DecodeError, Reader, Writer};
+use ritm_dictionary::{
+    CaId, FreshnessStatement, RefreshMessage, RevocationIssuance, SerialNumber, SignedRoot,
+};
+
+/// The protocol version this crate speaks (and emits in every envelope).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The oldest version this crate still accepts. Bump both constants
+/// together only on a breaking wire change.
+pub const MIN_SUPPORTED_VERSION: u8 = 1;
+
+/// Upper bound on one frame body. Generous enough for a full catch-up
+/// bundle (a million 20-byte serials), small enough that a hostile length
+/// prefix cannot drive an allocation into the gigabytes.
+///
+/// A response that would exceed this cap degrades to a typed
+/// [`ProtoError::Internal`] at the service choke point; an RA whose
+/// catch-up gap encodes past it (≥ ~1.5M serials missed in one Δ) cannot
+/// converge through `CatchUp` alone — chunked catch-up with historical
+/// roots is a recorded future protocol extension (see ROADMAP).
+pub const MAX_FRAME_LEN: usize = 1 << 25;
+
+/// Upper bound on a `GetMultiStatus` chain. One below the status payload's
+/// `0xFF` section marker, so even a fully-uncompressed response stays
+/// encodable — the request decoder rejects longer chains as malformed
+/// instead of letting response encoding panic.
+pub const MAX_CHAIN_LEN: usize = 254;
+
+const REQ_FETCH_DELTA: u8 = 0x01;
+const REQ_FETCH_FRESHNESS: u8 = 0x02;
+const REQ_CATCH_UP: u8 = 0x03;
+const REQ_GET_STATUS: u8 = 0x04;
+const REQ_GET_MULTI_STATUS: u8 = 0x05;
+const REQ_GET_SIGNED_ROOT: u8 = 0x06;
+const REQ_GET_MANIFEST: u8 = 0x07;
+
+const RESP_DELTA: u8 = 0x81;
+const RESP_FRESHNESS: u8 = 0x82;
+const RESP_STATUS: u8 = 0x84;
+const RESP_SIGNED_ROOT: u8 = 0x86;
+const RESP_MANIFEST: u8 = 0x87;
+const RESP_ERROR: u8 = 0xEE;
+
+const REFRESH_TAG_FRESHNESS: u8 = 0;
+const REFRESH_TAG_NEW_ROOT: u8 = 1;
+
+/// One request an endpoint can serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RitmRequest {
+    /// The latest issuance bundle for a CA (the RA's periodic Δ pull).
+    FetchDelta {
+        /// CA whose feed is pulled.
+        ca: CaId,
+    },
+    /// The latest freshness statement (or rotated root) for a CA.
+    FetchFreshness {
+        /// CA whose statement is pulled.
+        ca: CaId,
+    },
+    /// The §III catch-up request of a desynchronized RA holding `have`
+    /// consecutive revocations.
+    CatchUp {
+        /// CA to catch up on.
+        ca: CaId,
+        /// Consecutive revocations the requester already holds.
+        have: u64,
+    },
+    /// One certificate's full revocation status (proof + root + freshness).
+    GetStatus {
+        /// Issuing CA.
+        ca: CaId,
+        /// Certificate serial to prove.
+        serial: SerialNumber,
+    },
+    /// Statuses for a whole certificate chain, optionally compressing
+    /// same-CA runs into multiproofs.
+    GetMultiStatus {
+        /// `(issuer, serial)` per chain position, leaf first.
+        chain: Vec<(CaId, SerialNumber)>,
+        /// Whether same-CA runs may be compressed.
+        compress: bool,
+    },
+    /// The CA's current signed root (consistency monitoring, bootstrap).
+    GetSignedRoot {
+        /// CA whose root is requested.
+        ca: CaId,
+    },
+    /// The `/RITM.json` bootstrap manifest (§VIII).
+    GetManifest {
+        /// CA whose manifest is requested.
+        ca: CaId,
+    },
+}
+
+/// One response. Kind `0xEE` carries the typed error taxonomy; everything
+/// else is the success payload for the matching request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RitmResponse {
+    /// An issuance bundle (answers `FetchDelta` and `CatchUp`).
+    Delta(RevocationIssuance),
+    /// A freshness statement or rotated root (answers `FetchFreshness`).
+    Freshness(RefreshMessage),
+    /// A status payload (answers `GetStatus` and `GetMultiStatus`).
+    Status(StatusPayload),
+    /// A signed root (answers `GetSignedRoot`).
+    SignedRoot(SignedRoot),
+    /// Opaque manifest bytes (answers `GetManifest`).
+    Manifest(Vec<u8>),
+    /// The request failed; see [`ProtoError`].
+    Error(ProtoError),
+}
+
+fn encode_ca(w: &mut Writer, ca: &CaId) {
+    w.bytes(&ca.0);
+}
+
+fn decode_ca(r: &mut Reader<'_>) -> Result<CaId, DecodeError> {
+    Ok(CaId(r.array("ca id")?))
+}
+
+fn encode_serial(w: &mut Writer, s: &SerialNumber) {
+    w.vec8(s.as_bytes());
+}
+
+fn decode_serial(r: &mut Reader<'_>) -> Result<SerialNumber, DecodeError> {
+    let pos = r.position();
+    let raw = r.vec8("serial bytes")?;
+    SerialNumber::new(raw).map_err(|_| DecodeError::new("invalid serial", pos))
+}
+
+impl RitmRequest {
+    /// Short name of the request kind (for logs and metrics).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RitmRequest::FetchDelta { .. } => "fetch_delta",
+            RitmRequest::FetchFreshness { .. } => "fetch_freshness",
+            RitmRequest::CatchUp { .. } => "catch_up",
+            RitmRequest::GetStatus { .. } => "get_status",
+            RitmRequest::GetMultiStatus { .. } => "get_multi_status",
+            RitmRequest::GetSignedRoot { .. } => "get_signed_root",
+            RitmRequest::GetManifest { .. } => "get_manifest",
+        }
+    }
+
+    /// Exact encoded body length (version + kind + fields), computed
+    /// without serializing.
+    pub fn encoded_len(&self) -> usize {
+        2 + match self {
+            RitmRequest::FetchDelta { .. }
+            | RitmRequest::FetchFreshness { .. }
+            | RitmRequest::GetSignedRoot { .. }
+            | RitmRequest::GetManifest { .. } => 8,
+            RitmRequest::CatchUp { .. } => 16,
+            RitmRequest::GetStatus { serial, .. } => 8 + 1 + serial.len(),
+            RitmRequest::GetMultiStatus { chain, .. } => {
+                1 + chain.iter().map(|(_, s)| 8 + 1 + s.len()).sum::<usize>() + 1
+            }
+        }
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u8(PROTOCOL_VERSION);
+        match self {
+            RitmRequest::FetchDelta { ca } => {
+                w.u8(REQ_FETCH_DELTA);
+                encode_ca(w, ca);
+            }
+            RitmRequest::FetchFreshness { ca } => {
+                w.u8(REQ_FETCH_FRESHNESS);
+                encode_ca(w, ca);
+            }
+            RitmRequest::CatchUp { ca, have } => {
+                w.u8(REQ_CATCH_UP);
+                encode_ca(w, ca);
+                w.u64(*have);
+            }
+            RitmRequest::GetStatus { ca, serial } => {
+                w.u8(REQ_GET_STATUS);
+                encode_ca(w, ca);
+                encode_serial(w, serial);
+            }
+            RitmRequest::GetMultiStatus { chain, compress } => {
+                w.u8(REQ_GET_MULTI_STATUS);
+                assert!(chain.len() <= MAX_CHAIN_LEN, "chain length overflow");
+                w.u8(chain.len() as u8);
+                for (ca, serial) in chain {
+                    encode_ca(w, ca);
+                    encode_serial(w, serial);
+                }
+                w.u8(u8::from(*compress));
+            }
+            RitmRequest::GetSignedRoot { ca } => {
+                w.u8(REQ_GET_SIGNED_ROOT);
+                encode_ca(w, ca);
+            }
+            RitmRequest::GetManifest { ca } => {
+                w.u8(REQ_GET_MANIFEST);
+                encode_ca(w, ca);
+            }
+        }
+    }
+
+    /// Encodes the full frame (`u32` length prefix + versioned body),
+    /// pre-sized to [`RitmRequest::encoded_len`] plus the prefix.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let body_len = self.encoded_len();
+        let mut w = Writer::with_capacity(4 + body_len);
+        w.u32(body_len as u32);
+        self.encode_body(&mut w);
+        debug_assert_eq!(w.len(), 4 + body_len);
+        w.into_bytes()
+    }
+
+    /// Decodes a request frame *body* (without the length prefix), applying
+    /// version negotiation.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::UnsupportedVersion`] when the version byte is outside
+    /// `[MIN_SUPPORTED_VERSION, PROTOCOL_VERSION]`;
+    /// [`ProtoError::Malformed`] on any decode failure (never panics).
+    pub fn decode_body(body: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(body);
+        let version = r.u8("request version").map_err(|e| ProtoError::Malformed {
+            offset: e.offset as u32,
+        })?;
+        if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
+            return Err(ProtoError::UnsupportedVersion {
+                requested: version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        Self::decode_fields(&mut r).map_err(|e| ProtoError::Malformed {
+            offset: e.offset as u32,
+        })
+    }
+
+    fn decode_fields(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let pos = r.position();
+        let req = match r.u8("request kind")? {
+            REQ_FETCH_DELTA => RitmRequest::FetchDelta { ca: decode_ca(r)? },
+            REQ_FETCH_FRESHNESS => RitmRequest::FetchFreshness { ca: decode_ca(r)? },
+            REQ_CATCH_UP => RitmRequest::CatchUp {
+                ca: decode_ca(r)?,
+                have: r.u64("catch-up have")?,
+            },
+            REQ_GET_STATUS => RitmRequest::GetStatus {
+                ca: decode_ca(r)?,
+                serial: decode_serial(r)?,
+            },
+            REQ_GET_MULTI_STATUS => {
+                let len_pos = r.position();
+                let n = r.u8("chain length")? as usize;
+                if n > MAX_CHAIN_LEN {
+                    // An uncompressed response for a longer chain could not
+                    // be encoded (payload counts cap below the 0xFF section
+                    // marker): refuse at the request boundary.
+                    return Err(DecodeError::new(
+                        "chain length exceeds MAX_CHAIN_LEN",
+                        len_pos,
+                    ));
+                }
+                // Each entry needs ≥ 8 (CA) + 1 (len) + 1 (serial) bytes.
+                r.check_count(n, 10, "chain length exceeds buffer")?;
+                let mut chain = Vec::with_capacity(n);
+                for _ in 0..n {
+                    chain.push((decode_ca(r)?, decode_serial(r)?));
+                }
+                let compress = r.u8("compress flag")? != 0;
+                RitmRequest::GetMultiStatus { chain, compress }
+            }
+            REQ_GET_SIGNED_ROOT => RitmRequest::GetSignedRoot { ca: decode_ca(r)? },
+            REQ_GET_MANIFEST => RitmRequest::GetManifest { ca: decode_ca(r)? },
+            _ => return Err(DecodeError::new("unknown request kind", pos)),
+        };
+        r.finish("request trailing bytes")?;
+        Ok(req)
+    }
+}
+
+impl RitmResponse {
+    /// Short name of the response kind (for logs and metrics).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RitmResponse::Delta(_) => "delta",
+            RitmResponse::Freshness(_) => "freshness",
+            RitmResponse::Status(_) => "status",
+            RitmResponse::SignedRoot(_) => "signed_root",
+            RitmResponse::Manifest(_) => "manifest",
+            RitmResponse::Error(_) => "error",
+        }
+    }
+
+    /// Exact encoded body length (version + kind + fields), computed
+    /// without serializing. Embedded payloads carry a `u32` length so a
+    /// full catch-up bundle (tens of MB) encodes without any 24-bit cap —
+    /// [`MAX_FRAME_LEN`] is the only size bound, enforced as a typed error
+    /// at the framing layer, never as a panic.
+    pub fn encoded_len(&self) -> usize {
+        2 + match self {
+            RitmResponse::Delta(iss) => 4 + iss.encoded_len(),
+            RitmResponse::Freshness(RefreshMessage::Freshness(_)) => 1 + 20,
+            RitmResponse::Freshness(RefreshMessage::NewRoot(_)) => {
+                1 + ritm_dictionary::root::SIGNED_ROOT_LEN
+            }
+            RitmResponse::Status(p) => 4 + p.encoded_len(),
+            RitmResponse::SignedRoot(_) => ritm_dictionary::root::SIGNED_ROOT_LEN,
+            RitmResponse::Manifest(m) => 4 + m.len(),
+            RitmResponse::Error(e) => e.encoded_len(),
+        }
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u8(PROTOCOL_VERSION);
+        match self {
+            RitmResponse::Delta(iss) => {
+                w.u8(RESP_DELTA);
+                w.u32(iss.encoded_len() as u32);
+                iss.encode_into(w);
+            }
+            RitmResponse::Freshness(RefreshMessage::Freshness(f)) => {
+                w.u8(RESP_FRESHNESS);
+                w.u8(REFRESH_TAG_FRESHNESS);
+                w.bytes(&f.to_bytes());
+            }
+            RitmResponse::Freshness(RefreshMessage::NewRoot(sr)) => {
+                w.u8(RESP_FRESHNESS);
+                w.u8(REFRESH_TAG_NEW_ROOT);
+                w.bytes(&sr.to_bytes());
+            }
+            RitmResponse::Status(p) => {
+                w.u8(RESP_STATUS);
+                w.u32(p.encoded_len() as u32);
+                p.encode_into(w);
+            }
+            RitmResponse::SignedRoot(sr) => {
+                w.u8(RESP_SIGNED_ROOT);
+                w.bytes(&sr.to_bytes());
+            }
+            RitmResponse::Manifest(m) => {
+                w.u8(RESP_MANIFEST);
+                w.u32(m.len() as u32);
+                w.bytes(m);
+            }
+            RitmResponse::Error(e) => {
+                w.u8(RESP_ERROR);
+                e.encode(w);
+            }
+        }
+    }
+
+    /// Encodes the full frame (`u32` length prefix + versioned body),
+    /// pre-sized to [`RitmResponse::encoded_len`] plus the prefix.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let body_len = self.encoded_len();
+        let mut w = Writer::with_capacity(4 + body_len);
+        w.u32(body_len as u32);
+        self.encode_body(&mut w);
+        debug_assert_eq!(w.len(), 4 + body_len);
+        w.into_bytes()
+    }
+
+    /// Decodes a response frame *body* (without the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::VersionMismatch`] when the server answered in a
+    /// version this client cannot parse; [`TransportError::BadResponse`] on
+    /// any decode failure (never panics).
+    pub fn decode_body(body: &[u8]) -> Result<Self, TransportError> {
+        let mut r = Reader::new(body);
+        let version = r.u8("response version")?;
+        if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
+            return Err(TransportError::VersionMismatch { got: version });
+        }
+        Ok(Self::decode_fields(&mut r)?)
+    }
+
+    fn decode_fields(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let pos = r.position();
+        let resp = match r.u8("response kind")? {
+            RESP_DELTA => {
+                let raw = read_embedded(r, "issuance bytes")?;
+                RitmResponse::Delta(RevocationIssuance::from_bytes(raw)?)
+            }
+            RESP_FRESHNESS => {
+                let tag_pos = r.position();
+                match r.u8("refresh tag")? {
+                    REFRESH_TAG_FRESHNESS => RitmResponse::Freshness(RefreshMessage::Freshness(
+                        FreshnessStatement::decode(r)?,
+                    )),
+                    REFRESH_TAG_NEW_ROOT => {
+                        RitmResponse::Freshness(RefreshMessage::NewRoot(SignedRoot::decode(r)?))
+                    }
+                    _ => return Err(DecodeError::new("unknown refresh tag", tag_pos)),
+                }
+            }
+            RESP_STATUS => {
+                let raw = read_embedded(r, "status payload bytes")?;
+                RitmResponse::Status(StatusPayload::from_bytes(raw)?)
+            }
+            RESP_SIGNED_ROOT => RitmResponse::SignedRoot(SignedRoot::decode(r)?),
+            RESP_MANIFEST => RitmResponse::Manifest(read_embedded(r, "manifest bytes")?.to_vec()),
+            RESP_ERROR => RitmResponse::Error(ProtoError::decode(r)?),
+            _ => return Err(DecodeError::new("unknown response kind", pos)),
+        };
+        r.finish("response trailing bytes")?;
+        Ok(resp)
+    }
+}
+
+/// Reads a `u32`-length-prefixed embedded payload. The length is bounded
+/// by the bytes actually present (the frame layer already capped the body
+/// at [`MAX_FRAME_LEN`]), so a forged length cannot oversize anything.
+fn read_embedded<'a>(r: &mut Reader<'a>, context: &'static str) -> Result<&'a [u8], DecodeError> {
+    let len = r.u32(context)? as usize;
+    r.slice(len, context)
+}
+
+/// Splits one frame off the front of `bytes`, returning `(body, rest)`.
+/// Rejects bodies longer than [`MAX_FRAME_LEN`] *before* any allocation.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation or an oversized length prefix.
+pub fn split_frame(bytes: &[u8]) -> Result<(&[u8], &[u8]), DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::new("frame length prefix truncated", 0));
+    }
+    let len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(DecodeError::new("frame exceeds MAX_FRAME_LEN", 0));
+    }
+    if bytes.len() < 4 + len {
+        return Err(DecodeError::new("frame body truncated", 4));
+    }
+    Ok((&bytes[4..4 + len], &bytes[4 + len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frame_is_exactly_presized() {
+        let req = RitmRequest::GetStatus {
+            ca: CaId::from_name("FrameCA"),
+            serial: SerialNumber::from_u24(77),
+        };
+        let frame = req.to_frame();
+        assert_eq!(frame.len(), 4 + req.encoded_len());
+        assert_eq!(frame.capacity(), frame.len(), "pre-sized, no realloc");
+        let (body, rest) = split_frame(&frame).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(RitmRequest::decode_body(body).unwrap(), req);
+    }
+
+    #[test]
+    fn future_version_is_negotiated_not_panicked() {
+        let req = RitmRequest::FetchDelta {
+            ca: CaId::from_name("VerCA"),
+        };
+        let mut frame = req.to_frame();
+        frame[4] = 9; // version byte sits right after the length prefix
+        let (body, _) = split_frame(&frame).unwrap();
+        assert_eq!(
+            RitmRequest::decode_body(body),
+            Err(ProtoError::UnsupportedVersion {
+                requested: 9,
+                supported: PROTOCOL_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn chain_past_max_len_is_malformed_not_a_panic() {
+        // 255 structurally-valid entries: accepted lengths stop at 254 so
+        // even an uncompressed response stays encodable.
+        let mut w = Writer::new();
+        w.u8(PROTOCOL_VERSION);
+        w.u8(0x05); // GetMultiStatus
+        w.u8(255);
+        for i in 0..255u32 {
+            w.bytes(&CaId::from_name("ChainCA").0);
+            w.vec8(SerialNumber::from_u24(i).as_bytes());
+        }
+        w.u8(0); // compress = false
+        let err = RitmRequest::decode_body(w.as_bytes()).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }));
+
+        // The boundary itself is fine.
+        let chain: Vec<(CaId, SerialNumber)> = (0..super::MAX_CHAIN_LEN as u32)
+            .map(|i| (CaId::from_name("ChainCA"), SerialNumber::from_u24(i)))
+            .collect();
+        let req = RitmRequest::GetMultiStatus {
+            chain,
+            compress: false,
+        };
+        let frame = req.to_frame();
+        let (body, _) = split_frame(&frame).unwrap();
+        assert_eq!(RitmRequest::decode_body(body).unwrap(), req);
+    }
+
+    #[test]
+    fn forged_chain_count_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u8(PROTOCOL_VERSION);
+        w.u8(0x05); // GetMultiStatus
+        w.u8(250); // claims 250 entries, but nothing follows
+        let err = RitmRequest::decode_body(w.as_bytes()).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }));
+    }
+
+    #[test]
+    fn oversized_frame_prefix_rejected() {
+        let mut bytes = vec![0xFF; 8];
+        bytes[0..4].copy_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(split_frame(&bytes).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The transport-agnostic service surface.
+//!
+//! A [`Service`] is one RITM endpoint — a CDN edge, an RA's status server,
+//! a CA's manifest endpoint — expressed as a pure request→response
+//! function from `&self`. Implementations are `Send + Sync` so one service
+//! instance can sit behind any transport: called in-process, placed on a
+//! `ritm-net` simulated path, or served from a real TCP acceptor pool, all
+//! without caring which.
+
+use crate::message::{split_frame, RitmRequest, RitmResponse};
+use crate::ProtoError;
+use ritm_net::time::SimDuration;
+
+/// One RITM endpoint. `handle` must be callable from any number of threads
+/// concurrently — interior mutability is the implementation's business.
+pub trait Service: Send + Sync {
+    /// Serves one decoded request.
+    fn handle(&self, req: RitmRequest) -> RitmResponse;
+
+    /// Simulated service-side latency attributable to the *last* request
+    /// this thread of execution handled (e.g. a CDN edge's sampled
+    /// origin-fetch time). Transports that measure their own timing (real
+    /// TCP) ignore it; the loopback and simulator transports charge it.
+    /// Implementations should drain the value (return-and-reset) so two
+    /// transports sharing a service never double-charge. The default
+    /// reports zero.
+    fn take_latency(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    /// Serves one encoded frame (length prefix included), producing the
+    /// encoded response frame. This is the single choke point every
+    /// transport funnels through, so version negotiation and malformed
+    /// input are handled identically everywhere: an unsupported version or
+    /// undecodable body yields a typed [`RitmResponse::Error`] frame —
+    /// never a panic, never a silent drop.
+    fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let resp = match split_frame(frame) {
+            Ok((body, _)) => match RitmRequest::decode_body(body) {
+                Ok(req) => self.handle(req),
+                Err(e) => RitmResponse::Error(e),
+            },
+            Err(e) => RitmResponse::Error(ProtoError::Malformed {
+                offset: e.offset as u32,
+            }),
+        };
+        // A response the framing layer could never deliver (e.g. a
+        // catch-up bundle past MAX_FRAME_LEN) must degrade to a typed
+        // error, not an unparseable frame on the peer's side.
+        if resp.encoded_len() > crate::message::MAX_FRAME_LEN {
+            return RitmResponse::Error(ProtoError::Internal).to_frame();
+        }
+        resp.to_frame()
+    }
+}
+
+impl<S: Service + ?Sized> Service for std::sync::Arc<S> {
+    fn handle(&self, req: RitmRequest) -> RitmResponse {
+        (**self).handle(req)
+    }
+
+    fn take_latency(&self) -> SimDuration {
+        (**self).take_latency()
+    }
+}
+
+impl<S: Service + ?Sized> Service for &S {
+    fn handle(&self, req: RitmRequest) -> RitmResponse {
+        (**self).handle(req)
+    }
+
+    fn take_latency(&self) -> SimDuration {
+        (**self).take_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ritm_dictionary::CaId;
+
+    /// Answers every request with `Unsupported` (enough to exercise the
+    /// framing choke point).
+    struct Stub;
+
+    impl Service for Stub {
+        fn handle(&self, _req: RitmRequest) -> RitmResponse {
+            RitmResponse::Error(ProtoError::Unsupported)
+        }
+    }
+
+    #[test]
+    fn well_formed_frame_reaches_handle() {
+        let frame = RitmRequest::FetchDelta {
+            ca: CaId::from_name("SvcCA"),
+        }
+        .to_frame();
+        let resp_frame = Stub.handle_frame(&frame);
+        let (body, _) = split_frame(&resp_frame).unwrap();
+        assert_eq!(
+            RitmResponse::decode_body(body).unwrap(),
+            RitmResponse::Error(ProtoError::Unsupported)
+        );
+    }
+
+    /// Answers with a payload the framing layer could never carry.
+    struct Oversized;
+
+    impl Service for Oversized {
+        fn handle(&self, _req: RitmRequest) -> RitmResponse {
+            RitmResponse::Manifest(vec![0u8; crate::message::MAX_FRAME_LEN + 1])
+        }
+    }
+
+    #[test]
+    fn oversized_response_degrades_to_typed_internal_error() {
+        let frame = RitmRequest::GetManifest {
+            ca: CaId::from_name("BigCA"),
+        }
+        .to_frame();
+        let resp_frame = Oversized.handle_frame(&frame);
+        let (body, _) = split_frame(&resp_frame).unwrap();
+        assert_eq!(
+            RitmResponse::decode_body(body).unwrap(),
+            RitmResponse::Error(ProtoError::Internal)
+        );
+    }
+
+    #[test]
+    fn garbage_frame_yields_typed_error_not_panic() {
+        for garbage in [&[][..], &[1, 2, 3][..], &[0, 0, 0, 99, 7][..]] {
+            let resp_frame = Stub.handle_frame(garbage);
+            let (body, _) = split_frame(&resp_frame).unwrap();
+            match RitmResponse::decode_body(body).unwrap() {
+                RitmResponse::Error(ProtoError::Malformed { .. }) => {}
+                other => panic!("expected Malformed, got {other:?}"),
+            }
+        }
+    }
+}

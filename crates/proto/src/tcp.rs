@@ -1,0 +1,297 @@
+//! Serving the protocol over real OS sockets (`std::net`, blocking I/O).
+//!
+//! [`TcpServer`] is a thread-per-connection server behind a **bounded
+//! acceptor pool**: one acceptor thread hands sockets to `pool_size` worker
+//! threads over a bounded channel, so a connection flood queues at the
+//! accept backlog instead of spawning unbounded threads. Each worker loops
+//! `read frame → Service::handle_frame → write frame` until its client
+//! closes. [`TcpTransport`] is the matching blocking client. Frames on the
+//! socket are byte-identical to the loopback and simulator transports —
+//! the same `u32 length ‖ version ‖ kind ‖ fields` envelopes.
+
+use crate::error::TransportError;
+use crate::message::{split_frame, RitmRequest, RitmResponse, MAX_FRAME_LEN};
+use crate::service::Service;
+use crate::transport::{RoundTrip, Transport, TransportMeta};
+use ritm_net::time::SimDuration;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Reads one full frame (`u32` length prefix + body) from a blocking
+/// stream. Returns `None` on a clean EOF at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match stream.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&prefix);
+    frame.resize(4 + len, 0);
+    stream.read_exact(&mut frame[4..])?;
+    Ok(Some(frame))
+}
+
+fn serve_connection(mut stream: TcpStream, service: &Arc<dyn Service>, served: &AtomicU64) {
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let resp = service.handle_frame(&frame);
+        if stream.write_all(&resp).is_err() {
+            break;
+        }
+        served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A blocking TCP server for one [`Service`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    /// Clones of every live connection (keyed per worker slot), so
+    /// shutdown can unblock workers parked in a blocking read on an idle
+    /// client. Entries are removed when the connection ends — a lingering
+    /// clone would hold the peer's socket open past its death.
+    live_conns: Arc<std::sync::Mutex<std::collections::HashMap<u64, TcpStream>>>,
+}
+
+impl TcpServer {
+    /// Binds `127.0.0.1:0` (ephemeral port) and starts serving `service`
+    /// with `pool_size` connection workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn spawn(service: Arc<dyn Service>, pool_size: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        // Bounded hand-off: at most `pool_size` connections queue beyond
+        // the ones already being served.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool_size.max(1));
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let live_conns = Arc::new(std::sync::Mutex::new(std::collections::HashMap::<
+            u64,
+            TcpStream,
+        >::new()));
+
+        let mut workers = Vec::with_capacity(pool_size.max(1));
+        for slot in 0..pool_size.max(1) as u64 {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let served = Arc::clone(&served);
+            let live_conns = Arc::clone(&live_conns);
+            workers.push(std::thread::spawn(move || loop {
+                // Scope the lock to the receive: workers serve concurrently.
+                let conn = match rx.lock().expect("worker queue lock").recv() {
+                    Ok(c) => c,
+                    Err(_) => return, // acceptor gone: drain and exit
+                };
+                // Register a handle so shutdown can force-close the socket
+                // out from under a blocking read (an idle client would
+                // otherwise pin this worker forever). One connection per
+                // worker at a time, so the slot index is a unique key.
+                if let Ok(clone) = conn.try_clone() {
+                    live_conns
+                        .lock()
+                        .expect("live conns lock")
+                        .insert(slot, clone);
+                }
+                // A panicking service request must cost only its own
+                // connection, not a pool slot: catch the unwind and move
+                // on to the next socket. The `&AtomicU64` is unwind-safe
+                // (atomic), and `Arc<dyn Service>` implementations own
+                // their locking; a poisoned std mutex inside one would
+                // keep panicking per request but the pool stays alive.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(conn, &service, &served);
+                }));
+                // Deregister (and thereby fully close) the finished
+                // connection, whether it ended cleanly or by unwinding —
+                // a lingering clone would keep the peer's read half open.
+                live_conns.lock().expect("live conns lock").remove(&slot);
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    // Blocks when every worker is busy and the queue is
+                    // full — the "bounded" in bounded acceptor pool.
+                    if tx.send(conn).is_err() {
+                        return;
+                    }
+                }
+            })
+        };
+
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            served,
+            live_conns,
+        })
+    }
+
+    /// The bound address to hand to [`TcpTransport::connect`].
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far, across all connections.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, force-closes every live connection (a worker
+    /// parked in a blocking read on an idle client wakes with an I/O
+    /// error), waits for the acceptor and all workers, and returns the
+    /// total requests served. In-flight requests finish writing first
+    /// only if they complete before the socket teardown races them —
+    /// shutdown is for ending an experiment, not draining one.
+    pub fn shutdown(mut self) -> u64 {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so the flag is observed.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // The acceptor is gone (channel closed); unblock any worker still
+        // reading from a client that never hung up.
+        for (_, conn) in self.live_conns.lock().expect("live conns lock").drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+/// A blocking TCP client transport: one connection, sequential round trips.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, req: &RitmRequest) -> Result<RoundTrip, TransportError> {
+        let frame = req.to_frame();
+        let start = Instant::now();
+        self.stream.write_all(&frame)?;
+        let reply = read_frame(&mut self.stream)?.ok_or(TransportError::NoResponse)?;
+        let latency = SimDuration::from_micros(start.elapsed().as_micros() as u64);
+        let (body, _) = split_frame(&reply)?;
+        let response = RitmResponse::decode_body(body)?;
+        Ok(RoundTrip {
+            response,
+            meta: TransportMeta {
+                request_bytes: frame.len() as u64,
+                response_bytes: reply.len() as u64,
+                latency,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtoError;
+    use ritm_dictionary::CaId;
+
+    struct Nope;
+
+    impl Service for Nope {
+        fn handle(&self, _req: RitmRequest) -> RitmResponse {
+            RitmResponse::Error(ProtoError::NotFound)
+        }
+    }
+
+    /// Panics on `GetManifest`, serves everything else.
+    struct Grenade;
+
+    impl Service for Grenade {
+        fn handle(&self, req: RitmRequest) -> RitmResponse {
+            if matches!(req, RitmRequest::GetManifest { .. }) {
+                panic!("boom");
+            }
+            RitmResponse::Error(ProtoError::NotFound)
+        }
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_service() {
+        let server = TcpServer::spawn(Arc::new(Grenade), 1).unwrap();
+        let ca = CaId::from_name("BoomCA");
+        // This request panics the (single!) worker mid-connection...
+        let mut t1 = TcpTransport::connect(server.addr()).unwrap();
+        assert!(t1.round_trip(&RitmRequest::GetManifest { ca }).is_err());
+        // ...but the pool slot survives and keeps serving new connections.
+        let mut t2 = TcpTransport::connect(server.addr()).unwrap();
+        let rt = t2.round_trip(&RitmRequest::FetchDelta { ca }).unwrap();
+        assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
+        drop((t1, t2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_despite_an_idle_client() {
+        let server = TcpServer::spawn(Arc::new(Nope), 1).unwrap();
+        // An idle client that connects and sends nothing pins the single
+        // worker in a blocking read; shutdown must still return.
+        let idle = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(server.shutdown(), 0);
+        drop(idle);
+    }
+
+    #[test]
+    fn server_round_trips_and_shuts_down_cleanly() {
+        let server = TcpServer::spawn(Arc::new(Nope), 2).unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let req = RitmRequest::GetManifest {
+            ca: CaId::from_name("TcpCA"),
+        };
+        for _ in 0..3 {
+            let rt = t.round_trip(&req).unwrap();
+            assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
+            assert_eq!(rt.meta.request_bytes as usize, req.to_frame().len());
+        }
+        drop(t);
+        assert_eq!(server.shutdown(), 3);
+    }
+}

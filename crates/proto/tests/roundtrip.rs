@@ -1,0 +1,270 @@
+//! Property tests for the wire envelopes: every request/response variant
+//! survives `decode(encode(x)) == x` bit-exactly, and no truncation or
+//! byte corruption of a frame can panic the decoder — the same
+//! `check_count` discipline the dictionary wire formats follow.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use ritm_crypto::ed25519::SigningKey;
+use ritm_dictionary::{
+    CaDictionary, CaId, MirrorDictionary, RefreshMessage, RevocationIssuance, SerialNumber,
+};
+use ritm_proto::{
+    split_frame, ProtoError, RitmRequest, RitmResponse, StatusPayload, TransportError,
+};
+
+const T0: u64 = 1_000_000;
+
+fn arbitrary_serial(rng: &mut StdRng) -> SerialNumber {
+    let len = rng.gen_range(1usize..21);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+    SerialNumber::new(&bytes).expect("1..=20 bytes is valid")
+}
+
+fn arbitrary_ca(rng: &mut StdRng) -> CaId {
+    let mut b = [0u8; 8];
+    rng.fill_bytes(&mut b);
+    CaId(b)
+}
+
+/// One request per wire kind, with rng-varied fields.
+fn requests(rng: &mut StdRng) -> Vec<RitmRequest> {
+    let chain_len = rng.gen_range(0usize..8);
+    let chain: Vec<(CaId, SerialNumber)> = (0..chain_len)
+        .map(|_| (arbitrary_ca(rng), arbitrary_serial(rng)))
+        .collect();
+    vec![
+        RitmRequest::FetchDelta {
+            ca: arbitrary_ca(rng),
+        },
+        RitmRequest::FetchFreshness {
+            ca: arbitrary_ca(rng),
+        },
+        RitmRequest::CatchUp {
+            ca: arbitrary_ca(rng),
+            have: rng.gen(),
+        },
+        RitmRequest::GetStatus {
+            ca: arbitrary_ca(rng),
+            serial: arbitrary_serial(rng),
+        },
+        RitmRequest::GetMultiStatus {
+            chain,
+            compress: rng.gen(),
+        },
+        RitmRequest::GetSignedRoot {
+            ca: arbitrary_ca(rng),
+        },
+        RitmRequest::GetManifest {
+            ca: arbitrary_ca(rng),
+        },
+    ]
+}
+
+/// A real dictionary world, so responses carry structurally-valid signed
+/// roots, proofs, and freshness statements (round-tripping is still purely
+/// syntactic, but realistic shapes exercise the embedded codecs).
+fn world(seed: u64, n: u32) -> (CaDictionary, MirrorDictionary) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ca = CaDictionary::new(
+        CaId::from_name("PropProtoCA"),
+        SigningKey::from_seed([1u8; 32]),
+        10,
+        128,
+        &mut rng,
+        T0,
+    );
+    let mut m = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+    m.set_delta(10);
+    if n > 0 {
+        let serials: Vec<SerialNumber> = (0..n).map(|i| SerialNumber::from_u24(i * 3)).collect();
+        let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+        m.apply_issuance(&iss, T0 + 1).unwrap();
+    }
+    (ca, m)
+}
+
+/// One response per wire kind (both refresh tags, single and compressed
+/// status payloads, every error variant), with rng-varied content.
+fn responses(rng: &mut StdRng) -> Vec<RitmResponse> {
+    let n = rng.gen_range(0u32..40);
+    let (mut ca, mirror) = world(rng.gen(), n);
+    let mut inner = StdRng::seed_from_u64(rng.gen());
+
+    let iss_serials: Vec<SerialNumber> = (0..rng.gen_range(0u32..30))
+        .map(|_| arbitrary_serial(rng))
+        .collect();
+    let issuance = RevocationIssuance {
+        first_number: rng.gen(),
+        serials: iss_serials,
+        signed_root: *mirror.signed_root(),
+    };
+
+    let single = mirror.prove(&arbitrary_serial(rng));
+    let multi_serials: Vec<SerialNumber> = (0..rng.gen_range(1u32..5))
+        .map(|i| SerialNumber::from_u24(i * 7 + 1))
+        .collect();
+    let multi = mirror.prove_multi(&multi_serials);
+    let payload = StatusPayload {
+        statuses: vec![single],
+        multi: vec![multi],
+    };
+
+    let refresh = ca.refresh(&mut inner, T0 + 11);
+
+    let mut out = vec![
+        RitmResponse::Delta(issuance),
+        RitmResponse::Freshness(refresh),
+        RitmResponse::Freshness(RefreshMessage::NewRoot(*mirror.signed_root())),
+        RitmResponse::Status(payload),
+        RitmResponse::Status(StatusPayload::default()),
+        RitmResponse::SignedRoot(*mirror.signed_root()),
+        RitmResponse::Manifest((0..rng.gen_range(0usize..200)).map(|_| rng.gen()).collect()),
+    ];
+    out.extend(
+        [
+            ProtoError::UnsupportedVersion {
+                requested: rng.gen(),
+                supported: rng.gen(),
+            },
+            ProtoError::Malformed { offset: rng.gen() },
+            ProtoError::UnknownCa(arbitrary_ca(rng)),
+            ProtoError::NotFound,
+            ProtoError::Unsupported,
+            ProtoError::Busy,
+            ProtoError::Internal,
+        ]
+        .map(RitmResponse::Error),
+    );
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// decode(encode(x)) == x for every request variant.
+    #[test]
+    fn request_round_trips_every_variant(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for req in requests(&mut rng) {
+            let frame = req.to_frame();
+            prop_assert_eq!(frame.len(), 4 + req.encoded_len());
+            let (body, rest) = split_frame(&frame).expect("self-framed");
+            prop_assert!(rest.is_empty());
+            let back = RitmRequest::decode_body(body).expect("round trip");
+            prop_assert_eq!(back, req);
+        }
+    }
+
+    /// decode(encode(x)) == x for every response variant (including every
+    /// error-taxonomy variant).
+    #[test]
+    fn response_round_trips_every_variant(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for resp in responses(&mut rng) {
+            let frame = resp.to_frame();
+            prop_assert_eq!(frame.len(), 4 + resp.encoded_len());
+            let (body, rest) = split_frame(&frame).expect("self-framed");
+            prop_assert!(rest.is_empty());
+            let back = RitmResponse::decode_body(body).expect("round trip");
+            prop_assert_eq!(back, resp);
+        }
+    }
+
+    /// Every strict truncation of a request frame fails to decode as a
+    /// typed error — never a panic, never a silent success.
+    #[test]
+    fn truncated_request_frames_always_error(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for req in requests(&mut rng) {
+            let frame = req.to_frame();
+            for cut in 0..frame.len() {
+                let t = &frame[..cut];
+                match split_frame(t) {
+                    Err(_) => {} // frame layer caught it
+                    Ok((body, _)) => {
+                        prop_assert!(
+                            RitmRequest::decode_body(body).is_err(),
+                            "truncation to {} decoded", cut
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every strict truncation of a response frame fails to decode.
+    #[test]
+    fn truncated_response_frames_always_error(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for resp in responses(&mut rng) {
+            let frame = resp.to_frame();
+            // Sample cuts (responses can be large; every cut would be slow).
+            for _ in 0..32 {
+                let cut = rng.gen_range(0usize..frame.len());
+                match split_frame(&frame[..cut]) {
+                    Err(_) => {}
+                    Ok((body, _)) => {
+                        prop_assert!(
+                            RitmResponse::decode_body(body).is_err(),
+                            "truncation to {} decoded", cut
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arbitrary byte corruption never panics the decoders: the result is
+    /// either a clean decode (the flip hit a don't-care position) or a
+    /// typed `DecodeError`/`ProtoError`/`TransportError`.
+    #[test]
+    fn corrupted_frames_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reqs = requests(&mut rng);
+        let resps = responses(&mut rng);
+        let frames: Vec<Vec<u8>> = reqs
+            .iter()
+            .map(RitmRequest::to_frame)
+            .chain(resps.iter().map(RitmResponse::to_frame))
+            .collect();
+        for frame in frames {
+            for _ in 0..16 {
+                let mut corrupt = frame.clone();
+                let flips = rng.gen_range(1usize..4);
+                for _ in 0..flips {
+                    let pos = rng.gen_range(0usize..corrupt.len());
+                    corrupt[pos] ^= rng.gen_range(1u8..=255);
+                }
+                if let Ok((body, _)) = split_frame(&corrupt) {
+                    // Both decoders must return, not panic; a version flip
+                    // must surface as the typed negotiation error.
+                    match RitmRequest::decode_body(body) {
+                        Ok(_) | Err(ProtoError::Malformed { .. }) => {}
+                        Err(ProtoError::UnsupportedVersion { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                    match RitmResponse::decode_body(body) {
+                        Ok(_)
+                        | Err(TransportError::BadResponse(_))
+                        | Err(TransportError::VersionMismatch { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pure garbage (not even a frame) is rejected at the framing layer or
+    /// decodes to an error.
+    #[test]
+    fn random_bytes_never_panic(len in 0usize..256, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        if let Ok((body, _)) = split_frame(&bytes) {
+            let _ = RitmRequest::decode_body(body);
+            let _ = RitmResponse::decode_body(body);
+        }
+    }
+}

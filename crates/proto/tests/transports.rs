@@ -1,0 +1,271 @@
+//! Acceptance: the full CA → CDN edge → RA sync → client status fetch
+//! pipeline runs entirely through `Service`/`Transport` over (a) the
+//! in-process loopback, (b) the `ritm-net` simulator, and (c) a real
+//! `std::net` TCP socket — and the three transports move byte-identical
+//! envelopes: same signed roots, same revocation verdicts, same request
+//! and response byte counts. Plus version negotiation: an unknown-version
+//! request yields a typed `ProtoError::UnsupportedVersion` response, never
+//! a panic or a silent drop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm_agent::{RaConfig, RevocationAgent, StatusService, SyncReport};
+use ritm_ca::{CertificationAuthority, Manifest};
+use ritm_cdn::network::Cdn;
+use ritm_cdn::regions::Region;
+use ritm_cdn::service::EdgeService;
+use ritm_client::validator::{RootTracker, Verdict};
+use ritm_dictionary::{SerialNumber, SignedRoot};
+use ritm_net::time::{SimDuration, SimTime};
+use ritm_proto::sim::SimTransport;
+use ritm_proto::tcp::{TcpServer, TcpTransport};
+use ritm_proto::{
+    split_frame, Loopback, ProtoError, RitmRequest, RitmResponse, Service, Transport,
+    PROTOCOL_VERSION,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const T0: u64 = 1_397_000_000;
+const DELTA: u64 = 10;
+const REVOKED: u32 = 17; // issuance order → serial 17 is revoked
+const VALID: u32 = 40;
+
+/// Everything one pipeline run produced, for cross-transport comparison.
+#[derive(Debug, PartialEq)]
+struct PipelineOutcome {
+    sync: SyncReport,
+    mirrored_root: SignedRoot,
+    manifest_delta: u64,
+    status_meta_bytes: (u64, u64),
+    payload_bytes: Vec<u8>,
+    revoked_verdict: Verdict,
+    valid_verdict: Verdict,
+}
+
+/// Builds the identical world every transport serves: a CA that issued 60
+/// certificates, revoked 30 of them, and published a freshness refresh.
+/// Also returns the genesis root RAs bootstrap from.
+fn build_world() -> (CertificationAuthority, Cdn, SignedRoot) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut cdn = Cdn::new(SimDuration::from_secs(DELTA));
+    let mut ca = CertificationAuthority::new(
+        "TransportCA",
+        ritm_crypto::ed25519::SigningKey::from_seed([7u8; 32]),
+        DELTA,
+        1 << 12,
+        &mut cdn,
+        &mut rng,
+        T0,
+    );
+    let genesis = *ca.dictionary().signed_root();
+    let key = ritm_crypto::ed25519::SigningKey::from_seed([8u8; 32]).verifying_key();
+    let serials: Vec<SerialNumber> = (0..60)
+        .map(|i| {
+            ca.issue_certificate(&format!("host{i}.example"), key, 0, u64::MAX)
+                .serial
+        })
+        .collect();
+    let to_revoke: Vec<SerialNumber> = serials.iter().step_by(2).copied().collect();
+    ca.revoke(&to_revoke, &mut cdn, &mut rng, T0 + 1).unwrap();
+    ca.refresh(&mut cdn, &mut rng, T0 + 2).unwrap();
+    (ca, cdn, genesis)
+}
+
+/// Runs RA sync + client fetches against arbitrary transports built from
+/// the two services by `make_edge_transport` / `make_status_transport`.
+fn run_pipeline<TE, TS>(
+    ca: &CertificationAuthority,
+    genesis: SignedRoot,
+    mut edge_transport: TE,
+    make_status_transport: impl FnOnce(StatusService) -> TS,
+) -> PipelineOutcome
+where
+    TE: Transport,
+    TS: Transport,
+{
+    // RA bootstrap + sync, entirely through the transport.
+    let mut ra = RevocationAgent::new(RaConfig {
+        delta: DELTA,
+        ..Default::default()
+    });
+    ra.follow_ca(ca.id(), ca.verifying_key(), genesis).unwrap();
+    let sync = ra.sync_via(&mut edge_transport, SimTime::from_secs(T0 + 2));
+    assert_eq!(sync.issuances_applied, 1);
+    assert_eq!(sync.revocations_applied, 30);
+    assert_eq!(sync.freshness_applied, 1);
+    assert_eq!(sync.transport_failures, 0);
+    let mirrored_root = *ra.mirror(&ca.id()).unwrap().signed_root();
+
+    // Client bootstrap: the manifest over the same edge transport.
+    let manifest = match edge_transport
+        .round_trip(&RitmRequest::GetManifest { ca: ca.id() })
+        .unwrap()
+        .response
+    {
+        RitmResponse::Manifest(bytes) => {
+            Manifest::from_json_signed(std::str::from_utf8(&bytes).unwrap(), &ca.verifying_key())
+                .expect("manifest verifies")
+        }
+        other => panic!("expected manifest, got {other:?}"),
+    };
+
+    // Client status fetches against the RA's read path.
+    let mut status_transport = make_status_transport(StatusService::new(ra.status_server()));
+    let mut keys = HashMap::new();
+    keys.insert(ca.id(), ca.verifying_key());
+    let mut tracker = RootTracker::new();
+    let revoked_chain = [(ca.id(), SerialNumber::from_u24(REVOKED))];
+    let fetched = ritm_client::fetch_and_validate(
+        &mut status_transport,
+        &revoked_chain,
+        &keys,
+        DELTA,
+        T0 + 3,
+        &mut tracker,
+    )
+    .expect("revoked fetch validates");
+    let valid_chain = [(ca.id(), SerialNumber::from_u24(VALID))];
+    let valid = ritm_client::fetch_and_validate(
+        &mut status_transport,
+        &valid_chain,
+        &keys,
+        DELTA,
+        T0 + 3,
+        &mut tracker,
+    )
+    .expect("valid fetch validates");
+
+    PipelineOutcome {
+        sync,
+        mirrored_root,
+        manifest_delta: manifest.delta,
+        status_meta_bytes: (fetched.meta.request_bytes, fetched.meta.response_bytes),
+        payload_bytes: fetched.payload.to_bytes(),
+        revoked_verdict: fetched.verdict,
+        valid_verdict: valid.verdict,
+    }
+}
+
+/// Strips the transport-dependent latency so the remaining outcome must be
+/// bit-identical across transports.
+fn normalized(mut o: PipelineOutcome) -> PipelineOutcome {
+    o.sync.latency = SimDuration::ZERO;
+    o
+}
+
+fn run_loopback() -> PipelineOutcome {
+    let (ca, cdn, genesis) = build_world();
+    let edge = EdgeService::new(cdn, Region::Europe, 99);
+    edge.set_now(SimTime::from_secs(T0 + 2));
+    run_pipeline(&ca, genesis, Loopback::new(edge), Loopback::new)
+}
+
+fn run_simulated() -> PipelineOutcome {
+    let (ca, cdn, genesis) = build_world();
+    let edge = EdgeService::new(cdn, Region::Europe, 99);
+    edge.set_now(SimTime::from_secs(T0 + 2));
+    run_pipeline(
+        &ca,
+        genesis,
+        SimTransport::new(edge, SimDuration::from_millis(15)),
+        |status| SimTransport::new(status, SimDuration::from_millis(3)),
+    )
+}
+
+fn run_tcp() -> (PipelineOutcome, u64) {
+    let (ca, cdn, genesis) = build_world();
+    let edge = Arc::new(EdgeService::new(cdn, Region::Europe, 99));
+    edge.set_now(SimTime::from_secs(T0 + 2));
+    let edge_server = TcpServer::spawn(Arc::clone(&edge) as Arc<dyn Service>, 2).unwrap();
+    let edge_transport = TcpTransport::connect(edge_server.addr()).unwrap();
+
+    let mut status_server_slot = None;
+    let outcome = run_pipeline(&ca, genesis, edge_transport, |status| {
+        let server = TcpServer::spawn(Arc::new(status) as Arc<dyn Service>, 2).unwrap();
+        let t = TcpTransport::connect(server.addr()).unwrap();
+        status_server_slot = Some(server);
+        t
+    });
+    let served = edge_server.shutdown() + status_server_slot.unwrap().shutdown();
+    (outcome, served)
+}
+
+#[test]
+fn pipeline_is_transport_invariant() {
+    let loopback = normalized(run_loopback());
+    let simulated = normalized(run_simulated());
+    let (tcp, tcp_served) = run_tcp();
+    let tcp = normalized(tcp);
+
+    // Identical signed roots, verdicts, payload bytes, and byte counts.
+    assert_eq!(loopback, simulated);
+    assert_eq!(loopback, tcp);
+    assert_eq!(loopback.mirrored_root.size, 30);
+    assert!(
+        matches!(loopback.revoked_verdict, Verdict::Revoked { serial, .. }
+        if serial == SerialNumber::from_u24(REVOKED))
+    );
+    assert_eq!(loopback.valid_verdict, Verdict::AllValid);
+    assert_eq!(loopback.manifest_delta, DELTA);
+    assert!(loopback.sync.bytes_downloaded > 0 && loopback.sync.bytes_uploaded > 0);
+    // TCP really served every round trip: sync (2) + manifest (1) on the
+    // edge server, two status fetches on the status server.
+    assert_eq!(tcp_served, 5);
+}
+
+#[test]
+fn unknown_version_yields_typed_error_on_every_transport() {
+    let (ca, cdn, _) = build_world();
+    let edge = Arc::new(EdgeService::new(cdn, Region::Europe, 99));
+    edge.set_now(SimTime::from_secs(T0 + 2));
+
+    // Craft a FetchDelta frame claiming protocol version 42.
+    let mut frame = RitmRequest::FetchDelta { ca: ca.id() }.to_frame();
+    frame[4] = 42;
+
+    // In-process: straight through the service choke point.
+    let resp_frame = edge.handle_frame(&frame);
+    let (body, _) = split_frame(&resp_frame).unwrap();
+    assert_eq!(
+        RitmResponse::decode_body(body).unwrap(),
+        RitmResponse::Error(ProtoError::UnsupportedVersion {
+            requested: 42,
+            supported: PROTOCOL_VERSION,
+        })
+    );
+
+    // Real TCP: the server answers (no drop, no crash) with the same error.
+    let server = TcpServer::spawn(Arc::clone(&edge) as Arc<dyn Service>, 1).unwrap();
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&frame).unwrap();
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix).unwrap();
+        let len = u32::from_be_bytes(prefix) as usize;
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        assert_eq!(
+            RitmResponse::decode_body(&body).unwrap(),
+            RitmResponse::Error(ProtoError::UnsupportedVersion {
+                requested: 42,
+                supported: PROTOCOL_VERSION,
+            })
+        );
+        // And the connection stays usable for a well-formed retry at the
+        // supported version.
+        stream
+            .write_all(&RitmRequest::GetSignedRoot { ca: ca.id() }.to_frame())
+            .unwrap();
+        stream.read_exact(&mut prefix).unwrap();
+        let len = u32::from_be_bytes(prefix) as usize;
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        assert!(matches!(
+            RitmResponse::decode_body(&body).unwrap(),
+            RitmResponse::SignedRoot(_)
+        ));
+    }
+    server.shutdown();
+}

@@ -148,9 +148,21 @@ impl Certificate {
         Ok(())
     }
 
-    /// Serializes the certificate.
+    /// Exact encoded size in bytes, computed without serializing.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.serial.len() // vec8 serial
+            + 8 // issuer
+            + 2 + self.subject.len() // vec16 subject
+            + 8 + 8 // validity window
+            + self.public_key.as_bytes().len()
+            + 1 // is_ca
+            + self.signature.as_bytes().len()
+    }
+
+    /// Serializes the certificate (pre-sized to
+    /// [`Certificate::encoded_len`]; never reallocates).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(self.encoded_len());
         w.vec8(self.serial.as_bytes());
         w.bytes(&self.issuer.0);
         w.vec16(self.subject.as_bytes());
@@ -272,9 +284,15 @@ impl CertificateChain {
         Ok(())
     }
 
-    /// Serializes the chain as carried in a TLS `Certificate` message.
+    /// Exact encoded size in bytes, computed without serializing.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.0.iter().map(|c| 2 + c.encoded_len()).sum::<usize>()
+    }
+
+    /// Serializes the chain as carried in a TLS `Certificate` message
+    /// (pre-sized to [`CertificateChain::encoded_len`]; never reallocates).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(self.encoded_len());
         w.u8(self.0.len() as u8);
         for c in &self.0 {
             w.vec16(&c.to_bytes());

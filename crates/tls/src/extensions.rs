@@ -53,6 +53,12 @@ impl Extension {
         }
     }
 
+    /// Exact encoded size of an extensions block, computed without
+    /// serializing (`u16` total length + each `type ‖ u16 len ‖ data`).
+    pub fn block_len(extensions: &[Extension]) -> usize {
+        2 + extensions.iter().map(|e| 4 + e.data.len()).sum::<usize>()
+    }
+
     /// Encodes an extensions block (`u16` total length, then each
     /// `type ‖ u16 len ‖ data`).
     pub fn encode_block(extensions: &[Extension], w: &mut Writer) {

@@ -104,7 +104,35 @@ impl HandshakeMessage {
         }
     }
 
-    /// Encodes `msg_type ‖ u24 length ‖ body`.
+    /// Exact encoded size (`msg_type ‖ u24 length ‖ body`), computed
+    /// without serializing.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.body_len()
+    }
+
+    fn body_len(&self) -> usize {
+        match self {
+            HandshakeMessage::ClientHello(ch) => {
+                2 + 32
+                    + 1
+                    + ch.session_id.len()
+                    + 2
+                    + 2 * ch.cipher_suites.len()
+                    + Extension::block_len(&ch.extensions)
+            }
+            HandshakeMessage::ServerHello(sh) => {
+                2 + 32 + 1 + sh.session_id.len() + 2 + Extension::block_len(&sh.extensions)
+            }
+            HandshakeMessage::Certificate(chain) => chain.encoded_len(),
+            HandshakeMessage::ServerHelloDone => 0,
+            HandshakeMessage::ClientKeyExchange(data) => 2 + data.len(),
+            HandshakeMessage::Finished(vd) => vd.len(),
+            HandshakeMessage::NewSessionTicket(t) => 4 + 2 + t.ticket.len(),
+        }
+    }
+
+    /// Encodes `msg_type ‖ u24 length ‖ body` (pre-sized to
+    /// [`HandshakeMessage::encoded_len`]; never reallocates).
     pub fn to_bytes(&self) -> Vec<u8> {
         let body = self.body_bytes();
         let mut w = Writer::with_capacity(4 + body.len());
@@ -231,12 +259,17 @@ impl HandshakeMessage {
         Ok(out)
     }
 
-    /// Serializes a batch of handshake messages into one record payload.
+    /// Serializes a batch of handshake messages into one record payload,
+    /// pre-sized via summed [`HandshakeMessage::encoded_len`] (the same
+    /// exact pre-sizing the proof/status encoders use) — the returned
+    /// buffer never reallocates.
     pub fn encode_all(messages: &[HandshakeMessage]) -> Vec<u8> {
-        let mut out = Vec::new();
+        let total: usize = messages.iter().map(HandshakeMessage::encoded_len).sum();
+        let mut out = Vec::with_capacity(total);
         for m in messages {
             out.extend_from_slice(&m.to_bytes());
         }
+        debug_assert_eq!(out.len(), total, "encoded_len must match encoding");
         out
     }
 }
@@ -254,6 +287,58 @@ mod tests {
             cipher_suites: vec![DEFAULT_CIPHER_SUITE, 0x002f],
             extensions: vec![Extension::ritm_request()],
         }
+    }
+
+    fn one_of_each() -> Vec<HandshakeMessage> {
+        let ca_key = ritm_crypto::ed25519::SigningKey::from_seed([1u8; 32]);
+        let cert = crate::certificate::Certificate::issue(
+            &ca_key,
+            ritm_dictionary_ca_id(),
+            ritm_dictionary::SerialNumber::from_u24(7),
+            "caplen.example",
+            0,
+            u64::MAX,
+            ritm_crypto::ed25519::SigningKey::from_seed([2u8; 32]).verifying_key(),
+            false,
+        );
+        vec![
+            HandshakeMessage::ClientHello(sample_client_hello()),
+            HandshakeMessage::ServerHello(ServerHello {
+                version: 0x0303,
+                random: [9u8; 32],
+                session_id: vec![5; 32],
+                cipher_suite: DEFAULT_CIPHER_SUITE,
+                extensions: vec![Extension::ritm_confirmation(), Extension::sni("x.example")],
+            }),
+            HandshakeMessage::Certificate(crate::certificate::CertificateChain(vec![cert])),
+            HandshakeMessage::ServerHelloDone,
+            HandshakeMessage::ClientKeyExchange(vec![3u8; 48]),
+            HandshakeMessage::Finished([6u8; 12]),
+            HandshakeMessage::NewSessionTicket(SessionTicket {
+                lifetime: 300,
+                ticket: vec![8u8; 96],
+            }),
+        ]
+    }
+
+    fn ritm_dictionary_ca_id() -> ritm_dictionary::CaId {
+        ritm_dictionary::CaId::from_name("CapLenCA")
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_variant() {
+        for msg in one_of_each() {
+            assert_eq!(msg.to_bytes().len(), msg.encoded_len(), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn encode_all_is_exactly_presized() {
+        let messages = one_of_each();
+        let total: usize = messages.iter().map(HandshakeMessage::encoded_len).sum();
+        let out = HandshakeMessage::encode_all(&messages);
+        assert_eq!(out.len(), total);
+        assert_eq!(out.capacity(), out.len(), "pre-sized, no realloc");
     }
 
     #[test]

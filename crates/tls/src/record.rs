@@ -131,12 +131,16 @@ impl TlsRecord {
         Ok(out)
     }
 
-    /// Serializes a sequence of records back into a byte stream.
+    /// Serializes a sequence of records back into a byte stream, pre-sized
+    /// via summed [`TlsRecord::encoded_len`] — the returned buffer never
+    /// reallocates.
     pub fn encode_stream(records: &[TlsRecord]) -> Vec<u8> {
-        let mut out = Vec::new();
+        let total: usize = records.iter().map(TlsRecord::encoded_len).sum();
+        let mut out = Vec::with_capacity(total);
         for rec in records {
             out.extend_from_slice(&rec.to_bytes());
         }
+        debug_assert_eq!(out.len(), total, "encoded_len must match encoding");
         out
     }
 }
@@ -183,6 +187,19 @@ mod tests {
         ];
         let stream = TlsRecord::encode_stream(&records);
         assert_eq!(TlsRecord::parse_stream(&stream).unwrap(), records);
+    }
+
+    #[test]
+    fn encode_stream_is_exactly_presized() {
+        let records = vec![
+            TlsRecord::new(ContentType::Handshake, vec![0; 321]),
+            TlsRecord::new(ContentType::RitmStatus, vec![9; 77]),
+            TlsRecord::new(ContentType::Alert, vec![]),
+        ];
+        let total: usize = records.iter().map(TlsRecord::encoded_len).sum();
+        let stream = TlsRecord::encode_stream(&records);
+        assert_eq!(stream.len(), total);
+        assert_eq!(stream.capacity(), stream.len(), "pre-sized, no realloc");
     }
 
     #[test]

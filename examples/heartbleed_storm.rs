@@ -11,8 +11,10 @@ use rand::SeedableRng;
 use ritm::agent::{RaConfig, RevocationAgent};
 use ritm::ca::CertificationAuthority;
 use ritm::cdn::network::Cdn;
+use ritm::cdn::service::EdgeService;
 use ritm::crypto::SigningKey;
 use ritm::net::time::{SimDuration, SimTime};
+use ritm::proto::Loopback;
 use ritm::workloads::heartbleed::peak_days_six_hourly;
 
 fn main() {
@@ -76,7 +78,12 @@ fn main() {
             } else {
                 ca.refresh(&mut cdn, &mut rng, t).expect("refresh accepted");
             }
-            let report = ra.sync(&mut cdn, SimTime::from_secs(t + 1), &mut rng);
+            let report = {
+                let edge = EdgeService::new(&mut cdn, ra.config.region, p);
+                edge.set_now(SimTime::from_secs(t + 1));
+                let mut transport = Loopback::new(edge);
+                ra.sync_via(&mut transport, SimTime::from_secs(t + 1))
+            };
             bin_bytes += report.bytes_downloaded;
             max_pull_bytes = max_pull_bytes.max(report.bytes_downloaded);
             let lag =

@@ -9,9 +9,11 @@ use rand::SeedableRng;
 use ritm::agent::{RaConfig, RevocationAgent};
 use ritm::ca::CertificationAuthority;
 use ritm::cdn::network::Cdn;
+use ritm::cdn::service::EdgeService;
 use ritm::client::{validate_payload, Verdict};
 use ritm::crypto::SigningKey;
 use ritm::net::time::{SimDuration, SimTime};
+use ritm::proto::Loopback;
 use std::collections::HashMap;
 
 fn main() {
@@ -68,9 +70,17 @@ fn main() {
     // 4. compromised.example loses its key; the CA revokes within one Δ.
     ca.revoke(&[bad.serial], &mut cdn, &mut rng, now + 3)
         .expect("revocation accepted");
-    let report = ra.sync(&mut cdn, SimTime::from_secs(now + delta), &mut rng);
+    // The RA speaks the versioned wire protocol: here the regional edge is
+    // exposed as an in-process service behind a loopback transport (the
+    // same envelopes travel a simulated path or a real TCP socket).
+    let report = {
+        let edge = EdgeService::new(&mut cdn, ra.config.region, 7);
+        edge.set_now(SimTime::from_secs(now + delta));
+        let mut transport = Loopback::new(edge);
+        ra.sync_via(&mut transport, SimTime::from_secs(now + delta))
+    };
     println!(
-        "RA pulled {} bytes from the CDN in {:.3}s: {} new revocation(s)",
+        "RA pulled {} envelope bytes from the CDN in {:.3}s: {} new revocation(s)",
         report.bytes_downloaded,
         report.latency.as_secs_f64(),
         report.revocations_applied,

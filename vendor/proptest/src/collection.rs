@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Anything usable as a length specification for [`vec`].
+/// Anything usable as a length specification for [`vec()`].
 pub trait IntoLenRange {
     /// Draws a concrete length.
     fn sample_len(&self, rng: &mut TestRng) -> usize;
