@@ -6,7 +6,9 @@
 //! compressed chain multiproofs vs independent audit paths, concurrent
 //! snapshot-based proof serving vs a serialized `&mut`-style baseline, and
 //! structurally-shared snapshot publication (`snapshot_publish/persistent`)
-//! vs the PR 2 dense deep-clone baseline (`snapshot_publish/dense`).
+//! vs the PR 2 dense deep-clone baseline (`snapshot_publish/dense`), and
+//! the event-driven serving stack over real sockets (`event_serve`: single
+//! round trips and 8-deep pipelined flights through an `EventServer`).
 //!
 //! With `BENCH_JSON=BENCH_dictionary.json` every result lands in a JSON
 //! perf-trajectory file; `BENCH_SMOKE=1` shrinks sizes and samples for CI.
@@ -18,6 +20,7 @@ use ritm_agent::{ProofCache, StatusServer, StatusService};
 use ritm_crypto::SigningKey;
 use ritm_dictionary::tree::{Leaf, MerkleTree};
 use ritm_dictionary::{CaDictionary, CaId, HashPool, MirrorDictionary, SerialNumber};
+use ritm_proto::event::{EventServer, EventTransport};
 use ritm_proto::{Loopback, RitmRequest, RitmResponse, Service, Transport};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -521,12 +524,59 @@ fn bench_protocol_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+/// The event-driven serving stack end to end over real OS sockets: one
+/// `EventServer` (≤2 threads) in front of the RA's status endpoint, a
+/// non-blocking client. Tracks (a) the single-request round trip — the
+/// per-request cost of the reactor/codec machinery vs the in-process
+/// `loopback_get_status` number above — and (b) an 8-deep pipelined
+/// flight, whose per-request cost should approach wire+service time as
+/// the flight amortizes the round-trip latency.
+fn bench_event_serve(c: &mut Criterion) {
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (ca, mirror) = built_pair(n);
+    let server = StatusServer::new();
+    assert!(server.publish(mirror.snapshot()));
+    let service = Arc::new(StatusService::new(Arc::new(server)));
+    let event_server =
+        EventServer::spawn(Arc::clone(&service) as Arc<dyn ritm_proto::Service>, 2).unwrap();
+    let mut transport = EventTransport::connect(event_server.addr()).unwrap();
+
+    let get_status = RitmRequest::GetStatus {
+        ca: ca.ca(),
+        serial: SerialNumber::from_u24(0x700001),
+    };
+
+    let mut g = c.benchmark_group("event_serve");
+    g.bench_function("roundtrip_get_status", |b| {
+        b.iter(|| black_box(transport.round_trip(&get_status).expect("served")))
+    });
+    let flight: Vec<RitmRequest> = (0..8u32)
+        .map(|i| RitmRequest::GetStatus {
+            ca: ca.ca(),
+            serial: SerialNumber::from_u24(0x700001 + i * 2),
+        })
+        .collect();
+    g.bench_function("pipelined_8x_get_status", |b| {
+        b.iter(|| {
+            for r in transport.round_trip_many(black_box(&flight)) {
+                black_box(r.expect("served"));
+            }
+        })
+    });
+    g.finish();
+    event_server.shutdown();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
         bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
         bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving,
-        bench_protocol_roundtrip
+        bench_protocol_roundtrip, bench_event_serve
 }
 criterion_main!(benches);

@@ -14,7 +14,9 @@ pub mod fetch;
 pub mod validator;
 
 pub use client::{AbortReason, DowngradePolicy, RitmClient, RitmClientConfig, RitmEvent};
-pub use fetch::{fetch_and_validate, fetch_status, FetchError, FetchedStatus};
+pub use fetch::{
+    fetch_and_validate, fetch_and_validate_many, fetch_status, FetchError, FetchedStatus,
+};
 pub use validator::{
     validate_payload, validate_payload_tracked, RootTracker, ValidationError, Verdict,
 };

@@ -188,6 +188,22 @@ impl RitmWorld {
         ra.sync_via(&mut transport, SimTime::from_secs(self.now));
     }
 
+    /// Exposes the world's RA read path as a real event-driven OS-socket
+    /// endpoint: one `EventServer` on ≤2 threads, multiplexing any number
+    /// of external client connections over the same lock-free
+    /// `StatusServer` the simulated middlebox uses. This is how a
+    /// simulated world is wired to real (possibly pipelining) clients —
+    /// statuses served here verify against exactly the roots the in-path
+    /// deployment injects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn serve_statuses_event(&self) -> std::io::Result<ritm_proto::EventServer> {
+        let service = ritm_agent::StatusService::new(self.ra.borrow().status_server());
+        ritm_proto::EventServer::spawn(Arc::new(service), 2)
+    }
+
     /// Advances world time by `secs`, running the Δ dissemination cycle at
     /// each boundary.
     pub fn advance(&mut self, secs: u64) {
@@ -478,6 +494,44 @@ mod tests {
         );
         let (size1, _) = w.root_tracker.newest(&w.ca.id()).expect("tracker kept");
         assert!(size1 > size0, "tracker must follow the advanced epoch");
+    }
+
+    #[test]
+    fn event_endpoint_serves_real_sockets_from_the_simulated_world() {
+        use ritm_client::validator::Verdict;
+
+        let mut w = RitmWorld::new(9, 10, DeploymentModel::CloseToClients);
+        let victim = w.server_serial();
+        w.revoke(victim);
+        let clean = w.issue_certificate("ok.example").serial;
+
+        // Real OS sockets against the simulated world's RA: a pipelined
+        // flight of two chains, both validating against the same roots the
+        // in-path middlebox injects.
+        let server = w.serve_statuses_event().unwrap();
+        assert!(server.thread_count() <= 2);
+        let mut transport = ritm_proto::EventTransport::connect(server.addr()).unwrap();
+        let mut keys: HashMap<CaId, ritm_crypto::ed25519::VerifyingKey> = HashMap::new();
+        keys.insert(w.ca.id(), w.ca.verifying_key());
+        let revoked_chain = [(w.ca.id(), victim)];
+        let clean_chain = [(w.ca.id(), clean)];
+        let chains: [&[(CaId, SerialNumber)]; 2] = [&revoked_chain, &clean_chain];
+        let mut tracker = w.root_tracker.clone();
+        let results = ritm_client::fetch_and_validate_many(
+            &mut transport,
+            &chains,
+            &keys,
+            w.delta,
+            w.now,
+            &mut tracker,
+        );
+        assert!(matches!(
+            results[0].as_ref().unwrap().verdict,
+            Verdict::Revoked { serial, .. } if serial == victim
+        ));
+        assert_eq!(results[1].as_ref().unwrap().verdict, Verdict::AllValid);
+        drop(transport);
+        assert_eq!(server.shutdown(), 2);
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub enum ProtoError {
     /// The endpoint failed internally (stored object undecodable, lock
     /// poisoned, ...). Nothing actionable for the client.
     Internal,
+    /// The response was built but could not be framed: its encoding is
+    /// `len` bytes against the framing cap `max`
+    /// ([`crate::MAX_FRAME_LEN`]). The observable trigger for chunked
+    /// catch-up — an RA seeing this on a `CatchUp` knows the gap itself is
+    /// the problem, not the origin.
+    ResponseTooLarge {
+        /// Encoded size the response would have had.
+        len: u64,
+        /// The frame-body cap it exceeded.
+        max: u64,
+    },
 }
 
 impl core::fmt::Display for ProtoError {
@@ -59,6 +70,12 @@ impl core::fmt::Display for ProtoError {
             ProtoError::Unsupported => f.write_str("request not served by this endpoint"),
             ProtoError::Busy => f.write_str("endpoint at capacity"),
             ProtoError::Internal => f.write_str("internal server error"),
+            ProtoError::ResponseTooLarge { len, max } => {
+                write!(
+                    f,
+                    "response of {len} bytes exceeds the {max}-byte frame cap"
+                )
+            }
         }
     }
 }
@@ -73,6 +90,7 @@ const CODE_NOT_FOUND: u8 = 0x04;
 const CODE_UNSUPPORTED: u8 = 0x05;
 const CODE_BUSY: u8 = 0x06;
 const CODE_INTERNAL: u8 = 0x07;
+const CODE_RESPONSE_TOO_LARGE: u8 = 0x08;
 
 impl ProtoError {
     /// Exact encoded size in bytes.
@@ -81,6 +99,7 @@ impl ProtoError {
             ProtoError::UnsupportedVersion { .. } => 2,
             ProtoError::Malformed { .. } => 4,
             ProtoError::UnknownCa(_) => 8,
+            ProtoError::ResponseTooLarge { .. } => 16,
             _ => 0,
         }
     }
@@ -116,16 +135,27 @@ impl ProtoError {
             ProtoError::Internal => {
                 w.u8(CODE_INTERNAL);
             }
+            ProtoError::ResponseTooLarge { len, max } => {
+                w.u8(CODE_RESPONSE_TOO_LARGE);
+                w.u64(*len);
+                w.u64(*max);
+            }
         }
     }
 
     /// Decodes one error from the reader.
     ///
+    /// A code this decoder does not know (a *newer* peer's taxonomy
+    /// growth) is not a wire error: the remaining bytes — the unknown
+    /// variant's fields; the error is always the final field of a frame —
+    /// are consumed and the result degrades to [`ProtoError::Internal`],
+    /// so old clients keep interoperating across taxonomy extensions
+    /// (exactly how [`ProtoError::ResponseTooLarge`] was introduced).
+    ///
     /// # Errors
     ///
-    /// Returns [`DecodeError`] on truncation or an unknown code.
+    /// Returns [`DecodeError`] when a *known* code's fields are truncated.
     pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let pos = r.position();
         Ok(match r.u8("proto error code")? {
             CODE_UNSUPPORTED_VERSION => ProtoError::UnsupportedVersion {
                 requested: r.u8("requested version")?,
@@ -139,7 +169,15 @@ impl ProtoError {
             CODE_UNSUPPORTED => ProtoError::Unsupported,
             CODE_BUSY => ProtoError::Busy,
             CODE_INTERNAL => ProtoError::Internal,
-            _ => return Err(DecodeError::new("unknown proto error code", pos)),
+            CODE_RESPONSE_TOO_LARGE => ProtoError::ResponseTooLarge {
+                len: r.u64("oversized response len")?,
+                max: r.u64("frame cap")?,
+            },
+            _ => {
+                let rest = r.remaining();
+                let _ = r.slice(rest, "unknown error fields")?;
+                ProtoError::Internal
+            }
         })
     }
 }
@@ -206,6 +244,10 @@ mod tests {
             ProtoError::Unsupported,
             ProtoError::Busy,
             ProtoError::Internal,
+            ProtoError::ResponseTooLarge {
+                len: 40_000_000,
+                max: 1 << 25,
+            },
         ]
     }
 
@@ -223,9 +265,13 @@ mod tests {
     }
 
     #[test]
-    fn unknown_code_rejected() {
-        let mut r = Reader::new(&[0xEE]);
-        assert!(ProtoError::decode(&mut r).is_err());
+    fn unknown_code_degrades_to_internal_and_consumes_its_fields() {
+        // A future taxonomy variant (code 0xEE with 3 field bytes) must
+        // decode — as Internal — with its fields consumed, so the frame's
+        // trailing-bytes check still passes on old clients.
+        let mut r = Reader::new(&[0xEE, 1, 2, 3]);
+        assert_eq!(ProtoError::decode(&mut r), Ok(ProtoError::Internal));
+        assert!(r.is_done());
     }
 
     #[test]

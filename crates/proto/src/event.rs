@@ -1,0 +1,533 @@
+//! Event-driven serving over real OS sockets: many connections, ≤2 threads.
+//!
+//! [`EventServer`] is the deployment-shaped counterpart to the blocking
+//! [`crate::tcp::TcpServer`]: instead of one OS thread per connection, every
+//! connection is a small task on a [`ritm_rt`] executor. Sockets are
+//! `set_nonblocking`; partial frames are resumed by
+//! [`ritm_rt::FrameReader`] / [`ritm_rt::FrameWriter`]; a task whose socket
+//! is not ready parks in the reactor and costs nothing but its buffers.
+//! The whole server — acceptor included — runs on at most
+//! [`ritm_rt::executor::MAX_WORKERS`] (= 2) OS threads, which is what lets
+//! one edge or RA process hold open connections from very many clients at
+//! once (the paper's middlebox/CDN deployment model, §VI).
+//!
+//! [`EventTransport`] is the matching non-blocking client. Beyond the plain
+//! [`Transport`] round trip it implements true request *pipelining*
+//! ([`Transport::round_trip_many`]): all request frames are queued onto the
+//! wire while responses stream back, so N round trips cost ~1 RTT instead
+//! of N. Responses arrive in request order — the server handles each
+//! connection's frames sequentially — which is what makes pipelining safe
+//! without request IDs in the envelope.
+//!
+//! Frames on the socket are byte-identical to every other transport: the
+//! same `u32 length ‖ version ‖ kind ‖ fields` envelopes.
+
+use crate::error::TransportError;
+use crate::message::{split_frame, RitmRequest, RitmResponse, MAX_FRAME_LEN};
+use crate::service::Service;
+use crate::transport::{RoundTrip, Transport, TransportMeta};
+use ritm_net::time::SimDuration;
+use ritm_rt::{io as rt_io, Executor, FrameRead, FrameReader, FrameWrite, FrameWriter, IoPoll};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared per-server counters.
+#[derive(Debug, Default)]
+struct ServerStats {
+    served: AtomicU64,
+    open_conns: AtomicU64,
+    peak_conns: AtomicU64,
+}
+
+/// An event-driven server for one [`Service`]: all connections multiplexed
+/// onto a ≤2-thread [`ritm_rt`] runtime.
+pub struct EventServer {
+    addr: SocketAddr,
+    executor: Executor,
+    closing: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+}
+
+impl EventServer {
+    /// Binds `127.0.0.1:0` (ephemeral port) and starts serving `service`
+    /// on `threads` executor workers (clamped to `1..=2` — connections are
+    /// multiplexed, not threaded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn spawn(service: Arc<dyn Service>, threads: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let executor = Executor::new(threads);
+        let closing = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+
+        let handle = executor.handle();
+        {
+            let closing = Arc::clone(&closing);
+            let stats = Arc::clone(&stats);
+            let spawner = handle.clone();
+            handle.spawn(accept_loop(listener, service, spawner, closing, stats));
+        }
+
+        Ok(EventServer {
+            addr,
+            executor,
+            closing,
+            stats,
+        })
+    }
+
+    /// The bound address to hand to [`EventTransport::connect`].
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far, across all connections.
+    pub fn served(&self) -> u64 {
+        self.stats.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.stats.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// The most connections ever open at once — the multiplexing headroom
+    /// the `event-smoke` acceptance asserts (≥64 on 2 threads).
+    pub fn peak_connections(&self) -> u64 {
+        self.stats.peak_conns.load(Ordering::Relaxed)
+    }
+
+    /// OS threads the server runs on (acceptor included).
+    pub fn thread_count(&self) -> usize {
+        self.executor.thread_count()
+    }
+
+    /// Stops accepting, closes every connection task (each observes the
+    /// flag within one readiness tick — an idle client cannot pin
+    /// anything), drains the runtime, and returns the total requests
+    /// served. Like [`crate::tcp::TcpServer::shutdown`], this ends an
+    /// experiment; it does not drain in-flight client batches.
+    pub fn shutdown(self) -> u64 {
+        self.closing.store(true, Ordering::SeqCst);
+        self.executor.shutdown();
+        self.stats.served.load(Ordering::Relaxed)
+    }
+}
+
+async fn accept_loop(
+    listener: TcpListener,
+    service: Arc<dyn Service>,
+    handle: ritm_rt::Handle,
+    closing: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let reactor = handle.reactor();
+    loop {
+        let accepted = rt_io(&reactor, || {
+            if closing.load(Ordering::SeqCst) {
+                return IoPoll::Ready(None);
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => IoPoll::Ready(Some(stream)),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => IoPoll::WouldBlock,
+                // Transient accept failures (peer reset in the backlog):
+                // treated as not-ready, retried next tick.
+                Err(_) => IoPoll::WouldBlock,
+            }
+        })
+        .await;
+        let Some(stream) = accepted else { return };
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        let open = stats.open_conns.fetch_add(1, Ordering::SeqCst) + 1;
+        stats.peak_conns.fetch_max(open, Ordering::SeqCst);
+        let service = Arc::clone(&service);
+        let closing = Arc::clone(&closing);
+        let stats = Arc::clone(&stats);
+        let reactor = Arc::clone(&reactor);
+        handle.spawn(async move {
+            serve_connection(stream, service, closing, &stats, reactor).await;
+            stats.open_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// One connection's task: read frame → handle → flush, until the client
+/// hangs up, the stream fails, or the server starts closing.
+async fn serve_connection(
+    mut stream: TcpStream,
+    service: Arc<dyn Service>,
+    closing: Arc<AtomicBool>,
+    stats: &ServerStats,
+    reactor: Arc<ritm_rt::Reactor>,
+) {
+    let mut reader = FrameReader::new(MAX_FRAME_LEN);
+    let mut writer = FrameWriter::new();
+    loop {
+        let frame = rt_io(&reactor, || {
+            if closing.load(Ordering::SeqCst) {
+                return IoPoll::Ready(None);
+            }
+            match reader.poll_frame(&mut stream) {
+                FrameRead::Frame(f) => IoPoll::Ready(Some(f)),
+                FrameRead::WouldBlock => IoPoll::WouldBlock,
+                FrameRead::Eof | FrameRead::Err(_) => IoPoll::Ready(None),
+            }
+        })
+        .await;
+        let Some(frame) = frame else { return };
+        // A panicking service request costs only its own connection — the
+        // executor also guards the worker, but closing the connection here
+        // keeps the peer from waiting on a reply that will never come.
+        let Ok(resp) = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_frame(&frame)))
+        else {
+            return;
+        };
+        writer.queue(resp);
+        let flushed = rt_io(&reactor, || {
+            if closing.load(Ordering::SeqCst) {
+                return IoPoll::Ready(false);
+            }
+            match writer.poll_write(&mut stream) {
+                FrameWrite::Done => IoPoll::Ready(true),
+                FrameWrite::WouldBlock => IoPoll::WouldBlock,
+                FrameWrite::Err(_) => IoPoll::Ready(false),
+            }
+        })
+        .await;
+        if !flushed {
+            return;
+        }
+        stats.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// How long a client flight may wait without any socket progress before
+/// giving up with [`TransportError::NoResponse`].
+const CLIENT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Client-side sleep while the socket is not ready in either direction.
+const CLIENT_POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+/// The non-blocking client: one connection, pipelined round trips.
+///
+/// [`Transport::round_trip`] behaves like the blocking client; the payoff
+/// is [`Transport::round_trip_many`], which keeps every request of a batch
+/// in flight at once.
+///
+/// Any transport-level failure (EOF, I/O error, deadline) **poisons the
+/// connection**: without request IDs in the envelope, a late reply to a
+/// failed flight could otherwise be misattributed to the next flight's
+/// requests. Every later call fails immediately — reconnect to recover.
+pub struct EventTransport {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Set after any transport-level failure; the stream may hold
+    /// misaligned bytes, so it must never be reused.
+    broken: bool,
+}
+
+impl EventTransport {
+    /// Connects to an [`EventServer`] (or any frame-speaking server).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(EventTransport {
+            stream,
+            reader: FrameReader::new(MAX_FRAME_LEN),
+            broken: false,
+        })
+    }
+
+    /// Whether a transport-level failure has poisoned this connection.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Runs one pipelined flight: queues every request frame onto the wire
+    /// and decodes responses as they stream back, in request order. Each
+    /// response's latency is charged since the previous response arrived
+    /// (the first since flight start), so the flight's summed latency is
+    /// its wall-clock duration — comparable across transports.
+    fn flight(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
+        if self.broken {
+            return reqs
+                .iter()
+                .map(|_| {
+                    Err(TransportError::Io(std::io::Error::new(
+                        ErrorKind::NotConnected,
+                        "transport poisoned by an earlier failed flight",
+                    )))
+                })
+                .collect();
+        }
+        let mut writer = FrameWriter::new();
+        let mut request_lens = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let frame = req.to_frame();
+            request_lens.push(frame.len() as u64);
+            writer.queue(frame);
+        }
+        let mut results: Vec<Result<RoundTrip, TransportError>> = Vec::with_capacity(reqs.len());
+        let fail_rest = |results: &mut Vec<Result<RoundTrip, TransportError>>,
+                         n: usize,
+                         kind: ErrorKind,
+                         msg: &str| {
+            while results.len() < n {
+                results.push(Err(TransportError::Io(std::io::Error::new(kind, msg))));
+            }
+        };
+        // The deadline is on socket *progress* (bytes written or a frame
+        // arrived), not total flight time: a large flight streaming
+        // steadily must never trip it.
+        let mut last_progress = Instant::now();
+        let mut last_reply = last_progress;
+        while results.len() < reqs.len() {
+            let mut progress = false;
+            // Keep pushing request frames while the socket accepts them...
+            let written_before = writer.written();
+            match writer.poll_write(&mut self.stream) {
+                FrameWrite::Done | FrameWrite::WouldBlock => {
+                    progress |= writer.written() > written_before;
+                }
+                FrameWrite::Err(e) => {
+                    let (kind, msg) = (e.kind(), "pipelined write failed");
+                    fail_rest(&mut results, reqs.len(), kind, msg);
+                    break;
+                }
+            }
+            // ...while draining responses, so a server that fills its send
+            // buffer before we finish writing can never deadlock us.
+            let mut got_frame = false;
+            match self.reader.poll_frame(&mut self.stream) {
+                FrameRead::Frame(reply) => {
+                    progress = true;
+                    got_frame = true;
+                    let now = Instant::now();
+                    let latency = SimDuration::from_micros((now - last_reply).as_micros() as u64);
+                    last_reply = now;
+                    results.push(decode_reply(&reply, latency));
+                }
+                FrameRead::WouldBlock => {}
+                FrameRead::Eof => {
+                    while results.len() < reqs.len() {
+                        results.push(Err(TransportError::NoResponse));
+                    }
+                    break;
+                }
+                FrameRead::Err(e) => {
+                    let (kind, msg) = (e.kind(), "pipelined read failed");
+                    fail_rest(&mut results, reqs.len(), kind, msg);
+                    break;
+                }
+            }
+            if progress {
+                last_progress = Instant::now();
+            }
+            if !got_frame && results.len() < reqs.len() {
+                if last_progress.elapsed() > CLIENT_DEADLINE {
+                    while results.len() < reqs.len() {
+                        results.push(Err(TransportError::NoResponse));
+                    }
+                    break;
+                }
+                if !progress {
+                    std::thread::sleep(CLIENT_POLL_INTERVAL);
+                }
+            }
+        }
+        if results.iter().any(Result::is_err) {
+            // The stream may be mid-frame or hold replies to requests we
+            // already failed; poison the transport so no later flight can
+            // misattribute them.
+            self.broken = true;
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Attach exact request-frame sizes (responses arrive in request
+        // order, so results[i] answers reqs[i]).
+        for (len, r) in request_lens.iter().zip(results.iter_mut()) {
+            if let Ok(rt) = r {
+                rt.meta.request_bytes = *len;
+            }
+        }
+        results
+    }
+}
+
+fn decode_reply(reply: &[u8], latency: SimDuration) -> Result<RoundTrip, TransportError> {
+    let (body, _) = split_frame(reply)?;
+    let response = RitmResponse::decode_body(body)?;
+    Ok(RoundTrip {
+        response,
+        meta: TransportMeta {
+            request_bytes: 0, // filled by the caller per request index
+            response_bytes: reply.len() as u64,
+            latency,
+        },
+    })
+}
+
+impl Transport for EventTransport {
+    fn round_trip(&mut self, req: &RitmRequest) -> Result<RoundTrip, TransportError> {
+        self.flight(std::slice::from_ref(req))
+            .pop()
+            .expect("one request yields one result")
+    }
+
+    fn round_trip_many(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        self.flight(reqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtoError;
+    use ritm_dictionary::CaId;
+
+    struct Nope;
+
+    impl Service for Nope {
+        fn handle(&self, _req: RitmRequest) -> RitmResponse {
+            RitmResponse::Error(ProtoError::NotFound)
+        }
+    }
+
+    /// Echoes the manifest request's CA id back as an error (distinguishes
+    /// responses, so ordering is observable).
+    struct EchoCa;
+
+    impl Service for EchoCa {
+        fn handle(&self, req: RitmRequest) -> RitmResponse {
+            match req {
+                RitmRequest::GetManifest { ca } | RitmRequest::FetchDelta { ca } => {
+                    RitmResponse::Error(ProtoError::UnknownCa(ca))
+                }
+                _ => RitmResponse::Error(ProtoError::Unsupported),
+            }
+        }
+    }
+
+    #[test]
+    fn event_server_round_trips_and_shuts_down_cleanly() {
+        let server = EventServer::spawn(Arc::new(Nope), 2).unwrap();
+        assert!(server.thread_count() <= 2);
+        let mut t = EventTransport::connect(server.addr()).unwrap();
+        let req = RitmRequest::GetManifest {
+            ca: CaId::from_name("EvCA"),
+        };
+        for _ in 0..3 {
+            let rt = t.round_trip(&req).unwrap();
+            assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
+            assert_eq!(rt.meta.request_bytes as usize, req.to_frame().len());
+        }
+        drop(t);
+        assert_eq!(server.shutdown(), 3);
+    }
+
+    #[test]
+    fn pipelined_flight_preserves_request_order() {
+        let server = EventServer::spawn(Arc::new(EchoCa), 1).unwrap();
+        let mut t = EventTransport::connect(server.addr()).unwrap();
+        let cas: Vec<CaId> = (0..16)
+            .map(|i| CaId::from_name(&format!("PipeCA{i}")))
+            .collect();
+        let reqs: Vec<RitmRequest> = cas
+            .iter()
+            .map(|&ca| RitmRequest::GetManifest { ca })
+            .collect();
+        let results = t.round_trip_many(&reqs);
+        assert_eq!(results.len(), 16);
+        for (i, r) in results.into_iter().enumerate() {
+            let rt = r.expect("pipelined response");
+            assert_eq!(
+                rt.response,
+                RitmResponse::Error(ProtoError::UnknownCa(cas[i])),
+                "response {i} out of order"
+            );
+            assert_eq!(rt.meta.request_bytes as usize, reqs[i].to_frame().len());
+        }
+        drop(t);
+        assert_eq!(server.shutdown(), 16);
+    }
+
+    #[test]
+    fn shutdown_returns_despite_idle_clients() {
+        let server = EventServer::spawn(Arc::new(Nope), 2).unwrap();
+        // Idle clients that connect and send nothing: with thread-per-
+        // connection these each pinned a worker; here they are parked
+        // tasks, and shutdown still returns promptly.
+        let idles: Vec<TcpStream> = (0..8)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(server.open_connections(), 8);
+        assert_eq!(server.shutdown(), 0);
+        drop(idles);
+    }
+
+    #[test]
+    fn failed_flight_poisons_the_transport() {
+        let server = EventServer::spawn(Arc::new(Nope), 1).unwrap();
+        let addr = server.addr();
+        let mut t = EventTransport::connect(addr).unwrap();
+        let req = RitmRequest::FetchDelta {
+            ca: CaId::from_name("GoneCA"),
+        };
+        // Tearing the server down mid-life makes the next flight fail...
+        server.shutdown();
+        assert!(t.round_trip(&req).is_err());
+        assert!(t.is_broken());
+        // ...and without request IDs a poisoned connection must never be
+        // reused: later flights fail immediately instead of risking
+        // misattributed late replies.
+        let results = t.round_trip_many(std::slice::from_ref(&req));
+        assert!(matches!(
+            &results[0],
+            Err(TransportError::Io(e)) if e.kind() == ErrorKind::NotConnected
+        ));
+    }
+
+    /// Panics on `GetManifest`, serves everything else.
+    struct Grenade;
+
+    impl Service for Grenade {
+        fn handle(&self, req: RitmRequest) -> RitmResponse {
+            if matches!(req, RitmRequest::GetManifest { .. }) {
+                panic!("boom");
+            }
+            RitmResponse::Error(ProtoError::NotFound)
+        }
+    }
+
+    #[test]
+    fn panicking_service_costs_only_its_connection() {
+        let server = EventServer::spawn(Arc::new(Grenade), 2).unwrap();
+        let ca = CaId::from_name("BoomCA");
+        let mut t1 = EventTransport::connect(server.addr()).unwrap();
+        assert!(t1.round_trip(&RitmRequest::GetManifest { ca }).is_err());
+        // The runtime survives and keeps serving new connections.
+        let mut t2 = EventTransport::connect(server.addr()).unwrap();
+        let rt = t2.round_trip(&RitmRequest::FetchDelta { ca }).unwrap();
+        assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
+        drop((t1, t2));
+        server.shutdown();
+    }
+}

@@ -16,17 +16,21 @@
 //!   implemented by the CDN edge (`ritm-cdn`), the RA read path
 //!   (`ritm-agent`, over its lock-free `StatusServer`), and the CA
 //!   manifest endpoint (`ritm-ca`).
-//! * [`Transport`] — the client half, with three interchangeable
+//! * [`Transport`] — the client half, with four interchangeable
 //!   implementations: in-process [`Loopback`], the [`sim::SimTransport`]
-//!   adapter carrying frames in `ritm-net` `TcpSegment` payloads, and the
+//!   adapter carrying frames in `ritm-net` `TcpSegment` payloads, the
 //!   blocking [`tcp::TcpTransport`] / [`tcp::TcpServer`] pair over real
-//!   `std::net` sockets with a bounded acceptor pool.
+//!   `std::net` sockets with a bounded acceptor pool, and the non-blocking
+//!   [`event::EventTransport`] / [`event::EventServer`] pair that
+//!   multiplexes every connection onto a ≤2-thread `ritm-rt` runtime and
+//!   pipelines request batches ([`Transport::round_trip_many`]).
 //!
 //! Byte accounting is exact and transport-invariant: a round trip reports
 //! the encoded frame sizes ([`TransportMeta`]), so the Fig. 7 download
 //! volumes measure actual protocol bytes whichever transport carried them.
 
 pub mod error;
+pub mod event;
 pub mod message;
 pub mod payload;
 pub mod service;
@@ -35,6 +39,7 @@ pub mod tcp;
 pub mod transport;
 
 pub use error::{ProtoError, TransportError};
+pub use event::{EventServer, EventTransport};
 pub use message::{
     split_frame, RitmRequest, RitmResponse, MAX_CHAIN_LEN, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION,
     PROTOCOL_VERSION,

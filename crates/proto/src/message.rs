@@ -34,10 +34,12 @@ pub const MIN_SUPPORTED_VERSION: u8 = 1;
 /// prefix cannot drive an allocation into the gigabytes.
 ///
 /// A response that would exceed this cap degrades to a typed
-/// [`ProtoError::Internal`] at the service choke point; an RA whose
-/// catch-up gap encodes past it (≥ ~1.5M serials missed in one Δ) cannot
-/// converge through `CatchUp` alone — chunked catch-up with historical
-/// roots is a recorded future protocol extension (see ROADMAP).
+/// [`ProtoError::ResponseTooLarge`] (carrying the would-be size and this
+/// cap) at the service choke point; an RA whose catch-up gap encodes past
+/// it (≥ ~1.5M serials missed in one Δ) cannot converge through `CatchUp`
+/// alone — chunked catch-up with historical roots is a recorded future
+/// protocol extension (see ROADMAP), and this error is its observable
+/// trigger.
 pub const MAX_FRAME_LEN: usize = 1 << 25;
 
 /// Upper bound on a `GetMultiStatus` chain. One below the status payload's

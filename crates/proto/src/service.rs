@@ -46,9 +46,16 @@ pub trait Service: Send + Sync {
         };
         // A response the framing layer could never deliver (e.g. a
         // catch-up bundle past MAX_FRAME_LEN) must degrade to a typed
-        // error, not an unparseable frame on the peer's side.
-        if resp.encoded_len() > crate::message::MAX_FRAME_LEN {
-            return RitmResponse::Error(ProtoError::Internal).to_frame();
+        // error, not an unparseable frame on the peer's side. The error
+        // names both sizes so the client can tell "shrink your ask"
+        // (chunked catch-up) apart from a generic server fault.
+        let encoded = resp.encoded_len();
+        if encoded > crate::message::MAX_FRAME_LEN {
+            return RitmResponse::Error(ProtoError::ResponseTooLarge {
+                len: encoded as u64,
+                max: crate::message::MAX_FRAME_LEN as u64,
+            })
+            .to_frame();
         }
         resp.to_frame()
     }
@@ -113,16 +120,21 @@ mod tests {
     }
 
     #[test]
-    fn oversized_response_degrades_to_typed_internal_error() {
+    fn oversized_response_degrades_to_typed_too_large_error() {
         let frame = RitmRequest::GetManifest {
             ca: CaId::from_name("BigCA"),
         }
         .to_frame();
         let resp_frame = Oversized.handle_frame(&frame);
         let (body, _) = split_frame(&resp_frame).unwrap();
+        // version + kind + u32 payload length + the payload itself.
+        let expected_len = 2 + 4 + (crate::message::MAX_FRAME_LEN + 1) as u64;
         assert_eq!(
             RitmResponse::decode_body(body).unwrap(),
-            RitmResponse::Error(ProtoError::Internal)
+            RitmResponse::Error(ProtoError::ResponseTooLarge {
+                len: expected_len,
+                max: crate::message::MAX_FRAME_LEN as u64,
+            })
         );
     }
 

@@ -52,6 +52,21 @@ pub trait Transport {
     /// failures are *not* errors at this level: they come back as
     /// `Ok` with [`RitmResponse::Error`].
     fn round_trip(&mut self, req: &RitmRequest) -> Result<RoundTrip, TransportError>;
+
+    /// Sends a batch of independent requests and returns one result per
+    /// request, in request order.
+    ///
+    /// The default runs them sequentially — correct everywhere, and
+    /// byte-identical to the pipelined path. Transports that can keep
+    /// multiple requests in flight (the event-driven
+    /// [`crate::event::EventTransport`]) override this so a batch costs
+    /// ~1 RTT instead of N; callers that batch (`RevocationAgent::
+    /// sync_via`, `ritm_client::fetch_and_validate_many`) get the speedup
+    /// wherever the transport offers it, with no behavioural difference
+    /// elsewhere.
+    fn round_trip_many(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
+        reqs.iter().map(|req| self.round_trip(req)).collect()
+    }
 }
 
 /// The in-process transport: encodes the request, hands the frame straight

@@ -1,0 +1,118 @@
+//! Event-driven smoke test (the CI `event-smoke` step): one `EventServer`
+//! on ≤2 OS threads serves ≥64 *simultaneously connected* OS-socket
+//! clients — 8× the blocking `proto-smoke` scenario, which needs a thread
+//! per connection — with every response validating cryptographically,
+//! pipelined flights preserving order, and zero transport failures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ritm_agent::{RaConfig, RevocationAgent, StatusService};
+use ritm_crypto::ed25519::SigningKey;
+use ritm_dictionary::{CaDictionary, CaId, SerialNumber};
+use ritm_proto::event::{EventServer, EventTransport};
+use ritm_proto::{RitmRequest, RitmResponse, Service, Transport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+const T0: u64 = 1_000_000;
+const CLIENTS: u32 = 64;
+const FLIGHTS_PER_CLIENT: u32 = 3;
+const FLIGHT_SIZE: u32 = 4;
+
+#[test]
+fn sixty_four_concurrent_clients_on_two_threads() {
+    // CA with 200 revocations, mirrored by an RA.
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut ca = CaDictionary::new(
+        CaId::from_name("EvSmokeCA"),
+        SigningKey::from_seed([5u8; 32]),
+        10,
+        1 << 10,
+        &mut rng,
+        T0,
+    );
+    let mut ra = RevocationAgent::new(RaConfig::default());
+    ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+        .unwrap();
+    let serials: Vec<SerialNumber> = (0..200u32).map(|i| SerialNumber::from_u24(i * 2)).collect();
+    let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
+    ra.mirror_mut(&ca.ca())
+        .unwrap()
+        .apply_issuance(&iss, T0 + 1)
+        .unwrap();
+
+    let service = Arc::new(StatusService::new(ra.status_server()));
+    let server = EventServer::spawn(Arc::clone(&service) as Arc<dyn Service>, 2).unwrap();
+    assert!(server.thread_count() <= 2, "the whole point of the server");
+    let addr = server.addr();
+    let ca_id = ca.ca();
+    let key = ca.verifying_key();
+
+    // Every client connects before any client sends: the server holds all
+    // 64 connections open at once on its ≤2 threads.
+    let gate = Barrier::new(CLIENTS as usize);
+    let transport_failures = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let gate = &gate;
+            let transport_failures = &transport_failures;
+            s.spawn(move || {
+                let mut transport = EventTransport::connect(addr).expect("connect");
+                gate.wait();
+                for flight in 0..FLIGHTS_PER_CLIENT {
+                    // One pipelined flight of FLIGHT_SIZE statuses, mixing
+                    // revoked (even) and absent (odd) serials.
+                    let queries: Vec<SerialNumber> = (0..FLIGHT_SIZE)
+                        .map(|i| SerialNumber::from_u24((t * 131 + flight * 17 + i * 7) % 400))
+                        .collect();
+                    let reqs: Vec<RitmRequest> = queries
+                        .iter()
+                        .map(|&serial| RitmRequest::GetStatus { ca: ca_id, serial })
+                        .collect();
+                    for (q, result) in queries.iter().zip(transport.round_trip_many(&reqs)) {
+                        let Ok(rt) = result else {
+                            transport_failures.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
+                        let RitmResponse::Status(payload) = rt.response else {
+                            panic!("expected status for {q}");
+                        };
+                        let outcome = payload.statuses[0]
+                            .validate(q, &key, 10, T0 + 2)
+                            .expect("status validates over the event stack");
+                        let expect_revoked = q.as_bytes().last().unwrap().is_multiple_of(2);
+                        assert_eq!(outcome.is_revoked(), expect_revoked, "serial {q}");
+                        assert!(rt.meta.response_bytes > 0);
+                    }
+                }
+            });
+        }
+    });
+
+    // The acceptance criterion: all clients were connected at once, served
+    // from ≤2 threads, with zero transport failures.
+    assert_eq!(transport_failures.load(Ordering::Relaxed), 0);
+    assert!(
+        server.peak_connections() >= CLIENTS as u64,
+        "peak {} connections, expected ≥{CLIENTS}",
+        server.peak_connections()
+    );
+
+    // The writer side stayed usable while clients hammered the socket.
+    let more = ca
+        .insert(&[SerialNumber::from_u24(9_999)], &mut rng, T0 + 5)
+        .unwrap();
+    ra.mirror_mut(&ca.ca())
+        .unwrap()
+        .apply_issuance(&more, T0 + 5)
+        .unwrap();
+
+    let served = server.shutdown();
+    assert_eq!(served, (CLIENTS * FLIGHTS_PER_CLIENT * FLIGHT_SIZE) as u64);
+
+    // The epoch-keyed cache saw real traffic (hot serials repeat).
+    let stats = service.server().cache_stats();
+    assert_eq!(stats.hits + stats.misses, served);
+    assert!(stats.hits > 0, "hot serials must hit the cache: {stats:?}");
+}

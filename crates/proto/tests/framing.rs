@@ -1,0 +1,176 @@
+//! Resumable framing (the `ritm-rt` satellite): every envelope the
+//! round-trip proptests generate is fed to [`FrameReader`] one byte at a
+//! time, under randomized `WouldBlock` interleavings, and across
+//! frame-spanning chunk splits — and the reassembled frame must be
+//! byte-identical to the one-shot encoding, decoding to the same value.
+//! The write side mirrors it: [`FrameWriter`] under short writes and
+//! `WouldBlock` must put exactly the one-shot bytes on the wire.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ritm_proto::{RitmRequest, RitmResponse, MAX_FRAME_LEN};
+use ritm_rt::{FrameRead, FrameReader, FrameWrite, FrameWriter};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+
+mod common;
+use common::{requests, responses};
+
+/// A reader serving a script of byte chunks interleaved with `WouldBlock`
+/// signals (`None` entries), then EOF.
+struct Scripted {
+    script: VecDeque<Option<Vec<u8>>>,
+}
+
+impl Read for Scripted {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.script.pop_front() {
+            Some(Some(bytes)) => {
+                // The reader never asks for less than one byte; if it asks
+                // for fewer than the chunk holds, split the chunk.
+                if bytes.len() > buf.len() {
+                    let (now, later) = bytes.split_at(buf.len());
+                    buf.copy_from_slice(now);
+                    self.script.push_front(Some(later.to_vec()));
+                    Ok(now.len())
+                } else {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+            }
+            Some(None) => Err(ErrorKind::WouldBlock.into()),
+            None => Ok(0),
+        }
+    }
+}
+
+/// Drives `reader` over `io` to completion, counting `WouldBlock` stalls.
+fn drain(reader: &mut FrameReader, io: &mut Scripted) -> (Vec<Vec<u8>>, u64) {
+    let mut frames = Vec::new();
+    let mut stalls = 0u64;
+    loop {
+        match reader.poll_frame(io) {
+            FrameRead::Frame(f) => frames.push(f),
+            FrameRead::WouldBlock => stalls += 1,
+            FrameRead::Eof => return (frames, stalls),
+            FrameRead::Err(e) => panic!("unexpected stream error: {e}"),
+        }
+    }
+}
+
+/// Every generated envelope, encoded one-shot.
+fn all_frames(rng: &mut StdRng) -> Vec<Vec<u8>> {
+    requests(rng)
+        .iter()
+        .map(RitmRequest::to_frame)
+        .chain(responses(rng).iter().map(RitmResponse::to_frame))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One byte per read, a coin-flip `WouldBlock` before each: the
+    /// incremental decode must reproduce the one-shot frames bit-exactly,
+    /// including across frame boundaries in one contiguous stream.
+    #[test]
+    fn byte_at_a_time_with_random_wouldblock_is_identical(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = all_frames(&mut rng);
+        let stream: Vec<u8> = frames.concat();
+        let mut script: VecDeque<Option<Vec<u8>>> = VecDeque::new();
+        for &b in &stream {
+            while rng.gen_bool(0.3) {
+                script.push_back(None); // a not-ready signal, possibly several
+            }
+            script.push_back(Some(vec![b]));
+        }
+        let mut io = Scripted { script };
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let (got, stalls) = drain(&mut reader, &mut io);
+        prop_assert_eq!(&got, &frames, "incremental decode diverged");
+        prop_assert!(stalls > 0 || stream.is_empty(), "interleaving exercised");
+        // And the decoded values match the one-shot decode path.
+        for (g, f) in got.iter().zip(&frames) {
+            prop_assert_eq!(g, f);
+            let (body, rest) = ritm_proto::split_frame(g).expect("self-framed");
+            prop_assert!(rest.is_empty());
+            // A frame is either a request or a response; one of the two
+            // decoders must accept it exactly as the one-shot path does.
+            let (one_body, _) = ritm_proto::split_frame(f).expect("self-framed");
+            match (RitmRequest::decode_body(body), RitmRequest::decode_body(one_body)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {
+                    let a = RitmResponse::decode_body(body).expect("response decodes");
+                    let b = RitmResponse::decode_body(one_body).expect("response decodes");
+                    prop_assert_eq!(a, b);
+                }
+                _ => prop_assert!(false, "incremental and one-shot decode disagree"),
+            }
+        }
+    }
+
+    /// Random chunk sizes (1..=7 bytes, spanning frame boundaries) under
+    /// random stalls: same result as byte-at-a-time.
+    #[test]
+    fn random_chunking_across_frame_boundaries(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = all_frames(&mut rng);
+        let stream: Vec<u8> = frames.concat();
+        let mut script: VecDeque<Option<Vec<u8>>> = VecDeque::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            if rng.gen_bool(0.25) {
+                script.push_back(None);
+            }
+            let take = rng.gen_range(1usize..8).min(stream.len() - pos);
+            script.push_back(Some(stream[pos..pos + take].to_vec()));
+            pos += take;
+        }
+        let mut io = Scripted { script };
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let (got, _) = drain(&mut reader, &mut io);
+        prop_assert_eq!(got, frames);
+    }
+
+    /// The writer under short writes and random stalls emits exactly the
+    /// concatenated one-shot frames.
+    #[test]
+    fn short_writes_with_random_wouldblock_are_identical(seed in any::<u64>()) {
+        struct Dribble {
+            accepted: Vec<u8>,
+            rng: StdRng,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.rng.gen_bool(0.3) {
+                    return Err(ErrorKind::WouldBlock.into());
+                }
+                let n = self.rng.gen_range(1usize..64).min(buf.len());
+                self.accepted.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = all_frames(&mut rng);
+        let mut writer = FrameWriter::new();
+        for f in &frames {
+            writer.queue(f.clone());
+        }
+        let mut io = Dribble { accepted: Vec::new(), rng };
+        loop {
+            match writer.poll_write(&mut io) {
+                FrameWrite::Done => break,
+                FrameWrite::WouldBlock => continue,
+                FrameWrite::Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+        }
+        prop_assert_eq!(io.accepted, frames.concat());
+        prop_assert!(!writer.pending());
+    }
+}

@@ -5,140 +5,11 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-use ritm_crypto::ed25519::SigningKey;
-use ritm_dictionary::{
-    CaDictionary, CaId, MirrorDictionary, RefreshMessage, RevocationIssuance, SerialNumber,
-};
-use ritm_proto::{
-    split_frame, ProtoError, RitmRequest, RitmResponse, StatusPayload, TransportError,
-};
+use rand::{Rng, SeedableRng};
+use ritm_proto::{split_frame, ProtoError, RitmRequest, RitmResponse, TransportError};
 
-const T0: u64 = 1_000_000;
-
-fn arbitrary_serial(rng: &mut StdRng) -> SerialNumber {
-    let len = rng.gen_range(1usize..21);
-    let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
-    SerialNumber::new(&bytes).expect("1..=20 bytes is valid")
-}
-
-fn arbitrary_ca(rng: &mut StdRng) -> CaId {
-    let mut b = [0u8; 8];
-    rng.fill_bytes(&mut b);
-    CaId(b)
-}
-
-/// One request per wire kind, with rng-varied fields.
-fn requests(rng: &mut StdRng) -> Vec<RitmRequest> {
-    let chain_len = rng.gen_range(0usize..8);
-    let chain: Vec<(CaId, SerialNumber)> = (0..chain_len)
-        .map(|_| (arbitrary_ca(rng), arbitrary_serial(rng)))
-        .collect();
-    vec![
-        RitmRequest::FetchDelta {
-            ca: arbitrary_ca(rng),
-        },
-        RitmRequest::FetchFreshness {
-            ca: arbitrary_ca(rng),
-        },
-        RitmRequest::CatchUp {
-            ca: arbitrary_ca(rng),
-            have: rng.gen(),
-        },
-        RitmRequest::GetStatus {
-            ca: arbitrary_ca(rng),
-            serial: arbitrary_serial(rng),
-        },
-        RitmRequest::GetMultiStatus {
-            chain,
-            compress: rng.gen(),
-        },
-        RitmRequest::GetSignedRoot {
-            ca: arbitrary_ca(rng),
-        },
-        RitmRequest::GetManifest {
-            ca: arbitrary_ca(rng),
-        },
-    ]
-}
-
-/// A real dictionary world, so responses carry structurally-valid signed
-/// roots, proofs, and freshness statements (round-tripping is still purely
-/// syntactic, but realistic shapes exercise the embedded codecs).
-fn world(seed: u64, n: u32) -> (CaDictionary, MirrorDictionary) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ca = CaDictionary::new(
-        CaId::from_name("PropProtoCA"),
-        SigningKey::from_seed([1u8; 32]),
-        10,
-        128,
-        &mut rng,
-        T0,
-    );
-    let mut m = MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
-    m.set_delta(10);
-    if n > 0 {
-        let serials: Vec<SerialNumber> = (0..n).map(|i| SerialNumber::from_u24(i * 3)).collect();
-        let iss = ca.insert(&serials, &mut rng, T0 + 1).unwrap();
-        m.apply_issuance(&iss, T0 + 1).unwrap();
-    }
-    (ca, m)
-}
-
-/// One response per wire kind (both refresh tags, single and compressed
-/// status payloads, every error variant), with rng-varied content.
-fn responses(rng: &mut StdRng) -> Vec<RitmResponse> {
-    let n = rng.gen_range(0u32..40);
-    let (mut ca, mirror) = world(rng.gen(), n);
-    let mut inner = StdRng::seed_from_u64(rng.gen());
-
-    let iss_serials: Vec<SerialNumber> = (0..rng.gen_range(0u32..30))
-        .map(|_| arbitrary_serial(rng))
-        .collect();
-    let issuance = RevocationIssuance {
-        first_number: rng.gen(),
-        serials: iss_serials,
-        signed_root: *mirror.signed_root(),
-    };
-
-    let single = mirror.prove(&arbitrary_serial(rng));
-    let multi_serials: Vec<SerialNumber> = (0..rng.gen_range(1u32..5))
-        .map(|i| SerialNumber::from_u24(i * 7 + 1))
-        .collect();
-    let multi = mirror.prove_multi(&multi_serials);
-    let payload = StatusPayload {
-        statuses: vec![single],
-        multi: vec![multi],
-    };
-
-    let refresh = ca.refresh(&mut inner, T0 + 11);
-
-    let mut out = vec![
-        RitmResponse::Delta(issuance),
-        RitmResponse::Freshness(refresh),
-        RitmResponse::Freshness(RefreshMessage::NewRoot(*mirror.signed_root())),
-        RitmResponse::Status(payload),
-        RitmResponse::Status(StatusPayload::default()),
-        RitmResponse::SignedRoot(*mirror.signed_root()),
-        RitmResponse::Manifest((0..rng.gen_range(0usize..200)).map(|_| rng.gen()).collect()),
-    ];
-    out.extend(
-        [
-            ProtoError::UnsupportedVersion {
-                requested: rng.gen(),
-                supported: rng.gen(),
-            },
-            ProtoError::Malformed { offset: rng.gen() },
-            ProtoError::UnknownCa(arbitrary_ca(rng)),
-            ProtoError::NotFound,
-            ProtoError::Unsupported,
-            ProtoError::Busy,
-            ProtoError::Internal,
-        ]
-        .map(RitmResponse::Error),
-    );
-    out
-}
+mod common;
+use common::{requests, responses};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -1,11 +1,13 @@
 //! Acceptance: the full CA → CDN edge → RA sync → client status fetch
 //! pipeline runs entirely through `Service`/`Transport` over (a) the
-//! in-process loopback, (b) the `ritm-net` simulator, and (c) a real
-//! `std::net` TCP socket — and the three transports move byte-identical
-//! envelopes: same signed roots, same revocation verdicts, same request
-//! and response byte counts. Plus version negotiation: an unknown-version
-//! request yields a typed `ProtoError::UnsupportedVersion` response, never
-//! a panic or a silent drop.
+//! in-process loopback, (b) the `ritm-net` simulator, (c) a real
+//! `std::net` TCP socket served thread-per-connection, and (d) the
+//! event-driven `EventServer`/`EventTransport` pair (non-blocking sockets,
+//! ≤2 server threads, pipelined flights) — and all four transports move
+//! byte-identical envelopes: same signed roots, same revocation verdicts,
+//! same request and response byte counts. Plus version negotiation: an
+//! unknown-version request yields a typed `ProtoError::UnsupportedVersion`
+//! response, never a panic or a silent drop.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +19,7 @@ use ritm_cdn::service::EdgeService;
 use ritm_client::validator::{RootTracker, Verdict};
 use ritm_dictionary::{SerialNumber, SignedRoot};
 use ritm_net::time::{SimDuration, SimTime};
+use ritm_proto::event::{EventServer, EventTransport};
 use ritm_proto::sim::SimTransport;
 use ritm_proto::tcp::{TcpServer, TcpTransport};
 use ritm_proto::{
@@ -191,16 +194,40 @@ fn run_tcp() -> (PipelineOutcome, u64) {
     (outcome, served)
 }
 
+fn run_event() -> (PipelineOutcome, u64, usize) {
+    let (ca, cdn, genesis) = build_world();
+    let edge = Arc::new(EdgeService::new(cdn, Region::Europe, 99));
+    edge.set_now(SimTime::from_secs(T0 + 2));
+    let edge_server = EventServer::spawn(Arc::clone(&edge) as Arc<dyn Service>, 2).unwrap();
+    let threads = edge_server.thread_count();
+    let edge_transport = EventTransport::connect(edge_server.addr()).unwrap();
+
+    let mut status_server_slot = None;
+    let outcome = run_pipeline(&ca, genesis, edge_transport, |status| {
+        let server = EventServer::spawn(Arc::new(status) as Arc<dyn Service>, 2).unwrap();
+        let t = EventTransport::connect(server.addr()).unwrap();
+        status_server_slot = Some(server);
+        t
+    });
+    let served = edge_server.shutdown() + status_server_slot.unwrap().shutdown();
+    (outcome, served, threads)
+}
+
 #[test]
 fn pipeline_is_transport_invariant() {
     let loopback = normalized(run_loopback());
     let simulated = normalized(run_simulated());
     let (tcp, tcp_served) = run_tcp();
     let tcp = normalized(tcp);
+    let (event, event_served, event_threads) = run_event();
+    let event = normalized(event);
 
-    // Identical signed roots, verdicts, payload bytes, and byte counts.
+    // Identical signed roots, verdicts, payload bytes, and byte counts —
+    // including the fourth, event-driven lane, whose sync flight was
+    // genuinely pipelined (delta + freshness in flight together).
     assert_eq!(loopback, simulated);
     assert_eq!(loopback, tcp);
+    assert_eq!(loopback, event);
     assert_eq!(loopback.mirrored_root.size, 30);
     assert!(
         matches!(loopback.revoked_verdict, Verdict::Revoked { serial, .. }
@@ -212,6 +239,10 @@ fn pipeline_is_transport_invariant() {
     // TCP really served every round trip: sync (2) + manifest (1) on the
     // edge server, two status fetches on the status server.
     assert_eq!(tcp_served, 5);
+    // The event-driven lane served the same five, from ≤2 OS threads per
+    // server instead of a thread per connection.
+    assert_eq!(event_served, 5);
+    assert!(event_threads <= 2, "event server must stay on ≤2 threads");
 }
 
 #[test]
@@ -266,6 +297,28 @@ fn unknown_version_yields_typed_error_on_every_transport() {
             RitmResponse::decode_body(&body).unwrap(),
             RitmResponse::SignedRoot(_)
         ));
+    }
+    server.shutdown();
+
+    // Event-driven server: same typed negotiation over a blocking client
+    // socket (the server side is non-blocking; the wire is the wire).
+    let server = EventServer::spawn(Arc::clone(&edge) as Arc<dyn Service>, 2).unwrap();
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&frame).unwrap();
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix).unwrap();
+        let len = u32::from_be_bytes(prefix) as usize;
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        assert_eq!(
+            RitmResponse::decode_body(&body).unwrap(),
+            RitmResponse::Error(ProtoError::UnsupportedVersion {
+                requested: 42,
+                supported: PROTOCOL_VERSION,
+            })
+        );
     }
     server.shutdown();
 }

@@ -1,0 +1,311 @@
+//! Incremental codecs for `u32 len ‖ body` frame envelopes.
+//!
+//! The blocking transports read a frame with `read_exact` — fine when the
+//! thread may sleep in the kernel, useless on a non-blocking socket where
+//! any read can return a prefix of a frame (or `WouldBlock` mid-prefix).
+//! [`FrameReader`] accumulates bytes across any interleaving of partial
+//! reads and not-ready signals and emits whole frames (length prefix
+//! included, byte-identical to what the peer encoded); [`FrameWriter`]
+//! drains queued frames across short writes and `WouldBlock`. Neither
+//! knows anything about what the body means — framing only.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+
+/// Length-prefix size: a big-endian `u32` body length.
+pub const PREFIX_LEN: usize = 4;
+
+/// Outcome of one [`FrameReader::poll_frame`] attempt.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One whole frame (length prefix included).
+    Frame(Vec<u8>),
+    /// The socket is not ready; resume later — partial progress is kept.
+    WouldBlock,
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// The stream failed: an I/O error, EOF mid-frame, or a length prefix
+    /// past the reader's cap.
+    Err(std::io::Error),
+}
+
+/// Incremental frame decoder: feed it a (non-blocking) reader as often as
+/// readiness allows; it resumes exactly where the last attempt stopped.
+#[derive(Debug)]
+pub struct FrameReader {
+    max_body_len: usize,
+    /// The current frame's buffer, sized to what is known of the frame so
+    /// far (the prefix, then prefix + body); reads land directly in its
+    /// tail — no intermediate copy, no per-poll scratch to zero.
+    buf: Vec<u8>,
+    /// Bytes of `buf` actually filled.
+    filled: usize,
+}
+
+impl FrameReader {
+    /// A reader that rejects frames whose body length exceeds
+    /// `max_body_len` (before allocating for the body).
+    pub fn new(max_body_len: usize) -> Self {
+        FrameReader {
+            max_body_len,
+            buf: Vec::new(),
+            filled: 0,
+        }
+    }
+
+    /// Bytes of the in-progress frame buffered so far (0 at boundaries).
+    pub fn buffered(&self) -> usize {
+        self.filled
+    }
+
+    /// Attempts to complete the next frame from `io`. Safe to call again
+    /// after [`FrameRead::WouldBlock`] — progress is kept across calls.
+    /// After [`FrameRead::Err`] the stream is unusable (the frame boundary
+    /// is lost).
+    pub fn poll_frame(&mut self, io: &mut impl Read) -> FrameRead {
+        loop {
+            // Total bytes this frame needs, as far as the prefix reveals.
+            let target = if self.filled < PREFIX_LEN {
+                PREFIX_LEN
+            } else {
+                let len = u32::from_be_bytes(self.buf[..PREFIX_LEN].try_into().expect("4 bytes"))
+                    as usize;
+                if len > self.max_body_len {
+                    return FrameRead::Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        "frame length prefix exceeds cap",
+                    ));
+                }
+                PREFIX_LEN + len
+            };
+            if self.filled >= PREFIX_LEN && self.filled == target {
+                self.filled = 0;
+                return FrameRead::Frame(std::mem::take(&mut self.buf));
+            }
+            if self.buf.len() != target {
+                self.buf.resize(target, 0);
+            }
+            match io.read(&mut self.buf[self.filled..target]) {
+                Ok(0) => {
+                    return if self.filled == 0 {
+                        FrameRead::Eof
+                    } else {
+                        FrameRead::Err(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "stream ended mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return FrameRead::WouldBlock,
+                Err(e) => return FrameRead::Err(e),
+            }
+        }
+    }
+}
+
+/// Outcome of one [`FrameWriter::poll_write`] attempt.
+#[derive(Debug)]
+pub enum FrameWrite {
+    /// Every queued frame is fully on the wire.
+    Done,
+    /// The socket is not ready; resume later — the write offset is kept.
+    WouldBlock,
+    /// The stream failed mid-frame.
+    Err(std::io::Error),
+}
+
+/// Incremental frame encoder-side: queue whole frames, drain them across
+/// short writes and not-ready signals.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written.
+    offset: usize,
+    written: u64,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Queues one encoded frame (length prefix included) for writing.
+    pub fn queue(&mut self, frame: Vec<u8>) {
+        self.queue.push_back(frame);
+    }
+
+    /// Whether any queued bytes remain unwritten.
+    pub fn pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Total bytes fully handed to the OS so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Pushes queued bytes into `io` until done or not ready. Safe to call
+    /// again after [`FrameWrite::WouldBlock`] — the offset into the
+    /// current frame is kept.
+    pub fn poll_write(&mut self, io: &mut impl Write) -> FrameWrite {
+        while let Some(front) = self.queue.front() {
+            match io.write(&front[self.offset..]) {
+                Ok(0) => {
+                    return FrameWrite::Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.offset += n;
+                    self.written += n as u64;
+                    if self.offset == front.len() {
+                        self.queue.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return FrameWrite::WouldBlock,
+                Err(e) => return FrameWrite::Err(e),
+            }
+        }
+        FrameWrite::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut f = (body.len() as u32).to_be_bytes().to_vec();
+        f.extend_from_slice(body);
+        f
+    }
+
+    /// A reader serving a script of byte chunks interleaved with
+    /// `WouldBlock` signals (`None` entries).
+    struct Scripted {
+        script: VecDeque<Option<Vec<u8>>>,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Some(bytes)) => {
+                    assert!(bytes.len() <= buf.len(), "script chunk exceeds ask");
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(None) => Err(ErrorKind::WouldBlock.into()),
+                None => Ok(0), // EOF
+            }
+        }
+    }
+
+    #[test]
+    fn one_byte_at_a_time_with_wouldblock_between_every_byte() {
+        let frames = [frame(b"hello"), frame(b""), frame(&[0xABu8; 300])];
+        let all: Vec<u8> = frames.concat();
+        let mut script: VecDeque<Option<Vec<u8>>> = VecDeque::new();
+        for b in &all {
+            script.push_back(None);
+            script.push_back(Some(vec![*b]));
+        }
+        let mut io = Scripted { script };
+        let mut reader = FrameReader::new(1 << 20);
+        let mut out = Vec::new();
+        loop {
+            match reader.poll_frame(&mut io) {
+                FrameRead::Frame(f) => out.push(f),
+                FrameRead::WouldBlock => continue,
+                FrameRead::Eof => break,
+                FrameRead::Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error_not_a_clean_end() {
+        let mut whole = frame(b"truncated");
+        whole.truncate(whole.len() - 2);
+        let mut io = Scripted {
+            script: whole.iter().map(|b| Some(vec![*b])).collect(),
+        };
+        let mut reader = FrameReader::new(1 << 20);
+        loop {
+            match reader.poll_frame(&mut io) {
+                FrameRead::Err(e) => {
+                    assert_eq!(e.kind(), ErrorKind::UnexpectedEof);
+                    break;
+                }
+                FrameRead::Frame(_) | FrameRead::Eof => panic!("must error"),
+                FrameRead::WouldBlock => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_body_allocation() {
+        let mut io = Scripted {
+            script: VecDeque::from([Some((u32::MAX).to_be_bytes().to_vec())]),
+        };
+        let mut reader = FrameReader::new(1 << 20);
+        match reader.poll_frame(&mut io) {
+            FrameRead::Err(e) => assert_eq!(e.kind(), ErrorKind::InvalidData),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    /// A writer accepting at most `cap` bytes per call, interleaving
+    /// `WouldBlock` on a stride.
+    struct Dribble {
+        accepted: Vec<u8>,
+        cap: usize,
+        calls: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(3) {
+                return Err(ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.cap);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_and_wouldblock_resume_to_identical_bytes() {
+        let frames = [frame(b"alpha"), frame(&[7u8; 129]), frame(b"")];
+        let mut writer = FrameWriter::new();
+        for f in &frames {
+            writer.queue(f.clone());
+        }
+        let mut io = Dribble {
+            accepted: Vec::new(),
+            cap: 2,
+            calls: 0,
+        };
+        loop {
+            match writer.poll_write(&mut io) {
+                FrameWrite::Done => break,
+                FrameWrite::WouldBlock => continue,
+                FrameWrite::Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(io.accepted, frames.concat());
+        assert_eq!(writer.written(), frames.concat().len() as u64);
+        assert!(!writer.pending());
+    }
+}

@@ -1,0 +1,293 @@
+//! A small executor: 1–2 worker threads, real wakers, reactor ticks.
+//!
+//! Tasks are `async` blocks boxed behind an [`std::task::Wake`]-based
+//! waker. The run queue is a mutex-protected deque with a condvar; when
+//! the queue is empty but tasks are parked on I/O, workers wait with a
+//! timeout and wake every parked task on expiry — the reactor's
+//! level-triggered readiness tick rides the executor's idle path, so the
+//! whole runtime costs exactly the configured worker threads and nothing
+//! more.
+
+use crate::reactor::{Reactor, DEFAULT_POLL_INTERVAL};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on worker threads. The event-driven stack's contract is that
+/// concurrency comes from multiplexing, not threads; two workers keep one
+/// free to run service logic while the other ticks the reactor.
+pub const MAX_WORKERS: usize = 2;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct Task {
+    /// `Some` while the task is live; taken to `None` on completion (or a
+    /// panicked poll). The mutex also serializes polls of one task across
+    /// workers.
+    future: Mutex<Option<BoxFuture>>,
+    /// Whether the task is already in the run queue (collapses redundant
+    /// wakes into one queue entry).
+    queued: AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            let shared = Arc::clone(&self.shared);
+            shared.enqueue(self);
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    reactor: Arc<Reactor>,
+    /// Live (spawned, not yet completed) tasks.
+    live: AtomicUsize,
+    shutdown: AtomicBool,
+    poll_interval: Duration,
+}
+
+impl Shared {
+    fn enqueue(&self, task: Arc<Task>) {
+        self.queue.lock().expect("run queue lock").push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// A cloneable handle for spawning tasks and reaching the reactor —
+/// what long-lived tasks (e.g. an accept loop) capture to spawn more.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Spawns `future` onto the executor. Tasks spawned after
+    /// [`Executor::shutdown`] began are still run to completion — shutdown
+    /// drains, it does not abort.
+    pub fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
+        self.shared.live.fetch_add(1, Ordering::SeqCst);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            queued: AtomicBool::new(true),
+            shared: Arc::clone(&self.shared),
+        });
+        self.shared.enqueue(task);
+    }
+
+    /// The reactor tasks park their wakers in (see [`crate::io`]).
+    pub fn reactor(&self) -> Arc<Reactor> {
+        Arc::clone(&self.shared.reactor)
+    }
+
+    /// Live (spawned, not yet completed) task count.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+}
+
+/// The executor: owns the worker threads.
+pub struct Executor {
+    handle: Handle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Starts an executor with `threads` workers, clamped to
+    /// `1..=`[`MAX_WORKERS`], using the default readiness tick.
+    pub fn new(threads: usize) -> Self {
+        Self::with_poll_interval(threads, DEFAULT_POLL_INTERVAL)
+    }
+
+    /// Starts an executor with an explicit readiness-tick interval
+    /// (shorter = lower I/O latency, more failed syscalls while idle).
+    pub fn with_poll_interval(threads: usize, poll_interval: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            reactor: Arc::new(Reactor::new()),
+            live: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            poll_interval,
+        });
+        let workers = (0..threads.clamp(1, MAX_WORKERS))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared))
+            })
+            .collect();
+        Executor {
+            handle: Handle { shared },
+            workers,
+        }
+    }
+
+    /// The spawning handle.
+    pub fn handle(&self) -> Handle {
+        self.handle.clone()
+    }
+
+    /// Worker thread count.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drains and stops: waits until every live task has completed, then
+    /// joins the workers. Tasks parked on I/O keep receiving readiness
+    /// ticks throughout, so a task that exits when its `closing` flag is
+    /// set (the [`IoPoll::Ready`](crate::IoPoll::Ready) path) observes the
+    /// flag within one tick. A task that never completes makes this hang —
+    /// the caller owns its tasks' termination condition.
+    pub fn shutdown(self) {
+        self.handle.shared.shutdown.store(true, Ordering::SeqCst);
+        self.handle.shared.available.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker(shared: &Arc<Shared>) {
+    loop {
+        // Take one task, or learn that this is a readiness tick (None).
+        let task: Option<Arc<Task>> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break Some(t);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) && shared.live.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                if shared.reactor.waiters() > 0 || shared.shutdown.load(Ordering::SeqCst) {
+                    // Timed wait: on expiry run a readiness tick (and
+                    // re-observe shutdown promptly).
+                    let (guard, _timeout) = shared
+                        .available
+                        .wait_timeout(queue, shared.poll_interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queue = guard;
+                    if queue.is_empty() && shared.reactor.waiters() > 0 {
+                        break None;
+                    }
+                } else {
+                    queue = shared
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        };
+        match task {
+            Some(task) => run_task(shared, task),
+            None => {
+                // One level-triggered tick: every parked task re-attempts
+                // its syscall. Wakers re-enqueue through the normal path.
+                for waker in shared.reactor.take_parked() {
+                    waker.wake();
+                }
+            }
+        }
+    }
+}
+
+fn run_task(shared: &Arc<Shared>, task: Arc<Task>) {
+    // Clear `queued` before polling so a wake arriving mid-poll re-queues
+    // the task rather than being lost.
+    task.queued.store(false, Ordering::Release);
+    let mut slot = task.future.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(future) = slot.as_mut() else {
+        return; // completed by an earlier queue entry
+    };
+    let waker = Waker::from(Arc::clone(&task));
+    let mut cx = Context::from_waker(&waker);
+    // A panicking task must cost only itself, not the worker: catch the
+    // unwind and retire the task. The guard outlives the catch, so the
+    // slot mutex is never poisoned by the panic.
+    let polled = std::panic::catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx)));
+    match polled {
+        Ok(Poll::Pending) => {}
+        Ok(Poll::Ready(())) | Err(_) => {
+            *slot = None;
+            drop(slot);
+            shared.live.fetch_sub(1, Ordering::SeqCst);
+            // A draining shutdown may be waiting on live == 0.
+            shared.available.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn spawned_tasks_run_and_shutdown_drains() {
+        let exec = Executor::new(2);
+        assert_eq!(exec.thread_count(), 2);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            exec.handle().spawn(async move {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        exec.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn thread_budget_is_capped() {
+        let exec = Executor::new(64);
+        assert_eq!(exec.thread_count(), MAX_WORKERS);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let exec = Executor::new(1);
+        let ran = Arc::new(AtomicU32::new(0));
+        exec.handle().spawn(async {
+            panic!("task boom");
+        });
+        {
+            let ran = Arc::clone(&ran);
+            exec.handle().spawn(async move {
+                ran.store(1, Ordering::SeqCst);
+            });
+        }
+        exec.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let exec = Executor::new(2);
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let handle = exec.handle();
+            let counter = Arc::clone(&counter);
+            exec.handle().spawn(async move {
+                for _ in 0..4 {
+                    let counter = Arc::clone(&counter);
+                    handle.spawn(async move {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        exec.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! # ritm-rt — a std-only readiness-based runtime
+//!
+//! The paper's middlebox/CDN deployment only pays off if one edge or RA
+//! process can hold open connections from very many clients at once. The
+//! blocking `TcpServer` in `ritm-proto` burns an OS thread per connection;
+//! this crate provides the event-driven alternative the serving stack is
+//! built on, using nothing outside `std` (the build environment has no
+//! crates.io access, so `mio`/`tokio` are not options):
+//!
+//! * [`Reactor`] — readiness scheduling for `set_nonblocking` `std::net`
+//!   sockets. `std` exposes no selector (`epoll`/`kqueue`), so readiness is
+//!   discovered the only portable way: *attempt the non-blocking syscall*.
+//!   A task whose I/O returns [`std::io::ErrorKind::WouldBlock`] parks its
+//!   waker in the reactor; the executor's idle path periodically wakes all
+//!   parked wakers (a level-triggered poll tick), each woken task
+//!   re-attempts its syscall, and tasks that are still not ready simply
+//!   park again. No readiness is ever *stored*, so no edge can be lost —
+//!   the cost is one failed syscall per parked task per tick, bounded by
+//!   the (sub-millisecond) poll interval.
+//! * [`Executor`] / [`Handle`] — a small single- or dual-thread task
+//!   executor with real [`std::task::Waker`]s (via [`std::task::Wake`]),
+//!   so ordinary `async fn` connection handlers run unchanged. The thread
+//!   budget is capped at 2: the point of the event-driven stack is that
+//!   *connections* do not cost threads.
+//! * [`codec::FrameReader`] / [`codec::FrameWriter`] — incremental codecs
+//!   for the `u32 len ‖ body` envelope framing: decoding resumes across
+//!   arbitrarily-split partial reads and encoding resumes across short
+//!   writes, so one in-flight frame never blocks an OS thread.
+//! * [`io`] — the adapter between the two: wraps a `WouldBlock`-signalling
+//!   closure as a future that parks in the reactor.
+//!
+//! The crate is deliberately protocol-agnostic (it knows frame *lengths*,
+//! not RITM envelopes); `ritm-proto` builds its `EventServer` and
+//! pipelined `EventTransport` on top.
+
+pub mod codec;
+pub mod executor;
+pub mod reactor;
+
+pub use codec::{FrameRead, FrameReader, FrameWrite, FrameWriter};
+pub use executor::{Executor, Handle};
+pub use reactor::Reactor;
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// One attempt at a non-blocking operation: either it completed with `T`,
+/// or the underlying syscall said [`std::io::ErrorKind::WouldBlock`].
+/// I/O *errors* are a completion (`Ready(Err(..))` in the typical usage),
+/// not a reason to park.
+#[derive(Debug)]
+pub enum IoPoll<T> {
+    /// The operation completed (successfully or with a terminal error the
+    /// caller folded into `T`).
+    Ready(T),
+    /// The socket was not ready; park until the next readiness tick.
+    WouldBlock,
+}
+
+/// Future returned by [`io`]: re-attempts `op` on every poll and parks in
+/// the reactor while the socket is not ready.
+pub struct IoFuture<F> {
+    reactor: Arc<Reactor>,
+    op: F,
+}
+
+impl<T, F> Future for IoFuture<F>
+where
+    F: FnMut() -> IoPoll<T> + Unpin,
+{
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let this = self.get_mut();
+        match (this.op)() {
+            IoPoll::Ready(v) => Poll::Ready(v),
+            IoPoll::WouldBlock => {
+                // Level-triggered: re-register on every miss. A tick that
+                // fires between the failed syscall and this park is not a
+                // lost wakeup — the next tick re-polls every parked task.
+                this.reactor.park(cx.waker());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Adapts a non-blocking attempt into a future: `op` runs on every poll;
+/// [`IoPoll::WouldBlock`] parks the task in `reactor` until the next
+/// readiness tick.
+pub fn io<T, F>(reactor: &Arc<Reactor>, op: F) -> IoFuture<F>
+where
+    F: FnMut() -> IoPoll<T> + Unpin,
+{
+    IoFuture {
+        reactor: Arc::clone(reactor),
+        op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn io_future_parks_until_ready() {
+        let exec = Executor::new(1);
+        let attempts = Arc::new(AtomicU32::new(0));
+        let done = Arc::new(AtomicU32::new(0));
+        {
+            let reactor = exec.handle().reactor();
+            let attempts = Arc::clone(&attempts);
+            let done = Arc::clone(&done);
+            exec.handle().spawn(async move {
+                let v = io(&reactor, || {
+                    // Not ready for the first few polls: the reactor's tick
+                    // must keep re-offering readiness.
+                    if attempts.fetch_add(1, Ordering::SeqCst) < 3 {
+                        IoPoll::WouldBlock
+                    } else {
+                        IoPoll::Ready(7u32)
+                    }
+                })
+                .await;
+                done.store(v, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 7);
+        assert!(attempts.load(Ordering::SeqCst) >= 4);
+        exec.shutdown();
+    }
+}

@@ -15,7 +15,8 @@
 //! | [`dictionary`] | `ritm-dictionary` | the authenticated dictionary (Fig. 2) as an **incremental engine**: epoch-aware sorted-leaf Merkle trees with O(b·log n) batch application, the [`dictionary::DictionaryEngine`] / [`dictionary::MirrorEngine`] traits, signed roots, freshness statements, proofs, expiry sharding |
 //! | [`tls`] | `ritm-tls` | wire-format TLS substrate with the RITM extension and record type |
 //! | [`net`] | `ritm-net` | deterministic discrete-event network simulator with in-path middleboxes |
-//! | [`proto`] | `ritm-proto` | the versioned RITM wire protocol: request/response envelopes, the transport-agnostic `Service` trait, loopback / simulator / real-TCP transports |
+//! | [`rt`] | `ritm-rt` | std-only readiness-based runtime: reactor, ≤2-thread executor with wakers, incremental frame codecs |
+//! | [`proto`] | `ritm-proto` | the versioned RITM wire protocol: request/response envelopes, the transport-agnostic `Service` trait, loopback / simulator / blocking-TCP / event-driven transports with request pipelining |
 //! | [`cdn`] | `ritm-cdn` | the dissemination network: origin, TTL edge caches, CloudFront-style billing |
 //! | [`ca`] | `ritm-ca` | certification authorities (generic over their dictionary engine), bootstrap manifests, a misbehaving CA |
 //! | [`agent`] | `ritm-agent` | the Revocation Agent: DPI, Eq. 4 state, piggybacking, an epoch-keyed proof cache for hot serials, CDN sync, health/consistency monitoring |
@@ -75,5 +76,6 @@ pub use ritm_crypto as crypto;
 pub use ritm_dictionary as dictionary;
 pub use ritm_net as net;
 pub use ritm_proto as proto;
+pub use ritm_rt as rt;
 pub use ritm_tls as tls;
 pub use ritm_workloads as workloads;
