@@ -10,7 +10,12 @@
 //! The pass is batched into pipelined flights
 //! ([`Transport::round_trip_many`]), so on the event-driven transport a
 //! sync round keeps every CA's requests in flight at once (~2 RTTs total)
-//! while sequential transports run the identical frames one at a time.
+//! while sequential transports run the identical frames one at a time. On
+//! an envelope-v2 peer the flight is additionally *multiplexed*: each
+//! request carries a request id and the server may answer out of order,
+//! so one slow delta (a large `CatchUp`) no longer delays the freshness
+//! statements queued behind it — the transport correlates replies by id
+//! and the sync logic sees them in request order regardless.
 //! The per-Δ download volume measured here is exactly what Fig. 7 plots —
 //! now as actual encoded envelope bytes — and the billed traffic feeds
 //! Fig. 6 / Table II.

@@ -8,7 +8,9 @@
 //! structurally-shared snapshot publication (`snapshot_publish/persistent`)
 //! vs the PR 2 dense deep-clone baseline (`snapshot_publish/dense`), and
 //! the event-driven serving stack over real sockets (`event_serve`: single
-//! round trips and 8-deep pipelined flights through an `EventServer`).
+//! round trips, 8-deep in-order v1 flights, the same flight multiplexed on
+//! envelope v2, and a slow-`CatchUp` head-of-line scenario the v2
+//! out-of-order server overlaps away).
 //!
 //! With `BENCH_JSON=BENCH_dictionary.json` every result lands in a JSON
 //! perf-trajectory file; `BENCH_SMOKE=1` shrinks sizes and samples for CI.
@@ -524,13 +526,32 @@ fn bench_protocol_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+/// Delays `CatchUp` by ~1ms (a stand-in for a large delta rebuild) and
+/// delegates everything else — the head-of-line blocker the multiplexed
+/// envelope exists to defeat.
+struct SlowCatchUp(Arc<StatusService>);
+
+impl ritm_proto::Service for SlowCatchUp {
+    fn handle(&self, req: RitmRequest) -> RitmResponse {
+        if matches!(req, RitmRequest::CatchUp { .. }) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            return RitmResponse::Error(ritm_proto::ProtoError::NotFound);
+        }
+        self.0.handle(req)
+    }
+}
+
 /// The event-driven serving stack end to end over real OS sockets: one
 /// `EventServer` (≤2 threads) in front of the RA's status endpoint, a
 /// non-blocking client. Tracks (a) the single-request round trip — the
 /// per-request cost of the reactor/codec machinery vs the in-process
-/// `loopback_get_status` number above — and (b) an 8-deep pipelined
-/// flight, whose per-request cost should approach wire+service time as
-/// the flight amortizes the round-trip latency.
+/// `loopback_get_status` number above — and (b) an 8-deep in-order v1
+/// flight (the transport pinned to v1, so the number stays comparable
+/// across the envelope-v2 change), (c) the same flight multiplexed on
+/// envelope v2 (per-frame request ids, out-of-order completion), and
+/// (d) the payoff case: a ~1ms `CatchUp` heading the flight, which
+/// in-order serving would add wholesale to every status behind it but
+/// out-of-order completion overlaps with all 8.
 fn bench_event_serve(c: &mut Criterion) {
     let n: u32 = if criterion::smoke_mode() {
         10_000
@@ -543,7 +564,9 @@ fn bench_event_serve(c: &mut Criterion) {
     let service = Arc::new(StatusService::new(Arc::new(server)));
     let event_server =
         EventServer::spawn(Arc::clone(&service) as Arc<dyn ritm_proto::Service>, 2).unwrap();
-    let mut transport = EventTransport::connect(event_server.addr()).unwrap();
+    // Pinned to v1: byte-identical to the pre-v2 client, so these two
+    // records keep their baseline meaning.
+    let mut transport = EventTransport::connect_pinned_v1(event_server.addr()).unwrap();
 
     let get_status = RitmRequest::GetStatus {
         ca: ca.ca(),
@@ -567,7 +590,44 @@ fn bench_event_serve(c: &mut Criterion) {
             }
         })
     });
+
+    // The same flight on envelope v2: +4 id bytes per frame buys
+    // out-of-order completion (invisible here — statuses are uniform —
+    // but the overhead must stay in the noise vs the v1 number).
+    let mut mux = EventTransport::connect(event_server.addr()).unwrap();
+    g.bench_function("multiplexed_8x_get_status", |b| {
+        b.iter(|| {
+            for r in mux.round_trip_many(black_box(&flight)) {
+                black_box(r.expect("served"));
+            }
+        })
+    });
+
+    // The HOL case: a ~1ms CatchUp ahead of the 8 statuses. Multiplexed,
+    // the statuses complete while it sleeps, so the flight costs ~max
+    // (≈1ms), not sum (≈1ms + 8 statuses serialized behind it).
+    let slow_server = EventServer::spawn(
+        Arc::new(SlowCatchUp(Arc::clone(&service))) as Arc<dyn ritm_proto::Service>,
+        2,
+    )
+    .unwrap();
+    let mut slow_mux = EventTransport::connect(slow_server.addr()).unwrap();
+    let mut hol_flight = vec![RitmRequest::CatchUp {
+        ca: ca.ca(),
+        have: 0,
+    }];
+    hol_flight.extend(flight.iter().cloned());
+    g.bench_function("slow_catchup_plus_8x_get_status", |b| {
+        b.iter(|| {
+            for r in slow_mux.round_trip_many(black_box(&hol_flight)) {
+                black_box(r.expect("served"));
+            }
+        })
+    });
     g.finish();
+    drop(slow_mux);
+    slow_server.shutdown();
+    drop((transport, mux));
     event_server.shutdown();
 }
 

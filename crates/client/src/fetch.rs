@@ -6,7 +6,10 @@
 //! [`Transport`] and runs the full §III step-5 acceptance policy on the
 //! response. This replaces the hand-fed payload plumbing the integration
 //! tests used before the protocol existed — the bytes validated here are
-//! exactly the bytes a real endpoint served.
+//! exactly the bytes a real endpoint served. Multi-chain fetches
+//! ([`fetch_and_validate_many`]) ride one pipelined flight; on an
+//! envelope-v2 event transport the flight is multiplexed by request id,
+//! so one slow chain cannot head-of-line block the others' verdicts.
 
 use crate::validator::{validate_payload_tracked, RootTracker, ValidationError, Verdict};
 use ritm_crypto::ed25519::VerifyingKey;

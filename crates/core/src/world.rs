@@ -204,6 +204,28 @@ impl RitmWorld {
         ritm_proto::EventServer::spawn(Arc::new(service), 2)
     }
 
+    /// Like [`RitmWorld::serve_statuses_event`], but onto an existing
+    /// shared runtime: several worlds' endpoints (or an RA alongside a CA
+    /// and an edge) multiplex onto ONE reactor/executor pair, keeping a
+    /// whole multi-endpoint process within the 2-thread budget. The
+    /// caller owns the runtime; shutting the returned server down drains
+    /// only its own tasks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn serve_statuses_event_on(
+        &self,
+        handle: &ritm_rt::Handle,
+    ) -> std::io::Result<ritm_proto::EventServer> {
+        let service = ritm_agent::StatusService::new(self.ra.borrow().status_server());
+        ritm_proto::EventServer::spawn_on(
+            Arc::new(service),
+            handle,
+            ritm_proto::EventServerConfig::default(),
+        )
+    }
+
     /// Advances world time by `secs`, running the Δ dissemination cycle at
     /// each boundary.
     pub fn advance(&mut self, secs: u64) {
@@ -532,6 +554,56 @@ mod tests {
         assert_eq!(results[1].as_ref().unwrap().verdict, Verdict::AllValid);
         drop(transport);
         assert_eq!(server.shutdown(), 2);
+    }
+
+    #[test]
+    fn two_worlds_share_one_event_runtime() {
+        use ritm_client::validator::Verdict;
+
+        // Two independent simulated worlds expose their RA read paths on
+        // ONE shared 2-thread runtime — the multi-endpoint deployment
+        // shape (one middlebox process, several listeners).
+        let runtime = ritm_rt::Runtime::new(2);
+        let handle = runtime.handle();
+        let mut w1 = RitmWorld::new(11, 10, DeploymentModel::CloseToClients);
+        let mut w2 = RitmWorld::new(12, 10, DeploymentModel::CloseToClients);
+        let victim = w1.server_serial();
+        w1.revoke(victim);
+        let clean = w2.issue_certificate("fine.example").serial;
+
+        let s1 = w1.serve_statuses_event_on(&handle).unwrap();
+        let s2 = w2.serve_statuses_event_on(&handle).unwrap();
+        assert_eq!(s1.thread_count(), 2);
+        assert_eq!(s2.thread_count(), 2);
+
+        for (w, server, serial, expect_revoked) in
+            [(&w1, &s1, victim, true), (&w2, &s2, clean, false)]
+        {
+            let mut transport = ritm_proto::EventTransport::connect(server.addr()).unwrap();
+            let mut keys: HashMap<CaId, ritm_crypto::ed25519::VerifyingKey> = HashMap::new();
+            keys.insert(w.ca.id(), w.ca.verifying_key());
+            let chain = [(w.ca.id(), serial)];
+            let mut tracker = w.root_tracker.clone();
+            let fetched = ritm_client::fetch_and_validate(
+                &mut transport,
+                &chain,
+                &keys,
+                w.delta,
+                w.now,
+                &mut tracker,
+            )
+            .expect("fetch over the shared runtime");
+            if expect_revoked {
+                assert!(
+                    matches!(fetched.verdict, Verdict::Revoked { serial: s, .. } if s == serial)
+                );
+            } else {
+                assert_eq!(fetched.verdict, Verdict::AllValid);
+            }
+        }
+        assert_eq!(s1.shutdown(), 1);
+        assert_eq!(s2.shutdown(), 1);
+        runtime.shutdown();
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub enum ProtoError {
         /// The frame-body cap it exceeded.
         max: u64,
     },
+    /// The server dropped this connection because no frame arrived within
+    /// its keepalive window. Sent best-effort as a goodbye before the
+    /// close; a client seeing it should reconnect rather than retry on
+    /// the same socket.
+    IdleTimeout {
+        /// The keepalive window, in milliseconds.
+        after_ms: u64,
+    },
 }
 
 impl core::fmt::Display for ProtoError {
@@ -76,6 +84,9 @@ impl core::fmt::Display for ProtoError {
                     "response of {len} bytes exceeds the {max}-byte frame cap"
                 )
             }
+            ProtoError::IdleTimeout { after_ms } => {
+                write!(f, "connection idle past the {after_ms}ms keepalive window")
+            }
         }
     }
 }
@@ -91,6 +102,7 @@ const CODE_UNSUPPORTED: u8 = 0x05;
 const CODE_BUSY: u8 = 0x06;
 const CODE_INTERNAL: u8 = 0x07;
 const CODE_RESPONSE_TOO_LARGE: u8 = 0x08;
+const CODE_IDLE_TIMEOUT: u8 = 0x09;
 
 impl ProtoError {
     /// Exact encoded size in bytes.
@@ -100,6 +112,7 @@ impl ProtoError {
             ProtoError::Malformed { .. } => 4,
             ProtoError::UnknownCa(_) => 8,
             ProtoError::ResponseTooLarge { .. } => 16,
+            ProtoError::IdleTimeout { .. } => 8,
             _ => 0,
         }
     }
@@ -140,6 +153,10 @@ impl ProtoError {
                 w.u64(*len);
                 w.u64(*max);
             }
+            ProtoError::IdleTimeout { after_ms } => {
+                w.u8(CODE_IDLE_TIMEOUT);
+                w.u64(*after_ms);
+            }
         }
     }
 
@@ -172,6 +189,9 @@ impl ProtoError {
             CODE_RESPONSE_TOO_LARGE => ProtoError::ResponseTooLarge {
                 len: r.u64("oversized response len")?,
                 max: r.u64("frame cap")?,
+            },
+            CODE_IDLE_TIMEOUT => ProtoError::IdleTimeout {
+                after_ms: r.u64("keepalive window ms")?,
             },
             _ => {
                 let rest = r.remaining();
@@ -248,6 +268,7 @@ mod tests {
                 len: 40_000_000,
                 max: 1 << 25,
             },
+            ProtoError::IdleTimeout { after_ms: 60_000 },
         ]
     }
 

@@ -6,34 +6,80 @@
 //! `set_nonblocking`; partial frames are resumed by
 //! [`ritm_rt::FrameReader`] / [`ritm_rt::FrameWriter`]; a task whose socket
 //! is not ready parks in the reactor and costs nothing but its buffers.
-//! The whole server — acceptor included — runs on at most
+//! Several servers can share one runtime ([`EventServer::spawn_on`]): an
+//! RA, a CA, and a CDN edge together still run on at most
 //! [`ritm_rt::executor::MAX_WORKERS`] (= 2) OS threads, which is what lets
 //! one edge or RA process hold open connections from very many clients at
 //! once (the paper's middlebox/CDN deployment model, §VI).
 //!
-//! [`EventTransport`] is the matching non-blocking client. Beyond the plain
-//! [`Transport`] round trip it implements true request *pipelining*
-//! ([`Transport::round_trip_many`]): all request frames are queued onto the
-//! wire while responses stream back, so N round trips cost ~1 RTT instead
-//! of N. Responses arrive in request order — the server handles each
-//! connection's frames sequentially — which is what makes pipelining safe
-//! without request IDs in the envelope.
+//! # Out-of-order completion (envelope v2)
 //!
-//! Frames on the socket are byte-identical to every other transport: the
-//! same `u32 length ‖ version ‖ kind ‖ fields` envelopes.
+//! A v1 connection is answered strictly in request order — that in-order
+//! guarantee is what made id-less pipelining safe, and it is preserved
+//! byte-identically for v1 peers. A **v2** frame instead spawns its own
+//! handler task: replies are written back tagged with the request's id as
+//! each handler finishes, so one slow `CatchUp` no longer head-of-line
+//! blocks the `GetStatus` requests behind it on the same connection.
+//! [`EventTransport`] correlates replies by id; against a v1-only server
+//! it transparently falls back to the in-order path (see
+//! [`EventTransport::negotiated_version`]).
+//!
+//! # Backpressure and keepalive
+//!
+//! [`EventServerConfig`] bounds what a peer can cost the server:
+//! * `max_connections` — the acceptor pauses (parks) while at the cap and
+//!   resumes as connections close; the backlog queues in the kernel.
+//! * `max_buffered_bytes` — a connection whose peer stops reading while
+//!   replies accumulate past the cap is shed (the write queue is the only
+//!   per-connection buffer that grows without the peer's cooperation).
+//! * `keepalive` — a connection with no in-flight work that sends nothing
+//!   for the whole window is dropped with a best-effort typed
+//!   [`ProtoError::IdleTimeout`] goodbye.
 
 use crate::error::TransportError;
-use crate::message::{split_frame, RitmRequest, RitmResponse, MAX_FRAME_LEN};
+use crate::message::{
+    split_frame, RequestEnvelope, RitmRequest, RitmResponse, MAX_FRAME_LEN, MAX_SUPPORTED_VERSION,
+    PROTOCOL_V2, PROTOCOL_VERSION,
+};
 use crate::service::Service;
 use crate::transport::{RoundTrip, Transport, TransportMeta};
+use crate::ProtoError;
 use ritm_net::time::SimDuration;
 use ritm_rt::{io as rt_io, Executor, FrameRead, FrameReader, FrameWrite, FrameWriter, IoPoll};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Resource bounds and negotiation ceiling for one [`EventServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct EventServerConfig {
+    /// Connections held open at once; the acceptor pauses past this.
+    pub max_connections: usize,
+    /// Per-connection cap on queued-but-unwritten reply bytes; a peer
+    /// that stops reading past it is shed.
+    pub max_buffered_bytes: usize,
+    /// Idle window after which a connection with nothing in flight is
+    /// dropped (`None` = never).
+    pub keepalive: Option<Duration>,
+    /// Highest envelope version this server answers in — pin to
+    /// [`PROTOCOL_VERSION`] to exercise a v1-only peer.
+    pub max_version: u8,
+}
+
+impl Default for EventServerConfig {
+    fn default() -> Self {
+        EventServerConfig {
+            max_connections: 4096,
+            // Two maximal frames: one mid-write, one queued behind it.
+            max_buffered_bytes: 2 * MAX_FRAME_LEN,
+            keepalive: Some(Duration::from_secs(60)),
+            max_version: MAX_SUPPORTED_VERSION,
+        }
+    }
+}
 
 /// Shared per-server counters.
 #[derive(Debug, Default)]
@@ -41,46 +87,103 @@ struct ServerStats {
     served: AtomicU64,
     open_conns: AtomicU64,
     peak_conns: AtomicU64,
+    keepalive_drops: AtomicU64,
+    overflow_drops: AtomicU64,
+    accept_deferrals: AtomicU64,
 }
 
 /// An event-driven server for one [`Service`]: all connections multiplexed
-/// onto a ≤2-thread [`ritm_rt`] runtime.
+/// onto a ≤2-thread [`ritm_rt`] runtime — its own, or one shared with
+/// other servers ([`EventServer::spawn_on`]).
 pub struct EventServer {
     addr: SocketAddr,
-    executor: Executor,
+    handle: ritm_rt::Handle,
+    /// `Some` when this server owns its executor; `None` on a shared
+    /// runtime (shutdown then drains this server's tasks only).
+    runtime: Option<Executor>,
     closing: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    /// This server's live task count (acceptor + connections + handlers)
+    /// — what a shared-runtime shutdown drains.
+    tasks: Arc<AtomicU64>,
 }
 
 impl EventServer {
     /// Binds `127.0.0.1:0` (ephemeral port) and starts serving `service`
-    /// on `threads` executor workers (clamped to `1..=2` — connections are
-    /// multiplexed, not threaded).
+    /// on its own runtime of `threads` workers (clamped to `1..=2` —
+    /// connections are multiplexed, not threaded), with default bounds.
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
     pub fn spawn(service: Arc<dyn Service>, threads: usize) -> std::io::Result<Self> {
+        Self::spawn_with(service, threads, EventServerConfig::default())
+    }
+
+    /// [`EventServer::spawn`] with explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn spawn_with(
+        service: Arc<dyn Service>,
+        threads: usize,
+        config: EventServerConfig,
+    ) -> std::io::Result<Self> {
+        let executor = Executor::new(threads);
+        let mut server = Self::spawn_on(service, &executor.handle(), config)?;
+        server.runtime = Some(executor);
+        Ok(server)
+    }
+
+    /// Binds and serves on an existing runtime's handle — how several
+    /// endpoints (RA + CA + edge) share one reactor/executor pair. The
+    /// caller keeps ownership of the runtime; [`EventServer::shutdown`]
+    /// drains only this server's tasks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn spawn_on(
+        service: Arc<dyn Service>,
+        handle: &ritm_rt::Handle,
+        config: EventServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let executor = Executor::new(threads);
         let closing = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        let tasks = Arc::new(AtomicU64::new(0));
 
-        let handle = executor.handle();
         {
             let closing = Arc::clone(&closing);
             let stats = Arc::clone(&stats);
+            let tasks = Arc::clone(&tasks);
             let spawner = handle.clone();
-            handle.spawn(accept_loop(listener, service, spawner, closing, stats));
+            tasks.fetch_add(1, Ordering::SeqCst);
+            handle.spawn(async move {
+                accept_loop(
+                    listener,
+                    service,
+                    spawner,
+                    closing,
+                    stats,
+                    Arc::clone(&tasks),
+                    config,
+                )
+                .await;
+                tasks.fetch_sub(1, Ordering::SeqCst);
+            });
         }
 
         Ok(EventServer {
             addr,
-            executor,
+            handle: handle.clone(),
+            runtime: None,
             closing,
             stats,
+            tasks,
         })
     }
 
@@ -105,35 +208,84 @@ impl EventServer {
         self.stats.peak_conns.load(Ordering::Relaxed)
     }
 
-    /// OS threads the server runs on (acceptor included).
+    /// Connections dropped for sending nothing within the keepalive
+    /// window.
+    pub fn keepalive_drops(&self) -> u64 {
+        self.stats.keepalive_drops.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed because their write queue outgrew
+    /// [`EventServerConfig::max_buffered_bytes`].
+    pub fn overflow_drops(&self) -> u64 {
+        self.stats.overflow_drops.load(Ordering::Relaxed)
+    }
+
+    /// Accept attempts deferred because the server sat at
+    /// [`EventServerConfig::max_connections`] (one per readiness tick
+    /// while paused).
+    pub fn accept_deferrals(&self) -> u64 {
+        self.stats.accept_deferrals.load(Ordering::Relaxed)
+    }
+
+    /// OS threads the server runs on (acceptor included) — the whole
+    /// shared runtime's budget when spawned via [`EventServer::spawn_on`].
     pub fn thread_count(&self) -> usize {
-        self.executor.thread_count()
+        self.handle.thread_count()
     }
 
     /// Stops accepting, closes every connection task (each observes the
     /// flag within one readiness tick — an idle client cannot pin
-    /// anything), drains the runtime, and returns the total requests
-    /// served. Like [`crate::tcp::TcpServer::shutdown`], this ends an
-    /// experiment; it does not drain in-flight client batches.
-    pub fn shutdown(self) -> u64 {
+    /// anything), drains this server's tasks, and returns the total
+    /// requests served. On an owned runtime the executor is joined; on a
+    /// shared runtime only this server's tasks are waited for — the
+    /// runtime (and any other servers on it) keeps running. Like
+    /// [`crate::tcp::TcpServer::shutdown`], this ends an experiment; it
+    /// does not drain in-flight client batches.
+    pub fn shutdown(mut self) -> u64 {
         self.closing.store(true, Ordering::SeqCst);
-        self.executor.shutdown();
+        match self.runtime.take() {
+            Some(executor) => executor.shutdown(),
+            None => {
+                while self.tasks.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
         self.stats.served.load(Ordering::Relaxed)
     }
 }
 
+impl Drop for EventServer {
+    fn drop(&mut self) {
+        // An abandoned server on a shared runtime must still wind down:
+        // its tasks observe the flag within one tick and exit.
+        self.closing.store(true, Ordering::SeqCst);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 async fn accept_loop(
     listener: TcpListener,
     service: Arc<dyn Service>,
     handle: ritm_rt::Handle,
     closing: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    tasks: Arc<AtomicU64>,
+    config: EventServerConfig,
 ) {
     let reactor = handle.reactor();
     loop {
         let accepted = rt_io(&reactor, || {
             if closing.load(Ordering::SeqCst) {
                 return IoPoll::Ready(None);
+            }
+            // Connection-count backpressure: at the cap the acceptor
+            // simply parks. The kernel backlog queues (and eventually
+            // refuses) the excess; accepting resumes as soon as a
+            // connection closes.
+            if stats.open_conns.load(Ordering::SeqCst) >= config.max_connections as u64 {
+                stats.accept_deferrals.fetch_add(1, Ordering::Relaxed);
+                return IoPoll::WouldBlock;
             }
             match listener.accept() {
                 Ok((stream, _peer)) => IoPoll::Ready(Some(stream)),
@@ -154,61 +306,267 @@ async fn accept_loop(
         let closing = Arc::clone(&closing);
         let stats = Arc::clone(&stats);
         let reactor = Arc::clone(&reactor);
+        let tasks = Arc::clone(&tasks);
+        let spawner = handle.clone();
+        tasks.fetch_add(1, Ordering::SeqCst);
         handle.spawn(async move {
-            serve_connection(stream, service, closing, &stats, reactor).await;
+            serve_connection(
+                stream,
+                service,
+                closing,
+                Arc::clone(&stats),
+                reactor,
+                spawner,
+                Arc::clone(&tasks),
+                config,
+            )
+            .await;
             stats.open_conns.fetch_sub(1, Ordering::SeqCst);
+            tasks.fetch_sub(1, Ordering::SeqCst);
         });
     }
 }
 
-/// One connection's task: read frame → handle → flush, until the client
-/// hangs up, the stream fails, or the server starts closing.
+/// Per-connection state shared between the read task and the handler
+/// tasks it spawns for v2 requests.
+struct Conn {
+    stream: TcpStream,
+    /// The write queue: handler tasks enqueue tagged reply frames and
+    /// drive the flush; the mutex is only ever held across non-blocking
+    /// calls.
+    writer: Mutex<FrameWriter>,
+    /// Set on any fatal per-connection condition (write error, overflow
+    /// shed, handler panic); every task on the connection observes it
+    /// within one tick and exits.
+    dead: AtomicBool,
+    /// v2 requests decoded but not yet replied — keepalive never fires
+    /// while work is in flight.
+    inflight: AtomicU64,
+}
+
+impl Conn {
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, FrameWriter> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Outcome of one read attempt on a connection.
+enum ReadStep {
+    Frame(Vec<u8>),
+    TimedOut,
+    Close,
+}
+
+/// One connection's task: read frames and answer them — inline and in
+/// order for v1 frames (byte-identical to the pre-v2 server), via a
+/// spawned per-request handler task for v2 frames (out-of-order, tagged).
+#[allow(clippy::too_many_arguments)]
 async fn serve_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     service: Arc<dyn Service>,
     closing: Arc<AtomicBool>,
-    stats: &ServerStats,
+    stats: Arc<ServerStats>,
     reactor: Arc<ritm_rt::Reactor>,
+    handle: ritm_rt::Handle,
+    tasks: Arc<AtomicU64>,
+    config: EventServerConfig,
 ) {
+    let conn = Arc::new(Conn {
+        stream,
+        writer: Mutex::new(FrameWriter::new()),
+        dead: AtomicBool::new(false),
+        inflight: AtomicU64::new(0),
+    });
     let mut reader = FrameReader::new(MAX_FRAME_LEN);
-    let mut writer = FrameWriter::new();
+    let mut last_frame = Instant::now();
     loop {
-        let frame = rt_io(&reactor, || {
-            if closing.load(Ordering::SeqCst) {
-                return IoPoll::Ready(None);
+        let step = rt_io(&reactor, || {
+            if closing.load(Ordering::SeqCst) || conn.dead.load(Ordering::SeqCst) {
+                return IoPoll::Ready(ReadStep::Close);
             }
-            match reader.poll_frame(&mut stream) {
-                FrameRead::Frame(f) => IoPoll::Ready(Some(f)),
-                FrameRead::WouldBlock => IoPoll::WouldBlock,
-                FrameRead::Eof | FrameRead::Err(_) => IoPoll::Ready(None),
-            }
-        })
-        .await;
-        let Some(frame) = frame else { return };
-        // A panicking service request costs only its own connection — the
-        // executor also guards the worker, but closing the connection here
-        // keeps the peer from waiting on a reply that will never come.
-        let Ok(resp) = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_frame(&frame)))
-        else {
-            return;
-        };
-        writer.queue(resp);
-        let flushed = rt_io(&reactor, || {
-            if closing.load(Ordering::SeqCst) {
-                return IoPoll::Ready(false);
-            }
-            match writer.poll_write(&mut stream) {
-                FrameWrite::Done => IoPoll::Ready(true),
-                FrameWrite::WouldBlock => IoPoll::WouldBlock,
-                FrameWrite::Err(_) => IoPoll::Ready(false),
+            match reader.poll_frame(&mut &conn.stream) {
+                FrameRead::Frame(f) => IoPoll::Ready(ReadStep::Frame(f)),
+                FrameRead::WouldBlock => {
+                    if let Some(window) = config.keepalive {
+                        if conn.inflight.load(Ordering::SeqCst) != 0
+                            || conn.lock_writer().pending()
+                        {
+                            // In-flight work and unflushed replies count
+                            // as activity: the window measures *silence*,
+                            // so a handler slower than the window cannot
+                            // leave its connection instantly reapable the
+                            // moment it completes.
+                            last_frame = Instant::now();
+                        } else if last_frame.elapsed() > window {
+                            return IoPoll::Ready(ReadStep::TimedOut);
+                        }
+                    }
+                    IoPoll::WouldBlock
+                }
+                FrameRead::Eof | FrameRead::Err(_) => IoPoll::Ready(ReadStep::Close),
             }
         })
         .await;
-        if !flushed {
-            return;
+        match step {
+            ReadStep::Close => break,
+            ReadStep::TimedOut => {
+                stats.keepalive_drops.fetch_add(1, Ordering::Relaxed);
+                // Best-effort typed goodbye: one non-blocking flush
+                // attempt; a peer that is not reading just gets the close.
+                let goodbye = RitmResponse::Error(ProtoError::IdleTimeout {
+                    after_ms: config.keepalive.map_or(0, |w| w.as_millis() as u64),
+                })
+                .to_frame();
+                let mut w = conn.lock_writer();
+                w.queue(goodbye);
+                let _ = w.poll_write(&mut &conn.stream);
+                drop(w);
+                conn.kill();
+                break;
+            }
+            ReadStep::Frame(frame) => {
+                last_frame = Instant::now();
+                let body_version = frame.get(4).copied().unwrap_or(PROTOCOL_VERSION);
+                if body_version > config.max_version {
+                    // Negotiation ceiling (including a server pinned to
+                    // v1): answer in v1, in order — what a probing client
+                    // can always parse.
+                    let reply = RitmResponse::Error(ProtoError::UnsupportedVersion {
+                        requested: body_version,
+                        supported: config.max_version,
+                    })
+                    .to_frame();
+                    conn.lock_writer().queue(reply);
+                    if drive_flush(&conn, &reactor, &closing).await {
+                        stats.served.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        break;
+                    }
+                } else if body_version >= PROTOCOL_V2 {
+                    // v2: out-of-order — each request gets its own handler
+                    // task; the reply carries the echoed id, so completion
+                    // order is free to differ from arrival order.
+                    let Ok((body, _)) = split_frame(&frame) else {
+                        break;
+                    };
+                    let env = RequestEnvelope::decode(body);
+                    conn.inflight.fetch_add(1, Ordering::SeqCst);
+                    tasks.fetch_add(1, Ordering::SeqCst);
+                    let service = Arc::clone(&service);
+                    let conn = Arc::clone(&conn);
+                    let stats = Arc::clone(&stats);
+                    let reactor = Arc::clone(&reactor);
+                    let closing = Arc::clone(&closing);
+                    let tasks = Arc::clone(&tasks);
+                    handle.spawn(async move {
+                        handle_v2_request(env, service, &conn, &stats, &reactor, &closing, config)
+                            .await;
+                        conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                        tasks.fetch_sub(1, Ordering::SeqCst);
+                    });
+                } else {
+                    // v1: inline and strictly in order — the guarantee
+                    // id-less pipelining depends on, preserved
+                    // byte-identically.
+                    let Ok(resp) =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_frame(&frame)))
+                    else {
+                        conn.kill();
+                        break;
+                    };
+                    conn.lock_writer().queue(resp);
+                    if drive_flush(&conn, &reactor, &closing).await {
+                        stats.served.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        break;
+                    }
+                }
+            }
         }
+    }
+    // Let in-flight v2 handlers finish writing their replies before the
+    // connection task retires (a peer may half-close after sending its
+    // requests and still read the answers). A dead or closing connection
+    // skips the grace.
+    rt_io(&reactor, || {
+        if closing.load(Ordering::SeqCst) || conn.dead.load(Ordering::SeqCst) {
+            return IoPoll::Ready(());
+        }
+        if conn.inflight.load(Ordering::SeqCst) == 0 && !conn.lock_writer().pending() {
+            return IoPoll::Ready(());
+        }
+        IoPoll::WouldBlock
+    })
+    .await;
+}
+
+/// One v2 request's handler task: serve, enqueue the tagged reply, shed
+/// the connection if the write queue overflows, flush otherwise.
+async fn handle_v2_request(
+    env: RequestEnvelope,
+    service: Arc<dyn Service>,
+    conn: &Arc<Conn>,
+    stats: &ServerStats,
+    reactor: &Arc<ritm_rt::Reactor>,
+    closing: &Arc<AtomicBool>,
+    config: EventServerConfig,
+) {
+    // A panicking service request costs only its own connection — the
+    // executor also guards the worker, but killing the connection here
+    // keeps the peer from waiting on a reply that will never come.
+    let Ok(reply) = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_envelope(env)))
+    else {
+        conn.kill();
+        return;
+    };
+    let overflow = {
+        let mut w = conn.lock_writer();
+        w.queue(reply);
+        w.buffered_bytes() > config.max_buffered_bytes
+    };
+    if overflow {
+        // Write-queue backpressure: the peer is not reading fast enough
+        // to be worth buffering for. There is no way to *send* a typed
+        // error into a full pipe — shedding the connection is the signal.
+        stats.overflow_drops.fetch_add(1, Ordering::Relaxed);
+        conn.kill();
+        return;
+    }
+    if drive_flush(conn, reactor, closing).await {
         stats.served.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Drives the connection's shared write queue until empty. Several tasks
+/// may drive concurrently; whoever holds the lock makes progress and a
+/// queue another task already drained completes immediately. Returns
+/// `false` when the connection died or the server is closing.
+async fn drive_flush(
+    conn: &Arc<Conn>,
+    reactor: &Arc<ritm_rt::Reactor>,
+    closing: &Arc<AtomicBool>,
+) -> bool {
+    rt_io(reactor, || {
+        if closing.load(Ordering::SeqCst) || conn.dead.load(Ordering::SeqCst) {
+            return IoPoll::Ready(false);
+        }
+        let mut w = conn.lock_writer();
+        match w.poll_write(&mut &conn.stream) {
+            FrameWrite::Done => IoPoll::Ready(true),
+            FrameWrite::WouldBlock => IoPoll::WouldBlock,
+            FrameWrite::Err(_) => {
+                drop(w);
+                conn.kill();
+                IoPoll::Ready(false)
+            }
+        }
+    })
+    .await
 }
 
 /// How long a client flight may wait without any socket progress before
@@ -218,31 +576,69 @@ const CLIENT_DEADLINE: Duration = Duration::from_secs(30);
 /// Client-side sleep while the socket is not ready in either direction.
 const CLIENT_POLL_INTERVAL: Duration = Duration::from_micros(200);
 
+/// What envelope version the peer has been observed to speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerVersion {
+    /// Nothing observed yet: the next flight probes v2.
+    Unknown,
+    /// The peer answered v2 frames in v2: multiplexed from here on.
+    V2,
+    /// The peer rejected v2 (or was pinned): in-order v1, byte-identical
+    /// to the id-less pipelining path.
+    V1,
+}
+
 /// The non-blocking client: one connection, pipelined round trips.
 ///
 /// [`Transport::round_trip`] behaves like the blocking client; the payoff
 /// is [`Transport::round_trip_many`], which keeps every request of a batch
-/// in flight at once.
+/// in flight at once. Against a v2 server the batch is **multiplexed**:
+/// each request carries a fresh id and replies are correlated by the
+/// echoed id, so they may complete in any order. Against a v1 server the
+/// first flight triggers a transparent fallback (the server answers every
+/// v2 frame with a v1 `UnsupportedVersion` error, in order; the client
+/// drains them, pins v1, and re-sends the flight id-less) and every
+/// subsequent flight is byte-identical to the pre-v2 pipelining client.
 ///
 /// Any transport-level failure (EOF, I/O error, deadline) **poisons the
-/// connection**: without request IDs in the envelope, a late reply to a
-/// failed flight could otherwise be misattributed to the next flight's
-/// requests. Every later call fails immediately — reconnect to recover.
+/// connection**: the stream may be mid-frame, so it must never be reused.
+/// Every later call fails immediately — reconnect to recover.
 pub struct EventTransport {
     stream: TcpStream,
     reader: FrameReader,
     /// Set after any transport-level failure; the stream may hold
     /// misaligned bytes, so it must never be reused.
     broken: bool,
+    peer: PeerVersion,
+    /// Next request id to assign (wrapping; uniqueness only matters
+    /// within one flight, where ids are consecutive).
+    next_id: u32,
 }
 
 impl EventTransport {
-    /// Connects to an [`EventServer`] (or any frame-speaking server).
+    /// Connects to an [`EventServer`] (or any frame-speaking server). The
+    /// first flight probes envelope v2 and negotiates down transparently
+    /// if the server only speaks v1.
     ///
     /// # Errors
     ///
     /// Propagates connect failures.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_as(addr, PeerVersion::Unknown)
+    }
+
+    /// Connects pinned to envelope v1: no probe, in-order pipelining,
+    /// byte-identical to the pre-v2 client. For peers known to be v1-only
+    /// (or for measuring the in-order baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_pinned_v1(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_as(addr, PeerVersion::V1)
+    }
+
+    fn connect_as(addr: SocketAddr, peer: PeerVersion) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
@@ -250,6 +646,8 @@ impl EventTransport {
             stream,
             reader: FrameReader::new(MAX_FRAME_LEN),
             broken: false,
+            peer,
+            next_id: 1,
         })
     }
 
@@ -258,11 +656,17 @@ impl EventTransport {
         self.broken
     }
 
-    /// Runs one pipelined flight: queues every request frame onto the wire
-    /// and decodes responses as they stream back, in request order. Each
-    /// response's latency is charged since the previous response arrived
-    /// (the first since flight start), so the flight's summed latency is
-    /// its wall-clock duration — comparable across transports.
+    /// The envelope version negotiated with the peer: `None` before the
+    /// first flight, then `Some(2)` (multiplexed) or `Some(1)` (in-order).
+    pub fn negotiated_version(&self) -> Option<u8> {
+        match self.peer {
+            PeerVersion::Unknown => None,
+            PeerVersion::V2 => Some(PROTOCOL_V2),
+            PeerVersion::V1 => Some(PROTOCOL_VERSION),
+        }
+    }
+
+    /// Runs one flight, dispatched on the negotiated envelope version.
     fn flight(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
         if self.broken {
             return reqs
@@ -275,6 +679,203 @@ impl EventTransport {
                 })
                 .collect();
         }
+        match self.peer {
+            PeerVersion::V1 => self.flight_in_order(reqs),
+            PeerVersion::Unknown | PeerVersion::V2 => self.flight_multiplexed(reqs),
+        }
+    }
+
+    /// The multiplexed flight: every request tagged with a consecutive
+    /// id, replies routed into their slot by the echoed id as they
+    /// arrive — in any order. Falls back to [`Self::flight_in_order`]
+    /// (re-sending the whole flight) when an unknown peer turns out to
+    /// speak only v1.
+    fn flight_multiplexed(
+        &mut self,
+        reqs: &[RitmRequest],
+    ) -> Vec<Result<RoundTrip, TransportError>> {
+        let n = reqs.len();
+        let base = self.next_id;
+        self.next_id = self.next_id.wrapping_add(n as u32);
+        let mut writer = FrameWriter::new();
+        let mut request_lens = Vec::with_capacity(n);
+        for (i, req) in reqs.iter().enumerate() {
+            let frame = req.to_frame_v2(base.wrapping_add(i as u32));
+            request_lens.push(frame.len() as u64);
+            writer.queue(frame);
+        }
+        let mut slots: Vec<Option<Result<RoundTrip, TransportError>>> =
+            (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        let mut fallback = false;
+        let mut failed = false;
+        // First unfilled slot gets the specific failure; the rest a
+        // generic one (an unattributable stream failure fails the whole
+        // flight — there is no id to blame).
+        let fail_all = |slots: &mut Vec<Option<Result<RoundTrip, TransportError>>>,
+                        first: TransportError| {
+            let mut first = Some(first);
+            for slot in slots.iter_mut().filter(|s| s.is_none()) {
+                *slot = Some(Err(first.take().unwrap_or(TransportError::NoResponse)));
+            }
+        };
+        // The deadline is on socket *progress* (bytes written or a frame
+        // arrived), not total flight time: a large flight streaming
+        // steadily must never trip it.
+        let mut last_progress = Instant::now();
+        let mut last_reply = last_progress;
+        while received < n {
+            let mut progress = false;
+            // Keep pushing request frames while the socket accepts them...
+            let written_before = writer.written();
+            match writer.poll_write(&mut self.stream) {
+                FrameWrite::Done | FrameWrite::WouldBlock => {
+                    progress |= writer.written() > written_before;
+                }
+                FrameWrite::Err(e) => {
+                    fail_all(&mut slots, TransportError::Io(e));
+                    failed = true;
+                    break;
+                }
+            }
+            // ...while draining responses, so a server that fills its send
+            // buffer before we finish writing can never deadlock us.
+            let mut got_frame = false;
+            match self.reader.poll_frame(&mut self.stream) {
+                FrameRead::Frame(reply) => {
+                    progress = true;
+                    got_frame = true;
+                    received += 1;
+                    let now = Instant::now();
+                    let latency = SimDuration::from_micros((now - last_reply).as_micros() as u64);
+                    last_reply = now;
+                    let decoded = split_frame(&reply)
+                        .map_err(TransportError::from)
+                        .and_then(|(body, _)| RitmResponse::decode_envelope(body));
+                    match decoded {
+                        Err(e) => {
+                            fail_all(&mut slots, e);
+                            failed = true;
+                            break;
+                        }
+                        Ok((version, id, response)) => {
+                            if fallback {
+                                // Draining the v1 server's in-order error
+                                // replies to the rest of the probe flight;
+                                // only their arrival matters.
+                                if version >= PROTOCOL_V2 {
+                                    fail_all(
+                                        &mut slots,
+                                        TransportError::VersionMismatch { got: version },
+                                    );
+                                    failed = true;
+                                    break;
+                                }
+                            } else if version >= PROTOCOL_V2 {
+                                self.peer = PeerVersion::V2;
+                                // Ids are consecutive from `base`, so the
+                                // slot index is a subtraction away.
+                                let idx = id.wrapping_sub(base) as usize;
+                                if idx >= n || slots[idx].is_some() {
+                                    fail_all(
+                                        &mut slots,
+                                        TransportError::Io(std::io::Error::new(
+                                            ErrorKind::InvalidData,
+                                            "reply carries an id this flight never sent",
+                                        )),
+                                    );
+                                    failed = true;
+                                    break;
+                                }
+                                slots[idx] = Some(Ok(RoundTrip {
+                                    response,
+                                    meta: TransportMeta {
+                                        request_bytes: request_lens[idx],
+                                        response_bytes: reply.len() as u64,
+                                        latency,
+                                    },
+                                }));
+                            } else if self.peer == PeerVersion::Unknown
+                                && matches!(
+                                    response,
+                                    RitmResponse::Error(ProtoError::UnsupportedVersion {
+                                        requested: PROTOCOL_V2,
+                                        ..
+                                    })
+                                )
+                            {
+                                // The peer is v1-only: keep draining its
+                                // in-order rejections, then re-send the
+                                // flight id-less.
+                                fallback = true;
+                            } else {
+                                // A v1 reply from a server that already
+                                // spoke v2 (or a non-negotiation v1 reply
+                                // to a v2 probe): protocol violation.
+                                fail_all(
+                                    &mut slots,
+                                    TransportError::VersionMismatch { got: version },
+                                );
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                FrameRead::WouldBlock => {}
+                FrameRead::Eof => {
+                    fail_all(&mut slots, TransportError::NoResponse);
+                    failed = true;
+                    break;
+                }
+                FrameRead::Err(e) => {
+                    fail_all(&mut slots, TransportError::Io(e));
+                    failed = true;
+                    break;
+                }
+            }
+            if progress {
+                last_progress = Instant::now();
+            }
+            if !got_frame && received < n {
+                if last_progress.elapsed() > CLIENT_DEADLINE {
+                    fail_all(&mut slots, TransportError::NoResponse);
+                    failed = true;
+                    break;
+                }
+                if !progress {
+                    std::thread::sleep(CLIENT_POLL_INTERVAL);
+                }
+            }
+        }
+        if failed {
+            // The stream may be mid-frame or hold replies to requests we
+            // already failed; poison the transport so no later flight can
+            // misattribute them.
+            self.broken = true;
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            return slots
+                .into_iter()
+                .map(|s| s.unwrap_or(Err(TransportError::NoResponse)))
+                .collect();
+        }
+        if fallback {
+            self.peer = PeerVersion::V1;
+            return self.flight_in_order(reqs);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.unwrap_or(Err(TransportError::NoResponse)))
+            .collect()
+    }
+
+    /// The in-order v1 flight: queues every request frame onto the wire
+    /// and decodes responses as they stream back, in request order —
+    /// byte-identical to the pre-v2 pipelining client. Each response's
+    /// latency is charged since the previous response arrived (the first
+    /// since flight start), so the flight's summed latency is its
+    /// wall-clock duration — comparable across transports.
+    fn flight_in_order(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
         let mut writer = FrameWriter::new();
         let mut request_lens = Vec::with_capacity(reqs.len());
         for req in reqs {
@@ -291,14 +892,11 @@ impl EventTransport {
                 results.push(Err(TransportError::Io(std::io::Error::new(kind, msg))));
             }
         };
-        // The deadline is on socket *progress* (bytes written or a frame
-        // arrived), not total flight time: a large flight streaming
-        // steadily must never trip it.
+        // Same progress-based deadline as the multiplexed flight.
         let mut last_progress = Instant::now();
         let mut last_reply = last_progress;
         while results.len() < reqs.len() {
             let mut progress = false;
-            // Keep pushing request frames while the socket accepts them...
             let written_before = writer.written();
             match writer.poll_write(&mut self.stream) {
                 FrameWrite::Done | FrameWrite::WouldBlock => {
@@ -310,8 +908,6 @@ impl EventTransport {
                     break;
                 }
             }
-            // ...while draining responses, so a server that fills its send
-            // buffer before we finish writing can never deadlock us.
             let mut got_frame = false;
             match self.reader.poll_frame(&mut self.stream) {
                 FrameRead::Frame(reply) => {
@@ -351,9 +947,6 @@ impl EventTransport {
             }
         }
         if results.iter().any(Result::is_err) {
-            // The stream may be mid-frame or hold replies to requests we
-            // already failed; poison the transport so no later flight can
-            // misattribute them.
             self.broken = true;
             let _ = self.stream.shutdown(std::net::Shutdown::Both);
         }
@@ -430,14 +1023,17 @@ mod tests {
         let server = EventServer::spawn(Arc::new(Nope), 2).unwrap();
         assert!(server.thread_count() <= 2);
         let mut t = EventTransport::connect(server.addr()).unwrap();
+        assert_eq!(t.negotiated_version(), None);
         let req = RitmRequest::GetManifest {
             ca: CaId::from_name("EvCA"),
         };
         for _ in 0..3 {
             let rt = t.round_trip(&req).unwrap();
             assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
-            assert_eq!(rt.meta.request_bytes as usize, req.to_frame().len());
+            // v2 frames carry 4 extra id bytes over the v1 baseline.
+            assert_eq!(rt.meta.request_bytes as usize, req.to_frame().len() + 4);
         }
+        assert_eq!(t.negotiated_version(), Some(PROTOCOL_V2));
         drop(t);
         assert_eq!(server.shutdown(), 3);
     }
@@ -460,9 +1056,9 @@ mod tests {
             assert_eq!(
                 rt.response,
                 RitmResponse::Error(ProtoError::UnknownCa(cas[i])),
-                "response {i} out of order"
+                "response {i} misrouted"
             );
-            assert_eq!(rt.meta.request_bytes as usize, reqs[i].to_frame().len());
+            assert_eq!(rt.meta.request_bytes as usize, reqs[i].to_frame_v2(0).len());
         }
         drop(t);
         assert_eq!(server.shutdown(), 16);
@@ -495,9 +1091,9 @@ mod tests {
         server.shutdown();
         assert!(t.round_trip(&req).is_err());
         assert!(t.is_broken());
-        // ...and without request IDs a poisoned connection must never be
-        // reused: later flights fail immediately instead of risking
-        // misattributed late replies.
+        // ...and a poisoned connection must never be reused (the stream
+        // may be mid-frame): later flights fail immediately instead of
+        // risking misattributed replies.
         let results = t.round_trip_many(std::slice::from_ref(&req));
         assert!(matches!(
             &results[0],
@@ -529,5 +1125,19 @@ mod tests {
         assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
         drop((t1, t2));
         server.shutdown();
+    }
+
+    #[test]
+    fn v1_pinned_transport_sends_baseline_frames() {
+        let server = EventServer::spawn(Arc::new(EchoCa), 2).unwrap();
+        let mut t = EventTransport::connect_pinned_v1(server.addr()).unwrap();
+        assert_eq!(t.negotiated_version(), Some(PROTOCOL_VERSION));
+        let ca = CaId::from_name("PinCA");
+        let req = RitmRequest::GetManifest { ca };
+        let rt = t.round_trip(&req).unwrap();
+        assert_eq!(rt.response, RitmResponse::Error(ProtoError::UnknownCa(ca)));
+        assert_eq!(rt.meta.request_bytes as usize, req.to_frame().len());
+        drop(t);
+        assert_eq!(server.shutdown(), 1);
     }
 }

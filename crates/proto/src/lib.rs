@@ -7,10 +7,11 @@
 //! real wire API:
 //!
 //! * [`RitmRequest`] / [`RitmResponse`] — versioned, length-delimited
-//!   envelopes (`u32 length ‖ version ‖ kind ‖ fields`) with a typed
-//!   [`ProtoError`] taxonomy and explicit version negotiation. Decoding is
-//!   `check_count`-hardened: forged counts and truncated frames yield
-//!   errors, never panics or oversized allocations.
+//!   envelopes (v1: `u32 length ‖ version ‖ kind ‖ fields`; v2 adds a
+//!   per-frame `request_id` echoed on the response, enabling out-of-order
+//!   completion) with a typed [`ProtoError`] taxonomy and explicit version
+//!   negotiation. Decoding is `check_count`-hardened: forged counts and
+//!   truncated frames yield errors, never panics or oversized allocations.
 //! * [`Service`] — the transport-agnostic endpoint trait
 //!   (`fn handle(&self, RitmRequest) -> RitmResponse` from `&self`),
 //!   implemented by the CDN edge (`ritm-cdn`), the RA read path
@@ -22,8 +23,10 @@
 //!   blocking [`tcp::TcpTransport`] / [`tcp::TcpServer`] pair over real
 //!   `std::net` sockets with a bounded acceptor pool, and the non-blocking
 //!   [`event::EventTransport`] / [`event::EventServer`] pair that
-//!   multiplexes every connection onto a ≤2-thread `ritm-rt` runtime and
-//!   pipelines request batches ([`Transport::round_trip_many`]).
+//!   multiplexes every connection onto a ≤2-thread `ritm-rt` runtime
+//!   (shareable across several servers), keeps request batches in flight
+//!   at once ([`Transport::round_trip_many`]), and — on envelope v2 —
+//!   completes them out of order, correlated by request id.
 //!
 //! Byte accounting is exact and transport-invariant: a round trip reports
 //! the encoded frame sizes ([`TransportMeta`]), so the Fig. 7 download
@@ -39,10 +42,10 @@ pub mod tcp;
 pub mod transport;
 
 pub use error::{ProtoError, TransportError};
-pub use event::{EventServer, EventTransport};
+pub use event::{EventServer, EventServerConfig, EventTransport};
 pub use message::{
-    split_frame, RitmRequest, RitmResponse, MAX_CHAIN_LEN, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION,
-    PROTOCOL_VERSION,
+    peek_request_envelope, split_frame, RequestEnvelope, RitmRequest, RitmResponse, MAX_CHAIN_LEN,
+    MAX_FRAME_LEN, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use payload::StatusPayload;
 pub use service::Service;

@@ -3,8 +3,9 @@
 //! Every message travels as one *frame*:
 //!
 //! ```text
-//! frame := u32 BE body length ‖ body
-//! body  := version (u8) ‖ kind (u8) ‖ fields
+//! frame    := u32 BE body length ‖ body
+//! body(v1) := version=1 (u8) ‖ kind (u8) ‖ fields
+//! body(v2) := version=2 (u8) ‖ request_id (u32 BE) ‖ kind (u8) ‖ fields
 //! ```
 //!
 //! The version byte comes first so that a server can always answer a frame
@@ -14,6 +15,16 @@
 //! responses. All field counts are validated against the bytes actually
 //! present (`check_count`) before sizing any allocation, so a forged count
 //! can never balloon memory or panic the decoder.
+//!
+//! **v2** adds a 4-byte `request_id` right after the version byte; the
+//! server echoes both back on the matching response. The id is opaque to
+//! the server (no uniqueness requirement — correlation is the client's
+//! problem), and it is what makes *out-of-order* completion safe: a
+//! multiplexed client matches replies by id instead of arrival order, so
+//! one slow request no longer head-of-line-blocks the rest of its
+//! connection. v1 remains fully supported and byte-identical to before —
+//! [`RitmRequest::to_frame`]/[`RitmResponse::to_frame`] still emit v1, and
+//! v1 peers negotiate down transparently (see `EventTransport`).
 
 use crate::error::{ProtoError, TransportError};
 use crate::payload::StatusPayload;
@@ -22,12 +33,23 @@ use ritm_dictionary::{
     CaId, FreshnessStatement, RefreshMessage, RevocationIssuance, SerialNumber, SignedRoot,
 };
 
-/// The protocol version this crate speaks (and emits in every envelope).
+/// The baseline protocol version: the id-less in-order envelope every
+/// peer speaks. [`RitmRequest::to_frame`]/[`RitmResponse::to_frame`] emit
+/// this version, byte-identical to every release since PR 4.
 pub const PROTOCOL_VERSION: u8 = 1;
 
-/// The oldest version this crate still accepts. Bump both constants
-/// together only on a breaking wire change.
+/// The multiplexed envelope: carries a per-frame `request_id` echoed on
+/// the response, enabling out-of-order completion. Emitted by
+/// [`RitmRequest::to_frame_v2`] / [`RitmResponse::to_frame_for`].
+pub const PROTOCOL_V2: u8 = 2;
+
+/// The oldest version this crate still accepts. Bump together with
+/// [`MAX_SUPPORTED_VERSION`] only on a breaking wire change.
 pub const MIN_SUPPORTED_VERSION: u8 = 1;
+
+/// The newest version this crate accepts (and reports in
+/// [`ProtoError::UnsupportedVersion`] as its ceiling).
+pub const MAX_SUPPORTED_VERSION: u8 = PROTOCOL_V2;
 
 /// Upper bound on one frame body. Generous enough for a full catch-up
 /// bundle (a million 20-byte serials), small enough that a hostile length
@@ -180,8 +202,11 @@ impl RitmRequest {
         }
     }
 
-    fn encode_body(&self, w: &mut Writer) {
-        w.u8(PROTOCOL_VERSION);
+    fn encode_body(&self, w: &mut Writer, version: u8, request_id: u32) {
+        w.u8(version);
+        if version >= PROTOCOL_V2 {
+            w.u32(request_id);
+        }
         match self {
             RitmRequest::FetchDelta { ca } => {
                 w.u8(REQ_FETCH_DELTA);
@@ -222,35 +247,53 @@ impl RitmRequest {
         }
     }
 
-    /// Encodes the full frame (`u32` length prefix + versioned body),
-    /// pre-sized to [`RitmRequest::encoded_len`] plus the prefix.
+    /// Encodes the baseline v1 frame (`u32` length prefix + versioned
+    /// body), pre-sized to [`RitmRequest::encoded_len`] plus the prefix.
+    /// Byte-identical to every pre-v2 release.
     pub fn to_frame(&self) -> Vec<u8> {
         let body_len = self.encoded_len();
         let mut w = Writer::with_capacity(4 + body_len);
         w.u32(body_len as u32);
-        self.encode_body(&mut w);
+        self.encode_body(&mut w, PROTOCOL_VERSION, 0);
+        debug_assert_eq!(w.len(), 4 + body_len);
+        w.into_bytes()
+    }
+
+    /// Encodes the multiplexed v2 frame, tagging the body with
+    /// `request_id` (echoed back on the matching response).
+    pub fn to_frame_v2(&self, request_id: u32) -> Vec<u8> {
+        let body_len = 4 + self.encoded_len();
+        let mut w = Writer::with_capacity(4 + body_len);
+        w.u32(body_len as u32);
+        self.encode_body(&mut w, PROTOCOL_V2, request_id);
         debug_assert_eq!(w.len(), 4 + body_len);
         w.into_bytes()
     }
 
     /// Decodes a request frame *body* (without the length prefix), applying
-    /// version negotiation.
+    /// version negotiation. Accepts both envelope versions; a v2 body's
+    /// request id is skipped — use [`RequestEnvelope::decode`] to keep it.
     ///
     /// # Errors
     ///
     /// [`ProtoError::UnsupportedVersion`] when the version byte is outside
-    /// `[MIN_SUPPORTED_VERSION, PROTOCOL_VERSION]`;
+    /// `[MIN_SUPPORTED_VERSION, MAX_SUPPORTED_VERSION]`;
     /// [`ProtoError::Malformed`] on any decode failure (never panics).
     pub fn decode_body(body: &[u8]) -> Result<Self, ProtoError> {
         let mut r = Reader::new(body);
         let version = r.u8("request version").map_err(|e| ProtoError::Malformed {
             offset: e.offset as u32,
         })?;
-        if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        if !(MIN_SUPPORTED_VERSION..=MAX_SUPPORTED_VERSION).contains(&version) {
             return Err(ProtoError::UnsupportedVersion {
                 requested: version,
-                supported: PROTOCOL_VERSION,
+                supported: MAX_SUPPORTED_VERSION,
             });
+        }
+        if version >= PROTOCOL_V2 {
+            r.u32("request id").map_err(|e| ProtoError::Malformed {
+                offset: e.offset as u32,
+            })?;
         }
         Self::decode_fields(&mut r).map_err(|e| ProtoError::Malformed {
             offset: e.offset as u32,
@@ -300,6 +343,51 @@ impl RitmRequest {
     }
 }
 
+/// Best-effort peek at a request body's envelope header, for *tagging
+/// replies* — including error replies to bodies that do not decode.
+/// Returns the version the reply should be encoded in and the request id
+/// to echo (0 when the body carries none or is too short to tell). An
+/// unsupported future version maps to a v1 reply, exactly what a peer
+/// probing upward can always parse.
+pub fn peek_request_envelope(body: &[u8]) -> (u8, u32) {
+    match body.first() {
+        Some(&PROTOCOL_V2) if body.len() >= 5 => (
+            PROTOCOL_V2,
+            u32::from_be_bytes(body[1..5].try_into().expect("4 bytes")),
+        ),
+        _ => (PROTOCOL_VERSION, 0),
+    }
+}
+
+/// One decoded request envelope: the version to answer in, the request id
+/// to echo, and the decode outcome (a typed error, never a panic). This is
+/// what an out-of-order server spawns a handler task around — the reply
+/// tag survives even when the body is garbage.
+#[derive(Debug)]
+pub struct RequestEnvelope {
+    /// Version the reply must be encoded in (the request's own version,
+    /// or v1 when the request's version is unsupported).
+    pub reply_version: u8,
+    /// Request id to echo (0 for v1 bodies).
+    pub request_id: u32,
+    /// The decoded request, or the typed error to answer with.
+    pub request: Result<RitmRequest, ProtoError>,
+}
+
+impl RequestEnvelope {
+    /// Decodes a request frame *body* (without the length prefix),
+    /// keeping the reply tag. Never fails: an undecodable body yields an
+    /// envelope whose `request` is the typed error to send back.
+    pub fn decode(body: &[u8]) -> Self {
+        let (reply_version, request_id) = peek_request_envelope(body);
+        RequestEnvelope {
+            reply_version,
+            request_id,
+            request: RitmRequest::decode_body(body),
+        }
+    }
+}
+
 impl RitmResponse {
     /// Short name of the response kind (for logs and metrics).
     pub fn kind_name(&self) -> &'static str {
@@ -332,8 +420,11 @@ impl RitmResponse {
         }
     }
 
-    fn encode_body(&self, w: &mut Writer) {
-        w.u8(PROTOCOL_VERSION);
+    fn encode_body(&self, w: &mut Writer, version: u8, request_id: u32) {
+        w.u8(version);
+        if version >= PROTOCOL_V2 {
+            w.u32(request_id);
+        }
         match self {
             RitmResponse::Delta(iss) => {
                 w.u8(RESP_DELTA);
@@ -371,18 +462,28 @@ impl RitmResponse {
         }
     }
 
-    /// Encodes the full frame (`u32` length prefix + versioned body),
-    /// pre-sized to [`RitmResponse::encoded_len`] plus the prefix.
+    /// Encodes the baseline v1 frame (`u32` length prefix + versioned
+    /// body), pre-sized to [`RitmResponse::encoded_len`] plus the prefix.
+    /// Byte-identical to every pre-v2 release.
     pub fn to_frame(&self) -> Vec<u8> {
-        let body_len = self.encoded_len();
+        self.to_frame_for(PROTOCOL_VERSION, 0)
+    }
+
+    /// Encodes the frame in the given envelope `version` — the reply tag a
+    /// server got from [`RequestEnvelope`] — echoing `request_id` when the
+    /// version carries one.
+    pub fn to_frame_for(&self, version: u8, request_id: u32) -> Vec<u8> {
+        let body_len = self.encoded_len() + if version >= PROTOCOL_V2 { 4 } else { 0 };
         let mut w = Writer::with_capacity(4 + body_len);
         w.u32(body_len as u32);
-        self.encode_body(&mut w);
+        self.encode_body(&mut w, version, request_id);
         debug_assert_eq!(w.len(), 4 + body_len);
         w.into_bytes()
     }
 
     /// Decodes a response frame *body* (without the length prefix).
+    /// Accepts both envelope versions; a v2 body's echoed request id is
+    /// skipped — use [`RitmResponse::decode_envelope`] to correlate.
     ///
     /// # Errors
     ///
@@ -390,12 +491,28 @@ impl RitmResponse {
     /// version this client cannot parse; [`TransportError::BadResponse`] on
     /// any decode failure (never panics).
     pub fn decode_body(body: &[u8]) -> Result<Self, TransportError> {
+        Self::decode_envelope(body).map(|(_, _, resp)| resp)
+    }
+
+    /// Decodes a response frame *body*, returning the envelope version,
+    /// the echoed request id (0 for v1), and the response — what a
+    /// multiplexed client needs to route replies arriving out of order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RitmResponse::decode_body`].
+    pub fn decode_envelope(body: &[u8]) -> Result<(u8, u32, Self), TransportError> {
         let mut r = Reader::new(body);
         let version = r.u8("response version")?;
-        if !(MIN_SUPPORTED_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        if !(MIN_SUPPORTED_VERSION..=MAX_SUPPORTED_VERSION).contains(&version) {
             return Err(TransportError::VersionMismatch { got: version });
         }
-        Ok(Self::decode_fields(&mut r)?)
+        let request_id = if version >= PROTOCOL_V2 {
+            r.u32("echoed request id")?
+        } else {
+            0
+        };
+        Ok((version, request_id, Self::decode_fields(&mut r)?))
     }
 
     fn decode_fields(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -489,9 +606,53 @@ mod tests {
             RitmRequest::decode_body(body),
             Err(ProtoError::UnsupportedVersion {
                 requested: 9,
-                supported: PROTOCOL_VERSION,
+                supported: MAX_SUPPORTED_VERSION,
             })
         );
+        // The reply tag for an unsupported version falls back to v1/id 0 —
+        // the one envelope any probing peer can parse.
+        assert_eq!(peek_request_envelope(body), (PROTOCOL_VERSION, 0));
+    }
+
+    #[test]
+    fn v2_frames_carry_and_echo_the_request_id() {
+        let req = RitmRequest::GetStatus {
+            ca: CaId::from_name("IdCA"),
+            serial: SerialNumber::from_u24(3),
+        };
+        let frame = req.to_frame_v2(0xDEAD_BEEF);
+        assert_eq!(frame.len(), 4 + 4 + req.encoded_len(), "v2 adds 4 bytes");
+        let (body, _) = split_frame(&frame).unwrap();
+        assert_eq!(peek_request_envelope(body), (PROTOCOL_V2, 0xDEAD_BEEF));
+        let env = RequestEnvelope::decode(body);
+        assert_eq!(env.reply_version, PROTOCOL_V2);
+        assert_eq!(env.request_id, 0xDEAD_BEEF);
+        assert_eq!(env.request, Ok(req));
+
+        let resp = RitmResponse::Error(ProtoError::NotFound);
+        let reply = resp.to_frame_for(PROTOCOL_V2, 0xDEAD_BEEF);
+        let (rbody, _) = split_frame(&reply).unwrap();
+        assert_eq!(
+            RitmResponse::decode_envelope(rbody).unwrap(),
+            (PROTOCOL_V2, 0xDEAD_BEEF, resp.clone())
+        );
+        // The id-skipping decoder still accepts the same bytes.
+        assert_eq!(RitmResponse::decode_body(rbody).unwrap(), resp);
+        // And the v1 framing of the same response is byte-identical to the
+        // id-less encoder — negotiation down costs nothing.
+        assert_eq!(resp.to_frame_for(PROTOCOL_VERSION, 77), resp.to_frame());
+    }
+
+    #[test]
+    fn truncated_v2_header_is_malformed_with_a_v1_reply_tag() {
+        // Version byte says v2 but the id is cut short: decodable only as
+        // an error, and the reply tag must fall back to v1/id 0 (there is
+        // no id to echo).
+        let body = [PROTOCOL_V2, 0x01, 0x02];
+        assert_eq!(peek_request_envelope(&body), (PROTOCOL_VERSION, 0));
+        let env = RequestEnvelope::decode(&body);
+        assert_eq!(env.reply_version, PROTOCOL_VERSION);
+        assert!(matches!(env.request, Err(ProtoError::Malformed { .. })));
     }
 
     #[test]

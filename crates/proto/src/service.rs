@@ -7,7 +7,7 @@
 //! `ritm-net` simulated path, or served from a real TCP acceptor pool, all
 //! without caring which.
 
-use crate::message::{split_frame, RitmRequest, RitmResponse};
+use crate::message::{split_frame, RequestEnvelope, RitmRequest, RitmResponse, PROTOCOL_V2};
 use crate::ProtoError;
 use ritm_net::time::SimDuration;
 
@@ -33,31 +33,47 @@ pub trait Service: Send + Sync {
     /// transport funnels through, so version negotiation and malformed
     /// input are handled identically everywhere: an unsupported version or
     /// undecodable body yields a typed [`RitmResponse::Error`] frame —
-    /// never a panic, never a silent drop.
+    /// never a panic, never a silent drop. The reply is framed in the
+    /// request's own envelope version (v2 requests get their id echoed);
+    /// an unframeable input answers in v1, which every peer parses.
     fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
-        let resp = match split_frame(frame) {
-            Ok((body, _)) => match RitmRequest::decode_body(body) {
-                Ok(req) => self.handle(req),
-                Err(e) => RitmResponse::Error(e),
-            },
+        match split_frame(frame) {
+            Ok((body, _)) => self.handle_envelope(RequestEnvelope::decode(body)),
             Err(e) => RitmResponse::Error(ProtoError::Malformed {
                 offset: e.offset as u32,
-            }),
+            })
+            .to_frame(),
+        }
+    }
+
+    /// Serves one already-split envelope, producing the encoded response
+    /// frame tagged with the envelope's reply version and request id —
+    /// the unit an out-of-order server spawns per-request handler tasks
+    /// around ([`handle_frame`](Service::handle_frame) funnels here).
+    fn handle_envelope(&self, env: RequestEnvelope) -> Vec<u8> {
+        let resp = match env.request {
+            Ok(req) => self.handle(req),
+            Err(e) => RitmResponse::Error(e),
         };
         // A response the framing layer could never deliver (e.g. a
         // catch-up bundle past MAX_FRAME_LEN) must degrade to a typed
         // error, not an unparseable frame on the peer's side. The error
         // names both sizes so the client can tell "shrink your ask"
         // (chunked catch-up) apart from a generic server fault.
-        let encoded = resp.encoded_len();
+        let overhead = if env.reply_version >= PROTOCOL_V2 {
+            4
+        } else {
+            0
+        };
+        let encoded = resp.encoded_len() + overhead;
         if encoded > crate::message::MAX_FRAME_LEN {
             return RitmResponse::Error(ProtoError::ResponseTooLarge {
                 len: encoded as u64,
                 max: crate::message::MAX_FRAME_LEN as u64,
             })
-            .to_frame();
+            .to_frame_for(env.reply_version, env.request_id);
         }
-        resp.to_frame()
+        resp.to_frame_for(env.reply_version, env.request_id)
     }
 }
 
@@ -135,6 +151,24 @@ mod tests {
                 len: expected_len,
                 max: crate::message::MAX_FRAME_LEN as u64,
             })
+        );
+    }
+
+    #[test]
+    fn v2_frame_reply_echoes_version_and_request_id() {
+        let frame = RitmRequest::FetchDelta {
+            ca: CaId::from_name("SvcCA"),
+        }
+        .to_frame_v2(42);
+        let resp_frame = Stub.handle_frame(&frame);
+        let (body, _) = split_frame(&resp_frame).unwrap();
+        assert_eq!(
+            RitmResponse::decode_envelope(body).unwrap(),
+            (
+                PROTOCOL_V2,
+                42,
+                RitmResponse::Error(ProtoError::Unsupported)
+            )
         );
     }
 

@@ -7,7 +7,11 @@
 //! `read frame → Service::handle_frame → write frame` until its client
 //! closes. [`TcpTransport`] is the matching blocking client. Frames on the
 //! socket are byte-identical to the loopback and simulator transports —
-//! the same `u32 length ‖ version ‖ kind ‖ fields` envelopes.
+//! the same `u32 length ‖ version ‖ kind ‖ fields` envelopes. This
+//! blocking pair stays on the v1 baseline deliberately: one request in
+//! flight per connection needs no request ids, and keeping it id-less
+//! preserves the reference byte counts the v2 event stack is measured
+//! against (and negotiates down to).
 
 use crate::error::TransportError;
 use crate::message::{split_frame, RitmRequest, RitmResponse, MAX_FRAME_LEN};

@@ -137,6 +137,9 @@ pub fn responses(rng: &mut StdRng) -> Vec<RitmResponse> {
                 len: rng.gen(),
                 max: rng.gen(),
             },
+            ProtoError::IdleTimeout {
+                after_ms: rng.gen(),
+            },
         ]
         .map(RitmResponse::Error),
     );

@@ -2,7 +2,11 @@
 //! on ≤2 OS threads serves ≥64 *simultaneously connected* OS-socket
 //! clients — 8× the blocking `proto-smoke` scenario, which needs a thread
 //! per connection — with every response validating cryptographically,
-//! pipelined flights preserving order, and zero transport failures.
+//! pipelined flights preserving order, and zero transport failures. Plus
+//! the idle-cost half of the story: 1k+ concurrent connections parked on
+//! one shared runtime decay the reactor tick to its 50ms ceiling (no
+//! sub-millisecond sweeps while nothing is ready), and a live request
+//! snaps the tick back.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,4 +119,114 @@ fn sixty_four_concurrent_clients_on_two_threads() {
     let stats = service.server().cache_stats();
     assert_eq!(stats.hits + stats.misses, served);
     assert!(stats.hits > 0, "hot serials must hit the cache: {stats:?}");
+}
+
+const IDLE_CLIENTS: usize = 1024;
+
+#[test]
+fn a_thousand_idle_connections_cost_no_busy_ticks() {
+    use ritm_dictionary::CaId;
+    use ritm_proto::event::EventServerConfig;
+    use ritm_proto::ProtoError;
+
+    struct Nope;
+    impl Service for Nope {
+        fn handle(&self, _req: RitmRequest) -> RitmResponse {
+            RitmResponse::Error(ProtoError::NotFound)
+        }
+    }
+
+    // One SHARED runtime; the server rides on it, so the runtime's
+    // reactor stats describe exactly this workload.
+    let runtime = ritm_rt::Runtime::new(2);
+    let handle = runtime.handle();
+    let server =
+        EventServer::spawn_on(Arc::new(Nope), &handle, EventServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // 1k+ OS-socket clients connect and then say nothing: every one is a
+    // parked task, not a thread. Connects are throttled to the kernel
+    // accept backlog so none stalls in SYN retransmission.
+    let mut conns = Vec::with_capacity(IDLE_CLIENTS);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    for i in 0..IDLE_CLIENTS {
+        conns.push(std::net::TcpStream::connect(addr).expect("connect idle client"));
+        if i % 64 == 0 {
+            while (server.open_connections() as usize) + 96 < i {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "accept stalled at {i}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+    while (server.open_connections() as usize) < IDLE_CLIENTS {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {} of {IDLE_CLIENTS} accepted",
+            server.open_connections()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Let the idle streak decay the tick to its ceiling (500µs doubling
+    // to 50ms takes ~7 sweeps ≈ 120ms; give it a comfortable margin).
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let reactor = handle.reactor();
+    let before = reactor.stats();
+    assert!(
+        before.parked >= 64,
+        "expected ≥64 parked connection tasks, saw {}",
+        before.parked
+    );
+    std::thread::sleep(std::time::Duration::from_secs(1));
+    let after = reactor.stats();
+
+    let sweeps = after.sweeps - before.sweeps;
+    let backoff = after.backoff_sweeps - before.backoff_sweeps;
+    // At the 50ms ceiling, two phase-aligned workers perform ≲ 2 sweeps
+    // per period — call it ≤120/s with scheduling jitter. The old fixed
+    // 500µs tick did ~4000/s: this is the idle-CPU win.
+    assert!(
+        sweeps <= 120,
+        "idle runtime swept {sweeps}× in 1s — backoff did not engage"
+    );
+    assert!(backoff > 0, "no sweep ever reached the backoff ceiling");
+    // Every sweep in the window ran at the ceiling: none was sub-ms.
+    assert_eq!(
+        sweeps, backoff,
+        "a fully idle runtime must only sweep at the decayed interval"
+    );
+    assert!(
+        after.last_interval_micros >= 10_000,
+        "last sweep interval {}µs is not decayed",
+        after.last_interval_micros
+    );
+
+    // Snap-back: one live request on a fresh connection is answered
+    // promptly (the ready task marks activity and the tick recovers).
+    let mut t = EventTransport::connect(addr).unwrap();
+    let started = std::time::Instant::now();
+    let rt = t
+        .round_trip(&RitmRequest::GetManifest {
+            ca: CaId::from_name("IdleCA"),
+        })
+        .expect("idle runtime still serves");
+    assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "snap-back took {:?}",
+        started.elapsed()
+    );
+    let awake = reactor.stats();
+    assert!(
+        awake.activity_marks > after.activity_marks,
+        "serving a request must mark reactor activity"
+    );
+
+    drop(t);
+    drop(conns);
+    server.shutdown();
+    runtime.shutdown();
 }

@@ -1,12 +1,17 @@
 //! Property tests for the wire envelopes: every request/response variant
-//! survives `decode(encode(x)) == x` bit-exactly, and no truncation or
-//! byte corruption of a frame can panic the decoder — the same
-//! `check_count` discipline the dictionary wire formats follow.
+//! survives `decode(encode(x)) == x` bit-exactly — in the v1 envelope and
+//! in the request-id-carrying v2 envelope — and no truncation or byte
+//! corruption of a frame can panic the decoder (or the best-effort
+//! `peek_request_envelope` reply tagger) — the same `check_count`
+//! discipline the dictionary wire formats follow.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ritm_proto::{split_frame, ProtoError, RitmRequest, RitmResponse, TransportError};
+use ritm_proto::{
+    peek_request_envelope, split_frame, ProtoError, RequestEnvelope, RitmRequest, RitmResponse,
+    TransportError, PROTOCOL_V2,
+};
 
 mod common;
 use common::{requests, responses};
@@ -40,6 +45,102 @@ proptest! {
             prop_assert!(rest.is_empty());
             let back = RitmResponse::decode_body(body).expect("round trip");
             prop_assert_eq!(back, resp);
+        }
+    }
+
+    /// decode(encode(x)) == x for every variant in the v2 envelope, with
+    /// the request id carried and echoed bit-exactly — and a v2 frame is
+    /// its v1 twin plus exactly the 4 id bytes, nothing else.
+    #[test]
+    fn v2_envelope_round_trips_with_request_id(seed in any::<u64>(), id in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for req in requests(&mut rng) {
+            let frame = req.to_frame_v2(id);
+            prop_assert_eq!(frame.len(), req.to_frame().len() + 4);
+            let (body, rest) = split_frame(&frame).expect("self-framed");
+            prop_assert!(rest.is_empty());
+            prop_assert_eq!(peek_request_envelope(body), (PROTOCOL_V2, id));
+            let env = RequestEnvelope::decode(body);
+            prop_assert_eq!(env.reply_version, PROTOCOL_V2);
+            prop_assert_eq!(env.request_id, id);
+            prop_assert_eq!(env.request.expect("round trip"), req);
+        }
+        for resp in responses(&mut rng) {
+            let frame = resp.to_frame_for(PROTOCOL_V2, id);
+            prop_assert_eq!(frame.len(), resp.to_frame().len() + 4);
+            let (body, rest) = split_frame(&frame).expect("self-framed");
+            prop_assert!(rest.is_empty());
+            let (version, back_id, back) =
+                RitmResponse::decode_envelope(body).expect("round trip");
+            prop_assert_eq!(version, PROTOCOL_V2);
+            prop_assert_eq!(back_id, id);
+            prop_assert_eq!(back, resp);
+        }
+    }
+
+    /// Every strict truncation of a v2 request frame fails to decode as a
+    /// typed error — and the reply tagger never panics on the stump,
+    /// degrading to a v1 tag whenever the id bytes are gone.
+    #[test]
+    fn truncated_v2_frames_always_error_and_tag_safely(seed in any::<u64>(), id in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for req in requests(&mut rng) {
+            let frame = req.to_frame_v2(id);
+            for cut in 0..frame.len() {
+                let t = &frame[..cut];
+                if let Ok((body, _)) = split_frame(t) {
+                    // The tagger is total: a stump too short for an id
+                    // gets the v1 tag every peer can parse.
+                    let (version, _) = peek_request_envelope(body);
+                    if body.len() >= 5 && body[0] == PROTOCOL_V2 {
+                        prop_assert_eq!(version, PROTOCOL_V2);
+                    }
+                    let env = RequestEnvelope::decode(body);
+                    prop_assert!(
+                        env.request.is_err(),
+                        "v2 truncation to {} decoded", cut
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arbitrary corruption of v2 frames never panics the envelope
+    /// decoders or the reply tagger.
+    #[test]
+    fn corrupted_v2_frames_never_panic(seed in any::<u64>(), id in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reqs = requests(&mut rng);
+        let resps = responses(&mut rng);
+        let frames: Vec<Vec<u8>> = reqs
+            .iter()
+            .map(|r| r.to_frame_v2(id))
+            .chain(resps.iter().map(|r| r.to_frame_for(PROTOCOL_V2, id)))
+            .collect();
+        for frame in frames {
+            for _ in 0..16 {
+                let mut corrupt = frame.clone();
+                let flips = rng.gen_range(1usize..4);
+                for _ in 0..flips {
+                    let pos = rng.gen_range(0usize..corrupt.len());
+                    corrupt[pos] ^= rng.gen_range(1u8..=255);
+                }
+                if let Ok((body, _)) = split_frame(&corrupt) {
+                    let _ = peek_request_envelope(body);
+                    let env = RequestEnvelope::decode(body);
+                    match env.request {
+                        Ok(_) | Err(ProtoError::Malformed { .. }) => {}
+                        Err(ProtoError::UnsupportedVersion { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                    match RitmResponse::decode_envelope(body) {
+                        Ok(_)
+                        | Err(TransportError::BadResponse(_))
+                        | Err(TransportError::VersionMismatch { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+            }
         }
     }
 

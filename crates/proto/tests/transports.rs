@@ -5,9 +5,13 @@
 //! event-driven `EventServer`/`EventTransport` pair (non-blocking sockets,
 //! ≤2 server threads, pipelined flights) — and all four transports move
 //! byte-identical envelopes: same signed roots, same revocation verdicts,
-//! same request and response byte counts. Plus version negotiation: an
-//! unknown-version request yields a typed `ProtoError::UnsupportedVersion`
-//! response, never a panic or a silent drop.
+//! same request and response byte counts. The event lane runs twice: once
+//! negotiating envelope v2 (multiplexed, request-id tagged — every frame
+//! exactly 4 bytes larger in each direction, nothing else different) and
+//! once pinned to v1, which must be byte-identical to the baseline
+//! including every count. Plus version negotiation: an unknown-version
+//! request yields a typed `ProtoError::UnsupportedVersion` response, never
+//! a panic or a silent drop.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,7 +28,7 @@ use ritm_proto::sim::SimTransport;
 use ritm_proto::tcp::{TcpServer, TcpTransport};
 use ritm_proto::{
     split_frame, Loopback, ProtoError, RitmRequest, RitmResponse, Service, Transport,
-    PROTOCOL_VERSION,
+    MAX_SUPPORTED_VERSION,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -194,18 +198,25 @@ fn run_tcp() -> (PipelineOutcome, u64) {
     (outcome, served)
 }
 
-fn run_event() -> (PipelineOutcome, u64, usize) {
+fn run_event(pin_v1: bool) -> (PipelineOutcome, u64, usize) {
+    let connect = |addr| {
+        if pin_v1 {
+            EventTransport::connect_pinned_v1(addr)
+        } else {
+            EventTransport::connect(addr)
+        }
+    };
     let (ca, cdn, genesis) = build_world();
     let edge = Arc::new(EdgeService::new(cdn, Region::Europe, 99));
     edge.set_now(SimTime::from_secs(T0 + 2));
     let edge_server = EventServer::spawn(Arc::clone(&edge) as Arc<dyn Service>, 2).unwrap();
     let threads = edge_server.thread_count();
-    let edge_transport = EventTransport::connect(edge_server.addr()).unwrap();
+    let edge_transport = connect(edge_server.addr()).unwrap();
 
     let mut status_server_slot = None;
     let outcome = run_pipeline(&ca, genesis, edge_transport, |status| {
         let server = EventServer::spawn(Arc::new(status) as Arc<dyn Service>, 2).unwrap();
-        let t = EventTransport::connect(server.addr()).unwrap();
+        let t = connect(server.addr()).unwrap();
         status_server_slot = Some(server);
         t
     });
@@ -219,14 +230,40 @@ fn pipeline_is_transport_invariant() {
     let simulated = normalized(run_simulated());
     let (tcp, tcp_served) = run_tcp();
     let tcp = normalized(tcp);
-    let (event, event_served, event_threads) = run_event();
-    let event = normalized(event);
+    let (event, event_served, event_threads) = run_event(false);
+    let mut event = normalized(event);
+    let (event_v1, event_v1_served, _) = run_event(true);
+    let event_v1 = normalized(event_v1);
 
-    // Identical signed roots, verdicts, payload bytes, and byte counts —
-    // including the fourth, event-driven lane, whose sync flight was
-    // genuinely pipelined (delta + freshness in flight together).
+    // Identical signed roots, verdicts, payload bytes, and byte counts.
     assert_eq!(loopback, simulated);
     assert_eq!(loopback, tcp);
+
+    // The v1-pinned event lane is byte-identical to the baseline — the
+    // v2 envelope changed nothing for v1 peers, down to the last count.
+    assert_eq!(loopback, event_v1);
+    assert_eq!(event_v1_served, 5);
+
+    // The v2 event lane moved the exact same protocol bytes plus the
+    // 4-byte request id per frame, each direction: sync is two frames up
+    // and two down (+8/+8), a status fetch one each (+4/+4). Nothing but
+    // the envelope overhead may differ.
+    assert_eq!(
+        event.sync.bytes_uploaded,
+        loopback.sync.bytes_uploaded + 8,
+        "v2 sync upload must cost exactly one id per request frame"
+    );
+    assert_eq!(
+        event.sync.bytes_downloaded,
+        loopback.sync.bytes_downloaded + 8,
+        "v2 sync download must cost exactly one id per response frame"
+    );
+    assert_eq!(event.status_meta_bytes.0, loopback.status_meta_bytes.0 + 4);
+    assert_eq!(event.status_meta_bytes.1, loopback.status_meta_bytes.1 + 4);
+    event.sync.bytes_uploaded -= 8;
+    event.sync.bytes_downloaded -= 8;
+    event.status_meta_bytes.0 -= 4;
+    event.status_meta_bytes.1 -= 4;
     assert_eq!(loopback, event);
     assert_eq!(loopback.mirrored_root.size, 30);
     assert!(
@@ -262,7 +299,7 @@ fn unknown_version_yields_typed_error_on_every_transport() {
         RitmResponse::decode_body(body).unwrap(),
         RitmResponse::Error(ProtoError::UnsupportedVersion {
             requested: 42,
-            supported: PROTOCOL_VERSION,
+            supported: MAX_SUPPORTED_VERSION,
         })
     );
 
@@ -281,7 +318,7 @@ fn unknown_version_yields_typed_error_on_every_transport() {
             RitmResponse::decode_body(&body).unwrap(),
             RitmResponse::Error(ProtoError::UnsupportedVersion {
                 requested: 42,
-                supported: PROTOCOL_VERSION,
+                supported: MAX_SUPPORTED_VERSION,
             })
         );
         // And the connection stays usable for a well-formed retry at the
@@ -316,7 +353,7 @@ fn unknown_version_yields_typed_error_on_every_transport() {
             RitmResponse::decode_body(&body).unwrap(),
             RitmResponse::Error(ProtoError::UnsupportedVersion {
                 requested: 42,
-                supported: PROTOCOL_VERSION,
+                supported: MAX_SUPPORTED_VERSION,
             })
         );
     }

@@ -124,6 +124,9 @@ pub struct FrameWriter {
     /// Bytes of the front frame already written.
     offset: usize,
     written: u64,
+    /// Queued-but-unwritten bytes across all frames (the backpressure
+    /// signal: a peer that stops reading makes this grow).
+    buffered: usize,
 }
 
 impl FrameWriter {
@@ -134,12 +137,19 @@ impl FrameWriter {
 
     /// Queues one encoded frame (length prefix included) for writing.
     pub fn queue(&mut self, frame: Vec<u8>) {
+        self.buffered += frame.len();
         self.queue.push_back(frame);
     }
 
     /// Whether any queued bytes remain unwritten.
     pub fn pending(&self) -> bool {
         !self.queue.is_empty()
+    }
+
+    /// Queued bytes not yet handed to the OS — what a server caps to shed
+    /// connections whose peers stop reading.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered
     }
 
     /// Total bytes fully handed to the OS so far.
@@ -162,6 +172,7 @@ impl FrameWriter {
                 Ok(n) => {
                     self.offset += n;
                     self.written += n as u64;
+                    self.buffered -= n;
                     if self.offset == front.len() {
                         self.queue.pop_front();
                         self.offset = 0;
@@ -307,5 +318,23 @@ mod tests {
         assert_eq!(io.accepted, frames.concat());
         assert_eq!(writer.written(), frames.concat().len() as u64);
         assert!(!writer.pending());
+        assert_eq!(writer.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn buffered_bytes_tracks_the_unwritten_backlog() {
+        let mut writer = FrameWriter::new();
+        writer.queue(frame(&[1u8; 10]));
+        writer.queue(frame(&[2u8; 6]));
+        assert_eq!(writer.buffered_bytes(), 14 + 10);
+        let mut io = Dribble {
+            accepted: Vec::new(),
+            cap: 5,
+            calls: 0,
+        };
+        // One partial drain: the backlog shrinks by exactly what the OS
+        // accepted, across frame boundaries.
+        let _ = writer.poll_write(&mut io);
+        assert_eq!(writer.buffered_bytes(), 24 - io.accepted.len());
     }
 }

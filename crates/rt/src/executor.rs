@@ -6,7 +6,14 @@
 //! timeout and wake every parked task on expiry — the reactor's
 //! level-triggered readiness tick rides the executor's idle path, so the
 //! whole runtime costs exactly the configured worker threads and nothing
-//! more.
+//! more. The wait timeout is the reactor's *adaptive* sweep interval
+//! (see [`crate::reactor`]): sub-millisecond while woken tasks make
+//! progress, decaying toward ~50ms across consecutive no-progress sweeps.
+//!
+//! One executor is also one **shared runtime**: any number of servers can
+//! spawn their accept loops and connections onto the same [`Handle`]
+//! ([`Runtime`] is the intent-revealing alias), so an RA, a CA, and a CDN
+//! edge together still cost at most [`MAX_WORKERS`] OS threads.
 
 use crate::reactor::{Reactor, DEFAULT_POLL_INTERVAL};
 use std::collections::VecDeque;
@@ -23,6 +30,11 @@ use std::time::Duration;
 /// concurrency comes from multiplexing, not threads; two workers keep one
 /// free to run service logic while the other ticks the reactor.
 pub const MAX_WORKERS: usize = 2;
+
+/// Intent-revealing alias for an [`Executor`] used as one process-wide
+/// runtime shared by several listeners (RA + CA + edge on one
+/// reactor/executor pair).
+pub type Runtime = Executor;
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
@@ -53,7 +65,11 @@ struct Shared {
     /// Live (spawned, not yet completed) tasks.
     live: AtomicUsize,
     shutdown: AtomicBool,
+    /// Base readiness-tick interval; the reactor's idle streak scales the
+    /// actual wait (see [`Reactor::sweep_interval`]).
     poll_interval: Duration,
+    /// Worker threads this executor was started with.
+    worker_count: usize,
 }
 
 impl Shared {
@@ -93,6 +109,12 @@ impl Handle {
     pub fn live_tasks(&self) -> usize {
         self.shared.live.load(Ordering::SeqCst)
     }
+
+    /// Worker threads backing this handle's executor — what a server
+    /// spawned onto a shared runtime reports as its thread budget.
+    pub fn thread_count(&self) -> usize {
+        self.shared.worker_count
+    }
 }
 
 /// The executor: owns the worker threads.
@@ -111,6 +133,7 @@ impl Executor {
     /// Starts an executor with an explicit readiness-tick interval
     /// (shorter = lower I/O latency, more failed syscalls while idle).
     pub fn with_poll_interval(threads: usize, poll_interval: Duration) -> Self {
+        let worker_count = threads.clamp(1, MAX_WORKERS);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -118,8 +141,9 @@ impl Executor {
             live: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             poll_interval,
+            worker_count,
         });
-        let workers = (0..threads.clamp(1, MAX_WORKERS))
+        let workers = (0..worker_count)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker(&shared))
@@ -156,14 +180,24 @@ impl Executor {
     }
 }
 
+/// What a worker decided to do after draining or waiting on the queue.
+enum Step {
+    Run(Arc<Task>),
+    /// Run a readiness tick; carries the interval the worker waited
+    /// (fed back into the reactor's sweep accounting).
+    Sweep(Duration),
+}
+
 fn worker(shared: &Arc<Shared>) {
+    // Reused across sweeps: this buffer and the reactor's park list swap
+    // roles each tick, so an idle-but-parked runtime allocates nothing.
+    let mut sweep_buf: Vec<Waker> = Vec::new();
     loop {
-        // Take one task, or learn that this is a readiness tick (None).
-        let task: Option<Arc<Task>> = {
+        let step: Step = {
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(t) = queue.pop_front() {
-                    break Some(t);
+                    break Step::Run(t);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) && shared.live.load(Ordering::SeqCst) == 0
                 {
@@ -171,14 +205,18 @@ fn worker(shared: &Arc<Shared>) {
                 }
                 if shared.reactor.waiters() > 0 || shared.shutdown.load(Ordering::SeqCst) {
                     // Timed wait: on expiry run a readiness tick (and
-                    // re-observe shutdown promptly).
+                    // re-observe shutdown promptly). The wait adapts:
+                    // consecutive no-progress sweeps stretch it toward
+                    // MAX_POLL_INTERVAL; any readiness hit or new park
+                    // snaps it back to the configured base.
+                    let interval = shared.reactor.sweep_interval(shared.poll_interval);
                     let (guard, _timeout) = shared
                         .available
-                        .wait_timeout(queue, shared.poll_interval)
+                        .wait_timeout(queue, interval)
                         .unwrap_or_else(PoisonError::into_inner);
                     queue = guard;
                     if queue.is_empty() && shared.reactor.waiters() > 0 {
-                        break None;
+                        break Step::Sweep(interval);
                     }
                 } else {
                     queue = shared
@@ -188,12 +226,17 @@ fn worker(shared: &Arc<Shared>) {
                 }
             }
         };
-        match task {
-            Some(task) => run_task(shared, task),
-            None => {
+        match step {
+            Step::Run(task) => run_task(shared, task),
+            Step::Sweep(interval) => {
                 // One level-triggered tick: every parked task re-attempts
-                // its syscall. Wakers re-enqueue through the normal path.
-                for waker in shared.reactor.take_parked() {
+                // its syscall. Wakers re-enqueue through the normal path;
+                // a woken task that finds its socket ready (or a task
+                // parking for the first time) calls `note_activity`, which
+                // resets the streak `note_sweep` is lengthening here.
+                shared.reactor.note_sweep(interval);
+                shared.reactor.take_parked_into(&mut sweep_buf);
+                for waker in sweep_buf.drain(..) {
                     waker.wake();
                 }
             }
@@ -269,6 +312,59 @@ mod tests {
         }
         exec.shutdown();
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn handle_reports_the_shared_runtime_thread_budget() {
+        let exec = Executor::new(2);
+        assert_eq!(exec.handle().thread_count(), 2);
+        let single = Executor::new(1);
+        assert_eq!(single.handle().thread_count(), 1);
+        exec.shutdown();
+        single.shutdown();
+    }
+
+    #[test]
+    fn idle_parked_task_backs_off_the_tick_and_activity_snaps_back() {
+        let exec = Executor::new(1);
+        let reactor = exec.handle().reactor();
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let reactor = Arc::clone(&reactor);
+            let stop = Arc::clone(&stop);
+            exec.handle().spawn(async move {
+                crate::io(&reactor, move || {
+                    if stop.load(Ordering::SeqCst) {
+                        crate::IoPoll::Ready(())
+                    } else {
+                        crate::IoPoll::WouldBlock
+                    }
+                })
+                .await;
+            });
+        }
+        // Long enough for the streak to climb 500µs → 50ms and take a few
+        // fully-backed-off sweeps.
+        std::thread::sleep(Duration::from_millis(400));
+        let stats = reactor.stats();
+        assert!(
+            stats.backoff_sweeps > 0,
+            "idle decay never reached the cap: {stats:?}"
+        );
+        assert!(
+            stats.last_interval_micros >= 10_000,
+            "idle sweeps still sub-10ms: {stats:?}"
+        );
+        // A genuinely idle runtime must sweep ~20×/s, not ~2000×/s.
+        assert!(
+            stats.sweeps < 100,
+            "an idle runtime swept {} times in 400ms",
+            stats.sweeps
+        );
+        stop.store(true, Ordering::SeqCst);
+        exec.shutdown();
+        // The readiness hit on the parked task counts as activity.
+        assert!(reactor.stats().activity_marks >= 2);
     }
 
     #[test]

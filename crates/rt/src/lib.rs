@@ -15,13 +15,18 @@
 //!   parked wakers (a level-triggered poll tick), each woken task
 //!   re-attempts its syscall, and tasks that are still not ready simply
 //!   park again. No readiness is ever *stored*, so no edge can be lost —
-//!   the cost is one failed syscall per parked task per tick, bounded by
-//!   the (sub-millisecond) poll interval.
+//!   the cost is one failed syscall per parked task per tick. The tick is
+//!   **adaptive**: sub-millisecond while woken tasks make progress,
+//!   decaying toward [`MAX_POLL_INTERVAL`] (~50ms) across consecutive
+//!   no-progress sweeps, so a fleet of idle connections costs ~20 sweeps
+//!   per second instead of ~2000 (see [`reactor`]).
 //! * [`Executor`] / [`Handle`] — a small single- or dual-thread task
 //!   executor with real [`std::task::Waker`]s (via [`std::task::Wake`]),
 //!   so ordinary `async fn` connection handlers run unchanged. The thread
 //!   budget is capped at 2: the point of the event-driven stack is that
-//!   *connections* do not cost threads.
+//!   *connections* do not cost threads. One executor doubles as a shared
+//!   [`Runtime`]: several servers (RA + CA + edge) spawn onto the same
+//!   reactor/executor pair and together still cost ≤2 OS threads.
 //! * [`codec::FrameReader`] / [`codec::FrameWriter`] — incremental codecs
 //!   for the `u32 len ‖ body` envelope framing: decoding resumes across
 //!   arbitrarily-split partial reads and encoding resumes across short
@@ -38,8 +43,8 @@ pub mod executor;
 pub mod reactor;
 
 pub use codec::{FrameRead, FrameReader, FrameWrite, FrameWriter};
-pub use executor::{Executor, Handle};
-pub use reactor::Reactor;
+pub use executor::{Executor, Handle, Runtime};
+pub use reactor::{Reactor, ReactorStats, DEFAULT_POLL_INTERVAL, MAX_POLL_INTERVAL};
 
 use std::future::Future;
 use std::pin::Pin;
@@ -64,6 +69,11 @@ pub enum IoPoll<T> {
 pub struct IoFuture<F> {
     reactor: Arc<Reactor>,
     op: F,
+    /// Whether this future has parked at least once — distinguishes a
+    /// *new* park (activity: snap the adaptive tick back) from a woken
+    /// task re-parking because its socket is still not ready (the
+    /// no-progress case the idle backoff exists for).
+    parked: bool,
 }
 
 impl<T, F> Future for IoFuture<F>
@@ -75,8 +85,21 @@ where
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
         let this = self.get_mut();
         match (this.op)() {
-            IoPoll::Ready(v) => Poll::Ready(v),
+            IoPoll::Ready(v) => {
+                if this.parked {
+                    // A readiness hit on a previously-parked task: real
+                    // progress — keep the tick sub-millisecond.
+                    this.reactor.note_activity();
+                }
+                Poll::Ready(v)
+            }
             IoPoll::WouldBlock => {
+                if !this.parked {
+                    // First park = new I/O work arrived; snap the adaptive
+                    // tick back so it is serviced promptly.
+                    this.parked = true;
+                    this.reactor.note_activity();
+                }
                 // Level-triggered: re-register on every miss. A tick that
                 // fires between the failed syscall and this park is not a
                 // lost wakeup — the next tick re-polls every parked task.
@@ -97,6 +120,7 @@ where
     IoFuture {
         reactor: Arc::clone(reactor),
         op,
+        parked: false,
     }
 }
 
