@@ -27,6 +27,7 @@
 pub mod cache;
 pub mod dpi;
 pub mod monitor;
+pub mod persist;
 pub mod ra;
 pub mod serve;
 pub mod service;
@@ -36,8 +37,9 @@ pub mod sync;
 pub use cache::{CacheStats, EpochKeyedCache, ProofCache};
 pub use dpi::{classify, Classification, ServerFlight};
 pub use monitor::{ConsistencyMonitor, MisbehaviorReport, RaHealthReport};
+pub use persist::{MirrorSnapshot, ResumeError};
 pub use ra::{MirrorWriteGuard, RaConfig, RaStats, RevocationAgent, StatusPayload};
 pub use serve::StatusServer;
 pub use service::StatusService;
 pub use state::{ConnState, Stage, StateTable};
-pub use sync::SyncReport;
+pub use sync::{RetryPolicy, SyncPolicy, SyncReport};

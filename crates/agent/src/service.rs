@@ -68,6 +68,7 @@ impl Service for StatusService {
             RitmRequest::FetchDelta { .. }
             | RitmRequest::FetchFreshness { .. }
             | RitmRequest::CatchUp { .. }
+            | RitmRequest::CatchUpPaged { .. }
             | RitmRequest::GetManifest { .. } => RitmResponse::Error(ProtoError::Unsupported),
         }
     }

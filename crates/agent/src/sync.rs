@@ -21,13 +21,94 @@
 //! Fig. 6 / Table II.
 
 use crate::ra::RevocationAgent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ritm_cdn::network::Cdn;
 use ritm_cdn::service::EdgeService;
 use ritm_dictionary::{
     CaId, EngineError, MirrorEngine, RevocationIssuance, UpdateError, UpdateMessage,
 };
 use ritm_net::time::{SimDuration, SimTime};
-use ritm_proto::{Loopback, ProtoError, RitmRequest, RitmResponse, Transport, TransportMeta};
+use ritm_proto::{
+    Loopback, ProtoError, RitmRequest, RitmResponse, RoundTrip, Transport, TransportMeta,
+};
+
+/// Bounded retry with exponential backoff and jitter, applied to every
+/// round trip of a sync pass. A failed round trip (no decodable response)
+/// is re-sent up to [`RetryPolicy::max_attempts`] times total; the pause
+/// before attempt *k* is `base · 2^(k-2)` capped at [`RetryPolicy::cap`],
+/// with equal jitter (half fixed, half uniform) drawn from a seeded
+/// stream so a failing pass replays deterministically. Pauses are charged
+/// to the report as simulated time ([`SyncReport::backoff`]), consistent
+/// with how every other latency in the stack is accounted.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request, the first included (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff unit before the first retry.
+    pub base: SimDuration,
+    /// Upper bound on a single backoff pause.
+    pub cap: SimDuration,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: SimDuration::from_millis(100),
+            cap: SimDuration::from_secs(2),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every round trip gets exactly one attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The pause charged before attempt `attempt` (2-based; attempt 1 is
+    /// the original send and pauses nothing).
+    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> SimDuration {
+        let exp = attempt.saturating_sub(2).min(20);
+        let raw = (self.base * (1u64 << exp))
+            .as_micros()
+            .min(self.cap.as_micros());
+        let half = raw / 2;
+        SimDuration::from_micros(half + rng.gen_range(0..=half.max(1)))
+    }
+}
+
+/// Everything a sync pass can be tuned on.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncPolicy {
+    /// Per-round-trip retry behaviour.
+    pub retry: RetryPolicy,
+    /// Serials requested per `CatchUpPaged` page. The default is the
+    /// protocol-wide [`ritm_proto::MAX_PAGE_LIMIT`], the largest page a
+    /// server will serve — any gap then converges in the fewest pages
+    /// that each still fit [`ritm_proto::MAX_FRAME_LEN`].
+    pub page_limit: u32,
+    /// Hard cap on catch-up pages pulled per CA per pass — a backstop
+    /// against a misbehaving server feeding an endless page stream.
+    pub max_pages: u32,
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy {
+            retry: RetryPolicy::default(),
+            page_limit: ritm_proto::MAX_PAGE_LIMIT,
+            max_pages: 10_000,
+        }
+    }
+}
 
 /// Result of one periodic sync pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -43,16 +124,28 @@ pub struct SyncReport {
     pub revocations_applied: u64,
     /// Freshness statements applied.
     pub freshness_applied: u64,
-    /// Desynchronizations repaired via catch-up requests.
+    /// Desynchronized CAs repaired via catch-up this pass.
     pub catchups: u64,
+    /// Catch-up pages applied (a gap spanning several issuance batches
+    /// arrives as that many `DeltaPage` responses).
+    pub catchup_pages: u64,
     /// Messages that failed verification (or arrived as the wrong response
     /// kind) and were discarded.
     pub rejected: u64,
     /// Round trips that produced no decodable response at all (socket
-    /// failure, dropped segments, protocol version the RA cannot parse).
+    /// failure, dropped segments, protocol version the RA cannot parse),
+    /// counted per attempt — a request that fails twice and then lands
+    /// contributes 2 here and 2 to [`SyncReport::retries`].
     pub transport_failures: u64,
-    /// Accumulated download latency as the transport observed it.
+    /// Failed round trips that were re-sent under the retry policy.
+    pub retries: u64,
+    /// Requests abandoned after exhausting every retry attempt.
+    pub gave_up: u64,
+    /// Accumulated download latency as the transport observed it,
+    /// including [`SyncReport::backoff`].
     pub latency: SimDuration,
+    /// Simulated time spent pausing between retry attempts.
+    pub backoff: SimDuration,
 }
 
 impl SyncReport {
@@ -60,6 +153,52 @@ impl SyncReport {
         self.bytes_downloaded += meta.response_bytes;
         self.bytes_uploaded += meta.request_bytes;
         self.latency = self.latency + meta.latency;
+    }
+}
+
+/// Sends `reqs` as one pipelined flight, then re-sends only the failed
+/// entries (with backoff) until everything has a response or the policy's
+/// attempts are exhausted. Returns one slot per request — `None` means
+/// abandoned; byte/latency accounting for every successful round trip is
+/// already absorbed into `report`.
+fn flight_with_retry<T: Transport>(
+    transport: &mut T,
+    reqs: &[RitmRequest],
+    policy: &RetryPolicy,
+    rng: &mut StdRng,
+    report: &mut SyncReport,
+) -> Vec<Option<RoundTrip>> {
+    let mut slots: Vec<Option<RoundTrip>> = reqs.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..reqs.len()).collect();
+    let mut attempt = 1u32;
+    loop {
+        let batch: Vec<RitmRequest> = pending.iter().map(|&i| reqs[i].clone()).collect();
+        let results = transport.round_trip_many(&batch);
+        let mut still = Vec::new();
+        for (&i, result) in pending.iter().zip(results) {
+            match result {
+                Ok(rt) => {
+                    report.absorb(&rt.meta);
+                    slots[i] = Some(rt);
+                }
+                // An *error response* is authoritative and lands in the
+                // slot above; only transport-level failures retry.
+                Err(_) => {
+                    report.transport_failures += 1;
+                    still.push(i);
+                }
+            }
+        }
+        pending = still;
+        if pending.is_empty() || attempt >= policy.max_attempts {
+            report.gave_up += pending.len() as u64;
+            return slots;
+        }
+        attempt += 1;
+        report.retries += pending.len() as u64;
+        let pause = policy.backoff(attempt, rng);
+        report.backoff = report.backoff + pause;
+        report.latency = report.latency + pause;
     }
 }
 
@@ -82,13 +221,31 @@ impl<M: MirrorEngine> RevocationAgent<M> {
     /// A missing object ([`ProtoError::NotFound`] — the CA has published
     /// nothing yet) is benign; any other error response, undecodable
     /// message, or failed verification is counted in the report.
+    ///
+    /// Every round trip runs under the default [`SyncPolicy`]: failed
+    /// flights re-send only their failed entries with exponential backoff
+    /// and jitter instead of silently dropping the round, and gaps are
+    /// repaired with *paged* catch-up, so no gap — however large — can
+    /// dead-end in a `ResponseTooLarge` refusal. Use
+    /// [`RevocationAgent::sync_via_with`] to tune the policy.
     pub fn sync_via<T: Transport>(&mut self, transport: &mut T, now: SimTime) -> SyncReport {
+        self.sync_via_with(transport, now, &SyncPolicy::default())
+    }
+
+    /// [`RevocationAgent::sync_via`] with an explicit [`SyncPolicy`].
+    pub fn sync_via_with<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        now: SimTime,
+        policy: &SyncPolicy,
+    ) -> SyncReport {
         let mut report = SyncReport::default();
         let now_secs = now.as_secs();
         let cas: Vec<CaId> = self.followed_cas().copied().collect();
         if cas.is_empty() {
             return report;
         }
+        let mut rng = StdRng::seed_from_u64(policy.retry.jitter_seed);
 
         // Flight 1: delta + freshness for every CA, kept in flight at once.
         let mut reqs = Vec::with_capacity(cas.len() * 2);
@@ -96,7 +253,8 @@ impl<M: MirrorEngine> RevocationAgent<M> {
             reqs.push(RitmRequest::FetchDelta { ca });
             reqs.push(RitmRequest::FetchFreshness { ca });
         }
-        let mut flight = transport.round_trip_many(&reqs).into_iter();
+        let mut flight =
+            flight_with_retry(transport, &reqs, &policy.retry, &mut rng, &mut report).into_iter();
 
         // Apply deltas as their responses come off the flight, deferring
         // freshness until after any catch-up repair for the same CA.
@@ -105,82 +263,198 @@ impl<M: MirrorEngine> RevocationAgent<M> {
         for &ca in &cas {
             let delta = flight.next().expect("one result per request");
             let fresh = flight.next().expect("one result per request");
-            match delta {
-                Ok(rt) => {
-                    report.absorb(&rt.meta);
-                    match rt.response {
-                        RitmResponse::Delta(iss) => {
-                            if let Some(have) = self.apply_delta(ca, iss, now_secs, &mut report) {
-                                catchups.push((ca, have));
-                            }
+            if let Some(rt) = delta {
+                match rt.response {
+                    RitmResponse::Delta(iss) => {
+                        if let Some(have) = self.apply_delta(ca, iss, now_secs, &mut report) {
+                            catchups.push((ca, have));
                         }
-                        RitmResponse::Error(ProtoError::NotFound) => {}
-                        _ => report.rejected += 1,
                     }
+                    RitmResponse::Error(ProtoError::NotFound) => {}
+                    // An endpoint with no Latest bundle at all (the CA's
+                    // own service): catch up from what we hold instead.
+                    RitmResponse::Error(ProtoError::Unsupported) => {
+                        let have = self
+                            .mirror(&ca)
+                            .expect("followed ca has a mirror")
+                            .consecutive_count();
+                        catchups.push((ca, have));
+                    }
+                    _ => report.rejected += 1,
                 }
-                Err(_) => report.transport_failures += 1,
             }
             fresh_pending.push((ca, fresh));
         }
 
         // Flight 2: the paper's catch-up requests for every CA that
-        // detected a gap, again pipelined.
+        // detected a gap, paged and pipelined — first page per CA in one
+        // flight, then each CA drains its remaining pages.
         if !catchups.is_empty() {
             let reqs: Vec<RitmRequest> = catchups
                 .iter()
-                .map(|&(ca, have)| RitmRequest::CatchUp { ca, have })
+                .map(|&(ca, have)| RitmRequest::CatchUpPaged {
+                    ca,
+                    have,
+                    limit: policy.page_limit,
+                })
                 .collect();
-            let results = transport.round_trip_many(&reqs);
-            for ((ca, _), result) in catchups.into_iter().zip(results) {
-                match result {
-                    Ok(rt) => {
-                        report.absorb(&rt.meta);
-                        let RitmResponse::Delta(catchup) = rt.response else {
-                            report.rejected += 1;
-                            continue;
-                        };
-                        let mut mirror = self.mirror_mut(&ca).expect("followed ca has a mirror");
-                        if mirror
-                            .apply_update(UpdateMessage::Issuance(&catchup), now_secs)
-                            .is_ok()
-                        {
-                            report.catchups += 1;
-                            report.issuances_applied += 1;
-                            report.revocations_applied += catchup.serials.len() as u64;
-                        } else {
-                            report.rejected += 1;
-                        }
-                    }
-                    Err(_) => report.transport_failures += 1,
-                }
+            let firsts = flight_with_retry(transport, &reqs, &policy.retry, &mut rng, &mut report);
+            for ((ca, _), first) in catchups.into_iter().zip(firsts) {
+                self.drain_pages(
+                    transport,
+                    ca,
+                    first,
+                    now_secs,
+                    policy,
+                    &mut rng,
+                    &mut report,
+                );
             }
         }
 
         // Freshness statements last, so a repaired mirror judges them
         // against its post-catch-up root.
         for (ca, result) in fresh_pending {
-            match result {
-                Ok(rt) => {
-                    report.absorb(&rt.meta);
-                    match rt.response {
-                        RitmResponse::Freshness(msg) => {
-                            let res = self
-                                .mirror_mut(&ca)
-                                .expect("followed ca has a mirror")
-                                .apply_update(UpdateMessage::Refresh(&msg), now_secs);
-                            match res {
-                                Ok(()) => report.freshness_applied += 1,
-                                Err(_) => report.rejected += 1,
-                            }
+            if let Some(rt) = result {
+                match rt.response {
+                    RitmResponse::Freshness(msg) => {
+                        let res = self
+                            .mirror_mut(&ca)
+                            .expect("followed ca has a mirror")
+                            .apply_update(UpdateMessage::Refresh(&msg), now_secs);
+                        match res {
+                            Ok(()) => report.freshness_applied += 1,
+                            Err(_) => report.rejected += 1,
                         }
-                        RitmResponse::Error(ProtoError::NotFound) => {}
-                        _ => report.rejected += 1,
                     }
+                    RitmResponse::Error(ProtoError::NotFound) => {}
+                    _ => report.rejected += 1,
                 }
-                Err(_) => report.transport_failures += 1,
             }
         }
         report
+    }
+
+    /// Pulls catch-up pages for one desynchronized CA until the server
+    /// reports nothing remaining, applying each as it lands. `first` is
+    /// the (already retried) response to the first `CatchUpPaged`; a peer
+    /// predating the paged protocol answers it `Malformed`, which falls
+    /// back to one unpaged `CatchUp`.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_pages<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        ca: CaId,
+        first: Option<RoundTrip>,
+        now_secs: u64,
+        policy: &SyncPolicy,
+        rng: &mut StdRng,
+        report: &mut SyncReport,
+    ) {
+        let mut result = first;
+        let mut applied_any = false;
+        let mut pages = 0u32;
+        // `None` = retries exhausted, already accounted as gave_up.
+        while let Some(rt) = result.take() {
+            match rt.response {
+                RitmResponse::DeltaPage {
+                    issuance,
+                    remaining,
+                } => {
+                    if issuance.serials.is_empty() {
+                        // An empty page with `remaining > 0` can never make
+                        // progress; empty with 0 means already caught up.
+                        if remaining > 0 {
+                            report.rejected += 1;
+                        }
+                        break;
+                    }
+                    let serials = issuance.serials.len() as u64;
+                    let applied = self
+                        .mirror_mut(&ca)
+                        .expect("followed ca has a mirror")
+                        .apply_update(UpdateMessage::Issuance(&issuance), now_secs)
+                        .is_ok();
+                    if !applied {
+                        report.rejected += 1;
+                        break;
+                    }
+                    report.catchup_pages += 1;
+                    report.issuances_applied += 1;
+                    report.revocations_applied += serials;
+                    applied_any = true;
+                    pages += 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                    if pages >= policy.max_pages {
+                        report.rejected += 1;
+                        break;
+                    }
+                    let have = self
+                        .mirror(&ca)
+                        .expect("followed ca has a mirror")
+                        .consecutive_count();
+                    result = flight_with_retry(
+                        transport,
+                        &[RitmRequest::CatchUpPaged {
+                            ca,
+                            have,
+                            limit: policy.page_limit,
+                        }],
+                        &policy.retry,
+                        rng,
+                        report,
+                    )
+                    .pop()
+                    .expect("one result per request");
+                }
+                // A pre-paging peer cannot decode the CatchUpPaged frame:
+                // negotiate down to the unpaged form, once.
+                RitmResponse::Error(ProtoError::Malformed { .. }) if !applied_any => {
+                    let have = self
+                        .mirror(&ca)
+                        .expect("followed ca has a mirror")
+                        .consecutive_count();
+                    let fallback = flight_with_retry(
+                        transport,
+                        &[RitmRequest::CatchUp { ca, have }],
+                        &policy.retry,
+                        rng,
+                        report,
+                    )
+                    .pop()
+                    .expect("one result per request");
+                    if let Some(rt) = fallback {
+                        if let RitmResponse::Delta(catchup) = rt.response {
+                            let serials = catchup.serials.len() as u64;
+                            if self
+                                .mirror_mut(&ca)
+                                .expect("followed ca has a mirror")
+                                .apply_update(UpdateMessage::Issuance(&catchup), now_secs)
+                                .is_ok()
+                            {
+                                report.issuances_applied += 1;
+                                report.revocations_applied += serials;
+                                applied_any = true;
+                            } else {
+                                report.rejected += 1;
+                            }
+                        } else {
+                            report.rejected += 1;
+                        }
+                    }
+                    break;
+                }
+                _ => {
+                    report.rejected += 1;
+                    break;
+                }
+            }
+        }
+        if applied_any {
+            report.catchups += 1;
+        }
     }
 
     /// Compatibility shim for harnesses that own a [`Cdn`] directly: wraps
@@ -482,6 +756,209 @@ mod tests {
             vec![2, 1],
             "delta+freshness in one flight, catch-up in a second"
         );
+    }
+
+    #[test]
+    fn flaky_transport_retries_only_failed_requests() {
+        // Across a deterministic band of fault seeds the sync must (a) see
+        // real injected failures, (b) recover from them by retrying, and
+        // (c) leave the mirror fully converged whenever it did not give up.
+        let mut saw_failures = false;
+        let mut saw_recovery = false;
+        for seed in 0..32u64 {
+            let mut w = world();
+            issue_and_revoke(&mut w, 0..20, T0 + 1);
+            w.ca.refresh(&mut w.cdn, &mut w.rng, T0 + 2).unwrap();
+            let region = w.ra.config.region;
+            let service = EdgeService::new(&mut w.cdn, region, 17);
+            service.set_now(SimTime::from_secs(T0 + 2));
+            let mut transport = ritm_proto::FaultTransport::new(
+                Loopback::new(service),
+                ritm_proto::FaultPlan::lossy(0.6),
+                seed,
+            );
+            let report = w.ra.sync_via(&mut transport, SimTime::from_secs(T0 + 2));
+            saw_failures |= report.transport_failures > 0;
+            if report.transport_failures > 0 && report.gave_up == 0 {
+                saw_recovery = true;
+                assert!(report.retries > 0, "seed {seed}: failures imply retries");
+                assert!(report.backoff > SimDuration::ZERO, "seed {seed}");
+            }
+            if report.gave_up == 0 {
+                assert_eq!(report.issuances_applied, 1, "seed {seed}");
+                assert_eq!(report.freshness_applied, 1, "seed {seed}");
+                assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 20, "seed {seed}");
+            }
+        }
+        assert!(saw_failures, "the lossy plan injected nothing in 32 runs");
+        assert!(saw_recovery, "no run both failed and fully recovered");
+    }
+
+    #[test]
+    fn dead_transport_gives_up_after_bounded_retry() {
+        let mut w = world();
+        issue_and_revoke(&mut w, 0..3, T0 + 1);
+        let region = w.ra.config.region;
+        let service = EdgeService::new(&mut w.cdn, region, 17);
+        service.set_now(SimTime::from_secs(T0 + 2));
+        let mut plan = ritm_proto::FaultPlan::none();
+        plan.drop_request = 1.0;
+        let mut transport = ritm_proto::FaultTransport::new(Loopback::new(service), plan, 1);
+        let report = w.ra.sync_via(&mut transport, SimTime::from_secs(T0 + 2));
+        let attempts = RetryPolicy::default().max_attempts as u64;
+        assert_eq!(report.gave_up, 2, "delta + freshness both abandoned");
+        assert_eq!(report.retries, 2 * (attempts - 1));
+        assert_eq!(report.transport_failures, 2 * attempts);
+        assert_eq!(report.issuances_applied, 0);
+        assert_eq!(
+            w.ra.mirror(&w.ca.id()).unwrap().len(),
+            0,
+            "mirror untouched"
+        );
+    }
+
+    #[test]
+    fn wide_gap_converges_in_bounded_pages() {
+        let mut w = world();
+        // Five batches published while the RA was offline; the Latest
+        // bundle carries only the last, so catch-up pages through the rest.
+        for b in 0..5u32 {
+            issue_and_revoke(&mut w, b * 10..(b + 1) * 10, T0 + 1 + b as u64);
+        }
+        let region = w.ra.config.region;
+        let service = EdgeService::new(&mut w.cdn, region, 17);
+        service.set_now(SimTime::from_secs(T0 + 9));
+        let mut transport = Loopback::new(service);
+        let policy = SyncPolicy {
+            page_limit: 16,
+            ..Default::default()
+        };
+        let report =
+            w.ra.sync_via_with(&mut transport, SimTime::from_secs(T0 + 9), &policy);
+        assert_eq!(report.catchups, 1, "one CA repaired");
+        assert_eq!(report.catchup_pages, 5, "one page per missed batch");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 50);
+        assert_eq!(
+            w.ra.mirror(&w.ca.id()).unwrap().signed_root(),
+            w.ca.dictionary().signed_root()
+        );
+    }
+
+    #[test]
+    fn megagap_dead_ends_unpaged_but_converges_paged() {
+        // A ~1.6M-serial gap (20-byte serials, 21 wire bytes each) used to
+        // dead-end: the unpaged CatchUp response exceeds MAX_FRAME_LEN and
+        // the server degrades it to ResponseTooLarge, which the RA could
+        // only count as rejected, forever. Paged catch-up converges in
+        // MAX_PAGE_LIMIT-sized pages that each fit a frame.
+        const N: u64 = 1_600_000;
+        const BATCH: u64 = 200_000;
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut cdn = Cdn::new(SimDuration::from_secs(5));
+        // Raw dictionary + direct origin publishes: the certificate
+        // registry is irrelevant to the wire-size regression under test.
+        let mut ca = ritm_dictionary::CaDictionary::new(
+            CaId::from_name("MegaCA"),
+            SigningKey::from_seed([6u8; 32]),
+            10,
+            1 << 16,
+            &mut rng,
+            T0,
+        );
+        cdn.origin.register_ca(ca.ca(), ca.verifying_key());
+        let mut ra = RevocationAgent::new(RaConfig {
+            delta: 10,
+            ..Default::default()
+        });
+        ra.follow_ca(ca.ca(), ca.verifying_key(), *ca.signed_root())
+            .unwrap();
+        let mut from = 0u64;
+        let mut now = T0;
+        while from < N {
+            let serials: Vec<SerialNumber> = (from..from + BATCH)
+                .map(|i| {
+                    let mut b = [0u8; 20];
+                    b[12..].copy_from_slice(&i.to_be_bytes());
+                    SerialNumber::new(&b).unwrap()
+                })
+                .collect();
+            now += 1;
+            let iss = ca.insert(&serials, &mut rng, now).unwrap();
+            cdn.origin.publish_issuance(ca.ca(), &iss).unwrap();
+            from += BATCH;
+        }
+        let region = ra.config.region;
+        let service = EdgeService::new(&mut cdn, region, 17);
+        service.set_now(SimTime::from_secs(now));
+        let mut transport = Loopback::new(service);
+
+        // The unpaged protocol cannot carry the gap in one response.
+        let id = ca.ca();
+        let rt = transport
+            .round_trip(&RitmRequest::CatchUp { ca: id, have: 0 })
+            .unwrap();
+        assert!(
+            matches!(
+                rt.response,
+                RitmResponse::Error(ProtoError::ResponseTooLarge { .. })
+            ),
+            "expected ResponseTooLarge, got a {}-byte response",
+            rt.meta.response_bytes
+        );
+
+        // The paged sync converges, and the total envelope bytes show the
+        // gap really moved — more than any single frame may carry.
+        let report = ra.sync_via(&mut transport, SimTime::from_secs(now));
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.catchups, 1);
+        assert_eq!(
+            report.catchup_pages, 2,
+            "1.6M serials at the 2^20 page limit: boundary-aligned 1.0M + 0.6M"
+        );
+        assert!(
+            report.bytes_downloaded > ritm_proto::MAX_FRAME_LEN as u64,
+            "downloaded {} bytes",
+            report.bytes_downloaded
+        );
+        assert_eq!(ra.mirror(&id).unwrap().len() as u64, N);
+        assert_eq!(ra.mirror(&id).unwrap().signed_root(), ca.signed_root());
+    }
+
+    /// Simulates a peer predating the paged protocol: `CatchUpPaged` is an
+    /// unknown frame kind to it, answered `Malformed`.
+    struct PrePaging<S>(S);
+
+    impl<S: ritm_proto::Service> ritm_proto::Service for PrePaging<S> {
+        fn handle(&self, req: RitmRequest) -> RitmResponse {
+            match req {
+                RitmRequest::CatchUpPaged { .. } => {
+                    RitmResponse::Error(ProtoError::Malformed { offset: 5 })
+                }
+                other => self.0.handle(other),
+            }
+        }
+
+        fn take_latency(&self) -> SimDuration {
+            self.0.take_latency()
+        }
+    }
+
+    #[test]
+    fn pre_paging_peer_falls_back_to_unpaged_catchup() {
+        let mut w = world();
+        issue_and_revoke(&mut w, 0..4, T0 + 1);
+        issue_and_revoke(&mut w, 4..9, T0 + 2);
+        let region = w.ra.config.region;
+        let service = EdgeService::new(&mut w.cdn, region, 17);
+        service.set_now(SimTime::from_secs(T0 + 3));
+        let mut transport = Loopback::new(PrePaging(service));
+        let report = w.ra.sync_via(&mut transport, SimTime::from_secs(T0 + 3));
+        assert_eq!(report.catchups, 1);
+        assert_eq!(report.catchup_pages, 0, "no pages from a v1 peer");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(w.ra.mirror(&w.ca.id()).unwrap().len(), 9);
     }
 
     #[test]

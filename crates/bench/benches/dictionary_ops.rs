@@ -526,6 +526,63 @@ fn bench_protocol_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+/// Paged catch-up serving cost (PR 7): one `issuance_page` is the CA-side
+/// unit of work while an RA closes a gap — a serial-range slice plus a
+/// synthesized historical signed root. Measured mid-gap (the worst case:
+/// the synthesized root is for a tree state no cached root matches) at two
+/// page sizes, plus whole-gap accounting: how many pages and how many
+/// response bytes close a from-genesis gap at the default page limit —
+/// every page holding under `MAX_FRAME_LEN` regardless of dictionary size.
+fn bench_catchup_paged(c: &mut Criterion) {
+    let mut g = c.benchmark_group("catchup_paged");
+    for &n in heavy_sizes() {
+        g.sample_size(if n >= 1_000_000 { 10 } else { 20 });
+        let (ca, _) = built_pair(n);
+        for limit in [1u32 << 12, 1 << 16] {
+            g.bench_with_input(BenchmarkId::new(format!("page{limit}"), n), &n, |b, _| {
+                b.iter(|| black_box(ca.issuance_page(black_box((n / 2) as u64), limit)))
+            });
+        }
+
+        let limit = 1u32 << 16;
+        let (mut have, mut pages, mut bytes) = (0u64, 0u64, 0u64);
+        loop {
+            let (issuance, remaining) = ca.issuance_page(have, limit);
+            if issuance.serials.is_empty() {
+                break;
+            }
+            have += issuance.serials.len() as u64;
+            pages += 1;
+            let frame = RitmResponse::DeltaPage {
+                issuance,
+                remaining,
+            }
+            .encoded_len();
+            assert!(frame < ritm_proto::MAX_FRAME_LEN, "page must fit a frame");
+            bytes += frame as u64;
+            if remaining == 0 {
+                break;
+            }
+        }
+        assert_eq!(have, n as u64, "pages must cover the whole gap");
+        criterion::json_record(
+            "catchup_paged/full_gap_pages",
+            Some(n as u64),
+            Some(limit as u64),
+            pages as f64,
+            "pages",
+        );
+        criterion::json_record(
+            "catchup_paged/full_gap_bytes",
+            Some(n as u64),
+            Some(limit as u64),
+            bytes as f64,
+            "bytes",
+        );
+    }
+    g.finish();
+}
+
 /// Delays `CatchUp` by ~1ms (a stand-in for a large delta rebuild) and
 /// delegates everything else — the head-of-line blocker the multiplexed
 /// envelope exists to defeat.
@@ -637,6 +694,6 @@ criterion_group! {
     targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
         bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
         bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving,
-        bench_protocol_roundtrip, bench_event_serve
+        bench_protocol_roundtrip, bench_catchup_paged, bench_event_serve
 }
 criterion_main!(benches);

@@ -25,6 +25,10 @@ pub enum CaError {
     /// The dictionary engine refused the operation (cannot happen for the
     /// default [`CaDictionary`] engine, which is always authoritative).
     Engine(EngineError),
+    /// The attached issuance log failed to persist a record. The in-memory
+    /// dictionary is ahead of stable storage at this point — treat as
+    /// fatal and restart from the log.
+    Wal(std::io::ErrorKind),
 }
 
 impl core::fmt::Display for CaError {
@@ -34,6 +38,7 @@ impl core::fmt::Display for CaError {
             CaError::UnknownSerial(s) => write!(f, "serial {s} was not issued by this CA"),
             CaError::Publish(e) => write!(f, "distribution point rejected publish: {e}"),
             CaError::Engine(e) => write!(f, "dictionary engine refused: {e}"),
+            CaError::Wal(k) => write!(f, "issuance log append failed: {k:?}"),
         }
     }
 }
@@ -68,6 +73,9 @@ pub struct CertificationAuthority<E: DictionaryEngine = CaDictionary> {
     issued: HashMap<SerialNumber, Certificate>,
     next_serial: u32,
     delta: u64,
+    /// Crash-durability hook: when attached, every issuance is appended
+    /// (and synced) here before dissemination.
+    wal: Option<crate::wal::IssuanceLog>,
 }
 
 impl<E: DictionaryEngine> core::fmt::Debug for CertificationAuthority<E> {
@@ -105,6 +113,45 @@ impl CertificationAuthority<CaDictionary> {
     pub fn issuance_since(&self, have: u64) -> RevocationIssuance {
         self.dictionary.issuance_since(have)
     }
+
+    /// One bounded page of the catch-up replay: at most `limit` serials,
+    /// anchored to a historical (or synthesized mid-batch) signed root.
+    /// Returns the page and how many serials remain beyond it (`0` =
+    /// caught up). See [`CaDictionary::issuance_page`].
+    pub fn issuance_page(&self, have: u64, limit: u32) -> (RevocationIssuance, u64) {
+        self.dictionary.issuance_page(have, limit)
+    }
+
+    /// Rebuilds a crashed CA from its replayed issuance log (typically the
+    /// records a [`crate::wal::IssuanceLog::open`] scan recovered). Each
+    /// record is re-verified mirror-grade; the hash chain is rotated (its
+    /// preimages died with the old process) and a fresh root over the same
+    /// content is signed at `now` — the standard `NewRoot` rotation every
+    /// mirror already follows. The certificate-issuance registry is not
+    /// log-persisted; harnesses continuing to issue after recovery bump
+    /// [`CertificationAuthority::set_next_serial`] past their pre-crash
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// The index of the first log record that failed verification
+    /// (see [`CaDictionary::replay`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover<R: RngCore + ?Sized>(
+        name: &str,
+        key: SigningKey,
+        delta: u64,
+        chain_len: u64,
+        records: &[RevocationIssuance],
+        cdn: &mut Cdn,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Self, usize> {
+        let id = CaId::from_name(name);
+        let dictionary =
+            CaDictionary::replay(id, key.clone(), delta, chain_len, records, rng, now)?;
+        Ok(Self::with_engine(name, key, delta, dictionary, cdn))
+    }
 }
 
 impl<E: DictionaryEngine> CertificationAuthority<E> {
@@ -128,6 +175,7 @@ impl<E: DictionaryEngine> CertificationAuthority<E> {
             issued: HashMap::new(),
             next_serial: 1,
             delta,
+            wal: None,
         };
         cdn.origin.publish_manifest(id, ca.manifest_json());
         ca
@@ -180,6 +228,20 @@ impl<E: DictionaryEngine> CertificationAuthority<E> {
         self.dictionary.epoch()
     }
 
+    /// Attaches an open issuance log: from now on every revocation batch
+    /// is appended (and synced) to it *before* dissemination, making the
+    /// CA restartable via [`CertificationAuthority::recover`].
+    pub fn attach_wal(&mut self, wal: crate::wal::IssuanceLog) {
+        self.wal = Some(wal);
+    }
+
+    /// Overrides the next certificate serial — used after
+    /// [`CertificationAuthority::recover`], whose log carries revocations
+    /// but not the issuance registry, to jump past the pre-crash range.
+    pub fn set_next_serial(&mut self, next: u32) {
+        self.next_serial = next;
+    }
+
     /// Issues a server certificate with the next 3-byte serial (the
     /// dominant size in the paper's dataset, §VII-A).
     pub fn issue_certificate(
@@ -228,6 +290,11 @@ impl<E: DictionaryEngine> CertificationAuthority<E> {
         let Some(issuance) = self.dictionary.insert_batch(serials, &mut rng, now)? else {
             return Ok(None);
         };
+        // Durability before dissemination: once a peer can observe this
+        // batch, a restart must be able to replay it.
+        if let Some(wal) = &mut self.wal {
+            wal.append(&issuance).map_err(|e| CaError::Wal(e.kind()))?;
+        }
         cdn.origin.publish_issuance(self.id, &issuance)?;
         // Keep the freshness object in sync with the new chain.
         if let Some(f) = self.dictionary.freshness_for(now) {

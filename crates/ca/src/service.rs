@@ -64,6 +64,21 @@ impl Service for CaService {
                 }
                 RitmResponse::Delta(ca.issuance_since(have))
             }
+            RitmRequest::CatchUpPaged {
+                ca: id,
+                have,
+                limit,
+            } => {
+                if id != ca.id() {
+                    return RitmResponse::Error(ProtoError::UnknownCa(id));
+                }
+                let (issuance, remaining) =
+                    ca.issuance_page(have, limit.min(ritm_proto::MAX_PAGE_LIMIT));
+                RitmResponse::DeltaPage {
+                    issuance,
+                    remaining,
+                }
+            }
             RitmRequest::FetchFreshness { ca: id } => {
                 if id != ca.id() {
                     return RitmResponse::Error(ProtoError::UnknownCa(id));

@@ -71,6 +71,33 @@ impl Cdn {
         Some((bytes, stats))
     }
 
+    /// One page of a desynchronized RA's catch-up (the bounded variant of
+    /// [`Cdn::pull_since`]): straight through to the origin, billed like
+    /// any other download. Returns the encoded issuance page, the count of
+    /// serials remaining beyond it, and the pull statistics.
+    pub fn pull_page<R: rand::Rng + ?Sized>(
+        &mut self,
+        region: Region,
+        ca: ritm_dictionary::CaId,
+        have: u64,
+        limit: u32,
+        rng: &mut R,
+    ) -> Option<(Vec<u8>, u64, PullStats)> {
+        let (bytes, remaining) = self.origin.fetch_page(ca, have, limit)?;
+        self.ledger.record(region, bytes.len() as u64);
+        let latency = region.origin_latency().sample(rng)
+            + region.edge_latency().sample(rng)
+            + ritm_net::time::SimDuration::from_secs_f64(
+                bytes.len() as f64 / region.bandwidth_bytes_per_sec(),
+            );
+        let stats = PullStats {
+            bytes: bytes.len() as u64,
+            cache_hit: false,
+            latency,
+        };
+        Some((bytes, remaining, stats))
+    }
+
     /// Borrow a regional edge (for cache statistics).
     pub fn edge(&self, region: Region) -> &EdgeServer {
         self.edges.get(&region).expect("all regions present")

@@ -67,6 +67,9 @@ pub struct Origin {
     /// protocol ("the RA contacts an edge server specifying the number of
     /// valid consecutive revocations it has observed", §III).
     logs: HashMap<CaId, Vec<SerialNumber>>,
+    /// Per-CA `(end_count, signed_root)` at each published batch boundary,
+    /// ascending — the historical roots paged catch-up replies anchor to.
+    boundary_roots: HashMap<CaId, Vec<(u64, SignedRoot)>>,
     latest_root: HashMap<CaId, SignedRoot>,
     /// Bytes uploaded by CAs (origin ingress, for completeness of the cost
     /// model; CloudFront ingress was free).
@@ -110,6 +113,10 @@ impl Origin {
             return Err(PublishError::BadSignature);
         }
         log.extend_from_slice(&issuance.serials);
+        self.boundary_roots
+            .entry(ca)
+            .or_default()
+            .push((log.len() as u64, issuance.signed_root));
         self.latest_root.insert(ca, issuance.signed_root);
         let bytes = issuance.to_bytes();
         self.ingress_bytes += bytes.len() as u64;
@@ -137,6 +144,54 @@ impl Origin {
             signed_root: *root,
         };
         Some(issuance.to_bytes())
+    }
+
+    /// One page of the catch-up replay for an RA holding `have`
+    /// consecutive revocations: roughly `limit` serials ending at a
+    /// published batch boundary, anchored to the root recorded there.
+    /// Returns the encoded [`RevocationIssuance`] and how many serials
+    /// remain beyond it (`0` = caught up).
+    ///
+    /// The origin holds no signing key, so it can only anchor pages to
+    /// roots the CA actually published: when a single batch alone exceeds
+    /// `limit`, that batch is served whole (the limit is soft here; the
+    /// CA's own endpoint can synthesize true mid-batch cuts).
+    pub fn fetch_page(&self, ca: CaId, have: u64, limit: u32) -> Option<(Vec<u8>, u64)> {
+        let log = self.logs.get(&ca)?;
+        let latest = self.latest_root.get(&ca)?;
+        let total = log.len() as u64;
+        let have = have.min(total);
+        if have == total {
+            let issuance = RevocationIssuance {
+                first_number: have + 1,
+                serials: Vec::new(),
+                signed_root: *latest,
+            };
+            return Some((issuance.to_bytes(), 0));
+        }
+        let roots = self.boundary_roots.get(&ca)?;
+        let target = have.saturating_add((limit as u64).max(1)).min(total);
+        let hi = roots.partition_point(|(end, _)| *end <= target);
+        let end = match roots[..hi].last().map(|(e, _)| *e).filter(|e| *e > have) {
+            Some(e) => e,
+            // No boundary within the limit: serve the enclosing batch whole.
+            None => {
+                let lo = roots.partition_point(|(e, _)| *e <= have);
+                roots.get(lo).map(|(e, _)| *e)?
+            }
+        };
+        let signed_root = if end == total {
+            *latest
+        } else {
+            let i = roots.binary_search_by_key(&end, |(e, _)| *e).ok()?;
+            roots[i].1
+        };
+        let issuance = RevocationIssuance {
+            first_number: have + 1,
+            serials: log[have as usize..end as usize].to_vec(),
+            signed_root,
+        };
+        Some((issuance.to_bytes(), total - end))
     }
 
     /// Publishes a periodic refresh (freshness statement or rotated root).

@@ -143,6 +143,25 @@ impl<C: BorrowMut<Cdn> + Send> Service for EdgeService<C> {
                     None => RitmResponse::Error(ProtoError::NotFound),
                 }
             }
+            RitmRequest::CatchUpPaged { ca, have, limit } => {
+                let limit = limit.min(ritm_proto::MAX_PAGE_LIMIT);
+                let mut guard = self.cdn.lock().expect("cdn lock");
+                let cdn: &mut Cdn = (*guard).borrow_mut();
+                let mut rng = self.rng.lock().expect("rng lock");
+                match cdn.pull_page(self.region, ca, have, limit, &mut *rng) {
+                    Some((bytes, remaining, stats)) => {
+                        self.charge(stats.latency);
+                        match RevocationIssuance::from_bytes(&bytes) {
+                            Ok(issuance) => RitmResponse::DeltaPage {
+                                issuance,
+                                remaining,
+                            },
+                            Err(_) => RitmResponse::Error(ProtoError::Internal),
+                        }
+                    }
+                    None => RitmResponse::Error(ProtoError::NotFound),
+                }
+            }
             RitmRequest::GetManifest { ca } => {
                 match self.pull_decoded(&ContentKey::Manifest { ca }, |b| Some(b.to_vec())) {
                     Ok(bytes) => RitmResponse::Manifest(bytes),

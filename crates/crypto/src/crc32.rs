@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3) — the checksum guarding on-disk formats.
+//!
+//! Not a cryptographic primitive: CRC-32 detects torn writes and bit rot
+//! in locally-written files (the CA issuance log, RA mirror snapshots),
+//! where the threat is a crashed process or a flaky disk, not an
+//! adversary. Anything adversarial is covered by the Ed25519 signatures
+//! layered above.
+
+/// CRC-32 with the reflected polynomial `0xEDB8_8320` — the classic
+/// table-driven byte-at-a-time implementation, self-contained so on-disk
+/// formats need no external checksum crate.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ritm_crypto::crc32::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_checksum() {
+        let base = b"issuance record payload".to_vec();
+        let want = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -8,7 +8,9 @@
 //! * [`hashchain`] — hash chains backing CA freshness statements;
 //! * [`ed25519`] — RFC 8032 signatures (64-byte, as in the paper) over
 //!   curve25519, including the full field/scalar/point arithmetic;
-//! * [`hex`] — encoding helpers.
+//! * [`hex`] — encoding helpers;
+//! * [`crc32`] — the (non-cryptographic) CRC-32 guarding on-disk formats
+//!   such as the CA issuance log and RA mirror snapshots.
 //!
 //! # Examples
 //!
@@ -24,6 +26,7 @@
 //! assert_eq!(chain.statement(0).unwrap(), chain.anchor());
 //! ```
 
+pub mod crc32;
 pub mod digest;
 pub mod ed25519;
 pub mod hashchain;

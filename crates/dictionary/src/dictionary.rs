@@ -316,6 +316,11 @@ pub struct CaDictionary {
     tree: MerkleTree,
     /// Full issuance log by number (1-based), for RA catch-up sync.
     log: Vec<SerialNumber>,
+    /// Historical `(end_count, signed_root)` per applied batch, in
+    /// ascending `end_count` order — the per-version roots paged catch-up
+    /// replies anchor to. Fed by [`CaDictionary::insert`] and by log
+    /// replay after a crash.
+    batch_roots: Vec<(u64, SignedRoot)>,
     chain: HashChain,
     chain_len: u64,
     delta: u64,
@@ -343,11 +348,83 @@ impl CaDictionary {
             key,
             tree,
             log: Vec::new(),
+            batch_roots: Vec::new(),
             chain,
             chain_len,
             delta,
             signed_root,
         }
+    }
+
+    /// Reconstructs a dictionary from a replayed sequence of issuance
+    /// records (a crash-recovery log). Each record is verified exactly the
+    /// way a mirror would verify it — signature, contiguous numbering, no
+    /// duplicate serials, and the rebuilt root matching the record's signed
+    /// root — so a corrupt or forged log can never resurrect a dictionary
+    /// that disagrees with what was disseminated.
+    ///
+    /// The hash-chain preimages die with the crashed process, so recovery
+    /// rotates: a fresh chain is generated and a new root (same tree, same
+    /// size, new anchor, timestamp `now`) is signed — exactly the
+    /// [`RefreshMessage::NewRoot`] rotation mirrors already follow.
+    ///
+    /// # Errors
+    ///
+    /// The index of the first record that failed verification; records
+    /// before it were applied (callers typically truncate the log there).
+    pub fn replay<R: RngCore + ?Sized>(
+        ca: CaId,
+        key: SigningKey,
+        delta: u64,
+        chain_len: u64,
+        records: &[RevocationIssuance],
+        rng: &mut R,
+        now: u64,
+    ) -> Result<Self, usize> {
+        let verifying = key.verifying_key();
+        let mut dict = CaDictionary::new(ca, key, delta, chain_len, rng, now);
+        for (i, rec) in records.iter().enumerate() {
+            let sr = &rec.signed_root;
+            let ok = sr.ca == ca
+                && sr.verify(&verifying).is_ok()
+                && rec.first_number == dict.log.len() as u64 + 1
+                && !rec.serials.is_empty();
+            if !ok {
+                return Err(i);
+            }
+            let first_number = rec.first_number;
+            let mut in_batch = std::collections::HashSet::new();
+            for s in &rec.serials {
+                if dict.tree.find(s).is_some() || !in_batch.insert(*s) {
+                    return Err(i);
+                }
+            }
+            let mut batch: Vec<Leaf> = rec
+                .serials
+                .iter()
+                .enumerate()
+                .map(|(j, s)| Leaf::new(*s, first_number + j as u64))
+                .collect();
+            batch.sort_by_key(|l| l.serial);
+            dict.tree.apply_sorted_batch(&batch);
+            if dict.tree.root() != sr.root || dict.tree.len() as u64 != sr.size {
+                dict.tree.remove_sorted_batch(&rec.serials);
+                return Err(i);
+            }
+            dict.log.extend_from_slice(&rec.serials);
+            dict.batch_roots.push((dict.log.len() as u64, *sr));
+        }
+        // Post-replay rotation: the recovered dictionary signs the same
+        // content under a fresh chain.
+        dict.signed_root = SignedRoot::create(
+            &dict.key,
+            dict.ca,
+            dict.tree.root(),
+            dict.tree.len() as u64,
+            dict.chain.anchor(),
+            now,
+        );
+        Ok(dict)
     }
 
     /// The CA identifier.
@@ -432,6 +509,8 @@ impl CaDictionary {
             self.chain.anchor(),
             now,
         );
+        self.batch_roots
+            .push((self.log.len() as u64, self.signed_root));
         Some(RevocationIssuance {
             first_number,
             serials: added,
@@ -478,6 +557,89 @@ impl CaDictionary {
             serials: self.log[idx..].to_vec(),
             signed_root: self.signed_root,
         }
+    }
+
+    /// One page of the catch-up replay for an RA holding `have`
+    /// consecutive revocations: at most `limit` serials, anchored to a
+    /// signed root that covers exactly the prefix the RA holds after
+    /// applying the page. Returns the page and how many serials remain
+    /// beyond it (`0` = caught up).
+    ///
+    /// The page ends at the largest recorded batch boundary within
+    /// `limit`; when a single batch alone exceeds `limit`, the page cuts
+    /// mid-batch and a root over the prefix is synthesized (signed with
+    /// the enclosing batch's timestamp, so the timestamps a mirror sees
+    /// stay monotonic). A page ending at the current size carries the
+    /// *current* signed root, so rotations are never regressed.
+    pub fn issuance_page(&self, have: u64, limit: u32) -> (RevocationIssuance, u64) {
+        let total = self.log.len() as u64;
+        let have = have.min(total);
+        let target = have.saturating_add((limit as u64).max(1)).min(total);
+        // Largest batch boundary in (have, target], if any.
+        let hi = self.batch_roots.partition_point(|(end, _)| *end <= target);
+        let boundary = self.batch_roots[..hi]
+            .last()
+            .map(|(end, _)| *end)
+            .filter(|end| *end > have);
+        let end = boundary.unwrap_or(target);
+        let signed_root = if end == total {
+            self.signed_root
+        } else {
+            match self
+                .batch_roots
+                .binary_search_by_key(&end, |(e, _)| *e)
+                .ok()
+                .map(|i| self.batch_roots[i].1)
+            {
+                Some(sr) => sr,
+                None => self.synthesize_root_at(end),
+            }
+        };
+        let issuance = RevocationIssuance {
+            first_number: have + 1,
+            serials: self.log[have as usize..end as usize].to_vec(),
+            signed_root,
+        };
+        (issuance, total - end)
+    }
+
+    /// Signs a root over the first `end` log entries — the mid-batch page
+    /// cut. Timestamp and anchor are borrowed from the enclosing batch's
+    /// root so the sequence of roots a catching-up mirror applies never
+    /// regresses in time (the strict-monotonicity check admits equal
+    /// timestamps).
+    fn synthesize_root_at(&self, end: u64) -> SignedRoot {
+        let idx = self.batch_roots.partition_point(|(e, _)| *e < end);
+        let (ts, anchor) = match self.batch_roots.get(idx) {
+            Some((_, sr)) => (sr.timestamp, sr.anchor),
+            None => (self.signed_root.timestamp, self.signed_root.anchor),
+        };
+        let mut tree = MerkleTree::new();
+        let mut leaves: Vec<Leaf> = self.log[..end as usize]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Leaf::new(*s, i as u64 + 1))
+            .collect();
+        leaves.sort_by_key(|l| l.serial);
+        tree.apply_sorted_batch(&leaves);
+        SignedRoot::create(&self.key, self.ca, tree.root(), end, anchor, ts)
+    }
+
+    /// The latest issuance batch (what a `FetchDelta` pull would return),
+    /// or `None` before any revocation.
+    pub fn latest_issuance(&self) -> Option<RevocationIssuance> {
+        let (&(end, _), prev) = match self.batch_roots.split_last() {
+            Some((last, prev)) => (last, prev),
+            None => return None,
+        };
+        let first = prev.last().map(|(e, _)| *e).unwrap_or(0);
+        Some(RevocationIssuance {
+            first_number: first + 1,
+            serials: self.log[first as usize..end as usize].to_vec(),
+            // Always the *current* root: a post-crash rotation supersedes
+            // the root recorded at the batch boundary.
+            signed_root: self.signed_root,
+        })
     }
 
     /// Builds a full revocation status (Eq. 3) directly from the CA's own
@@ -594,9 +756,81 @@ impl MirrorDictionary {
         })
     }
 
+    /// Restores a mirror from persisted parts: the serials in issuance
+    /// order plus the last accepted signed root. The tree is rebuilt from
+    /// scratch and accepted only if it reproduces the signed root exactly —
+    /// a tampered snapshot can never resurrect a mirror that disagrees
+    /// with what the CA signed. The freshness statement is re-derived from
+    /// the root's anchor (the restored RA refreshes on its next sync).
+    ///
+    /// `ca_key` comes from the caller's pinned configuration, never from
+    /// the snapshot itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`UpdateError`]; the same checks an `update` would run.
+    pub fn restore(
+        ca: CaId,
+        ca_key: VerifyingKey,
+        delta: u64,
+        serials: &[SerialNumber],
+        signed_root: SignedRoot,
+    ) -> Result<Self, UpdateError> {
+        if signed_root.ca != ca {
+            return Err(UpdateError::WrongCa);
+        }
+        signed_root
+            .verify(&ca_key)
+            .map_err(|_| UpdateError::BadSignature)?;
+        let mut in_batch = std::collections::HashSet::new();
+        for s in serials {
+            if !in_batch.insert(*s) {
+                return Err(UpdateError::DuplicateSerial);
+            }
+        }
+        let mut leaves: Vec<Leaf> = serials
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Leaf::new(*s, i as u64 + 1))
+            .collect();
+        leaves.sort_by_key(|l| l.serial);
+        let mut tree = PersistentTree::new();
+        tree.apply_sorted_batch(&leaves);
+        if tree.root() != signed_root.root || tree.len() as u64 != signed_root.size {
+            return Err(UpdateError::RootMismatch);
+        }
+        let freshness = FreshnessStatement::new(signed_root.anchor);
+        Ok(MirrorDictionary {
+            ca,
+            ca_key,
+            tree,
+            delta,
+            signed_root,
+            freshness,
+        })
+    }
+
+    /// The mirrored serials in issuance order (numbers `1..=len`) — what a
+    /// persistence layer saves so [`MirrorDictionary::restore`] can rebuild
+    /// and re-verify the tree.
+    pub fn serials_in_issuance_order(&self) -> Vec<SerialNumber> {
+        let mut pairs: Vec<(u64, SerialNumber)> = self
+            .tree
+            .iter_leaves()
+            .map(|l| (l.number, l.serial))
+            .collect();
+        pairs.sort_unstable_by_key(|(n, _)| *n);
+        pairs.into_iter().map(|(_, s)| s).collect()
+    }
+
     /// Sets the dissemination period Δ (from the CA manifest, §VIII).
     pub fn set_delta(&mut self, delta: u64) {
         self.delta = delta;
+    }
+
+    /// The dissemination period Δ the mirror runs with.
+    pub fn delta(&self) -> u64 {
+        self.delta
     }
 
     /// The CA this mirror tracks.
@@ -1098,6 +1332,186 @@ mod tests {
                 T0 + 1 + 3 * DELTA
             )
             .is_ok());
+    }
+
+    #[test]
+    fn issuance_pages_converge_at_batch_boundaries() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        // Three batches of 4, 6, 5 serials.
+        ca.insert(&serials(1..5), &mut rng, T0 + 1).unwrap();
+        ca.insert(&serials(10..16), &mut rng, T0 + 2).unwrap();
+        ca.insert(&serials(20..25), &mut rng, T0 + 3).unwrap();
+
+        // Page with limit 7: boundaries at 4, 10, 15 → pages end at 4
+        // (boundary ≤ 0+7), 10 (≤ 4+7), 15 (≤ 10+7).
+        let mut pages = 0;
+        loop {
+            let have = ra.consecutive_count();
+            let (page, remaining) = ca.issuance_page(have, 7);
+            assert!(page.serials.len() <= 7);
+            ra.apply_issuance(&page, T0 + 4).unwrap();
+            pages += 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        assert_eq!(pages, 3);
+        assert_eq!(ra.consecutive_count(), 15);
+        assert_eq!(ra.signed_root(), ca.signed_root());
+    }
+
+    #[test]
+    fn mid_batch_page_synthesizes_applicable_root() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        // One giant batch forces mid-batch cuts at limit 16.
+        ca.insert(&serials(0..50), &mut rng, T0 + 1).unwrap();
+
+        let mut pages = 0;
+        loop {
+            let have = ra.consecutive_count();
+            let (page, remaining) = ca.issuance_page(have, 16);
+            assert!(page.serials.len() <= 16 && !page.serials.is_empty());
+            ra.apply_issuance(&page, T0 + 2).unwrap();
+            pages += 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        assert_eq!(pages, 4); // ceil(50 / 16)
+        assert_eq!(ra.consecutive_count(), 50);
+        assert_eq!(ra.signed_root(), ca.signed_root());
+    }
+
+    #[test]
+    fn page_after_rotation_carries_current_root() {
+        let mut rng = rng();
+        // Chain of length 2 rotates quickly.
+        let mut ca = CaDictionary::new(
+            CaId::from_name("RotCA"),
+            SigningKey::from_seed([3u8; 32]),
+            DELTA,
+            2,
+            &mut rng,
+            T0,
+        );
+        let mut ra = {
+            let mut m =
+                MirrorDictionary::new(ca.ca(), ca.verifying_key(), *ca.signed_root()).unwrap();
+            m.set_delta(DELTA);
+            m
+        };
+        ca.insert(&serials(1..6), &mut rng, T0 + 1).unwrap();
+        let msg = ca.refresh(&mut rng, T0 + 1 + 5 * DELTA);
+        assert!(matches!(msg, RefreshMessage::NewRoot(_)));
+
+        // The final page must anchor to the rotated root, not the root
+        // recorded at the batch boundary.
+        let (page, remaining) = ca.issuance_page(0, 100);
+        assert_eq!(remaining, 0);
+        assert_eq!(page.signed_root, *ca.signed_root());
+        ra.apply_issuance(&page, T0 + 1 + 5 * DELTA).unwrap();
+        assert_eq!(ra.signed_root(), ca.signed_root());
+    }
+
+    #[test]
+    fn replay_reconstructs_dictionary_and_pages() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let iss1 = ca.insert(&serials(1..8), &mut rng, T0 + 1).unwrap();
+        let iss2 = ca.insert(&serials(20..30), &mut rng, T0 + 2).unwrap();
+        let records = vec![iss1, iss2];
+
+        let ca2 = CaDictionary::replay(
+            ca.ca(),
+            SigningKey::from_seed([1u8; 32]),
+            DELTA,
+            64,
+            &records,
+            &mut rng,
+            T0 + 50,
+        )
+        .expect("clean replay");
+        // Same content, rotated root (fresh chain, new timestamp).
+        assert_eq!(ca2.len(), ca.len());
+        assert_eq!(ca2.signed_root().root, ca.signed_root().root);
+        assert_eq!(ca2.signed_root().timestamp, T0 + 50);
+        assert_ne!(ca2.signed_root().anchor, ca.signed_root().anchor);
+
+        // A mirror can still page-sync from the recovered dictionary.
+        let genesis = SignedRoot::create(
+            &SigningKey::from_seed([1u8; 32]),
+            ca2.ca(),
+            crate::tree::empty_root(),
+            0,
+            ca2.signed_root().anchor,
+            T0,
+        );
+        let mut ra = MirrorDictionary::new(ca2.ca(), ca2.verifying_key(), genesis).unwrap();
+        ra.set_delta(DELTA);
+        loop {
+            let (page, remaining) = ca2.issuance_page(ra.consecutive_count(), 6);
+            ra.apply_issuance(&page, T0 + 51).unwrap();
+            if remaining == 0 {
+                break;
+            }
+        }
+        assert_eq!(ra.signed_root(), ca2.signed_root());
+    }
+
+    #[test]
+    fn replay_rejects_tampered_record() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let iss1 = ca.insert(&serials(1..5), &mut rng, T0 + 1).unwrap();
+        let mut iss2 = ca.insert(&serials(10..15), &mut rng, T0 + 2).unwrap();
+        iss2.serials[0] = SerialNumber::from_u24(999);
+        let err = CaDictionary::replay(
+            ca.ca(),
+            SigningKey::from_seed([1u8; 32]),
+            DELTA,
+            64,
+            &[iss1, iss2],
+            &mut rng,
+            T0 + 3,
+        )
+        .unwrap_err();
+        assert_eq!(err, 1, "second record is the corrupt one");
+    }
+
+    #[test]
+    fn mirror_restore_round_trips_and_rejects_tampering() {
+        let mut rng = rng();
+        let mut ca = ca_dict(&mut rng);
+        let mut ra = mirror_of(&ca);
+        let iss = ca.insert(&serials(1..30), &mut rng, T0 + 1).unwrap();
+        ra.apply_issuance(&iss, T0 + 1).unwrap();
+
+        let saved = ra.serials_in_issuance_order();
+        assert_eq!(saved, iss.serials, "issuance order must be preserved");
+
+        let back = MirrorDictionary::restore(
+            ra.ca(),
+            ca.verifying_key(),
+            DELTA,
+            &saved,
+            *ra.signed_root(),
+        )
+        .expect("clean restore");
+        assert_eq!(back.signed_root(), ra.signed_root());
+        assert_eq!(back.consecutive_count(), ra.consecutive_count());
+
+        // A snapshot with a swapped serial must not restore.
+        let mut evil = saved.clone();
+        evil[0] = SerialNumber::from_u24(999);
+        assert_eq!(
+            MirrorDictionary::restore(ra.ca(), ca.verifying_key(), DELTA, &evil, *ra.signed_root())
+                .unwrap_err(),
+            UpdateError::RootMismatch
+        );
     }
 
     #[test]

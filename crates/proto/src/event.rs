@@ -393,8 +393,7 @@ async fn serve_connection(
                 FrameRead::Frame(f) => IoPoll::Ready(ReadStep::Frame(f)),
                 FrameRead::WouldBlock => {
                     if let Some(window) = config.keepalive {
-                        if conn.inflight.load(Ordering::SeqCst) != 0
-                            || conn.lock_writer().pending()
+                        if conn.inflight.load(Ordering::SeqCst) != 0 || conn.lock_writer().pending()
                         {
                             // In-flight work and unflushed replies count
                             // as activity: the window measures *silence*,
@@ -602,14 +601,21 @@ enum PeerVersion {
 ///
 /// Any transport-level failure (EOF, I/O error, deadline) **poisons the
 /// connection**: the stream may be mid-frame, so it must never be reused.
-/// Every later call fails immediately — reconnect to recover.
+/// The next flight dials the same address afresh ([`Self::reconnect`]);
+/// only if that dial fails does the flight fail outright. A server that
+/// restarted elsewhere can be followed with [`Self::reconnect_to`].
 pub struct EventTransport {
+    /// Where the current stream was dialed; reconnects go here.
+    addr: SocketAddr,
     stream: TcpStream,
     reader: FrameReader,
     /// Set after any transport-level failure; the stream may hold
     /// misaligned bytes, so it must never be reused.
     broken: bool,
     peer: PeerVersion,
+    /// What `peer` resets to after a reconnect: `V1` keeps a pin,
+    /// `Unknown` re-probes (the restarted peer may speak differently).
+    reset_peer: PeerVersion,
     /// Next request id to assign (wrapping; uniqueness only matters
     /// within one flight, where ids are consecutive).
     next_id: u32,
@@ -643,12 +649,45 @@ impl EventTransport {
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
         Ok(EventTransport {
+            addr,
             stream,
             reader: FrameReader::new(MAX_FRAME_LEN),
             broken: false,
             peer,
+            reset_peer: peer,
             next_id: 1,
         })
+    }
+
+    /// Tears down the (possibly poisoned) stream and dials the same
+    /// address again: fresh socket, fresh framing state, version
+    /// re-probed — or the v1 pin kept. Runs automatically at the start of
+    /// any flight on a broken transport; call it directly to re-dial
+    /// eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures; the transport stays broken.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.reconnect_to(self.addr)
+    }
+
+    /// Like [`Self::reconnect`], but dials `addr` and remembers it — how
+    /// a client follows a server that restarted on a new address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures; the transport stays broken.
+    pub fn reconnect_to(&mut self, addr: SocketAddr) -> std::io::Result<()> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        self.addr = addr;
+        self.stream = stream;
+        self.reader = FrameReader::new(MAX_FRAME_LEN);
+        self.broken = false;
+        self.peer = self.reset_peer;
+        Ok(())
     }
 
     /// Whether a transport-level failure has poisoned this connection.
@@ -668,13 +707,16 @@ impl EventTransport {
 
     /// Runs one flight, dispatched on the negotiated envelope version.
     fn flight(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
-        if self.broken {
+        // A poisoned stream is never reused, but a flight boundary is a
+        // safe place to dial afresh: nothing of *this* flight has been
+        // sent yet. Only an unreachable peer fails the flight outright.
+        if self.broken && self.reconnect().is_err() {
             return reqs
                 .iter()
                 .map(|_| {
                     Err(TransportError::Io(std::io::Error::new(
                         ErrorKind::NotConnected,
-                        "transport poisoned by an earlier failed flight",
+                        "transport poisoned and reconnect failed",
                     )))
                 })
                 .collect();
@@ -1091,14 +1133,53 @@ mod tests {
         server.shutdown();
         assert!(t.round_trip(&req).is_err());
         assert!(t.is_broken());
-        // ...and a poisoned connection must never be reused (the stream
-        // may be mid-frame): later flights fail immediately instead of
-        // risking misattributed replies.
+        // ...and a poisoned connection is never reused (the stream may be
+        // mid-frame): the next flight dials afresh, and with the server
+        // gone for good that dial fails too — errors, never misattributed
+        // replies.
         let results = t.round_trip_many(std::slice::from_ref(&req));
-        assert!(matches!(
-            &results[0],
-            Err(TransportError::Io(e)) if e.kind() == ErrorKind::NotConnected
-        ));
+        assert!(matches!(&results[0], Err(TransportError::Io(_))));
+        assert!(t.is_broken());
+    }
+
+    #[test]
+    fn broken_transport_auto_reconnects_while_the_server_lives() {
+        let server = EventServer::spawn(Arc::new(Grenade), 2).unwrap();
+        let ca = CaId::from_name("PhoenixCA");
+        let mut t = EventTransport::connect(server.addr()).unwrap();
+        // The panicking service costs us the connection...
+        assert!(t.round_trip(&RitmRequest::GetManifest { ca }).is_err());
+        assert!(t.is_broken());
+        // ...but the next flight dials the same (living) server afresh.
+        let rt = t.round_trip(&RitmRequest::FetchDelta { ca }).unwrap();
+        assert_eq!(rt.response, RitmResponse::Error(ProtoError::NotFound));
+        assert!(!t.is_broken());
+        drop(t);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnect_to_follows_a_restarted_server() {
+        let server = EventServer::spawn(Arc::new(EchoCa), 1).unwrap();
+        let ca = CaId::from_name("MoveCA");
+        let req = RitmRequest::GetManifest { ca };
+        let mut t = EventTransport::connect(server.addr()).unwrap();
+        assert!(t.round_trip(&req).is_ok());
+        server.shutdown();
+        // The old address is gone: the failing flight and the auto-redial
+        // behind the next one both come up empty...
+        assert!(t.round_trip(&req).is_err());
+        assert!(t.round_trip(&req).is_err());
+        // ...but following the restarted server to its new address works,
+        // with version negotiation re-run from scratch.
+        let server = EventServer::spawn(Arc::new(EchoCa), 1).unwrap();
+        t.reconnect_to(server.addr()).unwrap();
+        assert!(!t.is_broken());
+        let rt = t.round_trip(&req).unwrap();
+        assert_eq!(rt.response, RitmResponse::Error(ProtoError::UnknownCa(ca)));
+        assert_eq!(t.negotiated_version(), Some(PROTOCOL_V2));
+        drop(t);
+        server.shutdown();
     }
 
     /// Panics on `GetManifest`, serves everything else.

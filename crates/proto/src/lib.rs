@@ -34,6 +34,7 @@
 
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod message;
 pub mod payload;
 pub mod service;
@@ -43,9 +44,11 @@ pub mod transport;
 
 pub use error::{ProtoError, TransportError};
 pub use event::{EventServer, EventServerConfig, EventTransport};
+pub use fault::{FaultPlan, FaultStats, FaultTransport};
 pub use message::{
     peek_request_envelope, split_frame, RequestEnvelope, RitmRequest, RitmResponse, MAX_CHAIN_LEN,
-    MAX_FRAME_LEN, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V2, PROTOCOL_VERSION,
+    MAX_FRAME_LEN, MAX_PAGE_LIMIT, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V2,
+    PROTOCOL_VERSION,
 };
 pub use payload::StatusPayload;
 pub use service::Service;

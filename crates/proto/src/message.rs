@@ -64,6 +64,12 @@ pub const MAX_SUPPORTED_VERSION: u8 = PROTOCOL_V2;
 /// trigger.
 pub const MAX_FRAME_LEN: usize = 1 << 25;
 
+/// Upper bound servers clamp a paged catch-up `limit` to. Serials encode
+/// to at most 21 bytes each, so a page of `MAX_PAGE_LIMIT` serials plus
+/// the fixed `DeltaPage` overhead is guaranteed to fit [`MAX_FRAME_LEN`]
+/// regardless of what limit the client asked for.
+pub const MAX_PAGE_LIMIT: u32 = 1 << 20;
+
 /// Upper bound on a `GetMultiStatus` chain. One below the status payload's
 /// `0xFF` section marker, so even a fully-uncompressed response stays
 /// encodable — the request decoder rejects longer chains as malformed
@@ -77,12 +83,14 @@ const REQ_GET_STATUS: u8 = 0x04;
 const REQ_GET_MULTI_STATUS: u8 = 0x05;
 const REQ_GET_SIGNED_ROOT: u8 = 0x06;
 const REQ_GET_MANIFEST: u8 = 0x07;
+const REQ_CATCH_UP_PAGED: u8 = 0x08;
 
 const RESP_DELTA: u8 = 0x81;
 const RESP_FRESHNESS: u8 = 0x82;
 const RESP_STATUS: u8 = 0x84;
 const RESP_SIGNED_ROOT: u8 = 0x86;
 const RESP_MANIFEST: u8 = 0x87;
+const RESP_DELTA_PAGE: u8 = 0x88;
 const RESP_ERROR: u8 = 0xEE;
 
 const REFRESH_TAG_FRESHNESS: u8 = 0;
@@ -134,6 +142,22 @@ pub enum RitmRequest {
         /// CA whose manifest is requested.
         ca: CaId,
     },
+    /// The paged form of [`CatchUp`](RitmRequest::CatchUp): at most `limit`
+    /// serials per reply, so any gap — even one whose full bundle would
+    /// blow past [`MAX_FRAME_LEN`] — converges in bounded pages, each
+    /// anchored to a historical signed root. Servers predating this kind
+    /// answer `Malformed` ("unknown request kind"), which a client treats
+    /// as "fall back to the unpaged form" — old servers keep answering the
+    /// unpaged request byte-identically.
+    CatchUpPaged {
+        /// CA to catch up on.
+        ca: CaId,
+        /// Consecutive revocations the requester already holds.
+        have: u64,
+        /// Maximum serials the requester wants in this page (servers may
+        /// clamp it further to honor [`MAX_FRAME_LEN`]).
+        limit: u32,
+    },
 }
 
 /// One response. Kind `0xEE` carries the typed error taxonomy; everything
@@ -150,6 +174,17 @@ pub enum RitmResponse {
     SignedRoot(SignedRoot),
     /// Opaque manifest bytes (answers `GetManifest`).
     Manifest(Vec<u8>),
+    /// One page of a paged catch-up (answers `CatchUpPaged`): an issuance
+    /// bundle ending at a (possibly historical) signed root, plus how many
+    /// serials remain beyond it. `remaining == 0` means the requester is
+    /// caught up once this page is applied.
+    DeltaPage {
+        /// The page's issuance bundle; its signed root covers exactly the
+        /// dictionary prefix the requester holds after applying it.
+        issuance: RevocationIssuance,
+        /// Serials still missing after this page.
+        remaining: u64,
+    },
     /// The request failed; see [`ProtoError`].
     Error(ProtoError),
 }
@@ -183,6 +218,7 @@ impl RitmRequest {
             RitmRequest::GetMultiStatus { .. } => "get_multi_status",
             RitmRequest::GetSignedRoot { .. } => "get_signed_root",
             RitmRequest::GetManifest { .. } => "get_manifest",
+            RitmRequest::CatchUpPaged { .. } => "catch_up_paged",
         }
     }
 
@@ -195,6 +231,7 @@ impl RitmRequest {
             | RitmRequest::GetSignedRoot { .. }
             | RitmRequest::GetManifest { .. } => 8,
             RitmRequest::CatchUp { .. } => 16,
+            RitmRequest::CatchUpPaged { .. } => 20,
             RitmRequest::GetStatus { serial, .. } => 8 + 1 + serial.len(),
             RitmRequest::GetMultiStatus { chain, .. } => {
                 1 + chain.iter().map(|(_, s)| 8 + 1 + s.len()).sum::<usize>() + 1
@@ -243,6 +280,12 @@ impl RitmRequest {
             RitmRequest::GetManifest { ca } => {
                 w.u8(REQ_GET_MANIFEST);
                 encode_ca(w, ca);
+            }
+            RitmRequest::CatchUpPaged { ca, have, limit } => {
+                w.u8(REQ_CATCH_UP_PAGED);
+                encode_ca(w, ca);
+                w.u64(*have);
+                w.u32(*limit);
             }
         }
     }
@@ -336,6 +379,11 @@ impl RitmRequest {
             }
             REQ_GET_SIGNED_ROOT => RitmRequest::GetSignedRoot { ca: decode_ca(r)? },
             REQ_GET_MANIFEST => RitmRequest::GetManifest { ca: decode_ca(r)? },
+            REQ_CATCH_UP_PAGED => RitmRequest::CatchUpPaged {
+                ca: decode_ca(r)?,
+                have: r.u64("catch-up have")?,
+                limit: r.u32("catch-up page limit")?,
+            },
             _ => return Err(DecodeError::new("unknown request kind", pos)),
         };
         r.finish("request trailing bytes")?;
@@ -397,6 +445,7 @@ impl RitmResponse {
             RitmResponse::Status(_) => "status",
             RitmResponse::SignedRoot(_) => "signed_root",
             RitmResponse::Manifest(_) => "manifest",
+            RitmResponse::DeltaPage { .. } => "delta_page",
             RitmResponse::Error(_) => "error",
         }
     }
@@ -416,6 +465,7 @@ impl RitmResponse {
             RitmResponse::Status(p) => 4 + p.encoded_len(),
             RitmResponse::SignedRoot(_) => ritm_dictionary::root::SIGNED_ROOT_LEN,
             RitmResponse::Manifest(m) => 4 + m.len(),
+            RitmResponse::DeltaPage { issuance, .. } => 4 + issuance.encoded_len() + 8,
             RitmResponse::Error(e) => e.encoded_len(),
         }
     }
@@ -454,6 +504,15 @@ impl RitmResponse {
                 w.u8(RESP_MANIFEST);
                 w.u32(m.len() as u32);
                 w.bytes(m);
+            }
+            RitmResponse::DeltaPage {
+                issuance,
+                remaining,
+            } => {
+                w.u8(RESP_DELTA_PAGE);
+                w.u32(issuance.encoded_len() as u32);
+                issuance.encode_into(w);
+                w.u64(*remaining);
             }
             RitmResponse::Error(e) => {
                 w.u8(RESP_ERROR);
@@ -540,6 +599,13 @@ impl RitmResponse {
             }
             RESP_SIGNED_ROOT => RitmResponse::SignedRoot(SignedRoot::decode(r)?),
             RESP_MANIFEST => RitmResponse::Manifest(read_embedded(r, "manifest bytes")?.to_vec()),
+            RESP_DELTA_PAGE => {
+                let raw = read_embedded(r, "page issuance bytes")?;
+                RitmResponse::DeltaPage {
+                    issuance: RevocationIssuance::from_bytes(raw)?,
+                    remaining: r.u64("page remaining")?,
+                }
+            }
             RESP_ERROR => RitmResponse::Error(ProtoError::decode(r)?),
             _ => return Err(DecodeError::new("unknown response kind", pos)),
         };
@@ -692,6 +758,30 @@ mod tests {
         w.u8(250); // claims 250 entries, but nothing follows
         let err = RitmRequest::decode_body(w.as_bytes()).unwrap_err();
         assert!(matches!(err, ProtoError::Malformed { .. }));
+    }
+
+    #[test]
+    fn paged_catch_up_roundtrips_and_unpaged_frame_is_unchanged() {
+        let req = RitmRequest::CatchUpPaged {
+            ca: CaId::from_name("PageCA"),
+            have: 123_456,
+            limit: 65_536,
+        };
+        let frame = req.to_frame();
+        assert_eq!(frame.len(), 4 + req.encoded_len());
+        let (body, _) = split_frame(&frame).unwrap();
+        assert_eq!(RitmRequest::decode_body(body).unwrap(), req);
+
+        // The unpaged request an old server answers must remain
+        // byte-identical: version ‖ kind=0x03 ‖ ca ‖ have.
+        let unpaged = RitmRequest::CatchUp {
+            ca: CaId::from_name("PageCA"),
+            have: 123_456,
+        };
+        let uframe = unpaged.to_frame();
+        let (ubody, _) = split_frame(&uframe).unwrap();
+        assert_eq!(ubody[1], 0x03);
+        assert_eq!(ubody.len(), 18);
     }
 
     #[test]

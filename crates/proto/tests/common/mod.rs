@@ -44,6 +44,11 @@ pub fn requests(rng: &mut StdRng) -> Vec<RitmRequest> {
             ca: arbitrary_ca(rng),
             have: rng.gen(),
         },
+        RitmRequest::CatchUpPaged {
+            ca: arbitrary_ca(rng),
+            have: rng.gen(),
+            limit: rng.gen(),
+        },
         RitmRequest::GetStatus {
             ca: arbitrary_ca(rng),
             serial: arbitrary_serial(rng),
@@ -112,8 +117,21 @@ pub fn responses(rng: &mut StdRng) -> Vec<RitmResponse> {
 
     let refresh = ca.refresh(&mut inner, T0 + 11);
 
+    let page_serials: Vec<SerialNumber> = (0..rng.gen_range(0u32..30))
+        .map(|_| arbitrary_serial(rng))
+        .collect();
+    let page = RevocationIssuance {
+        first_number: rng.gen(),
+        serials: page_serials,
+        signed_root: *mirror.signed_root(),
+    };
+
     let mut out = vec![
         RitmResponse::Delta(issuance),
+        RitmResponse::DeltaPage {
+            issuance: page,
+            remaining: rng.gen(),
+        },
         RitmResponse::Freshness(refresh),
         RitmResponse::Freshness(RefreshMessage::NewRoot(*mirror.signed_root())),
         RitmResponse::Status(payload),
