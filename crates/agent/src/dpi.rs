@@ -5,6 +5,7 @@
 //! connections — *certificate parsing*.
 
 use ritm_dictionary::{CaId, SerialNumber};
+use ritm_tls::engine::RecordAssembler;
 use ritm_tls::handshake::HandshakeMessage;
 use ritm_tls::record::{looks_like_tls, ContentType, TlsRecord};
 
@@ -53,9 +54,16 @@ pub fn classify(payload: &[u8]) -> Classification {
         // traffic and stay out of the way (non-invasiveness, §VII-F).
         return Classification::TlsOther;
     };
+    classify_records(&records)
+}
+
+/// Classifies a batch of already-reassembled records (the loop behind
+/// [`classify`], usable when the caller has a record stream rather than a
+/// raw packet payload).
+pub fn classify_records(records: &[TlsRecord]) -> Classification {
     let mut server_flight: Option<ServerFlight> = None;
     let mut finished = false;
-    for rec in &records {
+    for rec in records {
         if rec.content_type != ContentType::Handshake {
             continue;
         }
@@ -109,6 +117,113 @@ pub fn classify(payload: &[u8]) -> Classification {
         return Classification::Finished;
     }
     Classification::TlsOther
+}
+
+/// Stream-granular classifier for one direction of one flow.
+///
+/// [`classify`] is per-packet and blind to TCP fragmentation: a ClientHello
+/// split across two payloads parses as `TlsOther`/`NotTls` in both. This
+/// wrapper reassembles records across pushes (via
+/// [`RecordAssembler`]) and carries the server-flight accumulator across
+/// record boundaries, so a ServerHello in one segment and the Certificate
+/// in the next still produce one [`Classification::ServerFlight`].
+#[derive(Debug, Default)]
+pub struct StreamClassifier {
+    assembler: RecordAssembler,
+    flight: Option<ServerFlight>,
+    /// Set once the stream proved to be non-TLS; everything after is opaque.
+    dead: bool,
+}
+
+impl StreamClassifier {
+    /// Creates an empty classifier.
+    pub fn new() -> Self {
+        StreamClassifier::default()
+    }
+
+    /// Bytes of an incomplete record still buffered in the reassembler.
+    /// Zero exactly when the stream so far ends on a record boundary.
+    pub fn buffered(&self) -> usize {
+        self.assembler.buffered()
+    }
+
+    /// Feeds the next chunk of stream bytes (any fragmentation), returning
+    /// every classification that *completed* with this chunk, in order. An
+    /// empty result means nothing conclusive yet — keep feeding.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Classification> {
+        if self.dead {
+            return vec![Classification::NotTls];
+        }
+        self.assembler.push(bytes);
+        let mut out = Vec::new();
+        loop {
+            match self.assembler.next_record() {
+                Ok(Some(rec)) => self.classify_record(&rec, &mut out),
+                Ok(None) => break,
+                Err(_) => {
+                    // Not TLS at all: flag once and stay out of the way.
+                    self.dead = true;
+                    out.push(Classification::NotTls);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn classify_record(&mut self, rec: &TlsRecord, out: &mut Vec<Classification>) {
+        if rec.content_type != ContentType::Handshake {
+            return;
+        }
+        let Ok(messages) = HandshakeMessage::parse_all(&rec.payload) else {
+            out.push(Classification::TlsOther);
+            return;
+        };
+        for msg in messages {
+            match msg {
+                HandshakeMessage::ClientHello(ch) => {
+                    out.push(Classification::ClientHello {
+                        ritm: ch.has_ritm_extension(),
+                        resumption: !ch.session_id.is_empty(),
+                    });
+                }
+                HandshakeMessage::ServerHello(sh) => {
+                    self.flight = Some(ServerFlight {
+                        session_id: sh.session_id.clone(),
+                        leaf: None,
+                        chain: Vec::new(),
+                    });
+                }
+                HandshakeMessage::Certificate(chain) => {
+                    let parsed: Vec<(CaId, SerialNumber)> =
+                        chain.0.iter().map(|c| (c.issuer, c.serial)).collect();
+                    let leaf = parsed.first().copied();
+                    let f = self.flight.get_or_insert_with(|| ServerFlight {
+                        session_id: Vec::new(),
+                        leaf: None,
+                        chain: Vec::new(),
+                    });
+                    f.leaf = leaf;
+                    f.chain = parsed;
+                }
+                HandshakeMessage::ServerHelloDone => {
+                    // The full flight is complete once HelloDone arrives.
+                    if let Some(f) = self.flight.take() {
+                        out.push(Classification::ServerFlight(f));
+                    }
+                }
+                HandshakeMessage::Finished(_) => {
+                    // An abbreviated flight (SH + Finished, no certificate)
+                    // completes at the Finished marker instead.
+                    if let Some(f) = self.flight.take() {
+                        out.push(Classification::ServerFlight(f));
+                    }
+                    out.push(Classification::Finished);
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +345,102 @@ mod tests {
         // Valid record header, garbage handshake body.
         let rec = TlsRecord::new(ContentType::Handshake, vec![0xFF; 10]).to_bytes();
         assert_eq!(classify(&rec), Classification::TlsOther);
+    }
+
+    #[test]
+    fn fragmented_client_hello_classified_by_stream() {
+        // Regression: per-packet classify() is blind to a ClientHello split
+        // across two TCP payloads…
+        let ch = client_hello(true, &[]);
+        let (a, b) = ch.split_at(ch.len() / 2);
+        assert_ne!(
+            classify(a),
+            Classification::ClientHello {
+                ritm: true,
+                resumption: false
+            }
+        );
+        // …but the stream classifier reassembles it.
+        let mut sc = StreamClassifier::new();
+        assert_eq!(sc.push(a), vec![]);
+        assert_eq!(
+            sc.push(b),
+            vec![Classification::ClientHello {
+                ritm: true,
+                resumption: false
+            }]
+        );
+    }
+
+    #[test]
+    fn fragmented_server_flight_classified_by_stream() {
+        let flight = server_flight();
+        let mut sc = StreamClassifier::new();
+        // Byte-by-byte: the worst possible fragmentation.
+        let mut results = Vec::new();
+        for &byte in &flight {
+            results.extend(sc.push(&[byte]));
+        }
+        match results.as_slice() {
+            [Classification::ServerFlight(f)] => {
+                let (ca, sn) = f.leaf.expect("leaf cert parsed");
+                assert_eq!(ca, CaId::from_name("CA1"));
+                assert_eq!(sn, SerialNumber::from_u24(0x073e10));
+                assert_eq!(f.session_id, vec![9; 32]);
+            }
+            other => panic!("expected one server flight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_classifier_flags_non_tls_once() {
+        let mut sc = StreamClassifier::new();
+        assert_eq!(sc.push(b"GET / HTTP/1.1"), vec![Classification::NotTls]);
+        assert_eq!(sc.push(b"more"), vec![Classification::NotTls]);
+    }
+
+    #[test]
+    fn stream_classifier_splits_flight_across_records() {
+        // ServerHello and Certificate in *separate records*, delivered in
+        // separate pushes: still one coherent flight.
+        let ca_key = SigningKey::from_seed([1u8; 32]);
+        let cert = Certificate::issue(
+            &ca_key,
+            CaId::from_name("CA1"),
+            SerialNumber::from_u24(0x073e10),
+            "example.com",
+            0,
+            10,
+            SigningKey::from_seed([2u8; 32]).verifying_key(),
+            false,
+        );
+        let sh = TlsRecord::new(
+            ContentType::Handshake,
+            HandshakeMessage::encode_all(&[HandshakeMessage::ServerHello(ServerHello {
+                version: 0x0303,
+                random: [2u8; 32],
+                session_id: vec![9; 32],
+                cipher_suite: 0xc02f,
+                extensions: vec![],
+            })]),
+        )
+        .to_bytes();
+        let cert_done = TlsRecord::new(
+            ContentType::Handshake,
+            HandshakeMessage::encode_all(&[
+                HandshakeMessage::Certificate(CertificateChain(vec![cert])),
+                HandshakeMessage::ServerHelloDone,
+            ]),
+        )
+        .to_bytes();
+        let mut sc = StreamClassifier::new();
+        assert_eq!(sc.push(&sh), vec![]);
+        match sc.push(&cert_done).as_slice() {
+            [Classification::ServerFlight(f)] => {
+                assert_eq!(f.session_id, vec![9; 32]);
+                assert_eq!(f.chain.len(), 1);
+            }
+            other => panic!("expected one server flight, got {other:?}"),
+        }
     }
 }

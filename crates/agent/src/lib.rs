@@ -26,6 +26,7 @@
 
 pub mod cache;
 pub mod dpi;
+pub mod intercept;
 pub mod monitor;
 pub mod persist;
 pub mod ra;
@@ -35,7 +36,8 @@ pub mod state;
 pub mod sync;
 
 pub use cache::{CacheStats, EpochKeyedCache, ProofCache};
-pub use dpi::{classify, Classification, ServerFlight};
+pub use dpi::{classify, classify_records, Classification, ServerFlight, StreamClassifier};
+pub use intercept::{FlowStage, FlowTable, InterceptConfig, InterceptStats, TcpBuffer};
 pub use monitor::{ConsistencyMonitor, MisbehaviorReport, RaHealthReport};
 pub use persist::{MirrorSnapshot, ResumeError};
 pub use ra::{MirrorWriteGuard, RaConfig, RaStats, RevocationAgent, StatusPayload};

@@ -5,7 +5,7 @@
 //! Since the wire-protocol redesign the RA speaks *only*
 //! [`ritm_proto::RitmRequest`] envelopes through a [`Transport`]
 //! ([`RevocationAgent::sync_via`]): the same sync pass runs against an
-//! in-process [`Loopback`] over a CDN [`EdgeService`], a `ritm-net`
+//! in-process `Loopback` over a CDN `EdgeService`, a `ritm-net`
 //! simulated path, or a real TCP connection, moving byte-identical frames.
 //! The pass is batched into pipelined flights
 //! ([`Transport::round_trip_many`]), so on the event-driven transport a
@@ -23,15 +23,17 @@
 use crate::ra::RevocationAgent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+#[cfg(any(test, feature = "legacy-harness"))]
 use ritm_cdn::network::Cdn;
+#[cfg(any(test, feature = "legacy-harness"))]
 use ritm_cdn::service::EdgeService;
 use ritm_dictionary::{
     CaId, EngineError, MirrorEngine, RevocationIssuance, UpdateError, UpdateMessage,
 };
 use ritm_net::time::{SimDuration, SimTime};
-use ritm_proto::{
-    Loopback, ProtoError, RitmRequest, RitmResponse, RoundTrip, Transport, TransportMeta,
-};
+#[cfg(any(test, feature = "legacy-harness"))]
+use ritm_proto::Loopback;
+use ritm_proto::{ProtoError, RitmRequest, RitmResponse, RoundTrip, Transport, TransportMeta};
 
 /// Bounded retry with exponential backoff and jitter, applied to every
 /// round trip of a sync pass. A failed round trip (no decodable response)
@@ -461,6 +463,10 @@ impl<M: MirrorEngine> RevocationAgent<M> {
     /// it in a borrowed [`EdgeService`] behind an in-process [`Loopback`]
     /// and runs [`RevocationAgent::sync_via`] — the sync itself always
     /// speaks the wire protocol. `rng` seeds the edge's latency sampling.
+    ///
+    /// Only compiled with the `legacy-harness` feature; default builds are
+    /// deprecation-clean.
+    #[cfg(feature = "legacy-harness")]
     #[deprecated(note = "build an EdgeService + Transport and call sync_via")]
     pub fn sync<R: rand::Rng + ?Sized>(
         &mut self,
@@ -962,6 +968,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "legacy-harness")]
     fn legacy_sync_shim_still_speaks_the_protocol() {
         // The deprecated harness entry point must remain byte-for-byte a
         // protocol sync: same counters as the explicit transport path.

@@ -688,12 +688,172 @@ fn bench_event_serve(c: &mut Criterion) {
     event_server.shutdown();
 }
 
+/// The interception lane at Table III granularity: full sans-io handshakes
+/// per second with the `FlowTable` middlebox inline (segment-level, so the
+/// number isolates RA work from kernel socket noise) vs the same engine
+/// pair back-to-back, plus the exact bytes one stapled status record adds
+/// to a handshake.
+fn bench_handshake(c: &mut Criterion) {
+    use ritm_agent::intercept::{FlowTable, InterceptConfig};
+    use ritm_net::middlebox::Middlebox;
+    use ritm_net::tcp::{Direction, FourTuple, SocketAddr, TcpFlags, TcpSegment};
+    use ritm_net::time::SimTime;
+    use ritm_tls::certificate::{Certificate, CertificateChain, TrustAnchors};
+    use ritm_tls::connection::{ClientConfig, ServerContext};
+    use ritm_tls::engine::{Action, ClientEngine, ServerEngine};
+
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (ca, mirror) = built_pair(n);
+    let status = Arc::new(StatusServer::new());
+    assert!(status.publish(mirror.snapshot()));
+
+    let ca_key = SigningKey::from_seed([1u8; 32]);
+    let server_key = SigningKey::from_seed([2u8; 32]);
+    let leaf = Certificate::issue(
+        &ca_key,
+        ca.ca(),
+        SerialNumber::from_u24(0x700001), // absent from the dictionary
+        "bench.example.com",
+        T0,
+        T0 + 100_000,
+        server_key.verifying_key(),
+        false,
+    );
+    let chain = CertificateChain(vec![leaf]);
+    let mut anchors = TrustAnchors::new();
+    anchors.add(ca.ca(), ca_key.verifying_key());
+    let config = ClientConfig {
+        server_name: "bench.example.com".into(),
+        anchors,
+        enable_ritm: true,
+    };
+    let tuple = FourTuple {
+        client: SocketAddr::new(0x0a00_0001, 9000),
+        server: SocketAddr::new(0x0a00_0002, 443),
+    };
+    let now = SimTime::from_secs(T0 + 2);
+
+    // One full handshake; segments flow through `table` when present.
+    // Returns (bytes the client saw, statuses the client saw).
+    let run_one = |table: Option<&mut FlowTable>| -> (u64, u32) {
+        let ctx = ServerContext::new(chain.clone(), [9u8; 20]);
+        let mut client = ClientEngine::new(config.clone(), [2u8; 32], None);
+        let mut server = ServerEngine::new(ctx, [1u8; 32]);
+        let mut table = table;
+        let mut to_server = client.start().to_bytes();
+        let mut seq_cs = 0u64;
+        let mut seq_sc = 0u64;
+        let mut client_saw = 0u64;
+        let mut statuses = 0u32;
+        for _ in 0..8 {
+            let seg = TcpSegment {
+                tuple,
+                direction: Direction::ToServer,
+                seq: seq_cs,
+                ack: 0,
+                flags: TcpFlags::default(),
+                payload: std::mem::take(&mut to_server),
+            };
+            seq_cs += seg.payload.len() as u64;
+            let outs = match table.as_deref_mut() {
+                Some(t) => t.process(seg, now),
+                None => vec![seg],
+            };
+            let mut flight = Vec::new();
+            for out in outs {
+                for action in server.feed(T0 + 2, &out.payload) {
+                    if let Action::SendBytes(b) = action {
+                        flight.extend_from_slice(&b);
+                    }
+                }
+            }
+            let seg = TcpSegment {
+                tuple,
+                direction: Direction::ToClient,
+                seq: seq_sc,
+                ack: 0,
+                flags: TcpFlags::default(),
+                payload: flight,
+            };
+            seq_sc += seg.payload.len() as u64;
+            let outs = match table.as_deref_mut() {
+                Some(t) => t.process(seg, now),
+                None => vec![seg],
+            };
+            for out in outs {
+                client_saw += out.payload.len() as u64;
+                for action in client.feed(T0 + 2, &out.payload) {
+                    match action {
+                        Action::SendBytes(b) => to_server.extend_from_slice(&b),
+                        Action::RitmStatus(_) => statuses += 1,
+                        Action::Abort { alert } => panic!("bench abort: {alert:?}"),
+                        _ => {}
+                    }
+                }
+            }
+            if client.is_established() && to_server.is_empty() {
+                break;
+            }
+        }
+        assert!(client.is_established() && server.is_established());
+        // Close the flow so the table can be reused across iterations.
+        if let Some(t) = table {
+            let fin = TcpSegment {
+                tuple,
+                direction: Direction::ToServer,
+                seq: seq_cs,
+                ack: 0,
+                flags: TcpFlags {
+                    fin: true,
+                    ..TcpFlags::default()
+                },
+                payload: Vec::new(),
+            };
+            t.process(fin, now);
+        }
+        (client_saw, statuses)
+    };
+
+    let mut g = c.benchmark_group("handshake");
+    g.bench_function("engines_direct", |b| b.iter(|| black_box(run_one(None))));
+    let mut table = FlowTable::new(Arc::clone(&status), InterceptConfig::default());
+    g.bench_function("engines_through_middlebox", |b| {
+        b.iter(|| black_box(run_one(Some(&mut table))))
+    });
+    g.finish();
+
+    // Table III shape: the exact byte overhead one stapled status adds.
+    let (direct_bytes, s0) = run_one(None);
+    let mut table = FlowTable::new(status, InterceptConfig::default());
+    let (stapled_bytes, s1) = run_one(Some(&mut table));
+    assert_eq!((s0, s1), (0, 1), "middlebox staples exactly one status");
+    criterion::json_record(
+        "handshake_bytes_added_per_handshake",
+        Some(n as u64),
+        Some(1),
+        (stapled_bytes - direct_bytes) as f64,
+        "bytes",
+    );
+    criterion::json_record(
+        "handshake_bytes_baseline",
+        Some(n as u64),
+        Some(1),
+        direct_bytes as f64,
+        "bytes",
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_insert_1000, bench_prove_scaling, bench_incremental_vs_rebuild,
         bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
         bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving,
-        bench_protocol_roundtrip, bench_catchup_paged, bench_event_serve
+        bench_protocol_roundtrip, bench_catchup_paged, bench_event_serve,
+        bench_handshake
 }
 criterion_main!(benches);

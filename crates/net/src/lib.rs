@@ -38,5 +38,5 @@ pub mod time;
 pub use latency::LatencyModel;
 pub use middlebox::{Middlebox, MiddleboxNode, Passthrough};
 pub use sim::{Context, NetNode, NodeId, Path, Simulator};
-pub use tcp::{Addr, Direction, FourTuple, SeqTranslator, SocketAddr, TcpSegment};
+pub use tcp::{Addr, Direction, FourTuple, SeqTranslator, SocketAddr, StreamSegmenter, TcpSegment};
 pub use time::{SimDuration, SimTime};

@@ -240,6 +240,55 @@ impl SeqTranslator {
     }
 }
 
+/// Turns one direction of a byte stream into sequenced [`TcpSegment`]s —
+/// the bridge from real sockets (the event runtime's relay tasks) into the
+/// segment-granular interfaces ([`Middlebox`](crate::middlebox::Middlebox),
+/// flow reassembly) that expect Eq. (4)-shaped traffic.
+#[derive(Debug, Clone)]
+pub struct StreamSegmenter {
+    tuple: FourTuple,
+    direction: Direction,
+    seq: u64,
+}
+
+impl StreamSegmenter {
+    /// Creates a segmenter for one direction of `tuple`, starting at
+    /// sequence number `isn`.
+    pub fn new(tuple: FourTuple, direction: Direction, isn: u64) -> Self {
+        StreamSegmenter {
+            tuple,
+            direction,
+            seq: isn,
+        }
+    }
+
+    /// Next sequence number this direction will emit.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Wraps `payload` in the next in-order segment.
+    pub fn push(&mut self, payload: &[u8]) -> TcpSegment {
+        let seg = TcpSegment {
+            tuple: self.tuple,
+            direction: self.direction,
+            seq: self.seq,
+            ack: 0,
+            flags: TcpFlags::default(),
+            payload: payload.to_vec(),
+        };
+        self.seq += payload.len() as u64;
+        seg
+    }
+
+    /// Emits an empty FIN segment closing this direction.
+    pub fn fin(&mut self) -> TcpSegment {
+        let mut seg = self.push(&[]);
+        seg.flags.fin = true;
+        seg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,9 @@
 //!   writes, so one in-flight frame never blocks an OS thread.
 //! * [`io`] — the adapter between the two: wraps a `WouldBlock`-signalling
 //!   closure as a future that parks in the reactor.
+//! * [`net`] — async `accept` / `read_some` / `write_all` over
+//!   non-blocking `std::net` sockets, built on [`io`]; what `ritm-tls`
+//!   uses to drive handshake engines as tasks.
 //!
 //! The crate is deliberately protocol-agnostic (it knows frame *lengths*,
 //! not RITM envelopes); `ritm-proto` builds its `EventServer` and
@@ -40,6 +43,7 @@
 
 pub mod codec;
 pub mod executor;
+pub mod net;
 pub mod reactor;
 
 pub use codec::{FrameRead, FrameReader, FrameWrite, FrameWriter};

@@ -1,0 +1,140 @@
+//! Async adapters for `std::net` TCP sockets over the readiness reactor.
+//!
+//! `std` has no async sockets, so these helpers wrap the blocking types in
+//! the crate's [`io`] adapter: every operation attempts the
+//! non-blocking syscall, and a `WouldBlock` parks the task until the next
+//! readiness tick. All functions require the socket to already be in
+//! non-blocking mode (`set_nonblocking(true)`); they treat `Interrupted`
+//! like `WouldBlock` (the level-triggered tick retries harmlessly).
+
+use crate::{io, IoPoll, Reactor};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn retryable(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// Accepts one connection from a non-blocking listener. The accepted
+/// stream is returned still in *blocking* mode — callers decide.
+///
+/// # Errors
+///
+/// Terminal accept errors from the OS.
+pub async fn accept(
+    reactor: &Arc<Reactor>,
+    listener: &TcpListener,
+) -> std::io::Result<(TcpStream, SocketAddr)> {
+    io(reactor, move || match listener.accept() {
+        Ok(pair) => IoPoll::Ready(Ok(pair)),
+        Err(e) if retryable(e.kind()) => IoPoll::WouldBlock,
+        Err(e) => IoPoll::Ready(Err(e)),
+    })
+    .await
+}
+
+/// Reads whatever bytes are available into `buf`, parking until the socket
+/// is readable. `Ok(0)` means the peer closed the connection.
+///
+/// # Errors
+///
+/// Terminal read errors from the OS.
+pub async fn read_some(
+    reactor: &Arc<Reactor>,
+    stream: &TcpStream,
+    buf: &mut [u8],
+) -> std::io::Result<usize> {
+    io(reactor, move || match (&*stream).read(buf) {
+        Ok(n) => IoPoll::Ready(Ok(n)),
+        Err(e) if retryable(e.kind()) => IoPoll::WouldBlock,
+        Err(e) => IoPoll::Ready(Err(e)),
+    })
+    .await
+}
+
+/// Writes all of `bytes`, parking across short writes and `WouldBlock`.
+///
+/// # Errors
+///
+/// Terminal write errors from the OS; [`std::io::ErrorKind::WriteZero`] if
+/// the peer stops accepting bytes.
+pub async fn write_all(
+    reactor: &Arc<Reactor>,
+    stream: &TcpStream,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    let mut offset = 0;
+    io(reactor, move || {
+        while offset < bytes.len() {
+            match (&*stream).write(&bytes[offset..]) {
+                Ok(0) => {
+                    return IoPoll::Ready(Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    )))
+                }
+                Ok(n) => offset += n,
+                Err(e) if retryable(e.kind()) => return IoPoll::WouldBlock,
+                Err(e) => return IoPoll::Ready(Err(e)),
+            }
+        }
+        IoPoll::Ready(Ok(()))
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn accept_read_write_round_trip() {
+        let exec = Executor::new(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+
+        {
+            let reactor = exec.handle().reactor();
+            exec.handle().spawn(async move {
+                let (stream, _) = accept(&reactor, &listener).await.unwrap();
+                stream.set_nonblocking(true).unwrap();
+                let mut buf = [0u8; 16];
+                let n = read_some(&reactor, &stream, &mut buf).await.unwrap();
+                write_all(&reactor, &stream, &buf[..n]).await.unwrap();
+            });
+        }
+        {
+            let reactor = exec.handle().reactor();
+            let done = Arc::clone(&done);
+            exec.handle().spawn(async move {
+                let stream = TcpStream::connect(addr).unwrap();
+                stream.set_nonblocking(true).unwrap();
+                write_all(&reactor, &stream, b"ping").await.unwrap();
+                let mut buf = [0u8; 16];
+                let mut got = Vec::new();
+                while got.len() < 4 {
+                    let n = read_some(&reactor, &stream, &mut buf).await.unwrap();
+                    assert_ne!(n, 0, "peer closed early");
+                    got.extend_from_slice(&buf[..n]);
+                }
+                assert_eq!(got, b"ping");
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(done.load(Ordering::SeqCst), "echo round trip timed out");
+        exec.shutdown();
+    }
+}

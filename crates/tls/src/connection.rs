@@ -1,19 +1,23 @@
-//! TLS client/server connection state machines.
+//! Lockstep TLS connection drivers — compatibility shims over the sans-io
+//! engines in [`crate::engine`].
 //!
-//! These implement enough of TLS 1.2 for RITM's purposes: a plaintext
-//! negotiation phase carrying real certificate chains (what the RA's DPI
-//! inspects), Finished messages bound to the handshake transcript (so
-//! middlebox *tampering* with the handshake is detected, §V "MITM and
-//! Blocking Attack"), session-id and session-ticket resumption, alerts, and
-//! application-data records. Record payload encryption is modelled as
-//! plaintext (documented in DESIGN.md): RITM never reads post-handshake
-//! payloads, only record boundaries.
+//! Historically this module held the full client/server state machines;
+//! they now live in [`crate::engine`] as [`ClientEngine`]/[`ServerEngine`]
+//! so the same logic can be driven byte-at-a-time by the event runtime.
+//! [`TlsClient`] and [`ServerConnection`] remain as thin wrappers exposing
+//! the original record-granular API (`process_record` on complete,
+//! pre-framed records) for the discrete-event simulator and existing
+//! callers. The protocol itself is unchanged: enough of TLS 1.2 for RITM's
+//! purposes — plaintext negotiation carrying real certificate chains (what
+//! the RA's DPI inspects), Finished messages bound to the handshake
+//! transcript (so middlebox *tampering* is detected, §V "MITM and Blocking
+//! Attack"), session-id and session-ticket resumption, alerts, and
+//! application-data records.
 
 use crate::alert::{Alert, AlertDescription};
 use crate::certificate::{CertError, CertificateChain, TrustAnchors};
-use crate::extensions::Extension;
-use crate::handshake::{ClientHello, HandshakeMessage, ServerHello, DEFAULT_CIPHER_SUITE};
-use crate::record::{ContentType, TlsRecord};
+use crate::engine::{ClientEngine, ServerEngine};
+use crate::record::TlsRecord;
 use crate::session::{ServerSessionCache, SessionState};
 use parking_lot::Mutex;
 use ritm_crypto::digest::Digest20;
@@ -67,16 +71,6 @@ impl From<CertError> for TlsError {
     }
 }
 
-fn finished_verify_data(transcript: &[u8], label: &[u8]) -> [u8; 12] {
-    let mut buf = Vec::with_capacity(transcript.len() + label.len());
-    buf.extend_from_slice(label);
-    buf.extend_from_slice(transcript);
-    let d = Digest20::hash(buf);
-    let mut out = [0u8; 12];
-    out.copy_from_slice(&d.as_bytes()[..12]);
-    out
-}
-
 /// Long-lived server-side state shared across connections: the certificate
 /// chain, resumption caches, and deployment flags.
 #[derive(Debug)]
@@ -88,8 +82,8 @@ pub struct ServerContext {
     pub ritm_terminator: bool,
     /// Whether session tickets are offered.
     pub offer_tickets: bool,
-    ticket_secret: [u8; 20],
-    cache: Mutex<ServerSessionCache>,
+    pub(crate) ticket_secret: [u8; 20],
+    pub(crate) cache: Mutex<ServerSessionCache>,
     session_counter: AtomicU64,
 }
 
@@ -131,7 +125,7 @@ impl ServerContext {
         )
     }
 
-    fn next_session_id(&self) -> Vec<u8> {
+    pub(crate) fn next_session_id(&self) -> Vec<u8> {
         let c = self.session_counter.fetch_add(1, Ordering::Relaxed);
         let mut seed = Vec::with_capacity(28);
         seed.extend_from_slice(b"session-id");
@@ -142,15 +136,6 @@ impl ServerContext {
         id.truncate(32);
         id
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ServerState {
-    AwaitClientHello,
-    AwaitClientKeyExchange,
-    AwaitClientFinished { resumed: bool },
-    Established,
-    Failed,
 }
 
 /// Events a server connection reports to its driver.
@@ -167,37 +152,24 @@ pub enum ServerEvent {
     ConnectionClosed,
 }
 
-/// One server-side TLS connection.
+/// One server-side TLS connection (lockstep shim over [`ServerEngine`]).
 #[derive(Debug)]
 pub struct ServerConnection {
-    ctx: Arc<ServerContext>,
-    random: [u8; 32],
-    state: ServerState,
-    transcript: Vec<u8>,
-    session_id: Vec<u8>,
-    cert_chain_hash: Digest20,
-    now: u64,
+    engine: ServerEngine,
 }
 
 impl ServerConnection {
     /// Creates a connection bound to the shared context; `random` is the
     /// server random for this connection.
     pub fn new(ctx: Arc<ServerContext>, random: [u8; 32]) -> Self {
-        let cert_chain_hash = Digest20::hash(ctx.chain.to_bytes());
         ServerConnection {
-            ctx,
-            random,
-            state: ServerState::AwaitClientHello,
-            transcript: Vec::new(),
-            session_id: Vec::new(),
-            cert_chain_hash,
-            now: 0,
+            engine: ServerEngine::new(ctx, random),
         }
     }
 
     /// `true` once the handshake completed.
     pub fn is_established(&self) -> bool {
-        self.state == ServerState::Established
+        self.engine.is_established()
     }
 
     /// Consumes one inbound record and produces response records + events.
@@ -210,157 +182,7 @@ impl ServerConnection {
         record: &TlsRecord,
         now: u64,
     ) -> Result<(Vec<TlsRecord>, Vec<ServerEvent>), TlsError> {
-        self.now = now;
-        if self.state == ServerState::Failed {
-            return Err(TlsError::Closed);
-        }
-        let mut out = Vec::new();
-        let mut events = Vec::new();
-        match record.content_type {
-            ContentType::Handshake => {
-                for msg in HandshakeMessage::parse_all(&record.payload)? {
-                    self.handle_handshake(msg, &mut out, &mut events)
-                        .inspect_err(|_| self.state = ServerState::Failed)?;
-                }
-            }
-            ContentType::ApplicationData => {
-                if self.state != ServerState::Established {
-                    self.state = ServerState::Failed;
-                    return Err(TlsError::UnexpectedMessage("data before established"));
-                }
-                events.push(ServerEvent::ReceivedData(record.payload.clone()));
-            }
-            ContentType::Alert => {
-                let alert = Alert::from_bytes(&record.payload)?;
-                self.state = ServerState::Failed;
-                events.push(ServerEvent::ConnectionClosed);
-                if alert.level == crate::alert::AlertLevel::Fatal
-                    && alert.description != AlertDescription::CloseNotify
-                {
-                    return Err(TlsError::FatalAlert(alert));
-                }
-            }
-            ContentType::ChangeCipherSpec => {}
-            ContentType::RitmStatus => {
-                // Servers ignore RITM records (they are for the client; a
-                // stray one indicates an RA bug but must not kill the
-                // connection — RAs are non-invasive, §VII-F).
-            }
-        }
-        Ok((out, events))
-    }
-
-    fn handle_handshake(
-        &mut self,
-        msg: HandshakeMessage,
-        out: &mut Vec<TlsRecord>,
-        events: &mut Vec<ServerEvent>,
-    ) -> Result<(), TlsError> {
-        match (&self.state, msg) {
-            (ServerState::AwaitClientHello, HandshakeMessage::ClientHello(ch)) => {
-                // The server ignores the RITM extension (paper §III step 3).
-                if !ch.cipher_suites.contains(&DEFAULT_CIPHER_SUITE) {
-                    return Err(TlsError::NoCipherOverlap);
-                }
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::ClientHello(ch.clone()).to_bytes());
-
-                // Try session-id resumption.
-                let resumed = !ch.session_id.is_empty()
-                    && self.ctx.cache.lock().lookup(&ch.session_id).is_some();
-                let mut extensions = Vec::new();
-                if self.ctx.ritm_terminator {
-                    extensions.push(Extension::ritm_confirmation());
-                }
-                if resumed {
-                    self.session_id = ch.session_id.clone();
-                    let sh = HandshakeMessage::ServerHello(ServerHello {
-                        version: 0x0303,
-                        random: self.random,
-                        session_id: self.session_id.clone(),
-                        cipher_suite: DEFAULT_CIPHER_SUITE,
-                        extensions,
-                    });
-                    self.transcript.extend_from_slice(&sh.to_bytes());
-                    let vd = finished_verify_data(&self.transcript, b"server finished");
-                    let fin = HandshakeMessage::Finished(vd);
-                    self.transcript.extend_from_slice(&fin.to_bytes());
-                    out.push(TlsRecord::new(
-                        ContentType::Handshake,
-                        HandshakeMessage::encode_all(&[sh, fin]),
-                    ));
-                    self.state = ServerState::AwaitClientFinished { resumed: true };
-                } else {
-                    self.session_id = self.ctx.next_session_id();
-                    let sh = HandshakeMessage::ServerHello(ServerHello {
-                        version: 0x0303,
-                        random: self.random,
-                        session_id: self.session_id.clone(),
-                        cipher_suite: DEFAULT_CIPHER_SUITE,
-                        extensions,
-                    });
-                    let cert = HandshakeMessage::Certificate(self.ctx.chain.clone());
-                    let done = HandshakeMessage::ServerHelloDone;
-                    for m in [&sh, &cert, &done] {
-                        self.transcript.extend_from_slice(&m.to_bytes());
-                    }
-                    out.push(TlsRecord::new(
-                        ContentType::Handshake,
-                        HandshakeMessage::encode_all(&[sh, cert, done]),
-                    ));
-                    self.state = ServerState::AwaitClientKeyExchange;
-                }
-                Ok(())
-            }
-            (ServerState::AwaitClientKeyExchange, HandshakeMessage::ClientKeyExchange(data)) => {
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::ClientKeyExchange(data).to_bytes());
-                self.state = ServerState::AwaitClientFinished { resumed: false };
-                Ok(())
-            }
-            (ServerState::AwaitClientFinished { resumed }, HandshakeMessage::Finished(vd)) => {
-                let resumed = *resumed;
-                let expect = finished_verify_data(&self.transcript, b"client finished");
-                if vd != expect {
-                    return Err(TlsError::BadFinished);
-                }
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::Finished(vd).to_bytes());
-                if !resumed {
-                    // Full handshake: store the session, maybe a ticket,
-                    // then send server Finished.
-                    let state = SessionState {
-                        session_id: self.session_id.clone(),
-                        cipher_suite: DEFAULT_CIPHER_SUITE,
-                        cert_chain_hash: self.cert_chain_hash,
-                        established_at: self.now,
-                    };
-                    let mut msgs = Vec::new();
-                    if self.ctx.offer_tickets {
-                        let ticket = self.ctx.cache.lock().mint_ticket(&state, 3600);
-                        let t = HandshakeMessage::NewSessionTicket(ticket);
-                        self.transcript.extend_from_slice(&t.to_bytes());
-                        msgs.push(t);
-                    }
-                    self.ctx.cache.lock().store(state);
-                    let vd = finished_verify_data(&self.transcript, b"server finished");
-                    let fin = HandshakeMessage::Finished(vd);
-                    self.transcript.extend_from_slice(&fin.to_bytes());
-                    msgs.push(fin);
-                    out.push(TlsRecord::new(
-                        ContentType::Handshake,
-                        HandshakeMessage::encode_all(&msgs),
-                    ));
-                }
-                self.state = ServerState::Established;
-                events.push(ServerEvent::HandshakeComplete { resumed });
-                Ok(())
-            }
-            (state, msg) => {
-                let _ = (state, msg);
-                Err(TlsError::UnexpectedMessage("server state machine"))
-            }
-        }
+        self.engine.process_record(record, now)
     }
 
     /// Sends application data (only once established).
@@ -369,21 +191,13 @@ impl ServerConnection {
     ///
     /// [`TlsError::Closed`] if the handshake has not completed.
     pub fn send_data(&mut self, data: &[u8]) -> Result<TlsRecord, TlsError> {
-        if self.state != ServerState::Established {
-            return Err(TlsError::Closed);
-        }
-        Ok(TlsRecord::new(ContentType::ApplicationData, data.to_vec()))
+        self.engine.send_data(data)
     }
-}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ClientState {
-    Start,
-    AwaitServerHello,
-    AwaitServerHelloDone,
-    AwaitServerFinished { resumed: bool },
-    Established,
-    Failed,
+    /// The underlying sans-io engine (for byte-granular driving).
+    pub fn into_engine(self) -> ServerEngine {
+        self.engine
+    }
 }
 
 /// Client-side configuration.
@@ -420,18 +234,10 @@ pub enum ClientEvent {
     ConnectionClosed,
 }
 
-/// One client-side TLS connection.
+/// One client-side TLS connection (lockstep shim over [`ClientEngine`]).
 #[derive(Debug)]
 pub struct TlsClient {
-    config: ClientConfig,
-    random: [u8; 32],
-    state: ClientState,
-    transcript: Vec<u8>,
-    resumption: Option<SessionState>,
-    server_chain: Option<CertificateChain>,
-    pending_ticket: Option<crate::handshake::SessionTicket>,
-    session_id: Vec<u8>,
-    server_confirms_ritm: bool,
+    engine: ClientEngine,
 }
 
 impl TlsClient {
@@ -439,49 +245,29 @@ impl TlsClient {
     /// handshake using a cached session.
     pub fn new(config: ClientConfig, random: [u8; 32], resume_from: Option<SessionState>) -> Self {
         TlsClient {
-            config,
-            random,
-            state: ClientState::Start,
-            transcript: Vec::new(),
-            resumption: resume_from,
-            server_chain: None,
-            pending_ticket: None,
-            session_id: Vec::new(),
-            server_confirms_ritm: false,
+            engine: ClientEngine::new(config, random, resume_from),
         }
     }
 
     /// `true` once the handshake completed.
     pub fn is_established(&self) -> bool {
-        self.state == ClientState::Established
+        self.engine.is_established()
     }
 
     /// The validated server chain (present after a full handshake).
     pub fn server_chain(&self) -> Option<&CertificateChain> {
-        self.server_chain.as_ref()
+        self.engine.server_chain()
     }
 
     /// Session ticket issued by the server, if any.
     pub fn take_ticket(&mut self) -> Option<crate::handshake::SessionTicket> {
-        self.pending_ticket.take()
+        self.engine.take_ticket()
     }
 
     /// The established session's state (for caching in a
     /// [`ClientSessionCache`](crate::session::ClientSessionCache)).
     pub fn session_state(&self, now: u64) -> Option<SessionState> {
-        if self.state != ClientState::Established {
-            return None;
-        }
-        Some(SessionState {
-            session_id: self.session_id.clone(),
-            cipher_suite: DEFAULT_CIPHER_SUITE,
-            cert_chain_hash: self
-                .server_chain
-                .as_ref()
-                .map(|c| Digest20::hash(c.to_bytes()))
-                .or_else(|| self.resumption.as_ref().map(|r| r.cert_chain_hash))?,
-            established_at: now,
-        })
+        self.engine.session_state(now)
     }
 
     /// Starts the handshake, producing the ClientHello record.
@@ -490,26 +276,7 @@ impl TlsClient {
     ///
     /// Panics if called twice.
     pub fn start(&mut self) -> TlsRecord {
-        assert_eq!(self.state, ClientState::Start, "start() called twice");
-        let mut extensions = vec![Extension::sni(&self.config.server_name)];
-        if self.config.enable_ritm {
-            extensions.push(Extension::ritm_request());
-        }
-        let session_id = self
-            .resumption
-            .as_ref()
-            .map(|s| s.session_id.clone())
-            .unwrap_or_default();
-        let ch = HandshakeMessage::ClientHello(ClientHello {
-            version: 0x0303,
-            random: self.random,
-            session_id,
-            cipher_suites: vec![DEFAULT_CIPHER_SUITE, 0x002f, 0x0035],
-            extensions,
-        });
-        self.transcript.extend_from_slice(&ch.to_bytes());
-        self.state = ClientState::AwaitServerHello;
-        TlsRecord::new(ContentType::Handshake, HandshakeMessage::encode_all(&[ch]))
+        self.engine.start()
     }
 
     /// Consumes one inbound record and produces response records + events.
@@ -522,131 +289,7 @@ impl TlsClient {
         record: &TlsRecord,
         now: u64,
     ) -> Result<(Vec<TlsRecord>, Vec<ClientEvent>), TlsError> {
-        if self.state == ClientState::Failed {
-            return Err(TlsError::Closed);
-        }
-        let mut out = Vec::new();
-        let mut events = Vec::new();
-        match record.content_type {
-            ContentType::Handshake => {
-                for msg in HandshakeMessage::parse_all(&record.payload)? {
-                    self.handle_handshake(msg, now, &mut out, &mut events)
-                        .inspect_err(|_| self.state = ClientState::Failed)?;
-                }
-            }
-            ContentType::ApplicationData => {
-                if self.state != ClientState::Established {
-                    self.state = ClientState::Failed;
-                    return Err(TlsError::UnexpectedMessage("data before established"));
-                }
-                events.push(ClientEvent::ReceivedData(record.payload.clone()));
-            }
-            ContentType::RitmStatus => {
-                events.push(ClientEvent::RitmStatus(record.payload.clone()));
-            }
-            ContentType::Alert => {
-                let alert = Alert::from_bytes(&record.payload)?;
-                self.state = ClientState::Failed;
-                events.push(ClientEvent::ConnectionClosed);
-                if alert.level == crate::alert::AlertLevel::Fatal
-                    && alert.description != AlertDescription::CloseNotify
-                {
-                    return Err(TlsError::FatalAlert(alert));
-                }
-            }
-            ContentType::ChangeCipherSpec => {}
-        }
-        Ok((out, events))
-    }
-
-    fn handle_handshake(
-        &mut self,
-        msg: HandshakeMessage,
-        now: u64,
-        out: &mut Vec<TlsRecord>,
-        events: &mut Vec<ClientEvent>,
-    ) -> Result<(), TlsError> {
-        match (&self.state, msg) {
-            (ClientState::AwaitServerHello, HandshakeMessage::ServerHello(sh)) => {
-                self.server_confirms_ritm = sh.confirms_ritm();
-                let resumed = self
-                    .resumption
-                    .as_ref()
-                    .is_some_and(|r| r.session_id == sh.session_id);
-                self.session_id = sh.session_id.clone();
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::ServerHello(sh).to_bytes());
-                self.state = if resumed {
-                    ClientState::AwaitServerFinished { resumed: true }
-                } else {
-                    ClientState::AwaitServerHelloDone
-                };
-                Ok(())
-            }
-            (ClientState::AwaitServerHelloDone, HandshakeMessage::Certificate(chain)) => {
-                // Standard validation — the client's step 5a. The RITM
-                // revocation check happens in ritm-client on top.
-                chain.validate(&self.config.anchors, now)?;
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::Certificate(chain.clone()).to_bytes());
-                events.push(ClientEvent::CertificateReceived(chain.clone()));
-                self.server_chain = Some(chain);
-                Ok(())
-            }
-            (ClientState::AwaitServerHelloDone, HandshakeMessage::ServerHelloDone) => {
-                if self.server_chain.is_none() {
-                    return Err(TlsError::UnexpectedMessage("hello-done before certificate"));
-                }
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::ServerHelloDone.to_bytes());
-                let cke = HandshakeMessage::ClientKeyExchange(vec![0x42; 48]);
-                self.transcript.extend_from_slice(&cke.to_bytes());
-                let vd = finished_verify_data(&self.transcript, b"client finished");
-                let fin = HandshakeMessage::Finished(vd);
-                self.transcript.extend_from_slice(&fin.to_bytes());
-                out.push(TlsRecord::new(
-                    ContentType::Handshake,
-                    HandshakeMessage::encode_all(&[cke, fin]),
-                ));
-                self.state = ClientState::AwaitServerFinished { resumed: false };
-                Ok(())
-            }
-            (ClientState::AwaitServerFinished { .. }, HandshakeMessage::NewSessionTicket(t)) => {
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::NewSessionTicket(t.clone()).to_bytes());
-                self.pending_ticket = Some(t);
-                Ok(())
-            }
-            (ClientState::AwaitServerFinished { resumed }, HandshakeMessage::Finished(vd)) => {
-                let resumed = *resumed;
-                let expect = finished_verify_data(&self.transcript, b"server finished");
-                if vd != expect {
-                    return Err(TlsError::BadFinished);
-                }
-                self.transcript
-                    .extend_from_slice(&HandshakeMessage::Finished(vd).to_bytes());
-                if resumed {
-                    // Abbreviated handshake: client Finished goes last.
-                    let vd = finished_verify_data(&self.transcript, b"client finished");
-                    let fin = HandshakeMessage::Finished(vd);
-                    self.transcript.extend_from_slice(&fin.to_bytes());
-                    out.push(TlsRecord::new(
-                        ContentType::Handshake,
-                        HandshakeMessage::encode_all(&[fin]),
-                    ));
-                }
-                self.state = ClientState::Established;
-                events.push(ClientEvent::HandshakeComplete {
-                    resumed,
-                    server_confirms_ritm: self.server_confirms_ritm,
-                });
-                Ok(())
-            }
-            (state, msg) => {
-                let _ = (state, msg);
-                Err(TlsError::UnexpectedMessage("client state machine"))
-            }
-        }
+        self.engine.process_record(record, now)
     }
 
     /// Sends application data (only once established).
@@ -655,17 +298,18 @@ impl TlsClient {
     ///
     /// [`TlsError::Closed`] if the handshake has not completed.
     pub fn send_data(&mut self, data: &[u8]) -> Result<TlsRecord, TlsError> {
-        if self.state != ClientState::Established {
-            return Err(TlsError::Closed);
-        }
-        Ok(TlsRecord::new(ContentType::ApplicationData, data.to_vec()))
+        self.engine.send_data(data)
     }
 
     /// Aborts the connection with a fatal alert (e.g. on a revoked
     /// certificate — paper §III steps 5/7).
     pub fn abort(&mut self, description: AlertDescription) -> TlsRecord {
-        self.state = ClientState::Failed;
-        TlsRecord::new(ContentType::Alert, Alert::fatal(description).to_bytes())
+        self.engine.abort(description)
+    }
+
+    /// The underlying sans-io engine (for byte-granular driving).
+    pub fn into_engine(self) -> ClientEngine {
+        self.engine
     }
 }
 
@@ -703,6 +347,8 @@ pub fn drive_handshake(
 mod tests {
     use super::*;
     use crate::certificate::{Certificate, TrustAnchors};
+    use crate::handshake::DEFAULT_CIPHER_SUITE;
+    use crate::record::ContentType;
     use ritm_crypto::ed25519::SigningKey;
     use ritm_dictionary::{CaId, SerialNumber};
 
@@ -826,6 +472,48 @@ mod tests {
         assert!(cev
             .iter()
             .any(|e| matches!(e, ClientEvent::CertificateReceived(_))));
+    }
+
+    #[test]
+    fn expired_session_falls_back_to_full_handshake() {
+        // Satellite: a cached session past its ticket lifetime must not
+        // resume — the server treats it like an unknown id.
+        let (chain, anchors) = test_pki();
+        let ctx = ServerContext::new(chain, [9u8; 20]);
+        let mut server = ServerConnection::new(ctx.clone(), [1u8; 32]);
+        let mut client = TlsClient::new(client_config(anchors.clone()), [2u8; 32], None);
+        drive_handshake(&mut client, &mut server, NOW).unwrap();
+        let session = client.session_state(NOW).unwrap();
+
+        // Well past SESSION_LIFETIME_SECS: full handshake with certificate.
+        let later = NOW + crate::session::SESSION_LIFETIME_SECS + 1;
+        let mut server2 = ServerConnection::new(ctx.clone(), [3u8; 32]);
+        let mut client2 = TlsClient::new(
+            client_config(anchors.clone()),
+            [4u8; 32],
+            Some(session.clone()),
+        );
+        let (cev, sev) = drive_handshake(&mut client2, &mut server2, later).unwrap();
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::HandshakeComplete { resumed: false, .. })));
+        assert!(sev.contains(&ServerEvent::HandshakeComplete { resumed: false }));
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::CertificateReceived(_))));
+
+        // Just inside the lifetime the same session still resumes.
+        let mut server3 = ServerConnection::new(ctx, [5u8; 32]);
+        let mut client3 = TlsClient::new(client_config(anchors), [6u8; 32], Some(session));
+        let (cev, _) = drive_handshake(
+            &mut client3,
+            &mut server3,
+            NOW + crate::session::SESSION_LIFETIME_SECS - 1,
+        )
+        .unwrap();
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, ClientEvent::HandshakeComplete { resumed: true, .. })));
     }
 
     #[test]

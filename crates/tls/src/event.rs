@@ -1,0 +1,152 @@
+//! Event-runtime adapters: drive a sans-io engine as a `ritm-rt` task.
+//!
+//! [`drive_handshake_task`] pumps a non-blocking `TcpStream` through a
+//! [`ClientEngine`] or [`ServerEngine`]: read whatever bytes the socket
+//! has, [`feed`](HandshakeEngine::feed) them, obey the returned
+//! [`Action`]s. Because the engine survives `WouldBlock` at any byte
+//! boundary, thousands of concurrent handshakes can run as tasks on the
+//! ≤2-thread executor, parking in the `Reactor` between readiness ticks —
+//! the paper's requirement that one RA/edge process terminate many client
+//! connections at once without a thread per connection.
+
+use crate::alert::Alert;
+use crate::certificate::CertificateChain;
+use crate::engine::{Action, ClientEngine, ServerEngine};
+use crate::handshake::SessionTicket;
+use ritm_rt::net::{read_some, write_all};
+use ritm_rt::Reactor;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Either side of a handshake, as seen by the task driver: an optional
+/// opening flight, then bytes-in → actions-out until completion.
+pub trait HandshakeEngine {
+    /// The opening flight to send before reading anything (the
+    /// ClientHello for clients; `None` for servers).
+    fn initial_send(&mut self) -> Option<Vec<u8>>;
+
+    /// Feeds received bytes, returning the resulting actions in order.
+    fn feed(&mut self, now: u64, bytes: &[u8]) -> Vec<Action>;
+}
+
+impl HandshakeEngine for ClientEngine {
+    fn initial_send(&mut self) -> Option<Vec<u8>> {
+        Some(self.start().to_bytes())
+    }
+
+    fn feed(&mut self, now: u64, bytes: &[u8]) -> Vec<Action> {
+        ClientEngine::feed(self, now, bytes)
+    }
+}
+
+impl HandshakeEngine for ServerEngine {
+    fn initial_send(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn feed(&mut self, now: u64, bytes: &[u8]) -> Vec<Action> {
+        ServerEngine::feed(self, now, bytes)
+    }
+}
+
+/// What a completed handshake produced.
+#[derive(Debug, Clone)]
+pub struct HandshakeOutcome {
+    /// The validated server chain (client side, full handshakes).
+    pub chain: Option<CertificateChain>,
+    /// Session ticket issued by the server, if any.
+    pub ticket: Option<SessionTicket>,
+    /// Whether this was an abbreviated (resumed) handshake.
+    pub resumed: bool,
+    /// Raw RITM status payloads stapled into the stream by an on-path RA,
+    /// in arrival order (decoded and enforced by `ritm-client`).
+    pub statuses: Vec<Vec<u8>>,
+}
+
+/// Why a handshake task failed.
+#[derive(Debug)]
+pub enum HandshakeTaskError {
+    /// A socket operation failed terminally.
+    Io(std::io::Error),
+    /// The handshake aborted with a fatal alert (ours or the peer's).
+    Aborted(Alert),
+    /// The peer closed the connection before the handshake completed.
+    PeerClosed,
+}
+
+impl core::fmt::Display for HandshakeTaskError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HandshakeTaskError::Io(e) => write!(f, "handshake i/o error: {e}"),
+            HandshakeTaskError::Aborted(a) => {
+                write!(f, "handshake aborted: {:?}", a.description)
+            }
+            HandshakeTaskError::PeerClosed => f.write_str("peer closed during handshake"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeTaskError {}
+
+impl From<std::io::Error> for HandshakeTaskError {
+    fn from(e: std::io::Error) -> Self {
+        HandshakeTaskError::Io(e)
+    }
+}
+
+/// Drives `engine` over `stream` until the handshake completes or fails,
+/// returning the engine (for application data) and the outcome. Any RITM
+/// status records seen before completion are collected into
+/// [`HandshakeOutcome::statuses`] — stapled statuses arrive *before* the
+/// final flight, so they are already present when this returns.
+///
+/// # Errors
+///
+/// [`HandshakeTaskError`] on socket failure, abort, or early close. Local
+/// aborts flush their fatal alert to the peer before returning.
+pub async fn drive_handshake_task<E: HandshakeEngine>(
+    reactor: Arc<Reactor>,
+    stream: TcpStream,
+    mut engine: E,
+    now: u64,
+) -> Result<(E, TcpStream, HandshakeOutcome), HandshakeTaskError> {
+    stream.set_nonblocking(true)?;
+    if let Some(flight) = engine.initial_send() {
+        write_all(&reactor, &stream, &flight).await?;
+    }
+    let mut statuses = Vec::new();
+    let mut completed: Option<(Option<CertificateChain>, Option<SessionTicket>, bool)> = None;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = read_some(&reactor, &stream, &mut buf).await?;
+        if n == 0 {
+            return Err(HandshakeTaskError::PeerClosed);
+        }
+        for action in engine.feed(now, &buf[..n]) {
+            match action {
+                Action::SendBytes(bytes) => write_all(&reactor, &stream, &bytes).await?,
+                Action::HandshakeComplete {
+                    chain,
+                    ticket,
+                    resumed,
+                } => completed = Some((chain, ticket, resumed)),
+                Action::RitmStatus(payload) => statuses.push(payload),
+                Action::Abort { alert } => return Err(HandshakeTaskError::Aborted(alert)),
+                Action::Closed => return Err(HandshakeTaskError::PeerClosed),
+                Action::NeedMoreData | Action::ReceivedData(_) => {}
+            }
+        }
+        if let Some((chain, ticket, resumed)) = completed.take() {
+            return Ok((
+                engine,
+                stream,
+                HandshakeOutcome {
+                    chain,
+                    ticket,
+                    resumed,
+                    statuses,
+                },
+            ));
+        }
+    }
+}

@@ -15,8 +15,12 @@
 //!   substitute, see DESIGN.md);
 //! * [`session`] — session-id and session-ticket resumption;
 //! * [`alert`] — connection interruption;
-//! * [`connection`] — client and server state machines with
-//!   transcript-bound Finished messages.
+//! * [`engine`] — sans-io resumable client/server handshake engines
+//!   (`feed` bytes in, typed [`engine::Action`]s out, any fragmentation);
+//! * [`connection`] — the lockstep record-granular API, now a thin
+//!   compatibility shim over the engines;
+//! * [`event`] — adapters driving an engine as a `ritm-rt` task over a
+//!   non-blocking socket.
 //!
 //! # Examples
 //!
@@ -51,6 +55,8 @@
 pub mod alert;
 pub mod certificate;
 pub mod connection;
+pub mod engine;
+pub mod event;
 pub mod extensions;
 pub mod handshake;
 pub mod record;
@@ -62,6 +68,9 @@ pub use connection::{
     drive_handshake, ClientConfig, ClientEvent, ServerConnection, ServerContext, ServerEvent,
     TlsClient, TlsError,
 };
+pub use engine::{Action, ClientEngine, RecordAssembler, ServerEngine};
+pub use event::{drive_handshake_task, HandshakeEngine, HandshakeOutcome, HandshakeTaskError};
 pub use extensions::{Extension, RITM_CONFIRM_EXTENSION_TYPE, RITM_EXTENSION_TYPE};
 pub use handshake::{ClientHello, HandshakeMessage, ServerHello, SessionTicket};
 pub use record::{looks_like_tls, ContentType, TlsRecord};
+pub use session::SESSION_LIFETIME_SECS;

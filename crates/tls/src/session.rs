@@ -10,6 +10,10 @@ use crate::handshake::SessionTicket;
 use ritm_crypto::digest::Digest20;
 use std::collections::HashMap;
 
+/// Default session lifetime in seconds (also the minted ticket lifetime).
+/// Sessions older than this fall back to a full handshake.
+pub const SESSION_LIFETIME_SECS: u64 = 3600;
+
 /// Data both endpoints retain about an established session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionState {
@@ -22,6 +26,14 @@ pub struct SessionState {
     pub cert_chain_hash: Digest20,
     /// Unix time the session was established.
     pub established_at: u64,
+}
+
+impl SessionState {
+    /// `true` while the session is within `lifetime` seconds of its
+    /// establishment (clock skew towards the past counts as fresh).
+    pub fn is_fresh(&self, now: u64, lifetime: u64) -> bool {
+        now.saturating_sub(self.established_at) <= lifetime
+    }
 }
 
 /// Server-side session cache, keyed by session id.
@@ -49,6 +61,20 @@ impl ServerSessionCache {
     /// Looks up a session by id.
     pub fn lookup(&self, session_id: &[u8]) -> Option<&SessionState> {
         self.sessions.get(session_id)
+    }
+
+    /// Looks up a session by id, treating sessions older than `lifetime`
+    /// seconds as absent — expired entries must fall back to a full
+    /// handshake exactly like unknown ids.
+    pub fn lookup_fresh(
+        &self,
+        session_id: &[u8],
+        now: u64,
+        lifetime: u64,
+    ) -> Option<&SessionState> {
+        self.sessions
+            .get(session_id)
+            .filter(|s| s.is_fresh(now, lifetime))
     }
 
     /// Number of cached sessions.
@@ -165,6 +191,16 @@ mod tests {
         assert_eq!(cache.lookup(&[1u8; 32]), Some(&state(1)));
         assert_eq!(cache.lookup(&[2u8; 32]), None);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fresh_lookup_expires_old_sessions() {
+        let mut cache = ServerSessionCache::new([1u8; 20]);
+        cache.store(state(1)); // established_at = 1_000
+        assert!(cache.lookup_fresh(&[1u8; 32], 1_000 + 3600, 3600).is_some());
+        assert!(cache.lookup_fresh(&[1u8; 32], 1_000 + 3601, 3600).is_none());
+        // A clock slightly behind the establishment time still resumes.
+        assert!(cache.lookup_fresh(&[1u8; 32], 500, 3600).is_some());
     }
 
     #[test]

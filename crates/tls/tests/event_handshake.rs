@@ -1,0 +1,168 @@
+//! End-to-end: both sans-io engines driven as `ritm-rt` tasks over real
+//! non-blocking sockets, exercising the resumable reassembly path under
+//! whatever fragmentation the kernel produces.
+
+use ritm_crypto::ed25519::SigningKey;
+use ritm_dictionary::{CaId, SerialNumber};
+use ritm_rt::Executor;
+use ritm_tls::certificate::{Certificate, CertificateChain, TrustAnchors};
+use ritm_tls::connection::{ClientConfig, ServerContext};
+use ritm_tls::engine::{ClientEngine, ServerEngine};
+use ritm_tls::event::{drive_handshake_task, HandshakeOutcome, HandshakeTaskError};
+use ritm_tls::session::{SessionState, SESSION_LIFETIME_SECS};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NOW: u64 = 1_000_000;
+
+fn pki() -> (CertificateChain, TrustAnchors) {
+    let ca_key = SigningKey::from_seed([1u8; 32]);
+    let server_key = SigningKey::from_seed([2u8; 32]);
+    let leaf = Certificate::issue(
+        &ca_key,
+        CaId::from_name("EventCA"),
+        SerialNumber::from_u24(11),
+        "event.example.com",
+        NOW - 100,
+        NOW + 100_000,
+        server_key.verifying_key(),
+        false,
+    );
+    let mut anchors = TrustAnchors::new();
+    anchors.add(CaId::from_name("EventCA"), ca_key.verifying_key());
+    (CertificateChain(vec![leaf]), anchors)
+}
+
+fn config(anchors: TrustAnchors) -> ClientConfig {
+    ClientConfig {
+        server_name: "event.example.com".into(),
+        anchors,
+        enable_ritm: true,
+    }
+}
+
+type ServerResult = Result<(bool, HandshakeOutcome), HandshakeTaskError>;
+type ClientResult = Result<(ClientEngine, HandshakeOutcome), HandshakeTaskError>;
+
+/// Runs one client+server handshake pair as runtime tasks, returning both
+/// sides' results. `session` seeds the client for an abbreviated handshake.
+fn run_pair(
+    ctx: Arc<ServerContext>,
+    anchors: TrustAnchors,
+    session: Option<SessionState>,
+    now: u64,
+) -> (ServerResult, ClientResult) {
+    let exec = Executor::new(2);
+    let handle = exec.handle();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let addr = listener.local_addr().expect("addr");
+
+    let (server_tx, server_rx) = mpsc::channel::<ServerResult>();
+    let reactor = handle.reactor();
+    handle.spawn(async move {
+        let result = async {
+            let (stream, _) = ritm_rt::net::accept(&reactor, &listener).await?;
+            let engine = ServerEngine::new(ctx, [1u8; 32]);
+            let (engine, _stream, outcome) =
+                drive_handshake_task(Arc::clone(&reactor), stream, engine, now).await?;
+            Ok((engine.is_established(), outcome))
+        }
+        .await;
+        let _ = server_tx.send(result);
+    });
+
+    let (client_tx, client_rx) = mpsc::channel::<ClientResult>();
+    let reactor = handle.reactor();
+    handle.spawn(async move {
+        let result = async {
+            let stream = TcpStream::connect(addr)?;
+            let engine = ClientEngine::new(config(anchors), [2u8; 32], session);
+            let (engine, _stream, outcome) =
+                drive_handshake_task(Arc::clone(&reactor), stream, engine, now).await?;
+            Ok((engine, outcome))
+        }
+        .await;
+        let _ = client_tx.send(result);
+    });
+
+    let server = server_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server task finished");
+    let client = client_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("client task finished");
+    exec.shutdown();
+    (server, client)
+}
+
+#[test]
+fn full_handshake_as_runtime_tasks() {
+    let (chain, anchors) = pki();
+    let ctx = ServerContext::configured(chain.clone(), [9u8; 20], false, true);
+    let (server, client) = run_pair(ctx, anchors, None, NOW);
+
+    let (established, server_outcome) = server.expect("server handshake");
+    assert!(established);
+    assert!(!server_outcome.resumed);
+
+    let (engine, outcome) = client.expect("client handshake");
+    assert!(engine.is_established());
+    assert!(!outcome.resumed);
+    assert_eq!(
+        outcome.chain.as_ref(),
+        Some(&chain),
+        "chain surfaced to task"
+    );
+    assert!(outcome.ticket.is_some(), "ticket minted on full handshake");
+}
+
+#[test]
+fn fresh_session_resumes_over_sockets() {
+    let (chain, anchors) = pki();
+    let ctx = ServerContext::new(chain, [9u8; 20]);
+
+    let (_, client) = run_pair(Arc::clone(&ctx), anchors.clone(), None, NOW);
+    let (engine, _) = client.expect("first handshake");
+    let session = engine.session_state(NOW).expect("session captured");
+
+    // Well inside the lifetime: abbreviated handshake.
+    let (server, client) = run_pair(ctx, anchors, Some(session), NOW + 5);
+    let (established, server_outcome) = server.expect("server resumption");
+    assert!(established);
+    assert!(server_outcome.resumed, "server took the abbreviated path");
+    let (engine, outcome) = client.expect("client resumption");
+    assert!(engine.is_established());
+    assert!(outcome.resumed);
+    assert!(
+        outcome.chain.is_none(),
+        "no Certificate flight when resuming"
+    );
+}
+
+#[test]
+fn expired_session_falls_back_to_full_handshake_over_sockets() {
+    let (chain, anchors) = pki();
+    let ctx = ServerContext::new(chain.clone(), [9u8; 20]);
+
+    let (_, client) = run_pair(Arc::clone(&ctx), anchors.clone(), None, NOW);
+    let (engine, _) = client.expect("first handshake");
+    let session = engine.session_state(NOW).expect("session captured");
+
+    // Past the server's lifetime window: the offer is ignored and the full
+    // handshake (Certificate flight and all) runs instead of an abort.
+    let late = NOW + SESSION_LIFETIME_SECS + 1;
+    let (server, client) = run_pair(ctx, anchors, Some(session), late);
+    let (established, server_outcome) = server.expect("server fallback");
+    assert!(established);
+    assert!(!server_outcome.resumed, "expired session must not resume");
+    let (engine, outcome) = client.expect("client fallback");
+    assert!(engine.is_established());
+    assert!(!outcome.resumed);
+    assert_eq!(outcome.chain.as_ref(), Some(&chain), "full flight re-ran");
+}

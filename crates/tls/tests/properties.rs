@@ -5,10 +5,71 @@
 use proptest::prelude::*;
 use ritm_crypto::ed25519::SigningKey;
 use ritm_dictionary::{CaId, SerialNumber};
-use ritm_tls::certificate::{Certificate, CertificateChain};
+use ritm_tls::certificate::{Certificate, CertificateChain, TrustAnchors};
+use ritm_tls::connection::{ClientConfig, ServerConnection, ServerContext, TlsClient};
+use ritm_tls::engine::{Action, ClientEngine, RecordAssembler, ServerEngine};
 use ritm_tls::extensions::Extension;
 use ritm_tls::handshake::{ClientHello, HandshakeMessage, ServerHello, SessionTicket};
 use ritm_tls::record::{ContentType, TlsRecord};
+
+/// Handshake wall-clock for the engine properties (certs below are valid
+/// around it).
+const NOW: u64 = 1_000_000;
+
+fn engine_pki() -> (CertificateChain, TrustAnchors) {
+    let ca_key = SigningKey::from_seed([1u8; 32]);
+    let server_key = SigningKey::from_seed([2u8; 32]);
+    let leaf = Certificate::issue(
+        &ca_key,
+        CaId::from_name("PropCA"),
+        SerialNumber::from_u24(7),
+        "prop.example.com",
+        NOW - 100,
+        NOW + 100_000,
+        server_key.verifying_key(),
+        false,
+    );
+    let mut anchors = TrustAnchors::new();
+    anchors.add(CaId::from_name("PropCA"), ca_key.verifying_key());
+    (CertificateChain(vec![leaf]), anchors)
+}
+
+fn engine_config(anchors: TrustAnchors) -> ClientConfig {
+    ClientConfig {
+        server_name: "prop.example.com".into(),
+        anchors,
+        enable_ritm: true,
+    }
+}
+
+/// Runs the lockstep (record-granular) drivers to completion, returning
+/// the exact bytes each side put on the wire.
+fn lockstep_transcript(chain: CertificateChain, anchors: TrustAnchors) -> (Vec<u8>, Vec<u8>) {
+    let ctx = ServerContext::new(chain, [9u8; 20]);
+    let mut client = TlsClient::new(engine_config(anchors), [2u8; 32], None);
+    let mut server = ServerConnection::new(ctx, [1u8; 32]);
+    let mut client_bytes = Vec::new();
+    let mut server_bytes = Vec::new();
+    let mut to_server = vec![client.start()];
+    for _ in 0..8 {
+        let mut to_client = Vec::new();
+        for rec in to_server.drain(..) {
+            client_bytes.extend_from_slice(&rec.to_bytes());
+            let (outs, _) = server.process_record(&rec, NOW).unwrap();
+            to_client.extend(outs);
+        }
+        for rec in to_client.drain(..) {
+            server_bytes.extend_from_slice(&rec.to_bytes());
+            let (outs, _) = client.process_record(&rec, NOW).unwrap();
+            to_server.extend(outs);
+        }
+        if client.is_established() && to_server.is_empty() {
+            break;
+        }
+    }
+    assert!(client.is_established() && server.is_established());
+    (client_bytes, server_bytes)
+}
 
 fn arb_content_type() -> impl Strategy<Value = ContentType> {
     prop_oneof![
@@ -155,5 +216,113 @@ proptest! {
         let c1 = ritm_agent::dpi::classify(&bytes);
         let c2 = ritm_agent::dpi::classify(&bytes);
         prop_assert_eq!(c1, c2, "classification must be deterministic");
+    }
+
+    #[test]
+    fn record_assembler_is_total(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..8),
+    ) {
+        // Arbitrary bytes in arbitrary chunks: errors are typed, never
+        // panics, and an error is sticky evidence (not a crash).
+        let mut asm = RecordAssembler::new();
+        for chunk in &chunks {
+            asm.push(chunk);
+            while let Ok(Some(_)) = asm.next_record() {}
+        }
+    }
+
+    #[test]
+    fn engine_feed_is_total_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let (chain, anchors) = engine_pki();
+        let split = split.min(bytes.len());
+
+        // Server engine fed arbitrary bytes in two arbitrary chunks.
+        let mut server = ServerEngine::new(ServerContext::new(chain, [9u8; 20]), [1u8; 32]);
+        let first = server.feed(NOW, &bytes[..split]);
+        let second = server.feed(NOW, &bytes[split..]);
+        // Once aborted, the engine stays aborted (no revival on new bytes).
+        if first.iter().any(|a| matches!(a, Action::Abort { .. })) {
+            prop_assert!(
+                second.iter().all(|a| matches!(a, Action::Abort { .. })),
+                "latched abort must not emit traffic: {second:?}",
+            );
+        }
+
+        // Client engine likewise (after its opening flight).
+        let mut client = ClientEngine::new(engine_config(anchors), [2u8; 32], None);
+        let _ = client.start();
+        let _ = client.feed(NOW, &bytes[..split]);
+        let _ = client.feed(NOW, &bytes[split..]);
+    }
+
+    #[test]
+    fn engines_match_lockstep_under_fragmentation(
+        chunks in prop::collection::vec(1usize..97, 1..64),
+    ) {
+        let (chain, anchors) = engine_pki();
+        let (golden_client, golden_server) =
+            lockstep_transcript(chain.clone(), anchors.clone());
+
+        // Same keys, same randoms, fresh context: the engine pair must put
+        // bit-identical bytes on the wire no matter how reads fragment.
+        let mut client = ClientEngine::new(engine_config(anchors), [2u8; 32], None);
+        let mut server = ServerEngine::new(ServerContext::new(chain, [9u8; 20]), [1u8; 32]);
+        let start = client.start().to_bytes();
+        let mut sent_client = start.clone();
+        let mut sent_server: Vec<u8> = Vec::new();
+        let mut queue_cs = start; // bytes in flight client→server
+        let mut queue_sc: Vec<u8> = Vec::new();
+        let mut next_chunk = 0usize;
+        let mut take = |queue: &mut Vec<u8>| -> Vec<u8> {
+            let n = chunks[next_chunk % chunks.len()].min(queue.len());
+            next_chunk += 1;
+            queue.drain(..n).collect()
+        };
+        for _ in 0..20_000 {
+            if client.is_established()
+                && server.is_established()
+                && queue_cs.is_empty()
+                && queue_sc.is_empty()
+            {
+                break;
+            }
+            if !queue_cs.is_empty() {
+                let chunk = take(&mut queue_cs);
+                for action in server.feed(NOW, &chunk) {
+                    match action {
+                        Action::SendBytes(b) => {
+                            sent_server.extend_from_slice(&b);
+                            queue_sc.extend_from_slice(&b);
+                        }
+                        Action::Abort { alert } => {
+                            return Err(TestCaseError::fail(format!("server aborted: {alert:?}")));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !queue_sc.is_empty() {
+                let chunk = take(&mut queue_sc);
+                for action in client.feed(NOW, &chunk) {
+                    match action {
+                        Action::SendBytes(b) => {
+                            sent_client.extend_from_slice(&b);
+                            queue_cs.extend_from_slice(&b);
+                        }
+                        Action::Abort { alert } => {
+                            return Err(TestCaseError::fail(format!("client aborted: {alert:?}")));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        prop_assert!(client.is_established(), "client engine must complete");
+        prop_assert!(server.is_established(), "server engine must complete");
+        prop_assert_eq!(sent_client, golden_client, "client bytes diverge from lockstep");
+        prop_assert_eq!(sent_server, golden_server, "server bytes diverge from lockstep");
     }
 }
