@@ -127,10 +127,12 @@ struct Flow {
     last_status: u64,
     /// Status waiting for a record boundary in the server→client stream.
     pending_status: Option<StatusPayload>,
+    /// Last time (seconds) a segment touched this flow, either direction.
+    last_seen: u64,
 }
 
 impl Flow {
-    fn new() -> Self {
+    fn new(now_secs: u64) -> Self {
         Flow {
             stage: FlowStage::WaitForClientHello,
             to_server: TcpBuffer::new(),
@@ -141,6 +143,7 @@ impl Flow {
             chain: Vec::new(),
             last_status: 0,
             pending_status: None,
+            last_seen: now_secs,
         }
     }
 }
@@ -156,6 +159,14 @@ pub struct InterceptConfig {
     /// hard-fail deployment; `false` still staples the revoked status and
     /// leaves the verdict to the client).
     pub reset_revoked: bool,
+    /// Hard cap on tracked flows. Admitting a flow past the cap first
+    /// reaps idle entries, then evicts the least-recently-seen flow — a
+    /// SYN flood (or half-open churn) can therefore not grow the table
+    /// without bound.
+    pub max_flows: usize,
+    /// Seconds without a segment in either direction before a flow —
+    /// half-open handshakes included — is eligible for reaping.
+    pub idle_timeout: u64,
 }
 
 impl Default for InterceptConfig {
@@ -164,6 +175,8 @@ impl Default for InterceptConfig {
             delta: 10,
             compress: true,
             reset_revoked: true,
+            max_flows: 65_536,
+            idle_timeout: 60,
         }
     }
 }
@@ -181,6 +194,11 @@ pub struct InterceptStats {
     pub statuses_injected: u64,
     /// Total bytes those stapled records added.
     pub bytes_injected: u64,
+    /// Flows reaped after `idle_timeout` seconds without traffic.
+    pub flows_evicted_idle: u64,
+    /// Flows evicted least-recently-seen-first because the table hit
+    /// `max_flows`.
+    pub flows_evicted_capacity: u64,
 }
 
 /// The per-flow interception middlebox: a [`Middlebox`] over reassembled
@@ -221,6 +239,46 @@ impl FlowTable {
     /// `true` when no flow is tracked.
     pub fn is_empty(&self) -> bool {
         self.flows.is_empty()
+    }
+
+    /// Reaps every flow idle for at least `idle_timeout` seconds —
+    /// half-open handshakes that never completed included — returning how
+    /// many were evicted. Runs automatically when admission hits
+    /// `max_flows`; call it periodically to bound memory between
+    /// admissions too.
+    pub fn reap(&mut self, now: SimTime) -> usize {
+        self.reap_at(now.as_secs())
+    }
+
+    fn reap_at(&mut self, now_secs: u64) -> usize {
+        let timeout = self.config.idle_timeout;
+        let before = self.flows.len();
+        self.flows
+            .retain(|_, f| now_secs.saturating_sub(f.last_seen) < timeout);
+        let evicted = before - self.flows.len();
+        self.stats.flows_evicted_idle += evicted as u64;
+        evicted
+    }
+
+    /// Makes room for one more flow: reap idle entries first; if the
+    /// table is still at `max_flows`, evict the least-recently-seen flow.
+    fn admit_one(&mut self, now_secs: u64) {
+        if self.flows.len() < self.config.max_flows {
+            return;
+        }
+        self.reap_at(now_secs);
+        if self.flows.len() < self.config.max_flows {
+            return;
+        }
+        if let Some(victim) = self
+            .flows
+            .iter()
+            .min_by_key(|(_, f)| f.last_seen)
+            .map(|(t, _)| *t)
+        {
+            self.flows.remove(&victim);
+            self.stats.flows_evicted_capacity += 1;
+        }
     }
 
     /// `true` if any certificate of `chain` is revoked in the current
@@ -378,12 +436,16 @@ impl Middlebox for FlowTable {
         let closing = segment.flags.fin || segment.flags.rst;
         let tuple = segment.tuple;
 
-        // First sight of a flow: only a client-side opener starts tracking.
-        if let std::collections::hash_map::Entry::Vacant(entry) = self.flows.entry(tuple) {
+        // First sight of a flow: only a client-side opener starts tracking,
+        // and admission may first evict an idle or least-recently-seen flow.
+        if !self.flows.contains_key(&tuple) {
             if segment.direction != Direction::ToServer {
                 return vec![segment];
             }
-            entry.insert(Flow::new());
+            self.admit_one(now_secs);
+            self.flows.insert(tuple, Flow::new(now_secs));
+        } else if let Some(flow) = self.flows.get_mut(&tuple) {
+            flow.last_seen = now_secs;
         }
 
         let stage = self.flows[&tuple].stage;
@@ -670,6 +732,100 @@ mod tests {
         fin.flags.fin = true;
         table.process(fin, now());
         Ok(engine_client)
+    }
+
+    fn tuple_n(n: u16) -> FourTuple {
+        FourTuple {
+            client: ritm_net::tcp::SocketAddr::new(0x0c22_0000 + u32::from(n), 9012),
+            server: ritm_net::tcp::SocketAddr::new(0x624c_3620, 443),
+        }
+    }
+
+    fn opener(t: FourTuple, at: SimTime, table: &mut FlowTable) {
+        let s = TcpSegment {
+            tuple: t,
+            direction: Direction::ToServer,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+            payload: vec![0x16], // one TLS-looking byte: stays half-open
+        };
+        table.process(s, at);
+    }
+
+    #[test]
+    fn idle_and_half_open_flows_are_reaped() {
+        let (_, status) = world();
+        let mut table = FlowTable::new(status, InterceptConfig::default());
+        opener(tuple_n(1), SimTime::from_secs(T0), &mut table);
+        opener(tuple_n(2), SimTime::from_secs(T0 + 50), &mut table);
+        assert_eq!(table.len(), 2);
+
+        // At T0+70 only the first flow crossed the 60 s idle timeout.
+        assert_eq!(table.reap(SimTime::from_secs(T0 + 70)), 1);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.stats().flows_evicted_idle, 1);
+
+        // Traffic refreshes the survivor; it outlives the next sweep.
+        opener(tuple_n(2), SimTime::from_secs(T0 + 100), &mut table);
+        assert_eq!(table.reap(SimTime::from_secs(T0 + 130)), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_seen() {
+        let (_, status) = world();
+        let config = InterceptConfig {
+            max_flows: 2,
+            idle_timeout: 1_000,
+            ..Default::default()
+        };
+        let mut table = FlowTable::new(status, config);
+        opener(tuple_n(1), SimTime::from_secs(T0), &mut table);
+        opener(tuple_n(2), SimTime::from_secs(T0 + 1), &mut table);
+        // Refresh flow 1 so flow 2 becomes the LRU victim.
+        opener(tuple_n(1), SimTime::from_secs(T0 + 2), &mut table);
+
+        opener(tuple_n(3), SimTime::from_secs(T0 + 3), &mut table);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.stats().flows_evicted_capacity, 1);
+        assert_eq!(table.stats().flows_evicted_idle, 0);
+
+        // A server-side segment for the evicted tuple is forwarded
+        // untracked, not resurrected.
+        let resp = table.process(
+            TcpSegment {
+                tuple: tuple_n(2),
+                direction: Direction::ToClient,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+                payload: b"late".to_vec(),
+            },
+            SimTime::from_secs(T0 + 4),
+        );
+        assert_eq!(resp.len(), 1);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn admission_prefers_reaping_idle_over_lru_eviction() {
+        let (_, status) = world();
+        let config = InterceptConfig {
+            max_flows: 2,
+            idle_timeout: 10,
+            ..Default::default()
+        };
+        let mut table = FlowTable::new(status, config);
+        opener(tuple_n(1), SimTime::from_secs(T0), &mut table);
+        opener(tuple_n(2), SimTime::from_secs(T0 + 9), &mut table);
+        // At T0+15 only flow 1 has crossed the 10 s timeout: admission
+        // reaps it rather than LRU-evicting the still-fresh flow 2.
+        opener(tuple_n(3), SimTime::from_secs(T0 + 15), &mut table);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.stats().flows_evicted_idle, 1);
+        assert_eq!(table.stats().flows_evicted_capacity, 0);
+        assert!(table.reap(SimTime::from_secs(T0 + 15)) == 0);
     }
 
     #[test]

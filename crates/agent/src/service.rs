@@ -69,7 +69,8 @@ impl Service for StatusService {
             | RitmRequest::FetchFreshness { .. }
             | RitmRequest::CatchUp { .. }
             | RitmRequest::CatchUpPaged { .. }
-            | RitmRequest::GetManifest { .. } => RitmResponse::Error(ProtoError::Unsupported),
+            | RitmRequest::GetManifest { .. }
+            | RitmRequest::GossipRoots { .. } => RitmResponse::Error(ProtoError::Unsupported),
         }
     }
 }

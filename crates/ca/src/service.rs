@@ -91,7 +91,8 @@ impl Service for CaService {
             }
             RitmRequest::FetchDelta { .. }
             | RitmRequest::GetStatus { .. }
-            | RitmRequest::GetMultiStatus { .. } => RitmResponse::Error(ProtoError::Unsupported),
+            | RitmRequest::GetMultiStatus { .. }
+            | RitmRequest::GossipRoots { .. } => RitmResponse::Error(ProtoError::Unsupported),
         }
     }
 }

@@ -1,0 +1,213 @@
+//! Fleet-aware request routing: client region → owning shard, with
+//! spillover to a replica when the owner is down.
+//!
+//! The router is deliberately topology-agnostic: anything implementing
+//! [`ShardTopology`] (in practice `ritm_fleet::HashRing`) supplies the
+//! preference-ordered candidate list for a placement point, and the router
+//! layers liveness tracking, region affinity accounting, and spillover on
+//! top. Keeping the trait here (and the ring in `ritm-fleet`) lets the CDN
+//! crate stay independent of the fleet crate while the fleet composes both.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::regions::Region;
+
+/// A sharding scheme the router can ask for placement candidates.
+///
+/// Implementations must be deterministic pure functions of their
+/// configuration — routing the same `point` on two processes (or two
+/// restarts) must name the same nodes, so placement may not consult
+/// clocks or RNGs.
+pub trait ShardTopology {
+    /// Node identifier (a fleet node name).
+    type Node: Clone + Eq + Hash;
+
+    /// Up to `n` distinct nodes that may serve `point`,
+    /// preference-ordered: the owner first, then successor replicas.
+    fn candidates(&self, point: u64, n: usize) -> Vec<Self::Node>;
+}
+
+/// One routing decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route<N> {
+    /// The node the request should go to.
+    pub node: N,
+    /// Whether the preferred owner was down and a replica was substituted.
+    pub spilled: bool,
+    /// Whether the chosen node's home region differs from the client's
+    /// (the caller charges inter-region latency for these).
+    pub cross_region: bool,
+}
+
+/// Counters the router keeps per process (monotonic, never reset).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests successfully routed (including spilled ones).
+    pub routed: u64,
+    /// Requests that landed on a replica because the owner was down.
+    pub spilled: u64,
+    /// Requests whose chosen node lives in a different region than the
+    /// client.
+    pub cross_region: u64,
+    /// Requests with no live candidate at all.
+    pub unroutable: u64,
+}
+
+/// Routes client requests to the owning shard of a placement point,
+/// spilling over to successor replicas while the owner is marked down.
+#[derive(Debug)]
+pub struct FleetRouter<T: ShardTopology> {
+    topology: T,
+    homes: HashMap<T::Node, Region>,
+    down: HashSet<T::Node>,
+    replicas: usize,
+    stats: RouterStats,
+}
+
+impl<T: ShardTopology> FleetRouter<T> {
+    /// Creates a router over `topology`, considering the owner plus
+    /// `replicas - 1` successors for every point (`replicas` is clamped to
+    /// at least 1).
+    pub fn new(topology: T, replicas: usize) -> Self {
+        FleetRouter {
+            topology,
+            homes: HashMap::new(),
+            down: HashSet::new(),
+            replicas: replicas.max(1),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Records `node`'s home region (used for the `cross_region` flag).
+    pub fn set_home(&mut self, node: T::Node, region: Region) {
+        self.homes.insert(node, region);
+    }
+
+    /// A node's recorded home region.
+    pub fn home(&self, node: &T::Node) -> Option<Region> {
+        self.homes.get(node).copied()
+    }
+
+    /// Marks a node unavailable; subsequent routes spill to replicas.
+    pub fn mark_down(&mut self, node: T::Node) {
+        self.down.insert(node);
+    }
+
+    /// Marks a node available again.
+    pub fn mark_up(&mut self, node: &T::Node) {
+        self.down.remove(node);
+    }
+
+    /// Whether a node is currently marked down.
+    pub fn is_down(&self, node: &T::Node) -> bool {
+        self.down.contains(node)
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+
+    /// Mutable access to the topology (node join/leave).
+    pub fn topology_mut(&mut self) -> &mut T {
+        &mut self.topology
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Routes a request from a client in `client_region` for placement
+    /// point `point`: the owner if it is live, else the first live
+    /// replica. `None` (and an `unroutable` tick) when every candidate is
+    /// down or the topology is empty.
+    pub fn route(&mut self, client_region: Region, point: u64) -> Option<Route<T::Node>> {
+        let candidates = self.topology.candidates(point, self.replicas);
+        for (i, node) in candidates.into_iter().enumerate() {
+            if self.down.contains(&node) {
+                continue;
+            }
+            let cross_region = self.homes.get(&node) != Some(&client_region);
+            self.stats.routed += 1;
+            if i > 0 {
+                self.stats.spilled += 1;
+            }
+            if cross_region {
+                self.stats.cross_region += 1;
+            }
+            return Some(Route {
+                node,
+                spilled: i > 0,
+                cross_region,
+            });
+        }
+        self.stats.unroutable += 1;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed two-node topology: even points owned by `a`, odd by `b`,
+    /// with the other node as the sole replica.
+    struct TwoNodes;
+
+    impl ShardTopology for TwoNodes {
+        type Node = &'static str;
+
+        fn candidates(&self, point: u64, n: usize) -> Vec<&'static str> {
+            let order = if point.is_multiple_of(2) {
+                ["a", "b"]
+            } else {
+                ["b", "a"]
+            };
+            order.into_iter().take(n).collect()
+        }
+    }
+
+    #[test]
+    fn owner_first_then_spillover_then_unroutable() {
+        let mut router = FleetRouter::new(TwoNodes, 2);
+        router.set_home("a", Region::Europe);
+        router.set_home("b", Region::Japan);
+
+        let r = router.route(Region::Europe, 0).unwrap();
+        assert_eq!(r.node, "a");
+        assert!(!r.spilled);
+        assert!(!r.cross_region);
+
+        router.mark_down("a");
+        let r = router.route(Region::Europe, 0).unwrap();
+        assert_eq!(r.node, "b");
+        assert!(r.spilled);
+        assert!(r.cross_region, "replica lives in another region");
+
+        router.mark_down("b");
+        assert_eq!(router.route(Region::Europe, 0), None);
+
+        router.mark_up(&"a");
+        let r = router.route(Region::Japan, 0).unwrap();
+        assert_eq!(r.node, "a");
+        assert!(!r.spilled);
+        assert!(r.cross_region);
+
+        let stats = router.stats();
+        assert_eq!(stats.routed, 3);
+        assert_eq!(stats.spilled, 1);
+        assert_eq!(stats.cross_region, 2);
+        assert_eq!(stats.unroutable, 1);
+    }
+
+    #[test]
+    fn replica_budget_limits_spillover() {
+        // With replicas = 1 only the owner is ever considered.
+        let mut router = FleetRouter::new(TwoNodes, 1);
+        router.mark_down("a");
+        assert_eq!(router.route(Region::Europe, 0), None);
+        assert!(router.route(Region::Europe, 1).is_some());
+    }
+}

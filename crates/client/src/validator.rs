@@ -165,6 +165,17 @@ impl RootTracker {
     pub fn newest(&self, ca: &CaId) -> Option<(u64, u64)> {
         self.seen.get(ca).copied()
     }
+
+    /// Records a batch of already-regression-checked epochs (the commit
+    /// half of validation's check-then-commit).
+    fn commit(&mut self, pending: &HashMap<CaId, (u64, u64)>) {
+        if self.disabled {
+            return;
+        }
+        for (ca, newest) in pending {
+            self.seen.insert(*ca, *newest);
+        }
+    }
 }
 
 /// [`validate_payload`] plus replay protection: every status root must be at
@@ -190,8 +201,11 @@ pub fn validate_payload_tracked(
     }
     // Two-phase check-then-commit: validate every entry (regression checks
     // run against the tracker state *plus* the earlier entries of this
-    // payload), and only record once the whole payload is accepted — a
-    // payload rejected at any point leaves the tracker untouched.
+    // payload), and only record once the payload is accepted — a payload
+    // rejected at any point leaves the tracker untouched. A `Revoked`
+    // verdict is an acceptance: the roots validated up to that point are
+    // committed, so a client fed only revoked verdicts still refuses a
+    // later replay of an older root.
     //
     // Coverage walks the chain in order: a compressed multi-status whose
     // first serial matches the current position consumes its whole run of
@@ -233,6 +247,7 @@ pub fn validate_payload_tracked(
             pending.insert(ca, (sr.size, sr.timestamp));
             for (outcome, (_, cserial)) in outcomes.iter().zip(&chain[pos..end]) {
                 if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
+                    tracker.commit(&pending);
                     return Ok(Verdict::Revoked {
                         serial: *cserial,
                         number: *number,
@@ -258,6 +273,7 @@ pub fn validate_payload_tracked(
         }
         pending.insert(ca, (sr.size, sr.timestamp));
         if let ritm_dictionary::ProvenStatus::Revoked { number } = outcome {
+            tracker.commit(&pending);
             return Ok(Verdict::Revoked { serial, number });
         }
         pos += 1;
@@ -269,16 +285,7 @@ pub fn validate_payload_tracked(
             expected: chain.len(),
         });
     }
-    for root in payload
-        .statuses
-        .iter()
-        .map(|s| &s.signed_root)
-        .chain(payload.multi.iter().map(|m| &m.signed_root))
-    {
-        tracker
-            .observe(root)
-            .expect("regression ruled out in the check phase");
-    }
+    tracker.commit(&pending);
     Ok(Verdict::AllValid)
 }
 
@@ -441,6 +448,39 @@ mod tests {
         )
         .unwrap();
         assert_eq!(v, Verdict::AllValid);
+        assert_eq!(tracker.newest(&f.ca.ca()), Some((11, T0 + 2)));
+
+        let err =
+            validate_payload_tracked(&old_payload, &chain, &f.keys, DELTA, T0 + 3, &mut tracker)
+                .unwrap_err();
+        assert_eq!(err, ValidationError::RootRegression { ca: f.ca.ca() });
+    }
+
+    #[test]
+    fn revoked_verdict_still_advances_tracker() {
+        // A client that only ever sees revoked verdicts must still build
+        // replay protection: the root validated on the revoked path is
+        // committed, so a later replay of an older root is refused.
+        let mut f = fixture();
+        let mut rng = StdRng::seed_from_u64(58);
+        let chain = chain_of(&f, &[55]); // revoked serial
+        let mut tracker = RootTracker::new();
+        let old_payload = payload_for(&f, 55);
+
+        let iss =
+            f.ca.insert(&[SerialNumber::from_u24(901)], &mut rng, T0 + 2)
+                .unwrap();
+        f.mirror.apply_issuance(&iss, T0 + 2).unwrap();
+        let v = validate_payload_tracked(
+            &payload_for(&f, 55),
+            &chain,
+            &f.keys,
+            DELTA,
+            T0 + 3,
+            &mut tracker,
+        )
+        .unwrap();
+        assert!(matches!(v, Verdict::Revoked { number: 6, .. }));
         assert_eq!(tracker.newest(&f.ca.ca()), Some((11, T0 + 2)));
 
         let err =

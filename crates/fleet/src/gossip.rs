@@ -1,0 +1,328 @@
+//! Signed-root gossip state: each fleet node's view of the newest root
+//! per CA anywhere in the fleet, plus the anomalies that view exposes.
+//!
+//! The freshness order is exactly the client-side
+//! `RootTracker` rule (`ritm_client::validator`): root `A` is
+//! older than `B` iff `A.size < B.size`, or the sizes tie and
+//! `A.timestamp < B.timestamp`. A peer whose gossiped root is older than
+//! one the ledger has already accepted is flagged as a **stale peer**;
+//! two validly-signed roots of the *same size but different digest* are a
+//! **split view** (the CA — or a compromised mirror path — showed
+//! different dictionaries to different parts of the fleet). Every root is
+//! signature-verified against the pinned CA key before it can influence
+//! the view, so a gossiping peer can never poison the fleet-newest state
+//! with bytes the CA did not sign.
+
+use std::collections::HashMap;
+
+use ritm_crypto::ed25519::VerifyingKey;
+use ritm_dictionary::{CaId, SignedRoot};
+
+/// `(size, timestamp)` freshness comparison: `true` iff `a` is strictly
+/// older than `b` under the `RootTracker` rule.
+fn older_than(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// One observation the gossip layer wants a human (or a health check) to
+/// see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GossipAnomaly {
+    /// A peer gossiped a root older than one the ledger already accepted:
+    /// the peer is serving stale statuses (its sync lane is behind or
+    /// wedged).
+    StalePeer {
+        /// Peer label the roots arrived under.
+        peer: String,
+        /// The CA whose root lagged.
+        ca: CaId,
+        /// `(size, timestamp)` the peer served.
+        seen: (u64, u64),
+        /// `(size, timestamp)` of the fleet-newest root.
+        newest: (u64, u64),
+    },
+    /// Two validly-signed roots of the same size but different digests:
+    /// the fleet holds irreconcilable views of one dictionary.
+    SplitView {
+        /// Peer label that revealed the second view.
+        peer: String,
+        /// The equivocating CA.
+        ca: CaId,
+        /// Dictionary size both conflicting roots commit to.
+        size: u64,
+    },
+    /// A gossiped root failed signature verification against the pinned
+    /// CA key (noise on the wire, or an active forgery attempt).
+    BadSignature {
+        /// Peer label the root arrived under.
+        peer: String,
+        /// CA id the root claimed.
+        ca: CaId,
+    },
+    /// A root for a CA this node has no pinned key for — counted but
+    /// never trusted.
+    UnknownCa {
+        /// Peer label the root arrived under.
+        peer: String,
+        /// The unknown CA id.
+        ca: CaId,
+    },
+}
+
+/// Monotonic gossip counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GossipStats {
+    /// `observe` calls (one per gossip direction).
+    pub exchanges: u64,
+    /// Individual `(ca, root)` entries examined.
+    pub roots_observed: u64,
+    /// Entries that advanced the fleet-newest view.
+    pub advanced: u64,
+    /// Stale-peer flags raised.
+    pub stale_peers: u64,
+    /// Split-view flags raised.
+    pub split_views: u64,
+    /// Signature failures.
+    pub bad_signatures: u64,
+}
+
+/// One node's ledger of gossiped signed roots.
+#[derive(Debug, Default)]
+pub struct RootLedger {
+    keys: HashMap<CaId, VerifyingKey>,
+    newest: HashMap<CaId, SignedRoot>,
+    /// Per peer label, the freshest `(size, timestamp)` it has gossiped
+    /// per CA.
+    peer_views: HashMap<String, HashMap<CaId, (u64, u64)>>,
+    anomalies: Vec<GossipAnomaly>,
+    stats: GossipStats,
+}
+
+impl RootLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins a CA's verification key. Roots for unregistered CAs are
+    /// flagged, never folded into the view.
+    pub fn register_ca(&mut self, ca: CaId, key: VerifyingKey) {
+        self.keys.insert(ca, key);
+    }
+
+    /// Folds one gossiped root vector (from `peer`) into the ledger,
+    /// returning the anomalies this particular vector raised (they are
+    /// also retained for [`RootLedger::anomalies`]).
+    pub fn observe(&mut self, peer: &str, roots: &[(CaId, SignedRoot)]) -> Vec<GossipAnomaly> {
+        self.stats.exchanges += 1;
+        let mut found = Vec::new();
+        for (ca, root) in roots {
+            self.stats.roots_observed += 1;
+            let Some(key) = self.keys.get(ca) else {
+                found.push(GossipAnomaly::UnknownCa {
+                    peer: peer.to_string(),
+                    ca: *ca,
+                });
+                continue;
+            };
+            if root.ca != *ca || root.verify(key).is_err() {
+                self.stats.bad_signatures += 1;
+                found.push(GossipAnomaly::BadSignature {
+                    peer: peer.to_string(),
+                    ca: *ca,
+                });
+                continue;
+            }
+            let seen = (root.size, root.timestamp);
+            match self.newest.get(ca) {
+                Some(newest) if root.size == newest.size && root.root != newest.root => {
+                    self.stats.split_views += 1;
+                    found.push(GossipAnomaly::SplitView {
+                        peer: peer.to_string(),
+                        ca: *ca,
+                        size: root.size,
+                    });
+                }
+                Some(newest) if older_than(seen, (newest.size, newest.timestamp)) => {
+                    self.stats.stale_peers += 1;
+                    found.push(GossipAnomaly::StalePeer {
+                        peer: peer.to_string(),
+                        ca: *ca,
+                        seen,
+                        newest: (newest.size, newest.timestamp),
+                    });
+                }
+                Some(newest) if seen == (newest.size, newest.timestamp) => {}
+                _ => {
+                    self.newest.insert(*ca, *root);
+                    self.stats.advanced += 1;
+                }
+            }
+            let view = self.peer_views.entry(peer.to_string()).or_default();
+            match view.get(ca) {
+                Some(prev) if !older_than(*prev, seen) => {}
+                _ => {
+                    view.insert(*ca, seen);
+                }
+            }
+        }
+        self.anomalies.extend(found.iter().cloned());
+        found
+    }
+
+    /// The fleet-newest root for a CA, if any valid root has gossiped.
+    pub fn newest(&self, ca: &CaId) -> Option<&SignedRoot> {
+        self.newest.get(ca)
+    }
+
+    /// All fleet-newest roots (what a node compares its own serving state
+    /// against).
+    pub fn newest_roots(&self) -> impl Iterator<Item = (&CaId, &SignedRoot)> {
+        self.newest.iter()
+    }
+
+    /// The freshest `(size, timestamp)` a peer has gossiped for a CA.
+    pub fn peer_view(&self, peer: &str, ca: &CaId) -> Option<(u64, u64)> {
+        self.peer_views.get(peer)?.get(ca).copied()
+    }
+
+    /// Every anomaly observed so far, in arrival order.
+    pub fn anomalies(&self) -> &[GossipAnomaly] {
+        &self.anomalies
+    }
+
+    /// Distinct peer labels currently flagged stale: their latest gossiped
+    /// view lags the fleet-newest root for at least one CA.
+    pub fn stale_peers(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .peer_views
+            .iter()
+            .filter(|(_, view)| {
+                view.iter().any(|(ca, seen)| {
+                    self.newest
+                        .get(ca)
+                        .is_some_and(|n| older_than(*seen, (n.size, n.timestamp)))
+                })
+            })
+            .map(|(peer, _)| peer.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Whether every peer's latest view matches the fleet-newest root for
+    /// every CA it has gossiped — the converged steady state.
+    pub fn is_converged(&self) -> bool {
+        self.stats.split_views == 0 && self.stale_peers().is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> GossipStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ritm_crypto::digest::Digest20;
+    use ritm_crypto::ed25519::SigningKey;
+
+    fn root(key: &SigningKey, ca: CaId, tag: u8, size: u64, ts: u64) -> SignedRoot {
+        SignedRoot::create(
+            key,
+            ca,
+            Digest20::hash([tag, size as u8]),
+            size,
+            Digest20::hash([0xAA]),
+            ts,
+        )
+    }
+
+    #[test]
+    fn stale_peer_is_flagged_by_the_root_tracker_rule() {
+        let key = SigningKey::from_seed([3u8; 32]);
+        let ca = CaId::from_name("LedgerCA");
+        let mut ledger = RootLedger::new();
+        ledger.register_ca(ca, key.verifying_key());
+
+        assert!(ledger
+            .observe("ra-0", &[(ca, root(&key, ca, 1, 10, 100))])
+            .is_empty());
+        assert_eq!(ledger.newest(&ca).unwrap().size, 10);
+
+        // Same size, newer timestamp, same digest: advances quietly.
+        assert!(ledger
+            .observe("ra-1", &[(ca, root(&key, ca, 1, 10, 150))])
+            .is_empty());
+        assert_eq!(ledger.newest(&ca).unwrap().timestamp, 150);
+
+        // ra-0's last gossiped view (10, 100) now lags the fleet-newest
+        // (10, 150): staleness is retroactive, exactly like a client
+        // rejecting a replayed older-epoch root.
+        assert_eq!(ledger.stale_peers(), vec!["ra-0".to_string()]);
+
+        // An older root (smaller size) flags the peer immediately.
+        let flagged = ledger.observe("ra-2", &[(ca, root(&key, ca, 2, 7, 160))]);
+        assert!(matches!(
+            flagged.as_slice(),
+            [GossipAnomaly::StalePeer { peer, seen: (7, 160), newest: (10, 150), .. }]
+                if peer == "ra-2"
+        ));
+        assert_eq!(
+            ledger.stale_peers(),
+            vec!["ra-0".to_string(), "ra-2".to_string()]
+        );
+        assert!(!ledger.is_converged());
+
+        // Both peers catch up; the fleet converges again.
+        ledger.observe("ra-0", &[(ca, root(&key, ca, 1, 10, 150))]);
+        ledger.observe("ra-2", &[(ca, root(&key, ca, 1, 10, 150))]);
+        assert!(ledger.stale_peers().is_empty());
+        assert!(ledger.is_converged());
+    }
+
+    #[test]
+    fn split_view_same_size_different_digest() {
+        let key = SigningKey::from_seed([4u8; 32]);
+        let ca = CaId::from_name("ForkCA");
+        let mut ledger = RootLedger::new();
+        ledger.register_ca(ca, key.verifying_key());
+
+        ledger.observe("ra-0", &[(ca, root(&key, ca, 1, 5, 100))]);
+        let flagged = ledger.observe("ra-1", &[(ca, root(&key, ca, 2, 5, 100))]);
+        assert!(matches!(
+            flagged.as_slice(),
+            [GossipAnomaly::SplitView { ca: c, size: 5, .. }] if *c == ca
+        ));
+        assert_eq!(ledger.stats().split_views, 1);
+        assert!(!ledger.is_converged());
+    }
+
+    #[test]
+    fn forged_and_unknown_roots_never_touch_the_view() {
+        let key = SigningKey::from_seed([5u8; 32]);
+        let other = SigningKey::from_seed([6u8; 32]);
+        let ca = CaId::from_name("PinnedCA");
+        let stranger = CaId::from_name("StrangerCA");
+        let mut ledger = RootLedger::new();
+        ledger.register_ca(ca, key.verifying_key());
+
+        // Signed by the wrong key: rejected.
+        let forged = ledger.observe("ra-9", &[(ca, root(&other, ca, 1, 99, 1))]);
+        assert!(matches!(
+            forged.as_slice(),
+            [GossipAnomaly::BadSignature { .. }]
+        ));
+        assert!(ledger.newest(&ca).is_none());
+
+        // Unregistered CA: counted, never trusted.
+        let unknown = ledger.observe("ra-9", &[(stranger, root(&other, stranger, 1, 1, 1))]);
+        assert!(matches!(
+            unknown.as_slice(),
+            [GossipAnomaly::UnknownCa { .. }]
+        ));
+        assert!(ledger.newest(&stranger).is_none());
+        assert_eq!(ledger.stats().bad_signatures, 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Consistent-hash placement of the mirror set across a fleet of RAs.
+//!
+//! Each fleet node projects a fixed number of virtual points onto a
+//! `u64` ring; a shard key (a CA, or one serial-range *lane* of a giant
+//! CA) is owned by the node whose virtual point is the key's clockwise
+//! successor. Joining or leaving a node therefore moves only the keys in
+//! the arcs adjacent to that node's points — about `K/N` of `K` keys on
+//! an `N`-node fleet — while every other placement is untouched.
+//!
+//! Placement is a pure function of node names and key bytes: every hash
+//! is a domain-separated [`Digest20`] and nothing consults a clock or an
+//! RNG, so two processes (or two restarts) always compute identical
+//! routes. This determinism is what lets the CDN-side
+//! [`FleetRouter`](ritm_cdn::FleetRouter) and the fleet itself agree on
+//! ownership without any coordination protocol.
+
+use std::sync::Arc;
+
+use ritm_cdn::ShardTopology;
+use ritm_crypto::digest::Digest20;
+use ritm_dictionary::{CaId, SerialNumber};
+
+/// Virtual points each node projects onto the ring. 64 keeps the
+/// per-node load imbalance in the few-percent range while a 12-node
+/// fleet still sorts under a thousand points.
+pub const VNODES_PER_NODE: u32 = 64;
+
+/// Hard cap on the serial-range lanes a single CA may be split into.
+pub const MAX_LANES: u16 = 256;
+
+fn point_of(domain: &[u8], payload: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(domain.len() + payload.len());
+    buf.extend_from_slice(domain);
+    buf.extend_from_slice(payload);
+    let digest = Digest20::hash(buf);
+    u64::from_be_bytes(digest.as_bytes()[..8].try_into().expect("8 bytes"))
+}
+
+/// How many serial-range lanes a CA of `revocations` entries is split
+/// into: one lane per `lane_threshold` revocations, capped at
+/// [`MAX_LANES`]. Small CAs stay whole (`1`); a giant CA (the ISC tail's
+/// 339k-entry CRL, say) spreads its *serving* load across several owners.
+/// Every owner still mirrors the full CA dictionary — lanes shard
+/// requests, not storage, because proofs need the whole tree.
+pub fn lanes_for(revocations: u64, lane_threshold: u64) -> u16 {
+    if lane_threshold == 0 {
+        return 1;
+    }
+    revocations
+        .div_ceil(lane_threshold)
+        .clamp(1, u64::from(MAX_LANES)) as u16
+}
+
+/// The lane a serial falls into, for a CA split into `lanes` lanes.
+/// Pure function of the serial bytes (domain-separated hash, no RNG).
+pub fn lane_for_serial(serial: &SerialNumber, lanes: u16) -> u16 {
+    if lanes <= 1 {
+        return 0;
+    }
+    let h = point_of(b"ritm-fleet/lane\x00", serial.as_bytes());
+    (h % u64::from(lanes)) as u16
+}
+
+/// One placement unit: a CA, or one serial-range lane of a CA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardKey {
+    /// The CA whose dictionary (or lane thereof) is placed.
+    pub ca: CaId,
+    /// Lane index, `0` for CAs small enough to stay whole.
+    pub lane: u16,
+}
+
+impl ShardKey {
+    /// A whole-CA key (lane 0).
+    pub fn ca(ca: CaId) -> Self {
+        ShardKey { ca, lane: 0 }
+    }
+
+    /// The key for `serial` under a CA split into `lanes` lanes.
+    pub fn for_serial(ca: CaId, serial: &SerialNumber, lanes: u16) -> Self {
+        ShardKey {
+            ca,
+            lane: lane_for_serial(serial, lanes),
+        }
+    }
+
+    /// The key's position on the ring.
+    pub fn point(&self) -> u64 {
+        let mut payload = [0u8; 10];
+        payload[..8].copy_from_slice(&self.ca.0);
+        payload[8..].copy_from_slice(&self.lane.to_be_bytes());
+        point_of(b"ritm-fleet/key\x00", &payload)
+    }
+}
+
+/// The fleet's consistent-hash ring: node names against their virtual
+/// points, placement by clockwise successor.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// `(point, node)` sorted by point (ties broken by name, so iteration
+    /// order is deterministic even in the astronomically-unlikely
+    /// collision case).
+    points: Vec<(u64, Arc<str>)>,
+    nodes: Vec<Arc<str>>,
+}
+
+impl HashRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A ring pre-populated with `names`.
+    pub fn with_nodes<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ring = Self::new();
+        for n in names {
+            ring.join(n.as_ref());
+        }
+        ring
+    }
+
+    /// Adds a node, projecting its [`VNODES_PER_NODE`] virtual points.
+    /// Returns `false` (and changes nothing) if the name is already
+    /// present.
+    pub fn join(&mut self, name: &str) -> bool {
+        if self.nodes.iter().any(|n| &**n == name) {
+            return false;
+        }
+        let node: Arc<str> = Arc::from(name);
+        for replica in 0..VNODES_PER_NODE {
+            let mut payload = Vec::with_capacity(name.len() + 4);
+            payload.extend_from_slice(name.as_bytes());
+            payload.extend_from_slice(&replica.to_be_bytes());
+            let p = point_of(b"ritm-fleet/node\x00", &payload);
+            self.points.push((p, Arc::clone(&node)));
+        }
+        self.points
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.nodes.push(node);
+        self.nodes.sort();
+        true
+    }
+
+    /// Removes a node and its virtual points. Returns `false` if absent.
+    pub fn leave(&mut self, name: &str) -> bool {
+        let before = self.nodes.len();
+        self.nodes.retain(|n| &**n != name);
+        if self.nodes.len() == before {
+            return false;
+        }
+        self.points.retain(|(_, n)| &**n != name);
+        true
+    }
+
+    /// Node names currently on the ring, sorted.
+    pub fn nodes(&self) -> &[Arc<str>] {
+        &self.nodes
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The owner of a placement point: the node at the point's clockwise
+    /// successor. `None` on an empty ring.
+    pub fn owner(&self, point: u64) -> Option<Arc<str>> {
+        self.candidate_iter(point).next()
+    }
+
+    /// Up to `n` distinct nodes for `point`, preference-ordered (the
+    /// owner, then successor replicas — the natural standby set, since a
+    /// leaving owner's keys land exactly on its successor).
+    pub fn candidates(&self, point: u64, n: usize) -> Vec<Arc<str>> {
+        self.candidate_iter(point).take(n).collect()
+    }
+
+    fn candidate_iter(&self, point: u64) -> impl Iterator<Item = Arc<str>> + '_ {
+        // First ring point strictly after `point`, wrapping at the top.
+        let start = self.points.partition_point(|(p, _)| *p <= point);
+        let mut seen: Vec<Arc<str>> = Vec::new();
+        let total = self.points.len();
+        self.points
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(total)
+            .filter_map(move |(_, node)| {
+                if seen.iter().any(|s| Arc::ptr_eq(s, node) || s == node) {
+                    None
+                } else {
+                    seen.push(Arc::clone(node));
+                    Some(Arc::clone(node))
+                }
+            })
+    }
+}
+
+impl ShardTopology for HashRing {
+    type Node = Arc<str>;
+
+    fn candidates(&self, point: u64, n: usize) -> Vec<Arc<str>> {
+        HashRing::candidates(self, point, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| point_of(b"test/key", &i.to_be_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_independent_of_join_order() {
+        let a = HashRing::with_nodes(["ra-0", "ra-1", "ra-2"]);
+        let b = HashRing::with_nodes(["ra-2", "ra-0", "ra-1"]);
+        for k in keys(500) {
+            assert_eq!(a.owner(k), b.owner(k));
+        }
+    }
+
+    #[test]
+    fn join_moves_only_keys_to_the_joiner() {
+        let mut ring = HashRing::with_nodes(["ra-0", "ra-1", "ra-2", "ra-3"]);
+        let ks = keys(2000);
+        let before: Vec<_> = ks.iter().map(|k| ring.owner(*k).unwrap()).collect();
+        ring.join("ra-4");
+        let mut moved = 0;
+        for (k, old) in ks.iter().zip(&before) {
+            let new = ring.owner(*k).unwrap();
+            if new != *old {
+                assert_eq!(&*new, "ra-4", "a moved key must land on the joiner");
+                moved += 1;
+            }
+        }
+        // Expectation is K/N = 400; allow generous slack for hash variance.
+        assert!(moved > 0, "the joiner must take some keys");
+        assert!(moved < 2 * 2000 / 5, "moved {moved} of 2000, expected ~400");
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_keys() {
+        let mut ring = HashRing::with_nodes(["ra-0", "ra-1", "ra-2", "ra-3"]);
+        let ks = keys(2000);
+        let before: Vec<_> = ks.iter().map(|k| ring.owner(*k).unwrap()).collect();
+        assert!(ring.leave("ra-1"));
+        for (k, old) in ks.iter().zip(&before) {
+            let new = ring.owner(*k).unwrap();
+            if &**old != "ra-1" {
+                assert_eq!(new, *old, "keys of surviving nodes must not move");
+            } else {
+                assert_ne!(&*new, "ra-1");
+            }
+        }
+        assert!(!ring.leave("ra-1"), "double leave is a no-op");
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_owner_first() {
+        let ring = HashRing::with_nodes(["ra-0", "ra-1", "ra-2"]);
+        let key = ShardKey::ca(CaId::from_name("SomeCA")).point();
+        let cands = ring.candidates(key, 3);
+        assert_eq!(cands.len(), 3);
+        assert_eq!(cands[0], ring.owner(key).unwrap());
+        assert_ne!(cands[0], cands[1]);
+        assert_ne!(cands[1], cands[2]);
+        assert_ne!(cands[0], cands[2]);
+        // Asking for more replicas than nodes returns every node once.
+        assert_eq!(ring.candidates(key, 10).len(), 3);
+    }
+
+    #[test]
+    fn lanes_split_only_giant_cas() {
+        assert_eq!(lanes_for(0, 50_000), 1);
+        assert_eq!(lanes_for(49_999, 50_000), 1);
+        assert_eq!(lanes_for(50_001, 50_000), 2);
+        assert_eq!(lanes_for(339_557, 50_000), 7);
+        assert_eq!(lanes_for(u64::MAX, 1), MAX_LANES);
+        assert_eq!(lanes_for(123, 0), 1, "zero threshold disables lanes");
+
+        let ca = CaId::from_name("GiantCA");
+        let serial = SerialNumber::from_u64(77);
+        assert_eq!(ShardKey::for_serial(ca, &serial, 1).lane, 0);
+        let lane = lane_for_serial(&serial, 7);
+        assert!(lane < 7);
+        assert_eq!(ShardKey::for_serial(ca, &serial, 7).lane, lane);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the consistent-hash ring: placement must be a pure
+//! deterministic function of node names and key bytes (so independent
+//! processes route identically with zero coordination), and membership
+//! churn must move only the ~K/N keys adjacent to the churned node.
+
+use proptest::prelude::*;
+use ritm_dictionary::CaId;
+use ritm_fleet::{lane_for_serial, HashRing, ShardKey};
+
+fn node_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("ra-{i}")).collect()
+}
+
+fn sample_keys(k: u64) -> Vec<u64> {
+    // Shard keys exactly as the fleet derives them: CA ids through the
+    // domain-separated key hash.
+    (0..k)
+        .map(|i| ShardKey::ca(CaId::from_name(&format!("CA-{i}"))).point())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any two construction orders (including interleaved join/leave
+    /// churn) yield identical ownership for every key — the cross-process
+    /// determinism the router relies on. No clock or RNG can influence
+    /// placement, because none is reachable from the ring at all.
+    #[test]
+    fn placement_is_order_independent(
+        n in 2usize..10,
+        churn in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let names = node_names(n);
+        let forward = HashRing::with_nodes(&names);
+
+        // Reverse order, with extra join/leave churn of transient nodes.
+        let mut reversed = HashRing::new();
+        for (i, name) in names.iter().rev().enumerate() {
+            if i < churn {
+                reversed.join(&format!("transient-{i}"));
+            }
+            reversed.join(name);
+        }
+        for i in 0..churn.min(n) {
+            prop_assert!(reversed.leave(&format!("transient-{i}")));
+        }
+
+        for key in sample_keys(300).into_iter().chain([seed]) {
+            prop_assert_eq!(forward.owner(key), reversed.owner(key));
+            prop_assert_eq!(forward.candidates(key, 3), reversed.candidates(key, 3));
+        }
+    }
+
+    /// A join moves only keys that land on the joiner; a leave moves only
+    /// the leaver's keys — and the moved fraction stays near K/N.
+    #[test]
+    fn churn_moves_about_k_over_n_keys(n in 3usize..9) {
+        let keys = sample_keys(1500);
+        let mut ring = HashRing::with_nodes(node_names(n));
+        let before: Vec<_> = keys.iter().map(|k| ring.owner(*k).unwrap()).collect();
+
+        // Join: every moved key must now belong to the joiner.
+        prop_assert!(ring.join("ra-new"));
+        let mut moved = 0usize;
+        for (k, old) in keys.iter().zip(&before) {
+            let new = ring.owner(*k).unwrap();
+            if new != *old {
+                prop_assert_eq!(&*new, "ra-new");
+                moved += 1;
+            }
+        }
+        let expected = keys.len() / (n + 1);
+        prop_assert!(moved > 0, "joiner took no keys");
+        prop_assert!(
+            moved < 3 * expected,
+            "join moved {} keys, expected about {}",
+            moved,
+            expected
+        );
+
+        // Leave restores exactly the previous placement: keys the joiner
+        // took go back to their old owners, nothing else ever moved.
+        prop_assert!(ring.leave("ra-new"));
+        for (k, old) in keys.iter().zip(&before) {
+            prop_assert_eq!(ring.owner(*k).unwrap(), old.clone());
+        }
+    }
+
+    /// Lane assignment is a pure function of the serial bytes, in range,
+    /// and stable across lane-count-preserving recomputation.
+    #[test]
+    fn lanes_are_deterministic_and_in_range(serial in 1u64..u64::MAX, lanes in 1u16..64) {
+        let s = ritm_dictionary::SerialNumber::from_u64(serial);
+        let lane = lane_for_serial(&s, lanes);
+        prop_assert!(lane < lanes);
+        prop_assert_eq!(lane, lane_for_serial(&s, lanes));
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`cdn`] | `ritm-cdn` | the dissemination network: origin, TTL edge caches, CloudFront-style billing |
 //! | [`ca`] | `ritm-ca` | certification authorities (generic over their dictionary engine), bootstrap manifests, a misbehaving CA |
 //! | [`agent`] | `ritm-agent` | the Revocation Agent: DPI, Eq. 4 state, piggybacking, an epoch-keyed proof cache for hot serials, CDN sync, health/consistency monitoring |
+//! | [`fleet`] | `ritm-fleet` | the sharded RA fleet (§VIII): consistent-hash mirror placement with serial-range lanes, signed-root gossip with stale/split-view detection, fleet health aggregation |
 //! | [`client`] | `ritm-client` | the RITM client: step-5 validation, 2Δ enforcement, epoch-tagged root tracking (replay protection), downgrade protection |
 //! | [`baselines`] | `ritm-baselines` | CRL/OCSP/stapling/CRLSet/SLC/RevCast/log-based comparison models |
 //! | [`workloads`] | `ritm-workloads` | ISC CRL, Heartbleed, city-population, PlanetLab synthesizers |
@@ -74,6 +75,7 @@ pub use ritm_client as client;
 pub use ritm_core as core;
 pub use ritm_crypto as crypto;
 pub use ritm_dictionary as dictionary;
+pub use ritm_fleet as fleet;
 pub use ritm_net as net;
 pub use ritm_proto as proto;
 pub use ritm_rt as rt;

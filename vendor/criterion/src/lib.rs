@@ -98,28 +98,54 @@ fn json_escape(s: &str) -> String {
 /// Writes every collected record to the `BENCH_JSON` file (no-op when the
 /// variable is unset). Called by `criterion_main!` after all groups ran;
 /// safe to call directly from hand-rolled mains.
+///
+/// With `BENCH_JSON_APPEND=1` an existing file is merged instead of
+/// overwritten: prior records whose `op` is re-measured in this process
+/// are replaced, everything else is kept. This lets several bench
+/// binaries (dictionary ops, the fleet scenario) land in one trajectory
+/// file.
 pub fn flush_json() {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
     };
     let records = json_registry().lock().expect("registry");
-    let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
+    let append = std::env::var("BENCH_JSON_APPEND")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false);
+    let mut lines: Vec<String> = Vec::new();
+    if append {
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            // The file is one record per line; keep lines whose op is not
+            // superseded by a record from this process.
+            for line in existing.lines() {
+                let Some(rest) = line.trim_start().strip_prefix("{\"op\": \"") else {
+                    continue;
+                };
+                let Some(end) = rest.find('"') else { continue };
+                let op = &rest[..end];
+                if !records.iter().any(|r| json_escape(&r.op) == op) {
+                    lines.push(line.trim_end().trim_end_matches(',').to_owned());
+                }
+            }
+        }
+    }
+    for r in records.iter() {
         let leaves = r
             .leaves
             .map_or_else(|| "null".to_owned(), |v| v.to_string());
         let batch = r.batch.map_or_else(|| "null".to_owned(), |v| v.to_string());
-        out.push_str(&format!(
-            "  {{\"op\": \"{}\", \"leaves\": {}, \"batch\": {}, \"ns_per_op\": {:.1}, \"unit\": \"{}\"}}{}\n",
+        lines.push(format!(
+            "  {{\"op\": \"{}\", \"leaves\": {}, \"batch\": {}, \"ns_per_op\": {:.1}, \"unit\": \"{}\"}}",
             json_escape(&r.op),
             leaves,
             batch,
             r.value,
             r.unit,
-            if i + 1 == records.len() { "" } else { "," },
         ));
     }
-    out.push_str("]\n");
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
     if let Err(e) = std::fs::write(&path, out) {
         eprintln!("warning: could not write {path}: {e}");
     }
