@@ -208,6 +208,84 @@ impl<K: Eq + Hash, V: Clone> EpochKeyedCache<K, V> {
     }
 }
 
+/// Shards in a [`ShardedEpochCache`]. Small and fixed: the goal is to
+/// split one hot lock eight ways, not to scale shard count with load.
+const CACHE_SHARDS: usize = 8;
+
+/// An [`EpochKeyedCache`] split into `CACHE_SHARDS` independently
+/// locked shards, routed by the hash of `(CA, key)`. Under concurrent
+/// status serving the single cache's `RwLock` is the first thing every
+/// request touches; sharding divides that contention without changing
+/// any caching semantics — each shard runs the exact per-CA frontier
+/// and eviction policy of [`EpochKeyedCache`], just over an eighth of
+/// the keyspace (per-shard capacity is `capacity / CACHE_SHARDS`,
+/// rounded up).
+#[derive(Debug)]
+pub struct ShardedEpochCache<K, V> {
+    shards: [EpochKeyedCache<K, V>; CACHE_SHARDS],
+}
+
+/// The sharded audit-path cache the status server's hot path reads.
+pub type ShardedProofCache = ShardedEpochCache<SerialNumber, RevocationProof>;
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedEpochCache<K, V> {
+    fn default() -> Self {
+        ShardedEpochCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedEpochCache<K, V> {
+    /// Creates a cache bounded to `capacity` entries overall (each shard
+    /// holds its rounded-up share).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(CACHE_SHARDS).max(1);
+        ShardedEpochCache {
+            shards: std::array::from_fn(|_| EpochKeyedCache::new(per_shard)),
+        }
+    }
+
+    fn shard(&self, ca: &CaId, key: &K) -> &EpochKeyedCache<K, V> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        let mut h = DefaultHasher::new();
+        ca.hash(&mut h);
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// [`EpochKeyedCache::get_or_insert`], routed to the key's shard.
+    pub fn get_or_insert(&self, ca: CaId, key: K, epoch: u64, make: impl FnOnce() -> V) -> V {
+        self.shard(&ca, &key).get_or_insert(ca, key, epoch, make)
+    }
+
+    /// Drops every shard's entries for `ca`; returns the total removed.
+    pub fn purge_ca(&self, ca: &CaId) -> usize {
+        self.shards.iter().map(|s| s.purge_ca(ca)).sum()
+    }
+
+    /// Stored entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EpochKeyedCache::len).sum()
+    }
+
+    /// `true` when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(EpochKeyedCache::is_empty)
+    }
+
+    /// Counters summed across shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shards.iter().fold(CacheStats::default(), |acc, s| {
+            let st = s.stats();
+            CacheStats {
+                hits: acc.hits + st.hits,
+                misses: acc.misses + st.misses,
+                evictions: acc.evictions + st.evictions,
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +443,29 @@ mod tests {
         assert_eq!(got, proof(3));
         let hit = cache.get_or_insert(ca_a, s, 1, || panic!("cached after purge"));
         assert_eq!(hit, proof(3));
+    }
+
+    #[test]
+    fn sharded_cache_behaves_like_one_cache() {
+        let cache = ShardedProofCache::new(64);
+        let ca = CaId::from_name("Shard");
+        // Hits and misses behave per-key exactly like the flat cache,
+        // whichever shard each key lands in.
+        for v in 0..16u32 {
+            let s = SerialNumber::from_u24(v);
+            let a = cache.get_or_insert(ca, s, 1, || proof(v));
+            let b = cache.get_or_insert(ca, s, 1, || panic!("must be cached"));
+            assert_eq!(a, b);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (16, 16));
+        assert_eq!(cache.len(), 16);
+        // An epoch bump invalidates across shards...
+        let s = SerialNumber::from_u24(3);
+        assert_eq!(cache.get_or_insert(ca, s, 2, || proof(99)), proof(99));
+        // ...and purge_ca sums removals over every shard.
+        assert_eq!(cache.purge_ca(&ca), 16);
+        assert!(cache.is_empty());
     }
 
     #[test]

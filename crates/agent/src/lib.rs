@@ -35,7 +35,7 @@ pub mod service;
 pub mod state;
 pub mod sync;
 
-pub use cache::{CacheStats, EpochKeyedCache, ProofCache};
+pub use cache::{CacheStats, EpochKeyedCache, ProofCache, ShardedEpochCache, ShardedProofCache};
 pub use dpi::{classify, classify_records, Classification, ServerFlight, StreamClassifier};
 pub use intercept::{FlowStage, FlowTable, InterceptConfig, InterceptStats, TcpBuffer};
 pub use monitor::{ConsistencyMonitor, MisbehaviorReport, RaHealthReport};

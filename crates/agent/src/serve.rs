@@ -4,7 +4,8 @@
 //! freshness refreshes to its mirrors) and many readers (handshake flows
 //! needing revocation statuses *now*). [`StatusServer`] is the read side:
 //! it holds one [`SnapshotCell`] per mirrored CA plus the shared
-//! epoch-keyed [`ProofCache`], and builds complete status payloads from
+//! epoch-keyed [`ShardedProofCache`], and builds complete status
+//! payloads from
 //! `&self` — so an `Arc<StatusServer>` can be handed to any number of
 //! threads while the owning [`crate::ra::RevocationAgent`] keeps mutating
 //! its mirrors. Writers publish a fresh [`DictionarySnapshot`] after every
@@ -12,13 +13,14 @@
 //! readers pick it up on their next load without ever blocking on the
 //! update itself.
 
-use crate::cache::{CacheStats, EpochKeyedCache, ProofCache};
+use crate::cache::{CacheStats, EpochKeyedCache, ShardedEpochCache, ShardedProofCache};
 use crate::ra::StatusPayload;
 use parking_lot::RwLock;
 use ritm_dictionary::{
     CaId, DictionarySnapshot, MultiProof, MultiRevocationStatus, RevocationStatus, SerialNumber,
     SnapshotCell,
 };
+use ritm_proto::RitmResponse;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -26,14 +28,30 @@ use std::sync::Arc;
 /// bounded by the server-certificate working set, not by flows).
 const MULTI_CACHE_CAPACITY: usize = 1_024;
 
+/// Cache key for an encoded multi-status body: the exact chain asked
+/// for, plus whether compression was requested (the two produce
+/// different bytes).
+type EncodedMultiKey = (Vec<(CaId, SerialNumber)>, bool);
+
 /// The shared, `&self`-only proof-serving surface of an RA.
 #[derive(Debug)]
 pub struct StatusServer {
     cells: RwLock<HashMap<CaId, Arc<SnapshotCell>>>,
-    cache: ProofCache,
+    cache: ShardedProofCache,
     /// Memo for compressed chain runs, same epoch-keyed policy as the
     /// single-serial cache; valid while the CA's epoch is unchanged.
     multi_cache: EpochKeyedCache<Vec<SerialNumber>, MultiProof>,
+    /// Fully encoded `GetStatus` response bodies (`kind ‖ fields`),
+    /// keyed by the cell's publication *generation* — not the epoch,
+    /// because a freshness-only refresh changes the served bytes without
+    /// advancing the epoch. A hit skips proof building, payload
+    /// assembly, and encoding in one lookup.
+    encoded: ShardedEpochCache<SerialNumber, Arc<[u8]>>,
+    /// Encoded `GetMultiStatus` bodies for single-CA chains, keyed by
+    /// `(chain, compress)` under the same generation policy. Multi-CA
+    /// chains are never cached here: the key's generation belongs to one
+    /// cell, and another CA's republish would not invalidate it.
+    encoded_multi: EpochKeyedCache<EncodedMultiKey, Arc<[u8]>>,
 }
 
 impl Default for StatusServer {
@@ -47,8 +65,10 @@ impl StatusServer {
     pub fn new() -> Self {
         StatusServer {
             cells: RwLock::new(HashMap::new()),
-            cache: ProofCache::default(),
+            cache: ShardedProofCache::default(),
             multi_cache: EpochKeyedCache::new(MULTI_CACHE_CAPACITY),
+            encoded: ShardedEpochCache::default(),
+            encoded_multi: EpochKeyedCache::new(MULTI_CACHE_CAPACITY),
         }
     }
 
@@ -101,6 +121,8 @@ impl StatusServer {
         self.cells.write().remove(ca);
         self.cache.purge_ca(ca);
         self.multi_cache.purge_ca(ca);
+        self.encoded.purge_ca(ca);
+        self.encoded_multi.purge_ca(ca);
     }
 
     /// The current snapshot for `ca`, if mirrored. Cheap (`Arc` clone);
@@ -129,6 +151,16 @@ impl StatusServer {
     /// Counter snapshot of the compressed chain-multiproof memo.
     pub fn multi_cache_stats(&self) -> CacheStats {
         self.multi_cache.stats()
+    }
+
+    /// Counter snapshot of the encoded single-status response cache.
+    pub fn encoded_cache_stats(&self) -> CacheStats {
+        self.encoded.stats()
+    }
+
+    /// Counter snapshot of the encoded chain-status response cache.
+    pub fn encoded_multi_cache_stats(&self) -> CacheStats {
+        self.encoded_multi.stats()
     }
 
     /// Builds one full status for `serial`, going through the epoch-keyed
@@ -226,6 +258,81 @@ impl StatusServer {
         }
         Some(StatusPayload { statuses, multi })
     }
+
+    /// The fully encoded `GetStatus` response body for `(ca, serial)` —
+    /// the version-independent `kind ‖ fields` tail, shareable across
+    /// every connection and both envelope versions. `None` when `ca` is
+    /// not mirrored (the service then answers its usual typed error).
+    ///
+    /// The generation is read **before** the snapshot is loaded: a
+    /// racing publish between the two can only make the cached bytes
+    /// *newer* than the generation key (the next reader at the advanced
+    /// generation misses and re-encodes), never leave stale bytes served
+    /// under a current key.
+    pub fn encoded_status(&self, ca: &CaId, serial: &SerialNumber) -> Option<Arc<[u8]>> {
+        let cell = self.cell(ca)?;
+        let generation = cell.generation();
+        let snap = cell.load();
+        Some(self.encoded.get_or_insert(*ca, *serial, generation, || {
+            RitmResponse::Status(StatusPayload::single(vec![self.status_from(&snap, serial)]))
+                .to_shared_body()
+        }))
+    }
+
+    /// The fully encoded `GetMultiStatus` response body for a single-CA
+    /// `chain` (leaf individual, the rest compressed per `compress` —
+    /// byte-identical to [`StatusServer::build_status`]'s payload).
+    /// `None` for empty chains, chains spanning more than one CA (their
+    /// bytes cannot be invalidated by one cell's generation), or an
+    /// unmirrored CA.
+    pub fn encoded_multi_status(
+        &self,
+        chain: &[(CaId, SerialNumber)],
+        compress: bool,
+    ) -> Option<Arc<[u8]>> {
+        let (first_ca, _) = chain.first()?;
+        if chain.iter().any(|(ca, _)| ca != first_ca) {
+            return None;
+        }
+        let cell = self.cell(first_ca)?;
+        let generation = cell.generation();
+        let snap = cell.load();
+        Some(self.encoded_multi.get_or_insert(
+            *first_ca,
+            (chain.to_vec(), compress),
+            generation,
+            || {
+                RitmResponse::Status(self.single_ca_payload(&snap, chain, compress))
+                    .to_shared_body()
+            },
+        ))
+    }
+
+    /// [`StatusServer::build_status`] specialized to a one-CA chain over
+    /// one already-loaded snapshot: the leaf stays individual; the rest
+    /// of the chain is one compressed run (when `compress` and it has ≥2
+    /// certificates) or individual statuses, all composed from the same
+    /// snapshot.
+    fn single_ca_payload(
+        &self,
+        snap: &DictionarySnapshot,
+        chain: &[(CaId, SerialNumber)],
+        compress: bool,
+    ) -> StatusPayload {
+        let mut statuses = Vec::with_capacity(chain.len());
+        let mut multi = Vec::new();
+        statuses.push(self.status_from(snap, &chain[0].1));
+        let rest = &chain[1..];
+        if compress && rest.len() >= 2 {
+            let serials: Vec<SerialNumber> = rest.iter().map(|(_, s)| *s).collect();
+            multi.push(self.multi_status_from(snap, serials));
+        } else {
+            for (_, serial) in rest {
+                statuses.push(self.status_from(snap, serial));
+            }
+        }
+        StatusPayload { statuses, multi }
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +413,61 @@ mod tests {
         let plain = server.build_status(&chain, false).unwrap();
         assert_eq!(plain.statuses.len(), 3);
         assert!(plain.multi.is_empty());
+    }
+
+    #[test]
+    fn encoded_statuses_cache_by_generation_and_refresh_invalidates() {
+        let (ca, m) = setup(20);
+        let server = StatusServer::new();
+        assert!(server.publish(m.snapshot()));
+        let serial = SerialNumber::from_u24(4);
+        let first = server.encoded_status(&ca.ca(), &serial).unwrap();
+        let second = server.encoded_status(&ca.ca(), &serial).unwrap();
+        // Same generation: the very same shared allocation is served.
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = server.encoded_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The cached bytes are exactly the response the build path
+        // would encode.
+        let built = RitmResponse::Status(StatusPayload::single(vec![server
+            .status_for(&ca.ca(), &serial)
+            .unwrap()]));
+        assert_eq!(&first[..], &built.to_shared_body()[..]);
+
+        // A freshness-only refresh changes the served bytes without
+        // advancing the epoch — the generation key must still
+        // invalidate the encoded entry.
+        let snap = server.snapshot(&ca.ca()).unwrap();
+        let fresher = ritm_dictionary::FreshnessStatement::new(
+            ritm_crypto::digest::Digest20::hash(b"next period preimage"),
+        );
+        assert!(server.publish_refresh(&ca.ca(), *snap.signed_root(), fresher));
+        let after = server.encoded_status(&ca.ca(), &serial).unwrap();
+        assert_ne!(&first[..], &after[..], "refresh must re-encode");
+    }
+
+    #[test]
+    fn encoded_multi_status_matches_build_status_and_skips_multi_ca() {
+        let (ca, m) = setup(50);
+        let server = StatusServer::new();
+        assert!(server.publish(m.snapshot()));
+        let chain: Vec<(CaId, SerialNumber)> = [1u32, 21, 41]
+            .iter()
+            .map(|&v| (ca.ca(), SerialNumber::from_u24(v)))
+            .collect();
+        let encoded = server.encoded_multi_status(&chain, true).unwrap();
+        let built = RitmResponse::Status(server.build_status(&chain, true).unwrap());
+        assert_eq!(&encoded[..], &built.to_shared_body()[..]);
+        // Uncompressed variant caches under its own key.
+        let plain = server.encoded_multi_status(&chain, false).unwrap();
+        let built_plain = RitmResponse::Status(server.build_status(&chain, false).unwrap());
+        assert_eq!(&plain[..], &built_plain.to_shared_body()[..]);
+        // A chain spanning two CAs is never cached: one cell's
+        // generation could not invalidate the other CA's bytes.
+        let mut mixed = chain.clone();
+        mixed.push((CaId::from_name("OtherCA"), SerialNumber::from_u24(1)));
+        assert!(server.encoded_multi_status(&mixed, true).is_none());
+        assert!(server.encoded_multi_status(&[], true).is_none());
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! applying dictionary updates.
 
 use crate::serve::StatusServer;
-use ritm_proto::{ProtoError, RitmRequest, RitmResponse, Service, StatusPayload};
+use ritm_proto::message::RequestEnvelope;
+use ritm_proto::{
+    Frame, ProtoError, RitmRequest, RitmResponse, Service, StatusPayload, MAX_FRAME_LEN,
+    PROTOCOL_V2,
+};
 use std::sync::Arc;
 
 /// One RA status endpoint over the shared [`StatusServer`].
@@ -72,6 +76,36 @@ impl Service for StatusService {
             | RitmRequest::GetManifest { .. }
             | RitmRequest::GossipRoots { .. } => RitmResponse::Error(ProtoError::Unsupported),
         }
+    }
+
+    /// The zero-copy hot path: `GetStatus` and single-CA `GetMultiStatus`
+    /// answer straight from the server's encoded-response cache as a
+    /// shared-body [`Frame`] — no proof building, no payload assembly, no
+    /// encoding, and no copy of the response bytes. Everything else (and
+    /// any response too large for the framing layer) falls through to
+    /// [`Service::handle_envelope`], so the wire bytes are identical to
+    /// the owned path in every case.
+    fn serve_envelope(&self, env: RequestEnvelope) -> Frame {
+        let body = match &env.request {
+            Ok(RitmRequest::GetStatus { ca, serial }) => self.server.encoded_status(ca, serial),
+            Ok(RitmRequest::GetMultiStatus { chain, compress }) if !chain.is_empty() => self
+                .server
+                .encoded_multi_status(chain, *compress && self.allow_compression),
+            _ => None,
+        };
+        if let Some(body) = body {
+            // Same size guard as handle_envelope: encoded_len is the
+            // version byte + optional id + body.
+            let overhead = if env.reply_version >= PROTOCOL_V2 {
+                4
+            } else {
+                0
+            };
+            if 1 + overhead + body.len() <= MAX_FRAME_LEN {
+                return Frame::shared(env.reply_version, env.request_id, body);
+            }
+        }
+        Frame::from_bytes(self.handle_envelope(env))
     }
 }
 
@@ -141,6 +175,43 @@ mod tests {
             }
             other => panic!("expected status, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_frame_matches_handle_frame_bytes_for_both_versions() {
+        let (ca, svc) = setup(20);
+        let chain: Vec<(CaId, SerialNumber)> = [0u32, 2, 6]
+            .iter()
+            .map(|&v| (ca.ca(), SerialNumber::from_u24(v)))
+            .collect();
+        let reqs = [
+            RitmRequest::GetStatus {
+                ca: ca.ca(),
+                serial: SerialNumber::from_u24(4),
+            },
+            RitmRequest::GetMultiStatus {
+                chain,
+                compress: true,
+            },
+            // Falls through the cache (unknown CA) — still identical.
+            RitmRequest::GetStatus {
+                ca: CaId::from_name("nobody"),
+                serial: SerialNumber::from_u24(1),
+            },
+        ];
+        for req in &reqs {
+            for frame in [req.to_frame(), req.to_frame_v2(7)] {
+                assert_eq!(
+                    svc.serve_frame(&frame).to_vec(),
+                    svc.handle_frame(&frame),
+                    "zero-copy and owned paths must agree on the wire"
+                );
+            }
+        }
+        // The v2 replays were served from the encoded cache (one shared
+        // body covers both envelope versions).
+        assert!(svc.server().encoded_cache_stats().hits >= 1);
+        assert!(svc.server().encoded_multi_cache_stats().hits >= 1);
     }
 
     #[test]

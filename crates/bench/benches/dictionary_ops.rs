@@ -24,9 +24,43 @@ use ritm_dictionary::tree::{Leaf, MerkleTree};
 use ritm_dictionary::{CaDictionary, CaId, HashPool, MirrorDictionary, SerialNumber};
 use ritm_proto::event::{EventServer, EventTransport};
 use ritm_proto::{Loopback, RitmRequest, RitmResponse, Service, Transport};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Counts every allocation so `status_serve_hot/allocs_per_request` is a
+/// recorded number, not a claim. Criterion benches are separate binaries,
+/// so the one-atomic-per-alloc tax stays inside this file's numbers (and
+/// is identical across the compared paths).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const T0: u64 = 1_397_000_000;
 /// The acceptance scenario: one Δ's worth of revocations landing in a
@@ -688,6 +722,122 @@ fn bench_event_serve(c: &mut Criterion) {
     event_server.shutdown();
 }
 
+/// The zero-copy hot path against the classic one, in process: answering
+/// a hot-serial `GetStatus` frame from the encoded-response cache
+/// (`serve_frame` — one cache lookup, one `Arc` clone, a 9-byte stamped
+/// header) vs building, assembling, and encoding the same response per
+/// request (`handle_frame`). Also records allocations per hot request
+/// (the counting allocator above) and the encoded-cache hit rate the run
+/// produced — the numbers the alloc-budget test pins as hard bounds.
+fn bench_status_serve_hot(c: &mut Criterion) {
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (ca, mirror) = built_pair(n);
+    let server = StatusServer::new();
+    assert!(server.publish(mirror.snapshot()));
+    let svc = StatusService::new(Arc::new(server));
+    let req = RitmRequest::GetStatus {
+        ca: ca.ca(),
+        serial: SerialNumber::from_u24(0x700001),
+    };
+    let frame = req.to_frame_v2(3);
+
+    let mut g = c.benchmark_group("status_serve_hot");
+    g.bench_with_input(BenchmarkId::new("build_and_encode", n), &frame, |b, f| {
+        b.iter(|| black_box(svc.handle_frame(black_box(f))))
+    });
+    // Warm the encoded cache, and prove the two paths agree on the wire
+    // before timing them against each other.
+    let warm = svc.serve_frame(&frame);
+    assert_eq!(warm.to_vec(), svc.handle_frame(&frame));
+    g.bench_with_input(BenchmarkId::new("encoded_cache_hit", n), &frame, |b, f| {
+        b.iter(|| black_box(svc.serve_frame(black_box(f))))
+    });
+    g.finish();
+
+    const PROBE: u64 = 1_000;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..PROBE {
+        black_box(svc.serve_frame(&frame));
+    }
+    let allocs_per_req = (ALLOCS.load(Ordering::Relaxed) - before) as f64 / PROBE as f64;
+    criterion::json_record(
+        "status_serve_hot/allocs_per_request",
+        Some(n as u64),
+        Some(1),
+        allocs_per_req,
+        "allocs",
+    );
+    criterion::json_record(
+        "status_serve_hot/encoded_hit_rate",
+        Some(n as u64),
+        Some(1),
+        svc.server().encoded_cache_stats().hit_rate(),
+        "ratio",
+    );
+}
+
+/// Sustained hot-status throughput through the whole event stack: one
+/// multiplexed v2 connection keeping 64 requests in flight against the
+/// encoded-response cache, over real OS sockets. Records requests/sec
+/// alongside the criterion timing. (CI pins the container to one core,
+/// so this is the single-core serving ceiling — reader/writer/service
+/// all time-sliced — not a contention measurement.)
+fn bench_throughput(c: &mut Criterion) {
+    let n: u32 = if criterion::smoke_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (ca, mirror) = built_pair(n);
+    let server = StatusServer::new();
+    assert!(server.publish(mirror.snapshot()));
+    let service = Arc::new(StatusService::new(Arc::new(server)));
+    let event_server =
+        EventServer::spawn(Arc::clone(&service) as Arc<dyn ritm_proto::Service>, 2).unwrap();
+    let mut mux = EventTransport::connect(event_server.addr()).unwrap();
+    // 64-deep flight over 8 hot serials: after the first flight every
+    // request is an encoded-cache hit served as a shared body.
+    let flight: Vec<RitmRequest> = (0..64u32)
+        .map(|i| RitmRequest::GetStatus {
+            ca: ca.ca(),
+            serial: SerialNumber::from_u24(0x700001 + (i % 8) * 2),
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("throughput");
+    g.bench_function("event_64deep_hot_status", |b| {
+        b.iter(|| {
+            for r in mux.round_trip_many(black_box(&flight)) {
+                black_box(r.expect("served"));
+            }
+        })
+    });
+    g.finish();
+
+    let rounds: u32 = if criterion::smoke_mode() { 20 } else { 200 };
+    let started = Instant::now();
+    let mut served = 0u64;
+    for _ in 0..rounds {
+        for r in mux.round_trip_many(&flight) {
+            r.expect("served");
+            served += 1;
+        }
+    }
+    criterion::json_record(
+        "throughput/requests_per_sec",
+        Some(n as u64),
+        Some(64),
+        served as f64 / started.elapsed().as_secs_f64(),
+        "req/s",
+    );
+    drop(mux);
+    event_server.shutdown();
+}
+
 /// The interception lane at Table III granularity: full sans-io handshakes
 /// per second with the `FlowTable` middlebox inline (segment-level, so the
 /// number isolates RA work from kernel socket noise) vs the same engine
@@ -854,6 +1004,6 @@ criterion_group! {
         bench_cold_vs_cached_proof, bench_status_validation, bench_parallel_rebuild,
         bench_snapshot_publish, bench_multiproof_chain, bench_concurrent_serving,
         bench_protocol_roundtrip, bench_catchup_paged, bench_event_serve,
-        bench_handshake
+        bench_status_serve_hot, bench_throughput, bench_handshake
 }
 criterion_main!(benches);

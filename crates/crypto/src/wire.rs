@@ -62,6 +62,14 @@ impl Writer {
         }
     }
 
+    /// Wraps an existing buffer, appending after its current contents —
+    /// how encoders reuse pooled scratch without an intermediate copy
+    /// (`mem::take` the scratch in, [`into_bytes`](Writer::into_bytes) it
+    /// back out).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
     /// Appends a single byte.
     pub fn u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);

@@ -150,6 +150,13 @@ impl DictionarySnapshot {
 #[derive(Debug)]
 pub struct SnapshotCell {
     current: RwLock<Arc<DictionarySnapshot>>,
+    /// Count of accepted publishes, bumped *after* each swap. Unlike the
+    /// epoch, this advances on same-epoch refreshes too, so it keys
+    /// anything derived from the snapshot's *bytes* (signed root,
+    /// freshness) rather than its content — encoded-response caches in
+    /// particular. Reading the generation *before* `load()` guarantees
+    /// the loaded snapshot is at least as new as the generation says.
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl SnapshotCell {
@@ -157,6 +164,7 @@ impl SnapshotCell {
     pub fn new(snapshot: DictionarySnapshot) -> Self {
         SnapshotCell {
             current: RwLock::new(Arc::new(snapshot)),
+            generation: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -164,6 +172,16 @@ impl SnapshotCell {
     /// stays valid however many swaps happen afterwards.
     pub fn load(&self) -> Arc<DictionarySnapshot> {
         self.current.read().clone()
+    }
+
+    /// The publication generation: how many publishes (including
+    /// same-epoch freshness refreshes) this cell has accepted. A cache
+    /// keyed on `(ca, generation)` is invalidated by *every* publish —
+    /// the right key for cached response bytes, which embed the signed
+    /// root and freshness that a refresh changes without advancing the
+    /// epoch.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Atomically replaces the current snapshot, **epoch-guarded**: a
@@ -181,6 +199,11 @@ impl SnapshotCell {
             return false;
         }
         *current = next;
+        // Bump only after the swap (still under the write lock): a reader
+        // that observes generation g and then loads can never get a
+        // snapshot older than the one publish g installed.
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
         true
     }
 }
@@ -288,5 +311,43 @@ mod tests {
         let refreshed = now.with_root_and_freshness(*now.signed_root(), *m.freshness());
         assert!(cell.publish(refreshed));
         assert_eq!(cell.load().epoch(), content.epoch());
+    }
+
+    #[test]
+    fn generation_advances_on_every_accepted_publish_including_refreshes() {
+        let (mut ca, mut m) = mirror_with(3);
+        let cell = SnapshotCell::new(m.snapshot());
+        assert_eq!(cell.generation(), 0);
+
+        // Content publish: epoch and generation both advance.
+        let mut rng = StdRng::seed_from_u64(9);
+        let iss = ca
+            .insert(&[SerialNumber::from_u24(50)], &mut rng, T0 + 2)
+            .unwrap();
+        m.apply_issuance(&iss, T0 + 2).unwrap();
+        assert!(cell.publish(m.snapshot()));
+        assert_eq!(cell.generation(), 1);
+
+        // Freshness-only refresh: the epoch stays put, but the served
+        // bytes change — the generation must advance so byte-level caches
+        // are invalidated.
+        let cur = cell.load();
+        let refreshed = cur.with_root_and_freshness(*cur.signed_root(), *m.freshness());
+        assert_eq!(refreshed.epoch(), cur.epoch());
+        assert!(cell.publish(refreshed));
+        assert_eq!(cell.generation(), 2);
+
+        // A rejected (stale) publish changes nothing, so caches keyed on
+        // the generation keep serving the newer bytes.
+        let stale = DictionarySnapshot::new(
+            cur.ca(),
+            0,
+            // A stale tree from before the batch.
+            cell.load().tree.clone(),
+            *cur.signed_root(),
+            *cur.freshness(),
+        );
+        assert!(!cell.publish(stale));
+        assert_eq!(cell.generation(), 2);
     }
 }

@@ -45,7 +45,9 @@ use crate::service::Service;
 use crate::transport::{RoundTrip, Transport, TransportMeta};
 use crate::ProtoError;
 use ritm_net::time::SimDuration;
-use ritm_rt::{io as rt_io, Executor, FrameRead, FrameReader, FrameWrite, FrameWriter, IoPoll};
+use ritm_rt::{
+    io as rt_io, BufPool, Executor, FrameRead, FrameReader, FrameWrite, FrameWriter, IoPoll,
+};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -155,6 +157,10 @@ impl EventServer {
         let closing = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let tasks = Arc::new(AtomicU64::new(0));
+        // One buffer pool per server, shared by every connection's reader
+        // and writer: request frames and drained reply buffers recycle
+        // instead of allocating per round trip.
+        let pool = BufPool::default();
 
         {
             let closing = Arc::clone(&closing);
@@ -170,6 +176,7 @@ impl EventServer {
                     closing,
                     stats,
                     Arc::clone(&tasks),
+                    pool,
                     config,
                 )
                 .await;
@@ -271,6 +278,7 @@ async fn accept_loop(
     closing: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     tasks: Arc<AtomicU64>,
+    pool: BufPool,
     config: EventServerConfig,
 ) {
     let reactor = handle.reactor();
@@ -307,6 +315,7 @@ async fn accept_loop(
         let stats = Arc::clone(&stats);
         let reactor = Arc::clone(&reactor);
         let tasks = Arc::clone(&tasks);
+        let pool = pool.clone();
         let spawner = handle.clone();
         tasks.fetch_add(1, Ordering::SeqCst);
         handle.spawn(async move {
@@ -318,6 +327,7 @@ async fn accept_loop(
                 reactor,
                 spawner,
                 Arc::clone(&tasks),
+                pool,
                 config,
             )
             .await;
@@ -374,15 +384,16 @@ async fn serve_connection(
     reactor: Arc<ritm_rt::Reactor>,
     handle: ritm_rt::Handle,
     tasks: Arc<AtomicU64>,
+    pool: BufPool,
     config: EventServerConfig,
 ) {
     let conn = Arc::new(Conn {
         stream,
-        writer: Mutex::new(FrameWriter::new()),
+        writer: Mutex::new(FrameWriter::with_pool(pool.clone())),
         dead: AtomicBool::new(false),
         inflight: AtomicU64::new(0),
     });
-    let mut reader = FrameReader::new(MAX_FRAME_LEN);
+    let mut reader = FrameReader::with_pool(MAX_FRAME_LEN, pool.clone());
     let mut last_frame = Instant::now();
     loop {
         let step = rt_io(&reactor, || {
@@ -440,6 +451,7 @@ async fn serve_connection(
                         supported: config.max_version,
                     })
                     .to_frame();
+                    pool.put(frame);
                     conn.lock_writer().queue(reply);
                     if drive_flush(&conn, &reactor, &closing).await {
                         stats.served.fetch_add(1, Ordering::Relaxed);
@@ -454,6 +466,7 @@ async fn serve_connection(
                         break;
                     };
                     let env = RequestEnvelope::decode(body);
+                    pool.put(frame);
                     conn.inflight.fetch_add(1, Ordering::SeqCst);
                     tasks.fetch_add(1, Ordering::SeqCst);
                     let service = Arc::clone(&service);
@@ -471,14 +484,18 @@ async fn serve_connection(
                 } else {
                     // v1: inline and strictly in order — the guarantee
                     // id-less pipelining depends on, preserved
-                    // byte-identically.
+                    // byte-identically. `serve_frame` lets a caching
+                    // service answer with a shared body (header + cached
+                    // bytes, no copy); the drained request frame recycles
+                    // into the pool.
                     let Ok(resp) =
-                        std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_frame(&frame)))
+                        std::panic::catch_unwind(AssertUnwindSafe(|| service.serve_frame(&frame)))
                     else {
                         conn.kill();
                         break;
                     };
-                    conn.lock_writer().queue(resp);
+                    pool.put(frame);
+                    resp.queue_onto(&mut conn.lock_writer());
                     if drive_flush(&conn, &reactor, &closing).await {
                         stats.served.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -518,14 +535,16 @@ async fn handle_v2_request(
     // A panicking service request costs only its own connection — the
     // executor also guards the worker, but killing the connection here
     // keeps the peer from waiting on a reply that will never come.
-    let Ok(reply) = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_envelope(env)))
+    // `serve_envelope` is the cached-response hook: a hot status reply
+    // arrives as a shared body and is queued by reference.
+    let Ok(reply) = std::panic::catch_unwind(AssertUnwindSafe(|| service.serve_envelope(env)))
     else {
         conn.kill();
         return;
     };
     let overflow = {
         let mut w = conn.lock_writer();
-        w.queue(reply);
+        reply.queue_onto(&mut w);
         w.buffered_bytes() > config.max_buffered_bytes
     };
     if overflow {
@@ -619,6 +638,10 @@ pub struct EventTransport {
     /// Next request id to assign (wrapping; uniqueness only matters
     /// within one flight, where ids are consecutive).
     next_id: u32,
+    /// Recycles the flight scratch buffer and decoded reply frames across
+    /// flights; shared with the reader so completed frames come from here
+    /// too.
+    pool: BufPool,
 }
 
 impl EventTransport {
@@ -648,14 +671,16 @@ impl EventTransport {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
+        let pool = BufPool::default();
         Ok(EventTransport {
             addr,
             stream,
-            reader: FrameReader::new(MAX_FRAME_LEN),
+            reader: FrameReader::with_pool(MAX_FRAME_LEN, pool.clone()),
             broken: false,
             peer,
             reset_peer: peer,
             next_id: 1,
+            pool,
         })
     }
 
@@ -684,7 +709,7 @@ impl EventTransport {
         stream.set_nonblocking(true)?;
         self.addr = addr;
         self.stream = stream;
-        self.reader = FrameReader::new(MAX_FRAME_LEN);
+        self.reader = FrameReader::with_pool(MAX_FRAME_LEN, self.pool.clone());
         self.broken = false;
         self.peer = self.reset_peer;
         Ok(())
@@ -693,6 +718,13 @@ impl EventTransport {
     /// Whether a transport-level failure has poisoned this connection.
     pub fn is_broken(&self) -> bool {
         self.broken
+    }
+
+    /// Bytes of read-buffer capacity this transport currently keeps
+    /// resident — bounded by the reader's shrink policy even after a
+    /// multi-megabyte frame passed through.
+    pub fn reader_resident_capacity(&self) -> usize {
+        self.reader.resident_capacity()
     }
 
     /// The envelope version negotiated with the peer: `None` before the
@@ -739,13 +771,19 @@ impl EventTransport {
         let n = reqs.len();
         let base = self.next_id;
         self.next_id = self.next_id.wrapping_add(n as u32);
-        let mut writer = FrameWriter::new();
+        // The whole flight encodes into one pooled scratch buffer, queued
+        // as a single owned segment: one buffer (recycled across flights
+        // once the pool is warm) instead of one allocation per request,
+        // and the writer pushes it in one syscall when the socket allows.
+        let mut writer = FrameWriter::with_pool(self.pool.clone());
+        let mut scratch = self.pool.get();
         let mut request_lens = Vec::with_capacity(n);
         for (i, req) in reqs.iter().enumerate() {
-            let frame = req.to_frame_v2(base.wrapping_add(i as u32));
-            request_lens.push(frame.len() as u64);
-            writer.queue(frame);
+            let before = scratch.len();
+            req.to_frame_v2_into(base.wrapping_add(i as u32), &mut scratch);
+            request_lens.push((scratch.len() - before) as u64);
         }
+        writer.queue(scratch);
         let mut slots: Vec<Option<Result<RoundTrip, TransportError>>> =
             (0..n).map(|_| None).collect();
         let mut received = 0usize;
@@ -863,6 +901,10 @@ impl EventTransport {
                             }
                         }
                     }
+                    // The decoded reply buffer goes back to the pool for
+                    // the reader to hand out again (failure paths above
+                    // break out and simply drop theirs).
+                    self.pool.put(reply);
                 }
                 FrameRead::WouldBlock => {}
                 FrameRead::Eof => {
@@ -918,13 +960,17 @@ impl EventTransport {
     /// since flight start), so the flight's summed latency is its
     /// wall-clock duration — comparable across transports.
     fn flight_in_order(&mut self, reqs: &[RitmRequest]) -> Vec<Result<RoundTrip, TransportError>> {
-        let mut writer = FrameWriter::new();
+        // Same one-scratch-buffer flight encoding as the multiplexed path
+        // (byte-identical to queueing each `to_frame()` separately).
+        let mut writer = FrameWriter::with_pool(self.pool.clone());
+        let mut scratch = self.pool.get();
         let mut request_lens = Vec::with_capacity(reqs.len());
         for req in reqs {
-            let frame = req.to_frame();
-            request_lens.push(frame.len() as u64);
-            writer.queue(frame);
+            let before = scratch.len();
+            req.to_frame_into(&mut scratch);
+            request_lens.push((scratch.len() - before) as u64);
         }
+        writer.queue(scratch);
         let mut results: Vec<Result<RoundTrip, TransportError>> = Vec::with_capacity(reqs.len());
         let fail_rest = |results: &mut Vec<Result<RoundTrip, TransportError>>,
                          n: usize,
@@ -959,6 +1005,7 @@ impl EventTransport {
                     let latency = SimDuration::from_micros((now - last_reply).as_micros() as u64);
                     last_reply = now;
                     results.push(decode_reply(&reply, latency));
+                    self.pool.put(reply);
                 }
                 FrameRead::WouldBlock => {}
                 FrameRead::Eof => {

@@ -35,6 +35,7 @@
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod frame;
 pub mod message;
 pub mod payload;
 pub mod service;
@@ -45,6 +46,7 @@ pub mod transport;
 pub use error::{ProtoError, TransportError};
 pub use event::{EventServer, EventServerConfig, EventTransport};
 pub use fault::{FaultPlan, FaultStats, FaultTransport};
+pub use frame::{Body, Frame, FRAME_HEADER_MAX};
 pub use message::{
     peek_request_envelope, split_frame, RequestEnvelope, RitmRequest, RitmResponse, MAX_CHAIN_LEN,
     MAX_FRAME_LEN, MAX_GOSSIP_ROOTS, MAX_PAGE_LIMIT, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION,

@@ -304,6 +304,11 @@ impl RitmRequest {
         if version >= PROTOCOL_V2 {
             w.u32(request_id);
         }
+        self.encode_fields(w);
+    }
+
+    /// The version-independent tail of the body: `kind ‖ fields`.
+    fn encode_fields(&self, w: &mut Writer) {
         match self {
             RitmRequest::FetchDelta { ca } => {
                 w.u8(REQ_FETCH_DELTA);
@@ -358,23 +363,44 @@ impl RitmRequest {
     /// body), pre-sized to [`RitmRequest::encoded_len`] plus the prefix.
     /// Byte-identical to every pre-v2 release.
     pub fn to_frame(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.encoded_len());
+        self.to_frame_into(&mut out);
+        out
+    }
+
+    /// Appends the v1 frame to `out` — how a whole flight of requests is
+    /// encoded into one reusable scratch buffer with no per-request
+    /// allocation. Byte-identical to [`RitmRequest::to_frame`].
+    pub fn to_frame_into(&self, out: &mut Vec<u8>) {
         let body_len = self.encoded_len();
-        let mut w = Writer::with_capacity(4 + body_len);
+        let before = out.len();
+        out.reserve(4 + body_len);
+        let mut w = Writer::from_vec(std::mem::take(out));
         w.u32(body_len as u32);
         self.encode_body(&mut w, PROTOCOL_VERSION, 0);
-        debug_assert_eq!(w.len(), 4 + body_len);
-        w.into_bytes()
+        *out = w.into_bytes();
+        debug_assert_eq!(out.len() - before, 4 + body_len);
     }
 
     /// Encodes the multiplexed v2 frame, tagging the body with
     /// `request_id` (echoed back on the matching response).
     pub fn to_frame_v2(&self, request_id: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 4 + self.encoded_len());
+        self.to_frame_v2_into(request_id, &mut out);
+        out
+    }
+
+    /// Appends the v2 frame to `out`; byte-identical to
+    /// [`RitmRequest::to_frame_v2`].
+    pub fn to_frame_v2_into(&self, request_id: u32, out: &mut Vec<u8>) {
         let body_len = 4 + self.encoded_len();
-        let mut w = Writer::with_capacity(4 + body_len);
+        let before = out.len();
+        out.reserve(4 + body_len);
+        let mut w = Writer::from_vec(std::mem::take(out));
         w.u32(body_len as u32);
         self.encode_body(&mut w, PROTOCOL_V2, request_id);
-        debug_assert_eq!(w.len(), 4 + body_len);
-        w.into_bytes()
+        *out = w.into_bytes();
+        debug_assert_eq!(out.len() - before, 4 + body_len);
     }
 
     /// Decodes a request frame *body* (without the length prefix), applying
@@ -544,6 +570,11 @@ impl RitmResponse {
         if version >= PROTOCOL_V2 {
             w.u32(request_id);
         }
+        self.encode_fields(w);
+    }
+
+    /// The version-independent tail of the body: `kind ‖ fields`.
+    fn encode_fields(&self, w: &mut Writer) {
         match self {
             RitmResponse::Delta(iss) => {
                 w.u8(RESP_DELTA);
@@ -606,11 +637,37 @@ impl RitmResponse {
     /// version carries one.
     pub fn to_frame_for(&self, version: u8, request_id: u32) -> Vec<u8> {
         let body_len = self.encoded_len() + if version >= PROTOCOL_V2 { 4 } else { 0 };
-        let mut w = Writer::with_capacity(4 + body_len);
+        let mut out = Vec::with_capacity(4 + body_len);
+        self.to_frame_for_into(version, request_id, &mut out);
+        out
+    }
+
+    /// Appends the frame in the given envelope `version` to `out`;
+    /// byte-identical to [`RitmResponse::to_frame_for`].
+    pub fn to_frame_for_into(&self, version: u8, request_id: u32, out: &mut Vec<u8>) {
+        let body_len = self.encoded_len() + if version >= PROTOCOL_V2 { 4 } else { 0 };
+        let before = out.len();
+        out.reserve(4 + body_len);
+        let mut w = Writer::from_vec(std::mem::take(out));
         w.u32(body_len as u32);
         self.encode_body(&mut w, version, request_id);
-        debug_assert_eq!(w.len(), 4 + body_len);
-        w.into_bytes()
+        *out = w.into_bytes();
+        debug_assert_eq!(out.len() - before, 4 + body_len);
+    }
+
+    /// Encodes the version-independent portion of the body — `kind ‖
+    /// fields`, everything after the version byte and optional request id
+    /// — as shared bytes. This is the part of a reply that is identical
+    /// for every connection and both envelope versions, so one encoding
+    /// can be cached and served to all of them; [`crate::Frame::shared`]
+    /// stamps the per-connection header (length, version, id) in front
+    /// without copying the body.
+    pub fn to_shared_body(&self) -> std::sync::Arc<[u8]> {
+        // encoded_len counts version + kind + fields; the shared portion
+        // drops the 1-byte version.
+        let mut w = Writer::with_capacity(self.encoded_len() - 1);
+        self.encode_fields(&mut w);
+        std::sync::Arc::from(w.into_bytes())
     }
 
     /// Decodes a response frame *body* (without the length prefix).
@@ -939,6 +996,47 @@ mod tests {
         let (ubody, _) = split_frame(&uframe).unwrap();
         assert_eq!(ubody[1], 0x03);
         assert_eq!(ubody.len(), 18);
+    }
+
+    #[test]
+    fn into_encoders_append_byte_identically() {
+        let req = RitmRequest::GetMultiStatus {
+            chain: vec![
+                (CaId::from_name("IntoCA"), SerialNumber::from_u24(1)),
+                (CaId::from_name("IntoCA"), SerialNumber::from_u24(2)),
+            ],
+            compress: true,
+        };
+        // Appending after existing scratch contents leaves them intact and
+        // produces the exact to_frame bytes after them.
+        let mut scratch = b"prefix".to_vec();
+        req.to_frame_into(&mut scratch);
+        req.to_frame_v2_into(42, &mut scratch);
+        let mut expected = b"prefix".to_vec();
+        expected.extend_from_slice(&req.to_frame());
+        expected.extend_from_slice(&req.to_frame_v2(42));
+        assert_eq!(scratch, expected);
+
+        let resp = RitmResponse::SignedRoot(gossip_roots(1)[0].1);
+        let mut scratch = Vec::new();
+        resp.to_frame_for_into(PROTOCOL_VERSION, 0, &mut scratch);
+        resp.to_frame_for_into(PROTOCOL_V2, 7, &mut scratch);
+        let mut expected = resp.to_frame();
+        expected.extend_from_slice(&resp.to_frame_for(PROTOCOL_V2, 7));
+        assert_eq!(scratch, expected);
+    }
+
+    #[test]
+    fn shared_body_is_the_version_independent_frame_tail() {
+        let resp = RitmResponse::Error(ProtoError::NotFound);
+        let body = resp.to_shared_body();
+        assert_eq!(body.len(), resp.encoded_len() - 1);
+        // v1 frame = len ‖ version ‖ shared body.
+        let v1 = resp.to_frame();
+        assert_eq!(&v1[5..], &body[..]);
+        // v2 frame = len ‖ version ‖ id ‖ shared body.
+        let v2 = resp.to_frame_for(PROTOCOL_V2, 0xAB);
+        assert_eq!(&v2[9..], &body[..]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! `ritm-net` simulated path, or served from a real TCP acceptor pool, all
 //! without caring which.
 
+use crate::frame::Frame;
 use crate::message::{split_frame, RequestEnvelope, RitmRequest, RitmResponse, PROTOCOL_V2};
 use crate::ProtoError;
 use ritm_net::time::SimDuration;
@@ -75,8 +76,37 @@ pub trait Service: Send + Sync {
         }
         resp.to_frame_for(env.reply_version, env.request_id)
     }
+
+    /// Serves one encoded frame as a [`Frame`] — the zero-copy variant of
+    /// [`handle_frame`](Service::handle_frame), byte-identical on the
+    /// wire. The default wraps `handle_frame`'s owned bytes; services
+    /// with an encoded-response cache override
+    /// [`serve_envelope`](Service::serve_envelope) to answer hot requests
+    /// with a [`Body::Shared`](crate::Body::Shared) body instead.
+    fn serve_frame(&self, frame: &[u8]) -> Frame {
+        match split_frame(frame) {
+            Ok((body, _)) => self.serve_envelope(RequestEnvelope::decode(body)),
+            Err(e) => Frame::from_bytes(
+                RitmResponse::Error(ProtoError::Malformed {
+                    offset: e.offset as u32,
+                })
+                .to_frame(),
+            ),
+        }
+    }
+
+    /// Serves one already-split envelope as a [`Frame`]; the zero-copy
+    /// analogue of [`handle_envelope`](Service::handle_envelope) and the
+    /// override point for cached encoded responses.
+    fn serve_envelope(&self, env: RequestEnvelope) -> Frame {
+        Frame::from_bytes(self.handle_envelope(env))
+    }
 }
 
+// The blanket impls must forward *every* defaulted method, not just the
+// required ones: a service's `serve_envelope` override would otherwise be
+// silently lost behind `Arc<dyn Service>` (the default would recompute
+// from `handle` instead of hitting the cache).
 impl<S: Service + ?Sized> Service for std::sync::Arc<S> {
     fn handle(&self, req: RitmRequest) -> RitmResponse {
         (**self).handle(req)
@@ -84,6 +114,22 @@ impl<S: Service + ?Sized> Service for std::sync::Arc<S> {
 
     fn take_latency(&self) -> SimDuration {
         (**self).take_latency()
+    }
+
+    fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        (**self).handle_frame(frame)
+    }
+
+    fn handle_envelope(&self, env: RequestEnvelope) -> Vec<u8> {
+        (**self).handle_envelope(env)
+    }
+
+    fn serve_frame(&self, frame: &[u8]) -> Frame {
+        (**self).serve_frame(frame)
+    }
+
+    fn serve_envelope(&self, env: RequestEnvelope) -> Frame {
+        (**self).serve_envelope(env)
     }
 }
 
@@ -94,6 +140,22 @@ impl<S: Service + ?Sized> Service for &S {
 
     fn take_latency(&self) -> SimDuration {
         (**self).take_latency()
+    }
+
+    fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        (**self).handle_frame(frame)
+    }
+
+    fn handle_envelope(&self, env: RequestEnvelope) -> Vec<u8> {
+        (**self).handle_envelope(env)
+    }
+
+    fn serve_frame(&self, frame: &[u8]) -> Frame {
+        (**self).serve_frame(frame)
+    }
+
+    fn serve_envelope(&self, env: RequestEnvelope) -> Frame {
+        (**self).serve_envelope(env)
     }
 }
 

@@ -115,10 +115,68 @@ fn sixty_four_concurrent_clients_on_two_threads() {
     let served = server.shutdown();
     assert_eq!(served, (CLIENTS * FLIGHTS_PER_CLIENT * FLIGHT_SIZE) as u64);
 
-    // The epoch-keyed cache saw real traffic (hot serials repeat).
+    // Every request went through the encoded-response cache (hot serials
+    // repeat, so some were served without touching the proof layer)...
+    let encoded = service.server().encoded_cache_stats();
+    assert_eq!(encoded.hits + encoded.misses, served);
+    assert!(
+        encoded.hits > 0,
+        "hot serials must hit the encoded cache: {encoded:?}"
+    );
+    // ...and the proof cache underneath only ever sees encoded misses.
     let stats = service.server().cache_stats();
-    assert_eq!(stats.hits + stats.misses, served);
-    assert!(stats.hits > 0, "hot serials must hit the cache: {stats:?}");
+    assert_eq!(stats.hits + stats.misses, encoded.misses);
+}
+
+#[test]
+fn big_frames_do_not_pin_reader_buffers() {
+    use ritm_dictionary::CaId;
+    use ritm_rt::codec::DEFAULT_RETAIN_CAPACITY;
+
+    /// Answers every request with a ~1 MiB manifest blob.
+    struct Big;
+    impl Service for Big {
+        fn handle(&self, _req: RitmRequest) -> RitmResponse {
+            RitmResponse::Manifest(vec![0xAB; 1 << 20])
+        }
+    }
+
+    let server = EventServer::spawn(Arc::new(Big), 2).unwrap();
+    let addr = server.addr();
+    // 64 live connections, each of which has read one megabyte-scale
+    // frame. Pre-shrink-policy, every one of these kept its megabyte
+    // read buffer resident for the life of the (idle) connection.
+    let mut transports: Vec<EventTransport> = (0..64)
+        .map(|_| EventTransport::connect(addr).expect("connect"))
+        .collect();
+    for t in transports.iter_mut() {
+        let rt = t
+            .round_trip(&RitmRequest::GetManifest {
+                ca: CaId::from_name("BigCA"),
+            })
+            .expect("big manifest round trip");
+        match rt.response {
+            RitmResponse::Manifest(b) => assert_eq!(b.len(), 1 << 20),
+            other => panic!("expected manifest, got {other:?}"),
+        }
+    }
+    // Steady state: large completed frames are handed off whole (shed),
+    // so no idle connection pins more than the retain cap.
+    let mut total = 0usize;
+    for t in &transports {
+        let resident = t.reader_resident_capacity();
+        assert!(
+            resident <= DEFAULT_RETAIN_CAPACITY,
+            "a reader kept {resident} bytes resident after a 1MiB frame"
+        );
+        total += resident;
+    }
+    assert!(
+        total <= 64 * DEFAULT_RETAIN_CAPACITY,
+        "fleet keeps {total} bytes of read scratch resident"
+    );
+    drop(transports);
+    server.shutdown();
 }
 
 const IDLE_CLIENTS: usize = 1024;

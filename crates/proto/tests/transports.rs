@@ -283,6 +283,49 @@ fn pipeline_is_transport_invariant() {
 }
 
 #[test]
+fn flight_scratch_encoding_is_byte_identical_to_per_frame_encoding() {
+    // The event transport now encodes a whole flight into one pooled
+    // scratch buffer (`to_frame_into` / `to_frame_v2_into`) written as a
+    // single segment. The wire must not be able to tell: the scratch
+    // bytes are exactly the concatenation of the per-request frames, and
+    // the recorded per-request lengths match the individual encodings.
+    let ca = ritm_dictionary::CaId::from_name("FlightCA");
+    let reqs: Vec<RitmRequest> = (0..7u32)
+        .map(|i| RitmRequest::GetStatus {
+            ca,
+            serial: SerialNumber::from_u24(i * 3),
+        })
+        .chain(std::iter::once(RitmRequest::GetSignedRoot { ca }))
+        .collect();
+
+    // v2 (multiplexed) flight with consecutive ids.
+    let base = 41u32;
+    let mut scratch = Vec::new();
+    let mut lens = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let before = scratch.len();
+        req.to_frame_v2_into(base.wrapping_add(i as u32), &mut scratch);
+        lens.push(scratch.len() - before);
+    }
+    let mut expected = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let frame = req.to_frame_v2(base.wrapping_add(i as u32));
+        assert_eq!(lens[i], frame.len(), "request {i} length mismatch");
+        expected.extend_from_slice(&frame);
+    }
+    assert_eq!(scratch, expected, "v2 flight scratch differs from frames");
+
+    // v1 (in-order) flight.
+    let mut scratch = Vec::new();
+    let mut expected = Vec::new();
+    for req in &reqs {
+        req.to_frame_into(&mut scratch);
+        expected.extend_from_slice(&req.to_frame());
+    }
+    assert_eq!(scratch, expected, "v1 flight scratch differs from frames");
+}
+
+#[test]
 fn unknown_version_yields_typed_error_on_every_transport() {
     let (ca, cdn, _) = build_world();
     let edge = Arc::new(EdgeService::new(cdn, Region::Europe, 99));

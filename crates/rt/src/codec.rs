@@ -8,12 +8,37 @@
 //! included, byte-identical to what the peer encoded); [`FrameWriter`]
 //! drains queued frames across short writes and `WouldBlock`. Neither
 //! knows anything about what the body means — framing only.
+//!
+//! Both ends are built not to allocate per frame on a steady-state
+//! connection: the reader keeps its buffer across frames (copying small
+//! frames out into pooled buffers, handing off oversized ones so a single
+//! large frame never pins its capacity — see
+//! [`DEFAULT_RETAIN_CAPACITY`]), and the writer queues *segments* — owned
+//! frames, or an inline header plus an `Arc`-shared body that is written
+//! in place via vectored I/O and never copied. Drained owned segments are
+//! recycled into a [`BufPool`] when one is attached.
 
+use crate::pool::BufPool;
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
+use std::sync::Arc;
 
 /// Length-prefix size: a big-endian `u32` body length.
 pub const PREFIX_LEN: usize = 4;
+
+/// Capacity (bytes) a [`FrameReader`] retains across frames. A completed
+/// frame at most this large is copied out and the buffer kept warm; a
+/// larger frame's buffer is handed off to the caller instead, so one
+/// megabyte `DeltaPage` does not pin a megabyte per idle connection.
+pub const DEFAULT_RETAIN_CAPACITY: usize = 64 * 1024;
+
+/// Longest header [`FrameWriter::queue_shared`] accepts (inline storage):
+/// `u32 len ‖ version ‖ u32 request-id` is 9 bytes; a little slack keeps
+/// the constant honest if a header grows a field.
+pub const MAX_SHARED_HEADER_LEN: usize = 12;
+
+/// Most segments one vectored write gathers.
+const MAX_IOVECS: usize = 8;
 
 /// Outcome of one [`FrameReader::poll_frame`] attempt.
 #[derive(Debug)]
@@ -40,6 +65,11 @@ pub struct FrameReader {
     buf: Vec<u8>,
     /// Bytes of `buf` actually filled.
     filled: usize,
+    /// Frames at most this large are copied out and `buf` retained;
+    /// larger frames take `buf` with them (the shrink policy).
+    retain_capacity: usize,
+    /// Source of the copied-out frame buffers, when attached.
+    pool: Option<BufPool>,
 }
 
 impl FrameReader {
@@ -50,12 +80,31 @@ impl FrameReader {
             max_body_len,
             buf: Vec::new(),
             filled: 0,
+            retain_capacity: DEFAULT_RETAIN_CAPACITY,
+            pool: None,
+        }
+    }
+
+    /// Like [`new`](FrameReader::new), drawing the buffers it hands out
+    /// from `pool` (return them with [`BufPool::put`] once decoded to
+    /// close the loop).
+    pub fn with_pool(max_body_len: usize, pool: BufPool) -> Self {
+        FrameReader {
+            pool: Some(pool),
+            ..FrameReader::new(max_body_len)
         }
     }
 
     /// Bytes of the in-progress frame buffered so far (0 at boundaries).
     pub fn buffered(&self) -> usize {
         self.filled
+    }
+
+    /// Capacity (bytes) the reader currently pins between frames. Bounded
+    /// by [`DEFAULT_RETAIN_CAPACITY`] at frame boundaries however large
+    /// past frames were.
+    pub fn resident_capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Attempts to complete the next frame from `io`. Safe to call again
@@ -80,7 +129,21 @@ impl FrameReader {
             };
             if self.filled >= PREFIX_LEN && self.filled == target {
                 self.filled = 0;
-                return FrameRead::Frame(std::mem::take(&mut self.buf));
+                let frame = if self.buf.capacity() > self.retain_capacity {
+                    // Oversized frame: hand the grown buffer off with it
+                    // and start small again, rather than pinning the
+                    // capacity on an idle connection forever.
+                    std::mem::take(&mut self.buf)
+                } else {
+                    let mut out = match &self.pool {
+                        Some(pool) => pool.get(),
+                        None => Vec::new(),
+                    };
+                    out.extend_from_slice(&self.buf[..target]);
+                    self.buf.clear();
+                    out
+                };
+                return FrameRead::Frame(frame);
             }
             if self.buf.len() != target {
                 self.buf.resize(target, 0);
@@ -116,17 +179,43 @@ pub enum FrameWrite {
     Err(std::io::Error),
 }
 
+/// One queued run of bytes: a whole owned frame, a shared response body,
+/// or a small inline header stamped in front of one.
+#[derive(Debug)]
+enum Seg {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+    Inline {
+        len: u8,
+        bytes: [u8; MAX_SHARED_HEADER_LEN],
+    },
+}
+
+impl Seg {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared(b) => b,
+            Seg::Inline { len, bytes } => &bytes[..*len as usize],
+        }
+    }
+}
+
 /// Incremental frame encoder-side: queue whole frames, drain them across
-/// short writes and not-ready signals.
+/// short writes and not-ready signals. Adjacent segments drain through one
+/// vectored write, so a header + shared body go out in a single syscall
+/// without a coalescing copy.
 #[derive(Debug, Default)]
 pub struct FrameWriter {
-    queue: VecDeque<Vec<u8>>,
-    /// Bytes of the front frame already written.
+    queue: VecDeque<Seg>,
+    /// Bytes of the front segment already written.
     offset: usize,
     written: u64,
     /// Queued-but-unwritten bytes across all frames (the backpressure
     /// signal: a peer that stops reading makes this grow).
     buffered: usize,
+    /// Where fully-drained owned buffers are recycled, when attached.
+    pool: Option<BufPool>,
 }
 
 impl FrameWriter {
@@ -135,10 +224,45 @@ impl FrameWriter {
         FrameWriter::default()
     }
 
+    /// An empty writer recycling fully-written owned frames into `pool`.
+    pub fn with_pool(pool: BufPool) -> Self {
+        FrameWriter {
+            pool: Some(pool),
+            ..FrameWriter::default()
+        }
+    }
+
     /// Queues one encoded frame (length prefix included) for writing.
     pub fn queue(&mut self, frame: Vec<u8>) {
         self.buffered += frame.len();
-        self.queue.push_back(frame);
+        self.queue.push_back(Seg::Owned(frame));
+    }
+
+    /// Queues a frame split as `header ‖ body`, where the body bytes are
+    /// shared: they are written from the `Arc` in place — one encoded
+    /// response serves any number of connections without a copy per
+    /// connection. The header (at most [`MAX_SHARED_HEADER_LEN`] bytes —
+    /// the per-connection part: length, version, request id) is stored
+    /// inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` exceeds [`MAX_SHARED_HEADER_LEN`].
+    pub fn queue_shared(&mut self, header: &[u8], body: Arc<[u8]>) {
+        assert!(
+            header.len() <= MAX_SHARED_HEADER_LEN,
+            "shared-frame header exceeds inline storage"
+        );
+        self.buffered += header.len() + body.len();
+        if !header.is_empty() {
+            let mut bytes = [0u8; MAX_SHARED_HEADER_LEN];
+            bytes[..header.len()].copy_from_slice(header);
+            self.queue.push_back(Seg::Inline {
+                len: header.len() as u8,
+                bytes,
+            });
+        }
+        self.queue.push_back(Seg::Shared(body));
     }
 
     /// Whether any queued bytes remain unwritten.
@@ -159,10 +283,36 @@ impl FrameWriter {
 
     /// Pushes queued bytes into `io` until done or not ready. Safe to call
     /// again after [`FrameWrite::WouldBlock`] — the offset into the
-    /// current frame is kept.
+    /// current segment is kept. Up to `MAX_IOVECS` queued segments go
+    /// out per vectored write.
     pub fn poll_write(&mut self, io: &mut impl Write) -> FrameWrite {
-        while let Some(front) = self.queue.front() {
-            match io.write(&front[self.offset..]) {
+        loop {
+            // Retire fully-written front segments (recycling owned
+            // buffers) so the gather below always starts mid-segment or
+            // at a fresh one.
+            while self
+                .queue
+                .front()
+                .is_some_and(|seg| seg.as_slice().len() <= self.offset)
+            {
+                let seg = self.queue.pop_front().expect("front checked");
+                self.offset = 0;
+                self.recycle(seg);
+            }
+            if self.queue.is_empty() {
+                return FrameWrite::Done;
+            }
+            let result = {
+                let mut slices: [IoSlice; MAX_IOVECS] = std::array::from_fn(|_| IoSlice::new(&[]));
+                let mut count = 0;
+                for (i, seg) in self.queue.iter().take(MAX_IOVECS).enumerate() {
+                    let s = seg.as_slice();
+                    slices[count] = IoSlice::new(if i == 0 { &s[self.offset..] } else { s });
+                    count += 1;
+                }
+                io.write_vectored(&slices[..count])
+            };
+            match result {
                 Ok(0) => {
                     return FrameWrite::Err(std::io::Error::new(
                         ErrorKind::WriteZero,
@@ -170,20 +320,43 @@ impl FrameWriter {
                     ));
                 }
                 Ok(n) => {
-                    self.offset += n;
                     self.written += n as u64;
                     self.buffered -= n;
-                    if self.offset == front.len() {
-                        self.queue.pop_front();
-                        self.offset = 0;
-                    }
+                    self.advance(n);
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return FrameWrite::WouldBlock,
                 Err(e) => return FrameWrite::Err(e),
             }
         }
-        FrameWrite::Done
+    }
+
+    /// Consumes `n` freshly-written bytes off the front of the queue,
+    /// popping (and recycling) every segment the write fully covered.
+    fn advance(&mut self, mut n: usize) {
+        while n > 0 {
+            let front_len = self
+                .queue
+                .front()
+                .expect("wrote more bytes than were queued")
+                .as_slice()
+                .len();
+            let remaining = front_len - self.offset;
+            if n < remaining {
+                self.offset += n;
+                return;
+            }
+            n -= remaining;
+            self.offset = 0;
+            let seg = self.queue.pop_front().expect("front checked");
+            self.recycle(seg);
+        }
+    }
+
+    fn recycle(&mut self, seg: Seg) {
+        if let (Seg::Owned(buf), Some(pool)) = (seg, &self.pool) {
+            pool.put(buf);
+        }
     }
 }
 
@@ -272,6 +445,64 @@ mod tests {
         }
     }
 
+    /// Splits frames into the prefix-then-body chunks the reader asks
+    /// for (the scripted reader never over-delivers).
+    fn scripted(frames: &[Vec<u8>]) -> Scripted {
+        let mut script = VecDeque::new();
+        for f in frames {
+            script.push_back(Some(f[..PREFIX_LEN].to_vec()));
+            if f.len() > PREFIX_LEN {
+                script.push_back(Some(f[PREFIX_LEN..].to_vec()));
+            }
+        }
+        Scripted { script }
+    }
+
+    #[test]
+    fn reader_retains_small_buffers_and_sheds_large_ones() {
+        let small = frame(&[1u8; 100]);
+        let large = frame(&vec![2u8; DEFAULT_RETAIN_CAPACITY + 1]);
+        let mut io = scripted(&[small.clone(), small.clone(), large.clone(), small.clone()]);
+        let mut reader = FrameReader::new(1 << 24);
+        let mut out = Vec::new();
+        loop {
+            match reader.poll_frame(&mut io) {
+                FrameRead::Frame(f) => out.push(f),
+                FrameRead::WouldBlock => continue,
+                FrameRead::Eof => break,
+                FrameRead::Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, vec![small.clone(), small.clone(), large, small]);
+        // The megagap frame took its buffer with it; at the boundary the
+        // reader pins at most a small frame's worth again.
+        assert!(
+            reader.resident_capacity() <= DEFAULT_RETAIN_CAPACITY,
+            "resident {} exceeds retain cap",
+            reader.resident_capacity()
+        );
+    }
+
+    #[test]
+    fn pooled_reader_recycles_frame_buffers() {
+        let pool = BufPool::default();
+        let f = frame(&[9u8; 50]);
+        let mut io = scripted(&[f.clone(), f.clone()]);
+        let mut reader = FrameReader::with_pool(1 << 20, pool.clone());
+        let FrameRead::Frame(first) = reader.poll_frame(&mut io) else {
+            panic!("expected a frame");
+        };
+        assert_eq!(first, f);
+        let cap = first.capacity();
+        pool.put(first);
+        let FrameRead::Frame(second) = reader.poll_frame(&mut io) else {
+            panic!("expected a frame");
+        };
+        assert_eq!(second, f);
+        assert_eq!(second.capacity(), cap, "second frame reused the buffer");
+        assert_eq!(pool.pooled(), 0);
+    }
+
     /// A writer accepting at most `cap` bytes per call, interleaving
     /// `WouldBlock` on a stride.
     struct Dribble {
@@ -288,6 +519,39 @@ mod tests {
             }
             let n = buf.len().min(self.cap);
             self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A writer with a real `write_vectored`, accepting at most `cap`
+    /// bytes per call across however many slices that spans — exercises
+    /// the multi-segment advance accounting.
+    struct Gather {
+        accepted: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Gather {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut left = self.cap;
+            let mut n = 0;
+            for b in bufs {
+                let take = b.len().min(left);
+                self.accepted.extend_from_slice(&b[..take]);
+                n += take;
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
             Ok(n)
         }
 
@@ -336,5 +600,80 @@ mod tests {
         // accepted, across frame boundaries.
         let _ = writer.poll_write(&mut io);
         assert_eq!(writer.buffered_bytes(), 24 - io.accepted.len());
+    }
+
+    #[test]
+    fn shared_bodies_interleave_with_owned_frames_byte_identically() {
+        let body: Arc<[u8]> = Arc::from(&[0xCDu8; 200][..]);
+        let mut header = ((body.len() + 1) as u32).to_be_bytes().to_vec();
+        header.push(1); // version byte, part of the frame body
+        let owned = frame(b"plain");
+        let mut writer = FrameWriter::new();
+        writer.queue(owned.clone());
+        writer.queue_shared(&header, Arc::clone(&body));
+        writer.queue(owned.clone());
+        assert_eq!(
+            writer.buffered_bytes(),
+            2 * owned.len() + header.len() + body.len()
+        );
+        let mut expected = owned.clone();
+        expected.extend_from_slice(&header);
+        expected.extend_from_slice(&body);
+        expected.extend_from_slice(&owned);
+        // Once through a dribbling scalar writer...
+        let mut io = Dribble {
+            accepted: Vec::new(),
+            cap: 3,
+            calls: 0,
+        };
+        loop {
+            match writer.poll_write(&mut io) {
+                FrameWrite::Done => break,
+                FrameWrite::WouldBlock => continue,
+                FrameWrite::Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(io.accepted, expected);
+        assert_eq!(writer.buffered_bytes(), 0);
+        // ...and once through a genuinely vectored one.
+        let mut writer = FrameWriter::new();
+        writer.queue(owned.clone());
+        writer.queue_shared(&header, Arc::clone(&body));
+        writer.queue(owned);
+        let mut io = Gather {
+            accepted: Vec::new(),
+            cap: 7,
+        };
+        loop {
+            match writer.poll_write(&mut io) {
+                FrameWrite::Done => break,
+                FrameWrite::WouldBlock => continue,
+                FrameWrite::Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(io.accepted, expected);
+        // The drained queue dropped its clone: the body was shared, not
+        // copied.
+        assert_eq!(Arc::strong_count(&body), 1);
+    }
+
+    #[test]
+    fn drained_owned_frames_are_recycled_into_the_pool() {
+        let pool = BufPool::default();
+        let mut writer = FrameWriter::with_pool(pool.clone());
+        writer.queue(frame(&[3u8; 40]));
+        writer.queue(frame(&[4u8; 40]));
+        let mut io = Gather {
+            accepted: Vec::new(),
+            cap: usize::MAX,
+        };
+        loop {
+            match writer.poll_write(&mut io) {
+                FrameWrite::Done => break,
+                FrameWrite::WouldBlock => continue,
+                FrameWrite::Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(pool.pooled(), 2, "both drained frames returned to pool");
     }
 }

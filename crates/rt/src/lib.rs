@@ -44,10 +44,12 @@
 pub mod codec;
 pub mod executor;
 pub mod net;
+pub mod pool;
 pub mod reactor;
 
 pub use codec::{FrameRead, FrameReader, FrameWrite, FrameWriter};
 pub use executor::{Executor, Handle, Runtime};
+pub use pool::BufPool;
 pub use reactor::{Reactor, ReactorStats, DEFAULT_POLL_INTERVAL, MAX_POLL_INTERVAL};
 
 use std::future::Future;
